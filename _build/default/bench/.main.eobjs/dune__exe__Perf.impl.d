@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Array Bechamel Benchmark Core Hashtbl Isolation List Measure Printf Random Sections Staged Storage Test Time Toolkit Workload

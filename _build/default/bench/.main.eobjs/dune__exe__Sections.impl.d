@@ -1,0 +1,1 @@
+bench/sections.ml: Core Format History Isolation List Locking Option Phenomena Printf Sim Storage String Workload

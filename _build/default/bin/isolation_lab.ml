@@ -1,0 +1,392 @@
+(* isolation_lab: command-line laboratory for the paper's isolation
+   theory.
+
+     isolation_lab analyze "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1"
+     isolation_lab classify --level "snapshot" --phenomenon P3
+     isolation_lab scenario P4/plain --level "read committed"
+     isolation_lab levels
+     isolation_lab figure *)
+
+open Cmdliner
+
+module L = Isolation.Level
+module P = Phenomena.Phenomenon
+module Executor = Core.Executor
+
+(* {2 Arguments} *)
+
+let level_conv =
+  let parse s =
+    match L.of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown isolation level %S" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (L.name l))
+
+let phenomenon_conv =
+  let parse s =
+    match P.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown phenomenon %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (P.name p))
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv L.Serializable
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:
+          "Isolation level: degree 0, read uncommitted, read committed, \
+           cursor stability, repeatable read, snapshot, oracle, \
+           serializable.")
+
+(* {2 analyze} *)
+
+let analyze dot history_text =
+  match History.Parser.parse history_text with
+  | Error e ->
+    Fmt.epr "parse error %a@." History.Parser.pp_error e;
+    exit 1
+  | Ok h ->
+    Format.printf "history: %s@." (History.to_string h);
+    Format.printf "transactions: %s  committed: %s  aborted: %s@."
+      (String.concat "," (List.map string_of_int (History.txns h)))
+      (String.concat "," (List.map string_of_int (History.committed h)))
+      (String.concat "," (List.map string_of_int (History.aborted h)));
+    (match History.well_formed h with
+    | Ok () -> ()
+    | Error msg -> Format.printf "NOT WELL-FORMED: %s@." msg);
+    if History.Mv.is_mv h then begin
+      Format.printf "multiversion history@.";
+      Format.printf "  one-copy serializable: %b@."
+        (History.Mv.is_one_copy_serializable h);
+      (match History.Mv.mvsg_cycle h with
+      | Some cycle ->
+        Format.printf "  MVSG cycle: %s@."
+          (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
+      | None -> ());
+      Format.printf "  snapshot reads respected: %b@."
+        (History.Mv.snapshot_reads_respected h);
+      Format.printf "  first-committer-wins respected: %b@."
+        (History.Mv.first_committer_wins_respected h);
+      Format.printf "  single-valued mapping: %s@."
+        (History.to_string (History.Mv.si_to_single_version h))
+    end
+    else begin
+      Format.printf "serializable: %b@." (History.Conflict.is_serializable h);
+      (match History.Conflict.cycle h with
+      | Some cycle ->
+        Format.printf "  dependency cycle: %s@."
+          (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
+      | None -> ());
+      (match History.Conflict.serialization_order h with
+      | Some order ->
+        Format.printf "  equivalent serial order: %s@."
+          (String.concat " " (List.map (fun t -> "T" ^ string_of_int t) order))
+      | None -> ())
+    end;
+    if not (History.Mv.is_mv h) then
+      Format.printf "recoverability: %a@." History.Recoverability.pp_class
+        (History.Recoverability.classify h);
+    let witnesses =
+      List.concat_map (fun p -> Phenomena.Detect.detect p h) P.all
+    in
+    if witnesses = [] then Format.printf "phenomena: none@."
+    else begin
+      Format.printf "phenomena:@.";
+      List.iter (fun w -> Format.printf "  %a@." Phenomena.Detect.pp_witness w) witnesses
+    end;
+    if dot then begin
+      Format.printf "@.dependency graph (dot):@.";
+      print_string (History.Conflict.to_dot h)
+    end
+
+let analyze_cmd =
+  let history_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HISTORY" ~doc:"History in the paper's shorthand notation.")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Also print the dependency graph in Graphviz dot syntax.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a history: serializability, phenomena, MV properties.")
+    Term.(const analyze $ dot_arg $ history_arg)
+
+(* {2 classify} *)
+
+let classify level phenomenon fuw =
+  let c = Sim.Classify.cell ~first_updater_wins:fuw level phenomenon in
+  Format.printf "%s / %s (%s): %a@." (L.name level) (P.name phenomenon)
+    (P.long_name phenomenon) Isolation.Spec.pp_possibility c.Sim.Classify.verdict;
+  Format.printf "paper says: %a@." Isolation.Spec.pp_possibility
+    (Isolation.Spec.table4 level phenomenon);
+  List.iter
+    (fun o ->
+      Format.printf "  scenario %-18s %-10s (%d interleavings examined)@."
+        o.Sim.Classify.scenario.Workload.Scenario.id
+        (if o.Sim.Classify.possible then "exhibited" else "impossible")
+        o.Sim.Classify.explored;
+      match o.Sim.Classify.witness with
+      | Some schedule ->
+        let s = o.Sim.Classify.scenario in
+        let cfg =
+          Executor.config ~initial:s.Workload.Scenario.initial
+            ~predicates:s.Workload.Scenario.predicates ~first_updater_wins:fuw
+            (List.map (fun _ -> level) s.Workload.Scenario.programs)
+        in
+        let r = Executor.run cfg s.Workload.Scenario.programs ~schedule in
+        Format.printf "    witness schedule: %s@."
+          (String.concat "" (List.map string_of_int schedule));
+        Format.printf "    witness history:  %s@."
+          (History.to_string r.Executor.history)
+      | None -> ())
+    c.Sim.Classify.outcomes
+
+let classify_cmd =
+  let phenomenon_arg =
+    Arg.(
+      required
+      & opt (some phenomenon_conv) None
+      & info [ "p"; "phenomenon" ] ~docv:"PHENOMENON"
+          ~doc:"Phenomenon: P0, P1, P2, P3, P4, P4C, A1, A2, A3, A5A, A5B.")
+  in
+  let fuw_arg =
+    Arg.(
+      value & flag
+      & info [ "first-updater-wins" ]
+          ~doc:"Use the First-Updater-Wins variant of Snapshot Isolation.")
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Decide whether a phenomenon is possible at an isolation level by \
+          exhausting every interleaving of its scenarios.")
+    Term.(const classify $ level_arg $ phenomenon_arg $ fuw_arg)
+
+(* {2 scenario} *)
+
+let run_scenario id level schedule_opt =
+  match
+    List.find_opt
+      (fun s -> s.Workload.Scenario.id = id)
+      Workload.Catalog.all
+  with
+  | None ->
+    Fmt.epr "unknown scenario %S; available:@." id;
+    List.iter
+      (fun s -> Fmt.epr "  %-18s %s@." s.Workload.Scenario.id s.Workload.Scenario.description)
+      Workload.Catalog.all;
+    exit 1
+  | Some s ->
+    Format.printf "%a@." Workload.Scenario.pp s;
+    let cfg =
+      Executor.config ~initial:s.initial ~predicates:s.predicates
+        (List.map (fun _ -> level) s.programs)
+    in
+    let schedule =
+      match schedule_opt with
+      | Some digits ->
+        List.init (String.length digits) (fun i ->
+            Char.code digits.[i] - Char.code '0')
+      | None ->
+        (* Find an exhibiting schedule if one exists, else run serially. *)
+        let outcome = Sim.Classify.run_scenario level s in
+        (match outcome.Sim.Classify.witness with
+        | Some w -> w
+        | None ->
+          List.concat
+            (List.mapi
+               (fun i p ->
+                 List.init (Core.Program.length p + 1) (fun _ -> i + 1))
+               s.programs))
+    in
+    let r = Executor.run cfg s.programs ~schedule in
+    Format.printf "schedule: %s@."
+      (String.concat "" (List.map string_of_int schedule));
+    Format.printf "history:  %s@." (History.to_string r.Executor.history);
+    Format.printf "final:    %s@."
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.Executor.final));
+    List.iter
+      (fun (t, st) -> Format.printf "T%d %a@." t Executor.pp_status st)
+      r.Executor.statuses;
+    Format.printf "anomaly exhibited: %b@." (s.exhibits r)
+
+let scenario_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario id, e.g. P4/plain.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "schedule" ] ~docv:"DIGITS"
+          ~doc:"Explicit schedule as transaction digits, e.g. 121122.")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Run a catalog scenario at a level (with a witness schedule by default).")
+    Term.(const run_scenario $ id_arg $ level_arg $ schedule_arg)
+
+(* {2 run — ad-hoc workloads in the mini script syntax} *)
+
+let run_script level init_text schedule_opt script_text =
+  let fatal pp e =
+    Fmt.epr "%a@." pp e;
+    exit 1
+  in
+  let programs =
+    match Workload.Script.parse script_text with
+    | Ok ps -> ps
+    | Error e -> fatal Workload.Script.pp_error e
+  in
+  let initial =
+    match Workload.Script.parse_initial init_text with
+    | Ok rows -> rows
+    | Error e -> fatal Workload.Script.pp_error e
+  in
+  let cfg =
+    Executor.config ~initial
+      ~predicates:(Workload.Script.predicates_of programs)
+      (List.map (fun _ -> level) programs)
+  in
+  let schedule =
+    match schedule_opt with
+    | Some digits ->
+      List.init (String.length digits) (fun i ->
+          Char.code digits.[i] - Char.code '0')
+    | None ->
+      (* Default: a round-robin interleaving, one operation per turn. *)
+      let sizes = List.map (fun p -> Core.Program.length p + 1) programs in
+      let n = List.length programs in
+      List.concat
+        (List.init
+           (List.fold_left max 0 sizes)
+           (fun _ -> List.init n (fun i -> i + 1)))
+  in
+  let r = Executor.run cfg programs ~schedule in
+  Format.printf "level:    %s@." (L.name level);
+  Format.printf "history:  %s@." (History.to_string r.Executor.history);
+  Format.printf "final:    %s@."
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.Executor.final));
+  List.iter
+    (fun (t, st) -> Format.printf "T%d %a@." t Executor.pp_status st)
+    r.Executor.statuses;
+  Format.printf "blocked attempts: %d   deadlocks: %d@."
+    r.Executor.blocked_attempts r.Executor.deadlock_aborts;
+  (match Phenomena.Detect.exhibited r.Executor.history with
+  | [] -> Format.printf "phenomena: none@."
+  | ps ->
+    Format.printf "phenomena: %s@."
+      (String.concat ", " (List.map P.name ps)));
+  let serializable =
+    if History.Mv.is_mv r.Executor.history then
+      History.Mv.is_one_copy_serializable r.Executor.history
+    else History.Conflict.is_serializable r.Executor.history
+  in
+  Format.printf "serializable: %b@." serializable
+
+let run_cmd =
+  let script_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Workload in the mini syntax: transactions separated by '|', \
+             statements by ';' - e.g.: r x; w y += 40 | r x; r y")
+  in
+  let init_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "i"; "init" ] ~docv:"ROWS" ~doc:"Initial rows, e.g. x=50, y=50")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "schedule" ] ~docv:"DIGITS"
+          ~doc:"Interleaving as transaction digits (default round-robin).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run an ad-hoc workload at an isolation level and analyze the history.")
+    Term.(const run_script $ level_arg $ init_arg $ schedule_arg $ script_arg)
+
+(* {2 scenarios / histories} *)
+
+let list_scenarios () =
+  List.iter
+    (fun s ->
+      Format.printf "%-18s (%s)  %s@." s.Workload.Scenario.id
+        (P.name s.Workload.Scenario.phenomenon)
+        s.Workload.Scenario.description)
+    Workload.Catalog.all
+
+let scenarios_cmd =
+  Cmd.v
+    (Cmd.info "scenarios" ~doc:"List the scenario catalog.")
+    Term.(const list_scenarios $ const ())
+
+let list_histories () =
+  List.iter
+    (fun ph ->
+      let open Workload.Paper_histories in
+      Format.printf "%-10s (section %s)  %s@." ph.name ph.section ph.text;
+      Format.printf "  exhibits: %s@."
+        (match Phenomena.Detect.exhibited ph.history with
+        | [] -> "nothing"
+        | ps -> String.concat ", " (List.map P.name ps)))
+    Workload.Paper_histories.all
+
+let histories_cmd =
+  Cmd.v
+    (Cmd.info "histories" ~doc:"List the paper's example histories verbatim.")
+    Term.(const list_histories $ const ())
+
+(* {2 levels / figure} *)
+
+let levels () =
+  List.iter
+    (fun l ->
+      Format.printf "%-26s" (L.name l);
+      (match L.degree l with
+      | Some d -> Format.printf " degree %d;" d
+      | None -> ());
+      if L.is_multiversion l then Format.printf " multiversion;";
+      Format.printf " forbids: %s@."
+        (String.concat ","
+           (List.map P.name (Isolation.Spec.forbidden l))))
+    L.all
+
+let levels_cmd =
+  Cmd.v (Cmd.info "levels" ~doc:"List the isolation levels and what they forbid.")
+    Term.(const levels $ const ())
+
+let figure () = print_string (Isolation.Lattice.render_figure ())
+
+let figure_cmd =
+  Cmd.v (Cmd.info "figure" ~doc:"Render the paper's Figure 2 hierarchy.")
+    Term.(const figure $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "isolation_lab" ~version:"1.0.0"
+       ~doc:
+         "A laboratory for 'A Critique of ANSI SQL Isolation Levels' \
+          (Berenson et al., SIGMOD 1995).")
+    [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; scenarios_cmd;
+      histories_cmd; levels_cmd; figure_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

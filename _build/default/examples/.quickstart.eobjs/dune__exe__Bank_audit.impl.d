@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Core Hashtbl History Isolation List Printf Sim String Workload

@@ -1,0 +1,1 @@
+examples/oncall_write_skew.ml: Core History Isolation List Phenomena Printf Sim

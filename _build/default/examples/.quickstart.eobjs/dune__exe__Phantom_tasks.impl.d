@@ -1,0 +1,1 @@
+examples/phantom_tasks.ml: Core History Isolation List Printf Sim Storage String

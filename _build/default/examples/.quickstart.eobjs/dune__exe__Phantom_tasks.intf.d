@@ -1,0 +1,1 @@
+examples/phantom_tasks.mli:

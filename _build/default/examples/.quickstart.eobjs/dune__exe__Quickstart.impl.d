@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Fmt Format History Isolation List Phenomena Printf String

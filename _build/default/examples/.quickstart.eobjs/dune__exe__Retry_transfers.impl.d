@@ -1,0 +1,1 @@
+examples/retry_transfers.ml: Core Isolation List Printf Random String

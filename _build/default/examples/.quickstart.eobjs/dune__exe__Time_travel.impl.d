@@ -1,0 +1,1 @@
+examples/time_travel.ml: Core Fmt Isolation List Printf Storage String

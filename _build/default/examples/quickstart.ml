@@ -1,0 +1,86 @@
+(* Quickstart: open a database, run concurrent sessions at different
+   isolation levels, and watch the anomalies the paper names appear and
+   disappear as the level is raised.
+
+     dune exec examples/quickstart.exe *)
+
+module Db = Core.Db
+module L = Isolation.Level
+
+let ok = function
+  | Db.Ok v -> v
+  | Db.Blocked holders ->
+    failwith
+      (Printf.sprintf "blocked behind %s"
+         (String.concat "," (List.map string_of_int holders)))
+  | Db.Rolled_back r -> failwith (Fmt.str "rolled back: %a" Core.Engine.pp_abort_reason r)
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+(* A dirty read (P1): T2 reads T1's uncommitted deposit, which is then
+   rolled back — T2 acted on money that never existed. *)
+let dirty_read_demo level =
+  let db = Db.open_db ~initial:[ ("savings", 100) ] () in
+  let t1 = Db.begin_tx db ~level in
+  let t2 = Db.begin_tx db ~level in
+  ignore (Db.write t1 "savings" 1000);
+  let seen =
+    match Db.read t2 "savings" with
+    | Db.Ok v -> Fmt.str "read %a" Fmt.(option int) v
+    | Db.Blocked _ -> "blocked until T1 finishes"
+    | Db.Rolled_back _ -> "rolled back"
+  in
+
+  ignore (Db.abort t1);
+  (* If T2 blocked, it can retry now that T1 is gone. *)
+  let seen =
+    if seen = "blocked until T1 finishes" then
+      match Db.read t2 "savings" with
+      | Db.Ok v -> Fmt.str "%s; then read %a" seen Fmt.(option int) v
+      | Db.Blocked _ | Db.Rolled_back _ -> seen
+    else seen
+  in
+  ignore (Db.commit t2);
+  Printf.printf "%-18s T1 deposits 900 (uncommitted), T2 %s, T1 aborts\n"
+    (L.name level) seen;
+  Printf.printf "%18s history: %s\n" "" (History.to_string (Db.history db))
+
+(* First-committer-wins (Snapshot Isolation): two concurrent updates of
+   the same row cannot both commit, so no update is ever lost. *)
+let snapshot_demo () =
+  section "Snapshot Isolation: First-Committer-Wins (paper section 4.2)";
+  let db = Db.open_db ~initial:[ ("counter", 0) ] ~multiversion:true () in
+  let t1 = Db.begin_tx db ~level:L.Snapshot in
+  let t2 = Db.begin_tx db ~level:L.Snapshot in
+  let v1 = ok (Db.read t1 "counter") and v2 = ok (Db.read t2 "counter") in
+  Printf.printf "T1 and T2 both read counter = %s / %s (no blocking, ever)\n"
+    (Fmt.str "%a" Fmt.(option int) v1)
+    (Fmt.str "%a" Fmt.(option int) v2);
+  ignore (Db.write t1 "counter" 1);
+  ignore (Db.write t2 "counter" 1);
+  ignore (Db.commit t1);
+  (match Db.commit t2 with
+  | Db.Rolled_back Core.Engine.First_committer_wins ->
+    Printf.printf "T1 committed; T2 was aborted by First-Committer-Wins\n"
+  | _ -> Printf.printf "unexpected: T2 was not aborted\n");
+  Printf.printf "history: %s\n" (History.to_string (Db.history db))
+
+(* Analyzing histories directly: parse the paper's notation and ask which
+   phenomena occur. *)
+let analysis_demo () =
+  section "History analysis: the paper's H1 in one call";
+  let h1 = History.of_string "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" in
+  Printf.printf "H1 = %s\n" (History.to_string h1);
+  Printf.printf "serializable: %b\n" (History.Conflict.is_serializable h1);
+  List.iter
+    (fun w -> Format.printf "  %a@." Phenomena.Detect.pp_witness w)
+    (List.concat_map
+       (fun p -> Phenomena.Detect.detect p h1)
+       Phenomena.Phenomenon.all)
+
+let () =
+  section "Dirty reads (P1) across isolation levels (paper Table 4, column P1)";
+  List.iter dirty_read_demo
+    [ L.Read_uncommitted; L.Read_committed; L.Serializable ];
+  snapshot_demo ();
+  analysis_demo ()

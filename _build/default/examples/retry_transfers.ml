@@ -1,0 +1,102 @@
+(* The application-side pattern for optimistic isolation: retry loops.
+
+   Under Snapshot Isolation, conflicting commits die by
+   First-Committer-Wins instead of waiting; real applications wrap their
+   transactions in a retry loop. This example runs *batches of concurrent
+   transfers* — every transaction in a batch reads its snapshot before
+   any of them commits — so write-write conflicts genuinely occur, the
+   losers are retried, and the total-balance invariant still survives.
+
+     dune exec examples/retry_transfers.exe *)
+
+module Db = Core.Db
+module L = Isolation.Level
+
+let accounts = 6
+let account i = Printf.sprintf "acct%d" i
+let initial = List.init accounts (fun i -> (account i, 100))
+let total_expected = 100 * accounts
+
+type transfer = { src : string; dst : string; amount : int }
+
+(* Execute one batch concurrently: begin and read all transactions first,
+   then write, then commit each. Returns the transfers that were rolled
+   back by First-Committer-Wins and must be retried. *)
+let run_batch db batch =
+  let sessions =
+    List.map
+      (fun t ->
+        let tx = Db.begin_tx db ~level:L.Snapshot in
+        let read k =
+          match Db.read tx k with Db.Ok (Some v) -> v | _ -> 0
+        in
+        (t, tx, read t.src, read t.dst))
+      batch
+  in
+  List.iter
+    (fun (t, tx, s, d) ->
+      if s >= t.amount then begin
+        ignore (Db.write tx t.src (s - t.amount));
+        ignore (Db.write tx t.dst (d + t.amount))
+      end)
+    sessions;
+  List.filter_map
+    (fun (t, tx, s, _) ->
+      if s < t.amount then begin
+        ignore (Db.abort tx);
+        None (* insufficient funds: drop, not a conflict *)
+      end
+      else
+        match Db.commit tx with
+        | Db.Ok () -> None
+        | Db.Rolled_back Core.Engine.First_committer_wins -> Some t
+        | Db.Rolled_back _ | Db.Blocked _ -> Some t)
+    sessions
+
+let () =
+  let db = Db.open_db ~initial ~multiversion:true () in
+  let rand = Random.State.make [| 2026 |] in
+  let n_transfers = 120 and batch_size = 8 in
+  let transfers =
+    List.init n_transfers (fun _ ->
+        let src = Random.State.int rand accounts in
+        let dst = (src + 1 + Random.State.int rand (accounts - 1)) mod accounts in
+        { src = account src; dst = account dst;
+          amount = 1 + Random.State.int rand 20 })
+  in
+  let retries = ref 0 and rounds = ref 0 in
+  let rec drain pending =
+    if pending <> [] && !rounds < 1000 then begin
+      incr rounds;
+      let rec batches = function
+        | [] -> []
+        | work ->
+          let batch = List.filteri (fun i _ -> i < batch_size) work in
+          let rest = List.filteri (fun i _ -> i >= batch_size) work in
+          run_batch db batch @ batches rest
+      in
+      let failed = batches pending in
+      retries := !retries + List.length failed;
+      drain failed
+    end
+  in
+  drain transfers;
+  let final = Db.state db in
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 final in
+  Printf.printf
+    "%d transfers over %d accounts, run %d at a time under Snapshot\n\
+     Isolation with a retry loop:\n"
+    n_transfers accounts batch_size;
+  Printf.printf "  rounds: %d   retries after First-Committer-Wins: %d\n"
+    !rounds !retries;
+  Printf.printf "  final balances: %s\n"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) final));
+  Printf.printf "  total = %d (expected %d) -> invariant %s\n" total
+    total_expected
+    (if total = total_expected then "PRESERVED" else "BROKEN");
+  Printf.printf
+    "\nNo transaction ever blocked; every write-write conflict surfaced as\n\
+     a First-Committer-Wins rollback and was re-run on a fresh snapshot -\n\
+     the section 4.2 trade for short, minimally conflicting updates.\n";
+  assert (total = total_expected)

@@ -1,0 +1,79 @@
+(* Time travel (paper §4.2): "Snapshot Isolation gives the freedom to run
+   transactions with very old timestamps, thereby allowing them to do time
+   travel — taking a historical perspective of the database — while never
+   blocking or being blocked by writes."
+
+   A price feed is updated continuously; analysts open read-only
+   transactions pinned at past timestamps and reconstruct history, while
+   an update transaction with an old snapshot gets aborted the moment it
+   tries to write the present.
+
+     dune exec examples/time_travel.exe *)
+
+module Db = Core.Db
+module L = Isolation.Level
+
+let ok = function
+  | Db.Ok v -> v
+  | Db.Blocked _ -> failwith "unexpected blocking in a multiversion database"
+  | Db.Rolled_back r ->
+    failwith (Fmt.str "rolled back: %a" Core.Engine.pp_abort_reason r)
+
+let () =
+  let db = Db.open_db ~initial:[ ("price", 100) ] ~multiversion:true () in
+  (* Five committed price updates: timestamps 1..5. *)
+  let prices = [ 101; 105; 98; 110; 120 ] in
+  List.iter
+    (fun p ->
+      let tx = Db.begin_tx db ~level:L.Snapshot in
+      ok (Db.write tx "price" p);
+      ok (Db.commit tx))
+    prices;
+  Printf.printf "committed price history: 100 (ts0) %s\n\n"
+    (String.concat " "
+       (List.mapi (fun i p -> Printf.sprintf "%d (ts%d)" p (i + 1)) prices));
+  (* Reconstruct the series by reading at each historical timestamp. *)
+  Printf.printf "time-travel reads:\n";
+  for ts = 0 to 5 do
+    let tx = Db.begin_tx_at db ~level:L.Snapshot ~start_ts:ts in
+    match ok (Db.read tx "price") with
+    | Some v -> Printf.printf "  as of ts%d the price was %d\n" ts v
+    | None -> Printf.printf "  as of ts%d the price did not exist\n" ts
+  done;
+  (* A historical reader is never blocked by a concurrent writer... *)
+  let writer = Db.begin_tx db ~level:L.Snapshot in
+  ok (Db.write writer "price" 130);
+  let analyst = Db.begin_tx_at db ~level:L.Snapshot ~start_ts:2 in
+  (match ok (Db.read analyst "price") with
+  | Some v ->
+    Printf.printf
+      "\nwith an uncommitted write in flight, the ts2 analyst still reads %d\n\
+       without blocking\n"
+      v
+  | None -> assert false);
+  ok (Db.commit writer);
+  (* ...but an old transaction that tries to UPDATE the present dies. *)
+  let stale = Db.begin_tx_at db ~level:L.Snapshot ~start_ts:2 in
+  ok (Db.write stale "price" 1);
+  (match Db.commit stale with
+  | Db.Rolled_back Core.Engine.First_committer_wins ->
+    Printf.printf
+      "\na ts2 transaction updating the price is aborted at commit\n\
+       (First-Committer-Wins): \"update transactions with very old\n\
+       timestamps would abort if they tried to update any data item that\n\
+       had been updated by more recent transactions\" (paper section 4.2)\n"
+  | _ -> failwith "expected a First-Committer-Wins abort");
+  (* The version store retains the full lineage. *)
+  match Db.version_store db with
+  | None -> assert false
+  | Some vs ->
+    Printf.printf "\nversion chain for \"price\" (newest first):\n";
+    List.iter
+      (fun v ->
+        Printf.printf "  ts%-2d -> %s (written by T%d)\n"
+          v.Storage.Version_store.commit_ts
+          (match v.Storage.Version_store.value with
+          | Some x -> string_of_int x
+          | None -> "deleted")
+          v.Storage.Version_store.writer)
+      (Storage.Version_store.chain vs "price")

@@ -1,0 +1,1 @@
+lib/core/core.ml: Db Engine Executor Lock_engine Mv_engine Program To_engine

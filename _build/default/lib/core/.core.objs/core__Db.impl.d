@@ -1,0 +1,1 @@
+lib/core/db.ml: Engine History Isolation List Program Storage

@@ -1,0 +1,1 @@
+lib/core/db.mli: Engine History Isolation Storage

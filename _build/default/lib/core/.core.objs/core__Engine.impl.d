@@ -1,0 +1,1 @@
+lib/core/engine.ml: Fmt History Isolation List Lock_engine Mv_engine Storage To_engine

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Engine Fmt Hashtbl History Isolation List Program Storage

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Engine Fmt History Isolation Program Storage

@@ -1,0 +1,1 @@
+lib/core/lock_engine.ml: Fmt Hashtbl History List Locking Option Program Storage

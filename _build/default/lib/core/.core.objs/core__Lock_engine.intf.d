@@ -1,0 +1,1 @@
+lib/core/lock_engine.mli: History Isolation Locking Program Storage

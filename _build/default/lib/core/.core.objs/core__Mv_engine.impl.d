@@ -1,0 +1,1 @@
+lib/core/mv_engine.ml: Fmt Hashtbl History List Locking Program Storage

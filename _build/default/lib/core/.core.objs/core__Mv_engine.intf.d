@@ -1,0 +1,1 @@
+lib/core/mv_engine.mli: History Program Storage

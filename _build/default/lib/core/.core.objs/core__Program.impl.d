@@ -1,0 +1,1 @@
+lib/core/program.ml: Fmt History List Storage

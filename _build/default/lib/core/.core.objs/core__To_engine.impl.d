@@ -1,0 +1,1 @@
+lib/core/to_engine.ml: Fmt Hashtbl History List Program Storage

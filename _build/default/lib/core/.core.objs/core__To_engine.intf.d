@@ -1,0 +1,1 @@
+lib/core/to_engine.mli: History Program Storage

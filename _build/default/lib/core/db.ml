@@ -1,0 +1,109 @@
+(* Session-oriented database API — the face of the library for
+   applications and the examples. A [Db.t] owns one engine; sessions are
+   transactions begun at a chosen isolation level and driven by direct
+   calls. Operations either succeed, report the transactions they are
+   blocked behind (the caller decides what to run next — there is no
+   hidden concurrency), or report that the transaction was aborted (e.g.
+   by First-Committer-Wins at commit). *)
+
+module Action = History.Action
+module Level = Isolation.Level
+module Predicate = Storage.Predicate
+
+type key = Action.key
+type value = Action.value
+
+type t = {
+  engine : Engine.t;
+  mutable next_tid : int;
+}
+
+let open_db ?(initial = []) ?(predicates = []) ?(multiversion = false)
+    ?(first_updater_wins = false) () =
+  let family = if multiversion then `Mv else `Locking in
+  { engine = Engine.create ~initial ~predicates ~first_updater_wins ~family ();
+    next_tid = 0 }
+
+type tx = { db : t; tid : Action.txn }
+
+let begin_tx ?read_only db ~level =
+  db.next_tid <- db.next_tid + 1;
+  Engine.begin_txn ?read_only db.engine db.next_tid ~level;
+  { db; tid = db.next_tid }
+
+let begin_tx_at db ~level ~start_ts =
+  db.next_tid <- db.next_tid + 1;
+  Engine.begin_txn_at db.engine db.next_tid ~level ~start_ts;
+  { db; tid = db.next_tid }
+
+let tid tx = tx.tid
+
+type 'a outcome =
+  | Ok of 'a
+  | Blocked of Action.txn list
+  | Rolled_back of Engine.abort_reason
+
+let run_op tx op ~extract =
+  match Engine.step tx.db.engine tx.tid op with
+  | Engine.Progress -> (
+    match Engine.status tx.db.engine tx.tid with
+    | Engine.Aborted r -> Rolled_back r
+    | Engine.Active | Engine.Committed ->
+      Ok (extract (Engine.env tx.db.engine tx.tid)))
+  | Engine.Blocked holders -> Blocked holders
+  | Engine.Finished -> (
+    match Engine.status tx.db.engine tx.tid with
+    | Engine.Aborted r -> Rolled_back r
+    | Engine.Committed | Engine.Active -> Rolled_back Engine.User_abort)
+
+let read tx k = run_op tx (Program.Read k) ~extract:(fun env -> Program.read_result env k)
+let write tx k v = run_op tx (Program.Write (k, Program.const v)) ~extract:ignore
+let insert tx k v = run_op tx (Program.Insert (k, Program.const v)) ~extract:ignore
+let delete tx k = run_op tx (Program.Delete k) ~extract:ignore
+
+let scan tx p =
+  run_op tx (Program.Scan p) ~extract:(fun env ->
+      Program.scan_rows env (Predicate.name p))
+
+let open_cursor ?(cursor = "c0") ?(for_update = false) tx p =
+  run_op tx (Program.Open_cursor { cursor; pred = p; for_update }) ~extract:ignore
+
+(* Fetch returns the fetched row, or [None] when the cursor moved past the
+   end (in which case no read is observed). *)
+let fetch ?(cursor = "c0") tx =
+  let reads_before =
+    match Engine.status tx.db.engine tx.tid with
+    | Engine.Active -> List.length (Engine.env tx.db.engine tx.tid).Program.reads
+    | Engine.Committed | Engine.Aborted _ -> 0
+  in
+  run_op tx (Program.Fetch cursor) ~extract:(fun env ->
+      if List.length env.Program.reads > reads_before then
+        match env.Program.reads with
+        | (k, Some v) :: _ -> Some (k, v)
+        | (_, None) :: _ | [] -> None
+      else None)
+
+let cursor_write ?(cursor = "c0") tx v =
+  run_op tx (Program.Cursor_write (cursor, Program.const v)) ~extract:ignore
+
+let close_cursor ?(cursor = "c0") tx =
+  run_op tx (Program.Close_cursor cursor) ~extract:ignore
+let commit tx = run_op tx Program.Commit ~extract:ignore
+
+(* An explicit rollback succeeding is an [Ok], not a failure report. *)
+let abort tx =
+  match Engine.step tx.db.engine tx.tid Program.Abort with
+  | Engine.Progress -> Ok ()
+  | Engine.Blocked holders -> Blocked holders
+  | Engine.Finished -> Rolled_back Engine.User_abort
+
+let status tx =
+  match Engine.status tx.db.engine tx.tid with
+  | Engine.Active -> `Active
+  | Engine.Committed -> `Committed
+  | Engine.Aborted r -> `Aborted r
+
+let history db = Engine.trace db.engine
+let state db = Engine.final_state db.engine
+let wal db = Engine.wal db.engine
+let version_store db = Engine.version_store db.engine

@@ -1,0 +1,66 @@
+(** Session-oriented database API — the library's face for applications.
+
+    A [Db.t] owns one engine (locking or multiversion); sessions are
+    transactions begun at a chosen isolation level and driven by direct
+    calls. There is no hidden concurrency: an operation either succeeds,
+    reports the transactions it is blocked behind (the caller decides what
+    to run next and then retries), or reports that the transaction was
+    rolled back (deadlock victim, First-Committer-Wins, ...). *)
+
+module Action = History.Action
+module Level = Isolation.Level
+
+type key = Action.key
+type value = Action.value
+type t
+
+val open_db :
+  ?initial:(key * value) list ->
+  ?predicates:Storage.Predicate.t list ->
+  ?multiversion:bool ->
+  ?first_updater_wins:bool ->
+  unit ->
+  t
+(** [multiversion] selects the engine family: locking (Table 2 levels) or
+    multiversion (Snapshot, Oracle Read Consistency). *)
+
+type tx
+
+val begin_tx : ?read_only:bool -> t -> level:Level.t -> tx
+(** [read_only] transactions read the committed snapshot as of begin —
+    lock-free even on a locking database (the Multiversion Mixed Method)
+    — and may not write. *)
+
+val begin_tx_at : t -> level:Level.t -> start_ts:int -> tx
+(** Time travel (§4.2): multiversion databases only. *)
+
+val tid : tx -> Action.txn
+
+type 'a outcome =
+  | Ok of 'a
+  | Blocked of Action.txn list
+      (** blocked behind these transactions; retry after they finish *)
+  | Rolled_back of Engine.abort_reason
+
+val read : tx -> key -> value option outcome
+val write : tx -> key -> value -> unit outcome
+val insert : tx -> key -> value -> unit outcome
+val delete : tx -> key -> unit outcome
+val scan : tx -> Storage.Predicate.t -> (key * value) list outcome
+val open_cursor : ?cursor:string -> ?for_update:bool -> tx -> Storage.Predicate.t -> unit outcome
+
+val fetch : ?cursor:string -> tx -> (key * value) option outcome
+(** [Ok None] when the cursor has moved past its last row. *)
+
+val cursor_write : ?cursor:string -> tx -> value -> unit outcome
+val close_cursor : ?cursor:string -> tx -> unit outcome
+val commit : tx -> unit outcome
+val abort : tx -> unit outcome
+val status : tx -> [ `Active | `Committed | `Aborted of Engine.abort_reason ]
+
+val history : t -> History.t
+(** The history executed so far, in the paper's notation. *)
+
+val state : t -> (key * value) list
+val wal : t -> Storage.Wal.t option
+val version_store : t -> Storage.Version_store.t option

@@ -1,0 +1,164 @@
+(* The unified engine: dispatches transaction programs either to the
+   locking scheduler (Table 2 protocols, possibly at mixed levels) or to
+   the multiversion engine (Snapshot Isolation / Oracle Read Consistency).
+   Lock-based and multiversion levels cannot share one store — the former
+   updates in place, the latter reads committed snapshots — so an engine
+   instance is one family or the other; within a family, levels mix
+   freely (the paper's introduction scenario). *)
+
+module Action = History.Action
+module Level = Isolation.Level
+module Predicate = Storage.Predicate
+
+type txn = Action.txn
+type key = Action.key
+type value = Action.value
+
+type abort_reason =
+  | User_abort
+  | Deadlock_victim
+  | First_committer_wins
+  | First_updater_wins
+  | Serialization_failure
+  | Too_late
+
+let pp_abort_reason ppf = function
+  | User_abort -> Fmt.string ppf "user abort"
+  | Deadlock_victim -> Fmt.string ppf "deadlock victim"
+  | First_committer_wins -> Fmt.string ppf "first-committer-wins"
+  | First_updater_wins -> Fmt.string ppf "first-updater-wins"
+  | Serialization_failure -> Fmt.string ppf "serialization failure"
+  | Too_late -> Fmt.string ppf "timestamp too late"
+
+type status = Active | Committed | Aborted of abort_reason
+
+type step_outcome = Progress | Blocked of txn list | Finished
+
+type t =
+  | Locking of Lock_engine.t
+  | Mv of Mv_engine.t
+  | Timestamp of To_engine.t
+
+let family_of_levels levels =
+  match List.sort_uniq compare (List.map Level.family levels) with
+  | [] | [ `Locking ] -> `Locking
+  | [ `Mv ] -> `Mv
+  | [ `Timestamp ] -> `Timestamp
+  | _ ->
+    invalid_arg
+      "Engine.create: cannot mix engine families (locking, multiversion, \
+       timestamp ordering) in one execution (they do not share a store)"
+
+let create ~initial ~predicates ?(first_updater_wins = false)
+    ?(next_key_locking = false) ?(update_locks = false) ~family () =
+  match family with
+  | `Locking ->
+    Locking (Lock_engine.create ~initial ~predicates ~next_key_locking ~update_locks ())
+  | `Mv -> Mv (Mv_engine.create ~initial ~predicates ~first_updater_wins ())
+  | `Timestamp -> Timestamp (To_engine.create ~initial ~predicates ())
+
+let create_for_levels ~initial ~predicates ?first_updater_wins
+    ?next_key_locking ?update_locks ~levels () =
+  create ~initial ~predicates ?first_updater_wins ?next_key_locking
+    ?update_locks ~family:(family_of_levels levels) ()
+
+let mv_level = function
+  | Level.Snapshot -> Mv_engine.Snapshot_isolation
+  | Level.Oracle_read_consistency -> Mv_engine.Read_consistency
+  | Level.Serializable_snapshot -> Mv_engine.Serializable_snapshot
+  | l -> invalid_arg (Fmt.str "Engine: %s is not a multiversion level" (Level.name l))
+
+let begin_txn ?read_only t tid ~level =
+  match t with
+  | Locking e -> Lock_engine.begin_txn ?read_only e tid ~level
+  | Mv e -> Mv_engine.begin_txn ?read_only e tid ~level:(mv_level level)
+  | Timestamp e ->
+    if read_only = Some true then
+      invalid_arg "Engine: the timestamp engine has no read-only mode";
+    To_engine.begin_txn e tid
+
+let begin_txn_at t tid ~level ~start_ts =
+  match t with
+  | Locking _ | Timestamp _ ->
+    invalid_arg "Engine.begin_txn_at: only multiversion engines have snapshots"
+  | Mv e -> Mv_engine.begin_txn_at e tid ~level:(mv_level level) ~start_ts
+
+let lift_lock_status = function
+  | Lock_engine.Active -> Active
+  | Lock_engine.Committed -> Committed
+  | Lock_engine.Aborted Lock_engine.User_abort -> Aborted User_abort
+  | Lock_engine.Aborted Lock_engine.Deadlock_victim -> Aborted Deadlock_victim
+
+let lift_mv_status = function
+  | Mv_engine.Active -> Active
+  | Mv_engine.Committed -> Committed
+  | Mv_engine.Aborted Mv_engine.User_abort -> Aborted User_abort
+  | Mv_engine.Aborted Mv_engine.Deadlock_victim -> Aborted Deadlock_victim
+  | Mv_engine.Aborted Mv_engine.First_committer_wins -> Aborted First_committer_wins
+  | Mv_engine.Aborted Mv_engine.First_updater_wins -> Aborted First_updater_wins
+  | Mv_engine.Aborted Mv_engine.Serialization_failure -> Aborted Serialization_failure
+
+let lift_to_status = function
+  | To_engine.Active -> Active
+  | To_engine.Committed -> Committed
+  | To_engine.Aborted To_engine.User_abort -> Aborted User_abort
+  | To_engine.Aborted To_engine.Deadlock_victim -> Aborted Deadlock_victim
+  | To_engine.Aborted To_engine.Too_late -> Aborted Too_late
+
+let status t tid =
+  match t with
+  | Locking e -> lift_lock_status (Lock_engine.status e tid)
+  | Mv e -> lift_mv_status (Mv_engine.status e tid)
+  | Timestamp e -> lift_to_status (To_engine.status e tid)
+
+let env t tid =
+  match t with
+  | Locking e -> Lock_engine.env e tid
+  | Mv e -> Mv_engine.env e tid
+  | Timestamp e -> To_engine.env e tid
+
+let step t tid op =
+  let lift = function
+    | Lock_engine.Progress -> Progress
+    | Lock_engine.Blocked holders -> Blocked holders
+    | Lock_engine.Finished -> Finished
+  and lift_mv = function
+    | Mv_engine.Progress -> Progress
+    | Mv_engine.Blocked holders -> Blocked holders
+    | Mv_engine.Finished -> Finished
+  in
+  match t with
+  | Locking e -> lift (Lock_engine.step e tid op)
+  | Mv e -> lift_mv (Mv_engine.step e tid op)
+  | Timestamp e -> (
+    match To_engine.step e tid op with
+    | To_engine.Progress -> Progress
+    | To_engine.Blocked holders -> Blocked holders
+    | To_engine.Finished -> Finished)
+
+let abort_txn t tid =
+  match t with
+  | Locking e -> Lock_engine.abort_txn e tid ~reason:Lock_engine.Deadlock_victim
+  | Mv e -> Mv_engine.abort_txn e tid ~reason:Mv_engine.Deadlock_victim
+  | Timestamp e -> To_engine.abort_txn e tid ~reason:To_engine.Deadlock_victim
+
+let trace = function
+  | Locking e -> Lock_engine.trace e
+  | Mv e -> Mv_engine.trace e
+  | Timestamp e -> To_engine.trace e
+
+let final_state = function
+  | Locking e -> Lock_engine.final_state e
+  | Mv e -> Mv_engine.final_state e
+  | Timestamp e -> To_engine.final_state e
+
+let wal = function
+  | Locking e -> Some (Lock_engine.wal e)
+  | Mv _ | Timestamp _ -> None
+
+let lock_events = function
+  | Locking e -> Some (Lock_engine.lock_events e)
+  | Mv _ | Timestamp _ -> None
+let version_store = function
+  | Locking _ | Timestamp _ -> None
+  | Mv e -> Some (Mv_engine.version_store e)

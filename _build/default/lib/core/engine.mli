@@ -1,0 +1,93 @@
+(** The unified engine: locking scheduler (Table 2 protocols) or
+    multiversion engine (Snapshot Isolation, Oracle Read Consistency)
+    behind one stepping interface. Levels mix freely within a family; an
+    execution cannot mix locking and multiversion levels, because the two
+    families do not share a store. *)
+
+module Action = History.Action
+module Level = Isolation.Level
+
+type txn = Action.txn
+type key = Action.key
+type value = Action.value
+
+type abort_reason =
+  | User_abort
+  | Deadlock_victim
+  | First_committer_wins
+  | First_updater_wins
+  | Serialization_failure
+      (** commit-time read validation failed (Serializable SI) *)
+  | Too_late
+      (** a timestamp-ordering operation arrived against a younger
+          transaction's access *)
+
+val pp_abort_reason : abort_reason Fmt.t
+
+type status = Active | Committed | Aborted of abort_reason
+
+type step_outcome =
+  | Progress          (** the operation executed (possibly terminating the txn) *)
+  | Blocked of txn list  (** blocked on these holders; retry the operation *)
+  | Finished          (** the transaction had already terminated *)
+
+type t
+
+val family_of_levels : Level.t list -> [ `Locking | `Mv | `Timestamp ]
+(** @raise Invalid_argument if the levels mix families. *)
+
+val create :
+  initial:(key * value) list ->
+  predicates:Storage.Predicate.t list ->
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  ?update_locks:bool ->
+  family:[ `Locking | `Mv | `Timestamp ] ->
+  unit ->
+  t
+(** [predicates] are annotated onto matching writes in the trace (for the
+    phantom detectors) — they do not affect locking, which uses the actual
+    predicates of scans. [first_updater_wins] switches Snapshot Isolation
+    from First-Committer-Wins to the PostgreSQL-style write-time check.
+    [next_key_locking] swaps the locking engine's predicate-lock phantom
+    guard for next-key locking. *)
+
+val create_for_levels :
+  initial:(key * value) list ->
+  predicates:Storage.Predicate.t list ->
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  ?update_locks:bool ->
+  levels:Level.t list ->
+  unit ->
+  t
+(** Like {!create}, inferring the family from the levels.
+    @raise Invalid_argument if [levels] mixes the two families. *)
+
+val begin_txn : ?read_only:bool -> t -> txn -> level:Level.t -> unit
+(** [read_only] transactions read the committed snapshot as of begin
+    (lock-free under the locking engine — the Multiversion Mixed Method)
+    and may not write. *)
+
+val begin_txn_at : t -> txn -> level:Level.t -> start_ts:int -> unit
+(** Time travel (§4.2): begin a multiversion transaction with an old
+    Start-Timestamp. @raise Invalid_argument on locking engines. *)
+
+val status : t -> txn -> status
+val env : t -> txn -> Program.env
+val step : t -> txn -> Program.op -> step_outcome
+
+val abort_txn : t -> txn -> unit
+(** Abort an active transaction as a deadlock victim; no-op if already
+    terminated. *)
+
+val trace : t -> History.t
+val final_state : t -> (key * value) list
+val wal : t -> Storage.Wal.t option
+(** The write-ahead log (locking engines only). *)
+
+val lock_events : t -> Locking.Lock_table.event list option
+(** The lock table's audit log (locking engines only). *)
+
+val version_store : t -> Storage.Version_store.t option
+(** The version store (multiversion engines only). *)

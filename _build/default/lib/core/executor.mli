@@ -1,0 +1,58 @@
+(** Deterministic scheduler over the engine.
+
+    A schedule is a sequence of transaction ids; each entry is one attempt
+    at that transaction's next operation. Blocked attempts do not consume
+    the operation; waits-for cycles abort the youngest transaction in the
+    cycle. After the explicit schedule, a round-robin drain completes
+    every transaction, so every schedule yields a complete history. The
+    same inputs always produce the same history. *)
+
+module Action = History.Action
+module Level = Isolation.Level
+
+type txn = Action.txn
+
+type status = Committed | Aborted of Engine.abort_reason
+
+val pp_status : status Fmt.t
+
+type config = {
+  initial : (Action.key * Action.value) list;
+  predicates : Storage.Predicate.t list;
+  levels : Level.t list;  (** one per program; transaction ids are 1-based *)
+  first_updater_wins : bool;
+  next_key_locking : bool;
+  update_locks : bool;
+  read_only : bool list;  (** per program; missing entries default to false *)
+}
+
+val config :
+  ?initial:(Action.key * Action.value) list ->
+  ?predicates:Storage.Predicate.t list ->
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  ?update_locks:bool ->
+  ?read_only:bool list ->
+  Level.t list ->
+  config
+
+type result = {
+  history : History.t;
+  final : (Action.key * Action.value) list;
+  statuses : (txn * status) list;
+  envs : (txn * Program.env) list;
+  deadlock_aborts : int;
+  blocked_attempts : int;
+}
+
+val committed_txns : result -> txn list
+
+exception Stuck of string
+(** Raised only on engine bugs: an execution that can make no progress
+    without a waits-for cycle. *)
+
+val run : config -> Program.t list -> schedule:txn list -> result
+
+val run_serial : config -> Program.t list -> result
+(** The trivial serial schedule: each program runs to completion in
+    turn. *)

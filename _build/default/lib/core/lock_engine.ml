@@ -1,0 +1,407 @@
+(* The locking scheduler: executes transaction programs over a
+   single-version store under the lock protocols of Table 2.
+
+   Each transaction runs at its own protocol (mixed isolation levels within
+   one execution, as in the paper's introduction). Every step either
+   executes an operation — acquiring the locks its protocol prescribes,
+   updating the store in place, logging before images to the WAL — or
+   reports the transactions it is blocked on, leaving the operation to be
+   retried. Aborts roll back by restoring before images. *)
+
+module Action = History.Action
+module Store = Storage.Store
+module Version_store = Storage.Version_store
+module Predicate = Storage.Predicate
+module Wal = Storage.Wal
+module Lock_table = Locking.Lock_table
+module Protocol = Locking.Protocol
+
+type txn = Action.txn
+type key = Action.key
+type value = Action.value
+
+type abort_reason = User_abort | Deadlock_victim
+
+type status = Active | Committed | Aborted of abort_reason
+
+type cursor = {
+  mutable remaining : (key * value) list;
+  mutable current : (key * value) option;
+  for_update : bool;
+}
+
+type txn_state = {
+  tid : txn;
+  protocol : Protocol.t;
+  read_only : bool;      (* [BHG] Multiversion Mixed Method: snapshot reads *)
+  snapshot_ts : int;     (* commit timestamp visible to a read-only txn *)
+  mutable status : status;
+  mutable env : Program.env;
+  mutable undo : (key * value option) list; (* before images, newest first *)
+  cursors : (string, cursor) Hashtbl.t;
+}
+
+type t = {
+  store : Store.t;
+  vstore : Version_store.t; (* committed versions, for read-only snapshots *)
+  mutable commit_ts : int;
+  locks : Lock_table.t;
+  wal : Wal.t;
+  mutable trace : Action.t list; (* newest first *)
+  txns : (txn, txn_state) Hashtbl.t;
+  predicates : Predicate.t list; (* annotated on writes for the detectors *)
+  next_key_locking : bool;       (* phantom guard ablation *)
+  update_locks : bool;           (* U locks on for-update fetches (ablation) *)
+}
+
+type step_outcome = Progress | Blocked of txn list | Finished
+
+(* The virtual key after every real key, locked by scans of unbounded
+   ranges and by inserts with no successor. *)
+let infinity_key = "\255<infinity>"
+
+let create ~initial ~predicates ?(next_key_locking = false)
+    ?(update_locks = false) () =
+  {
+    store = Store.of_list initial;
+    vstore = Version_store.of_list initial;
+    commit_ts = 0;
+    locks = Lock_table.create ();
+    wal = Wal.create ();
+    trace = [];
+    txns = Hashtbl.create 8;
+    predicates;
+    next_key_locking;
+    update_locks;
+  }
+
+let emit t action = t.trace <- action :: t.trace
+let trace t = List.rev t.trace
+
+let state t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | Some st -> st
+  | None -> invalid_arg (Fmt.str "Lock_engine: unknown transaction %d" tid)
+
+let begin_txn ?(read_only = false) t tid ~level =
+  let protocol = Protocol.for_level_exn level in
+  let protocol =
+    if t.next_key_locking then Protocol.with_next_key protocol else protocol
+  in
+  Hashtbl.replace t.txns tid
+    { tid; protocol; read_only; snapshot_ts = t.commit_ts; status = Active;
+      env = Program.empty_env; undo = []; cursors = Hashtbl.create 2 };
+  Wal.append t.wal (Wal.Begin tid)
+
+let status t tid = (state t tid).status
+let env t tid = (state t tid).env
+
+let duration_tag = function
+  | Protocol.Short -> Some Lock_table.Short
+  | Protocol.Long -> Some Lock_table.Long
+  | Protocol.No_lock -> None
+
+(* Acquire a lock if the protocol calls for one; [`Granted] also covers
+   "no lock required". *)
+let acquire t st duration req =
+  match duration_tag duration with
+  | None -> Lock_table.Granted
+  | Some tag -> Lock_table.acquire t.locks ~owner:st.tid ~tag req
+
+let release_short t st = Lock_table.release t.locks ~owner:st.tid ~tag:Lock_table.Short
+
+(* Predicates (from the configured set) that a write of [k] from [before]
+   to [after] affects — the annotation the P3/A3 detectors consume. *)
+let affected_predicates t k ~before ~after =
+  List.filter_map
+    (fun p ->
+      if Predicate.affected_by_write p k ~before ~after then
+        Some (Predicate.name p)
+      else None)
+    t.predicates
+
+(* Read-only transactions read the committed snapshot as of their begin,
+   lock-free — the Multiversion Mixed Method ([BHG]; the paper notes
+   Snapshot Isolation extends it). *)
+let snapshot_read t st k =
+  let v, writer =
+    match Version_store.version_at t.vstore ~ts:st.snapshot_ts k with
+    | Some ver -> (ver.Version_store.value, ver.Version_store.writer)
+    | None -> (None, 0)
+  in
+  st.env <- Program.observe_read st.env k v;
+  emit t (Action.read ~ver:writer ?value:v st.tid k);
+  Progress
+
+let snapshot_scan t st p =
+  let rows = Version_store.scan_at t.vstore ~ts:st.snapshot_ts p in
+  st.env <- Program.observe_scan st.env (Predicate.name p) rows;
+  if List.exists (fun q -> Predicate.name q = Predicate.name p) t.predicates
+  then emit t (Action.pred_read ~keys:(List.map fst rows) st.tid (Predicate.name p));
+  Progress
+
+let do_read t st k =
+  if st.read_only then snapshot_read t st k
+  else
+  match acquire t st st.protocol.item_read (Lock_table.Read_item k) with
+  | Lock_table.Conflict holders -> Blocked holders
+  | Lock_table.Granted ->
+    let v = Store.get t.store k in
+    st.env <- Program.observe_read st.env k v;
+    emit t (Action.read ?value:v st.tid k);
+    if st.protocol.item_read = Protocol.Short then release_short t st;
+    Progress
+
+(* Under next-key locking, an insert or delete of [k] also takes a short
+   Write lock on the next present key after [k] (or the virtual infinity
+   key): splitting or merging a gap conflicts with any scan whose
+   next-key guard covers that gap. *)
+let acquire_gap_guard t st k ~before ~after =
+  let presence_changes =
+    match (before, after) with
+    | None, Some _ | Some _, None -> true
+    | _ -> false
+  in
+  if st.protocol.phantom_guard <> Protocol.Next_key_locks || not presence_changes
+  then Lock_table.Granted
+  else
+    let gap_key =
+      Option.value ~default:infinity_key
+        (Store.next_key_geq t.store (k ^ "\x00"))
+    in
+    Lock_table.acquire t.locks ~owner:st.tid ~tag:Lock_table.Short
+      (Lock_table.Write_item { k = gap_key; before = None; after = None })
+
+let do_write t st k ~after ~kind ~cursor =
+  if st.read_only then
+    invalid_arg "Lock_engine: read-only transactions cannot write";
+  let before = Store.get t.store k in
+  match acquire_gap_guard t st k ~before ~after with
+  | Lock_table.Conflict holders -> Blocked holders
+  | Lock_table.Granted ->
+  match
+    acquire t st st.protocol.item_write (Lock_table.Write_item { k; before; after })
+  with
+  | Lock_table.Conflict holders -> Blocked holders
+  | Lock_table.Granted ->
+    Wal.append t.wal (Wal.Update { t = st.tid; k; before; after });
+    st.undo <- (k, before) :: st.undo;
+    (match after with
+    | Some v -> Store.put t.store k v
+    | None -> Store.delete t.store k);
+    let preds = affected_predicates t k ~before ~after in
+    emit t (Action.write ?value:after ~kind ~preds ~cursor st.tid k);
+    if st.protocol.item_write = Protocol.Short then release_short t st;
+    Progress
+
+(* The scan-side phantom guard. With predicate locks, one Read lock on
+   the predicate; with next-key locks (and a range predicate), Read locks
+   on every matched row plus the next key at or beyond the range's upper
+   bound, which guards the gaps a phantom insert would have to split.
+   Non-range predicates fall back to predicate locks. *)
+let acquire_scan_guard t st p rows =
+  match
+    (st.protocol.phantom_guard, Predicate.range_bounds p, st.protocol.pred_read)
+  with
+  | _, _, Protocol.No_lock -> Lock_table.Granted
+  | Protocol.Next_key_locks, Some (_, hi), duration -> (
+    let tag =
+      match duration with
+      | Protocol.Short -> Lock_table.Short
+      | Protocol.Long | Protocol.No_lock -> Lock_table.Long
+    in
+    let guard_key =
+      match hi with
+      | Some hi ->
+        Option.value ~default:infinity_key (Store.next_key_geq t.store hi)
+      | None -> infinity_key
+    in
+    let targets = List.map fst rows @ [ guard_key ] in
+    let rec lock_all = function
+      | [] -> Lock_table.Granted
+      | k :: rest -> (
+        match
+          Lock_table.acquire t.locks ~owner:st.tid ~tag (Lock_table.Read_item k)
+        with
+        | Lock_table.Granted -> lock_all rest
+        | Lock_table.Conflict _ as c -> c)
+    in
+    lock_all targets)
+  | Protocol.Next_key_locks, None, duration | Protocol.Predicate_locks, _, duration
+    ->
+    acquire t st duration (Lock_table.Read_pred p)
+
+let do_scan t st p =
+  if st.read_only then snapshot_scan t st p
+  else
+  let rows = Store.scan t.store p in
+  match acquire_scan_guard t st p rows with
+  | Lock_table.Conflict holders -> Blocked holders
+  | Lock_table.Granted ->
+    let rows = Store.scan t.store p in
+    st.env <- Program.observe_scan st.env (Predicate.name p) rows;
+    (* Only configured predicates are annotated in the trace, so scenario
+       classification is driven by the workload's declared predicates. *)
+    if List.exists (fun q -> Predicate.name q = Predicate.name p) t.predicates
+    then emit t (Action.pred_read ~keys:(List.map fst rows) st.tid (Predicate.name p));
+    if st.protocol.pred_read = Protocol.Short then release_short t st;
+    Progress
+
+let do_open_cursor t st name ~for_update p =
+  let rows0 = Store.scan t.store p in
+  match acquire_scan_guard t st p rows0 with
+  | Lock_table.Conflict holders -> Blocked holders
+  | Lock_table.Granted ->
+    let rows = Store.scan t.store p in
+    Hashtbl.replace st.cursors name
+      { remaining = rows; current = None; for_update };
+    st.env <- Program.observe_scan st.env (Predicate.name p) rows;
+    if List.exists (fun q -> Predicate.name q = Predicate.name p) t.predicates
+    then emit t (Action.pred_read ~keys:(List.map fst rows) st.tid (Predicate.name p));
+    if st.protocol.pred_read = Protocol.Short then release_short t st;
+    Progress
+
+let do_fetch t st name =
+  match Hashtbl.find_opt st.cursors name with
+  | None -> invalid_arg "Lock_engine: fetch without an open cursor"
+  | Some c -> (
+    match c.remaining with
+    | [] ->
+      (* Moving past the end releases the hold on the previous row. *)
+      if st.protocol.cursor_hold then
+        Lock_table.release t.locks ~owner:st.tid ~tag:(Lock_table.Cursor name);
+      c.current <- None;
+      Progress
+    | (k, _stale) :: rest ->
+      (* The row is re-read from the store at fetch time; the value seen at
+         open-cursor time may be stale at weak levels. A for-update fetch
+         takes a long U lock when the engine runs with update locks. *)
+      let u_mode = t.update_locks && c.for_update in
+      let tag =
+        if u_mode then Some Lock_table.Long
+        else if st.protocol.cursor_hold then Some (Lock_table.Cursor name)
+        else duration_tag st.protocol.item_read
+      in
+      let verdict =
+        match tag with
+        | None -> Lock_table.Granted
+        | Some tag ->
+          (* Cursor Stability releases the previous row's lock when the
+             cursor moves; done before acquiring the next row's lock. *)
+          if st.protocol.cursor_hold && not u_mode then
+            Lock_table.release t.locks ~owner:st.tid ~tag:(Lock_table.Cursor name);
+          Lock_table.acquire t.locks ~owner:st.tid ~tag
+            (if u_mode then Lock_table.Update_item k else Lock_table.Read_item k)
+      in
+      match verdict with
+      | Lock_table.Conflict holders -> Blocked holders
+      | Lock_table.Granted ->
+        let v = Store.get t.store k in
+        c.remaining <- rest;
+        c.current <- (match v with Some v -> Some (k, v) | None -> None);
+        st.env <- Program.observe_read st.env k v;
+        emit t (Action.read ?value:v ~cursor:true st.tid k);
+        if (not st.protocol.cursor_hold) && st.protocol.item_read = Protocol.Short
+        then release_short t st;
+        Progress)
+
+let do_cursor_write t st name expr =
+  match Hashtbl.find_opt st.cursors name with
+  | None | Some { current = None; _ } ->
+    invalid_arg "Lock_engine: cursor write without a current row"
+  | Some { current = Some (k, _); _ } ->
+    let after = Some (expr st.env) in
+    (* Write locks on the updated row are always long (Table 2). *)
+    let before = Store.get t.store k in
+    (match
+       Lock_table.acquire t.locks ~owner:st.tid ~tag:Lock_table.Long
+         (Lock_table.Write_item { k; before; after })
+     with
+    | Lock_table.Conflict holders -> Blocked holders
+    | Lock_table.Granted ->
+      Wal.append t.wal (Wal.Update { t = st.tid; k; before; after });
+      st.undo <- (k, before) :: st.undo;
+      (match after with Some v -> Store.put t.store k v | None -> ());
+      let preds = affected_predicates t k ~before ~after in
+      emit t (Action.write ?value:after ~kind:Action.Update ~preds ~cursor:true st.tid k);
+      Progress)
+
+let finish t st =
+  Lock_table.release_all t.locks ~owner:st.tid;
+  Hashtbl.reset st.cursors
+
+(* The distinct keys a transaction wrote, with their current (commit-time)
+   values — its after-image set, installed as committed versions so
+   read-only snapshots can see past states. *)
+let write_set t st =
+  List.fold_left
+    (fun acc (k, _) ->
+      if List.mem_assoc k acc then acc else (k, Store.get t.store k) :: acc)
+    [] st.undo
+
+let do_commit t st =
+  Wal.append t.wal (Wal.Commit st.tid);
+  (match write_set t st with
+  | [] -> ()
+  | writes ->
+    t.commit_ts <- t.commit_ts + 1;
+    Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.commit_ts writes);
+  st.status <- Committed;
+  finish t st;
+  emit t (Action.commit st.tid);
+  Progress
+
+let rollback t st reason =
+  (* Undo by restoring before-images, newest first, logging each restore
+     as a compensation update so crash recovery can replay it. *)
+  List.iter
+    (fun (k, before) ->
+      Wal.append t.wal
+        (Wal.Update { t = st.tid; k; before = Store.get t.store k; after = before });
+      Store.restore t.store k before)
+    st.undo;
+  st.undo <- [];
+  Wal.append t.wal (Wal.Abort st.tid);
+  st.status <- Aborted reason;
+  finish t st;
+  emit t (Action.abort st.tid)
+
+let do_abort t st reason =
+  rollback t st reason;
+  Progress
+
+(* Abort initiated from outside the program — deadlock victim. *)
+let abort_txn t tid ~reason =
+  let st = state t tid in
+  match st.status with Active -> rollback t st reason | Committed | Aborted _ -> ()
+
+let step t tid (op : Program.op) =
+  let st = state t tid in
+  match st.status with
+  | Committed | Aborted _ -> Finished
+  | Active -> (
+    match op with
+    | Program.Read k -> do_read t st k
+    | Program.Write (k, expr) ->
+      do_write t st k ~after:(Some (expr st.env)) ~kind:Action.Update ~cursor:false
+    | Program.Insert (k, expr) ->
+      do_write t st k ~after:(Some (expr st.env)) ~kind:Action.Insert ~cursor:false
+    | Program.Delete k ->
+      do_write t st k ~after:None ~kind:Action.Delete ~cursor:false
+    | Program.Scan p -> do_scan t st p
+    | Program.Open_cursor { cursor; pred; for_update } ->
+      do_open_cursor t st cursor ~for_update pred
+    | Program.Fetch c -> do_fetch t st c
+    | Program.Cursor_write (c, expr) -> do_cursor_write t st c expr
+    | Program.Close_cursor c ->
+      if st.protocol.cursor_hold then
+        Lock_table.release t.locks ~owner:st.tid ~tag:(Lock_table.Cursor c);
+      Hashtbl.remove st.cursors c;
+      Progress
+    | Program.Commit -> do_commit t st
+    | Program.Abort -> do_abort t st User_abort)
+
+let final_state t = Store.to_list t.store
+let wal t = t.wal
+let store t = t.store
+let lock_events t = Lock_table.events t.locks

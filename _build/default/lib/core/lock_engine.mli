@@ -1,0 +1,47 @@
+(** The locking scheduler: transaction programs over a single-version
+    store under the lock protocols of Table 2, with per-transaction
+    isolation levels, WAL logging and before-image rollback.
+
+    Prefer the level-agnostic {!Engine} front end; this module is exposed
+    for tests and for direct access to the WAL and store. *)
+
+module Action = History.Action
+
+type txn = Action.txn
+type key = Action.key
+type value = Action.value
+
+type abort_reason = User_abort | Deadlock_victim
+type status = Active | Committed | Aborted of abort_reason
+type step_outcome = Progress | Blocked of txn list | Finished
+
+type t
+
+val create :
+  initial:(key * value) list ->
+  predicates:Storage.Predicate.t list ->
+  ?next_key_locking:bool ->
+  ?update_locks:bool ->
+  unit ->
+  t
+(** [next_key_locking] swaps the predicate-lock phantom guard for
+    ARIES/KVL-style next-key locking on range predicates. [update_locks]
+    makes for-update fetches take long U locks, trading upgrade deadlocks
+    for blocking. *)
+
+val begin_txn : ?read_only:bool -> t -> txn -> level:Isolation.Level.t -> unit
+(** [read_only] runs the transaction by the Multiversion Mixed Method
+    ([BHG]): lock-free reads of the committed snapshot as of begin; its
+    writes raise. @raise Invalid_argument for multiversion levels. *)
+
+val status : t -> txn -> status
+val env : t -> txn -> Program.env
+val step : t -> txn -> Program.op -> step_outcome
+val abort_txn : t -> txn -> reason:abort_reason -> unit
+val trace : t -> History.t
+val final_state : t -> (key * value) list
+val wal : t -> Storage.Wal.t
+val store : t -> Storage.Store.t
+
+val lock_events : t -> Locking.Lock_table.event list
+(** The lock table's audit log, for discipline analysis. *)

@@ -1,0 +1,67 @@
+(** The multiversion engine: Snapshot Isolation with First-Committer-Wins
+    (§4.2), its First-Updater-Wins ablation, and Oracle Read Consistency
+    (§4.3, per-statement snapshots with first-writer-wins write locks).
+
+    Prefer the level-agnostic {!Engine} front end; this module is exposed
+    for tests and for direct access to the version store. *)
+
+module Action = History.Action
+
+type txn = Action.txn
+type key = Action.key
+type value = Action.value
+
+type mv_level =
+  | Snapshot_isolation
+  | Read_consistency
+  | Serializable_snapshot
+      (** SI plus commit-time read validation (conservative SSI) *)
+
+type abort_reason =
+  | User_abort
+  | Deadlock_victim
+  | First_committer_wins
+  | First_updater_wins
+  | Serialization_failure
+      (** commit-time read validation failed (Serializable SI) *)
+
+type status = Active | Committed | Aborted of abort_reason
+type step_outcome = Progress | Blocked of txn list | Finished
+
+type t
+
+val create :
+  initial:(key * value) list ->
+  predicates:Storage.Predicate.t list ->
+  ?first_updater_wins:bool ->
+  unit ->
+  t
+
+val begin_txn : ?read_only:bool -> t -> txn -> level:mv_level -> unit
+(** Takes the snapshot (Start-Timestamp) now. [read_only] transactions'
+    writes raise. *)
+
+val begin_txn_at : t -> txn -> level:mv_level -> start_ts:Storage.Version_store.ts -> unit
+(** Time travel (§4.2): begin with an explicit old Start-Timestamp. *)
+
+val is_read_only : t -> txn -> bool
+
+val status : t -> txn -> status
+val env : t -> txn -> Program.env
+val step : t -> txn -> Program.op -> step_outcome
+val abort_txn : t -> txn -> reason:abort_reason -> unit
+val trace : t -> History.t
+val final_state : t -> (key * value) list
+val version_store : t -> Storage.Version_store.t
+val now : t -> Storage.Version_store.ts
+(** The last commit timestamp issued. *)
+
+val oldest_active_snapshot : t -> Storage.Version_store.ts
+(** The oldest Start-Timestamp among active transactions (or the current
+    timestamp when none are active). *)
+
+val vacuum : t -> int
+(** Version garbage collection: discard versions no active or future
+    snapshot can observe; returns how many versions were dropped.
+    Explicit time-travel reads older than the oldest active snapshot are
+    no longer served correctly after a vacuum. *)

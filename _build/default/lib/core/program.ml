@@ -1,0 +1,97 @@
+(* Transaction programs: the scripted form of the transactions the paper's
+   histories interleave. A program is a straight-line sequence of database
+   operations; computed values are expressions over the transaction's own
+   earlier reads, so a bank transfer reads a balance and writes a function
+   of what it read — exactly what makes lost updates and skew observable. *)
+
+type key = History.Action.key
+type value = History.Action.value
+
+(* What a transaction has observed so far. Most recent observations
+   first. *)
+type env = {
+  reads : (key * value option) list;
+  scans : (string * (key * value) list) list;
+}
+
+let empty_env = { reads = []; scans = [] }
+
+let observe_read env k v = { env with reads = (k, v) :: env.reads }
+let observe_scan env name rows = { env with scans = (name, rows) :: env.scans }
+
+(* The most recent read of [k]; raises if the program never read it. *)
+let read_result env k =
+  match List.assoc_opt k env.reads with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "Program.read_result: %s was never read" k)
+
+let value_of env k =
+  match read_result env k with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "Program.value_of: %s read as absent" k)
+
+let value_or env k ~default =
+  match List.assoc_opt k env.reads with
+  | Some (Some v) -> v
+  | Some None | None -> default
+
+let scan_rows env name =
+  match List.assoc_opt name env.scans with
+  | Some rows -> rows
+  | None -> invalid_arg (Fmt.str "Program.scan_rows: %s was never scanned" name)
+
+let scan_count env name = List.length (scan_rows env name)
+let scan_sum env name = List.fold_left (fun acc (_, v) -> acc + v) 0 (scan_rows env name)
+
+type expr = env -> value
+
+let const n : expr = fun _ -> n
+let read_plus k n : expr = fun env -> value_of env k + n
+let read_value k : expr = fun env -> value_of env k
+
+type op =
+  | Read of key
+  | Write of key * expr
+  | Insert of key * expr
+  | Delete of key
+  | Scan of Storage.Predicate.t
+  | Open_cursor of { cursor : string; pred : Storage.Predicate.t; for_update : bool }
+  | Fetch of string
+  | Cursor_write of string * expr
+  | Close_cursor of string
+  | Commit
+  | Abort
+
+let pp_op ppf = function
+  | Read k -> Fmt.pf ppf "read %s" k
+  | Write (k, _) -> Fmt.pf ppf "write %s" k
+  | Insert (k, _) -> Fmt.pf ppf "insert %s" k
+  | Delete k -> Fmt.pf ppf "delete %s" k
+  | Scan p -> Fmt.pf ppf "scan %a" Storage.Predicate.pp p
+  | Open_cursor { cursor; pred; for_update } ->
+    Fmt.pf ppf "open cursor %s on %a%s" cursor Storage.Predicate.pp pred
+      (if for_update then " for update" else "")
+  | Fetch c -> Fmt.pf ppf "fetch %s" c
+  | Cursor_write (c, _) -> Fmt.pf ppf "update current of cursor %s" c
+  | Close_cursor c -> Fmt.pf ppf "close cursor %s" c
+  | Commit -> Fmt.string ppf "commit"
+  | Abort -> Fmt.string ppf "abort"
+
+type t = {
+  name : string;
+  ops : op list;
+}
+
+let make ?(name = "txn") ops = { name; ops }
+
+let length p = List.length p.ops
+
+(* Ensure the program terminates explicitly; used by the executor to
+   auto-commit programs that fall off the end. *)
+let terminated p =
+  match List.rev p.ops with
+  | (Commit | Abort) :: _ -> true
+  | _ -> false
+
+let pp ppf p =
+  Fmt.pf ppf "%s: %a" p.name Fmt.(list ~sep:(any "; ") pp_op) p.ops

@@ -1,0 +1,70 @@
+(** Transaction programs: scripted transactions whose interleavings the
+    engines execute. Computed values are expressions over the
+    transaction's own earlier reads, which is what makes lost updates and
+    skew observable. *)
+
+type key = History.Action.key
+type value = History.Action.value
+
+(** What a transaction has observed so far (most recent first). *)
+type env = {
+  reads : (key * value option) list;
+  scans : (string * (key * value) list) list;
+}
+
+val empty_env : env
+val observe_read : env -> key -> value option -> env
+val observe_scan : env -> string -> (key * value) list -> env
+
+val read_result : env -> key -> value option
+(** Most recent read of the key. @raise Invalid_argument if never read. *)
+
+val value_of : env -> key -> value
+(** @raise Invalid_argument if never read or read as absent. *)
+
+val value_or : env -> key -> default:value -> value
+
+val scan_rows : env -> string -> (key * value) list
+(** Most recent scan of the named predicate.
+    @raise Invalid_argument if never scanned. *)
+
+val scan_count : env -> string -> int
+val scan_sum : env -> string -> value
+
+type expr = env -> value
+
+val const : value -> expr
+val read_plus : key -> value -> expr
+(** The value last read for the key, plus a constant — bank-transfer
+    arithmetic. *)
+
+val read_value : key -> expr
+
+type op =
+  | Read of key
+  | Write of key * expr
+  | Insert of key * expr
+  | Delete of key
+  | Scan of Storage.Predicate.t
+  | Open_cursor of { cursor : string; pred : Storage.Predicate.t; for_update : bool }
+      (** open a named cursor; [for_update] makes fetches take Write locks
+          under Oracle Read Consistency (updatable cursors), and is ignored
+          by the locking engine, whose cursor locking is fixed by the
+          protocol *)
+  | Fetch of string         (** advance the cursor and read (the paper's rc) *)
+  | Cursor_write of string * expr  (** update the current row (the paper's wc) *)
+  | Close_cursor of string
+  | Commit
+  | Abort
+
+val pp_op : op Fmt.t
+
+type t = { name : string; ops : op list }
+
+val make : ?name:string -> op list -> t
+val length : t -> int
+
+val terminated : t -> bool
+(** Does the program end in an explicit Commit or Abort? *)
+
+val pp : t Fmt.t

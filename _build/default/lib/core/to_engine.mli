@@ -1,0 +1,40 @@
+(** Strict timestamp-ordering scheduler ([BHG] Chapter 4): the classic
+    lock-free serializable implementation the ANSI phenomena-based
+    definitions were meant to admit (§2.2). Conflicts surface as
+    [Too_late] aborts (younger transactions win items they touched
+    first); strict reads wait behind uncommitted writers, and waits only
+    ever point from younger to older, so deadlock is impossible.
+
+    Phantom safety relies on a virtual membership item written by
+    inserts, deletes and membership-changing updates of the configured
+    predicates; declare the predicates the workload scans.
+
+    Prefer the level-agnostic {!Engine} front end. *)
+
+module Action = History.Action
+
+type txn = Action.txn
+type key = Action.key
+type value = Action.value
+
+type abort_reason = User_abort | Deadlock_victim | Too_late
+type status = Active | Committed | Aborted of abort_reason
+type step_outcome = Progress | Blocked of txn list | Finished
+
+type t
+
+val create :
+  initial:(key * value) list ->
+  predicates:Storage.Predicate.t list ->
+  unit ->
+  t
+
+val begin_txn : t -> txn -> unit
+(** Assigns the transaction's (monotonic) timestamp. *)
+
+val status : t -> txn -> status
+val env : t -> txn -> Program.env
+val step : t -> txn -> Program.op -> step_outcome
+val abort_txn : t -> txn -> reason:abort_reason -> unit
+val trace : t -> History.t
+val final_state : t -> (key * value) list

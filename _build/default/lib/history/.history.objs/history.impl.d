@@ -1,0 +1,1 @@
+lib/history/history.ml: Action Conflict Digraph Hist Mv Parser Recoverability View

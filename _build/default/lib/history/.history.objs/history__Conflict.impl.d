@@ -1,0 +1,1 @@
+lib/history/conflict.ml: Action Array Buffer Digraph Fmt Hist List Option

@@ -1,0 +1,1 @@
+lib/history/conflict.mli: Action Digraph Fmt Hist

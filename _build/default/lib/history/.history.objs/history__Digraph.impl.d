@@ -1,0 +1,1 @@
+lib/history/digraph.ml: Hashtbl Int List Map Option Set

@@ -1,0 +1,1 @@
+lib/history/hist.ml: Action Fmt Hashtbl List Parser

@@ -1,0 +1,1 @@
+lib/history/hist.mli: Action Fmt

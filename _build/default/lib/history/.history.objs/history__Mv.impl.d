@@ -1,0 +1,1 @@
+lib/history/mv.ml: Action Array Digraph Hashtbl Hist List Option

@@ -1,0 +1,1 @@
+lib/history/mv.mli: Action Digraph Hist

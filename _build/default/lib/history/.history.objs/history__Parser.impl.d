@@ -1,0 +1,1 @@
+lib/history/parser.ml: Action Fmt List String

@@ -1,0 +1,1 @@
+lib/history/parser.mli: Action Fmt

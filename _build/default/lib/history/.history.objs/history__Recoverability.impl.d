@@ -1,0 +1,1 @@
+lib/history/recoverability.ml: Action Array Fmt Hist List

@@ -1,0 +1,1 @@
+lib/history/recoverability.mli: Action Fmt Hist

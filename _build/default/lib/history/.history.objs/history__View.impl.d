@@ -1,0 +1,1 @@
+lib/history/view.ml: Action Conflict Fmt Hist List

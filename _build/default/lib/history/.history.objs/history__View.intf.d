@@ -1,0 +1,1 @@
+lib/history/view.mli: Action Hist

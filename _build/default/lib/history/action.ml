@@ -1,0 +1,116 @@
+(* Actions of transaction histories, in the paper's vocabulary (§2.2):
+   reads, writes (inserts, updates, deletes), predicate reads, cursor reads
+   and writes, commits and aborts. The printer emits the paper's shorthand
+   notation ("w1[x] r2[x=50] r1[P] w2[y in P] rc1[x] c1 a2"). *)
+
+type txn = int
+type key = string
+type value = int
+
+(* Versions identify the transaction that wrote them; version 0 denotes the
+   initial (pre-history) database state, matching the paper's "x0". *)
+type version = int
+
+type write_kind = Update | Insert | Delete
+
+type read = {
+  rt : txn;
+  rk : key;
+  rver : version option; (* explicit version, for multiversion histories *)
+  rval : value option;   (* observed value, when recorded *)
+  rcursor : bool;        (* read through a cursor: the paper's "rc" *)
+}
+
+type write = {
+  wt : txn;
+  wk : key;
+  wver : version option;
+  wval : value option;   (* value written, when recorded *)
+  wkind : write_kind;
+  wpreds : string list;  (* names of predicates this write affects *)
+  wcursor : bool;        (* write through a cursor: the paper's "wc" *)
+}
+
+type pred_read = {
+  pt : txn;
+  pname : string;
+  pkeys : key list;      (* data items matched by the predicate when read *)
+}
+
+type t =
+  | Read of read
+  | Write of write
+  | Pred_read of pred_read
+  | Commit of txn
+  | Abort of txn
+
+let read ?ver ?value ?(cursor = false) t k =
+  Read { rt = t; rk = k; rver = ver; rval = value; rcursor = cursor }
+
+let write ?ver ?value ?(kind = Update) ?(preds = []) ?(cursor = false) t k =
+  Write
+    { wt = t; wk = k; wver = ver; wval = value; wkind = kind; wpreds = preds;
+      wcursor = cursor }
+
+let pred_read ?(keys = []) t name = Pred_read { pt = t; pname = name; pkeys = keys }
+let commit t = Commit t
+let abort t = Abort t
+
+let txn = function
+  | Read r -> r.rt
+  | Write w -> w.wt
+  | Pred_read p -> p.pt
+  | Commit t | Abort t -> t
+
+let is_termination = function Commit _ | Abort _ -> true | _ -> false
+
+let key = function
+  | Read r -> Some r.rk
+  | Write w -> Some w.wk
+  | Pred_read _ | Commit _ | Abort _ -> None
+
+(* Two actions conflict if they are by distinct transactions, touch the same
+   data item (or a predicate covering the item), and at least one is a write
+   (§2.1). Predicate reads conflict with writes that affect the predicate:
+   either the write declares the predicate in [wpreds], or its key is among
+   the items the predicate matched when it was read. *)
+let conflicts a b =
+  if txn a = txn b then false
+  else
+    let write_vs_pred (w : write) (p : pred_read) =
+      List.mem p.pname w.wpreds || List.mem w.wk p.pkeys
+    in
+    match (a, b) with
+    | Write w1, Write w2 -> w1.wk = w2.wk
+    | Write w, Read r | Read r, Write w -> w.wk = r.rk
+    | Write w, Pred_read p | Pred_read p, Write w -> write_vs_pred w p
+    | Read _, Read _ | Read _, Pred_read _ | Pred_read _, Read _
+    | Pred_read _, Pred_read _ ->
+      false
+    | (Commit _ | Abort _), _ | _, (Commit _ | Abort _) -> false
+
+let pp_value_part ppf (ver, value) =
+  (match ver with None -> () | Some v -> Fmt.pf ppf "%d" v);
+  match value with None -> () | Some v -> Fmt.pf ppf "=%d" v
+
+let pp ppf = function
+  | Read r ->
+    Fmt.pf ppf "r%s%d[%s%a]" (if r.rcursor then "c" else "") r.rt r.rk
+      pp_value_part (r.rver, r.rval)
+  | Write w -> (
+    let prefix = if w.wcursor then "wc" else "w" in
+    match (w.wkind, w.wpreds) with
+    | Insert, p :: _ -> Fmt.pf ppf "%s%d[insert %s to %s]" prefix w.wt w.wk p
+    | Delete, p :: _ -> Fmt.pf ppf "%s%d[delete %s from %s]" prefix w.wt w.wk p
+    | Update, p :: _ -> Fmt.pf ppf "%s%d[%s in %s]" prefix w.wt w.wk p
+    | (Insert | Delete | Update), [] ->
+      Fmt.pf ppf "%s%d[%s%a]" prefix w.wt w.wk pp_value_part (w.wver, w.wval))
+  | Pred_read p ->
+    if p.pkeys = [] then Fmt.pf ppf "r%d[%s]" p.pt p.pname
+    else Fmt.pf ppf "r%d[%s:{%s}]" p.pt p.pname (String.concat "," p.pkeys)
+  | Commit t -> Fmt.pf ppf "c%d" t
+  | Abort t -> Fmt.pf ppf "a%d" t
+
+let to_string = Fmt.to_to_string pp
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,92 @@
+(** Actions of transaction histories, in the paper's vocabulary (§2.2).
+
+    An action is a read, a write (covering inserts, updates and deletes), a
+    predicate read (the paper's [r1[P]]), or a transaction termination
+    (commit / abort). Cursor reads and writes ([rc1[x]], [wc1[x]], §4.1) are
+    reads/writes flagged as going through a cursor. *)
+
+type txn = int
+(** Transaction identifiers; the paper's subscripts ([r1], [w2], ...). *)
+
+type key = string
+(** Data items. The paper's broad interpretation — a row, a page, a table —
+    is represented uniformly as a named item. *)
+
+type value = int
+
+type version = int
+(** Versions are identified by the transaction that wrote them; version [0]
+    is the initial database state, matching the paper's [x0]. *)
+
+type write_kind = Update | Insert | Delete
+
+type read = {
+  rt : txn;
+  rk : key;
+  rver : version option;  (** explicit version, for multiversion histories *)
+  rval : value option;    (** observed value, when recorded *)
+  rcursor : bool;         (** read through a cursor: the paper's [rc] *)
+}
+
+type write = {
+  wt : txn;
+  wk : key;
+  wver : version option;
+  wval : value option;    (** value written, when recorded *)
+  wkind : write_kind;
+  wpreds : string list;   (** names of predicates this write affects *)
+  wcursor : bool;         (** write through a cursor: the paper's [wc] *)
+}
+
+type pred_read = {
+  pt : txn;
+  pname : string;
+  pkeys : key list;       (** data items matched when the predicate was read *)
+}
+
+type t =
+  | Read of read
+  | Write of write
+  | Pred_read of pred_read
+  | Commit of txn
+  | Abort of txn
+
+(** {1 Constructors} *)
+
+val read : ?ver:version -> ?value:value -> ?cursor:bool -> txn -> key -> t
+
+val write :
+  ?ver:version ->
+  ?value:value ->
+  ?kind:write_kind ->
+  ?preds:string list ->
+  ?cursor:bool ->
+  txn ->
+  key ->
+  t
+
+val pred_read : ?keys:key list -> txn -> string -> t
+val commit : txn -> t
+val abort : txn -> t
+
+(** {1 Accessors} *)
+
+val txn : t -> txn
+val is_termination : t -> bool
+
+val key : t -> key option
+(** The data item touched, if any ([None] for predicate reads and
+    terminations). *)
+
+val conflicts : t -> t -> bool
+(** [conflicts a b] per §2.1: distinct transactions, same data item (or a
+    predicate covering the item), at least one write. Symmetric. *)
+
+(** {1 Printing} *)
+
+val pp : t Fmt.t
+(** Prints the paper's shorthand: [r1[x]], [w1[x1=10]], [r1[P]],
+    [w2[insert y to P]], [rc1[x]], [c1], [a1]. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,134 @@
+(* Directed graphs over integer-identified nodes, with the algorithms the
+   rest of the library needs: cycle detection with an explicit witness,
+   topological sort, and Tarjan's strongly-connected components. *)
+
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+type t = {
+  mutable nodes : Int_set.t;
+  mutable succs : Int_set.t Int_map.t;
+}
+
+let create () = { nodes = Int_set.empty; succs = Int_map.empty }
+
+let add_node g n = g.nodes <- Int_set.add n g.nodes
+
+let add_edge g a b =
+  add_node g a;
+  add_node g b;
+  let cur =
+    match Int_map.find_opt a g.succs with
+    | Some s -> s
+    | None -> Int_set.empty
+  in
+  g.succs <- Int_map.add a (Int_set.add b cur) g.succs
+
+let mem_edge g a b =
+  match Int_map.find_opt a g.succs with
+  | Some s -> Int_set.mem b s
+  | None -> false
+
+let nodes g = Int_set.elements g.nodes
+
+let succs g n =
+  match Int_map.find_opt n g.succs with
+  | Some s -> Int_set.elements s
+  | None -> []
+
+let edges g =
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) (succs g a)) (nodes g)
+
+(* Depth-first search retaining the path, so a back edge yields the cycle
+   itself rather than just its existence. *)
+let find_cycle g =
+  let state = Hashtbl.create 16 in
+  (* state: 0 = unvisited (absent), 1 = on stack, 2 = done *)
+  let rec dfs path n =
+    match Hashtbl.find_opt state n with
+    | Some 2 -> None
+    | Some 1 ->
+      (* [path] is most-recent-first; the cycle is n :: ... back to n. *)
+      let rec take acc = function
+        | [] -> acc
+        | x :: rest -> if x = n then x :: acc else take (x :: acc) rest
+      in
+      Some (take [] path)
+    | Some _ | None ->
+      Hashtbl.replace state n 1;
+      let rec loop = function
+        | [] ->
+          Hashtbl.replace state n 2;
+          None
+        | s :: rest -> (
+          match dfs (n :: path) s with
+          | Some _ as c -> c
+          | None -> loop rest)
+      in
+      loop (succs g n)
+  in
+  let rec scan = function
+    | [] -> None
+    | n :: rest -> (
+      match dfs [] n with Some _ as c -> c | None -> scan rest)
+  in
+  scan (nodes g)
+
+let is_acyclic g = Option.is_none (find_cycle g)
+
+let topological_sort g =
+  match find_cycle g with
+  | Some _ -> None
+  | None ->
+    let visited = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec dfs n =
+      if not (Hashtbl.mem visited n) then begin
+        Hashtbl.replace visited n ();
+        List.iter dfs (succs g n);
+        order := n :: !order
+      end
+    in
+    List.iter dfs (nodes g);
+    Some !order
+
+(* Tarjan's algorithm. Returns components in reverse topological order of
+   the condensation. *)
+let sccs g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes g);
+  !components

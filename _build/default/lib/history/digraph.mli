@@ -1,0 +1,34 @@
+(** Directed graphs over [int] nodes: cycle detection with witness,
+    topological sort, strongly-connected components.
+
+    Used for dependency graphs of histories (serializability testing) and
+    for waits-for graphs (deadlock detection). *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> int -> unit
+val add_edge : t -> int -> int -> unit
+val mem_edge : t -> int -> int -> bool
+
+val nodes : t -> int list
+(** All nodes, sorted ascending. *)
+
+val succs : t -> int -> int list
+(** Successors of a node, sorted ascending. *)
+
+val edges : t -> (int * int) list
+(** All edges [(src, dst)]. *)
+
+val find_cycle : t -> int list option
+(** [find_cycle g] is [Some [n1; ...; nk]] where [n1 -> ... -> nk -> n1] is a
+    cycle in [g], or [None] if [g] is acyclic. *)
+
+val is_acyclic : t -> bool
+
+val topological_sort : t -> int list option
+(** A topological order of the nodes, or [None] if the graph is cyclic. *)
+
+val sccs : t -> int list list
+(** Strongly-connected components, in reverse topological order of the
+    condensation. *)

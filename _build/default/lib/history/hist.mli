@@ -1,0 +1,37 @@
+(** Histories: linear orderings of the actions of a set of transactions
+    (§2.1 of the paper). *)
+
+type t = Action.t list
+
+val of_string : string -> t
+(** Parse the paper's shorthand notation. @raise Invalid_argument on
+    malformed input; see {!Parser.parse} for a non-raising variant. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val txns : t -> Action.txn list
+(** Distinct transactions appearing in the history, ascending. *)
+
+val committed : t -> Action.txn list
+val aborted : t -> Action.txn list
+
+val active : t -> Action.txn list
+(** Transactions with no commit or abort in the history. *)
+
+val is_complete : t -> bool
+(** Every transaction has terminated. *)
+
+val actions_of : Action.txn -> t -> Action.t list
+val project : Action.txn list -> t -> t
+val project_committed : t -> t
+
+val well_formed : t -> (unit, string) result
+(** Every transaction terminates at most once and performs no action after
+    terminating. *)
+
+val positions : t -> (int * Action.t) list
+(** Actions paired with their 0-based position. *)
+
+val termination_pos : t -> Action.txn -> int option
+val keys : t -> Action.key list

@@ -1,0 +1,201 @@
+(* Parser for the paper's shorthand history notation, so that the paper's
+   example histories can be transcribed verbatim:
+
+     H1: r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1
+     H3: r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1
+     H1.SI: r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1
+     P4C: rc1[x]...w2[x]...w1[x]...c1
+
+   Tokens are actions; whitespace and the paper's ellipses ("...") separate
+   them, but actions may also abut ("...c2 r1[y=50]" vs "c2r1[y=50]" both
+   parse). Item names are lowercase identifiers; trailing digits denote a
+   version (x0, y1). Predicate names begin with an uppercase letter and may
+   list their matched items as P:{x,y}. *)
+
+type error = { position : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "at offset %d: %s" e.position e.message
+
+exception Fail of error
+
+let fail pos fmt = Fmt.kstr (fun message -> raise (Fail { position = pos; message })) fmt
+
+type cursor = { input : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_digit = function '0' .. '9' -> true | _ -> false
+let is_lower = function 'a' .. 'z' | '_' -> true | _ -> false
+let is_upper = function 'A' .. 'Z' -> true | _ -> false
+let is_ident ch = is_lower ch || is_upper ch || is_digit ch
+
+(* Skip whitespace and the ellipsis separators used throughout the paper. *)
+let skip_separators c =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some ch when is_space ch -> advance c
+    | Some '.' -> advance c
+    | Some ',' -> advance c
+    | _ -> continue := false
+  done
+
+let take_while c pred =
+  let start = c.pos in
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some ch when pred ch -> advance c
+    | _ -> continue := false
+  done;
+  String.sub c.input start (c.pos - start)
+
+let parse_int c =
+  let neg = peek c = Some '-' in
+  if neg then advance c;
+  let digits = take_while c is_digit in
+  if digits = "" then fail c.pos "expected an integer"
+  else
+    let n = int_of_string digits in
+    if neg then -n else n
+
+let parse_txn c =
+  let digits = take_while c is_digit in
+  if digits = "" then fail c.pos "expected a transaction number"
+  else int_of_string digits
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> advance c
+  | Some got -> fail c.pos "expected '%c' but found '%c'" ch got
+  | None -> fail c.pos "expected '%c' but found end of input" ch
+
+(* An item reference: lowercase name with optional trailing version digits
+   and optional "=value" — e.g. "x", "x=50", "x0=50", "y1=-40". *)
+let parse_item_ref c =
+  let name = take_while c (fun ch -> is_lower ch) in
+  if name = "" then fail c.pos "expected an item name";
+  let ver =
+    let digits = take_while c is_digit in
+    if digits = "" then None else Some (int_of_string digits)
+  in
+  let value =
+    match peek c with
+    | Some '=' ->
+      advance c;
+      Some (parse_int c)
+    | _ -> None
+  in
+  (name, ver, value)
+
+let parse_word c = take_while c (fun ch -> is_lower ch)
+
+(* Contents of a read's brackets: item reference, or predicate name with an
+   optional ":{k1,k2}" list of matched items. *)
+let parse_read_body c t ~cursor =
+  match peek c with
+  | Some ch when is_upper ch ->
+    let pname = take_while c is_ident in
+    let keys =
+      match peek c with
+      | Some ':' ->
+        advance c;
+        expect c '{';
+        let rec items acc =
+          let name = take_while c (fun ch2 -> is_lower ch2 || is_digit ch2) in
+          if name = "" then fail c.pos "expected an item name in predicate key list";
+          match peek c with
+          | Some ',' ->
+            advance c;
+            items (name :: acc)
+          | Some '}' ->
+            advance c;
+            List.rev (name :: acc)
+          | _ -> fail c.pos "expected ',' or '}' in predicate key list"
+        in
+        items []
+      | _ -> []
+    in
+    if cursor then fail c.pos "cursor reads apply to items, not predicates";
+    Action.pred_read ~keys t pname
+  | _ ->
+    let name, ver, value = parse_item_ref c in
+    Action.read ?ver ?value ~cursor t name
+
+(* Contents of a write's brackets:
+     "x", "x=10", "x1=10", "y in P", "insert y to P", "delete y from P",
+     "insert y", "delete y". *)
+let parse_write_body c t ~cursor =
+  let start = c.pos in
+  let word = parse_word c in
+  let kind, name, ver, value =
+    match word with
+    | "insert" | "delete" ->
+      skip_separators c;
+      let name, ver, value = parse_item_ref c in
+      ((if word = "insert" then Action.Insert else Action.Delete), name, ver, value)
+    | "" -> fail c.pos "expected an item name or insert/delete"
+    | _ ->
+      (* [word] was the item name; re-parse from [start] for version/value. *)
+      c.pos <- start;
+      let name, ver, value = parse_item_ref c in
+      (Action.Update, name, ver, value)
+  in
+  skip_separators c;
+  let preds =
+    (* Optional "in P" / "to P" / "from P" connective naming the predicate. *)
+    let save = c.pos in
+    let connective = parse_word c in
+    match connective with
+    | "in" | "to" | "from" -> (
+      skip_separators c;
+      match peek c with
+      | Some ch when is_upper ch -> [ take_while c is_ident ]
+      | _ -> fail c.pos "expected a predicate name after '%s'" connective)
+    | _ ->
+      c.pos <- save;
+      []
+  in
+  Action.write ?ver ?value ~kind ~preds ~cursor t name
+
+let parse_action c =
+  match peek c with
+  | Some 'c' ->
+    advance c;
+    Action.commit (parse_txn c)
+  | Some 'a' ->
+    advance c;
+    Action.abort (parse_txn c)
+  | Some ('r' | 'w') ->
+    let is_read = peek c = Some 'r' in
+    advance c;
+    let cursor = peek c = Some 'c' in
+    if cursor then advance c;
+    let t = parse_txn c in
+    expect c '[';
+    let action =
+      if is_read then parse_read_body c t ~cursor else parse_write_body c t ~cursor
+    in
+    expect c ']';
+    action
+  | Some ch -> fail c.pos "unexpected character '%c'" ch
+  | None -> fail c.pos "unexpected end of input"
+
+let parse input =
+  let c = { input; pos = 0 } in
+  let rec loop acc =
+    skip_separators c;
+    if c.pos >= String.length input then Ok (List.rev acc)
+    else
+      match parse_action c with
+      | action -> loop (action :: acc)
+      | exception Fail e -> Error e
+  in
+  loop []
+
+let parse_exn input =
+  match parse input with
+  | Ok actions -> actions
+  | Error e -> invalid_arg (Fmt.str "Parser.parse_exn: %a" pp_error e)

@@ -1,0 +1,18 @@
+(** Parser for the paper's shorthand history notation.
+
+    Accepts the paper's histories verbatim, e.g.
+    [H1: r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1] (without the
+    label), multiversion subscripts ([r1[x0=50] w1[x1=10]]), predicate reads
+    ([r1[P]], [r1[P:{e1,e2}]]), predicate-affecting writes
+    ([w2[y in P]], [w2[insert y to P]], [w2[delete y from P]]), cursor
+    actions ([rc1[x]], [wc1[x]]), and terminations ([c1], [a1]). Whitespace,
+    commas and ellipses ([...]) separate actions. Item names are lowercase
+    identifiers; trailing digits denote versions. *)
+
+type error = { position : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Action.t list, error) result
+val parse_exn : string -> Action.t list
+(** @raise Invalid_argument on malformed input. *)

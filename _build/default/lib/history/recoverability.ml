@@ -1,0 +1,142 @@
+(* The classical recoverability hierarchy ([BHG] §1.3, Gray-Reuter):
+
+     strict  <  avoids-cascading-aborts (ACA)  <  recoverable
+
+   This is the other face of the paper's §3 argument. Prohibiting P1
+   (dirty reads) is exactly what makes histories avoid cascading aborts;
+   prohibiting P0 and P1 together is exactly strictness, which is what
+   lets recovery undo transactions by restoring before-images — the
+   paper's "even the weakest locking systems hold long duration write
+   locks; otherwise their recovery systems would fail".
+
+   Definitions over a history h (aborted transactions included; that is
+   the point):
+
+   - Tj *reads from* Ti when Tj reads a value whose last writer before the
+     read is Ti (Ti <> Tj, Ti not yet undone at the read).
+   - h is RECOVERABLE when, whenever Tj reads from Ti and Tj commits, Ti
+     committed before Tj.
+   - h AVOIDS CASCADING ABORTS when every read is from a transaction that
+     had already committed at the time of the read (or from the reader).
+   - h is STRICT when no item is read or overwritten — and no predicate
+     evaluated over an affecting write — while the earlier writer is still
+     active. (Extending strictness to predicate reads matches the broad
+     reading of "data item" the detectors use for P1.) *)
+
+(* The last writer of [k] before position [pos] that was still "standing"
+   (not aborted before [pos]); None when the value is the initial one. *)
+let last_writer_before h pos k =
+  let arr = Array.of_list h in
+  let aborted_before p t =
+    let rec scan i = function
+      | [] -> false
+      | Action.Abort t' :: _ when t' = t && i < p -> true
+      | _ :: rest -> scan (i + 1) rest
+    in
+    scan 0 h
+  in
+  let writer = ref None in
+  for i = 0 to pos - 1 do
+    match arr.(i) with
+    | Action.Write w when w.wk = k ->
+      if not (aborted_before pos w.wt) then writer := Some w.wt
+    | _ -> ()
+  done;
+  !writer
+
+(* The reads-from relation over the raw history (uncommitted writers
+   included), as (reader, key, writer, read position). *)
+let reads_from h =
+  List.concat
+    (List.mapi
+       (fun pos a ->
+         match a with
+         | Action.Read r -> (
+           match last_writer_before h pos r.rk with
+           | Some w when w <> r.rt -> [ (r.rt, r.rk, w, pos) ]
+           | _ -> [])
+         | _ -> [])
+       h)
+
+let committed_before h pos t =
+  match Hist.termination_pos h t with
+  | Some p -> p < pos && List.mem t (Hist.committed h)
+  | None -> false
+
+let is_recoverable h =
+  List.for_all
+    (fun (reader, _, writer, _) ->
+      if not (List.mem reader (Hist.committed h)) then true
+      else
+        match (Hist.termination_pos h writer, Hist.termination_pos h reader) with
+        | Some wp, Some rp -> List.mem writer (Hist.committed h) && wp < rp
+        | _ -> false)
+    (reads_from h)
+
+let avoids_cascading_aborts h =
+  List.for_all
+    (fun (_, _, writer, pos) -> committed_before h pos writer)
+    (reads_from h)
+
+(* Strictness: every read or write of [k] at position [pos] requires the
+   previous writer of [k] (if any, other than the acting transaction) to
+   have terminated before [pos]. *)
+let is_strict h =
+  let arr = Array.of_list h in
+  let ok = ref true in
+  Array.iteri
+    (fun pos a ->
+      let check t k =
+        (* the last write of k before pos by another transaction, whether
+           or not since aborted *)
+        let prev = ref None in
+        for i = 0 to pos - 1 do
+          match arr.(i) with
+          | Action.Write w when w.wk = k && w.wt <> t -> prev := Some w.wt
+          | _ -> ()
+        done;
+        match !prev with
+        | None -> ()
+        | Some w -> (
+          match Hist.termination_pos h w with
+          | Some p when p < pos -> ()
+          | _ -> ok := false)
+      in
+      let check_pred t (p : Action.pred_read) =
+        Array.iteri
+          (fun i b ->
+            if i < pos then
+              match b with
+              | Action.Write w
+                when w.wt <> t
+                     && (List.mem p.pname w.wpreds || List.mem w.wk p.pkeys)
+                -> (
+                match Hist.termination_pos h w.wt with
+                | Some q when q < pos -> ()
+                | _ -> ok := false)
+              | _ -> ())
+          arr
+      in
+      match a with
+      | Action.Read r -> check r.rt r.rk
+      | Action.Write w -> check w.wt w.wk
+      | Action.Pred_read p -> check_pred p.pt p
+      | Action.Commit _ | Action.Abort _ -> ())
+    arr;
+  !ok
+
+type cls = Not_recoverable | Recoverable | Aca | Strict
+
+let classify h =
+  if is_strict h then Strict
+  else if avoids_cascading_aborts h then Aca
+  else if is_recoverable h then Recoverable
+  else Not_recoverable
+
+let class_name = function
+  | Not_recoverable -> "not recoverable"
+  | Recoverable -> "recoverable (RC)"
+  | Aca -> "avoids cascading aborts (ACA)"
+  | Strict -> "strict (ST)"
+
+let pp_class ppf c = Fmt.string ppf (class_name c)

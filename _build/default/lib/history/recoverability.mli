@@ -1,0 +1,28 @@
+(** The classical recoverability hierarchy ([BHG] §1.3):
+    strict ⊂ avoids-cascading-aborts ⊂ recoverable.
+
+    The other face of the paper's §3 recovery argument: prohibiting P1 is
+    avoiding cascading aborts; prohibiting P0 and P1 together is
+    strictness, which is what makes before-image undo sound. *)
+
+val reads_from : Hist.t -> (Action.txn * Action.key * Action.txn * int) list
+(** [(reader, key, writer, read position)] over the raw history,
+    uncommitted writers included. *)
+
+val is_recoverable : Hist.t -> bool
+(** Every committed reader's writers committed first. *)
+
+val avoids_cascading_aborts : Hist.t -> bool
+(** Every read is from a transaction already committed at the read. *)
+
+val is_strict : Hist.t -> bool
+(** No item is read or overwritten — and no predicate evaluated over an
+    affecting write — while the earlier writer is still active. *)
+
+type cls = Not_recoverable | Recoverable | Aca | Strict
+
+val classify : Hist.t -> cls
+(** The strongest class the history satisfies. *)
+
+val class_name : cls -> string
+val pp_class : cls Fmt.t

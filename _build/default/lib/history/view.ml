@@ -1,0 +1,81 @@
+(* View equivalence and view serializability ([BHG] Chapter 5 — the
+   equivalence notion behind the paper's MV-to-SV mapping).
+
+   Two histories are view equivalent when they have the same committed
+   transactions, the same reads-from relation (each read observes the
+   same writer's value) and the same final writer per item. A history is
+   view serializable when it is view equivalent to some serial history of
+   its committed transactions. View serializability strictly contains
+   conflict serializability: blind writes can make a history view- but
+   not conflict-serializable.
+
+   The decision procedure is NP-complete in general; this implementation
+   brute-forces the permutations of committed transactions and is
+   intended for the small histories of this repository (it refuses more
+   than [max_txns_for_search] transactions). Predicate reads are treated
+   as reads of each item they matched. *)
+
+let max_txns_for_search = 8
+
+(* The writer whose value a read at position [pos] observes: the latest
+   write of the key before [pos] (0 = the initial database state). *)
+let writer_seen h pos k =
+  let rec scan i latest = function
+    | [] -> latest
+    | a :: rest ->
+      if i >= pos then latest
+      else
+        scan (i + 1)
+          (match a with
+          | Action.Write w when w.wk = k -> w.wt
+          | _ -> latest)
+          rest
+  in
+  scan 0 0 h
+
+(* The reads-from relation of the committed projection: one triple
+   (reader, key, writer) per read, in history order. *)
+let reads_from h =
+  let hc = Hist.project_committed h in
+  List.concat
+    (List.mapi
+       (fun pos a ->
+         match a with
+         | Action.Read r -> [ (r.rt, r.rk, writer_seen hc pos r.rk) ]
+         | Action.Pred_read p ->
+           List.map (fun k -> (p.pt, k, writer_seen hc pos k)) p.pkeys
+         | _ -> [])
+       hc)
+
+(* The last committed writer of each key (those define the final state). *)
+let final_writes h =
+  let hc = Hist.project_committed h in
+  List.map
+    (fun k -> (k, writer_seen hc (List.length hc) k))
+    (Hist.keys hc)
+
+let view_equivalent h1 h2 =
+  Hist.committed h1 = Hist.committed h2
+  && List.sort compare (reads_from h1) = List.sort compare (reads_from h2)
+  && final_writes h1 = final_writes h2
+
+(* All permutations of a list (n! — callers bound n). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let view_serialization_order h =
+  let committed = Hist.committed h in
+  if List.length committed > max_txns_for_search then
+    invalid_arg
+      (Fmt.str "View.view_serialization_order: more than %d transactions"
+         max_txns_for_search);
+  List.find_opt
+    (fun order -> view_equivalent h (Conflict.serial_history h order))
+    (permutations committed)
+
+let is_view_serializable h = view_serialization_order h <> None

@@ -1,0 +1,27 @@
+(** View equivalence and view serializability ([BHG] Chapter 5, the
+    equivalence notion behind the paper's multiversion-to-single-version
+    mapping).
+
+    The decision procedure brute-forces serial orders and is meant for
+    the small histories of this repository. Predicate reads count as
+    reads of each item they matched. *)
+
+val reads_from : Hist.t -> (Action.txn * Action.key * Action.txn) list
+(** One [(reader, key, writer)] triple per read of the committed
+    projection, in history order; writer 0 is the initial state. *)
+
+val final_writes : Hist.t -> (Action.key * Action.txn) list
+(** The last committed writer of each key. *)
+
+val view_equivalent : Hist.t -> Hist.t -> bool
+(** Same committed transactions, same reads-from relation, same final
+    writers. *)
+
+val view_serialization_order : Hist.t -> Action.txn list option
+(** A serial order of the committed transactions to which the history is
+    view equivalent, if any.
+    @raise Invalid_argument beyond {!max_txns_for_search} transactions. *)
+
+val is_view_serializable : Hist.t -> bool
+
+val max_txns_for_search : int

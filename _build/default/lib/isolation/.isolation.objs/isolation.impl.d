@@ -1,0 +1,1 @@
+lib/isolation/isolation.ml: Lattice Level Spec

@@ -1,0 +1,1 @@
+lib/isolation/lattice.ml: Buffer Fmt Level List Phenomena Spec String

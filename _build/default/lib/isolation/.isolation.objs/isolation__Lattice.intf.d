@@ -1,0 +1,1 @@
+lib/isolation/lattice.mli: Fmt Level Phenomena

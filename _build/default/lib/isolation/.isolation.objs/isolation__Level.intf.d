@@ -1,0 +1,1 @@
+lib/isolation/level.mli: Fmt

@@ -1,0 +1,1 @@
+lib/isolation/spec.ml: Fmt Level List Phenomena

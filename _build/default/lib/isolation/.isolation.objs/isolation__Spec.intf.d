@@ -1,0 +1,1 @@
+lib/isolation/spec.mli: Fmt Level Phenomena

@@ -1,0 +1,7 @@
+(* Umbrella module of the [isolation] library: the paper's isolation
+   levels, its defining matrices (Tables 1, 3, 4) and the strength
+   hierarchy (Figure 2). *)
+
+module Level = Level
+module Spec = Spec
+module Lattice = Lattice

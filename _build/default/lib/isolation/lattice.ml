@@ -1,0 +1,154 @@
+(* The isolation hierarchy (Figure 2).
+
+   The paper's Definition (§2.3) compares levels by the non-serializable
+   histories they admit. At the granularity of this module we compare
+   levels by their Table-4 possibility vectors: L2 is stronger than L1 when
+   every phenomenon is possible under L2 in no more circumstances than
+   under L1 (rank(L2,p) <= rank(L1,p) for all p) and strictly fewer for
+   some p. The simulator (lib/sim) refines this to per-scenario evidence. *)
+
+module P = Phenomena.Phenomenon
+
+type relation = Equivalent | Weaker | Stronger | Incomparable
+
+let pp_relation ppf = function
+  | Equivalent -> Fmt.string ppf "=="
+  | Weaker -> Fmt.string ppf "<<" (* the paper's « *)
+  | Stronger -> Fmt.string ppf ">>"
+  | Incomparable -> Fmt.string ppf ">><<" (* the paper's »« *)
+
+let vector level = List.map (fun p -> Spec.rank (Spec.table4 level p)) P.all
+
+let compare_levels l1 l2 =
+  let v1 = vector l1 and v2 = vector l2 in
+  let le a b = List.for_all2 (fun x y -> x <= y) a b in
+  match (le v1 v2, le v2 v1) with
+  | true, true -> Equivalent
+  | true, false -> Stronger (* l1 forbids at least as much as l2 *)
+  | false, true -> Weaker
+  | false, false -> Incomparable
+
+let weaker l1 l2 = compare_levels l1 l2 = Weaker
+let incomparable l1 l2 = compare_levels l1 l2 = Incomparable
+
+(* Phenomena strictly less possible under [l2] than under [l1] — the
+   paper's edge annotations. *)
+let differentiating l1 l2 =
+  List.filter
+    (fun p -> Spec.rank (Spec.table4 l2 p) < Spec.rank (Spec.table4 l1 p))
+    P.all
+
+type edge = { lower : Level.t; upper : Level.t; label : P.t list }
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%s << %s  [%s]" (Level.name e.lower) (Level.name e.upper)
+    (String.concat "," (List.map P.name e.label))
+
+(* Hasse diagram of the computed strength order: covering pairs only. *)
+let hasse () =
+  let levels = Level.all in
+  let pairs =
+    List.concat_map
+      (fun l1 -> List.filter_map (fun l2 -> if weaker l1 l2 then Some (l1, l2) else None) levels)
+      levels
+  in
+  let covers (l1, l2) =
+    not
+      (List.exists (fun l3 -> weaker l1 l3 && weaker l3 l2) levels)
+  in
+  List.filter covers pairs
+  |> List.map (fun (l1, l2) -> { lower = l1; upper = l2; label = differentiating l1 l2 })
+
+let incomparable_pairs () =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | l1 :: rest ->
+      let here =
+        List.filter_map
+          (fun l2 ->
+            if incomparable l1 l2 then Some (l1, l2, differentiating l2 l1, differentiating l1 l2)
+            else None)
+          rest
+      in
+      loop (List.rev_append here acc) rest
+  in
+  loop [] Level.all
+
+(* The edges as drawn in the paper's Figure 2 (reconstructed): both Cursor
+   Stability and Oracle Read Consistency branch directly off READ
+   COMMITTED, and REPEATABLE READ »« Snapshot Isolation. The computed
+   Hasse diagram additionally orders Oracle Read Consistency below Cursor
+   Stability, because cell-dominance ranks "Sometimes Possible" below
+   "Possible"; the paper draws them as parallel branches. *)
+let figure2_paper_edges =
+  [
+    { lower = Level.Degree_0; upper = Level.Read_uncommitted; label = [ P.P0 ] };
+    { lower = Level.Read_uncommitted; upper = Level.Read_committed; label = [ P.P1 ] };
+    { lower = Level.Read_committed; upper = Level.Cursor_stability; label = [ P.P4C ] };
+    { lower = Level.Read_committed;
+      upper = Level.Oracle_read_consistency;
+      label = [ P.P4C ] };
+    { lower = Level.Cursor_stability;
+      upper = Level.Repeatable_read;
+      label = [ P.P2; P.P4; P.A5A ] };
+    { lower = Level.Oracle_read_consistency;
+      upper = Level.Snapshot;
+      label = [ P.A3; P.A5A; P.P4 ] };
+    { lower = Level.Repeatable_read; upper = Level.Serializable; label = [ P.P3 ] };
+    { lower = Level.Snapshot; upper = Level.Serializable; label = [ P.A5B ] };
+  ]
+
+(* Check that a claimed edge is consistent with the computed order: the
+   lower level really is weaker, and every label phenomenon really does
+   differentiate. *)
+let edge_consistent e =
+  (weaker e.lower e.upper || compare_levels e.lower e.upper = Equivalent)
+  && List.for_all (fun p -> List.mem p (differentiating e.lower e.upper)) e.label
+
+(* The paper's named remarks as decidable propositions. *)
+let remark_1 () =
+  weaker Level.Read_uncommitted Level.Read_committed
+  && weaker Level.Read_committed Level.Repeatable_read
+  && weaker Level.Repeatable_read Level.Serializable
+
+let remark_7 () =
+  weaker Level.Read_committed Level.Cursor_stability
+  && weaker Level.Cursor_stability Level.Repeatable_read
+
+let remark_8 () = weaker Level.Read_committed Level.Snapshot
+let remark_9 () = incomparable Level.Repeatable_read Level.Snapshot
+
+let render_figure () =
+  let b = Buffer.create 1024 in
+  let add fmt = Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let label l1 l2 =
+    String.concat "," (List.map P.name (differentiating l1 l2))
+  in
+  add "                Serializable == Degree 3";
+  add "                    /               \\";
+  add "                 [%s]             [%s]"
+    (label Level.Repeatable_read Level.Serializable)
+    (label Level.Snapshot Level.Serializable);
+  add "                  /                   \\";
+  add "         Repeatable Read   >><<   Snapshot Isolation";
+  add "                |       (A3 vs A5B)      |";
+  add "          [%s]            [%s]"
+    (label Level.Cursor_stability Level.Repeatable_read)
+    (label Level.Oracle_read_consistency Level.Snapshot);
+  add "                |                        |";
+  add "        Cursor Stability     Oracle Read Consistency";
+  add "                 \\                      /";
+  add "                [%s]                [%s]"
+    (label Level.Read_committed Level.Cursor_stability)
+    (label Level.Read_committed Level.Oracle_read_consistency);
+  add "                   \\                  /";
+  add "                Read Committed == Degree 2";
+  add "                        |";
+  add "                      [%s]" (label Level.Read_uncommitted Level.Read_committed);
+  add "                        |";
+  add "               Read Uncommitted == Degree 1";
+  add "                        |";
+  add "                      [%s]" (label Level.Degree_0 Level.Read_uncommitted);
+  add "                        |";
+  add "                     Degree 0";
+  Buffer.contents b

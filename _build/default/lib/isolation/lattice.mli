@@ -1,0 +1,67 @@
+(** The isolation hierarchy (the paper's Figure 2 and its Definition of
+    weaker/stronger/incomparable levels, §2.3).
+
+    Levels are compared by their Table-4 possibility vectors: L1 « L2 when
+    every phenomenon is possible under L2 in no more circumstances than
+    under L1, strictly fewer for some. *)
+
+module P = Phenomena.Phenomenon
+
+type relation = Equivalent | Weaker | Stronger | Incomparable
+
+val pp_relation : relation Fmt.t
+
+val vector : Level.t -> int list
+(** Possibility ranks over {!P.all}. *)
+
+val compare_levels : Level.t -> Level.t -> relation
+(** [compare_levels l1 l2] positions [l1] relative to [l2]:
+    [Weaker] means [l1 « l2]. *)
+
+val weaker : Level.t -> Level.t -> bool
+(** The paper's [l1 « l2]. *)
+
+val incomparable : Level.t -> Level.t -> bool
+(** The paper's [l1 »« l2]. *)
+
+val differentiating : Level.t -> Level.t -> P.t list
+(** Phenomena strictly less possible under the second level — the paper's
+    edge annotations in Figure 2. *)
+
+type edge = { lower : Level.t; upper : Level.t; label : P.t list }
+
+val pp_edge : edge Fmt.t
+
+val hasse : unit -> edge list
+(** Covering pairs of the computed strength order, with differentiating
+    phenomena as labels. *)
+
+val incomparable_pairs : unit -> (Level.t * Level.t * P.t list * P.t list) list
+(** Incomparable pairs, each with the phenomena each side uniquely
+    forbids. *)
+
+val figure2_paper_edges : edge list
+(** The edges as drawn in the paper's Figure 2 (reconstruction; see the
+    implementation comment for the one divergence from the computed Hasse
+    diagram). *)
+
+val edge_consistent : edge -> bool
+(** Is a claimed edge consistent with the computed order? Holds for every
+    edge of {!figure2_paper_edges}. *)
+
+(** The paper's remarks as decidable propositions. *)
+
+val remark_1 : unit -> bool
+(** RU « RC « RR « SERIALIZABLE. *)
+
+val remark_7 : unit -> bool
+(** READ COMMITTED « Cursor Stability « REPEATABLE READ. *)
+
+val remark_8 : unit -> bool
+(** READ COMMITTED « Snapshot Isolation. *)
+
+val remark_9 : unit -> bool
+(** REPEATABLE READ »« Snapshot Isolation. *)
+
+val render_figure : unit -> string
+(** ASCII rendering of Figure 2 with computed edge labels. *)

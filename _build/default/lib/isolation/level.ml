@@ -1,0 +1,88 @@
+(* The isolation levels the paper names, spanning [GLPT]'s degrees of
+   consistency (Table 2), the proposed phenomena-based levels (Table 3),
+   Date's Cursor Stability (§4.1), Snapshot Isolation (§4.2) and Oracle
+   Read Consistency (§4.3). *)
+
+type t =
+  | Degree_0
+  | Read_uncommitted (* Degree 1 *)
+  | Read_committed (* Degree 2 *)
+  | Cursor_stability
+  | Repeatable_read
+  | Snapshot
+  | Oracle_read_consistency
+  | Serializable_snapshot
+    (* extension: SI plus commit-time read validation; not in the paper *)
+  | Timestamp_ordering
+    (* extension: strict timestamp ordering, the classic lock-free
+       serializable scheduler the ANSI definitions meant to admit *)
+  | Serializable (* Degree 3 *)
+
+let all =
+  [ Degree_0; Read_uncommitted; Read_committed; Cursor_stability;
+    Repeatable_read; Snapshot; Oracle_read_consistency;
+    Serializable_snapshot; Timestamp_ordering; Serializable ]
+
+(* The six rows of the paper's Table 4, in its order. *)
+let table4_rows =
+  [ Read_uncommitted; Read_committed; Cursor_stability; Repeatable_read;
+    Snapshot; Serializable ]
+
+let name = function
+  | Degree_0 -> "Degree 0"
+  | Read_uncommitted -> "READ UNCOMMITTED"
+  | Read_committed -> "READ COMMITTED"
+  | Cursor_stability -> "Cursor Stability"
+  | Repeatable_read -> "REPEATABLE READ"
+  | Snapshot -> "Snapshot"
+  | Oracle_read_consistency -> "Oracle Read Consistency"
+  | Serializable_snapshot -> "Serializable SI (SSI)"
+  | Timestamp_ordering -> "Timestamp Ordering (T/O)"
+  | Serializable -> "SERIALIZABLE"
+
+(* [GLPT] degree of consistency, where one exists (Table 2). *)
+let degree = function
+  | Degree_0 -> Some 0
+  | Read_uncommitted -> Some 1
+  | Read_committed -> Some 2
+  | Serializable -> Some 3
+  | Cursor_stability | Repeatable_read | Snapshot | Oracle_read_consistency
+  | Serializable_snapshot | Timestamp_ordering ->
+    None
+
+let is_multiversion = function
+  | Snapshot | Oracle_read_consistency | Serializable_snapshot -> true
+  | Degree_0 | Read_uncommitted | Read_committed | Cursor_stability
+  | Repeatable_read | Timestamp_ordering | Serializable ->
+    false
+
+(* The engine family implementing each level. *)
+let family = function
+  | Snapshot | Oracle_read_consistency | Serializable_snapshot -> `Mv
+  | Timestamp_ordering -> `Timestamp
+  | Degree_0 | Read_uncommitted | Read_committed | Cursor_stability
+  | Repeatable_read | Serializable ->
+    `Locking
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "degree 0" | "degree0" | "d0" -> Some Degree_0
+  | "read uncommitted" | "read_uncommitted" | "ru" | "degree 1" | "d1" ->
+    Some Read_uncommitted
+  | "read committed" | "read_committed" | "rc" | "degree 2" | "d2" ->
+    Some Read_committed
+  | "cursor stability" | "cursor_stability" | "cs" -> Some Cursor_stability
+  | "repeatable read" | "repeatable_read" | "rr" -> Some Repeatable_read
+  | "snapshot" | "snapshot isolation" | "si" -> Some Snapshot
+  | "oracle read consistency" | "read consistency" | "oracle" | "orc" ->
+    Some Oracle_read_consistency
+  | "serializable si (ssi)" | "serializable snapshot" | "ssi" ->
+    Some Serializable_snapshot
+  | "timestamp ordering (t/o)" | "timestamp ordering" | "timestamp" | "to" ->
+    Some Timestamp_ordering
+  | "serializable" | "ser" | "degree 3" | "d3" -> Some Serializable
+  | _ -> None
+
+let pp ppf l = Fmt.string ppf (name l)
+let compare = compare
+let equal (a : t) b = a = b

@@ -1,0 +1,41 @@
+(** The isolation levels the paper names: [GLPT] degrees of consistency,
+    the phenomena-based levels of Table 3, Cursor Stability (§4.1),
+    Snapshot Isolation (§4.2) and Oracle Read Consistency (§4.3). *)
+
+type t =
+  | Degree_0
+  | Read_uncommitted  (** Degree 1 *)
+  | Read_committed  (** Degree 2 *)
+  | Cursor_stability
+  | Repeatable_read
+  | Snapshot
+  | Oracle_read_consistency
+  | Serializable_snapshot
+      (** extension: Snapshot Isolation plus commit-time read validation,
+          the conservative form of PostgreSQL-style SSI; serializable but
+          not in the paper *)
+  | Timestamp_ordering
+      (** extension: strict timestamp ordering — the classic lock-free
+          serializable scheduler the ANSI definitions meant to admit *)
+  | Serializable  (** Degree 3 *)
+
+val all : t list
+
+val table4_rows : t list
+(** The six rows of the paper's Table 4, in its order. *)
+
+val name : t -> string
+
+val degree : t -> int option
+(** The [GLPT] degree of consistency, where one exists. *)
+
+val is_multiversion : t -> bool
+(** Levels implemented by a multiversion engine rather than locking. *)
+
+val family : t -> [ `Locking | `Mv | `Timestamp ]
+(** The engine family implementing the level. *)
+
+val of_string : string -> t option
+val pp : t Fmt.t
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,121 @@
+(* The paper's defining matrices, as data.
+
+   Table 1: the original ANSI SQL levels in terms of the three original
+   phenomena. Table 3: the proposed levels in terms of P0-P3. Table 4: the
+   full characterization of isolation types by the eight phenomena. These
+   are the paper's claimed ground truth; the simulator regenerates them
+   empirically and the benches diff the two. *)
+
+type possibility = Not_possible | Sometimes_possible | Possible
+
+let pp_possibility ppf = function
+  | Not_possible -> Fmt.string ppf "Not Possible"
+  | Sometimes_possible -> Fmt.string ppf "Sometimes Possible"
+  | Possible -> Fmt.string ppf "Possible"
+
+(* Strictness rank used by the lattice: a level permitting a phenomenon in
+   more circumstances is weaker on that coordinate. *)
+let rank = function Not_possible -> 0 | Sometimes_possible -> 1 | Possible -> 2
+
+(* ANSI SQL isolation levels of Table 1, defined only by the three original
+   phenomena (and lacking P0 — the paper's Remark 3 complaint). *)
+type ansi_level =
+  | Ansi_read_uncommitted
+  | Ansi_read_committed
+  | Ansi_repeatable_read
+  | Anomaly_serializable
+
+let ansi_levels =
+  [ Ansi_read_uncommitted; Ansi_read_committed; Ansi_repeatable_read;
+    Anomaly_serializable ]
+
+let ansi_level_name = function
+  | Ansi_read_uncommitted -> "ANSI READ UNCOMMITTED"
+  | Ansi_read_committed -> "ANSI READ COMMITTED"
+  | Ansi_repeatable_read -> "ANSI REPEATABLE READ"
+  | Anomaly_serializable -> "ANOMALY SERIALIZABLE"
+
+let table1_columns = Phenomena.Phenomenon.[ P1; P2; P3 ]
+
+let table1 level (p : Phenomena.Phenomenon.t) =
+  match (level, p) with
+  | Ansi_read_uncommitted, (P1 | P2 | P3) -> Possible
+  | Ansi_read_committed, P1 -> Not_possible
+  | Ansi_read_committed, (P2 | P3) -> Possible
+  | Ansi_repeatable_read, (P1 | P2) -> Not_possible
+  | Ansi_repeatable_read, P3 -> Possible
+  | Anomaly_serializable, (P1 | P2 | P3) -> Not_possible
+  | _ -> invalid_arg "Spec.table1: only P1, P2, P3 are columns of Table 1"
+
+let table3_rows =
+  Level.[ Read_uncommitted; Read_committed; Repeatable_read; Serializable ]
+
+let table3_columns = Phenomena.Phenomenon.[ P0; P1; P2; P3 ]
+
+let table3 (level : Level.t) (p : Phenomena.Phenomenon.t) =
+  match (level, p) with
+  | (Read_uncommitted | Read_committed | Repeatable_read | Serializable), P0 ->
+    Not_possible
+  | Read_uncommitted, (P1 | P2 | P3) -> Possible
+  | Read_committed, P1 -> Not_possible
+  | Read_committed, (P2 | P3) -> Possible
+  | Repeatable_read, (P1 | P2) -> Not_possible
+  | Repeatable_read, P3 -> Possible
+  | Serializable, (P1 | P2 | P3) -> Not_possible
+  | _ -> invalid_arg "Spec.table3: level or phenomenon outside Table 3"
+
+(* Table 4: isolation types characterized by the possible anomalies.
+   Oracle Read Consistency and Degree 0 are extension rows from the
+   paper's prose (§4.3 and [GLPT]). The strict anomalies A1-A3 inherit
+   from the broad phenomenon of the same number, except that Snapshot
+   Isolation precludes A1-A3 outright (Remark 10) while sometimes
+   allowing P3. *)
+let rec table4 (level : Level.t) (p : Phenomena.Phenomenon.t) =
+  match (level, p) with
+  (* Degree 0 provides only action atomicity: everything is possible,
+     including dirty writes. *)
+  | Degree_0, _ -> Possible
+  (* Serializable SI validates its read set at commit: nothing at all is
+     possible (extension row; not in the paper). *)
+  | (Serializable_snapshot | Timestamp_ordering), _ -> Not_possible
+  (* P0 is precluded at every other level (Remark 3). *)
+  | _, P0 -> Not_possible
+  | Read_uncommitted, (P1 | P4C | P4 | P2 | P3 | A5A | A5B) -> Possible
+  | Read_committed, P1 -> Not_possible
+  | Read_committed, (P4C | P4 | P2 | P3 | A5A | A5B) -> Possible
+  | Cursor_stability, (P1 | P4C) -> Not_possible
+  | Cursor_stability, (P4 | P2) -> Sometimes_possible
+  | Cursor_stability, (P3 | A5A) -> Possible
+  | Cursor_stability, A5B -> Sometimes_possible
+  | Repeatable_read, (P1 | P4C | P4 | P2 | A5A | A5B) -> Not_possible
+  | Repeatable_read, P3 -> Possible
+  | Snapshot, (P1 | P4C | P4 | P2 | A5A) -> Not_possible
+  | Snapshot, P3 -> Sometimes_possible
+  | Snapshot, A5B -> Possible
+  | Snapshot, (A1 | A2 | A3) -> Not_possible
+  | Serializable, (P1 | P4C | P4 | P2 | P3 | A5A | A5B) -> Not_possible
+  | Oracle_read_consistency, (P1 | P4C) -> Not_possible
+  | Oracle_read_consistency, (P4 | P2 | P3 | A5A | A5B) -> Possible
+  | level, A1 -> table4 level Phenomena.Phenomenon.P1
+  | level, A2 -> table4 level Phenomena.Phenomenon.P2
+  | level, A3 -> table4 level Phenomena.Phenomenon.P3
+
+let table4_matrix () =
+  List.map
+    (fun level ->
+      (level, List.map (fun p -> (p, table4 level p)) Phenomena.Phenomenon.table4))
+    Level.table4_rows
+
+(* Phenomena a level must never exhibit: the Not_possible cells. *)
+let forbidden level =
+  List.filter
+    (fun p -> table4 level p = Not_possible)
+    Phenomena.Phenomenon.all
+
+(* ANSI Table-1 levels forbid only the strict anomalies (this is the
+   paper's reading in Section 3 when it exhibits H1-H3). *)
+let ansi_forbidden = function
+  | Ansi_read_uncommitted -> []
+  | Ansi_read_committed -> [ Phenomena.Phenomenon.A1 ]
+  | Ansi_repeatable_read -> Phenomena.Phenomenon.[ A1; A2 ]
+  | Anomaly_serializable -> Phenomena.Phenomenon.[ A1; A2; A3 ]

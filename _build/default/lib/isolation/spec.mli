@@ -1,0 +1,52 @@
+(** The paper's defining matrices as data: Table 1 (original ANSI levels vs
+    the three original phenomena), Table 3 (proposed levels vs P0–P3) and
+    Table 4 (isolation types vs the eight phenomena), plus extension rows
+    for Degree 0 and Oracle Read Consistency from the paper's prose. *)
+
+type possibility = Not_possible | Sometimes_possible | Possible
+
+val pp_possibility : possibility Fmt.t
+
+val rank : possibility -> int
+(** 0 for Not Possible, 1 for Sometimes, 2 for Possible: the lattice's
+    per-coordinate weakness order. *)
+
+(** {1 Table 1 — the original ANSI SQL levels} *)
+
+type ansi_level =
+  | Ansi_read_uncommitted
+  | Ansi_read_committed
+  | Ansi_repeatable_read
+  | Anomaly_serializable
+
+val ansi_levels : ansi_level list
+val ansi_level_name : ansi_level -> string
+val table1_columns : Phenomena.Phenomenon.t list
+
+val table1 : ansi_level -> Phenomena.Phenomenon.t -> possibility
+(** @raise Invalid_argument outside the P1/P2/P3 columns. *)
+
+val ansi_forbidden : ansi_level -> Phenomena.Phenomenon.t list
+(** The strict anomalies each ANSI level forbids — the under-constrained
+    reading the paper attacks with H1–H3. *)
+
+(** {1 Table 3 — proposed phenomena-based levels} *)
+
+val table3_rows : Level.t list
+val table3_columns : Phenomena.Phenomenon.t list
+
+val table3 : Level.t -> Phenomena.Phenomenon.t -> possibility
+(** @raise Invalid_argument outside Table 3's rows/columns. *)
+
+(** {1 Table 4 — isolation types vs the eight phenomena} *)
+
+val table4 : Level.t -> Phenomena.Phenomenon.t -> possibility
+(** Defined on every level and every phenomenon (strict anomalies inherit
+    from their broad counterpart, except Snapshot precludes A1–A3 outright
+    per Remark 10). *)
+
+val table4_matrix :
+  unit -> (Level.t * (Phenomena.Phenomenon.t * possibility) list) list
+
+val forbidden : Level.t -> Phenomena.Phenomenon.t list
+(** Phenomena the level must never exhibit (its Not-Possible cells). *)

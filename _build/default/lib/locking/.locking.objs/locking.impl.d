@@ -1,0 +1,1 @@
+lib/locking/locking.ml: Discipline Lock_table Protocol

@@ -1,0 +1,1 @@
+lib/locking/discipline.ml: History List Lock_table

@@ -1,0 +1,1 @@
+lib/locking/discipline.mli: History Lock_table

@@ -1,0 +1,1 @@
+lib/locking/lock_table.ml: Fmt History List Storage

@@ -1,0 +1,1 @@
+lib/locking/lock_table.mli: Fmt History Storage

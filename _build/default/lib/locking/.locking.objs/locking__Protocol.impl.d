@@ -1,0 +1,1 @@
+lib/locking/protocol.ml: Fmt Isolation List

@@ -1,0 +1,1 @@
+lib/locking/protocol.mli: Fmt Isolation

@@ -1,0 +1,65 @@
+(* Lock-discipline analysis over the lock table's audit log — the
+   paper's §2.3 vocabulary made checkable:
+
+   "A transaction has two-phase writes (reads) if it does not set a new
+   Write (Read) lock on a data item after releasing a Write (Read) lock.
+   A transaction exhibits two-phase locking if it does not request any
+   new locks after releasing some lock."
+
+   The fundamental serialization theorem rests on well-formed two-phase
+   behavior; these analyses verify, from the recorded grants and
+   releases, that the SERIALIZABLE protocol actually behaves two-phase
+   while the weaker protocols (short read locks) do not. Well-formedness
+   itself is enforced by the engine's construction: every access acquires
+   its lock first. *)
+
+type txn = History.Action.txn
+
+(* A transaction's lock events, oldest first. *)
+let events_of owner log =
+  List.filter
+    (function
+      | Lock_table.Acquired a -> a.owner = owner
+      | Lock_table.Released r -> r.owner = owner)
+    log
+
+(* Two-phase locking: no grant after a release. *)
+let two_phase log owner =
+  let rec scan released = function
+    | [] -> true
+    | Lock_table.Acquired _ :: _ when released -> false
+    | Lock_table.Acquired _ :: rest -> scan released rest
+    | Lock_table.Released _ :: rest -> scan true rest
+  in
+  scan false (events_of owner log)
+
+(* The lock point: the index (within the transaction's own events) of its
+   last grant — where a two-phase transaction logically serializes. *)
+let lock_point log owner =
+  let rec last i best = function
+    | [] -> best
+    | Lock_table.Acquired _ :: rest -> last (i + 1) (Some i) rest
+    | Lock_table.Released _ :: rest -> last (i + 1) best rest
+  in
+  last 0 None (events_of owner log)
+
+(* Counts of grants and releases, for reporting. *)
+let summary log owner =
+  List.fold_left
+    (fun (acquired, released) e ->
+      match e with
+      | Lock_table.Acquired _ -> (acquired + 1, released)
+      | Lock_table.Released r -> (acquired, released + r.count))
+    (0, 0) (events_of owner log)
+
+(* Every transaction in the log behaved two-phase. *)
+let all_two_phase log =
+  let owners =
+    List.sort_uniq compare
+      (List.map
+         (function
+           | Lock_table.Acquired a -> a.owner
+           | Lock_table.Released r -> r.owner)
+         log)
+  in
+  List.for_all (two_phase log) owners

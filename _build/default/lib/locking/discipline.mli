@@ -1,0 +1,20 @@
+(** Lock-discipline analysis over the lock table's audit log: the paper's
+    §2.3 two-phase property, checked against what the engine actually
+    did. *)
+
+type txn = History.Action.txn
+
+val events_of : txn -> Lock_table.event list -> Lock_table.event list
+(** One transaction's grants and releases, oldest first. *)
+
+val two_phase : Lock_table.event list -> txn -> bool
+(** "Does not request any new locks after releasing some lock." *)
+
+val lock_point : Lock_table.event list -> txn -> int option
+(** Index of the transaction's last grant within its own events — where a
+    two-phase transaction logically serializes. *)
+
+val summary : Lock_table.event list -> txn -> int * int
+(** (locks granted, locks released). *)
+
+val all_two_phase : Lock_table.event list -> bool

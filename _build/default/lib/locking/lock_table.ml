@@ -1,0 +1,162 @@
+(* Lock table for the locking scheduler (§2.3).
+
+   Locks come in Read (Share) and Write (Exclusive) modes, on data items or
+   on predicates. A Write item lock carries its before and after images so
+   that conflicts against Read predicate locks implement the paper's
+   phantom rule: a predicate lock covers present data items *and* any the
+   write would cause to satisfy the predicate.
+
+   The table only decides grant/conflict; durations are the caller's
+   policy (Table 2) and are expressed as tags used for bulk release:
+   [Short] locks are released after the action, [Cursor] locks when the
+   cursor moves, [Long] locks at end of transaction. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type txn = History.Action.txn
+
+type request =
+  | Read_item of key
+  | Update_item of key
+      (* U mode: taken by for-update fetches intending to write. Compatible
+         with Read locks, incompatible with other Update or Write locks —
+         the classical cure for upgrade deadlocks. *)
+  | Write_item of { k : key; before : value option; after : value option }
+  | Read_pred of Storage.Predicate.t
+  | Write_pred of Storage.Predicate.t
+
+let pp_request ppf = function
+  | Read_item k -> Fmt.pf ppf "S(%s)" k
+  | Update_item k -> Fmt.pf ppf "U(%s)" k
+  | Write_item { k; _ } -> Fmt.pf ppf "X(%s)" k
+  | Read_pred p -> Fmt.pf ppf "S<%a>" Storage.Predicate.pp p
+  | Write_pred p -> Fmt.pf ppf "X<%a>" Storage.Predicate.pp p
+
+type tag = Short | Cursor of string | Long
+
+type entry = { owner : txn; req : request; tag : tag }
+
+(* The audit log: every grant and release, in order. Lets tests check the
+   paper's two-phase property against actual engine behavior. *)
+type event =
+  | Acquired of { owner : txn; req : request; tag : tag }
+  | Released of { owner : txn; count : int }
+
+type t = {
+  mutable entries : entry list;
+  mutable events : event list; (* newest first *)
+}
+
+let create () = { entries = []; events = [] }
+
+let events t = List.rev t.events
+
+(* Do two granted/requested locks conflict? Two locks by different
+   transactions conflict if at least one is a Write lock and they cover a
+   common (possibly phantom) data item. *)
+let requests_conflict a b =
+  let item_vs_pred k ~before ~after p =
+    Storage.Predicate.affected_by_write p k ~before ~after
+  in
+  match (a, b) with
+  | Read_item _, Read_item _ | Read_item _, Read_pred _
+  | Read_pred _, Read_item _ | Read_pred _, Read_pred _ ->
+    false
+  (* U is compatible with readers but excludes other updaters/writers. *)
+  | Update_item _, Read_item _ | Read_item _, Update_item _ -> false
+  | Update_item k1, Update_item k2 -> k1 = k2
+  | Update_item k, Write_item { k = k'; _ } | Write_item { k = k'; _ }, Update_item k ->
+    k = k'
+  | Update_item _, Read_pred _ | Read_pred _, Update_item _ ->
+    (* A U lock intends to write but has not yet; predicate readers only
+       conflict with the eventual Write lock. *)
+    false
+  | Write_item { k = k1; _ }, Write_item { k = k2; _ } -> k1 = k2
+  | Write_item { k; _ }, Read_item k' | Read_item k', Write_item { k; _ } ->
+    k = k'
+  | Write_item { k; before; after }, Read_pred p
+  | Read_pred p, Write_item { k; before; after } ->
+    item_vs_pred k ~before ~after p
+  (* Predicate Write locks are not issued by the engines in this
+     repository; conflicts involving them are decided conservatively. *)
+  | Write_pred _, (Read_pred _ | Write_pred _ | Write_item _ | Update_item _)
+  | (Read_pred _ | Write_item _ | Update_item _), Write_pred _ ->
+    true
+  | Write_pred _, Read_item _ | Read_item _, Write_pred _ -> true
+
+(* Does a lock already held by [owner] make [req] redundant? Holding a
+   Write item lock covers further reads and writes of the same item. *)
+let covers held req =
+  match (held, req) with
+  | Read_item k, Read_item k' -> k = k'
+  | Update_item k, (Read_item k' | Update_item k') -> k = k'
+  | Write_item { k; _ },
+    (Read_item k' | Update_item k' | Write_item { k = k'; _ }) ->
+    k = k'
+  | Read_pred p, Read_pred q | Write_pred p, (Read_pred q | Write_pred q) ->
+    p.Storage.Predicate.name = q.Storage.Predicate.name
+  | _ -> false
+
+type verdict = Granted | Conflict of txn list
+
+let acquire table ~owner ~tag req =
+  let conflicting =
+    List.filter
+      (fun e -> e.owner <> owner && requests_conflict e.req req)
+      table.entries
+  in
+  match conflicting with
+  | _ :: _ -> Conflict (List.sort_uniq compare (List.map (fun e -> e.owner) conflicting))
+  | [] ->
+    (* Promote rather than duplicate: an identical or covering lock with a
+       duration at least as long needs no new entry. Write item locks are
+       special: each write carries fresh before/after images that predicate
+       conflict checks must see, so only an image-identical entry is
+       redundant — a second write of the same key adds its own entry. *)
+    let tag_rank = function Short -> 0 | Cursor _ -> 1 | Long -> 2 in
+    let subsumes held =
+      match (held, req) with
+      | _, Write_item _ -> held = req
+      | _ -> covers held req
+    in
+    let redundant =
+      List.exists
+        (fun e -> e.owner = owner && subsumes e.req && tag_rank e.tag >= tag_rank tag)
+        table.entries
+    in
+    if not redundant then begin
+      table.entries <- { owner; req; tag } :: table.entries;
+      table.events <- Acquired { owner; req; tag } :: table.events
+    end;
+    Granted
+
+let release table ~owner ~tag =
+  let keep, dropped =
+    List.partition (fun e -> not (e.owner = owner && e.tag = tag)) table.entries
+  in
+  table.entries <- keep;
+  if dropped <> [] then
+    table.events <- Released { owner; count = List.length dropped } :: table.events
+
+let release_all table ~owner =
+  let keep, dropped = List.partition (fun e -> e.owner <> owner) table.entries in
+  table.entries <- keep;
+  if dropped <> [] then
+    table.events <- Released { owner; count = List.length dropped } :: table.events
+
+let held table ~owner =
+  List.filter_map
+    (fun e -> if e.owner = owner then Some (e.req, e.tag) else None)
+    table.entries
+
+let owners table =
+  List.sort_uniq compare (List.map (fun e -> e.owner) table.entries)
+
+let is_empty table = table.entries = []
+
+let pp ppf table =
+  Fmt.pf ppf "%a"
+    Fmt.(
+      list ~sep:sp (fun ppf e ->
+          Fmt.pf ppf "T%d:%a" e.owner pp_request e.req))
+    table.entries

@@ -1,0 +1,57 @@
+(** Lock table for the locking scheduler (§2.3 of the paper): Read/Write
+    locks on data items and predicates, with the paper's phantom rule — a
+    Write item lock (carrying before and after images) conflicts with a
+    Read predicate lock whenever the write affects the predicate.
+
+    Durations are the caller's policy (Table 2), expressed as tags for
+    bulk release. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type txn = History.Action.txn
+
+type request =
+  | Read_item of key
+  | Update_item of key
+      (** U mode: taken by for-update fetches. Compatible with Read locks,
+          incompatible with other Update or Write locks — the classical
+          cure for upgrade deadlocks. *)
+  | Write_item of { k : key; before : value option; after : value option }
+  | Read_pred of Storage.Predicate.t
+  | Write_pred of Storage.Predicate.t
+
+val pp_request : request Fmt.t
+
+val requests_conflict : request -> request -> bool
+(** Conflict between locks of different owners: at least one Write, common
+    (possibly phantom) item. Symmetric. *)
+
+type tag =
+  | Short            (** released immediately after the action *)
+  | Cursor of string (** released when the named cursor moves or closes *)
+  | Long             (** released at end of transaction *)
+
+type t
+
+val create : unit -> t
+
+(** The audit log: every grant and release, in order. *)
+type event =
+  | Acquired of { owner : txn; req : request; tag : tag }
+  | Released of { owner : txn; count : int }
+
+val events : t -> event list
+
+type verdict = Granted | Conflict of txn list
+
+val acquire : t -> owner:txn -> tag:tag -> request -> verdict
+(** Grant unless a conflicting lock is held by another transaction; on
+    conflict, report the blockers. Locks already held by the owner that
+    cover the request are promoted rather than duplicated. *)
+
+val release : t -> owner:txn -> tag:tag -> unit
+val release_all : t -> owner:txn -> unit
+val held : t -> owner:txn -> (request * tag) list
+val owners : t -> txn list
+val is_empty : t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,7 @@
+(* Umbrella module of the [locking] library: the lock table (Share and
+   Exclusive locks on items and predicates, §2.3) and the lock protocols
+   of Table 2. *)
+
+module Lock_table = Lock_table
+module Protocol = Protocol
+module Discipline = Discipline

@@ -1,0 +1,100 @@
+(* Lock protocols: the rows of the paper's Table 2.
+
+   A protocol fixes, for each class of access, whether a lock is taken and
+   for how long it is held. Write locks are always well-formed; only
+   Degree 0 releases them before end of transaction ([GLPT] required only
+   action atomicity there). Cursor Stability additionally holds the read
+   lock on the current item of a cursor until the cursor moves. *)
+
+type duration = No_lock | Short | Long
+
+(* How predicate reads are protected against phantoms: by predicate locks
+   (the paper's §2.3 mechanism) or by next-key locks on the scanned rows
+   and the gap beyond them (the ARIES/KVL-style mechanism real B-tree
+   engines use). *)
+type phantom_guard = Predicate_locks | Next_key_locks
+
+let pp_duration ppf = function
+  | No_lock -> Fmt.string ppf "none required"
+  | Short -> Fmt.string ppf "short duration"
+  | Long -> Fmt.string ppf "long duration"
+
+type t = {
+  level : Isolation.Level.t;
+  item_read : duration;
+  pred_read : duration;
+  item_write : duration; (* locks on items written; Long except Degree 0 *)
+  cursor_hold : bool;    (* hold read lock on current of cursor (§4.1) *)
+  phantom_guard : phantom_guard;
+}
+
+(* Locking levels of Table 2. Snapshot Isolation and Oracle Read
+   Consistency are multiversion mechanisms, not lock protocols. *)
+let for_level (level : Isolation.Level.t) =
+  match level with
+  | Degree_0 ->
+    Some { level; item_read = No_lock; pred_read = No_lock;
+           item_write = Short; cursor_hold = false; phantom_guard = Predicate_locks }
+  | Read_uncommitted ->
+    Some { level; item_read = No_lock; pred_read = No_lock;
+           item_write = Long; cursor_hold = false; phantom_guard = Predicate_locks }
+  | Read_committed ->
+    Some { level; item_read = Short; pred_read = Short;
+           item_write = Long; cursor_hold = false; phantom_guard = Predicate_locks }
+  | Cursor_stability ->
+    Some { level; item_read = Short; pred_read = Short;
+           item_write = Long; cursor_hold = true; phantom_guard = Predicate_locks }
+  | Repeatable_read ->
+    Some { level; item_read = Long; pred_read = Short;
+           item_write = Long; cursor_hold = false; phantom_guard = Predicate_locks }
+  | Serializable ->
+    Some { level; item_read = Long; pred_read = Long;
+           item_write = Long; cursor_hold = false; phantom_guard = Predicate_locks }
+  | Snapshot | Oracle_read_consistency | Serializable_snapshot
+  | Timestamp_ordering ->
+    None
+
+let for_level_exn level =
+  match for_level level with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Fmt.str "Protocol.for_level_exn: %s is not a locking level"
+         (Isolation.Level.name level))
+
+let locking_levels = List.filter (fun l -> for_level l <> None) Isolation.Level.all
+
+(* The same protocol with next-key locking as its phantom guard. *)
+let with_next_key p = { p with phantom_guard = Next_key_locks }
+
+(* Is the protocol two-phase and well-formed on both reads and writes —
+   i.e. does it guarantee serializability by the fundamental theorem? *)
+let is_two_phase_well_formed p =
+  p.item_read = Long && p.pred_read = Long && p.item_write = Long
+
+let describe p =
+  let read_desc =
+    match (p.item_read, p.pred_read, p.cursor_hold) with
+    | No_lock, No_lock, _ -> "none required"
+    | Short, Short, false -> "well-formed reads, short duration read locks (both)"
+    | Short, Short, true ->
+      "well-formed reads, read locks held on current of cursor, short \
+       duration read predicate locks"
+    | Long, Short, _ ->
+      "well-formed reads, long duration data-item read locks, short \
+       duration read predicate locks"
+    | Long, Long, _ -> "well-formed reads, long duration read locks (both)"
+    | _ -> Fmt.str "item reads: %a, predicate reads: %a" pp_duration p.item_read
+             pp_duration p.pred_read
+  in
+  let write_desc =
+    match p.item_write with
+    | Short -> "well-formed writes (short duration write locks)"
+    | Long -> "well-formed writes, long duration write locks"
+    | No_lock -> "no write locks"
+  in
+  (read_desc, write_desc)
+
+let pp ppf p =
+  let reads, writes = describe p in
+  Fmt.pf ppf "%s: reads %s; writes %s" (Isolation.Level.name p.level) reads writes

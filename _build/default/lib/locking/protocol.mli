@@ -1,0 +1,42 @@
+(** Lock protocols: the rows of the paper's Table 2 (degrees of consistency
+    and locking isolation levels in terms of lock scope, mode and
+    duration). *)
+
+type duration = No_lock | Short | Long
+
+val pp_duration : duration Fmt.t
+
+type phantom_guard =
+  | Predicate_locks  (** the paper's §2.3 predicate locks *)
+  | Next_key_locks
+      (** ARIES/KVL-style: lock the scanned rows plus the next key beyond
+          the range; inserts and deletes lock their gap's next key *)
+
+type t = {
+  level : Isolation.Level.t;
+  item_read : duration;
+  pred_read : duration;
+  item_write : duration;  (** [Long] except Degree 0 *)
+  cursor_hold : bool;     (** hold read lock on current of cursor (§4.1) *)
+  phantom_guard : phantom_guard;
+}
+
+val for_level : Isolation.Level.t -> t option
+(** [None] for the multiversion levels (Snapshot, Oracle Read
+    Consistency). *)
+
+val for_level_exn : Isolation.Level.t -> t
+val locking_levels : Isolation.Level.t list
+
+val with_next_key : t -> t
+(** The same protocol with next-key locking as its phantom guard. *)
+
+val is_two_phase_well_formed : t -> bool
+(** Long, well-formed read and write locks on items and predicates — the
+    fundamental serialization theorem's hypothesis. True only for
+    SERIALIZABLE (Degree 3). *)
+
+val describe : t -> string * string
+(** Table 2's (read-lock column, write-lock column) prose. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/phenomena/phenomena.ml: Detect Phenomenon

@@ -1,0 +1,1 @@
+lib/phenomena/detect.ml: Array Fmt Hashtbl History List Option Phenomenon String

@@ -1,0 +1,1 @@
+lib/phenomena/detect.mli: Fmt History Phenomenon

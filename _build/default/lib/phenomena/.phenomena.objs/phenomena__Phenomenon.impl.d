@@ -1,0 +1,1 @@
+lib/phenomena/phenomenon.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/phenomena/phenomenon.mli: Fmt

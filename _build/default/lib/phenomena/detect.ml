@@ -1,0 +1,340 @@
+(* Executable detectors for the paper's phenomena and anomalies.
+
+   Each detector scans a history for instances of the corresponding
+   template and returns witnesses (the positions of the matching actions).
+   The broad interpretations (P0-P3) fire as soon as the offending pattern
+   appears while the first transaction is still active — the paper's point
+   being precisely that a phenomenon flags a *potential* anomaly; the
+   strict interpretations (A1-A3) additionally require the terminations the
+   ANSI English demands. *)
+
+type witness = {
+  phenomenon : Phenomenon.t;
+  t1 : History.Action.txn; (* the template's T1 role *)
+  t2 : History.Action.txn;
+  positions : int list;    (* positions of the matched actions, ascending *)
+  note : string;
+}
+
+let pp_witness ppf w =
+  Fmt.pf ppf "%s[T%d,T%d at %s]: %s"
+    (Phenomenon.name w.phenomenon)
+    w.t1 w.t2
+    (String.concat "," (List.map string_of_int w.positions))
+    w.note
+
+module A = History.Action
+
+type ctx = {
+  arr : A.t array;
+  term : A.txn -> int; (* termination position, or max_int while active *)
+  commits : A.txn -> bool;
+  aborts : A.txn -> bool;
+}
+
+let context h =
+  let arr = Array.of_list h in
+  let terms = Hashtbl.create 8 in
+  let commits = Hashtbl.create 8 in
+  let aborts = Hashtbl.create 8 in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | A.Commit t ->
+        Hashtbl.replace terms t i;
+        Hashtbl.replace commits t ()
+      | A.Abort t ->
+        Hashtbl.replace terms t i;
+        Hashtbl.replace aborts t ()
+      | _ -> ())
+    arr;
+  {
+    arr;
+    term = (fun t -> Option.value ~default:max_int (Hashtbl.find_opt terms t));
+    commits = (fun t -> Hashtbl.mem commits t);
+    aborts = (fun t -> Hashtbl.mem aborts t);
+  }
+
+let item_reads ctx =
+  Array.to_list ctx.arr
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (function i, A.Read r -> Some (i, r) | _ -> None)
+
+let writes ctx =
+  Array.to_list ctx.arr
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (function i, A.Write w -> Some (i, w) | _ -> None)
+
+let pred_reads ctx =
+  Array.to_list ctx.arr
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (function i, A.Pred_read p -> Some (i, p) | _ -> None)
+
+(* Does a write affect a predicate read: it declares the predicate, or it
+   touches an item the predicate matched when it was evaluated. *)
+let affects (w : A.write) (p : A.pred_read) =
+  List.mem p.pname w.wpreds || List.mem w.wk p.pkeys
+
+let witness phenomenon t1 t2 positions note =
+  { phenomenon; t1; t2; positions = List.sort compare positions; note }
+
+(* P0: w1[x]...w2[x] while T1 is still active. *)
+let detect_p0 ctx =
+  List.concat_map
+    (fun (i, (w1 : A.write)) ->
+      List.filter_map
+        (fun (j, (w2 : A.write)) ->
+          if i < j && w1.wk = w2.wk && w1.wt <> w2.wt && j < ctx.term w1.wt then
+            Some
+              (witness Phenomenon.P0 w1.wt w2.wt [ i; j ]
+                 (Fmt.str "T%d overwrites T%d's uncommitted write of %s" w2.wt
+                    w1.wt w1.wk))
+          else None)
+        (writes ctx))
+    (writes ctx)
+
+(* P1: w1[x]...r2[x] while T1 is still active. Following the paper's broad
+   reading of "data item" (§2.1: a predicate covers a set of items), a
+   predicate evaluation that observes an uncommitted write affecting the
+   predicate is also a dirty read — without this, forbidding P0-P3 would
+   not imply serializability (the locking equivalence of Remark 6 relies
+   on READ COMMITTED's short predicate locks blocking exactly these). *)
+let detect_p1 ctx =
+  List.concat_map
+    (fun (i, (w1 : A.write)) ->
+      List.filter_map
+        (fun (j, (r2 : A.read)) ->
+          if i < j && w1.wk = r2.rk && w1.wt <> r2.rt && j < ctx.term w1.wt then
+            Some
+              (witness Phenomenon.P1 w1.wt r2.rt [ i; j ]
+                 (Fmt.str "T%d reads T%d's uncommitted write of %s" r2.rt w1.wt
+                    w1.wk))
+          else None)
+        (item_reads ctx)
+      @ List.filter_map
+          (fun (j, (p2 : A.pred_read)) ->
+            if i < j && affects w1 p2 && w1.wt <> p2.pt && j < ctx.term w1.wt
+            then
+              Some
+                (witness Phenomenon.P1 w1.wt p2.pt [ i; j ]
+                   (Fmt.str
+                      "T%d evaluates %s over T%d's uncommitted write of %s"
+                      p2.pt p2.pname w1.wt w1.wk))
+            else None)
+          (pred_reads ctx))
+    (writes ctx)
+
+(* A1: the P1 pattern where T1 in fact aborts and T2 commits. *)
+let detect_a1 ctx =
+  List.filter_map
+    (fun w ->
+      if ctx.aborts w.t1 && ctx.commits w.t2 then
+        Some
+          { w with
+            phenomenon = Phenomenon.A1;
+            note = w.note ^ "; T1 aborts and T2 commits" }
+      else None)
+    (detect_p1 ctx)
+
+(* P2: r1[x]...w2[x] while T1 is still active. *)
+let detect_p2 ctx =
+  List.concat_map
+    (fun (i, (r1 : A.read)) ->
+      List.filter_map
+        (fun (j, (w2 : A.write)) ->
+          if i < j && r1.rk = w2.wk && r1.rt <> w2.wt && j < ctx.term r1.rt then
+            Some
+              (witness Phenomenon.P2 r1.rt w2.wt [ i; j ]
+                 (Fmt.str "T%d modifies %s after T1=T%d read it, before T1 ends"
+                    w2.wt r1.rk r1.rt))
+          else None)
+        (writes ctx))
+    (item_reads ctx)
+
+(* A2: r1[x]...w2[x]...c2...r1[x]...c1. *)
+let detect_a2 ctx =
+  List.concat_map
+    (fun (i, (r1 : A.read)) ->
+      List.concat_map
+        (fun (j, (w2 : A.write)) ->
+          if not (i < j && r1.rk = w2.wk && r1.rt <> w2.wt) then []
+          else
+            let c2 = ctx.term w2.wt in
+            if not (ctx.commits w2.wt) then []
+            else
+              List.filter_map
+                (fun (k, (r1' : A.read)) ->
+                  if
+                    r1'.rt = r1.rt && r1'.rk = r1.rk && j < c2 && c2 < k
+                    && ctx.commits r1.rt
+                  then
+                    Some
+                      (witness Phenomenon.A2 r1.rt w2.wt [ i; j; c2; k ]
+                         (Fmt.str "T%d rereads %s after T%d's committed update"
+                            r1.rt r1.rk w2.wt))
+                  else None)
+                (item_reads ctx))
+        (writes ctx))
+    (item_reads ctx)
+
+(* P3: r1[P]...w2[y in P] while T1 is still active. *)
+let detect_p3 ctx =
+  List.concat_map
+    (fun (i, (p1 : A.pred_read)) ->
+      List.filter_map
+        (fun (j, (w2 : A.write)) ->
+          if i < j && w2.wt <> p1.pt && affects w2 p1 && j < ctx.term p1.pt then
+            Some
+              (witness Phenomenon.P3 p1.pt w2.wt [ i; j ]
+                 (Fmt.str
+                    "T%d writes %s satisfying predicate %s read by T%d, before \
+                     T%d ends"
+                    w2.wt w2.wk p1.pname p1.pt p1.pt))
+          else None)
+        (writes ctx))
+    (pred_reads ctx)
+
+(* A3: r1[P]...w2[y in P]...c2...r1[P]...c1. *)
+let detect_a3 ctx =
+  List.concat_map
+    (fun (i, (p1 : A.pred_read)) ->
+      List.concat_map
+        (fun (j, (w2 : A.write)) ->
+          if not (i < j && w2.wt <> p1.pt && affects w2 p1) then []
+          else
+            let c2 = ctx.term w2.wt in
+            if not (ctx.commits w2.wt) then []
+            else
+              List.filter_map
+                (fun (k, (p1' : A.pred_read)) ->
+                  if
+                    p1'.pt = p1.pt && p1'.pname = p1.pname && j < c2 && c2 < k
+                    && ctx.commits p1.pt
+                  then
+                    Some
+                      (witness Phenomenon.A3 p1.pt w2.wt [ i; j; c2; k ]
+                         (Fmt.str
+                            "T%d re-evaluates %s after T%d's committed \
+                             phantom write"
+                            p1.pt p1.pname w2.wt))
+                  else None)
+                (pred_reads ctx))
+        (writes ctx))
+    (pred_reads ctx)
+
+(* P4: r1[x]...w2[x]...w1[x]...c1 — T1's update is based on a stale read,
+   wiping T2's intervening update. *)
+let detect_p4_generic phenomenon ~require_cursor ctx =
+  List.concat_map
+    (fun (i, (r1 : A.read)) ->
+      if require_cursor && not r1.rcursor then []
+      else
+        List.concat_map
+          (fun (j, (w2 : A.write)) ->
+            if not (i < j && w2.wk = r1.rk && w2.wt <> r1.rt) then []
+            else
+              List.filter_map
+                (fun (k, (w1 : A.write)) ->
+                  if
+                    j < k && w1.wt = r1.rt && w1.wk = r1.rk
+                    && ctx.commits r1.rt
+                  then
+                    Some
+                      (witness phenomenon r1.rt w2.wt [ i; j; k ]
+                         (Fmt.str "T%d's update of %s is lost under T%d's"
+                            w2.wt r1.rk r1.rt))
+                  else None)
+                (writes ctx))
+          (writes ctx))
+    (item_reads ctx)
+
+let detect_p4 = detect_p4_generic Phenomenon.P4 ~require_cursor:false
+let detect_p4c = detect_p4_generic Phenomenon.P4C ~require_cursor:true
+
+(* A5A: r1[x]...w2[x]...w2[y]...c2...r1[y]. T1 reads x before and y after a
+   committed update of both by T2 (the order of T2's two writes is
+   immaterial to the anomaly, so we accept either). *)
+let detect_a5a ctx =
+  List.concat_map
+    (fun (i, (r1 : A.read)) ->
+      List.concat_map
+        (fun (j, (w2x : A.write)) ->
+          if not (i < j && w2x.wk = r1.rk && w2x.wt <> r1.rt) then []
+          else
+            List.concat_map
+              (fun (k, (w2y : A.write)) ->
+                if
+                  not
+                    (w2y.wt = w2x.wt && w2y.wk <> w2x.wk && i < k
+                   && ctx.commits w2x.wt)
+                then []
+                else
+                  let c2 = ctx.term w2x.wt in
+                  List.filter_map
+                    (fun (m, (r1y : A.read)) ->
+                      if
+                        r1y.rt = r1.rt && r1y.rk = w2y.wk && c2 < m && j < c2
+                        && k < c2
+                      then
+                        Some
+                          (witness Phenomenon.A5A r1.rt w2x.wt
+                             [ i; j; k; c2; m ]
+                             (Fmt.str
+                                "T%d reads %s before and %s after T%d's \
+                                 committed update of both"
+                                r1.rt r1.rk w2y.wk w2x.wt))
+                      else None)
+                    (item_reads ctx))
+              (writes ctx))
+        (writes ctx))
+    (item_reads ctx)
+
+(* A5B: r1[x]...r2[y]...w1[y]...w2[x], both commit. *)
+let detect_a5b ctx =
+  List.concat_map
+    (fun (i, (r1 : A.read)) ->
+      List.concat_map
+        (fun (j, (r2 : A.read)) ->
+          if not (i < j && r2.rt <> r1.rt && r2.rk <> r1.rk) then []
+          else
+            List.concat_map
+              (fun (k, (w1 : A.write)) ->
+                if not (j < k && w1.wt = r1.rt && w1.wk = r2.rk) then []
+                else
+                  List.filter_map
+                    (fun (l, (w2 : A.write)) ->
+                      if
+                        k < l && w2.wt = r2.rt && w2.wk = r1.rk
+                        && ctx.commits r1.rt && ctx.commits r2.rt
+                      then
+                        Some
+                          (witness Phenomenon.A5B r1.rt r2.rt [ i; j; k; l ]
+                             (Fmt.str
+                                "T%d and T%d cross-update %s and %s from \
+                                 stale reads"
+                                r1.rt r2.rt w1.wk w2.wk))
+                      else None)
+                    (writes ctx))
+              (writes ctx))
+        (item_reads ctx))
+    (item_reads ctx)
+
+let detect phenomenon h =
+  let ctx = context h in
+  match (phenomenon : Phenomenon.t) with
+  | P0 -> detect_p0 ctx
+  | P1 -> detect_p1 ctx
+  | P2 -> detect_p2 ctx
+  | P3 -> detect_p3 ctx
+  | A1 -> detect_a1 ctx
+  | A2 -> detect_a2 ctx
+  | A3 -> detect_a3 ctx
+  | P4 -> detect_p4 ctx
+  | P4C -> detect_p4c ctx
+  | A5A -> detect_a5a ctx
+  | A5B -> detect_a5b ctx
+
+let occurs phenomenon h = detect phenomenon h <> []
+let exhibited h = List.filter (fun p -> occurs p h) Phenomenon.all
+
+let matrix h = List.map (fun p -> (p, occurs p h)) Phenomenon.all

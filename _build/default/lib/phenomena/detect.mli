@@ -1,0 +1,24 @@
+(** Executable detectors for the paper's phenomena and anomalies.
+
+    Broad interpretations (P0–P3) fire as soon as the offending pattern
+    appears while the template's T1 is still active; strict interpretations
+    (A1–A3) also require the terminations the ANSI English demands. A5A
+    accepts T2's two writes in either order (the anomaly does not depend on
+    it); everything else follows the paper's templates literally. *)
+
+type witness = {
+  phenomenon : Phenomenon.t;
+  t1 : History.Action.txn;  (** the template's T1 role *)
+  t2 : History.Action.txn;
+  positions : int list;     (** positions of the matched actions, ascending *)
+  note : string;
+}
+
+val pp_witness : witness Fmt.t
+
+val detect : Phenomenon.t -> History.t -> witness list
+(** All instances of the phenomenon in the history. *)
+
+val occurs : Phenomenon.t -> History.t -> bool
+val exhibited : History.t -> Phenomenon.t list
+val matrix : History.t -> (Phenomenon.t * bool) list

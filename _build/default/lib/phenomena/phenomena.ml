@@ -1,0 +1,5 @@
+(* Umbrella module of the [phenomena] library: the paper's phenomena and
+   anomalies (P0-P4, P4C, A1-A3, A5A, A5B) and their history detectors. *)
+
+module Phenomenon = Phenomenon
+module Detect = Detect

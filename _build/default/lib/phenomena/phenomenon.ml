@@ -1,0 +1,74 @@
+(* The phenomena and anomalies named by the paper.
+
+   P0-P3 are the broad ("phenomenon") interpretations the paper argues for
+   (Remark 4, Remark 5); A1-A3 are the strict ("anomaly") interpretations
+   of the ANSI English; P4/P4C are the lost-update anomalies of §4.1; A5A
+   and A5B are the constraint-violation anomalies of §4.2. *)
+
+type t = P0 | P1 | P2 | P3 | A1 | A2 | A3 | P4 | P4C | A5A | A5B
+
+let all = [ P0; P1; P2; P3; A1; A2; A3; P4; P4C; A5A; A5B ]
+
+(* The eight columns of the paper's Table 4, in its order. *)
+let table4 = [ P0; P1; P4C; P4; P2; P3; A5A; A5B ]
+
+let name = function
+  | P0 -> "P0"
+  | P1 -> "P1"
+  | P2 -> "P2"
+  | P3 -> "P3"
+  | A1 -> "A1"
+  | A2 -> "A2"
+  | A3 -> "A3"
+  | P4 -> "P4"
+  | P4C -> "P4C"
+  | A5A -> "A5A"
+  | A5B -> "A5B"
+
+let long_name = function
+  | P0 -> "Dirty Write"
+  | P1 -> "Dirty Read"
+  | P2 -> "Fuzzy Read"
+  | P3 -> "Phantom"
+  | A1 -> "Dirty Read (strict)"
+  | A2 -> "Fuzzy Read (strict)"
+  | A3 -> "Phantom (strict)"
+  | P4 -> "Lost Update"
+  | P4C -> "Cursor Lost Update"
+  | A5A -> "Read Skew"
+  | A5B -> "Write Skew"
+
+(* The history templates as printed in the paper (Remark 5 and §§4.1-4.2). *)
+let formula = function
+  | P0 -> "w1[x]...w2[x]...(c1 or a1)"
+  | P1 -> "w1[x]...r2[x]...(c1 or a1)"
+  | P2 -> "r1[x]...w2[x]...(c1 or a1)"
+  | P3 -> "r1[P]...w2[y in P]...(c1 or a1)"
+  | A1 -> "w1[x]...r2[x]...(a1 and c2 in any order)"
+  | A2 -> "r1[x]...w2[x]...c2...r1[x]...c1"
+  | A3 -> "r1[P]...w2[y in P]...c2...r1[P]...c1"
+  | P4 -> "r1[x]...w2[x]...w1[x]...c1"
+  | P4C -> "rc1[x]...w2[x]...w1[x]...c1"
+  | A5A -> "r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)"
+  | A5B -> "r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)"
+
+let is_strict = function A1 | A2 | A3 -> true | _ -> false
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "P0" -> Some P0
+  | "P1" -> Some P1
+  | "P2" -> Some P2
+  | "P3" -> Some P3
+  | "A1" -> Some A1
+  | "A2" -> Some A2
+  | "A3" -> Some A3
+  | "P4" -> Some P4
+  | "P4C" -> Some P4C
+  | "A5A" -> Some A5A
+  | "A5B" -> Some A5B
+  | _ -> None
+
+let pp ppf p = Fmt.string ppf (name p)
+let compare = compare
+let equal (a : t) b = a = b

@@ -1,0 +1,26 @@
+(** The phenomena and anomalies named by the paper: the broad
+    interpretations P0–P3 (Remark 5), the strict ANSI interpretations
+    A1–A3, the lost-update anomalies P4/P4C (§4.1) and the
+    constraint-violation anomalies A5A/A5B (§4.2). *)
+
+type t = P0 | P1 | P2 | P3 | A1 | A2 | A3 | P4 | P4C | A5A | A5B
+
+val all : t list
+
+val table4 : t list
+(** The eight columns of the paper's Table 4, in its order:
+    P0, P1, P4C, P4, P2, P3, A5A, A5B. *)
+
+val name : t -> string
+val long_name : t -> string
+
+val formula : t -> string
+(** The history template exactly as printed in the paper. *)
+
+val is_strict : t -> bool
+(** True for the strict ANSI interpretations A1–A3. *)
+
+val of_string : string -> t option
+val pp : t Fmt.t
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/sim/classify.ml: Core Fmt Interleave Isolation List Phenomena Workload

@@ -1,0 +1,1 @@
+lib/sim/classify.mli: Fmt Isolation Phenomena Workload

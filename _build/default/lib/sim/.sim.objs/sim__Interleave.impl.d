@@ -1,0 +1,1 @@
+lib/sim/interleave.ml: Core List

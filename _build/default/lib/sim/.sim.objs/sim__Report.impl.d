@@ -1,0 +1,1 @@
+lib/sim/report.ml: Classify Isolation List Phenomena String

@@ -1,0 +1,64 @@
+(** The empirical isolation classifier: regenerates Table 4 (and Table 3)
+    by exhausting the interleavings of each phenomenon's scenarios under
+    each isolation level and asking the scenarios' verdicts. *)
+
+module P = Phenomena.Phenomenon
+module Level = Isolation.Level
+module Spec = Isolation.Spec
+
+type scenario_outcome = {
+  scenario : Workload.Scenario.t;
+  possible : bool;            (** some interleaving exhibits the anomaly *)
+  witness : int list option;  (** a schedule that exhibits it *)
+  explored : int;             (** interleavings examined *)
+}
+
+type cell = {
+  level : Level.t;
+  phenomenon : P.t;
+  outcomes : scenario_outcome list;
+  verdict : Spec.possibility;
+}
+
+val run_scenario :
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  Level.t ->
+  Workload.Scenario.t ->
+  scenario_outcome
+
+val cell :
+  ?first_updater_wins:bool -> ?next_key_locking:bool -> Level.t -> P.t -> cell
+
+val row :
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  ?columns:P.t list ->
+  Level.t ->
+  cell list
+
+val table4 :
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  ?levels:Level.t list ->
+  unit ->
+  (Level.t * cell list) list
+
+val table3 :
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  unit ->
+  (Level.t * cell list) list
+
+type mismatch = {
+  m_level : Level.t;
+  m_phenomenon : P.t;
+  expected : Spec.possibility;
+  got : Spec.possibility;
+}
+
+val pp_mismatch : mismatch Fmt.t
+
+val diff_with_spec : (Level.t * cell list) list -> mismatch list
+(** Cells where the empirical verdict differs from the paper's matrix
+    (expected to be empty). *)

@@ -1,0 +1,20 @@
+(** Exhaustive interleaving enumeration: every merge of the programs'
+    attempt sequences, which — the engine being deterministic — explores
+    every reachable history. *)
+
+val merges : int list -> int list list
+(** All merges of sequences with the given lengths, as 1-based stream
+    indices. *)
+
+val count : int list -> int
+(** The multinomial coefficient: how many merges exist. *)
+
+val sizes_of_programs : Core.Program.t list -> int list
+(** Attempt counts per program (operations plus auto-commit). *)
+
+val exists_merge : int list -> (int list -> bool) -> bool * int
+(** [exists_merge sizes f] searches merges until [f] holds, returning
+    (found, merges visited). *)
+
+val count_merges : int list -> (int list -> bool) -> int * int
+(** [(hits, total)] over all merges. *)

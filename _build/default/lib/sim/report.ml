@@ -1,0 +1,62 @@
+(* Plain-text table rendering for the benches: fixed-width columns, a
+   header rule, one row per isolation level. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ~headers ~rows =
+  let columns = List.length headers in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length (List.nth headers i))
+          rows)
+  in
+  let line cells =
+    String.concat "  " (List.map2 pad widths cells)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line headers :: rule :: List.map line rows) ^ "\n"
+
+let possibility_cell = function
+  | Isolation.Spec.Not_possible -> "Not Possible"
+  | Isolation.Spec.Sometimes_possible -> "Sometimes"
+  | Isolation.Spec.Possible -> "Possible"
+
+(* Render an empirical table (from Classify) with phenomenon columns. *)
+let render_classified table =
+  match table with
+  | [] -> ""
+  | (_, first_row) :: _ ->
+    let headers =
+      "Isolation level"
+      :: List.map
+           (fun c -> Phenomena.Phenomenon.name c.Classify.phenomenon)
+           first_row
+    in
+    let rows =
+      List.map
+        (fun (level, cells) ->
+          Isolation.Level.name level
+          :: List.map (fun c -> possibility_cell c.Classify.verdict) cells)
+        table
+    in
+    render ~headers ~rows
+
+(* Render a specification table for side-by-side comparison. *)
+let render_spec ~levels ~columns lookup =
+  let headers =
+    "Isolation level" :: List.map Phenomena.Phenomenon.name columns
+  in
+  let rows =
+    List.map
+      (fun level ->
+        Isolation.Level.name level
+        :: List.map (fun p -> possibility_cell (lookup level p)) columns)
+      levels
+  in
+  render ~headers ~rows

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the benches. *)
+
+val render : headers:string list -> rows:string list list -> string
+
+val possibility_cell : Isolation.Spec.possibility -> string
+
+val render_classified : (Isolation.Level.t * Classify.cell list) list -> string
+(** An empirical table from {!Classify} as fixed-width text. *)
+
+val render_spec :
+  levels:Isolation.Level.t list ->
+  columns:Phenomena.Phenomenon.t list ->
+  (Isolation.Level.t -> Phenomena.Phenomenon.t -> Isolation.Spec.possibility) ->
+  string
+(** A specification matrix (e.g. {!Isolation.Spec.table4}) as text. *)

@@ -1,0 +1,6 @@
+(* Umbrella module of the [sim] library: exhaustive interleaving
+   enumeration, the empirical Table 3/4 classifier, and table rendering. *)
+
+module Interleave = Interleave
+module Classify = Classify
+module Report = Report

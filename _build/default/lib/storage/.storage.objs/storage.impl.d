@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Btree Predicate Recovery Store Version_store Wal

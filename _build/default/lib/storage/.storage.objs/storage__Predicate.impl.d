@@ -1,0 +1,1 @@
+lib/storage/predicate.ml: Char Fmt History List String

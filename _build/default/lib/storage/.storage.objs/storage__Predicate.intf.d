@@ -1,0 +1,1 @@
+lib/storage/predicate.mli: Fmt History

@@ -1,0 +1,1 @@
+lib/storage/recovery.ml: List Store Wal

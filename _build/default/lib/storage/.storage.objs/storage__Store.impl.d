@@ -1,0 +1,1 @@
+lib/storage/store.ml: Btree Fmt History List Option Predicate

@@ -1,0 +1,1 @@
+lib/storage/version_store.ml: Btree Fmt History List Option Predicate

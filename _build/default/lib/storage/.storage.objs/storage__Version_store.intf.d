@@ -1,0 +1,1 @@
+lib/storage/version_store.mli: Fmt History Predicate

@@ -1,0 +1,374 @@
+(* An in-memory B+ tree: the ordered index a database store sits on.
+
+   All rows live in leaves; internal nodes hold separator keys. Leaves
+   are chained for cheap range scans, which is also what makes next-key
+   locking natural: the successor of any key is one leaf probe away.
+
+   The tree keeps every node (except the root) at least half full:
+   inserts split full nodes upward; deletes borrow from or merge with a
+   sibling. Keys are strings, values are polymorphic. *)
+
+let order = 8 (* max children of an internal node; max order-1 keys *)
+let max_keys = order - 1
+let min_keys = max_keys / 2
+
+type 'v node =
+  | Leaf of 'v leaf_data
+  | Internal of 'v internal_data
+
+and 'v leaf_data = {
+  mutable keys : string array;
+  mutable lvals : 'v array;
+  mutable next : 'v leaf_data option; (* leaf chain, ascending *)
+}
+
+and 'v internal_data = {
+  mutable seps : string array;       (* separator keys, length = children-1 *)
+  mutable children : 'v node array;
+}
+
+type 'v t = {
+  mutable root : 'v node;
+  mutable size : int;
+}
+
+let create () = { root = Leaf { keys = [||]; lvals = [||]; next = None }; size = 0 }
+
+let length t = t.size
+
+(* Position of the first key >= [k] in a sorted array. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index to follow for [k]: the first separator > k ... children are
+   laid out so child i holds keys in [seps.(i-1), seps.(i)). *)
+let child_index seps k =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if seps.(mid) <= k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec find_leaf node k =
+  match node with
+  | Leaf l -> l
+  | Internal i -> find_leaf i.children.(child_index i.seps k) k
+
+let find t k =
+  let l = find_leaf t.root k in
+  let i = lower_bound l.keys k in
+  if i < Array.length l.keys && l.keys.(i) = k then Some l.lvals.(i)
+  else None
+
+let mem t k = find t k <> None
+
+(* {2 Insertion} *)
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+(* Result of inserting into a subtree: either it fit, or the node split
+   into (left, separator, right). *)
+type 'v split = No_split | Split of string * 'v node
+
+let rec insert_node node k v =
+  match node with
+  | Leaf l ->
+    let i = lower_bound l.keys k in
+    if i < Array.length l.keys && l.keys.(i) = k then begin
+      l.lvals.(i) <- v;
+      (false, No_split)
+    end
+    else begin
+      l.keys <- array_insert l.keys i k;
+      l.lvals <- array_insert l.lvals i v;
+      if Array.length l.keys <= max_keys then (true, No_split)
+      else begin
+        (* Split the leaf: the right half moves to a new leaf; the
+           separator is the right leaf's first key. *)
+        let n = Array.length l.keys in
+        let mid = n / 2 in
+        let right =
+          { keys = Array.sub l.keys mid (n - mid);
+            lvals = Array.sub l.lvals mid (n - mid);
+            next = l.next }
+        in
+        l.keys <- Array.sub l.keys 0 mid;
+        l.lvals <- Array.sub l.lvals 0 mid;
+        l.next <- Some right;
+        (true, Split (right.keys.(0), Leaf right))
+      end
+    end
+  | Internal node_data ->
+    let ci = child_index node_data.seps k in
+    let added, split = insert_node node_data.children.(ci) k v in
+    (match split with
+    | No_split -> ()
+    | Split (sep, right) ->
+      node_data.seps <- array_insert node_data.seps ci sep;
+      node_data.children <- array_insert node_data.children (ci + 1) right);
+    if Array.length node_data.seps <= max_keys then (added, No_split)
+    else begin
+      (* Split the internal node: the middle separator moves up. *)
+      let n = Array.length node_data.seps in
+      let mid = n / 2 in
+      let up = node_data.seps.(mid) in
+      let right =
+        Internal
+          { seps = Array.sub node_data.seps (mid + 1) (n - mid - 1);
+            children = Array.sub node_data.children (mid + 1) (n - mid) }
+      in
+      node_data.seps <- Array.sub node_data.seps 0 mid;
+      node_data.children <- Array.sub node_data.children 0 (mid + 1);
+      (added, Split (up, right))
+    end
+
+let insert t k v =
+  let added, split = insert_node t.root k v in
+  (match split with
+  | No_split -> ()
+  | Split (sep, right) ->
+    t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] });
+  if added then t.size <- t.size + 1
+
+(* {2 Deletion} *)
+
+let leaf_underflows l = Array.length l.keys < min_keys
+let internal_underflows i = Array.length i.seps < min_keys
+
+(* Rebalance child [ci] of [parent] after a deletion left it underfull:
+   borrow from a sibling if it can spare a key, otherwise merge. *)
+let rebalance (parent : 'v internal_data) ci =
+  let merge_leaves li ri =
+    (* Merge right leaf into left, drop the separator. *)
+    match (parent.children.(li), parent.children.(ri)) with
+    | Leaf l, Leaf r ->
+      l.keys <- Array.append l.keys r.keys;
+      l.lvals <- Array.append l.lvals r.lvals;
+      l.next <- r.next;
+      parent.seps <- array_remove parent.seps li;
+      parent.children <- array_remove parent.children ri
+    | _ -> assert false
+  in
+  let merge_internals li ri =
+    match (parent.children.(li), parent.children.(ri)) with
+    | Internal l, Internal r ->
+      l.seps <- Array.concat [ l.seps; [| parent.seps.(li) |]; r.seps ];
+      l.children <- Array.append l.children r.children;
+      parent.seps <- array_remove parent.seps li;
+      parent.children <- array_remove parent.children ri
+    | _ -> assert false
+  in
+  match parent.children.(ci) with
+  | Leaf l -> (
+    let left_sibling = if ci > 0 then Some (ci - 1) else None in
+    let right_sibling =
+      if ci < Array.length parent.children - 1 then Some (ci + 1) else None
+    in
+    let borrow_from_left li =
+      match parent.children.(li) with
+      | Leaf sib when Array.length sib.keys > min_keys ->
+        let n = Array.length sib.keys in
+        l.keys <- array_insert l.keys 0 sib.keys.(n - 1);
+        l.lvals <- array_insert l.lvals 0 sib.lvals.(n - 1);
+        sib.keys <- Array.sub sib.keys 0 (n - 1);
+        sib.lvals <- Array.sub sib.lvals 0 (n - 1);
+        parent.seps.(li) <- l.keys.(0);
+        true
+      | _ -> false
+    in
+    let borrow_from_right ri =
+      match parent.children.(ri) with
+      | Leaf sib when Array.length sib.keys > min_keys ->
+        l.keys <- Array.append l.keys [| sib.keys.(0) |];
+        l.lvals <- Array.append l.lvals [| sib.lvals.(0) |];
+        sib.keys <- array_remove sib.keys 0;
+        sib.lvals <- array_remove sib.lvals 0;
+        parent.seps.(ci) <- sib.keys.(0);
+        true
+      | _ -> false
+    in
+    match (left_sibling, right_sibling) with
+    | Some li, _ when borrow_from_left li -> ()
+    | _, Some ri when borrow_from_right ri -> ()
+    | Some li, _ -> merge_leaves li ci
+    | _, Some ri -> merge_leaves ci ri
+    | None, None -> ())
+  | Internal i -> (
+    let left_sibling = if ci > 0 then Some (ci - 1) else None in
+    let right_sibling =
+      if ci < Array.length parent.children - 1 then Some (ci + 1) else None
+    in
+    let borrow_from_left li =
+      match parent.children.(li) with
+      | Internal sib when Array.length sib.seps > min_keys ->
+        let n = Array.length sib.seps in
+        i.seps <- array_insert i.seps 0 parent.seps.(li);
+        i.children <- array_insert i.children 0 sib.children.(n);
+        parent.seps.(li) <- sib.seps.(n - 1);
+        sib.seps <- Array.sub sib.seps 0 (n - 1);
+        sib.children <- Array.sub sib.children 0 n;
+        true
+      | _ -> false
+    in
+    let borrow_from_right ri =
+      match parent.children.(ri) with
+      | Internal sib when Array.length sib.seps > min_keys ->
+        i.seps <- Array.append i.seps [| parent.seps.(ci) |];
+        i.children <- Array.append i.children [| sib.children.(0) |];
+        parent.seps.(ci) <- sib.seps.(0);
+        sib.seps <- array_remove sib.seps 0;
+        sib.children <- array_remove sib.children 0;
+        true
+      | _ -> false
+    in
+    match (left_sibling, right_sibling) with
+    | Some li, _ when borrow_from_left li -> ()
+    | _, Some ri when borrow_from_right ri -> ()
+    | Some li, _ -> merge_internals li ci
+    | _, Some ri -> merge_internals ci ri
+    | None, None -> ())
+
+let rec remove_node node k =
+  match node with
+  | Leaf l ->
+    let i = lower_bound l.keys k in
+    if i < Array.length l.keys && l.keys.(i) = k then begin
+      l.keys <- array_remove l.keys i;
+      l.lvals <- array_remove l.lvals i;
+      (true, leaf_underflows l)
+    end
+    else (false, false)
+  | Internal node_data ->
+    let ci = child_index node_data.seps k in
+    let removed, underflow = remove_node node_data.children.(ci) k in
+    if underflow then rebalance node_data ci;
+    (removed, internal_underflows node_data)
+
+let remove t k =
+  let removed, _ = remove_node t.root k in
+  (* Collapse a root that lost all separators. *)
+  (match t.root with
+  | Internal i when Array.length i.seps = 0 -> t.root <- i.children.(0)
+  | Internal _ | Leaf _ -> ());
+  if removed then t.size <- t.size - 1;
+  removed
+
+(* {2 Iteration and successor queries} *)
+
+let leftmost_leaf node =
+  let rec go = function
+    | Leaf l -> l
+    | Internal i -> go i.children.(0)
+  in
+  go node
+
+(* Fold over all bindings in ascending key order via the leaf chain. *)
+let fold t ~init ~f =
+  let rec leaves acc (l : _ leaf_data) =
+    let acc = ref acc in
+    for i = 0 to Array.length l.keys - 1 do
+      acc := f !acc l.keys.(i) l.lvals.(i)
+    done;
+    match l.next with Some next -> leaves !acc next | None -> !acc
+  in
+  leaves init (leftmost_leaf t.root)
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let iter t ~f = fold t ~init:() ~f:(fun () k v -> f k v)
+
+(* The smallest binding with key >= [k]. *)
+let successor t k =
+  let rec from_leaf (l : _ leaf_data) =
+    let i = lower_bound l.keys k in
+    if i < Array.length l.keys then Some (l.keys.(i), l.lvals.(i))
+    else match l.next with Some next -> from_leaf next | None -> None
+  in
+  from_leaf (find_leaf t.root k)
+
+(* All bindings with lo <= key < hi (hi = None means unbounded). *)
+let range t ~lo ~hi =
+  let rec from_leaf acc (l : _ leaf_data) =
+    let n = Array.length l.keys in
+    let i = lower_bound l.keys lo in
+    let rec take acc i =
+      if i >= n then
+        match l.next with Some next -> from_leaf acc next | None -> acc
+      else
+        let k = l.keys.(i) in
+        match hi with
+        | Some hi when k >= hi -> acc
+        | _ -> take ((k, l.lvals.(i)) :: acc) (i + 1)
+    in
+    take acc i
+  in
+  List.rev (from_leaf [] (find_leaf t.root lo))
+
+let of_list bindings =
+  let t = create () in
+  List.iter (fun (k, v) -> insert t k v) bindings;
+  t
+
+let copy t = of_list (to_list t)
+
+(* {2 Structural invariants, for the test suite} *)
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal i -> 1 + go i.children.(0)
+  in
+  go t.root
+
+let check_invariants t =
+  let rec check node ~is_root ~lo ~hi =
+    match node with
+    | Leaf l ->
+      let n = Array.length l.keys in
+      if (not is_root) && n < min_keys then failwith "leaf underfull";
+      if n > max_keys then failwith "leaf overfull";
+      Array.iteri
+        (fun i k ->
+          if i > 0 && l.keys.(i - 1) >= k then failwith "leaf keys unsorted";
+          (match lo with Some lo when k < lo -> failwith "key below bound" | _ -> ());
+          match hi with Some hi when k >= hi -> failwith "key above bound" | _ -> ())
+        l.keys;
+      1
+    | Internal i ->
+      let n = Array.length i.seps in
+      if (not is_root) && n < min_keys then failwith "internal underfull";
+      if n > max_keys then failwith "internal overfull";
+      if Array.length i.children <> n + 1 then failwith "children arity";
+      Array.iteri
+        (fun j s -> if j > 0 && i.seps.(j - 1) >= s then failwith "seps unsorted")
+        i.seps;
+      let depths =
+        Array.to_list
+          (Array.mapi
+             (fun j child ->
+               let lo' = if j = 0 then lo else Some i.seps.(j - 1) in
+               let hi' = if j = n then hi else Some i.seps.(j) in
+               check child ~is_root:false ~lo:lo' ~hi:hi')
+             i.children)
+      in
+      (match List.sort_uniq compare depths with
+      | [ d ] -> d + 1
+      | _ -> failwith "uneven depth")
+  in
+  ignore (check t.root ~is_root:true ~lo:None ~hi:None);
+  (* The leaf chain covers exactly the tree's bindings, in order. *)
+  let listed = to_list t in
+  if List.length listed <> t.size then failwith "size mismatch";
+  if List.sort compare listed <> listed then failwith "chain unsorted"

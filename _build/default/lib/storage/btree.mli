@@ -1,0 +1,40 @@
+(** An in-memory B+ tree over string keys: the ordered index the store
+    sits on. Leaves are chained, so range scans and successor queries —
+    the operations next-key locking depends on — are cheap.
+
+    Every node except the root stays at least half full; inserts split,
+    deletes borrow from or merge with a sibling. *)
+
+type 'v t
+
+val create : unit -> 'v t
+val of_list : (string * 'v) list -> 'v t
+val length : 'v t -> int
+val find : 'v t -> string -> 'v option
+val mem : 'v t -> string -> bool
+
+val insert : 'v t -> string -> 'v -> unit
+(** Insert or overwrite. *)
+
+val remove : 'v t -> string -> bool
+(** Returns whether the key was present. *)
+
+val successor : 'v t -> string -> (string * 'v) option
+(** The smallest binding with key [>= k]. *)
+
+val range : 'v t -> lo:string -> hi:string option -> (string * 'v) list
+(** Bindings with [lo <= key < hi], ascending ([hi = None] unbounded). *)
+
+val fold : 'v t -> init:'a -> f:('a -> string -> 'v -> 'a) -> 'a
+(** Ascending key order. *)
+
+val iter : 'v t -> f:(string -> 'v -> unit) -> unit
+val to_list : 'v t -> (string * 'v) list
+val copy : 'v t -> 'v t
+
+val height : 'v t -> int
+(** Number of node levels from the root to the leaves. *)
+
+val check_invariants : 'v t -> unit
+(** Validate sortedness, occupancy, uniform depth, arity and the leaf
+    chain. @raise Failure describing the violated invariant. *)

@@ -1,0 +1,84 @@
+(* First-class predicates — the paper's <search condition>s (§2.3).
+
+   A predicate covers all data items satisfying it, including phantom items
+   not currently in the database. Because the store maps keys to integer
+   values, a predicate is a decidable test over (key, value); a row that is
+   absent never satisfies a predicate, and a write *affects* a predicate if
+   membership holds or differs on either side of the write — exactly the
+   paper's "any tuples an INSERT, UPDATE, or DELETE would cause to satisfy
+   the predicate". *)
+
+type key = History.Action.key
+type value = History.Action.value
+
+type t = {
+  name : string;
+  satisfies : key -> value -> bool;
+  range : (key * key option) option;
+      (* key range [lo, hi) when the predicate is one; [None] upper bound
+         means unbounded. Enables next-key locking as an alternative
+         phantom guard. *)
+}
+
+let make ~name satisfies = { name; satisfies; range = None }
+let name p = p.name
+let range_bounds p = p.range
+
+let matches_row p k = function
+  | None -> false (* absent rows satisfy no predicate *)
+  | Some v -> p.satisfies k v
+
+(* Does a write of [k] taking the row from [before] to [after] affect the
+   predicate? (§2.3: the lock covers present and phantom data items.) *)
+let affected_by_write p k ~before ~after =
+  matches_row p k before || matches_row p k after
+
+(* An item lock is a predicate lock naming the specific record (§2.3). *)
+let item k =
+  { name = "Item(" ^ k ^ ")";
+    satisfies = (fun k' _ -> String.equal k k');
+    range = Some (k, Some (k ^ "\x00")) }
+
+let all = { name = "All"; satisfies = (fun _ _ -> true); range = None }
+
+(* The next string after [prefix] in lexicographic order, for expressing a
+   prefix as the key range [prefix, successor). *)
+let prefix_successor prefix =
+  let n = String.length prefix in
+  let rec bump i =
+    if i < 0 then None
+    else if prefix.[i] = '\xff' then bump (i - 1)
+    else
+      Some
+        (String.sub prefix 0 i
+        ^ String.make 1 (Char.chr (Char.code prefix.[i] + 1)))
+  in
+  if n = 0 then None else bump (n - 1)
+
+let key_prefix ~name prefix =
+  { name;
+    satisfies =
+      (fun k _ ->
+        String.length k >= String.length prefix
+        && String.equal (String.sub k 0 (String.length prefix)) prefix);
+    range = Some (prefix, prefix_successor prefix) }
+
+(* The key range [lo, hi); [hi = None] means unbounded above. *)
+let key_range ~name ~lo ~hi =
+  { name;
+    satisfies =
+      (fun k _ -> lo <= k && match hi with Some hi -> k < hi | None -> true);
+    range = Some (lo, hi) }
+
+let key_in ~name keys =
+  { name; satisfies = (fun k _ -> List.mem k keys); range = None }
+
+let value_range ~name ~lo ~hi =
+  { name; satisfies = (fun _ v -> lo <= v && v <= hi); range = None }
+
+(* Conjunction, for predicates like "employees with positive hours". *)
+let conj ~name p q =
+  { name; satisfies = (fun k v -> p.satisfies k v && q.satisfies k v);
+    range = p.range }
+
+let pp ppf p = Fmt.string ppf p.name

@@ -1,0 +1,52 @@
+(** First-class predicates — the paper's [<search condition>]s (§2.3).
+
+    A predicate covers all data items satisfying it, including phantoms: a
+    write affects a predicate if membership holds or differs on either side
+    of the write. *)
+
+type key = History.Action.key
+type value = History.Action.value
+
+type t = {
+  name : string;
+  satisfies : key -> value -> bool;
+  range : (key * key option) option;
+      (** key range [lo, hi) when the predicate is one ([None] upper bound
+          is unbounded); enables next-key locking as an alternative
+          phantom guard *)
+}
+
+val make : name:string -> (key -> value -> bool) -> t
+val name : t -> string
+
+val range_bounds : t -> (key * key option) option
+(** The key range [lo, hi) covered, when the predicate is a range (item
+    predicates, prefixes and explicit ranges are; value predicates are
+    not). *)
+
+val matches_row : t -> key -> value option -> bool
+(** [None] (absent row) satisfies no predicate. *)
+
+val affected_by_write : t -> key -> before:value option -> after:value option -> bool
+(** Whether a write of the key, taking the row from [before] to [after]
+    (inserts have [before = None], deletes [after = None]), affects the
+    predicate. *)
+
+val item : key -> t
+(** The item lock as a predicate naming one record (§2.3). *)
+
+val all : t
+
+val prefix_successor : string -> string option
+(** The least string greater than every string with the given prefix, or
+    [None] when unbounded. *)
+
+val key_prefix : name:string -> string -> t
+
+val key_range : name:string -> lo:key -> hi:key option -> t
+(** Rows with [lo <= key < hi]. *)
+
+val key_in : name:string -> key list -> t
+val value_range : name:string -> lo:value -> hi:value -> t
+val conj : name:string -> t -> t -> t
+val pp : t Fmt.t

@@ -1,0 +1,23 @@
+(** Before-image undo recovery — executable form of the paper's §3
+    argument that P0 (dirty writes) must be excluded at every isolation
+    level or recovery by restoring before-images is unsound. *)
+
+type outcome = {
+  state : Store.t;        (** state after recovery *)
+  undone : Wal.txn list;  (** transactions rolled back *)
+}
+
+val replay : initial:Store.t -> Wal.t -> Store.t
+(** The state at the crash: every logged update applied in order. *)
+
+val recover : initial:Store.t -> Wal.t -> outcome
+(** Undo losers (in-flight transactions) by restoring before-images,
+    newest first; aborted transactions were compensated at run time.
+    Sound only in the absence of dirty writes. *)
+
+val ideal_state : initial:Store.t -> Wal.t -> Store.t
+(** The correct post-crash state: committed transactions' updates only. *)
+
+val recovery_correct : initial:Store.t -> Wal.t -> bool
+(** Does before-image undo reproduce the ideal state? False for P0
+    histories such as [w1[x] w2[x]] with T1 in flight at the crash. *)

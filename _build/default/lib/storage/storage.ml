@@ -1,0 +1,10 @@
+(* Umbrella module of the [storage] library: predicates, the
+   single-version store, the multiversion store, the write-ahead log and
+   before-image recovery. *)
+
+module Predicate = Predicate
+module Btree = Btree
+module Store = Store
+module Version_store = Version_store
+module Wal = Wal
+module Recovery = Recovery

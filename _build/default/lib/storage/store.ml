@@ -1,0 +1,51 @@
+(* Single-version store: the database a locking scheduler updates in
+   place. Rows are (key, value) with explicit presence, so inserts and
+   deletes are representable and predicate scans see exactly the present
+   rows.
+
+   Backed by the B+ tree, so ordered scans and the successor queries that
+   next-key locking relies on are index operations, not sorts. *)
+
+type key = History.Action.key
+type value = History.Action.value
+
+type t = value Btree.t
+
+let create () : t = Btree.create ()
+
+let of_list rows =
+  let s = create () in
+  List.iter (fun (k, v) -> Btree.insert s k v) rows;
+  s
+
+let get (s : t) k = Btree.find s k
+let mem (s : t) k = Btree.mem s k
+let put (s : t) k v = Btree.insert s k v
+let delete (s : t) k = ignore (Btree.remove s k)
+
+(* Restore a row to a previous state, as undo does: [None] removes it. *)
+let restore (s : t) k = function
+  | None -> delete s k
+  | Some v -> put s k v
+
+let to_list (s : t) = Btree.to_list s
+let keys s = List.map fst (to_list s)
+
+(* The smallest present key greater than or equal to [k] — the "next key"
+   that gap (next-key) locking guards. *)
+let next_key_geq (s : t) k = Option.map fst (Btree.successor s k)
+
+let scan (s : t) (p : Predicate.t) =
+  (* Range predicates scan only their index range; others scan all. *)
+  match Predicate.range_bounds p with
+  | Some (lo, hi) ->
+    List.filter (fun (k, v) -> p.Predicate.satisfies k v) (Btree.range s ~lo ~hi)
+  | None -> List.filter (fun (k, v) -> p.Predicate.satisfies k v) (to_list s)
+
+let copy (s : t) = Btree.copy s
+let equal (a : t) (b : t) = to_list a = to_list b
+
+let pp ppf s =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string int))
+    (to_list s)

@@ -1,0 +1,31 @@
+(** Single-version store: the database a locking scheduler updates in
+    place. Rows have explicit presence, so inserts, deletes and predicate
+    scans over present rows are all representable. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type t
+
+val create : unit -> t
+val of_list : (key * value) list -> t
+val get : t -> key -> value option
+val mem : t -> key -> bool
+val put : t -> key -> value -> unit
+val delete : t -> key -> unit
+
+val restore : t -> key -> value option -> unit
+(** Restore a row to a previous state ([None] removes it) — the undo
+    primitive. *)
+
+val to_list : t -> (key * value) list
+(** Rows sorted by key. *)
+
+val keys : t -> key list
+val next_key_geq : t -> key -> key option
+(** The smallest present key [>= k] — the "next key" that gap locking
+    guards. *)
+
+val scan : t -> Predicate.t -> (key * value) list
+val copy : t -> t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,138 @@
+(* Multiversion store (§4.2): each data item carries a chain of committed
+   versions stamped with the Commit-Timestamp of their writer. A read at
+   timestamp ts observes, for each key, the version with the largest
+   commit timestamp <= ts — the snapshot as of ts. Deletes install
+   tombstone versions, so phantom analysis works across inserts and
+   deletes. Timestamps come from a monotonic counter shared with the
+   transaction manager. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type ts = int
+
+type version = {
+  value : value option; (* None is a tombstone: the row was deleted *)
+  writer : History.Action.txn;
+  commit_ts : ts;
+}
+
+type t = {
+  chains : version list Btree.t; (* per key, newest first *)
+}
+
+let create () = { chains = Btree.create () }
+
+(* Initial rows are version 0, written by the virtual transaction 0 at
+   timestamp 0 — the paper's x0. *)
+let of_list rows =
+  let s = create () in
+  List.iter
+    (fun (k, v) ->
+      Btree.insert s.chains k [ { value = Some v; writer = 0; commit_ts = 0 } ])
+    rows;
+  s
+
+let chain s k = Option.value ~default:[] (Btree.find s.chains k)
+
+let version_at s ~ts k =
+  let rec find = function
+    | [] -> None
+    | v :: rest -> if v.commit_ts <= ts then Some v else find rest
+  in
+  find (chain s k)
+
+let read_at s ~ts k =
+  match version_at s ~ts k with
+  | Some { value; _ } -> value
+  | None -> None
+
+let latest s k = match chain s k with [] -> None | v :: _ -> Some v
+
+let read_latest s k =
+  match latest s k with Some { value; _ } -> value | None -> None
+
+(* All keys ever seen; scans filter by visibility at the timestamp. *)
+let keys s = List.map fst (Btree.to_list s.chains)
+
+let snapshot_at s ~ts =
+  List.filter_map
+    (fun k ->
+      match read_at s ~ts k with Some v -> Some (k, v) | None -> None)
+    (keys s)
+
+let scan_at s ~ts (p : Predicate.t) =
+  List.filter (fun (k, v) -> p.Predicate.satisfies k v) (snapshot_at s ~ts)
+
+(* Install a transaction's write set at its commit timestamp. *)
+let install s ~writer ~commit_ts writes =
+  List.iter
+    (fun (k, value) ->
+      Btree.insert s.chains k ({ value; writer; commit_ts } :: chain s k))
+    writes
+
+(* Has any version of [k] committed strictly after [ts]? This is the
+   First-Committer-Wins test: a transaction with Start-Timestamp ts must
+   abort if a concurrent transaction committed a write of any item it also
+   wrote (§4.2). *)
+let committed_after s ~ts k =
+  match latest s k with Some v -> v.commit_ts > ts | None -> false
+
+(* Every version installed with a commit timestamp after [ts], across all
+   keys — the read-validation set for serializable snapshot commits. *)
+let versions_committed_after s ~ts =
+  List.concat_map
+    (fun k ->
+      List.filter_map
+        (fun v -> if v.commit_ts > ts then Some (k, v) else None)
+        (chain s k))
+    (keys s)
+
+let writer_at s ~ts k =
+  match version_at s ~ts k with Some v -> Some v.writer | None -> None
+
+(* Version garbage collection: drop versions that no snapshot at or after
+   [horizon] can observe — everything strictly older than the newest
+   version with commit_ts <= horizon, per key. Reads at timestamps >=
+   horizon are unaffected; snapshots older than the horizon must no
+   longer be served (the engine tracks the oldest active Start-Timestamp
+   and passes it here). Returns how many versions were dropped. *)
+let prune s ~horizon =
+  let dropped = ref 0 in
+  List.iter
+    (fun k ->
+      let rec keep = function
+        | [] -> []
+        | v :: rest ->
+          if v.commit_ts <= horizon then begin
+            (* [v] is the newest version at or below the horizon: it stays
+               (it is what snapshots at the horizon read); everything
+               older goes. *)
+            dropped := !dropped + List.length rest;
+            [ v ]
+          end
+          else v :: keep rest
+      in
+      Btree.insert s.chains k (keep (chain s k)))
+    (keys s);
+  !dropped
+
+let version_count s =
+  List.fold_left (fun acc k -> acc + List.length (chain s k)) 0 (keys s)
+
+let to_latest_list s =
+  List.filter_map
+    (fun k ->
+      match read_latest s k with Some v -> Some (k, v) | None -> None)
+    (keys s)
+
+let pp ppf s =
+  let pp_version ppf v =
+    Fmt.pf ppf "%a@T%d/ts%d"
+      Fmt.(option ~none:(any "del") int)
+      v.value v.writer v.commit_ts
+  in
+  Fmt.pf ppf "{%a}"
+    Fmt.(
+      list ~sep:(any "; ")
+        (pair ~sep:(any ":") string (list ~sep:comma pp_version)))
+    (List.map (fun k -> (k, chain s k)) (keys s))

@@ -1,0 +1,57 @@
+(** Multiversion store (§4.2 of the paper): per-key chains of committed
+    versions stamped with their writer's Commit-Timestamp. A read at
+    timestamp [ts] observes the snapshot as of [ts]; deletes install
+    tombstones so phantoms work across inserts and deletes. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type ts = int
+
+type version = {
+  value : value option;  (** [None] is a tombstone (deleted row) *)
+  writer : History.Action.txn;
+  commit_ts : ts;
+}
+
+type t
+
+val create : unit -> t
+
+val of_list : (key * value) list -> t
+(** Initial rows become version 0, written by the virtual transaction 0 at
+    timestamp 0 — the paper's [x0]. *)
+
+val chain : t -> key -> version list
+(** Committed versions, newest first. *)
+
+val version_at : t -> ts:ts -> key -> version option
+val read_at : t -> ts:ts -> key -> value option
+val latest : t -> key -> version option
+val read_latest : t -> key -> value option
+val keys : t -> key list
+val snapshot_at : t -> ts:ts -> (key * value) list
+val scan_at : t -> ts:ts -> Predicate.t -> (key * value) list
+
+val install : t -> writer:History.Action.txn -> commit_ts:ts -> (key * value option) list -> unit
+(** Install a committed write set ([None] deletes). *)
+
+val committed_after : t -> ts:ts -> key -> bool
+(** Has any version of the key committed strictly after [ts]? The
+    First-Committer-Wins test (§4.2). *)
+
+val versions_committed_after : t -> ts:ts -> (key * version) list
+(** Every version with a commit timestamp strictly after [ts] — the
+    read-validation set for serializable snapshot commits. *)
+
+val writer_at : t -> ts:ts -> key -> History.Action.txn option
+val prune : t -> horizon:ts -> int
+(** Version garbage collection: drop versions no snapshot at or after
+    [horizon] can observe, returning how many were dropped. Reads at
+    timestamps [>= horizon] are unaffected; older snapshots must no
+    longer be served. *)
+
+val version_count : t -> int
+(** Total versions retained across all keys. *)
+
+val to_latest_list : t -> (key * value) list
+val pp : t Fmt.t

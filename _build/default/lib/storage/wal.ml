@@ -1,0 +1,47 @@
+(* Write-ahead log. The paper's second argument for P0 (§3) is that dirty
+   writes break recovery: "you don't want to undo w1[x] by restoring its
+   before-image, because that would wipe out w2's update". This log and the
+   companion Recovery module make that argument executable. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type txn = History.Action.txn
+
+type record =
+  | Begin of txn
+  | Update of { t : txn; k : key; before : value option; after : value option }
+  | Commit of txn
+  | Abort of txn
+
+let pp_record ppf = function
+  | Begin t -> Fmt.pf ppf "BEGIN(T%d)" t
+  | Update { t; k; before; after } ->
+    Fmt.pf ppf "UPDATE(T%d, %s, %a -> %a)" t k
+      Fmt.(option ~none:(any "absent") int)
+      before
+      Fmt.(option ~none:(any "absent") int)
+      after
+  | Commit t -> Fmt.pf ppf "COMMIT(T%d)" t
+  | Abort t -> Fmt.pf ppf "ABORT(T%d)" t
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+let append log r = log.records <- r :: log.records
+let records log = List.rev log.records
+let length log = List.length log.records
+
+let committed log =
+  List.filter_map (function Commit t -> Some t | _ -> None) (records log)
+
+let aborted log =
+  List.filter_map (function Abort t -> Some t | _ -> None) (records log)
+
+(* Transactions with a Begin but no terminal record: crashed in flight. *)
+let losers log =
+  let ended = committed log @ aborted log in
+  List.filter_map
+    (function Begin t when not (List.mem t ended) -> Some t | _ -> None)
+    (records log)
+
+let pp ppf log = Fmt.(list ~sep:sp pp_record) ppf (records log)

@@ -1,0 +1,31 @@
+(** Write-ahead log with before/after images, making the paper's recovery
+    argument for P0 (§3) executable. *)
+
+type key = History.Action.key
+type value = History.Action.value
+type txn = History.Action.txn
+
+type record =
+  | Begin of txn
+  | Update of { t : txn; k : key; before : value option; after : value option }
+  | Commit of txn
+  | Abort of txn
+
+val pp_record : record Fmt.t
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val records : t -> record list
+(** In append order. *)
+
+val length : t -> int
+val committed : t -> txn list
+val aborted : t -> txn list
+
+val losers : t -> txn list
+(** Transactions with a [Begin] but no terminal record — in-flight at the
+    crash. *)
+
+val pp : t Fmt.t

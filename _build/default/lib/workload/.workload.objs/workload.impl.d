@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Catalog Generators Paper_histories Scenario Script

@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Core Executor List Phenomena Scenario Storage

@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Array Core Fun List Printf Random Storage

@@ -1,0 +1,1 @@
+lib/workload/paper_histories.ml: History Phenomena

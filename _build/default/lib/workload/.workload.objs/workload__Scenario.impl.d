@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Core Fmt List Phenomena Storage String

@@ -1,0 +1,1 @@
+lib/workload/script.ml: Core Fmt List Printf Result Storage String

@@ -1,0 +1,470 @@
+(* The scenario catalog: executable forms of every anomaly the paper
+   names, mostly transcribed from its own example histories (H1-H5, the
+   §4.2 job-task phantom, the §3 P0 consistency and recovery arguments).
+
+   Scenario T1 plays the template's T1 role; T2 the interfering role. *)
+
+module P = Phenomena.Phenomenon
+module Program = Core.Program
+module Predicate = Storage.Predicate
+
+open Scenario
+
+let item k = Predicate.item k
+
+(* A conditional withdrawal: take [amount] from [k] only if the sum of the
+   previously read [x] and [y] covers it — the constraint-preserving
+   transaction of the paper's H5 discussion. If the condition fails the
+   write is a no-op rewrite of the old value. *)
+let withdraw_if_covered ~x ~y ~from_ amount env =
+  let sum = Program.value_of env x + Program.value_of env y in
+  let current = Program.value_of env from_ in
+  if sum >= amount then current - amount else current
+
+(* P0 — the paper's two arguments that dirty writes must be outlawed. *)
+
+let p0_cross_write =
+  {
+    id = "P0/cross-write";
+    phenomenon = P.P0;
+    description =
+      "T1 writes x=1,y=1 and T2 writes x=2,y=2; interleaved dirty writes \
+       can violate the constraint x = y (paper §3)";
+    initial = [ ("x", 0); ("y", 0) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"ones"
+          [ Program.Write ("x", Program.const 1);
+            Program.Write ("y", Program.const 1); Program.Commit ];
+        Program.make ~name:"twos"
+          [ Program.Write ("x", Program.const 2);
+            Program.Write ("y", Program.const 2); Program.Commit ];
+      ];
+    exhibits =
+      (fun r -> all_committed r && final_value r "x" <> final_value r "y");
+  }
+
+let p0_undo =
+  {
+    id = "P0/undo";
+    phenomenon = P.P0;
+    description =
+      "w1[x] w2[x] a1: rolling T1 back by restoring its before-image wipes \
+       out T2's committed update (paper §3)";
+    initial = [ ("x", 0) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"aborter"
+          [ Program.Write ("x", Program.const 1); Program.Abort ];
+        Program.make ~name:"writer"
+          [ Program.Write ("x", Program.const 2); Program.Commit ];
+      ];
+    exhibits = (fun r -> committed r 2 && final_value r "x" <> Some 2);
+  }
+
+(* P1 / A1 — dirty read: T2 reads a value that is later rolled back. *)
+
+let p1_dirty_read =
+  {
+    id = "P1/dirty-read";
+    phenomenon = P.P1;
+    description =
+      "T1 writes x=10 and aborts; T2 reads x in between and commits having \
+       seen a value that never existed";
+    initial = [ ("x", 100) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"aborter"
+          [ Program.Write ("x", Program.const 10); Program.Abort ];
+        Program.make ~name:"reader" [ Program.Read "x"; Program.Commit ];
+      ];
+    exhibits = (fun r -> committed r 2 && last_read r 2 "x" = Some 10);
+  }
+
+let a1 = { p1_dirty_read with id = "A1/dirty-read"; phenomenon = P.A1 }
+
+(* P1 — inconsistent analysis, the paper's H1: T2 need not read dirty data
+   that aborts; reading mid-transfer is enough to see a broken invariant. *)
+
+let p1_inconsistent_analysis =
+  {
+    id = "P1/H1";
+    phenomenon = P.P1;
+    description =
+      "the paper's H1: T1 transfers 40 from x to y; T2 reads both mid-flight \
+       and sees total 60 instead of 100";
+    initial = [ ("x", 50); ("y", 50) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"transfer"
+          [ Program.Read "x"; Program.Write ("x", Program.read_plus "x" (-40));
+            Program.Read "y"; Program.Write ("y", Program.read_plus "y" 40);
+            Program.Commit ];
+        Program.make ~name:"audit"
+          [ Program.Read "x"; Program.Read "y"; Program.Commit ];
+      ];
+    exhibits =
+      (fun r ->
+        committed r 2
+        &&
+        match (last_read r 2 "x", last_read r 2 "y") with
+        | Some x, Some y -> x + y = 60
+        | _ -> false);
+  }
+
+(* P2 / A2 — fuzzy read: the same transaction reads an item twice. *)
+
+let p2_reread =
+  {
+    id = "P2/reread";
+    phenomenon = P.P2;
+    description =
+      "T1 reads x twice; T2 updates x and commits in between; T1's reads \
+       disagree";
+    initial = [ ("x", 50) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"rereader"
+          [ Program.Read "x"; Program.Read "x"; Program.Commit ];
+        Program.make ~name:"updater"
+          [ Program.Write ("x", Program.const 60); Program.Commit ];
+      ];
+    exhibits = (fun r -> committed r 1 && unrepeatable_read r 1 "x");
+  }
+
+let p2_cursored =
+  {
+    id = "P2/cursored";
+    phenomenon = P.P2;
+    description =
+      "T1 reads x twice through cursors (the §4.1 stability technique); \
+       under Cursor Stability the held cursor blocks the update";
+    initial = [ ("x", 50) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"rereader"
+          [
+            Program.Open_cursor { cursor = "c1"; pred = item "x"; for_update = false };
+            Program.Fetch "c1";
+            Program.Open_cursor { cursor = "c2"; pred = item "x"; for_update = false };
+            Program.Fetch "c2";
+            Program.Commit;
+          ];
+        Program.make ~name:"updater"
+          [ Program.Write ("x", Program.const 60); Program.Commit ];
+      ];
+    exhibits = (fun r -> committed r 1 && unrepeatable_read r 1 "x");
+  }
+
+let a2 = { p2_reread with id = "A2/reread"; phenomenon = P.A2 }
+
+(* P3 / A3 — phantoms. *)
+
+let employees = Predicate.key_prefix ~name:"Employees" "emp_"
+let tasks = Predicate.key_prefix ~name:"Tasks" "task_"
+
+(* Add a 1-hour task only if the hours just scanned leave room under the
+   8-hour constraint; otherwise insert a 0-hour task (a no-op w.r.t. the
+   constraint). A serial execution therefore never breaks it. *)
+let add_hour_if_room env =
+  if Program.scan_sum env "Tasks" <= 7 then 1 else 0
+
+let p3_rescan =
+  {
+    id = "P3/rescan";
+    phenomenon = P.P3;
+    description =
+      "T1 evaluates the Employees predicate twice; T2 inserts a matching \
+       row and commits in between; T1 sees a phantom";
+    initial = [ ("emp_a", 1); ("emp_b", 1) ];
+    predicates = [ employees ];
+    programs =
+      [
+        Program.make ~name:"scanner"
+          [ Program.Scan employees; Program.Scan employees; Program.Commit ];
+        Program.make ~name:"hirer"
+          [ Program.Insert ("emp_c", Program.const 1); Program.Commit ];
+      ];
+    exhibits = (fun r -> committed r 1 && unrepeatable_scan r 1 "Employees");
+  }
+
+let p3_constraint =
+  {
+    id = "P3/constraint";
+    phenomenon = P.P3;
+    description =
+      "the §4.2 job-task scenario: both transactions check that total task \
+       hours stay <= 8 and each inserts a 1-hour task; disjoint inserts \
+       evade First-Committer-Wins and break the constraint";
+    initial = [ ("task_a", 3); ("task_b", 4) ];
+    predicates = [ tasks ];
+    programs =
+      [
+        Program.make ~name:"adder1"
+          [ Program.Scan tasks;
+            Program.Insert ("task_x", add_hour_if_room); Program.Commit ];
+        Program.make ~name:"adder2"
+          [ Program.Scan tasks;
+            Program.Insert ("task_y", add_hour_if_room); Program.Commit ];
+      ];
+    exhibits = (fun r -> all_committed r && final_sum ~prefix:"task_" r > 8);
+  }
+
+let a3 = { p3_rescan with id = "A3/rescan"; phenomenon = P.A3 }
+
+(* The paper's H3 verbatim: T1 lists the active employees and then checks
+   the company's headcount register z; T2 hires someone and bumps z in
+   between. T1 sees a register that disagrees with the list it just
+   read — a phantom without any re-evaluation of the predicate. *)
+let p3_aggregate =
+  {
+    id = "P3/H3-aggregate";
+    phenomenon = P.P3;
+    description =
+      "the paper's H3: T1 scans Employees then reads the headcount z; T2        inserts an employee and increments z in between; T1's two facts        disagree";
+    initial = [ ("emp_a", 1); ("emp_b", 1); ("z", 2) ];
+    predicates = [ employees ];
+    programs =
+      [
+        Program.make ~name:"auditor"
+          [ Program.Scan employees; Program.Read "z"; Program.Commit ];
+        Program.make ~name:"hirer"
+          [ Program.Insert ("emp_c", Program.const 1);
+            Program.Write ("z", Program.const 3); Program.Commit ];
+      ];
+    exhibits =
+      (fun r ->
+        committed r 1
+        &&
+        match (scans_of r 1 "Employees", last_read r 1 "z") with
+        | [ rows ], Some z -> List.length rows <> z
+        | _ -> false);
+  }
+
+(* P4 — lost update, the paper's H4, plus the cursor variants of §4.1. *)
+
+let p4_plain =
+  {
+    id = "P4/plain";
+    phenomenon = P.P4;
+    description =
+      "the paper's H4: both transactions add to x from a prior read; a \
+       lost update leaves x at 120 or 130 instead of 150";
+    initial = [ ("x", 100) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"add30"
+          [ Program.Read "x"; Program.Write ("x", Program.read_plus "x" 30);
+            Program.Commit ];
+        Program.make ~name:"add20"
+          [ Program.Read "x"; Program.Write ("x", Program.read_plus "x" 20);
+            Program.Commit ];
+      ];
+    exhibits =
+      (fun r ->
+        all_committed r
+        && final_value r "x" <> Some 150
+        && Phenomena.Detect.occurs P.P4 r.Executor.history);
+  }
+
+let cursor_add ~name ~for_update amount =
+  Program.make ~name
+    [
+      Program.Open_cursor { cursor = "c"; pred = item "x"; for_update };
+      Program.Fetch "c";
+      Program.Cursor_write ("c", Program.read_plus "x" amount);
+      Program.Commit;
+    ]
+
+let p4_cursor =
+  {
+    id = "P4/cursor";
+    phenomenon = P.P4;
+    description =
+      "H4 with both transactions accessing x through cursors: Cursor \
+       Stability's held cursor locks force a deadlock instead of a loss, \
+       plain READ COMMITTED still loses an update";
+    initial = [ ("x", 100) ];
+    predicates = [];
+    programs =
+      [ cursor_add ~name:"add30" ~for_update:false 30;
+        cursor_add ~name:"add20" ~for_update:false 20 ];
+    exhibits =
+      (fun r ->
+        all_committed r
+        && final_value r "x" <> Some 150
+        && Phenomena.Detect.occurs P.P4 r.Executor.history);
+  }
+
+let p4c =
+  {
+    id = "P4C/cursor";
+    phenomenon = P.P4C;
+    description =
+      "rc1[x]...w2[x]...wc1[x]: lost cursor update; prevented by Cursor \
+       Stability and by Oracle's updatable cursors (for-update fetch locks)";
+    initial = [ ("x", 100) ];
+    predicates = [];
+    programs =
+      [
+        cursor_add ~name:"add30" ~for_update:true 30;
+        Program.make ~name:"add20"
+          [ Program.Read "x"; Program.Write ("x", Program.read_plus "x" 20);
+            Program.Commit ];
+      ];
+    exhibits =
+      (fun r ->
+        all_committed r
+        && final_value r "x" <> Some 150
+        && Phenomena.Detect.occurs P.P4C r.Executor.history);
+  }
+
+(* A5A — read skew, the paper's H2. *)
+
+let a5a =
+  {
+    id = "A5A/read-skew";
+    phenomenon = P.A5A;
+    description =
+      "the paper's H2: T2 transfers 40 from x to y; T1 reads x before and \
+       y after and sees total 140";
+    initial = [ ("x", 50); ("y", 50) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"audit"
+          [ Program.Read "x"; Program.Read "y"; Program.Commit ];
+        Program.make ~name:"transfer"
+          [ Program.Read "x"; Program.Read "y";
+            Program.Write ("x", Program.read_plus "x" (-40));
+            Program.Write ("y", Program.read_plus "y" 40); Program.Commit ];
+      ];
+    exhibits =
+      (fun r ->
+        committed r 1
+        &&
+        match (last_read r 1 "x", last_read r 1 "y") with
+        | Some x, Some y -> x + y <> 100
+        | _ -> false);
+  }
+
+(* A5B — write skew, the paper's H5 with the bank constraint x + y >= 0:
+   each transaction withdraws 90 only if the joint balance covers it. *)
+
+let skew_withdraw ~name ~from_ =
+  Program.make ~name
+    [
+      Program.Read "x"; Program.Read "y";
+      Program.Write (from_, withdraw_if_covered ~x:"x" ~y:"y" ~from_ 90);
+      Program.Commit;
+    ]
+
+let a5b_plain =
+  {
+    id = "A5B/write-skew";
+    phenomenon = P.A5B;
+    description =
+      "the paper's H5: both transactions verify x + y >= 90 and withdraw \
+       90 from different accounts; the constraint x + y >= 0 breaks";
+    initial = [ ("x", 50); ("y", 50) ];
+    predicates = [];
+    programs =
+      [ skew_withdraw ~name:"withdraw-y" ~from_:"y";
+        skew_withdraw ~name:"withdraw-x" ~from_:"x" ];
+    exhibits =
+      (fun r ->
+        all_committed r
+        &&
+        match (final_value r "x", final_value r "y") with
+        | Some x, Some y -> x + y < 0
+        | _ -> false);
+  }
+
+(* The §4.1 multiple-cursor technique: holding a cursor on each item
+   parlays Cursor Stability into repeatable-read-like protection. *)
+let skew_withdraw_cursored ~name ~from_ =
+  Program.make ~name
+    [
+      Program.Open_cursor { cursor = "cx"; pred = item "x"; for_update = false };
+      Program.Fetch "cx";
+      Program.Open_cursor { cursor = "cy"; pred = item "y"; for_update = false };
+      Program.Fetch "cy";
+      Program.Cursor_write
+        ((if from_ = "x" then "cx" else "cy"),
+         withdraw_if_covered ~x:"x" ~y:"y" ~from_ 90);
+      Program.Commit;
+    ]
+
+let a5b_multi_cursor =
+  {
+    a5b_plain with
+    id = "A5B/multi-cursor";
+    description =
+      "H5 with both items held by cursors (§4.1's multiple-cursor \
+       technique): Cursor Stability then behaves like REPEATABLE READ";
+    programs =
+      [ skew_withdraw_cursored ~name:"withdraw-y" ~from_:"y";
+        skew_withdraw_cursored ~name:"withdraw-x" ~from_:"x" ];
+  }
+
+(* The read-only transaction anomaly (Fekete, O'Neil & O'Neil 2004) —
+   the famous successor result to this paper: under Snapshot Isolation
+   even a READ-ONLY transaction can observe a state incompatible with
+   every serial order. T2 starts a withdrawal against the joint balance
+   (with a penalty if it would go negative), T1 deposits into savings and
+   commits, a read-only audit T3 then sees the deposit but not the
+   withdrawal — yet the withdrawal commits WITH the penalty computed
+   before the deposit. No serial order explains all three views. *)
+let a5b_read_only_anomaly =
+  {
+    id = "A5B/read-only";
+    phenomenon = P.A5B;
+    description =
+      "Fekete/O'Neil/O'Neil read-only transaction anomaly: an audit sees        the deposit but not the withdrawal, while the withdrawal pays a        penalty that the deposit should have averted";
+    initial = [ ("x", 0); ("y", 0) ];
+    predicates = [];
+    programs =
+      [
+        Program.make ~name:"withdraw"
+          [
+            Program.Read "x"; Program.Read "y";
+            Program.Write
+              ( "x",
+                fun env ->
+                  let x = Program.value_of env "x"
+                  and y = Program.value_of env "y" in
+                  if x + y - 10 < 0 then x - 11 else x - 10 );
+            Program.Commit;
+          ];
+        Program.make ~name:"deposit"
+          [ Program.Read "y"; Program.Write ("y", Program.read_plus "y" 20);
+            Program.Commit ];
+        Program.make ~name:"audit"
+          [ Program.Read "x"; Program.Read "y"; Program.Commit ];
+      ];
+    exhibits =
+      (fun r ->
+        all_committed r
+        && last_read r 3 "x" = Some 0
+        && last_read r 3 "y" = Some 20
+        && final_value r "x" = Some (-11));
+  }
+
+(* The full catalog, and the scenarios classifying each Table-4 column. *)
+
+let all =
+  [
+    p0_cross_write; p0_undo; p1_dirty_read; p1_inconsistent_analysis; a1;
+    p2_reread; p2_cursored; a2; p3_rescan; p3_constraint; p3_aggregate; a3;
+    p4_plain;
+    p4_cursor; p4c; a5a; a5b_plain; a5b_multi_cursor; a5b_read_only_anomaly;
+  ]
+
+let for_phenomenon p = List.filter (fun s -> s.phenomenon = p) all

@@ -1,0 +1,134 @@
+(* Random workload generators: arbitrary well-formed programs and
+   schedules for property tests, and the parameterized workloads behind
+   the §4.2 performance claims (readers never block under SI; long update
+   transactions starve under First-Committer-Wins). *)
+
+module Program = Core.Program
+module Predicate = Storage.Predicate
+
+let pick rand xs = List.nth xs (Random.State.int rand (List.length xs))
+
+(* A random straight-line program over [keys]: reads, computed writes,
+   inserts, deletes and predicate scans, ending in commit (or, rarely, a
+   user abort). *)
+let random_program ?(allow_abort = true) ~rand ~keys ~ops () =
+  let scan_pred = Predicate.all in
+  let rec build n acc read_keys =
+    if n = 0 then List.rev (pick_end () :: acc)
+    else
+      let op =
+        match Random.State.int rand 10 with
+        | 0 | 1 | 2 | 3 ->
+          let k = pick rand keys in
+          `Read k
+        | 4 | 5 | 6 ->
+          let k = pick rand keys in
+          `Write k
+        | 7 -> `Insert (pick rand keys)
+        | 8 -> `Delete (pick rand keys)
+        | _ -> `Scan
+      in
+      match op with
+      | `Read k -> build (n - 1) (Program.Read k :: acc) (k :: read_keys)
+      | `Write k ->
+        let expr =
+          if List.mem k read_keys && Random.State.bool rand then begin
+            (* Total even if the row was read as absent (e.g. deleted). *)
+            let delta = Random.State.int rand 20 - 10 in
+            fun env -> Program.value_or env k ~default:0 + delta
+          end
+          else Program.const (Random.State.int rand 100)
+        in
+        build (n - 1) (Program.Write (k, expr) :: acc) read_keys
+      | `Insert k ->
+        build (n - 1)
+          (Program.Insert (k, Program.const (Random.State.int rand 100)) :: acc)
+          read_keys
+      | `Delete k -> build (n - 1) (Program.Delete k :: acc) read_keys
+      | `Scan -> build (n - 1) (Program.Scan scan_pred :: acc) read_keys
+  and pick_end () =
+    if allow_abort && Random.State.int rand 10 = 0 then Program.Abort
+    else Program.Commit
+  in
+  Program.make ~name:"random" (build ops [] [])
+
+let random_programs ?allow_abort ~rand ~keys ~txns ~ops () =
+  List.init txns (fun _ -> random_program ?allow_abort ~rand ~keys ~ops ())
+
+(* A uniformly random merge of the programs' attempt sequences. One extra
+   attempt per program covers the auto-commit. *)
+let random_schedule ~rand programs =
+  let remaining =
+    Array.of_list (List.map (fun p -> Program.length p + 1) programs)
+  in
+  let total = Array.fold_left ( + ) 0 remaining in
+  let rec draw acc left =
+    if left = 0 then List.rev acc
+    else begin
+      let live =
+        List.filter
+          (fun i -> remaining.(i) > 0)
+          (List.init (Array.length remaining) Fun.id)
+      in
+      let i = pick rand live in
+      remaining.(i) <- remaining.(i) - 1;
+      draw ((i + 1) :: acc) (left - 1)
+    end
+  in
+  draw [] total
+
+(* {2 Performance workloads (§4.2 claims)} *)
+
+let account i = Printf.sprintf "acct_%03d" i
+
+let bank_accounts n = List.init n (fun i -> (account i, 100))
+
+(* A read-only audit sweeping all accounts. *)
+let audit_program ~accounts =
+  Program.make ~name:"audit"
+    (List.init accounts (fun i -> Program.Read (account i)) @ [ Program.Commit ])
+
+(* A short transfer between two random accounts. *)
+let transfer_program ~rand ~accounts ~amount =
+  let a = Random.State.int rand accounts in
+  let b = (a + 1 + Random.State.int rand (max 1 (accounts - 1))) mod accounts in
+  Program.make ~name:"transfer"
+    [
+      Program.Read (account a);
+      Program.Write (account a, Program.read_plus (account a) (-amount));
+      Program.Read (account b);
+      Program.Write (account b, Program.read_plus (account b) amount);
+      Program.Commit;
+    ]
+
+(* Read-heavy mix: one long audit and [writers] short transfers. Under
+   two-phase locking the audit and the transfers block each other; under
+   Snapshot Isolation the audit reads its snapshot and never blocks. *)
+let read_heavy ~rand ~accounts ~writers =
+  audit_program ~accounts
+  :: List.init writers (fun _ -> transfer_program ~rand ~accounts ~amount:1)
+
+(* One long update transaction touching [touches] accounts, competing with
+   [writers] short high-contention updates on the same accounts — the
+   §4.2 regime where the long transaction "is unlikely to be the first
+   writer of everything it writes". *)
+let long_vs_short ~rand ~accounts ~touches ~writers =
+  let long =
+    Program.make ~name:"long-update"
+      (List.concat_map
+         (fun i ->
+           [ Program.Read (account i);
+             Program.Write (account i, Program.read_plus (account i) 1) ])
+         (List.init touches (fun i -> i mod accounts))
+      @ [ Program.Commit ])
+  in
+  let short _ =
+    let a = Random.State.int rand accounts in
+    Program.make ~name:"short-update"
+      [
+        Program.Read (account a);
+        Program.Write (account a, Program.read_plus (account a) (-1));
+        Program.Commit;
+      ]
+  in
+  long :: List.init writers short

@@ -1,0 +1,81 @@
+(* The paper's example histories, transcribed verbatim from the text, with
+   the phenomena the paper says they do and do not exhibit. Tests and the
+   Table-1 bench replay these through the detectors. *)
+
+module P = Phenomena.Phenomenon
+
+type t = {
+  name : string;
+  text : string; (* the paper's notation, as printed *)
+  history : History.t;
+  exhibits : P.t list;     (* phenomena the paper says occur *)
+  avoids : P.t list;       (* phenomena the paper stresses do NOT occur *)
+  serializable : bool;
+  section : string;
+}
+
+let make name ~text ~exhibits ~avoids ~serializable ~section =
+  { name; text; history = History.of_string text; exhibits; avoids;
+    serializable; section }
+
+(* H1: inconsistent analysis — violates P1 but none of A1, A2, A3 (§3). *)
+let h1 =
+  make "H1"
+    ~text:"r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1"
+    ~exhibits:[ P.P1 ]
+    ~avoids:[ P.A1; P.A2; P.A3 ]
+    ~serializable:false ~section:"3"
+
+(* H2: inconsistent analysis without dirty reads — violates P2, not A2. *)
+let h2 =
+  make "H2"
+    ~text:"r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1"
+    ~exhibits:[ P.P2; P.A5A ]
+    ~avoids:[ P.P1; P.A2 ]
+    ~serializable:false ~section:"3"
+
+(* H3: phantom via a dependent aggregate — violates P3, not A3. *)
+let h3 =
+  make "H3"
+    ~text:"r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1"
+    ~exhibits:[ P.P3 ]
+    ~avoids:[ P.A3 ]
+    ~serializable:false ~section:"3"
+
+(* H4: lost update (§4.1). *)
+let h4 =
+  make "H4"
+    ~text:"r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1"
+    ~exhibits:[ P.P4; P.P2 ]
+    ~avoids:[ P.P0; P.P1 ]
+    ~serializable:false ~section:"4.1"
+
+(* H5: write skew (§4.2). *)
+let h5 =
+  make "H5"
+    ~text:"r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2"
+    ~exhibits:[ P.A5B; P.P2 ]
+    ~avoids:[ P.P0; P.P1; P.P4 ]
+    ~serializable:false ~section:"4.2"
+
+(* H1 under Snapshot Isolation: the same action sequence as a multiversion
+   history, whose dataflows are serializable (§4.2). *)
+let h1_si =
+  make "H1.SI"
+    ~text:"r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1"
+    ~exhibits:[] ~avoids:[] ~serializable:true ~section:"4.2"
+
+(* The paper's single-valued mapping of H1.SI. *)
+let h1_si_sv =
+  make "H1.SI.SV"
+    ~text:"r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1"
+    ~exhibits:[] ~avoids:[ P.P1; P.P2 ] ~serializable:true ~section:"4.2"
+
+(* The §3 dirty-write consistency violation: both transactions write x and
+   y; T1's change to y and T2's to x both survive. *)
+let p0_example =
+  make "P0-example"
+    ~text:"w1[x] w2[x] w2[y] c2 w1[y] c1"
+    ~exhibits:[ P.P0 ] ~avoids:[] ~serializable:false ~section:"3"
+
+let all = [ h1; h2; h3; h4; h5; h1_si; h1_si_sv; p0_example ]

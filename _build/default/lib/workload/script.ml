@@ -1,0 +1,138 @@
+(* A tiny concrete syntax for transaction programs, so the command line
+   (and quick experiments) can express workloads without writing OCaml:
+
+     r x; w y += 40 | r x; r y; commit
+
+   Transactions are separated by '|', statements by ';'. Statements:
+
+     r KEY              read
+     w KEY = N          write the constant N
+     w KEY += N         read KEY and write KEY + N   (w KEY -= N likewise)
+     ins KEY = N        insert
+     del KEY            delete
+     scan PREFIX*       scan keys with the given prefix ('*' alone = all)
+     open CUR PREFIX*   open cursor CUR over the prefix
+     openu CUR PREFIX*  the same, for update
+     fetch CUR          fetch the cursor's next row
+     wc CUR = N         update the current row of CUR
+     close CUR          close the cursor
+     commit / abort     terminate (programs without one auto-commit)
+
+   Also parses initial-state assignments: "x=50, y=50". *)
+
+module Program = Core.Program
+module Predicate = Storage.Predicate
+
+type error = { statement : string; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "in %S: %s" e.statement e.message
+
+let fail statement fmt =
+  Fmt.kstr (fun message -> Error { statement; message }) fmt
+
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let scan_predicate spec =
+  if spec = "*" then Predicate.all
+  else if String.length spec > 0 && spec.[String.length spec - 1] = '*' then
+    let prefix = String.sub spec 0 (String.length spec - 1) in
+    Predicate.key_prefix ~name:(prefix ^ "*") prefix
+  else Predicate.item spec
+
+let parse_int statement s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> fail statement "expected an integer, found %S" s
+
+(* One statement -> the operations it expands to. *)
+let parse_statement statement =
+  let ( let* ) = Result.bind in
+  match tokens statement with
+  | [] -> Ok []
+  | [ "r"; k ] -> Ok [ Program.Read k ]
+  | [ "w"; k; "="; n ] ->
+    let* n = parse_int statement n in
+    Ok [ Program.Write (k, Program.const n) ]
+  | [ "w"; k; "+="; n ] ->
+    let* n = parse_int statement n in
+    Ok [ Program.Read k; Program.Write (k, Program.read_plus k n) ]
+  | [ "w"; k; "-="; n ] ->
+    let* n = parse_int statement n in
+    Ok [ Program.Read k; Program.Write (k, Program.read_plus k (-n)) ]
+  | [ "ins"; k; "="; n ] ->
+    let* n = parse_int statement n in
+    Ok [ Program.Insert (k, Program.const n) ]
+  | [ "del"; k ] -> Ok [ Program.Delete k ]
+  | [ "scan"; spec ] -> Ok [ Program.Scan (scan_predicate spec) ]
+  | [ "open"; cur; spec ] ->
+    Ok [ Program.Open_cursor { cursor = cur; pred = scan_predicate spec; for_update = false } ]
+  | [ "openu"; cur; spec ] ->
+    Ok [ Program.Open_cursor { cursor = cur; pred = scan_predicate spec; for_update = true } ]
+  | [ "fetch"; cur ] -> Ok [ Program.Fetch cur ]
+  | [ "wc"; cur; "="; n ] ->
+    let* n = parse_int statement n in
+    Ok [ Program.Cursor_write (cur, Program.const n) ]
+  | [ "close"; cur ] -> Ok [ Program.Close_cursor cur ]
+  | [ "commit" ] -> Ok [ Program.Commit ]
+  | [ "abort" ] -> Ok [ Program.Abort ]
+  | _ -> fail statement "unrecognized statement"
+
+let parse_program i text =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | stmt :: rest -> (
+      match parse_statement stmt with
+      | Ok ops -> go (List.rev_append ops acc) rest
+      | Error _ as e -> e)
+  in
+  match go [] (String.split_on_char ';' text) with
+  | Ok ops -> Ok (Program.make ~name:(Printf.sprintf "T%d" (i + 1)) ops)
+  | Error _ as e -> e
+
+(* "r x; w y += 40 | r x; r y" -> the transaction programs. *)
+let parse text =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | prog :: rest -> (
+      match parse_program i prog with
+      | Ok p -> go (i + 1) (p :: acc) rest
+      | Error _ as e -> e)
+  in
+  go 0 [] (String.split_on_char '|' text)
+
+(* The predicates a parsed workload scans, for trace annotation. *)
+let predicates_of programs =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (function
+          | Program.Scan pred | Program.Open_cursor { pred; _ } -> Some pred
+          | _ -> None)
+        p.Program.ops)
+    programs
+  |> List.fold_left
+       (fun acc p ->
+         if List.exists (fun q -> Predicate.name q = Predicate.name p) acc then acc
+         else p :: acc)
+       []
+  |> List.rev
+
+(* "x=50, y=50" -> the initial rows. *)
+let parse_initial text =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | binding :: rest -> (
+      let binding = String.trim binding in
+      if binding = "" then go acc rest
+      else
+        match String.split_on_char '=' binding with
+        | [ k; v ] -> (
+          match int_of_string_opt (String.trim v) with
+          | Some n -> go ((String.trim k, n) :: acc) rest
+          | None -> fail binding "expected KEY=INT")
+        | _ -> fail binding "expected KEY=INT")
+  in
+  go [] (String.split_on_char ',' text)

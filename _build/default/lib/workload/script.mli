@@ -1,0 +1,17 @@
+(** A tiny concrete syntax for transaction programs, used by the command
+    line: transactions separated by ['|'], statements by [';'] —
+    [r x; w y += 40 | r x; r y]. See the implementation header for the
+    full statement list. *)
+
+type error = { statement : string; message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Core.Program.t list, error) result
+(** Parse a workload: one program per ['|']-separated section. *)
+
+val predicates_of : Core.Program.t list -> Storage.Predicate.t list
+(** The distinct predicates the workload scans (for trace annotation). *)
+
+val parse_initial : string -> ((string * int) list, error) result
+(** Parse initial rows: ["x=50, y=50"]. *)

@@ -1,0 +1,9 @@
+(* Umbrella module of the [workload] library: the paper's example
+   histories, the scenario catalog classifying each phenomenon, and random
+   workload generators. *)
+
+module Scenario = Scenario
+module Catalog = Catalog
+module Paper_histories = Paper_histories
+module Generators = Generators
+module Script = Script

@@ -1,0 +1,7 @@
+  $ isolation_lab analyze "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1"
+  $ isolation_lab analyze "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1"
+  $ isolation_lab run --level "read uncommitted" --init "x=50, y=50" --schedule 1112221111 "r x; w x -= 40; r y; w y += 40 | r x; r y"
+  $ isolation_lab run --level si --init "x=50, y=50" --schedule 1112221111 "r x; w x -= 40; r y; w y += 40 | r x; r y"
+  $ isolation_lab classify --level "cursor stability" -p P4
+  $ isolation_lab analyze "r1[x"
+  $ isolation_lab run --level bogus "r x"

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Core History Isolation List Phenomena QCheck2 QCheck_alcotest String

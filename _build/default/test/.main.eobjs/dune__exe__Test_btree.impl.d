@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest List Printf QCheck2 Storage Support

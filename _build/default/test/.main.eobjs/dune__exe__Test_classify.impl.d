@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Fmt Isolation List Phenomena Sim Support

@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest History List Phenomena Support

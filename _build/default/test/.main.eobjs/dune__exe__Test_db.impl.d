@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Core History Isolation List Storage String

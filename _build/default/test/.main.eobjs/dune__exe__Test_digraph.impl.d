@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Fun Hashtbl History List Printf QCheck2 Support

@@ -1,0 +1,1 @@
+test/test_discipline.ml: Alcotest Array Core Isolation List Locking Option QCheck2 Random Storage Support Workload

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Core History Isolation List Storage Support Workload

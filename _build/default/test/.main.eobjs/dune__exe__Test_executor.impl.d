@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Core History Isolation List Sim Support

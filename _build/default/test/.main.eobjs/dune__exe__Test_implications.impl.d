@@ -1,0 +1,1 @@
+test/test_implications.ml: History List Phenomena QCheck2 Support

@@ -1,0 +1,1 @@
+test/test_isolation.ml: Alcotest Fmt Isolation List Phenomena Support

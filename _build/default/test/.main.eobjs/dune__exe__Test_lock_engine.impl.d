@@ -1,0 +1,1 @@
+test/test_lock_engine.ml: Alcotest Core History Isolation List Phenomena Random Storage Support Workload

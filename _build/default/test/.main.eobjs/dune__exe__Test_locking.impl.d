@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Isolation List Locking Storage

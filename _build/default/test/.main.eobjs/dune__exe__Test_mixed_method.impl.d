@@ -1,0 +1,1 @@
+test/test_mixed_method.ml: Alcotest Core History Isolation List Sim Storage Workload

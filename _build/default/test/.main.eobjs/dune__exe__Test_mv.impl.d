@@ -1,0 +1,1 @@
+test/test_mv.ml: Alcotest Core History Isolation List Support

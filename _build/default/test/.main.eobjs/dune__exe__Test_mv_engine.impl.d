@@ -1,0 +1,1 @@
+test/test_mv_engine.ml: Alcotest Core Isolation List Option Phenomena Storage String Support Workload

@@ -1,0 +1,1 @@
+test/test_next_key.ml: Alcotest Core Fmt Isolation List Phenomena Sim Storage Support Workload

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest History List QCheck2 Support Workload

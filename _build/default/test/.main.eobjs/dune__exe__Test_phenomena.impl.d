@@ -1,0 +1,1 @@
+test/test_phenomena.ml: Alcotest Fmt List Phenomena Support Workload

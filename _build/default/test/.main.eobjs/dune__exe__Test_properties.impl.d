@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Char Core History Isolation List Locking Phenomena Printf QCheck2 Random Storage Support Workload

@@ -1,0 +1,1 @@
+test/test_recoverability.ml: Alcotest Core History Isolation List Phenomena QCheck2 Random Support Workload

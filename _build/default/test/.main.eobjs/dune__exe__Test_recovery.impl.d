@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Core Isolation List QCheck2 Storage Support

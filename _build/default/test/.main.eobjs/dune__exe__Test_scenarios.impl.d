@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Core Fmt Isolation List Phenomena Sim Workload

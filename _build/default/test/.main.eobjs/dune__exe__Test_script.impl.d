@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Core Isolation List Phenomena Storage Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Core Fmt Isolation List QCheck2 Sim String Support

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Fun List QCheck2 Storage Support

@@ -1,0 +1,1 @@
+test/test_to_engine.ml: Alcotest Core History Isolation List Phenomena QCheck2 Random Storage Support Workload

@@ -1,0 +1,1 @@
+test/test_update_locks.ml: Alcotest Core Isolation List Locking Sim Storage Workload

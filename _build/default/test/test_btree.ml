@@ -1,0 +1,164 @@
+(* Tests for the B+ tree index: unit cases on splits and merges, and
+   model-based property tests against a sorted association list. *)
+
+module B = Storage.Btree
+
+let key i = Printf.sprintf "k%04d" i
+
+let test_empty () =
+  let t : int B.t = B.create () in
+  Alcotest.(check int) "empty" 0 (B.length t);
+  Alcotest.(check (option int)) "find" None (B.find t "x");
+  Alcotest.(check (list (pair string int))) "to_list" [] (B.to_list t);
+  Alcotest.(check (option (pair string int))) "successor" None (B.successor t "");
+  B.check_invariants t
+
+let test_insert_find () =
+  let t = B.create () in
+  B.insert t "b" 2;
+  B.insert t "a" 1;
+  B.insert t "c" 3;
+  Alcotest.(check (option int)) "a" (Some 1) (B.find t "a");
+  Alcotest.(check (option int)) "b" (Some 2) (B.find t "b");
+  Alcotest.(check (option int)) "missing" None (B.find t "zz");
+  Alcotest.(check (list (pair string int)))
+    "sorted" [ ("a", 1); ("b", 2); ("c", 3) ] (B.to_list t);
+  B.check_invariants t
+
+let test_overwrite () =
+  let t = B.create () in
+  B.insert t "a" 1;
+  B.insert t "a" 9;
+  Alcotest.(check int) "size stays 1" 1 (B.length t);
+  Alcotest.(check (option int)) "overwritten" (Some 9) (B.find t "a")
+
+let test_splits_grow_height () =
+  let t = B.create () in
+  for i = 1 to 200 do
+    B.insert t (key i) i;
+    B.check_invariants t
+  done;
+  Alcotest.(check bool) "height grew" true (B.height t > 1);
+  Alcotest.(check int) "size" 200 (B.length t);
+  for i = 1 to 200 do
+    Alcotest.(check (option int)) (key i) (Some i) (B.find t (key i))
+  done
+
+let test_remove_and_merge () =
+  let t = B.create () in
+  for i = 1 to 100 do
+    B.insert t (key i) i
+  done;
+  (* Remove everything in an order that exercises borrows and merges. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "removed" true (B.remove t (key i));
+      B.check_invariants t)
+    (List.init 100 (fun i -> if i mod 2 = 0 then i / 2 + 1 else 100 - (i / 2)));
+  Alcotest.(check int) "empty again" 0 (B.length t);
+  Alcotest.(check bool) "remove missing" false (B.remove t "nope")
+
+let test_successor () =
+  let t = B.of_list [ ("b", 1); ("d", 2); ("f", 3) ] in
+  Alcotest.(check (option (pair string int))) "geq a" (Some ("b", 1)) (B.successor t "a");
+  Alcotest.(check (option (pair string int))) "geq b" (Some ("b", 1)) (B.successor t "b");
+  Alcotest.(check (option (pair string int))) "geq c" (Some ("d", 2)) (B.successor t "c");
+  Alcotest.(check (option (pair string int))) "geq g" None (B.successor t "g")
+
+let test_range () =
+  let t = B.of_list (List.init 20 (fun i -> (key i, i))) in
+  Alcotest.(check (list (pair string int)))
+    "bounded range"
+    [ (key 5, 5); (key 6, 6); (key 7, 7) ]
+    (B.range t ~lo:(key 5) ~hi:(Some (key 8)));
+  Alcotest.(check int) "unbounded tail" 5
+    (List.length (B.range t ~lo:(key 15) ~hi:None));
+  Alcotest.(check (list (pair string int))) "empty range" []
+    (B.range t ~lo:"zzz" ~hi:None)
+
+let test_copy_isolated () =
+  let t = B.of_list [ ("a", 1) ] in
+  let c = B.copy t in
+  B.insert t "a" 9;
+  B.insert t "b" 2;
+  Alcotest.(check (option int)) "copy unchanged" (Some 1) (B.find c "a");
+  Alcotest.(check bool) "copy lacks b" false (B.mem c "b")
+
+(* Model-based property: a random command sequence applied to the tree
+   and to a sorted association list agree, with invariants preserved
+   throughout. *)
+let gen_commands =
+  let open QCheck2.Gen in
+  let k = map key (0 -- 60) in
+  list_size (0 -- 400)
+    (oneof
+       [
+         map2 (fun k v -> `Insert (k, v)) k (0 -- 1000);
+         map (fun k -> `Remove k) k;
+         map (fun k -> `Find k) k;
+         map (fun k -> `Successor k) k;
+         map2 (fun lo hi -> `Range (lo, hi)) k (opt k);
+       ])
+
+let prop_model =
+  Support.qtest "B+ tree agrees with the list model" ~count:200 gen_commands
+    (fun commands ->
+      let t = B.create () in
+      let model = ref [] in
+      List.for_all
+        (fun cmd ->
+          let ok =
+            match cmd with
+            | `Insert (k, v) ->
+              B.insert t k v;
+              model := (k, v) :: List.remove_assoc k !model;
+              true
+            | `Remove k ->
+              let was = List.mem_assoc k !model in
+              model := List.remove_assoc k !model;
+              B.remove t k = was
+            | `Find k -> B.find t k = List.assoc_opt k !model
+            | `Successor k ->
+              let expected =
+                List.filter (fun (k', _) -> k' >= k) !model
+                |> List.sort compare
+                |> function
+                | [] -> None
+                | x :: _ -> Some x
+              in
+              B.successor t k = expected
+            | `Range (lo, hi) ->
+              let expected =
+                List.filter
+                  (fun (k, _) ->
+                    k >= lo && match hi with Some hi -> k < hi | None -> true)
+                  !model
+                |> List.sort compare
+              in
+              B.range t ~lo ~hi = expected
+          in
+          B.check_invariants t;
+          ok && B.to_list t = List.sort compare !model
+          && B.length t = List.length !model)
+        commands)
+
+(* Height stays logarithmic: 1000 keys fit in few levels. *)
+let test_height_bound () =
+  let t = B.of_list (List.init 1000 (fun i -> (key i, i))) in
+  Alcotest.(check bool) "height <= 6" true (B.height t <= 6);
+  B.check_invariants t
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "insert and find" `Quick test_insert_find;
+    Alcotest.test_case "overwrite" `Quick test_overwrite;
+    Alcotest.test_case "splits grow height" `Quick test_splits_grow_height;
+    Alcotest.test_case "remove with borrows and merges" `Quick
+      test_remove_and_merge;
+    Alcotest.test_case "successor" `Quick test_successor;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "copy isolated" `Quick test_copy_isolated;
+    Alcotest.test_case "height bound" `Quick test_height_bound;
+    prop_model;
+  ]

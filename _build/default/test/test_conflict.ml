@@ -1,0 +1,122 @@
+(* Tests for dependency graphs and conflict-serializability, anchored on
+   the paper's example histories. *)
+
+module C = History.Conflict
+
+let h = Support.h
+
+let serializable name text expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected (C.is_serializable (h text)))
+
+let test_paper_single_version =
+  [
+    serializable "H1 is non-serializable"
+      "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" false;
+    serializable "H2 is non-serializable"
+      "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1" false;
+    serializable "H3 is non-serializable"
+      "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1" false;
+    serializable "H4 is non-serializable"
+      "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1" false;
+    serializable "H5 is non-serializable"
+      "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2" false;
+    serializable "H1.SI.SV is serializable"
+      "r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1" true;
+    serializable "serial history is serializable" "r1[x] w1[y] c1 r2[y] w2[x] c2"
+      true;
+    serializable "read-only interleaving is serializable"
+      "r1[x] r2[x] r1[y] r2[y] c1 c2" true;
+  ]
+
+let test_aborted_txns_ignored () =
+  (* Dependency graphs are over committed transactions only. *)
+  let hist = h "w1[x] r2[x] w2[x] a1 c2" in
+  Alcotest.(check bool) "aborted writer ignored" true (C.is_serializable hist)
+
+let test_edges_h4 () =
+  let hist = h "r1[x] r2[x] w2[x] c2 w1[x] c1" in
+  let edges =
+    List.sort_uniq compare
+      (List.map (fun e -> (e.C.src, e.C.dst, e.C.dep)) (C.edges hist))
+  in
+  Alcotest.(check int) "three dependency edges" 3 (List.length edges);
+  Alcotest.(check bool) "T1 rw T2" true (List.mem (1, 2, C.Read_write) edges);
+  Alcotest.(check bool) "T2 ww T1" true (List.mem (2, 1, C.Write_write) edges);
+  Alcotest.(check bool) "T2 rw T1" true (List.mem (2, 1, C.Read_write) edges)
+
+let test_predicate_conflict_edges () =
+  let hist = h "r1[P] w2[insert y to P] c2 c1" in
+  let edges = List.map (fun e -> (e.C.src, e.C.dst)) (C.edges hist) in
+  Alcotest.(check (list (pair int int))) "pred rw edge" [ (1, 2) ] edges
+
+let test_cycle_witness () =
+  (* H5's rw-rw cycle *)
+  let h5 = h "r1[x] r1[y] r2[x] r2[y] w1[y] w2[x] c1 c2" in
+  match C.cycle h5 with
+  | None -> Alcotest.fail "expected a cycle in H5"
+  | Some nodes ->
+    Alcotest.(check (list int)) "cycle over T1,T2" [ 1; 2 ]
+      (List.sort compare nodes)
+
+let test_serialization_order () =
+  let hist = h "r1[x] w1[x] c1 r2[x] w2[x] c2" in
+  Alcotest.(check (option (list int)))
+    "serial order T1 T2" (Some [ 1; 2 ])
+    (C.serialization_order hist)
+
+let test_equivalent_serial () =
+  let hist = h "r1[x] r2[y] w1[y] c1 w2[z] c2" in
+  (* rw: r2[y] -> w1[y], so T2 must precede T1 *)
+  match C.equivalent_serial hist with
+  | None -> Alcotest.fail "expected an equivalent serial history"
+  | Some serial ->
+    Alcotest.(check bool) "serial is serializable" true (C.is_serializable serial);
+    Alcotest.(check bool) "equivalent" true (C.equivalent hist serial)
+
+let test_equivalence_reflexive () =
+  let hist = h "r1[x] w2[x] c1 c2" in
+  Alcotest.(check bool) "reflexive" true (C.equivalent hist hist)
+
+let test_inequivalence () =
+  let h1 = h "r1[x] w2[x] c1 c2" in
+  let h2 = h "w2[x] r1[x] c1 c2" in
+  Alcotest.(check bool) "different dataflow" false (C.equivalent h1 h2)
+
+(* The Serializability Theorem, empirically: no serializable history
+   exhibits any of the ANSI phenomena's strict anomalies... conversely we
+   check that serial histories never exhibit broad phenomena either. *)
+let test_serial_exhibits_nothing () =
+  let serial = h "r1[x] w1[x] r1[P] c1 r2[x] w2[x] c2 w3[y in P] c3" in
+  Alcotest.(check (list Support.phenomenon))
+    "no phenomena in a serial history" []
+    (Phenomena.Detect.exhibited serial)
+
+let test_to_dot () =
+  let dot = C.to_dot (h "r1[x] w2[x] c2 w1[x] c1") in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " present") true
+        (Support.contains_substring ~sub dot))
+    [ "digraph"; "T1 -> T2"; "T2 -> T1"; "rw:x"; "ww:x" ]
+
+let suite =
+  test_paper_single_version
+  @ [
+      Alcotest.test_case "aborted transactions are ignored" `Quick
+        test_aborted_txns_ignored;
+      Alcotest.test_case "H4 dependency edges" `Quick test_edges_h4;
+      Alcotest.test_case "predicate conflict edges" `Quick
+        test_predicate_conflict_edges;
+      Alcotest.test_case "cycle witness for H5" `Quick test_cycle_witness;
+      Alcotest.test_case "serialization order" `Quick test_serialization_order;
+      Alcotest.test_case "equivalent serial history" `Quick
+        test_equivalent_serial;
+      Alcotest.test_case "equivalence is reflexive" `Quick
+        test_equivalence_reflexive;
+      Alcotest.test_case "reordered conflicts are inequivalent" `Quick
+        test_inequivalence;
+      Alcotest.test_case "serial histories exhibit no phenomena" `Quick
+        test_serial_exhibits_nothing;
+      Alcotest.test_case "dot rendering" `Quick test_to_dot;
+    ]

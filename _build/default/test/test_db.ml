@@ -1,0 +1,128 @@
+(* Tests for the session-oriented Db API. *)
+
+module Db = Core.Db
+module L = Isolation.Level
+module Predicate = Storage.Predicate
+
+let ok = function
+  | Db.Ok v -> v
+  | Db.Blocked _ -> Alcotest.fail "unexpectedly blocked"
+  | Db.Rolled_back _ -> Alcotest.fail "unexpectedly rolled back"
+
+let test_basic_session () =
+  let db = Db.open_db ~initial:[ ("x", 1) ] () in
+  let tx = Db.begin_tx db ~level:L.Serializable in
+  Alcotest.(check (option int)) "read initial" (Some 1) (ok (Db.read tx "x"));
+  ok (Db.write tx "x" 2);
+  Alcotest.(check (option int)) "read own write" (Some 2) (ok (Db.read tx "x"));
+  ok (Db.commit tx);
+  Alcotest.(check bool) "committed" true (Db.status tx = `Committed);
+  Alcotest.(check (list (pair string int))) "state" [ ("x", 2) ] (Db.state db)
+
+let test_blocked_then_retry () =
+  let db = Db.open_db ~initial:[ ("x", 0) ] () in
+  let t1 = Db.begin_tx db ~level:L.Serializable in
+  let t2 = Db.begin_tx db ~level:L.Serializable in
+  ok (Db.write t1 "x" 1);
+  (match Db.write t2 "x" 2 with
+  | Db.Blocked holders ->
+    Alcotest.(check (list int)) "blocked on T1" [ Db.tid t1 ] holders
+  | _ -> Alcotest.fail "expected to block");
+  ok (Db.commit t1);
+  ok (Db.write t2 "x" 2);
+  ok (Db.commit t2);
+  Alcotest.(check (list (pair string int))) "state" [ ("x", 2) ] (Db.state db)
+
+let test_scan_and_insert () =
+  let emp = Predicate.key_prefix ~name:"Emp" "emp_" in
+  let db = Db.open_db ~initial:[ ("emp_a", 1) ] ~predicates:[ emp ] () in
+  let tx = Db.begin_tx db ~level:L.Serializable in
+  Alcotest.(check (list (pair string int)))
+    "initial scan" [ ("emp_a", 1) ] (ok (Db.scan tx emp));
+  ok (Db.insert tx "emp_b" 2);
+  Alcotest.(check (list (pair string int)))
+    "scan after insert"
+    [ ("emp_a", 1); ("emp_b", 2) ]
+    (ok (Db.scan tx emp));
+  ok (Db.delete tx "emp_a");
+  Alcotest.(check (list (pair string int)))
+    "scan after delete" [ ("emp_b", 2) ] (ok (Db.scan tx emp));
+  ok (Db.commit tx)
+
+let test_cursor_walkthrough () =
+  let all = Predicate.key_prefix ~name:"All" "" in
+  let db = Db.open_db ~initial:[ ("a", 1); ("b", 2) ] () in
+  let tx = Db.begin_tx db ~level:L.Cursor_stability in
+  ok (Db.open_cursor tx all);
+  Alcotest.(check (option (pair string int))) "first row" (Some ("a", 1))
+    (ok (Db.fetch tx));
+  ok (Db.cursor_write tx 10);
+  Alcotest.(check (option (pair string int))) "second row" (Some ("b", 2))
+    (ok (Db.fetch tx));
+  Alcotest.(check (option (pair string int))) "past the end" None
+    (ok (Db.fetch tx));
+  ok (Db.close_cursor tx);
+  ok (Db.commit tx);
+  Alcotest.(check (list (pair string int)))
+    "cursor update applied"
+    [ ("a", 10); ("b", 2) ]
+    (Db.state db)
+
+let test_rollback () =
+  let db = Db.open_db ~initial:[ ("x", 1) ] () in
+  let tx = Db.begin_tx db ~level:L.Read_committed in
+  ok (Db.write tx "x" 9);
+  ok (Db.abort tx);
+  (match Db.status tx with
+  | `Aborted Core.Engine.User_abort -> ()
+  | _ -> Alcotest.fail "expected user abort");
+  Alcotest.(check (list (pair string int))) "rolled back" [ ("x", 1) ] (Db.state db)
+
+let test_fcw_reported () =
+  let db = Db.open_db ~initial:[ ("x", 0) ] ~multiversion:true () in
+  let t1 = Db.begin_tx db ~level:L.Snapshot in
+  let t2 = Db.begin_tx db ~level:L.Snapshot in
+  ok (Db.write t1 "x" 1);
+  ok (Db.write t2 "x" 2);
+  ok (Db.commit t1);
+  (match Db.commit t2 with
+  | Db.Rolled_back Core.Engine.First_committer_wins -> ()
+  | _ -> Alcotest.fail "expected First-Committer-Wins");
+  Alcotest.(check (list (pair string int))) "first committer's value" [ ("x", 1) ]
+    (Db.state db)
+
+let test_operations_after_end_rejected () =
+  let db = Db.open_db ~initial:[ ("x", 0) ] () in
+  let tx = Db.begin_tx db ~level:L.Serializable in
+  ok (Db.commit tx);
+  match Db.read tx "x" with
+  | Db.Rolled_back _ -> ()
+  | _ -> Alcotest.fail "reads after commit must be rejected"
+
+let test_history_is_recorded () =
+  let db = Db.open_db ~initial:[ ("x", 0) ] () in
+  let t1 = Db.begin_tx db ~level:L.Read_uncommitted in
+  let t2 = Db.begin_tx db ~level:L.Read_uncommitted in
+  ok (Db.write t1 "x" 1);
+  ignore (Db.read t2 "x");
+  ok (Db.commit t2);
+  ok (Db.abort t1);
+  Alcotest.(check string)
+    "the A1 history in the paper's notation"
+    "w1[x=1] r2[x=1] c2 a1"
+    (String.concat " "
+       (List.map History.Action.to_string (Db.history db)))
+
+let suite =
+  [
+    Alcotest.test_case "basic session" `Quick test_basic_session;
+    Alcotest.test_case "blocked then retry" `Quick test_blocked_then_retry;
+    Alcotest.test_case "scan, insert, delete" `Quick test_scan_and_insert;
+    Alcotest.test_case "cursor walkthrough" `Quick test_cursor_walkthrough;
+    Alcotest.test_case "rollback" `Quick test_rollback;
+    Alcotest.test_case "First-Committer-Wins reported" `Quick test_fcw_reported;
+    Alcotest.test_case "operations after end rejected" `Quick
+      test_operations_after_end_rejected;
+    Alcotest.test_case "history recorded in paper notation" `Quick
+      test_history_is_recorded;
+  ]

@@ -1,0 +1,75 @@
+(* Tests for the Hist operations: transaction sets, projections,
+   well-formedness. *)
+
+let h = Support.h
+
+let test_txns () =
+  let hist = h "r1[x] w2[y] r3[z] c1 c2 a3" in
+  Alcotest.(check (list int)) "txns" [ 1; 2; 3 ] (History.txns hist);
+  Alcotest.(check (list int)) "committed" [ 1; 2 ] (History.committed hist);
+  Alcotest.(check (list int)) "aborted" [ 3 ] (History.aborted hist);
+  Alcotest.(check (list int)) "active" [] (History.active hist);
+  Alcotest.(check bool) "complete" true (History.is_complete hist)
+
+let test_active () =
+  let hist = h "r1[x] w2[y] c2" in
+  Alcotest.(check (list int)) "active" [ 1 ] (History.active hist);
+  Alcotest.(check bool) "incomplete" false (History.is_complete hist)
+
+let test_actions_of () =
+  let hist = h "r1[x] w2[y] r1[y] c1 c2" in
+  Alcotest.(check Support.history)
+    "T1's actions"
+    (h "r1[x] r1[y] c1")
+    (History.actions_of 1 hist)
+
+let test_project_committed () =
+  let hist = h "w1[x] r2[x] a1 c2" in
+  Alcotest.(check Support.history)
+    "committed projection"
+    (h "r2[x] c2")
+    (History.project_committed hist)
+
+let test_well_formed_ok () =
+  Alcotest.(check bool)
+    "well-formed" true
+    (Result.is_ok (History.well_formed (h "r1[x] c1 r2[x] c2")))
+
+let test_act_after_commit_rejected () =
+  Alcotest.(check bool)
+    "action after commit" true
+    (Result.is_error (History.well_formed (h "c1 r1[x]")))
+
+let test_double_termination_rejected () =
+  Alcotest.(check bool)
+    "double termination" true
+    (Result.is_error (History.well_formed (h "r1[x] c1 a1")))
+
+let test_termination_pos () =
+  let hist = h "r1[x] w2[y] c2 c1" in
+  Alcotest.(check (option int)) "T2 ends at 2" (Some 2)
+    (History.termination_pos hist 2);
+  Alcotest.(check (option int)) "T1 ends at 3" (Some 3)
+    (History.termination_pos hist 1);
+  Alcotest.(check (option int)) "T9 never ends" None
+    (History.termination_pos hist 9)
+
+let test_keys () =
+  Alcotest.(check (list string))
+    "keys" [ "x"; "y" ]
+    (History.keys (h "r1[x] w2[y] r1[P] c1 c2"))
+
+let suite =
+  [
+    Alcotest.test_case "transaction sets" `Quick test_txns;
+    Alcotest.test_case "active transactions" `Quick test_active;
+    Alcotest.test_case "actions of one transaction" `Quick test_actions_of;
+    Alcotest.test_case "committed projection" `Quick test_project_committed;
+    Alcotest.test_case "well-formed accepted" `Quick test_well_formed_ok;
+    Alcotest.test_case "action after commit rejected" `Quick
+      test_act_after_commit_rejected;
+    Alcotest.test_case "double termination rejected" `Quick
+      test_double_termination_rejected;
+    Alcotest.test_case "termination positions" `Quick test_termination_pos;
+    Alcotest.test_case "keys" `Quick test_keys;
+  ]

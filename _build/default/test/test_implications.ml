@@ -1,0 +1,107 @@
+(* The paper's implication structure among phenomena, as properties over
+   random well-formed histories:
+
+   - strict anomalies imply their broad phenomena (A1=>P1, A2=>P2, A3=>P3);
+   - "forbidding P2 also precludes P4" (§4.1), and P4C is a special case
+     of P4;
+   - "neither A5A nor A5B could arise in histories where P2 is precluded"
+     (§4.2);
+   - dirty reads and dirty writes are exactly what breaks the classical
+     recovery classes: P1-free histories avoid cascading aborts, and
+     P0+P1-free histories are strict. *)
+
+module P = Phenomena.Phenomenon
+module D = Phenomena.Detect
+module A = History.Action
+module R = History.Recoverability
+
+(* Random well-formed histories: a shuffle of per-transaction action
+   sequences, each ending in commit or abort. *)
+let gen_history =
+  let open QCheck2.Gen in
+  let body t =
+    let action =
+      let* k = oneofl [ "x"; "y" ] in
+      let* kind = 0 -- 3 in
+      return
+        (match kind with
+        | 0 -> A.read t k
+        | 1 -> A.write t k
+        | 2 -> A.pred_read ~keys:[ k ] t "P"
+        | _ -> A.write ~kind:A.Insert ~preds:[ "P" ] t k)
+    in
+    let* ops = list_size (1 -- 5) action in
+    let* commits = frequency [ (4, return true); (1, return false) ] in
+    return (ops @ [ (if commits then A.commit t else A.abort t) ])
+  in
+  let* t1 = body 1 and* t2 = body 2 and* t3 = body 3 in
+  (* Interleave by random merge. *)
+  let rec merge acc streams =
+    let live = List.filter (fun s -> s <> []) streams in
+    if live = [] then return (List.rev acc)
+    else
+      let* i = 0 -- (List.length live - 1) in
+      match List.nth live i with
+      | a :: rest ->
+        merge (a :: acc)
+          (List.mapi (fun j s -> if j = i then rest else s)
+             (List.map (fun s -> s) live))
+      | [] -> assert false
+  in
+  merge [] [ t1; t2; t3 ]
+
+let implies name ~premise ~conclusion =
+  Support.qtest name ~count:500 gen_history (fun h ->
+      (not (premise h)) || conclusion h)
+
+let occurs p h = D.occurs p h
+
+let prop_strict_imply_broad =
+  [
+    implies "A1 implies P1" ~premise:(occurs P.A1) ~conclusion:(occurs P.P1);
+    implies "A2 implies P2" ~premise:(occurs P.A2) ~conclusion:(occurs P.P2);
+    implies "A3 implies P3" ~premise:(occurs P.A3) ~conclusion:(occurs P.P3);
+  ]
+
+let prop_lost_update_chain =
+  [
+    implies "P4C implies P4" ~premise:(occurs P.P4C) ~conclusion:(occurs P.P4);
+    implies "P4 implies P2 (paper 4.1)" ~premise:(occurs P.P4)
+      ~conclusion:(occurs P.P2);
+  ]
+
+let prop_skew_implies_p2 =
+  [
+    implies "A5A implies P2 (paper 4.2)" ~premise:(occurs P.A5A)
+      ~conclusion:(occurs P.P2);
+    implies "A5B implies P2 (paper 4.2)" ~premise:(occurs P.A5B)
+      ~conclusion:(occurs P.P2);
+  ]
+
+let prop_recovery_correspondence =
+  [
+    implies "P1-free histories avoid cascading aborts"
+      ~premise:(fun h -> not (occurs P.P1 h))
+      ~conclusion:R.avoids_cascading_aborts;
+    implies "P0+P1-free histories are strict"
+      ~premise:(fun h -> not (occurs P.P0 h || occurs P.P1 h))
+      ~conclusion:R.is_strict;
+    implies "strict histories are P0-free and P1-free" ~premise:R.is_strict
+      ~conclusion:(fun h -> not (occurs P.P0 h || occurs P.P1 h));
+  ]
+
+(* Remark: complete, phenomenon-free histories are serializable — the
+   converse of the Serializability Theorem direction the paper leans on
+   (forbidding P0-P3 yields Locking SERIALIZABLE behavior). Note this
+   needs predicate reads accounted, which the generator includes. *)
+let prop_phenomenon_free_serializable =
+  implies "P0..P3-free complete histories are serializable"
+    ~premise:(fun h ->
+      History.is_complete h
+      && not (occurs P.P0 h || occurs P.P1 h || occurs P.P2 h || occurs P.P3 h))
+    ~conclusion:History.Conflict.is_serializable
+
+let suite =
+  prop_strict_imply_broad @ prop_lost_update_chain @ prop_skew_implies_p2
+  @ prop_recovery_correspondence
+  @ [ prop_phenomenon_free_serializable ]

@@ -1,0 +1,211 @@
+(* Tests for the isolation-level framework: the spec matrices transcribe
+   the paper's tables, and the lattice proves the paper's remarks. *)
+
+module L = Isolation.Level
+module Spec = Isolation.Spec
+module Lattice = Isolation.Lattice
+module P = Phenomena.Phenomenon
+
+let check_cell name level p expected =
+  Alcotest.(check Support.possibility) name expected (Spec.table4 level p)
+
+let test_table1 () =
+  Alcotest.(check Support.possibility)
+    "ANSI RC forbids P1" Spec.Not_possible
+    (Spec.table1 Spec.Ansi_read_committed P.P1);
+  Alcotest.(check Support.possibility)
+    "ANSI RR allows P3" Spec.Possible
+    (Spec.table1 Spec.Ansi_repeatable_read P.P3);
+  Alcotest.(check Support.possibility)
+    "ANOMALY SERIALIZABLE forbids P3" Spec.Not_possible
+    (Spec.table1 Spec.Anomaly_serializable P.P3);
+  Alcotest.check_raises "P0 is not a Table 1 column"
+    (Invalid_argument "Spec.table1: only P1, P2, P3 are columns of Table 1")
+    (fun () -> ignore (Spec.table1 Spec.Ansi_read_committed P.P0))
+
+let test_table3_has_p0 () =
+  List.iter
+    (fun level ->
+      Alcotest.(check Support.possibility)
+        (L.name level ^ " forbids P0 in Table 3")
+        Spec.Not_possible (Spec.table3 level P.P0))
+    Spec.table3_rows
+
+let test_table4_signature_cells () =
+  check_cell "RU allows dirty reads" L.Read_uncommitted P.P1 Spec.Possible;
+  check_cell "RC forbids dirty reads" L.Read_committed P.P1 Spec.Not_possible;
+  check_cell "CS lost update sometimes" L.Cursor_stability P.P4
+    Spec.Sometimes_possible;
+  check_cell "CS cursor lost update never" L.Cursor_stability P.P4C
+    Spec.Not_possible;
+  check_cell "RR allows phantoms" L.Repeatable_read P.P3 Spec.Possible;
+  check_cell "SI phantom sometimes" L.Snapshot P.P3 Spec.Sometimes_possible;
+  check_cell "SI allows write skew" L.Snapshot P.A5B Spec.Possible;
+  check_cell "SI forbids read skew" L.Snapshot P.A5A Spec.Not_possible;
+  check_cell "SI forbids strict phantom A3" L.Snapshot P.A3 Spec.Not_possible;
+  check_cell "SERIALIZABLE forbids everything" L.Serializable P.A5B
+    Spec.Not_possible;
+  check_cell "Oracle RC forbids cursor lost updates"
+    L.Oracle_read_consistency P.P4C Spec.Not_possible;
+  check_cell "Oracle RC allows lost updates" L.Oracle_read_consistency P.P4
+    Spec.Possible;
+  check_cell "Degree 0 allows dirty writes" L.Degree_0 P.P0 Spec.Possible
+
+let test_forbidden_serializable () =
+  Alcotest.(check (list Support.phenomenon))
+    "SERIALIZABLE forbids all phenomena" P.all
+    (Spec.forbidden L.Serializable)
+
+let test_ansi_forbidden () =
+  Alcotest.(check (list Support.phenomenon))
+    "ANOMALY SERIALIZABLE forbids only the strict anomalies"
+    [ P.A1; P.A2; P.A3 ]
+    (Spec.ansi_forbidden Spec.Anomaly_serializable)
+
+(* Remarks 1, 7, 8, 9 (the ordering claims), plus the implied Remark 10. *)
+let test_remarks () =
+  Alcotest.(check bool) "Remark 1: RU << RC << RR << SER" true (Lattice.remark_1 ());
+  Alcotest.(check bool) "Remark 7: RC << CS << RR" true (Lattice.remark_7 ());
+  Alcotest.(check bool) "Remark 8: RC << SI" true (Lattice.remark_8 ());
+  Alcotest.(check bool) "Remark 9: RR incomparable with SI" true
+    (Lattice.remark_9 ())
+
+(* Remark 10: Snapshot Isolation forbids all three strict anomalies, so it
+   is stronger than ANOMALY SERIALIZABLE (which forbids only those). *)
+let test_remark_10 () =
+  List.iter
+    (fun p ->
+      Alcotest.(check Support.possibility)
+        ("SI forbids " ^ P.name p)
+        Spec.Not_possible (Spec.table4 L.Snapshot p))
+    (Spec.ansi_forbidden Spec.Anomaly_serializable);
+  (* ...and SI additionally forbids phenomena ANOMALY SERIALIZABLE does
+     not mention, e.g. P0 and P4. *)
+  Alcotest.(check bool) "SI forbids more than A1-A3" true
+    (Spec.table4 L.Snapshot P.P4 = Spec.Not_possible
+    && not (List.mem P.P4 (Spec.ansi_forbidden Spec.Anomaly_serializable)))
+
+let test_relation_properties () =
+  (* The strength relation is a partial order on the eight levels:
+     reflexively equivalent, antisymmetric, transitive. *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (L.name l ^ " == itself")
+        true
+        (Lattice.compare_levels l l = Lattice.Equivalent))
+    L.all;
+  List.iter
+    (fun l1 ->
+      List.iter
+        (fun l2 ->
+          match (Lattice.compare_levels l1 l2, Lattice.compare_levels l2 l1) with
+          | Lattice.Weaker, Lattice.Stronger
+          | Lattice.Stronger, Lattice.Weaker
+          | Lattice.Equivalent, Lattice.Equivalent
+          | Lattice.Incomparable, Lattice.Incomparable ->
+            ()
+          | _ -> Alcotest.failf "asymmetric relation between %s and %s"
+                   (L.name l1) (L.name l2))
+        L.all)
+    L.all;
+  List.iter
+    (fun l1 ->
+      List.iter
+        (fun l2 ->
+          List.iter
+            (fun l3 ->
+              if Lattice.weaker l1 l2 && Lattice.weaker l2 l3 then
+                Alcotest.(check bool)
+                  (Fmt.str "transitive: %s << %s << %s" (L.name l1) (L.name l2)
+                     (L.name l3))
+                  true (Lattice.weaker l1 l3))
+            L.all)
+        L.all)
+    L.all
+
+let test_figure2_edges_consistent () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Fmt.str "%a consistent" Lattice.pp_edge e)
+        true (Lattice.edge_consistent e))
+    Lattice.figure2_paper_edges
+
+let test_hasse_edges_are_covers () =
+  let edges = Lattice.hasse () in
+  Alcotest.(check bool) "hasse is non-empty" true (edges <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Fmt.str "%a is a strict order pair" Lattice.pp_edge e)
+        true
+        (Lattice.weaker e.Lattice.lower e.Lattice.upper);
+      List.iter
+        (fun mid ->
+          if
+            Lattice.weaker e.Lattice.lower mid
+            && Lattice.weaker mid e.Lattice.upper
+          then Alcotest.failf "%a is not a cover" Lattice.pp_edge e)
+        L.all)
+    edges
+
+let test_incomparable_pairs_include_rr_si () =
+  let pairs = Lattice.incomparable_pairs () in
+  Alcotest.(check bool) "RR >><< SI is reported" true
+    (List.exists
+       (fun (a, b, _, _) ->
+         (a = L.Repeatable_read && b = L.Snapshot)
+         || (a = L.Snapshot && b = L.Repeatable_read))
+       pairs)
+
+let test_level_metadata () =
+  Alcotest.(check int) "ten levels" 10 (List.length L.all);
+  Alcotest.(check (option int)) "SER is degree 3" (Some 3) (L.degree L.Serializable);
+  Alcotest.(check (option int)) "CS has no degree" None (L.degree L.Cursor_stability);
+  List.iter
+    (fun l ->
+      Alcotest.(check (option Support.level))
+        ("of_string/name round-trip for " ^ L.name l)
+        (Some l)
+        (L.of_string (L.name l)))
+    L.all;
+  Alcotest.(check bool) "SI is multiversion" true (L.is_multiversion L.Snapshot);
+  Alcotest.(check bool) "SSI is multiversion" true
+    (L.is_multiversion L.Serializable_snapshot);
+  Alcotest.(check bool) "SER is not multiversion" false
+    (L.is_multiversion L.Serializable)
+
+let test_render_figure_mentions_all_levels () =
+  let fig = Lattice.render_figure () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " appears in Figure 2")
+        true
+        (Support.contains_substring ~sub:name fig))
+    [ "Serializable"; "Repeatable Read"; "Snapshot"; "Cursor Stability";
+      "Oracle Read Consistency"; "Read Committed"; "Read Uncommitted";
+      "Degree 0" ]
+
+let suite =
+  [
+    Alcotest.test_case "Table 1" `Quick test_table1;
+    Alcotest.test_case "Table 3 includes P0" `Quick test_table3_has_p0;
+    Alcotest.test_case "Table 4 signature cells" `Quick test_table4_signature_cells;
+    Alcotest.test_case "SERIALIZABLE forbids everything" `Quick
+      test_forbidden_serializable;
+    Alcotest.test_case "ANSI forbidden sets" `Quick test_ansi_forbidden;
+    Alcotest.test_case "Remarks 1, 7, 8, 9" `Quick test_remarks;
+    Alcotest.test_case "Remark 10" `Quick test_remark_10;
+    Alcotest.test_case "strength relation is a partial order" `Quick
+      test_relation_properties;
+    Alcotest.test_case "Figure 2 paper edges consistent" `Quick
+      test_figure2_edges_consistent;
+    Alcotest.test_case "Hasse edges are covers" `Quick test_hasse_edges_are_covers;
+    Alcotest.test_case "RR and SI are incomparable" `Quick
+      test_incomparable_pairs_include_rr_si;
+    Alcotest.test_case "level metadata" `Quick test_level_metadata;
+    Alcotest.test_case "Figure 2 rendering" `Quick
+      test_render_figure_mentions_all_levels;
+  ]

@@ -1,0 +1,197 @@
+(* Tests for the lock table (conflict rules, upgrades, durations,
+   phantom-aware predicate locks) and the Table 2 protocol data. *)
+
+module LT = Locking.Lock_table
+module Protocol = Locking.Protocol
+module Predicate = Storage.Predicate
+module L = Isolation.Level
+
+let emp = Predicate.key_prefix ~name:"Emp" "emp_"
+
+let read k = LT.Read_item k
+let write ?before ?after k = LT.Write_item { k; before; after }
+
+let granted = function LT.Granted -> true | LT.Conflict _ -> false
+
+let test_share_compatible () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (read "x")));
+  Alcotest.(check bool) "S-S compatible" true
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (read "x")))
+
+let test_write_conflicts () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (write "x")));
+  (match LT.acquire t ~owner:2 ~tag:LT.Long (read "x") with
+  | LT.Conflict [ 1 ] -> ()
+  | _ -> Alcotest.fail "X blocks S with holder T1");
+  match LT.acquire t ~owner:2 ~tag:LT.Long (write "x") with
+  | LT.Conflict [ 1 ] -> ()
+  | _ -> Alcotest.fail "X blocks X with holder T1"
+
+let test_different_items_independent () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (write "x")));
+  Alcotest.(check bool) "disjoint items" true
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (write "y")))
+
+let test_reentrant_and_upgrade () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (read "x")));
+  Alcotest.(check bool) "re-entrant read" true
+    (granted (LT.acquire t ~owner:1 ~tag:LT.Long (read "x")));
+  Alcotest.(check bool) "upgrade with no other holder" true
+    (granted (LT.acquire t ~owner:1 ~tag:LT.Long (write "x")));
+  (* Once upgraded, another reader is blocked. *)
+  Alcotest.(check bool) "upgraded lock blocks" false
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (read "x")))
+
+let test_upgrade_blocked_by_other_reader () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (read "x")));
+  assert (granted (LT.acquire t ~owner:2 ~tag:LT.Long (read "x")));
+  match LT.acquire t ~owner:1 ~tag:LT.Long (write "x") with
+  | LT.Conflict [ 2 ] -> ()
+  | _ -> Alcotest.fail "upgrade must wait for the other reader"
+
+let test_predicate_phantom_conflicts () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (LT.Read_pred emp)));
+  (* An insert of a matching row is a phantom: it conflicts. *)
+  Alcotest.(check bool) "phantom insert blocked" false
+    (granted
+       (LT.acquire t ~owner:2 ~tag:LT.Long (write ~after:1 "emp_new")));
+  (* A write that never matches the predicate does not. *)
+  Alcotest.(check bool) "unrelated write allowed" true
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (write ~after:1 "task_q")));
+  (* A delete of a matching row is also a phantom. *)
+  Alcotest.(check bool) "matching delete blocked" false
+    (granted (LT.acquire t ~owner:3 ~tag:LT.Long (write ~before:1 "emp_old")))
+
+let test_predicate_read_vs_item_read () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (LT.Read_pred emp)));
+  Alcotest.(check bool) "predicate S and item S compatible" true
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (read "emp_a")))
+
+(* Regression: a transaction's second write of the same key carries new
+   before/after images; predicate-lock conflict checks must see them.
+   (Found by the 2PL-serializability property: a delete of an absent row
+   followed by an insert of the same key left only the no-op delete's
+   images in the lock table, so a predicate scan slid past the insert.) *)
+let test_second_write_updates_images () =
+  let t = LT.create () in
+  (* T1 "deletes" an absent row (affects no predicate)... *)
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (write "emp_q")));
+  (* ...then inserts it, which DOES affect the Emp predicate. *)
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (write ~after:1 "emp_q")));
+  Alcotest.(check bool) "scan now conflicts with the insert" false
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (LT.Read_pred emp)))
+
+let test_release_by_tag () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Short (read "x")));
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (read "y")));
+  LT.release t ~owner:1 ~tag:LT.Short;
+  Alcotest.(check bool) "short released" true
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (write "x")));
+  Alcotest.(check bool) "long still held" false
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (write "y")))
+
+let test_cursor_tags_are_per_cursor () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:(LT.Cursor "ca") (read "x")));
+  assert (granted (LT.acquire t ~owner:1 ~tag:(LT.Cursor "cb") (read "y")));
+  LT.release t ~owner:1 ~tag:(LT.Cursor "ca");
+  Alcotest.(check bool) "ca's lock released" true
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (write "x")));
+  Alcotest.(check bool) "cb's lock still held" false
+    (granted (LT.acquire t ~owner:2 ~tag:LT.Long (write "y")))
+
+let test_release_all () =
+  let t = LT.create () in
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Long (write "x")));
+  assert (granted (LT.acquire t ~owner:1 ~tag:LT.Short (read "y")));
+  LT.release_all t ~owner:1;
+  Alcotest.(check bool) "empty after release_all" true (LT.is_empty t)
+
+let test_conflict_symmetry () =
+  let reqs =
+    [ read "x"; read "y"; write "x"; write ~after:1 "emp_a";
+      LT.Read_pred emp ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "symmetric" (LT.requests_conflict a b)
+            (LT.requests_conflict b a))
+        reqs)
+    reqs
+
+(* Table 2's rows. *)
+let test_protocol_rows () =
+  let check level ~item_read ~pred_read ~item_write ~cursor_hold =
+    let p = Protocol.for_level_exn level in
+    Alcotest.(check bool)
+      (L.name level ^ " row matches Table 2")
+      true
+      (p.Protocol.item_read = item_read
+      && p.Protocol.pred_read = pred_read
+      && p.Protocol.item_write = item_write
+      && p.Protocol.cursor_hold = cursor_hold)
+  in
+  check L.Degree_0 ~item_read:Protocol.No_lock ~pred_read:Protocol.No_lock
+    ~item_write:Protocol.Short ~cursor_hold:false;
+  check L.Read_uncommitted ~item_read:Protocol.No_lock
+    ~pred_read:Protocol.No_lock ~item_write:Protocol.Long ~cursor_hold:false;
+  check L.Read_committed ~item_read:Protocol.Short ~pred_read:Protocol.Short
+    ~item_write:Protocol.Long ~cursor_hold:false;
+  check L.Cursor_stability ~item_read:Protocol.Short
+    ~pred_read:Protocol.Short ~item_write:Protocol.Long ~cursor_hold:true;
+  check L.Repeatable_read ~item_read:Protocol.Long ~pred_read:Protocol.Short
+    ~item_write:Protocol.Long ~cursor_hold:false;
+  check L.Serializable ~item_read:Protocol.Long ~pred_read:Protocol.Long
+    ~item_write:Protocol.Long ~cursor_hold:false
+
+let test_protocol_multiversion_excluded () =
+  Alcotest.(check bool) "SI has no lock protocol" true
+    (Protocol.for_level L.Snapshot = None);
+  Alcotest.(check bool) "Oracle RC has no lock protocol" true
+    (Protocol.for_level L.Oracle_read_consistency = None)
+
+let test_two_phase_well_formed () =
+  List.iter
+    (fun level ->
+      let p = Protocol.for_level_exn level in
+      Alcotest.(check bool)
+        (L.name level ^ " 2PL-well-formed iff SERIALIZABLE")
+        (level = L.Serializable)
+        (Protocol.is_two_phase_well_formed p))
+    Protocol.locking_levels
+
+let suite =
+  [
+    Alcotest.test_case "share locks are compatible" `Quick test_share_compatible;
+    Alcotest.test_case "write locks conflict" `Quick test_write_conflicts;
+    Alcotest.test_case "different items independent" `Quick
+      test_different_items_independent;
+    Alcotest.test_case "re-entrancy and upgrade" `Quick test_reentrant_and_upgrade;
+    Alcotest.test_case "upgrade blocked by other reader" `Quick
+      test_upgrade_blocked_by_other_reader;
+    Alcotest.test_case "predicate locks cover phantoms" `Quick
+      test_predicate_phantom_conflicts;
+    Alcotest.test_case "predicate S vs item S" `Quick
+      test_predicate_read_vs_item_read;
+    Alcotest.test_case "second write refreshes lock images" `Quick
+      test_second_write_updates_images;
+    Alcotest.test_case "release by duration tag" `Quick test_release_by_tag;
+    Alcotest.test_case "cursor tags are per cursor" `Quick
+      test_cursor_tags_are_per_cursor;
+    Alcotest.test_case "release all" `Quick test_release_all;
+    Alcotest.test_case "conflict symmetry" `Quick test_conflict_symmetry;
+    Alcotest.test_case "Table 2 protocol rows" `Quick test_protocol_rows;
+    Alcotest.test_case "multiversion levels have no protocol" `Quick
+      test_protocol_multiversion_excluded;
+    Alcotest.test_case "2PL well-formedness" `Quick test_two_phase_well_formed;
+  ]

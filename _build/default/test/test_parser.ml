@@ -1,0 +1,142 @@
+(* Tests for the shorthand-notation parser: the paper's histories parse
+   verbatim, printing round-trips, and malformed input is rejected. *)
+
+module A = History.Action
+
+let parses name text expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check Support.history) name expected (History.of_string text))
+
+let test_simple_actions =
+  parses "reads, writes, terminations" "w1[x] r2[x] c1 a2"
+    [ A.write 1 "x"; A.read 2 "x"; A.commit 1; A.abort 2 ]
+
+let test_values =
+  parses "values and negatives" "r1[x=50] w1[y=-40]"
+    [ A.read ~value:50 1 "x"; A.write ~value:(-40) 1 "y" ]
+
+let test_versions =
+  parses "multiversion subscripts" "r1[x0=50] w1[x1=10]"
+    [ A.read ~ver:0 ~value:50 1 "x"; A.write ~ver:1 ~value:10 1 "x" ]
+
+let test_predicates =
+  parses "predicate read and phantom write" "r1[P] w2[insert y to P]"
+    [ A.pred_read 1 "P"; A.write ~kind:A.Insert ~preds:[ "P" ] 2 "y" ]
+
+let test_predicate_keys =
+  parses "predicate read with matched items" "r1[Emp:{a,b}]"
+    [ A.pred_read ~keys:[ "a"; "b" ] 1 "Emp" ]
+
+let test_update_in_predicate =
+  parses "update within a predicate" "w2[y in P]"
+    [ A.write ~preds:[ "P" ] 2 "y" ]
+
+let test_delete_from_predicate =
+  parses "delete from a predicate" "w2[delete y from P]"
+    [ A.write ~kind:A.Delete ~preds:[ "P" ] 2 "y" ]
+
+let test_cursor_ops =
+  parses "cursor read and write" "rc1[x] wc1[x]"
+    [ A.read ~cursor:true 1 "x"; A.write ~cursor:true 1 "x" ]
+
+let test_ellipses =
+  parses "the paper's ellipsis separators" "w1[x]...r2[x]...c1"
+    [ A.write 1 "x"; A.read 2 "x"; A.commit 1 ]
+
+let test_abutting =
+  parses "actions without separators" "r1[x=50]w1[x=10]c1"
+    [ A.read ~value:50 1 "x"; A.write ~value:10 1 "x"; A.commit 1 ]
+
+let test_multidigit_txn =
+  parses "multi-digit transaction ids" "w12[x] c12"
+    [ A.write 12 "x"; A.commit 12 ]
+
+(* Every paper history must parse and round-trip through the printer. *)
+let test_paper_histories_roundtrip () =
+  List.iter
+    (fun ph ->
+      let once = ph.Workload.Paper_histories.history in
+      let again = History.of_string (History.to_string once) in
+      Alcotest.(check Support.history)
+        (ph.Workload.Paper_histories.name ^ " round-trips")
+        once again)
+    Workload.Paper_histories.all
+
+let rejects name text =
+  Alcotest.test_case name `Quick (fun () ->
+      match History.Parser.parse text with
+      | Ok actions ->
+        Alcotest.failf "expected a parse error, got %a" History.pp actions
+      | Error _ -> ())
+
+let test_errors =
+  [
+    rejects "missing bracket" "r1[x";
+    rejects "missing txn number" "r[x]";
+    rejects "empty item" "r1[]";
+    rejects "stray character" "r1[x] ? c1";
+    rejects "cursor predicate read" "rc1[P]";
+    rejects "insert without item" "w1[insert]";
+    rejects "bad predicate keys" "r1[P:{a,}]";
+  ]
+
+(* Property: printing any action list and re-parsing is the identity. *)
+let gen_action =
+  let open QCheck2.Gen in
+  let txn = 1 -- 5 in
+  let key = oneofl [ "x"; "y"; "z"; "acct" ] in
+  let value = opt (-100 -- 100) in
+  oneof
+    [
+      (let* t = txn and* k = key and* v = value and* c = bool in
+       return (A.read ?value:v ~cursor:c t k));
+      (let* t = txn and* k = key and* v = value and* c = bool in
+       return (A.write ?value:v ~cursor:c t k));
+      (let* t = txn and* k = key and* v = 0 -- 3 in
+       return (A.read ~ver:v ?value:None t k));
+      (let* t = txn and* k = key in
+       return (A.write ~kind:A.Insert ~preds:[ "P" ] t k));
+      (let* t = txn and* k = key in
+       return (A.write ~kind:A.Delete ~preds:[ "P" ] t k));
+      (let* t = txn in
+       return (A.pred_read t "P"));
+      (let* t = txn and* ks = list_size (1 -- 3) key in
+       return (A.pred_read ~keys:(List.sort_uniq compare ks) t "Emp"));
+      (let* t = txn in
+       return (A.commit t));
+      (let* t = txn in
+       return (A.abort t));
+    ]
+
+let prop_roundtrip =
+  Support.qtest "print/parse round-trip" ~count:500
+    QCheck2.Gen.(list_size (0 -- 20) gen_action)
+    (fun actions ->
+      History.of_string (History.to_string actions) = actions)
+
+(* Totality: [Parser.parse] never raises on arbitrary input — it returns
+   [Ok] or [Error]. *)
+let prop_parser_total =
+  Support.qtest "parser is total" ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (0 -- 40))
+    (fun input ->
+      match History.Parser.parse input with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    test_simple_actions;
+    test_values;
+    test_versions;
+    test_predicates;
+    test_predicate_keys;
+    test_update_in_predicate;
+    test_delete_from_predicate;
+    test_cursor_ops;
+    test_ellipses;
+    test_abutting;
+    test_multidigit_txn;
+    Alcotest.test_case "paper histories round-trip" `Quick
+      test_paper_histories_roundtrip;
+  ]
+  @ test_errors
+  @ [ prop_roundtrip; prop_parser_total ]

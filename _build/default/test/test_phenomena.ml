@@ -1,0 +1,167 @@
+(* Tests for the phenomenon detectors, anchored on the paper's §3 and §4
+   arguments: each example history exhibits exactly the phenomena the
+   paper says, and the strict/broad distinction separates as claimed. *)
+
+module P = Phenomena.Phenomenon
+module D = Phenomena.Detect
+
+let h = Support.h
+
+let occurs name text p expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected (D.occurs p (h text)))
+
+(* The paper's central §3 argument: H1 violates P1 but none of the strict
+   anomalies; H2 separates P2 from A2; H3 separates P3 from A3. *)
+let test_paper_argument =
+  [
+    occurs "H1 violates P1"
+      "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" P.P1 true;
+    occurs "H1 does not violate A1"
+      "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" P.A1 false;
+    occurs "H1 does not violate A2"
+      "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" P.A2 false;
+    occurs "H1 does not violate A3"
+      "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" P.A3 false;
+    occurs "H2 violates P2"
+      "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1" P.P2 true;
+    occurs "H2 does not violate P1"
+      "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1" P.P1 false;
+    occurs "H2 does not violate A2"
+      "r1[x=50]r2[x=50]w2[x=10]r2[y=50]w2[y=90]c2r1[y=90]c1" P.A2 false;
+    occurs "H3 violates P3" "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1"
+      P.P3 true;
+    occurs "H3 does not violate A3"
+      "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1" P.A3 false;
+  ]
+
+let test_p0 =
+  [
+    occurs "dirty write detected" "w1[x] w2[x] c2 c1" P.P0 true;
+    occurs "sequential writes are clean" "w1[x] c1 w2[x] c2" P.P0 false;
+    occurs "same-transaction rewrites are clean" "w1[x] w1[x] c1" P.P0 false;
+    occurs "the paper's P0 example" "w1[x] w2[x] w2[y] c2 w1[y] c1" P.P0 true;
+  ]
+
+let test_p1_a1 =
+  [
+    occurs "dirty read detected" "w1[x] r2[x] c2 c1" P.P1 true;
+    occurs "read after commit is clean" "w1[x] c1 r2[x] c2" P.P1 false;
+    occurs "A1 needs abort and commit" "w1[x] r2[x] c2 a1" P.A1 true;
+    occurs "A1 absent when writer commits" "w1[x] r2[x] c2 c1" P.A1 false;
+    occurs "A1 absent when reader aborts" "w1[x] r2[x] a2 a1" P.A1 false;
+    occurs "cursor reads count as reads" "w1[x] rc2[x] c2 c1" P.P1 true;
+    occurs "dirty predicate read" "w1[insert y to P] r2[P] c2 c1" P.P1 true;
+    occurs "predicate read after commit is clean"
+      "w1[insert y to P] c1 r2[P] c2" P.P1 false;
+  ]
+
+let test_p2_a2 =
+  [
+    occurs "fuzzy read detected" "r1[x] w2[x] c2 c1" P.P2 true;
+    occurs "write after reader ends is clean" "r1[x] c1 w2[x] c2" P.P2 false;
+    occurs "A2 needs the reread" "r1[x] w2[x] c2 r1[x] c1" P.A2 true;
+    occurs "A2 absent without reread" "r1[x] w2[x] c2 c1" P.A2 false;
+    occurs "A2 absent when writer uncommitted at reread"
+      "r1[x] w2[x] r1[x] c1 c2" P.A2 false;
+  ]
+
+let test_p3_a3 =
+  [
+    occurs "phantom write detected" "r1[P] w2[insert y to P] c1 c2" P.P3 true;
+    occurs "write touching matched item is a phantom" "r1[P:{x}] w2[x] c1 c2"
+      P.P3 true;
+    occurs "unrelated write is clean" "r1[P] w2[z] c1 c2" P.P3 false;
+    occurs "A3 needs the re-evaluation" "r1[P] w2[insert y to P] c2 r1[P] c1"
+      P.A3 true;
+    occurs "A3 absent without re-evaluation" "r1[P] w2[insert y to P] c2 c1"
+      P.A3 false;
+    occurs "deletes are phantoms too" "r1[P] w2[delete y from P] c1 c2" P.P3
+      true;
+  ]
+
+let test_p4 =
+  [
+    occurs "H4 lost update" "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1"
+      P.P4 true;
+    occurs "no loss when T1 reads after" "w2[x] c2 r1[x] w1[x] c1" P.P4 false;
+    occurs "P4 needs T1 to commit" "r1[x] w2[x] w1[x] a1 c2" P.P4 false;
+    occurs "P4C needs a cursor read" "r1[x] w2[x] w1[x] c1 c2" P.P4C false;
+    occurs "P4C on cursor reads" "rc1[x] w2[x] w1[x] c1 c2" P.P4C true;
+    occurs "P4C with cursor write" "rc1[x] w2[x] wc1[x] c1 c2" P.P4C true;
+  ]
+
+let test_a5 =
+  [
+    occurs "read skew" "r1[x] w2[x] w2[y] c2 r1[y] c1" P.A5A true;
+    occurs "read skew with writes reordered" "r1[x] w2[y] w2[x] c2 r1[y] c1"
+      P.A5A true;
+    occurs "no skew when T1 reads both first" "r1[x] r1[y] w2[x] w2[y] c2 c1"
+      P.A5A false;
+    occurs "no skew on a single item" "r1[x] w2[x] c2 r1[x] c1" P.A5A false;
+    occurs "write skew (H5)"
+      "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2" P.A5B
+      true;
+    occurs "write skew needs both commits"
+      "r1[x] r2[y] w1[y] w2[x] a1 c2" P.A5B false;
+    occurs "parallel disjoint updates are not skew"
+      "r1[x] r2[y] w1[x] w2[y] c1 c2" P.A5B false;
+  ]
+
+(* Table-driven check of every paper history against its annotations. *)
+let test_paper_histories () =
+  List.iter
+    (fun ph ->
+      let open Workload.Paper_histories in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Fmt.str "%s exhibits %s" ph.name (P.name p))
+            true
+            (D.occurs p ph.history))
+        ph.exhibits;
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Fmt.str "%s avoids %s" ph.name (P.name p))
+            false
+            (D.occurs p ph.history))
+        ph.avoids)
+    Workload.Paper_histories.all
+
+let test_witness_positions_sorted () =
+  let hist = h "r1[x] w2[x] c2 r1[x] c1" in
+  List.iter
+    (fun w ->
+      let sorted = List.sort compare w.D.positions in
+      Alcotest.(check (list int)) "positions ascending" sorted w.D.positions)
+    (D.detect P.A2 hist)
+
+let test_formula_strings () =
+  Alcotest.(check string)
+    "P0 formula" "w1[x]...w2[x]...(c1 or a1)" (P.formula P.P0);
+  Alcotest.(check string)
+    "A5B formula" "r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)"
+    (P.formula P.A5B)
+
+let test_metadata () =
+  Alcotest.(check int) "eleven phenomena" 11 (List.length P.all);
+  Alcotest.(check int) "eight Table 4 columns" 8 (List.length P.table4);
+  List.iter
+    (fun p ->
+      Alcotest.(check (option Support.phenomenon))
+        ("of_string/name round-trip for " ^ P.name p)
+        (Some p)
+        (P.of_string (P.name p)))
+    P.all
+
+let suite =
+  test_paper_argument @ test_p0 @ test_p1_a1 @ test_p2_a2 @ test_p3_a3
+  @ test_p4 @ test_a5
+  @ [
+      Alcotest.test_case "paper history annotations" `Quick test_paper_histories;
+      Alcotest.test_case "witness positions sorted" `Quick
+        test_witness_positions_sorted;
+      Alcotest.test_case "formula strings" `Quick test_formula_strings;
+      Alcotest.test_case "metadata" `Quick test_metadata;
+    ]

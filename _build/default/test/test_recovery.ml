@@ -1,0 +1,186 @@
+(* Tests for WAL recovery — the executable form of the paper's §3 claim
+   that P0 must be excluded or before-image undo is unsound. *)
+
+module Store = Storage.Store
+module Wal = Storage.Wal
+module Recovery = Storage.Recovery
+
+let store_eq = Alcotest.testable Store.pp Store.equal
+
+let log records =
+  let w = Wal.create () in
+  List.iter (Wal.append w) records;
+  w
+
+let test_losers () =
+  let w =
+    log [ Wal.Begin 1; Wal.Begin 2; Wal.Commit 1; Wal.Begin 3; Wal.Abort 3 ]
+  in
+  Alcotest.(check (list int)) "committed" [ 1 ] (Wal.committed w);
+  Alcotest.(check (list int)) "aborted" [ 3 ] (Wal.aborted w);
+  Alcotest.(check (list int)) "losers" [ 2 ] (Wal.losers w)
+
+let test_replay () =
+  let initial = Store.of_list [ ("x", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Update { t = 1; k = "x"; before = Some 0; after = Some 5 };
+        Wal.Update { t = 1; k = "y"; before = None; after = Some 7 } ]
+  in
+  Alcotest.(check store_eq) "replayed state"
+    (Store.of_list [ ("x", 5); ("y", 7) ])
+    (Recovery.replay ~initial w)
+
+(* A clean crash: committed T1, in-flight T2. Undo restores T2's before
+   images; recovery matches the ideal state. *)
+let test_recover_clean () =
+  let initial = Store.of_list [ ("x", 0); ("y", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Update { t = 1; k = "x"; before = Some 0; after = Some 1 };
+        Wal.Commit 1;
+        Wal.Begin 2;
+        Wal.Update { t = 2; k = "y"; before = Some 0; after = Some 9 } ]
+  in
+  let { Recovery.state; undone } = Recovery.recover ~initial w in
+  Alcotest.(check (list int)) "T2 undone" [ 2 ] undone;
+  Alcotest.(check store_eq) "x kept, y restored"
+    (Store.of_list [ ("x", 1); ("y", 0) ])
+    state;
+  Alcotest.(check bool) "recovery correct" true
+    (Recovery.recovery_correct ~initial w)
+
+(* The paper's dilemma: w1[x] w2[x], T2 commits, T1 is in flight at the
+   crash. Restoring T1's before-image wipes out T2's committed update. *)
+let test_p0_breaks_recovery () =
+  let initial = Store.of_list [ ("x", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Update { t = 1; k = "x"; before = Some 0; after = Some 1 };
+        Wal.Begin 2;
+        Wal.Update { t = 2; k = "x"; before = Some 1; after = Some 2 };
+        Wal.Commit 2 ]
+  in
+  Alcotest.(check store_eq) "ideal keeps T2's update"
+    (Store.of_list [ ("x", 2) ])
+    (Recovery.ideal_state ~initial w);
+  Alcotest.(check store_eq) "before-image undo wipes it"
+    (Store.of_list [ ("x", 0) ])
+    (Recovery.recover ~initial w).Recovery.state;
+  Alcotest.(check bool) "recovery incorrect under P0" false
+    (Recovery.recovery_correct ~initial w)
+
+(* Run-time aborts log compensation updates, so replay reconstructs the
+   crash-time state and a previously aborted transaction is not undone a
+   second time. *)
+let test_aborted_txn_compensated () =
+  let initial = Store.of_list [ ("x", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Update { t = 1; k = "x"; before = Some 0; after = Some 5 };
+        (* compensation logged by the run-time rollback *)
+        Wal.Update { t = 1; k = "x"; before = Some 5; after = Some 0 };
+        Wal.Abort 1;
+        Wal.Begin 2;
+        Wal.Update { t = 2; k = "x"; before = Some 0; after = Some 7 };
+        Wal.Commit 2 ]
+  in
+  Alcotest.(check store_eq) "T2's update survives T1's abort"
+    (Store.of_list [ ("x", 7) ])
+    (Recovery.recover ~initial w).Recovery.state;
+  Alcotest.(check bool) "recovery correct" true
+    (Recovery.recovery_correct ~initial w)
+
+(* The locking engine's own WAL (with compensation logging) recovers to
+   the engine's final state, including after a user abort. *)
+let test_engine_wals_recover_correctly () =
+  let module P = Core.Program in
+  let engine =
+    Core.Engine.create ~initial:[ ("x", 0); ("y", 0) ] ~predicates:[]
+      ~family:`Locking ()
+  in
+  let step tid op = ignore (Core.Engine.step engine tid op) in
+  Core.Engine.begin_txn engine 1 ~level:Isolation.Level.Serializable;
+  step 1 (P.Write ("x", P.const 4));
+  step 1 (P.Write ("y", P.const 5));
+  step 1 P.Commit;
+  Core.Engine.begin_txn engine 2 ~level:Isolation.Level.Serializable;
+  step 2 (P.Write ("x", P.const 9));
+  step 2 P.Abort;
+  Core.Engine.begin_txn engine 3 ~level:Isolation.Level.Serializable;
+  step 3 (P.Write ("y", P.const 6));
+  step 3 P.Commit;
+  match Core.Engine.wal engine with
+  | None -> Alcotest.fail "locking engine must expose a WAL"
+  | Some w ->
+    let initial = Store.of_list [ ("x", 0); ("y", 0) ] in
+    Alcotest.(check bool) "engine WAL recovers correctly" true
+      (Recovery.recovery_correct ~initial w);
+    Alcotest.(check store_eq) "recovered state matches engine"
+      (Store.of_list (Core.Engine.final_state engine))
+      (Recovery.recover ~initial w).Recovery.state
+
+(* Property: logs of serial transactions (no P0 by construction) — with
+   run-time aborts compensated and at most a trailing loser — always
+   recover to the ideal state. *)
+let gen_log =
+  let open QCheck2.Gen in
+  let key = oneofl [ "x"; "y"; "z" ] in
+  pair
+    (list_size (1 -- 6)
+       (pair (list_size (1 -- 4) (pair key (0 -- 99))) bool))
+    bool (* last transaction crashes in flight *)
+
+let prop_serial_logs_recover =
+  Support.qtest "serial (P0-free) logs recover correctly" ~count:300 gen_log
+    (fun (txns, crash_last) ->
+      let initial = Store.of_list [ ("x", 0); ("y", 0); ("z", 0) ] in
+      let shadow = Store.copy initial in
+      let w = Wal.create () in
+      let n = List.length txns in
+      List.iteri
+        (fun i (updates, commit) ->
+          let t = i + 1 in
+          let is_last = i = n - 1 in
+          Wal.append w (Wal.Begin t);
+          let undo =
+            List.map
+              (fun (k, v) ->
+                let before = Store.get shadow k in
+                Wal.append w (Wal.Update { t; k; before; after = Some v });
+                Store.put shadow k v;
+                (k, before))
+              updates
+          in
+          if is_last && crash_last then () (* in flight at the crash *)
+          else if commit then Wal.append w (Wal.Commit t)
+          else begin
+            (* run-time rollback with compensation logging, newest first *)
+            List.iter
+              (fun (k, before) ->
+                Wal.append w
+                  (Wal.Update { t; k; before = Store.get shadow k; after = before });
+                Store.restore shadow k before)
+              (List.rev undo);
+            Wal.append w (Wal.Abort t)
+          end)
+        txns;
+      Recovery.recovery_correct ~initial w)
+
+let suite =
+  [
+    Alcotest.test_case "losers" `Quick test_losers;
+    Alcotest.test_case "replay" `Quick test_replay;
+    Alcotest.test_case "clean recovery" `Quick test_recover_clean;
+    Alcotest.test_case "P0 breaks before-image undo" `Quick
+      test_p0_breaks_recovery;
+    Alcotest.test_case "aborts are compensated" `Quick
+      test_aborted_txn_compensated;
+    Alcotest.test_case "engine WALs recover correctly" `Quick
+      test_engine_wals_recover_correctly;
+    prop_serial_logs_recover;
+  ]

@@ -1,0 +1,99 @@
+(* Tests for the simulator's interleaving enumeration and table
+   rendering. *)
+
+module I = Sim.Interleave
+
+let test_merge_counts () =
+  List.iter
+    (fun sizes ->
+      let merges = I.merges sizes in
+      Alcotest.(check int)
+        (Fmt.str "count [%s]" (String.concat ";" (List.map string_of_int sizes)))
+        (I.count sizes) (List.length merges))
+    [ [ 1 ]; [ 2; 2 ]; [ 3; 2 ]; [ 2; 2; 2 ]; [ 4; 4 ] ]
+
+let test_merges_distinct () =
+  let merges = I.merges [ 3; 3 ] in
+  Alcotest.(check int) "all distinct" (List.length merges)
+    (List.length (List.sort_uniq compare merges))
+
+let test_merges_multiplicities () =
+  List.iter
+    (fun merge ->
+      let count x = List.length (List.filter (( = ) x) merge) in
+      Alcotest.(check int) "stream 1 appears twice" 2 (count 1);
+      Alcotest.(check int) "stream 2 appears three times" 3 (count 2))
+    (I.merges [ 2; 3 ])
+
+let test_merges_lexicographic_cover () =
+  (* The serial orders are among the merges. *)
+  let merges = I.merges [ 2; 2 ] in
+  Alcotest.(check bool) "1122 present" true (List.mem [ 1; 1; 2; 2 ] merges);
+  Alcotest.(check bool) "2211 present" true (List.mem [ 2; 2; 1; 1 ] merges)
+
+let test_exists_merge_early_exit () =
+  let found, visited = I.exists_merge [ 3; 3 ] (fun m -> List.hd m = 1) in
+  Alcotest.(check bool) "found" true found;
+  Alcotest.(check int) "stopped at the first merge" 1 visited
+
+let test_exists_merge_exhausts_on_failure () =
+  let found, visited = I.exists_merge [ 3; 3 ] (fun _ -> false) in
+  Alcotest.(check bool) "not found" false found;
+  Alcotest.(check int) "visited all" (I.count [ 3; 3 ]) visited
+
+let test_count_merges () =
+  (* Merges of [2;2] beginning with stream 1: C(3,1) = 3. *)
+  let hits, total = I.count_merges [ 2; 2 ] (fun m -> List.hd m = 1) in
+  Alcotest.(check int) "total" 6 total;
+  Alcotest.(check int) "hits" 3 hits
+
+let test_sizes_of_programs () =
+  let module P = Core.Program in
+  let explicit = P.make [ P.Read "x"; P.Commit ] in
+  let implicit = P.make [ P.Read "x" ] in
+  Alcotest.(check (list int))
+    "auto-commit counted" [ 2; 2 ]
+    (I.sizes_of_programs [ explicit; implicit ])
+
+let test_render_alignment () =
+  let out =
+    Sim.Report.render ~headers:[ "a"; "bb" ]
+      ~rows:[ [ "xxx"; "y" ]; [ "z"; "wwww" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  match lines with
+  | [ header; rule; r1; r2 ] ->
+    Alcotest.(check int) "all lines equal width" 1
+      (List.length
+         (List.sort_uniq compare
+            (List.map String.length [ header; rule; r1; r2 ])))
+  | _ -> Alcotest.fail "expected four lines"
+
+let test_possibility_cells () =
+  Alcotest.(check string) "not possible" "Not Possible"
+    (Sim.Report.possibility_cell Isolation.Spec.Not_possible);
+  Alcotest.(check string) "sometimes" "Sometimes"
+    (Sim.Report.possibility_cell Isolation.Spec.Sometimes_possible)
+
+let prop_merge_count_formula =
+  Support.qtest "merge count matches the multinomial" ~count:100
+    QCheck2.Gen.(list_size (1 -- 3) (1 -- 4))
+    (fun sizes -> List.length (I.merges sizes) = I.count sizes)
+
+let suite =
+  [
+    Alcotest.test_case "merge counts" `Quick test_merge_counts;
+    Alcotest.test_case "merges distinct" `Quick test_merges_distinct;
+    Alcotest.test_case "merge multiplicities" `Quick test_merges_multiplicities;
+    Alcotest.test_case "serial orders covered" `Quick
+      test_merges_lexicographic_cover;
+    Alcotest.test_case "exists_merge early exit" `Quick
+      test_exists_merge_early_exit;
+    Alcotest.test_case "exists_merge exhausts" `Quick
+      test_exists_merge_exhausts_on_failure;
+    Alcotest.test_case "count_merges" `Quick test_count_merges;
+    Alcotest.test_case "sizes_of_programs" `Quick test_sizes_of_programs;
+    Alcotest.test_case "render alignment" `Quick test_render_alignment;
+    Alcotest.test_case "possibility cells" `Quick test_possibility_cells;
+    prop_merge_count_formula;
+  ]

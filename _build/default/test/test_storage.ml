@@ -1,0 +1,150 @@
+(* Tests for the storage substrate: predicates, the single-version store,
+   and the multiversion store. *)
+
+module Predicate = Storage.Predicate
+module Store = Storage.Store
+module VS = Storage.Version_store
+
+let emp = Predicate.key_prefix ~name:"Emp" "emp_"
+
+let test_predicate_matching () =
+  Alcotest.(check bool) "prefix matches" true (Predicate.matches_row emp "emp_a" (Some 1));
+  Alcotest.(check bool) "prefix rejects" false (Predicate.matches_row emp "task_a" (Some 1));
+  Alcotest.(check bool) "absent row never matches" false
+    (Predicate.matches_row emp "emp_a" None)
+
+let test_predicate_phantom_rule () =
+  (* An insert creating a matching row affects the predicate, as does a
+     delete removing one and an update moving a row across the boundary. *)
+  Alcotest.(check bool) "insert into predicate" true
+    (Predicate.affected_by_write emp "emp_x" ~before:None ~after:(Some 1));
+  Alcotest.(check bool) "delete from predicate" true
+    (Predicate.affected_by_write emp "emp_x" ~before:(Some 1) ~after:None);
+  Alcotest.(check bool) "unrelated write" false
+    (Predicate.affected_by_write emp "task_x" ~before:None ~after:(Some 1));
+  let positive = Predicate.value_range ~name:"Pos" ~lo:1 ~hi:max_int in
+  Alcotest.(check bool) "update entering the range" true
+    (Predicate.affected_by_write positive "k" ~before:(Some 0) ~after:(Some 5));
+  Alcotest.(check bool) "update staying outside" false
+    (Predicate.affected_by_write positive "k" ~before:(Some 0) ~after:(Some (-1)))
+
+let test_item_predicate () =
+  let p = Predicate.item "x" in
+  Alcotest.(check bool) "covers its record" true
+    (Predicate.affected_by_write p "x" ~before:(Some 1) ~after:(Some 2));
+  Alcotest.(check bool) "ignores others" false
+    (Predicate.affected_by_write p "y" ~before:(Some 1) ~after:(Some 2))
+
+let test_conj () =
+  let p =
+    Predicate.conj ~name:"PosEmp" emp
+      (Predicate.value_range ~name:"Pos" ~lo:1 ~hi:max_int)
+  in
+  Alcotest.(check bool) "both hold" true (Predicate.matches_row p "emp_a" (Some 1));
+  Alcotest.(check bool) "value fails" false (Predicate.matches_row p "emp_a" (Some 0))
+
+let test_store_crud () =
+  let s = Store.of_list [ ("x", 1); ("y", 2) ] in
+  Alcotest.(check (option int)) "get x" (Some 1) (Store.get s "x");
+  Store.put s "x" 10;
+  Alcotest.(check (option int)) "updated" (Some 10) (Store.get s "x");
+  Store.delete s "y";
+  Alcotest.(check (option int)) "deleted" None (Store.get s "y");
+  Store.restore s "y" (Some 2);
+  Alcotest.(check (option int)) "restored" (Some 2) (Store.get s "y");
+  Store.restore s "x" None;
+  Alcotest.(check bool) "restore None removes" false (Store.mem s "x")
+
+let test_store_scan_sorted () =
+  let s = Store.of_list [ ("emp_b", 2); ("emp_a", 1); ("task_c", 3) ] in
+  Alcotest.(check (list (pair string int)))
+    "scan is sorted and filtered"
+    [ ("emp_a", 1); ("emp_b", 2) ]
+    (Store.scan s emp)
+
+let test_store_copy_isolated () =
+  let s = Store.of_list [ ("x", 1) ] in
+  let c = Store.copy s in
+  Store.put s "x" 9;
+  Alcotest.(check (option int)) "copy unchanged" (Some 1) (Store.get c "x")
+
+let test_version_store_snapshots () =
+  let vs = VS.of_list [ ("x", 50) ] in
+  VS.install vs ~writer:1 ~commit_ts:1 [ ("x", Some 10) ];
+  VS.install vs ~writer:2 ~commit_ts:2 [ ("x", Some 99); ("y", Some 7) ];
+  Alcotest.(check (option int)) "read at 0" (Some 50) (VS.read_at vs ~ts:0 "x");
+  Alcotest.(check (option int)) "read at 1" (Some 10) (VS.read_at vs ~ts:1 "x");
+  Alcotest.(check (option int)) "read at 2" (Some 99) (VS.read_at vs ~ts:2 "x");
+  Alcotest.(check (option int)) "y invisible at 1" None (VS.read_at vs ~ts:1 "y");
+  Alcotest.(check (option int)) "y visible at 2" (Some 7) (VS.read_at vs ~ts:2 "y")
+
+let test_version_store_tombstones () =
+  let vs = VS.of_list [ ("x", 50) ] in
+  VS.install vs ~writer:1 ~commit_ts:1 [ ("x", None) ];
+  Alcotest.(check (option int)) "visible before delete" (Some 50)
+    (VS.read_at vs ~ts:0 "x");
+  Alcotest.(check (option int)) "tombstoned after" None (VS.read_at vs ~ts:1 "x");
+  Alcotest.(check (list (pair string int))) "snapshot skips tombstones" []
+    (VS.snapshot_at vs ~ts:1)
+
+let test_version_store_scan_at () =
+  let vs = VS.of_list [ ("emp_a", 1) ] in
+  VS.install vs ~writer:1 ~commit_ts:1 [ ("emp_b", Some 1) ];
+  Alcotest.(check (list (pair string int)))
+    "scan at 0" [ ("emp_a", 1) ] (VS.scan_at vs ~ts:0 emp);
+  Alcotest.(check (list (pair string int)))
+    "scan at 1" [ ("emp_a", 1); ("emp_b", 1) ] (VS.scan_at vs ~ts:1 emp)
+
+let test_committed_after () =
+  let vs = VS.of_list [ ("x", 50) ] in
+  VS.install vs ~writer:1 ~commit_ts:3 [ ("x", Some 10) ];
+  Alcotest.(check bool) "conflict for ts 1" true (VS.committed_after vs ~ts:1 "x");
+  Alcotest.(check bool) "no conflict for ts 3" false (VS.committed_after vs ~ts:3 "x");
+  Alcotest.(check bool) "unknown key has no conflict" false
+    (VS.committed_after vs ~ts:0 "zzz")
+
+let test_writer_at () =
+  let vs = VS.of_list [ ("x", 50) ] in
+  VS.install vs ~writer:4 ~commit_ts:2 [ ("x", Some 10) ];
+  Alcotest.(check (option int)) "initial writer is 0" (Some 0)
+    (VS.writer_at vs ~ts:0 "x");
+  Alcotest.(check (option int)) "writer at 2" (Some 4) (VS.writer_at vs ~ts:2 "x")
+
+(* Property: reading at increasing timestamps walks the committed history
+   of the key monotonically (never sees an older version later). *)
+let prop_version_reads_consistent =
+  Support.qtest "version chains respect timestamps" ~count:200
+    QCheck2.Gen.(list_size (1 -- 15) (pair (1 -- 3) (opt (0 -- 100))))
+    (fun installs ->
+      let vs = VS.of_list [ ("x", 0) ] in
+      List.iteri
+        (fun i (w, v) -> VS.install vs ~writer:w ~commit_ts:(i + 1) [ ("x", v) ])
+        installs;
+      (* read_at ts equals the last install at or before ts *)
+      List.for_all
+        (fun ts ->
+          let expected =
+            List.fold_left
+              (fun acc (i, (_, v)) -> if i + 1 <= ts then v else acc)
+              (Some 0)
+              (List.mapi (fun i x -> (i, x)) installs)
+          in
+          VS.read_at vs ~ts "x" = expected)
+        (List.init (List.length installs + 1) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "predicate matching" `Quick test_predicate_matching;
+    Alcotest.test_case "phantom rule" `Quick test_predicate_phantom_rule;
+    Alcotest.test_case "item predicate" `Quick test_item_predicate;
+    Alcotest.test_case "conjunction" `Quick test_conj;
+    Alcotest.test_case "store CRUD and restore" `Quick test_store_crud;
+    Alcotest.test_case "scan sorted and filtered" `Quick test_store_scan_sorted;
+    Alcotest.test_case "copy is isolated" `Quick test_store_copy_isolated;
+    Alcotest.test_case "version snapshots" `Quick test_version_store_snapshots;
+    Alcotest.test_case "tombstones" `Quick test_version_store_tombstones;
+    Alcotest.test_case "scan at timestamp" `Quick test_version_store_scan_at;
+    Alcotest.test_case "committed_after (FCW test)" `Quick test_committed_after;
+    Alcotest.test_case "writer_at" `Quick test_writer_at;
+    prop_version_reads_consistent;
+  ]

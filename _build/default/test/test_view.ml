@@ -1,0 +1,133 @@
+(* Tests for view equivalence and view serializability. *)
+
+module V = History.View
+
+let h = Support.h
+
+let test_reads_from () =
+  let hist = h "w1[x] c1 r2[x] w2[x] r2[x] c2" in
+  Alcotest.(check (list (triple int string int)))
+    "reads-from triples"
+    [ (2, "x", 1); (2, "x", 2) ]
+    (V.reads_from hist)
+
+let test_reads_from_initial () =
+  let hist = h "r1[x] c1" in
+  Alcotest.(check (list (triple int string int)))
+    "reads initial state"
+    [ (1, "x", 0) ]
+    (V.reads_from hist)
+
+let test_pred_reads_counted () =
+  let hist = h "w1[a] c1 r2[P:{a,b}] c2" in
+  Alcotest.(check (list (triple int string int)))
+    "predicate reads expand to their matched items"
+    [ (2, "a", 1); (2, "b", 0) ]
+    (V.reads_from hist)
+
+let test_final_writes () =
+  let hist = h "w1[x] w2[x] w1[y] c1 c2" in
+  Alcotest.(check (list (pair string int)))
+    "final writers"
+    [ ("x", 2); ("y", 1) ]
+    (V.final_writes hist)
+
+let test_aborted_writes_ignored () =
+  let hist = h "w1[x] a1 w2[x] c2" in
+  Alcotest.(check (list (pair string int)))
+    "aborted final write ignored"
+    [ ("x", 2) ]
+    (V.final_writes hist)
+
+let test_view_equivalent_reflexive () =
+  let hist = h "r1[x] w2[x] c1 c2" in
+  Alcotest.(check bool) "reflexive" true (V.view_equivalent hist hist)
+
+(* The textbook separator: blind writes make this view-serializable
+   (serial order T1 T2 T3) but not conflict-serializable. *)
+let test_view_but_not_conflict () =
+  let hist = h "r1[x] w2[x] c2 w1[x] c1 w3[x] c3" in
+  Alcotest.(check bool) "not conflict-serializable" false
+    (History.Conflict.is_serializable hist);
+  Alcotest.(check bool) "view-serializable" true (V.is_view_serializable hist);
+  Alcotest.(check (option (list int)))
+    "the serial witness" (Some [ 1; 2; 3 ])
+    (V.view_serialization_order hist)
+
+let test_h5_not_view_serializable () =
+  let h5 = h "r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2" in
+  Alcotest.(check bool) "write skew fails view test too" false
+    (V.is_view_serializable h5)
+
+let test_h1_not_view_serializable () =
+  let h1 = h "r1[x=50]w1[x=10]r2[x=10]r2[y=50]c2 r1[y=50]w1[y=90]c1" in
+  Alcotest.(check bool) "H1 fails view test" false (V.is_view_serializable h1)
+
+let test_serial_is_view_serializable () =
+  let hist = h "r1[x] w1[y] c1 r2[y] w2[x] c2" in
+  Alcotest.(check bool) "serial history passes" true
+    (V.is_view_serializable hist)
+
+let test_too_many_txns_rejected () =
+  let hist =
+    h "w1[x] c1 w2[x] c2 w3[x] c3 w4[x] c4 w5[x] c5 w6[x] c6 w7[x] c7 w8[x] c8 w9[x] c9"
+  in
+  Alcotest.(check bool) "search bound enforced" true
+    (try
+       ignore (V.is_view_serializable hist);
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: conflict serializability implies view serializability on
+   random (small) single-version histories. *)
+let gen_history =
+  let open QCheck2.Gen in
+  let action =
+    let* t = 1 -- 3 and* k = oneofl [ "x"; "y" ] and* w = bool in
+    return (if w then History.Action.write t k else History.Action.read t k)
+  in
+  let* body = list_size (0 -- 10) action in
+  (* Commit every transaction at the end, in random relative order. *)
+  let* order = oneofl [ [ 1; 2; 3 ]; [ 3; 2; 1 ]; [ 2; 1; 3 ] ] in
+  return (body @ List.map History.Action.commit order)
+
+let prop_conflict_implies_view =
+  Support.qtest "conflict-serializable implies view-serializable" ~count:300
+    gen_history
+    (fun hist ->
+      (not (History.Conflict.is_serializable hist))
+      || V.is_view_serializable hist)
+
+(* Property: the conflict-equivalent serial history, when one exists, is
+   also view equivalent. *)
+let prop_conflict_equivalent_serial_is_view_equivalent =
+  Support.qtest "conflict-equivalent serial order is view equivalent"
+    ~count:300 gen_history
+    (fun hist ->
+      match History.Conflict.serialization_order hist with
+      | None -> true
+      | Some order ->
+        V.view_equivalent hist (History.Conflict.serial_history hist order))
+
+let suite =
+  [
+    Alcotest.test_case "reads-from" `Quick test_reads_from;
+    Alcotest.test_case "reads from initial state" `Quick test_reads_from_initial;
+    Alcotest.test_case "predicate reads counted" `Quick test_pred_reads_counted;
+    Alcotest.test_case "final writes" `Quick test_final_writes;
+    Alcotest.test_case "aborted writes ignored" `Quick
+      test_aborted_writes_ignored;
+    Alcotest.test_case "view equivalence reflexive" `Quick
+      test_view_equivalent_reflexive;
+    Alcotest.test_case "view- but not conflict-serializable" `Quick
+      test_view_but_not_conflict;
+    Alcotest.test_case "H5 fails the view test" `Quick
+      test_h5_not_view_serializable;
+    Alcotest.test_case "H1 fails the view test" `Quick
+      test_h1_not_view_serializable;
+    Alcotest.test_case "serial histories pass" `Quick
+      test_serial_is_view_serializable;
+    Alcotest.test_case "search bound" `Quick test_too_many_txns_rejected;
+    prop_conflict_implies_view;
+    prop_conflict_equivalent_serial_is_view_equivalent;
+  ]
