@@ -7,13 +7,19 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- tables  -- Tables 1-4 only
      dune exec bench/main.exe -- figure  -- Figure 2 only
-     dune exec bench/main.exe -- histories | recovery | ablation | perf *)
+     dune exec bench/main.exe -- histories | recovery | ablation | perf
+     dune exec bench/main.exe -- runtime -- multicore pool, writes
+                                           BENCH_runtime.json *)
 
 let () =
   let sections =
     match Array.to_list Sys.argv with
     | _ :: args when args <> [] -> args
-    | _ -> [ "tables"; "figure"; "histories"; "recovery"; "ablation"; "perf" ]
+    | _ ->
+      [
+        "tables"; "figure"; "histories"; "recovery"; "ablation"; "perf";
+        "runtime";
+      ]
   in
   List.iter
     (fun section ->
@@ -35,10 +41,15 @@ let () =
         Sections.phantom_guards ();
         Sections.update_locks ()
       | "perf" -> Perf.all ()
-      | "all" -> Sections.all (); Perf.all ()
+      | "runtime" -> Runtime_bench.runtime ()
+      | "all" ->
+        Sections.all ();
+        Perf.all ();
+        Runtime_bench.runtime ()
       | other ->
         Printf.eprintf
-          "unknown section %S (expected tables|table1..4|figure|histories|recovery|ablation|perf)\n"
+          "unknown section %S (expected \
+           tables|table1..4|figure|histories|recovery|ablation|perf|runtime)\n"
           other;
         exit 2)
     sections

@@ -1,0 +1,112 @@
+(* Runtime section: the multicore worker pool driven across isolation
+   levels and stress mixes, every run checked by the serializability
+   oracle. Prints a comparison table and writes the machine-readable
+   BENCH_runtime.json so the performance trajectory is diffable across
+   PRs.
+
+   This is a macro-benchmark of the whole runtime (latch, backoff,
+   deadlock detector, recorder), not a bechamel micro-benchmark: one run
+   per cell is the point, because the oracle verdict is part of the
+   result. Throughput numbers are indicative; the oracle columns are
+   exact for the recorded interleaving. *)
+
+module L = Isolation.Level
+module Generators = Workload.Generators
+module Pool = Runtime.Pool
+module Oracle = Runtime.Oracle
+module Metrics = Runtime.Metrics
+
+let levels =
+  [
+    L.Read_committed;
+    L.Serializable;
+    L.Snapshot;
+    L.Serializable_snapshot;
+    L.Timestamp_ordering;
+  ]
+
+let mixes = [ Generators.Transfer; Generators.Hotspot; Generators.Read_heavy ]
+
+(* Small enough that 15 oracle passes stay fast (the detectors are
+   polynomial in history size), large enough to contend. *)
+let txns = 128
+let workers = 8
+let accounts = 16
+let hot = 4
+let ops = 6
+let think_us = 50.
+let seed = 7
+
+type row = {
+  level : L.t;
+  mix : Generators.mix;
+  m : Metrics.snapshot;
+  o : Oracle.t;
+}
+
+let run_cell level mix =
+  let gen i =
+    let p = Generators.stress_program mix ~seed ~accounts ~hot ~ops ~index:i in
+    Pool.job ~name:p.Core.Program.name ~level p
+  in
+  let cfg =
+    Pool.config ~workers
+      ~initial:(Generators.bank_accounts accounts)
+      ~think_us ~seed ()
+  in
+  let r = Pool.run cfg (Array.init txns gen) in
+  { level; mix; m = r.Pool.metrics; o = r.Pool.oracle }
+
+let verdict o =
+  let names ps =
+    String.concat "+" (List.map (fun (p, _) -> Phenomena.Phenomenon.name p) ps)
+  in
+  if Oracle.pattern_free o then "clean"
+  else if Oracle.clean o then
+    Printf.sprintf "clean (%s patterns)" (names (Oracle.patterns o))
+  else Printf.sprintf "ANOMALIES %s" (names (Oracle.anomalies o))
+
+let row_json { level; mix; m; o } =
+  Metrics.to_json
+    ~extra:
+      [
+        ("level", Printf.sprintf "%S" (L.name level));
+        ("mix", Printf.sprintf "%S" (Generators.mix_name mix));
+        ("workers", string_of_int workers);
+        ("txns", string_of_int txns);
+        ("oracle", Oracle.to_json o);
+      ]
+    m
+
+let json_path = "BENCH_runtime.json"
+
+let runtime () =
+  Printf.printf
+    "== runtime: %d worker domains, %d txns/cell, %d accounts (%d hot), \
+     think %.0fus ==\n"
+    workers txns accounts hot think_us;
+  Printf.printf "  %-22s %-10s %9s %8s %8s %7s %9s  %s\n" "level" "mix"
+    "txn/s" "p50ms" "p99ms" "aborts" "deadlocks" "oracle";
+  let rows =
+    List.concat_map
+      (fun level ->
+        List.map
+          (fun mix ->
+            let r = run_cell level mix in
+            Printf.printf "  %-22s %-10s %9.0f %8.3f %8.3f %7d %9d  %s\n"
+              (L.name r.level)
+              (Generators.mix_name r.mix)
+              r.m.Metrics.throughput r.m.Metrics.lat_p50_ms
+              r.m.Metrics.lat_p99_ms r.m.Metrics.aborted_total
+              r.m.Metrics.deadlocks (verdict r.o);
+            r)
+          mixes)
+      levels
+  in
+  let json =
+    Printf.sprintf "{\"bench\":\"runtime\",\"rows\":[%s]}\n"
+      (String.concat "," (List.map row_json rows))
+  in
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "  wrote %s (%d cells)\n" json_path (List.length rows)

@@ -324,6 +324,170 @@ let run_cmd =
        ~doc:"Run an ad-hoc workload at an isolation level and analyze the history.")
     Term.(const run_script $ level_arg $ init_arg $ schedule_arg $ script_arg)
 
+(* {2 stress — the multicore runtime with its live oracle} *)
+
+let stress workers level mix_name txns duration accounts hot ops think seed
+    fuw json_path =
+  let mix =
+    match Workload.Generators.mix_of_string mix_name with
+    | Some m -> m
+    | None ->
+      Fmt.epr "unknown mix %S; available: %s@." mix_name
+        (String.concat ", "
+           (List.map Workload.Generators.mix_name Workload.Generators.all_mixes));
+      exit 1
+  in
+  let gen i =
+    let p =
+      Workload.Generators.stress_program mix ~seed ~accounts ~hot ~ops ~index:i
+    in
+    Runtime.Pool.job ~name:p.Core.Program.name ~level p
+  in
+  let cfg =
+    Runtime.Pool.config ~workers
+      ~initial:(Workload.Generators.bank_accounts accounts)
+      ~first_updater_wins:fuw ~think_us:think ~seed ()
+  in
+  Format.printf
+    "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
+     %.0fus, seed %d@."
+    cfg.Runtime.Pool.workers (L.name level)
+    (Workload.Generators.mix_name mix)
+    (match duration with
+    | Some d -> Printf.sprintf "%.2fs deadline" d
+    | None -> Printf.sprintf "%d transactions" txns)
+    accounts hot think seed;
+  let r =
+    match duration with
+    | Some d -> Runtime.Pool.run_for cfg ~duration_s:d ~gen
+    | None -> Runtime.Pool.run cfg (Array.init txns gen)
+  in
+  Format.printf "%a@." Runtime.Metrics.pp r.Runtime.Pool.metrics;
+  (match r.Runtime.Pool.lock_stats with
+  | Some s ->
+    Format.printf "lock table: %d grants, %d conflicts, %d releases@."
+      s.Locking.Lock_table.grants s.Locking.Lock_table.conflicts
+      s.Locking.Lock_table.releases
+  | None -> ());
+  Format.printf "%a@." Runtime.Oracle.pp r.Runtime.Pool.oracle;
+  let oracle = r.Runtime.Pool.oracle in
+  Format.printf "oracle verdict: %s@."
+    (if Runtime.Oracle.pattern_free oracle then
+       "CLEAN (no anomalies, no phenomenon patterns)"
+     else if Runtime.Oracle.clean oracle then
+       "CLEAN (serializable; pattern templates admitted, as a non-locking \
+        scheduler may)"
+     else if Runtime.Oracle.anomalies oracle = [] then
+       "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
+        templates)"
+     else "ANOMALIES DETECTED");
+  (match json_path with
+  | Some path ->
+    let json =
+      Printf.sprintf "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s}"
+        (L.name level)
+        (Workload.Generators.mix_name mix)
+        workers
+        (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
+        (Runtime.Oracle.to_json r.Runtime.Pool.oracle)
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc json;
+        Out_channel.output_string oc "\n");
+    Format.printf "metrics written to %s@." path
+  | None -> ());
+  (* Levels that promise serializability turn the oracle into an
+     assertion: a dirty history is an engine bug, not a workload fact.
+     2PL SERIALIZABLE must be pattern-free — locking prevents the very
+     templates; SSI and T/O admit patterns but must show no anomaly. *)
+  let assertion =
+    match level with
+    | L.Serializable -> Some (Runtime.Oracle.pattern_free oracle)
+    | L.Serializable_snapshot | L.Timestamp_ordering ->
+      Some (Runtime.Oracle.clean oracle)
+    | _ -> None
+  in
+  match assertion with Some false -> exit 1 | _ -> ()
+
+let stress_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "hotspot"
+      & info [ "m"; "mix" ] ~docv:"MIX"
+          ~doc:"Workload mix: transfer, hotspot, read-heavy, mixed.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "n"; "txns" ] ~docv:"N"
+          ~doc:
+            "Transactions to run (ignored with --duration). The post-run \
+             oracle is polynomial in history size; thousands of \
+             transactions make it slow.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "d"; "duration" ] ~docv:"SECONDS"
+          ~doc:"Run until the deadline instead of a fixed transaction count.")
+  in
+  let accounts_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "accounts" ] ~docv:"N" ~doc:"Rows in the bank table.")
+  in
+  let hot_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "hot" ] ~docv:"N"
+          ~doc:"Size of the contended key set for the hotspot mix.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per mixed-mix transaction.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 100.
+      & info [ "think" ] ~docv:"MICROSECONDS"
+          ~doc:
+            "Mean think time between a transaction's statements. This is \
+             what makes transactions overlap; 0 measures raw serial \
+             engine throughput.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload and backoff-jitter seed.")
+  in
+  let fuw_arg =
+    Arg.(
+      value & flag
+      & info [ "first-updater-wins" ]
+          ~doc:"Use the First-Updater-Wins variant of Snapshot Isolation.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write metrics and the oracle verdict as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Drive the engines with concurrent worker domains and check the \
+          recorded history with the serializability oracle.")
+    Term.(
+      const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
+      $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
+      $ seed_arg $ fuw_arg $ json_arg)
+
 (* {2 scenarios / histories} *)
 
 let list_scenarios () =
@@ -386,7 +550,7 @@ let main_cmd =
        ~doc:
          "A laboratory for 'A Critique of ANSI SQL Isolation Levels' \
           (Berenson et al., SIGMOD 1995).")
-    [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; scenarios_cmd;
-      histories_cmd; levels_cmd; figure_cmd ]
+    [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; stress_cmd;
+      scenarios_cmd; histories_cmd; levels_cmd; figure_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

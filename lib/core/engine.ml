@@ -156,8 +156,17 @@ let wal = function
   | Locking e -> Some (Lock_engine.wal e)
   | Mv _ | Timestamp _ -> None
 
+let family = function
+  | Locking _ -> `Locking
+  | Mv _ -> `Mv
+  | Timestamp _ -> `Timestamp
+
 let lock_events = function
   | Locking e -> Some (Lock_engine.lock_events e)
+  | Mv _ | Timestamp _ -> None
+
+let lock_stats = function
+  | Locking e -> Some (Lock_engine.lock_stats e)
   | Mv _ | Timestamp _ -> None
 let version_store = function
   | Locking _ | Timestamp _ -> None

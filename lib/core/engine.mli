@@ -86,8 +86,15 @@ val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t option
 (** The write-ahead log (locking engines only). *)
 
+val family : t -> [ `Locking | `Mv | `Timestamp ]
+(** The engine family this instance was created with. *)
+
 val lock_events : t -> Locking.Lock_table.event list option
 (** The lock table's audit log (locking engines only). *)
+
+val lock_stats : t -> Locking.Lock_table.stats option
+(** Cumulative lock-table grant/conflict/release counters (locking engines
+    only). *)
 
 val version_store : t -> Storage.Version_store.t option
 (** The version store (multiversion engines only). *)

@@ -405,3 +405,4 @@ let final_state t = Store.to_list t.store
 let wal t = t.wal
 let store t = t.store
 let lock_events t = Lock_table.events t.locks
+let lock_stats t = Lock_table.stats t.locks

@@ -45,3 +45,6 @@ val store : t -> Storage.Store.t
 
 val lock_events : t -> Locking.Lock_table.event list
 (** The lock table's audit log, for discipline analysis. *)
+
+val lock_stats : t -> Locking.Lock_table.stats
+(** Cumulative grant/conflict/release counters. *)

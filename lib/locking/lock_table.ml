@@ -42,14 +42,22 @@ type event =
   | Acquired of { owner : txn; req : request; tag : tag }
   | Released of { owner : txn; count : int }
 
+type stats = { grants : int; conflicts : int; releases : int }
+
 type t = {
   mutable entries : entry list;
   mutable events : event list; (* newest first *)
+  mutable grants : int;     (* grant decisions, including redundant covers *)
+  mutable conflicts : int;  (* acquire attempts refused by a holder *)
+  mutable releases : int;   (* lock entries dropped by release/release_all *)
 }
 
-let create () = { entries = []; events = [] }
+let create () =
+  { entries = []; events = []; grants = 0; conflicts = 0; releases = 0 }
 
 let events t = List.rev t.events
+
+let stats t = { grants = t.grants; conflicts = t.conflicts; releases = t.releases }
 
 (* Do two granted/requested locks conflict? Two locks by different
    transactions conflict if at least one is a Write lock and they cover a
@@ -106,7 +114,9 @@ let acquire table ~owner ~tag req =
       table.entries
   in
   match conflicting with
-  | _ :: _ -> Conflict (List.sort_uniq compare (List.map (fun e -> e.owner) conflicting))
+  | _ :: _ ->
+    table.conflicts <- table.conflicts + 1;
+    Conflict (List.sort_uniq compare (List.map (fun e -> e.owner) conflicting))
   | [] ->
     (* Promote rather than duplicate: an identical or covering lock with a
        duration at least as long needs no new entry. Write item locks are
@@ -128,6 +138,7 @@ let acquire table ~owner ~tag req =
       table.entries <- { owner; req; tag } :: table.entries;
       table.events <- Acquired { owner; req; tag } :: table.events
     end;
+    table.grants <- table.grants + 1;
     Granted
 
 let release table ~owner ~tag =
@@ -135,14 +146,18 @@ let release table ~owner ~tag =
     List.partition (fun e -> not (e.owner = owner && e.tag = tag)) table.entries
   in
   table.entries <- keep;
-  if dropped <> [] then
+  if dropped <> [] then begin
+    table.releases <- table.releases + List.length dropped;
     table.events <- Released { owner; count = List.length dropped } :: table.events
+  end
 
 let release_all table ~owner =
   let keep, dropped = List.partition (fun e -> e.owner <> owner) table.entries in
   table.entries <- keep;
-  if dropped <> [] then
+  if dropped <> [] then begin
+    table.releases <- table.releases + List.length dropped;
     table.events <- Released { owner; count = List.length dropped } :: table.events
+  end
 
 let held table ~owner =
   List.filter_map

@@ -42,6 +42,13 @@ type event =
 
 val events : t -> event list
 
+type stats = { grants : int; conflicts : int; releases : int }
+(** Cumulative lock-table traffic: grant decisions (including redundant
+    covers), refused acquire attempts, and entries dropped by releases —
+    the counters the runtime's stress metrics report. *)
+
+val stats : t -> stats
+
 type verdict = Granted | Conflict of txn list
 
 val acquire : t -> owner:txn -> tag:tag -> request -> verdict

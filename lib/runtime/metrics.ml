@@ -1,0 +1,205 @@
+(* Runtime metrics. Recording is lock-free: plain counters are sharded
+   per domain, commit latencies go into a log2-bucketed histogram of
+   atomics. Quantiles read the histogram, so they are approximate to one
+   bucket (successive buckets differ by 2x) — precise enough to compare
+   levels, mixes and PRs against each other. *)
+
+module Engine = Core.Engine
+
+let buckets = 64
+
+type t = {
+  committed : Stripes.Counter.t;
+  aborted : Stripes.Counter.t array; (* indexed by reason *)
+  retries : Stripes.Counter.t;
+  giveups : Stripes.Counter.t;
+  deadlocks : Stripes.Counter.t;
+  stalls : Stripes.Counter.t;
+  lock_waits : Stripes.Counter.t;
+  wait_ns : Stripes.Counter.t;
+  lat_hist : int Atomic.t array;  (* commit latencies, bucket = log2 ns *)
+  lat_sum_ns : Stripes.Counter.t;
+  lat_max_ns : int Atomic.t;      (* CAS-raised high-water mark *)
+  mutable started_at : float;
+  mutable stopped_at : float;
+}
+
+let reasons =
+  [| Engine.User_abort; Engine.Deadlock_victim; Engine.First_committer_wins;
+     Engine.First_updater_wins; Engine.Serialization_failure; Engine.Too_late |]
+
+let reason_index = function
+  | Engine.User_abort -> 0
+  | Engine.Deadlock_victim -> 1
+  | Engine.First_committer_wins -> 2
+  | Engine.First_updater_wins -> 3
+  | Engine.Serialization_failure -> 4
+  | Engine.Too_late -> 5
+
+let abort_reason_slug = function
+  | Engine.User_abort -> "user_abort"
+  | Engine.Deadlock_victim -> "deadlock_victim"
+  | Engine.First_committer_wins -> "first_committer_wins"
+  | Engine.First_updater_wins -> "first_updater_wins"
+  | Engine.Serialization_failure -> "serialization_failure"
+  | Engine.Too_late -> "too_late"
+
+let create () =
+  {
+    committed = Stripes.Counter.create ();
+    aborted = Array.init (Array.length reasons) (fun _ -> Stripes.Counter.create ());
+    retries = Stripes.Counter.create ();
+    giveups = Stripes.Counter.create ();
+    deadlocks = Stripes.Counter.create ();
+    stalls = Stripes.Counter.create ();
+    lock_waits = Stripes.Counter.create ();
+    wait_ns = Stripes.Counter.create ();
+    lat_hist = Array.init buckets (fun _ -> Atomic.make 0);
+    lat_sum_ns = Stripes.Counter.create ();
+    lat_max_ns = Atomic.make 0;
+    started_at = 0.;
+    stopped_at = 0.;
+  }
+
+let start t = t.started_at <- Unix.gettimeofday ()
+let stop t = t.stopped_at <- Unix.gettimeofday ()
+
+let bucket_of_ns ns =
+  let rec go i n = if n <= 1 || i >= buckets - 1 then i else go (i + 1) (n lsr 1) in
+  go 0 (max 1 ns)
+
+let rec raise_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then raise_max a v
+
+let record_commit t ~latency_ns =
+  Stripes.Counter.incr t.committed;
+  Stripes.Counter.add t.lat_sum_ns latency_ns;
+  raise_max t.lat_max_ns latency_ns;
+  ignore (Atomic.fetch_and_add t.lat_hist.(bucket_of_ns latency_ns) 1)
+
+let record_abort t reason = Stripes.Counter.incr t.aborted.(reason_index reason)
+let record_block t = Stripes.Counter.incr t.lock_waits
+let record_wait_ns t ns = Stripes.Counter.add t.wait_ns ns
+let record_retry t = Stripes.Counter.incr t.retries
+let record_deadlock t = Stripes.Counter.incr t.deadlocks
+let record_stall t = Stripes.Counter.incr t.stalls
+let record_giveup t = Stripes.Counter.incr t.giveups
+
+type snapshot = {
+  committed : int;
+  aborted : (Engine.abort_reason * int) list;
+  aborted_total : int;
+  retries : int;
+  giveups : int;
+  deadlocks : int;
+  stalls : int;
+  lock_waits : int;
+  wait_ns : int;
+  wall_s : float;
+  throughput : float;
+  lat_p50_ms : float;
+  lat_p90_ms : float;
+  lat_p99_ms : float;
+  lat_max_ms : float;
+  lat_mean_ms : float;
+}
+
+(* Quantile from the histogram: the geometric midpoint of the first
+   bucket at which the cumulative count reaches the rank. *)
+let quantile hist total q =
+  if total = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float total))) in
+    let rec go i acc =
+      if i >= buckets then float buckets
+      else
+        let acc = acc + Atomic.get hist.(i) in
+        if acc >= rank then float i else go (i + 1) acc
+    in
+    let b = go 0 0 in
+    (2. ** b) *. 1.5 /. 1e6
+  end
+
+let snapshot (t : t) =
+  let committed = Stripes.Counter.sum t.committed in
+  let aborted_counts =
+    Array.to_list
+      (Array.mapi (fun i c -> (reasons.(i), Stripes.Counter.sum c)) t.aborted)
+  in
+  let aborted = List.filter (fun (_, n) -> n > 0) aborted_counts in
+  let aborted_total = List.fold_left (fun acc (_, n) -> acc + n) 0 aborted in
+  let stopped = if t.stopped_at > 0. then t.stopped_at else Unix.gettimeofday () in
+  let wall_s = Float.max 1e-9 (stopped -. t.started_at) in
+  let sum_ns = Stripes.Counter.sum t.lat_sum_ns in
+  {
+    committed;
+    aborted;
+    aborted_total;
+    retries = Stripes.Counter.sum t.retries;
+    giveups = Stripes.Counter.sum t.giveups;
+    deadlocks = Stripes.Counter.sum t.deadlocks;
+    stalls = Stripes.Counter.sum t.stalls;
+    lock_waits = Stripes.Counter.sum t.lock_waits;
+    wait_ns = Stripes.Counter.sum t.wait_ns;
+    wall_s;
+    throughput = float committed /. wall_s;
+    lat_p50_ms = quantile t.lat_hist committed 0.50;
+    lat_p90_ms = quantile t.lat_hist committed 0.90;
+    lat_p99_ms = quantile t.lat_hist committed 0.99;
+    lat_max_ms = float (Atomic.get t.lat_max_ns) /. 1e6;
+    lat_mean_ms =
+      (if committed = 0 then 0. else float sum_ns /. float committed /. 1e6);
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>committed %d  aborted %d  retries %d  giveups %d@,\
+     throughput %.0f txn/s  (wall %.3fs)@,\
+     latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  mean %.3f@,\
+     lock waits %d  wait %.3fs  deadlocks %d  stalls %d" s.committed
+    s.aborted_total s.retries s.giveups s.throughput s.wall_s s.lat_p50_ms
+    s.lat_p90_ms s.lat_p99_ms s.lat_max_ms s.lat_mean_ms s.lock_waits
+    (float s.wait_ns /. 1e9)
+    s.deadlocks s.stalls;
+  if s.aborted <> [] then begin
+    Fmt.pf ppf "@,aborts by reason:";
+    List.iter
+      (fun (r, n) -> Fmt.pf ppf " %a=%d" Engine.pp_abort_reason r n)
+      s.aborted
+  end;
+  Fmt.pf ppf "@]"
+
+let to_json ?(extra = []) s =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  let first = ref true in
+  let field k v =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b (Printf.sprintf "%S:%s" k v)
+  in
+  List.iter (fun (k, v) -> field k v) extra;
+  field "committed" (string_of_int s.committed);
+  field "aborted_total" (string_of_int s.aborted_total);
+  field "aborted"
+    (Printf.sprintf "{%s}"
+       (String.concat ","
+          (List.map
+             (fun (r, n) -> Printf.sprintf "%S:%d" (abort_reason_slug r) n)
+             s.aborted)));
+  field "retries" (string_of_int s.retries);
+  field "giveups" (string_of_int s.giveups);
+  field "deadlocks" (string_of_int s.deadlocks);
+  field "stalls" (string_of_int s.stalls);
+  field "lock_waits" (string_of_int s.lock_waits);
+  field "wait_s" (Printf.sprintf "%.6f" (float s.wait_ns /. 1e9));
+  field "wall_s" (Printf.sprintf "%.6f" s.wall_s);
+  field "throughput_tps" (Printf.sprintf "%.1f" s.throughput);
+  field "lat_p50_ms" (Printf.sprintf "%.4f" s.lat_p50_ms);
+  field "lat_p90_ms" (Printf.sprintf "%.4f" s.lat_p90_ms);
+  field "lat_p99_ms" (Printf.sprintf "%.4f" s.lat_p99_ms);
+  field "lat_max_ms" (Printf.sprintf "%.4f" s.lat_max_ms);
+  field "lat_mean_ms" (Printf.sprintf "%.4f" s.lat_mean_ms);
+  Buffer.add_char b '}';
+  Buffer.contents b

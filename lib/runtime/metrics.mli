@@ -1,0 +1,71 @@
+(** Runtime metrics: throughput, latency quantiles and abort accounting
+    for the multicore worker pool.
+
+    Counters are sharded per domain ({!Stripes.Counter}) and commit
+    latencies land in a lock-free log₂ histogram, so recording never
+    serializes the workers. Quantiles are therefore bucket-resolution
+    approximations (successive buckets differ by 2×), which is enough to
+    track the performance trajectory across PRs. *)
+
+type t
+
+val create : unit -> t
+
+val start : t -> unit
+(** Mark the wall-clock start of the measured run. *)
+
+val stop : t -> unit
+(** Mark the end; {!snapshot} then reports the closed interval. *)
+
+val record_commit : t -> latency_ns:int -> unit
+val record_abort : t -> Core.Engine.abort_reason -> unit
+
+val record_block : t -> unit
+(** A step attempt came back [Blocked] (a lock wait). *)
+
+val record_wait_ns : t -> int -> unit
+(** Time actually slept waiting for a lock. *)
+
+val record_retry : t -> unit
+(** A transaction attempt aborted and will be restarted. *)
+
+val record_deadlock : t -> unit
+(** A waits-for cycle was broken by aborting a victim. *)
+
+val record_stall : t -> unit
+(** A worker restarted itself after exhausting blocked retries on one
+    operation (lost-wakeup / starvation safety valve). *)
+
+val record_giveup : t -> unit
+(** A job exhausted its attempt budget without committing. *)
+
+type snapshot = {
+  committed : int;
+  aborted : (Core.Engine.abort_reason * int) list;  (** non-zero reasons *)
+  aborted_total : int;
+  retries : int;
+  giveups : int;
+  deadlocks : int;
+  stalls : int;
+  lock_waits : int;
+  wait_ns : int;
+  wall_s : float;
+  throughput : float;  (** committed transactions per second *)
+  lat_p50_ms : float;
+  lat_p90_ms : float;
+  lat_p99_ms : float;
+  lat_max_ms : float;
+  lat_mean_ms : float;
+}
+
+val snapshot : t -> snapshot
+(** Call after the workers have joined (counter sums are then exact). *)
+
+val pp : snapshot Fmt.t
+
+val abort_reason_slug : Core.Engine.abort_reason -> string
+(** Stable machine-readable name, used as the JSON key. *)
+
+val to_json : ?extra:(string * string) list -> snapshot -> string
+(** One JSON object; [extra] prepends already-encoded key/value pairs
+    (e.g. [("level", {|"serializable"|})]). *)

@@ -1,0 +1,204 @@
+(* Post-run correctness oracle: the paper's detectors and serializability
+   tests applied to the history a parallel run recorded. *)
+
+module P = Phenomena.Phenomenon
+module Detect = Phenomena.Detect
+module A = History.Action
+
+let max_display_witnesses = 5
+
+(* The anomaly interpretations — everything but the broad patterns
+   P0-P3. A locking scheduler prevents the patterns themselves (Remark
+   5's point); optimistic and multiversion schedulers admit the
+   patterns while excluding the anomalies, which is the paper's central
+   distinction, so only the anomalies dirty a serializable verdict. *)
+let is_anomaly = function
+  | P.P0 | P.P1 | P.P2 | P.P3 -> false
+  | P.A1 | P.A2 | P.A3 | P.P4 | P.P4C | P.A5A | P.A5B -> true
+
+(* Version-aware refinement for multiversion histories.
+
+   The detectors match the paper's single-version templates
+   positionally. In a multiversion trace a read that positionally
+   follows a write may still have returned an older version — a
+   snapshot read — in which case the phenomenon did not occur; this is
+   exactly §4.2's argument that Snapshot Isolation cannot be judged in
+   single-version vocabulary. Each filter below keeps a witness only
+   when the recorded versions (or terminations) corroborate the
+   anomaly:
+
+   - P0/P4/P4C: versions are private until commit, so an overwrite is
+     only real when both transactions commit (what First-Committer-Wins
+     forbids).
+   - P1/A1: a dirty read must have returned the writer's uncommitted
+     version; predicate evaluations run against the snapshot and are
+     never dirty.
+   - P2/A2, P3/A3: a fuzzy read / phantom must be observed — a later
+     read (re-evaluation) by T1 returning a different version (item
+     set); reads of T1's own versions do not count.
+   - A5A: the second read must actually return T2's version.
+   - A5B: write skew is real under SI; kept as matched. *)
+let refine_mv h hits =
+  let arr = Array.of_list h in
+  let committed = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace committed t ()) (History.committed h);
+  let commits t = Hashtbl.mem committed t in
+  let read_at p = match arr.(p) with A.Read r -> Some r | _ -> None in
+  let pred_at p = match arr.(p) with A.Pred_read pr -> Some pr | _ -> None in
+  let minp (w : Detect.witness) = List.fold_left min max_int w.positions in
+  let maxp (w : Detect.witness) = List.fold_left max 0 w.positions in
+  let keys_differ a b = List.sort compare a <> List.sort compare b in
+  let rereads_differently ~after t k ver =
+    Array.exists Fun.id
+      (Array.mapi
+         (fun p a ->
+           p > after
+           &&
+           match a with
+           | A.Read r -> r.A.rt = t && r.A.rk = k && r.A.rver <> ver
+                         && r.A.rver <> Some t
+           | _ -> false)
+         arr)
+  in
+  let reevaluates_differently ~after t pname keys =
+    Array.exists Fun.id
+      (Array.mapi
+         (fun p a ->
+           p > after
+           &&
+           match a with
+           | A.Pred_read pr ->
+             pr.A.pt = t && pr.A.pname = pname && keys_differ pr.A.pkeys keys
+           | _ -> false)
+         arr)
+  in
+  let keep (w : Detect.witness) =
+    match w.phenomenon with
+    | P.P0 | P.P4 | P.P4C -> commits w.t1 && commits w.t2
+    | P.P1 | P.A1 -> (
+      match read_at (maxp w) with
+      | Some r -> (
+        match r.A.rver with Some v -> v = w.t1 | None -> true)
+      | None -> false)
+    | P.P2 -> (
+      match read_at (minp w) with
+      | Some r -> rereads_differently ~after:(minp w) w.t1 r.A.rk r.A.rver
+      | None -> true)
+    | P.A2 -> (
+      match (read_at (minp w), read_at (maxp w)) with
+      | Some r, Some r' -> r'.A.rver <> r.A.rver && r'.A.rver <> Some w.t1
+      | _ -> true)
+    | P.P3 -> (
+      match pred_at (minp w) with
+      | Some pr ->
+        reevaluates_differently ~after:(minp w) w.t1 pr.A.pname pr.A.pkeys
+      | None -> true)
+    | P.A3 -> (
+      match (pred_at (minp w), pred_at (maxp w)) with
+      | Some pr, Some pr' -> keys_differ pr.A.pkeys pr'.A.pkeys
+      | _ -> true)
+    | P.A5A -> (
+      match read_at (maxp w) with
+      | Some r -> (
+        match r.A.rver with Some v -> v = w.t2 | None -> true)
+      | None -> true)
+    | P.A5B -> true
+  in
+  List.filter_map
+    (fun (p, ws) ->
+      match List.filter keep ws with [] -> None | ws -> Some (p, ws))
+    hits
+
+type t = {
+  actions : int;
+  txns : int;
+  committed : int;
+  aborted : int;
+  well_formed : (unit, string) result;
+  multiversion : bool;
+  serializable : bool;
+  cycle : History.Action.txn list option;
+  phenomena : (P.t * int) list;
+  witnesses : Detect.witness list;
+}
+
+let check ?(phenomena = P.all) h =
+  let well_formed = History.well_formed h in
+  let multiversion = History.Mv.is_mv h in
+  let serializable, cycle =
+    if multiversion then
+      (History.Mv.is_one_copy_serializable h, History.Mv.mvsg_cycle h)
+    else (History.Conflict.is_serializable h, History.Conflict.cycle h)
+  in
+  let hits =
+    List.filter_map
+      (fun p ->
+        match Detect.detect p h with [] -> None | ws -> Some (p, ws))
+      phenomena
+  in
+  let hits = if multiversion then refine_mv h hits else hits in
+  {
+    actions = List.length h;
+    txns = List.length (History.txns h);
+    committed = List.length (History.committed h);
+    aborted = List.length (History.aborted h);
+    well_formed;
+    multiversion;
+    serializable;
+    cycle;
+    phenomena = List.map (fun (p, ws) -> (p, List.length ws)) hits;
+    witnesses =
+      (* anomaly witnesses first: they are the ones worth reading *)
+      (let anoms, pats = List.partition (fun (p, _) -> is_anomaly p) hits in
+       let all = List.concat_map snd (anoms @ pats) in
+       List.filteri (fun i _ -> i < max_display_witnesses) all);
+  }
+
+let anomalies t = List.filter (fun (p, _) -> is_anomaly p) t.phenomena
+let patterns t = List.filter (fun (p, _) -> not (is_anomaly p)) t.phenomena
+let clean t = t.well_formed = Ok () && t.serializable && anomalies t = []
+let pattern_free t = clean t && t.phenomena = []
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>oracle: %d actions, %d txns (%d committed, %d aborted)@,"
+    t.actions t.txns t.committed t.aborted;
+  (match t.well_formed with
+  | Ok () -> Fmt.pf ppf "well-formed: yes@,"
+  | Error m -> Fmt.pf ppf "well-formed: NO (%s)@," m);
+  Fmt.pf ppf "%s: %b@,"
+    (if t.multiversion then "one-copy serializable" else "conflict-serializable")
+    t.serializable;
+  (match t.cycle with
+  | Some cycle ->
+    Fmt.pf ppf "dependency cycle: %s@,"
+      (String.concat " -> " (List.map (fun x -> "T" ^ string_of_int x) cycle))
+  | None -> ());
+  let fmt_ps ps =
+    String.concat ", "
+      (List.map (fun (p, n) -> Fmt.str "%s x%d" (P.name p) n) ps)
+  in
+  (match patterns t with
+  | [] -> ()
+  | ps -> Fmt.pf ppf "patterns (templates without the anomaly): %s@," (fmt_ps ps));
+  (match anomalies t with
+  | [] -> Fmt.pf ppf "anomalies: none"
+  | ps ->
+    Fmt.pf ppf "anomalies: %s" (fmt_ps ps);
+    List.iter (fun w -> Fmt.pf ppf "@,  %a" Detect.pp_witness w) t.witnesses);
+  Fmt.pf ppf "@]"
+
+let to_json t =
+  let obj ps =
+    String.concat ","
+      (List.map (fun (p, n) -> Printf.sprintf "%S:%d" (P.name p) n) ps)
+  in
+  Printf.sprintf
+    "{\"actions\":%d,\"txns\":%d,\"committed\":%d,\"aborted\":%d,\
+     \"well_formed\":%b,\"multiversion\":%b,\"serializable\":%b,\
+     \"patterns\":{%s},\"anomalies\":{%s},\"clean\":%b,\"pattern_free\":%b}"
+    t.actions t.txns t.committed t.aborted
+    (t.well_formed = Ok ())
+    t.multiversion t.serializable
+    (obj (patterns t))
+    (obj (anomalies t))
+    (clean t) (pattern_free t)

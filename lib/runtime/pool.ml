@@ -1,0 +1,315 @@
+(* The Domain-parallel worker pool.
+
+   Concurrency architecture, from the inside out:
+
+   - One engine instance, guarded by one coarse execution latch
+     (profiling note: the engines are single-threaded by design; striping
+     the latch by key hash requires first striping the lock table and
+     store, which is on the roadmap). Every Engine call happens inside
+     [locked].
+
+   - Workers never sleep while holding the latch. A step that comes back
+     [Blocked] releases the latch and backs off with capped exponential
+     jitter before retrying, so one transaction's lock wait costs only
+     its own worker.
+
+   - Deadlock handling mirrors the deterministic executor: a shared
+     waits-for table is updated under the latch on every blocked step,
+     and the youngest transaction of any cycle is aborted on the spot —
+     possibly by the worker of another transaction in the cycle. The
+     victim's worker observes the abort on its next step ([Finished])
+     and restarts the job under a fresh transaction id.
+
+   - Job dispatch is a lock-free ticket: Atomic.fetch_and_add over the
+     job array (or the generator, for timed runs).
+
+   Transaction ids are globally fresh (an atomic counter), so a retried
+   job appears in the history as a new transaction and the recorded
+   trace stays well-formed: an aborted attempt terminates with its own
+   abort action and never acts again. *)
+
+module Action = History.Action
+module Level = Isolation.Level
+module Engine = Core.Engine
+module Program = Core.Program
+module Digraph = History.Digraph
+
+type job = {
+  name : string;
+  program : Program.t;
+  level : Level.t;
+  read_only : bool;
+}
+
+let job ?(name = "txn") ?(read_only = false) ~level program =
+  { name; program; level; read_only }
+
+type config = {
+  workers : int;
+  initial : (Action.key * Action.value) list;
+  predicates : Storage.Predicate.t list;
+  family : [ `Locking | `Mv | `Timestamp ] option;
+  first_updater_wins : bool;
+  next_key_locking : bool;
+  update_locks : bool;
+  max_attempts : int;
+  max_op_retries : int;
+  think_us : float;
+  backoff : Backoff.config;
+  retry_backoff : Backoff.config;
+  oracle_phenomena : Phenomena.Phenomenon.t list;
+  seed : int;
+}
+
+(* Restarting a whole transaction is costlier than re-polling one lock,
+   and a retry that comes back too soon meets the same contenders and
+   deadlocks again (the 2PL upgrade storm), so the restart window starts
+   wider than a lock wait and escalates well past a transaction's
+   lifetime. *)
+let default_retry_backoff =
+  { Backoff.base_us = 200.; cap_us = 20_000.; multiplier = 2. }
+
+let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
+    ?(first_updater_wins = false) ?(next_key_locking = false)
+    ?(update_locks = false) ?(max_attempts = 64) ?(max_op_retries = 10_000)
+    ?(think_us = 0.) ?(backoff = Backoff.default)
+    ?(retry_backoff = default_retry_backoff)
+    ?(oracle_phenomena = Phenomena.Phenomenon.all) ?(seed = 1) () =
+  {
+    workers = max 1 workers;
+    initial;
+    predicates;
+    family;
+    first_updater_wins;
+    next_key_locking;
+    update_locks;
+    max_attempts = max 1 max_attempts;
+    max_op_retries = max 1 max_op_retries;
+    think_us = Float.max 0. think_us;
+    backoff;
+    retry_backoff;
+    oracle_phenomena;
+    seed;
+  }
+
+type result = {
+  history : History.t;
+  final : (Action.key * Action.value) list;
+  metrics : Metrics.snapshot;
+  journal : Recorder.entry list;
+  oracle : Oracle.t;
+  lock_stats : Locking.Lock_table.stats option;
+}
+
+exception Stuck of string
+
+type shared = {
+  engine : Engine.t;
+  latch : Mutex.t;
+  waits : (Action.txn, Action.txn list) Hashtbl.t; (* guarded by latch *)
+  next_tid : int Atomic.t;
+  metrics : Metrics.t;
+  recorder : Recorder.t;
+}
+
+let locked sh f =
+  Mutex.lock sh.latch;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.latch) f
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Under the latch: record tid's waits-for edges and break any cycle by
+   aborting its youngest (highest-id, hence most recently started)
+   member. Returns [`Self_aborted] when the caller was the victim. *)
+let note_blocked sh tid holders =
+  Hashtbl.replace sh.waits tid holders;
+  let g = Digraph.create () in
+  Hashtbl.iter
+    (fun t hs -> List.iter (fun h -> Digraph.add_edge g t h) hs)
+    sh.waits;
+  match Digraph.find_cycle g with
+  | None -> `Wait
+  | Some cycle ->
+    let victim = List.fold_left max min_int cycle in
+    Engine.abort_txn sh.engine victim;
+    Hashtbl.remove sh.waits victim;
+    Metrics.record_deadlock sh.metrics;
+    if victim = tid then `Self_aborted else `Wait
+
+(* One attempt at a job: begin a fresh transaction, drive every
+   operation through the engine (waiting out blocks), and report the
+   terminal status. *)
+let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
+  let tid = Atomic.fetch_and_add sh.next_tid 1 in
+  let ops =
+    if Program.terminated job.program then job.program.Program.ops
+    else job.program.Program.ops @ [ Program.Commit ]
+  in
+  let start_ns = now_ns () in
+  locked sh (fun () ->
+      Engine.begin_txn ~read_only:job.read_only sh.engine tid ~level:job.level);
+  Backoff.reset bo;
+  let rec exec = function
+    | [] -> ()
+    | op :: rest ->
+      let rec attempt_op tries =
+        let outcome =
+          locked sh (fun () ->
+              match Engine.step sh.engine tid op with
+              | Engine.Progress ->
+                Hashtbl.remove sh.waits tid;
+                `Progress
+              | Engine.Finished ->
+                (* terminated from outside: deadlock victim *)
+                Hashtbl.remove sh.waits tid;
+                `Finished
+              | Engine.Blocked holders ->
+                Metrics.record_block sh.metrics;
+                note_blocked sh tid holders)
+        in
+        match outcome with
+        | `Progress ->
+          Backoff.reset bo;
+          (* Think time between statements, slept outside the latch: the
+             gap during which other workers interleave — without it the
+             latch hand-off all but serializes short transactions. *)
+          if cfg.think_us > 0. && rest <> [] then
+            Unix.sleepf (Random.State.float rng (2. *. cfg.think_us) /. 1e6);
+          exec rest
+        | `Finished | `Self_aborted -> ()
+        | `Wait ->
+          if tries >= cfg.max_op_retries then begin
+            (* Starvation safety valve: restart rather than wait forever. *)
+            locked sh (fun () ->
+                Engine.abort_txn sh.engine tid;
+                Hashtbl.remove sh.waits tid);
+            Metrics.record_stall sh.metrics
+          end
+          else begin
+            let t0 = now_ns () in
+            Backoff.wait bo;
+            Metrics.record_wait_ns sh.metrics (now_ns () - t0);
+            attempt_op (tries + 1)
+          end
+      in
+      attempt_op 0
+  in
+  exec ops;
+  let status =
+    locked sh (fun () ->
+        Hashtbl.remove sh.waits tid;
+        Engine.status sh.engine tid)
+  in
+  let finish_ns = now_ns () in
+  let outcome =
+    match status with
+    | Engine.Committed ->
+      Metrics.record_commit sh.metrics ~latency_ns:(finish_ns - start_ns);
+      Recorder.Committed
+    | Engine.Aborted reason ->
+      Metrics.record_abort sh.metrics reason;
+      Recorder.Aborted reason
+    | Engine.Active ->
+      raise (Stuck (Fmt.str "T%d still active after its program ended" tid))
+  in
+  Recorder.record sh.recorder ~job:jidx ~name:job.name ~level:job.level ~tid
+    ~attempt ~worker:widx ~start_ns ~finish_ns outcome;
+  outcome
+
+(* Retry policy: user aborts are the program's own decision and final;
+   every system-initiated abort is retried until the budget runs out.
+   The restart backoff resets per job and keeps escalating across the
+   job's attempts — unlike the per-operation backoff, which resets on
+   every successful step. *)
+let run_job sh cfg ~rng ~bo ~rbo ~widx jidx job =
+  Backoff.reset rbo;
+  let rec go attempt =
+    match run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job with
+    | Recorder.Committed | Recorder.Aborted Engine.User_abort -> ()
+    | Recorder.Aborted _ ->
+      if attempt >= cfg.max_attempts then Metrics.record_giveup sh.metrics
+      else begin
+        Metrics.record_retry sh.metrics;
+        Backoff.wait rbo;
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let worker sh cfg ~next_job widx =
+  let rng = Random.State.make [| cfg.seed; 0x90c0; widx |] in
+  let bo = Backoff.create ~rng cfg.backoff in
+  let rbo = Backoff.create ~rng cfg.retry_backoff in
+  let rec loop () =
+    match next_job () with
+    | None -> ()
+    | Some (jidx, job) ->
+      run_job sh cfg ~rng ~bo ~rbo ~widx jidx job;
+      loop ()
+  in
+  loop ()
+
+let run_with cfg ~family ~next_job =
+  let engine =
+    Engine.create ~initial:cfg.initial ~predicates:cfg.predicates
+      ~first_updater_wins:cfg.first_updater_wins
+      ~next_key_locking:cfg.next_key_locking ~update_locks:cfg.update_locks
+      ~family ()
+  in
+  let sh =
+    {
+      engine;
+      latch = Mutex.create ();
+      waits = Hashtbl.create 64;
+      next_tid = Atomic.make 1;
+      metrics = Metrics.create ();
+      recorder = Recorder.create ~stripes:cfg.workers ();
+    }
+  in
+  Metrics.start sh.metrics;
+  let spawned =
+    List.init (cfg.workers - 1) (fun i ->
+        Domain.spawn (fun () -> worker sh cfg ~next_job (i + 1)))
+  in
+  (* The calling domain is worker 0; join the rest even if it trips. *)
+  let mine = try Ok (worker sh cfg ~next_job 0) with e -> Error e in
+  List.iter Domain.join spawned;
+  (match mine with Ok () -> () | Error e -> raise e);
+  Metrics.stop sh.metrics;
+  let history = Engine.trace engine in
+  {
+    history;
+    final = Engine.final_state engine;
+    metrics = Metrics.snapshot sh.metrics;
+    journal = Recorder.entries sh.recorder;
+    oracle = Oracle.check ~phenomena:cfg.oracle_phenomena history;
+    lock_stats = Engine.lock_stats engine;
+  }
+
+let family_for cfg levels =
+  match cfg.family with
+  | Some f -> f
+  | None -> Engine.family_of_levels levels
+
+let run cfg jobs =
+  let family =
+    family_for cfg (List.map (fun j -> j.level) (Array.to_list jobs))
+  in
+  let next = Atomic.make 0 in
+  let next_job () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < Array.length jobs then Some (i, jobs.(i)) else None
+  in
+  run_with cfg ~family ~next_job
+
+let run_for cfg ~duration_s ~gen =
+  let family = family_for cfg [ (gen 0).level ] in
+  let deadline = Unix.gettimeofday () +. duration_s in
+  let next = Atomic.make 0 in
+  let next_job () =
+    if Unix.gettimeofday () >= deadline then None
+    else
+      let i = Atomic.fetch_and_add next 1 in
+      Some (i, gen i)
+  in
+  run_with cfg ~family ~next_job

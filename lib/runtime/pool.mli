@@ -1,0 +1,103 @@
+(** The multicore transaction-processing runtime: a Domain-based worker
+    pool that drives one {!Core.Engine} under real concurrency.
+
+    N workers pull jobs (a transaction program plus its isolation level)
+    from a shared lock-free queue and execute them against a single
+    engine instance. Engine steps are serialized by one coarse execution
+    latch — the engines themselves are single-threaded — but everything
+    around the latch is parallel: blocked transactions sleep *outside*
+    it with capped exponential backoff, so lock waits in the engine
+    never idle the other workers, and the interleavings are whatever the
+    scheduler produces. A shared waits-for graph detects deadlocks; the
+    youngest transaction in a cycle is aborted and its job restarted
+    under a fresh transaction id. Aborted attempts (deadlock victim,
+    First-Committer-Wins, serialization failure, timestamp too-late) are
+    retried up to an attempt budget.
+
+    The run's engine trace, attempt journal, metrics and the
+    {!Oracle.t} verdict over the recorded history come back in
+    {!result}. *)
+
+module Action := History.Action
+module Level := Isolation.Level
+
+type job = {
+  name : string;
+  program : Core.Program.t;
+  level : Level.t;
+  read_only : bool;
+}
+
+val job : ?name:string -> ?read_only:bool -> level:Level.t -> Core.Program.t -> job
+
+type config = {
+  workers : int;
+  initial : (Action.key * Action.value) list;
+  predicates : Storage.Predicate.t list;
+  family : [ `Locking | `Mv | `Timestamp ] option;
+      (** engine family; [None] infers it from the job levels *)
+  first_updater_wins : bool;
+  next_key_locking : bool;
+  update_locks : bool;
+  max_attempts : int;  (** attempt budget per job, >= 1 *)
+  max_op_retries : int;
+      (** blocked retries of one operation before the worker aborts its
+          own transaction and restarts the job (starvation safety
+          valve) *)
+  think_us : float;
+      (** mean think time slept (outside the latch) between a
+          transaction's operations. 0 measures raw engine throughput, but
+          then transactions are so short they rarely overlap; a realistic
+          think time is what makes the stress contend. *)
+  backoff : Backoff.config;  (** blocked-operation waits *)
+  retry_backoff : Backoff.config;
+      (** transaction restarts after a system abort. Resets per job and
+          escalates across attempts; the default window is wider than
+          {!field:backoff}'s, because a restart that comes back too soon
+          meets the same contenders and deadlocks again. *)
+  oracle_phenomena : Phenomena.Phenomenon.t list;
+      (** detectors the post-run oracle applies *)
+  seed : int;  (** seeds the per-worker backoff jitter *)
+}
+
+val config :
+  ?workers:int ->
+  ?initial:(Action.key * Action.value) list ->
+  ?predicates:Storage.Predicate.t list ->
+  ?family:[ `Locking | `Mv | `Timestamp ] ->
+  ?first_updater_wins:bool ->
+  ?next_key_locking:bool ->
+  ?update_locks:bool ->
+  ?max_attempts:int ->
+  ?max_op_retries:int ->
+  ?think_us:float ->
+  ?backoff:Backoff.config ->
+  ?retry_backoff:Backoff.config ->
+  ?oracle_phenomena:Phenomena.Phenomenon.t list ->
+  ?seed:int ->
+  unit ->
+  config
+
+type result = {
+  history : History.t;
+      (** the engine trace of the whole run — a true linearization, since
+          every step executed under the execution latch *)
+  final : (Action.key * Action.value) list;
+  metrics : Metrics.snapshot;
+  journal : Recorder.entry list;
+  oracle : Oracle.t;
+  lock_stats : Locking.Lock_table.stats option;  (** locking engines only *)
+}
+
+exception Stuck of string
+(** Raised only on runtime bugs: a transaction left neither committed nor
+    aborted after its program ran to completion. *)
+
+val run : config -> job array -> result
+(** Execute a fixed batch of jobs to completion. *)
+
+val run_for : config -> duration_s:float -> gen:(int -> job) -> result
+(** Open-ended run: workers call [gen] with increasing indices until the
+    deadline passes. [gen] is called concurrently and must be pure (e.g.
+    seed a fresh [Random.State] from the index). With [config.family =
+    None] the family is inferred from [gen 0]. *)

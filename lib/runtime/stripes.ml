@@ -1,0 +1,30 @@
+(* Striped synchronization: an array of mutexes indexed by key hash, and
+   sharded counters whose increments land on per-domain atomic cells.
+   Both exist to keep the worker pool off single points of contention. *)
+
+type t = Mutex.t array
+
+let create n = Array.init (max 1 n) (fun _ -> Mutex.create ())
+let size = Array.length
+let stripe_of_key t k = Hashtbl.hash k mod Array.length t
+
+let with_index t i f =
+  let m = t.(((i mod Array.length t) + Array.length t) mod Array.length t) in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let with_key t k f = with_index t (stripe_of_key t k) f
+
+module Counter = struct
+  type t = int Atomic.t array
+
+  let create ?(stripes = 16) () =
+    Array.init (max 1 stripes) (fun _ -> Atomic.make 0)
+
+  let cell t =
+    t.((Domain.self () :> int) mod Array.length t)
+
+  let add t n = ignore (Atomic.fetch_and_add (cell t) n)
+  let incr t = add t 1
+  let sum t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+end

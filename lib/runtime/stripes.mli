@@ -1,0 +1,39 @@
+(** Striped synchronization primitives for the multicore runtime.
+
+    A stripe set is a fixed array of mutexes indexed by key hash: callers
+    that touch different stripes never contend, which is the first step
+    from a single coarse latch toward a scalable lock table and store
+    (ROADMAP: striped lock table tuning).
+
+    {!Counter} is a sharded counter in the style of LongAdder: increments
+    land on a per-domain atomic cell, so hot counters (commits, lock
+    waits) do not serialize the worker pool on one cache line; [sum]
+    folds the cells. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a set of [max 1 n] stripes. *)
+
+val size : t -> int
+
+val stripe_of_key : t -> string -> int
+(** The stripe a key hashes to. *)
+
+val with_index : t -> int -> (unit -> 'a) -> 'a
+(** Run a function holding the stripe [i mod size]. *)
+
+val with_key : t -> string -> (unit -> 'a) -> 'a
+(** Run a function holding the key's stripe. *)
+
+module Counter : sig
+  type t
+
+  val create : ?stripes:int -> unit -> t
+  val add : t -> int -> unit
+  val incr : t -> unit
+
+  val sum : t -> int
+  (** Fold all cells. Linearizable only once writers are quiescent; while
+      they run it is a consistent-enough progress reading. *)
+end

@@ -132,3 +132,48 @@ let long_vs_short ~rand ~accounts ~touches ~writers =
       ]
   in
   long :: List.init writers short
+
+(* {2 Stress mixes for the multicore runtime}
+
+   Each mix is a pure function of (seed, index): program [index] of a
+   stress run depends on nothing else, so the runtime's workers can
+   generate jobs concurrently (and a rerun with the same seed offers the
+   same work, even though the hardware will interleave it differently). *)
+
+type mix = Transfer | Hotspot | Read_heavy | Mixed
+
+let all_mixes = [ Transfer; Hotspot; Read_heavy; Mixed ]
+
+let mix_name = function
+  | Transfer -> "transfer"
+  | Hotspot -> "hotspot"
+  | Read_heavy -> "read-heavy"
+  | Mixed -> "mixed"
+
+let mix_of_string s =
+  match String.lowercase_ascii s with
+  | "transfer" -> Some Transfer
+  | "hotspot" -> Some Hotspot
+  | "read-heavy" | "read_heavy" | "readheavy" -> Some Read_heavy
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+(* An increment of one account drawn from the first [hot] — the
+   contended read-modify-write that loses updates at weak levels. The
+   program name carries the key so journals can be audited per key. *)
+let increment_program ~rand ~accounts ~hot =
+  let k = account (Random.State.int rand (max 1 (min hot accounts))) in
+  Program.make ~name:(Printf.sprintf "inc:%s" k)
+    [ Program.Read k; Program.Write (k, Program.read_plus k 1); Program.Commit ]
+
+let stress_program mix ~seed ~accounts ~hot ~ops ~index =
+  let rand = Random.State.make [| 0x57e55; seed; index |] in
+  match mix with
+  | Transfer -> transfer_program ~rand ~accounts ~amount:1
+  | Hotspot -> increment_program ~rand ~accounts ~hot
+  | Read_heavy ->
+    if index mod 8 = 0 then audit_program ~accounts
+    else transfer_program ~rand ~accounts ~amount:1
+  | Mixed ->
+    let keys = List.init accounts account in
+    random_program ~allow_abort:false ~rand ~keys ~ops ()

@@ -32,4 +32,5 @@ let () =
       ("scenarios", Test_scenarios.suite);
       ("classify", Test_classify.suite);
       ("properties", Test_properties.suite);
+      ("runtime", Test_runtime.suite);
     ]
