@@ -85,20 +85,23 @@ let runtime () =
     "== runtime: %d worker domains, %d txns/cell, %d accounts (%d hot), \
      think %.0fus ==\n"
     workers txns accounts hot think_us;
-  Printf.printf "  %-22s %-10s %9s %8s %8s %7s %9s  %s\n" "level" "mix"
-    "txn/s" "p50ms" "p99ms" "aborts" "deadlocks" "oracle";
+  Printf.printf "  %-22s %-10s %9s %8s %8s %8s %8s %8s %7s %9s  %s\n" "level"
+    "mix" "txn/s" "p50ms" "p99ms" "exec50" "wait50" "retry_s" "aborts"
+    "deadlocks" "oracle";
   let rows =
     List.concat_map
       (fun level ->
         List.map
           (fun mix ->
             let r = run_cell level mix in
-            Printf.printf "  %-22s %-10s %9.0f %8.3f %8.3f %7d %9d  %s\n"
+            Printf.printf
+              "  %-22s %-10s %9.0f %8.3f %8.3f %8.3f %8.3f %8.3f %7d %9d  %s\n"
               (L.name r.level)
               (Generators.mix_name r.mix)
               r.m.Metrics.throughput r.m.Metrics.lat_p50_ms
-              r.m.Metrics.lat_p99_ms r.m.Metrics.aborted_total
-              r.m.Metrics.deadlocks (verdict r.o);
+              r.m.Metrics.lat_p99_ms r.m.Metrics.exec_p50_ms
+              r.m.Metrics.lock_wait_p50_ms r.m.Metrics.retry_overhead_s
+              r.m.Metrics.aborted_total r.m.Metrics.deadlocks (verdict r.o);
             r)
           mixes)
       levels

@@ -327,7 +327,7 @@ let run_cmd =
 (* {2 stress — the multicore runtime with its live oracle} *)
 
 let stress workers level mix_name txns duration accounts hot ops think seed
-    fuw json_path =
+    fuw json_path trace_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -343,10 +343,15 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     in
     Runtime.Pool.job ~name:p.Core.Program.name ~level p
   in
+  let sink =
+    match trace_path with
+    | None -> None
+    | Some _ -> Some (Trace.Sink.create ~workers:(max 1 workers) ())
+  in
   let cfg =
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
-      ~first_updater_wins:fuw ~think_us:think ~seed ()
+      ~first_updater_wins:fuw ~think_us:think ~seed ?trace:sink ()
   in
   Format.printf
     "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
@@ -365,9 +370,9 @@ let stress workers level mix_name txns duration accounts hot ops think seed
   Format.printf "%a@." Runtime.Metrics.pp r.Runtime.Pool.metrics;
   (match r.Runtime.Pool.lock_stats with
   | Some s ->
-    Format.printf "lock table: %d grants, %d conflicts, %d releases@."
+    Format.printf "lock table: %d grants, %d conflicts, %d releases, %d upgrades@."
       s.Locking.Lock_table.grants s.Locking.Lock_table.conflicts
-      s.Locking.Lock_table.releases
+      s.Locking.Lock_table.releases s.Locking.Lock_table.upgrades
   | None -> ());
   Format.printf "%a@." Runtime.Oracle.pp r.Runtime.Pool.oracle;
   let oracle = r.Runtime.Pool.oracle in
@@ -381,15 +386,49 @@ let stress workers level mix_name txns duration accounts hot ops think seed
        "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
         templates)"
      else "ANOMALIES DETECTED");
+  (match trace_path with
+  | Some path ->
+    let tmeta =
+      Trace.Chrome.meta ~tool:"isolation_lab stress" ~level:(L.name level)
+        ~mix:(Workload.Generators.mix_name mix) ~workers ~seed
+        ~history:(Trace.Render.history_line r.Runtime.Pool.history)
+        ~dropped:r.Runtime.Pool.events_dropped ()
+    in
+    Trace.Chrome.write_file path tmeta r.Runtime.Pool.events;
+    Format.printf "trace: %d events (%d dropped) written to %s@."
+      (List.length r.Runtime.Pool.events)
+      r.Runtime.Pool.events_dropped path
+  | None -> ());
+  (match oracle.Runtime.Oracle.witnesses with
+  | [] -> ()
+  | ws ->
+    Format.printf "@.anomaly provenance:@.";
+    List.iter
+      (fun w ->
+        Trace.Render.provenance ~events:r.Runtime.Pool.events
+          Format.std_formatter ~history:r.Runtime.Pool.history w;
+        Format.printf "@.")
+      ws);
   (match json_path with
   | Some path ->
+    let lock_json =
+      match r.Runtime.Pool.lock_stats with
+      | None -> ""
+      | Some s ->
+        Printf.sprintf
+          ",\"lock_table\":{\"grants\":%d,\"conflicts\":%d,\"releases\":%d,\"upgrades\":%d}"
+          s.Locking.Lock_table.grants s.Locking.Lock_table.conflicts
+          s.Locking.Lock_table.releases s.Locking.Lock_table.upgrades
+    in
     let json =
-      Printf.sprintf "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s}"
+      Printf.sprintf
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s%s}"
         (L.name level)
         (Workload.Generators.mix_name mix)
         workers
         (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
         (Runtime.Oracle.to_json r.Runtime.Pool.oracle)
+        lock_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -478,6 +517,16 @@ let stress_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write metrics and the oracle verdict as JSON.")
   in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a structured event trace (attempts, engine steps, lock \
+             traffic, backoff sleeps, deadlocks) and write it as Chrome \
+             trace_event JSON — loadable in chrome://tracing or Perfetto, \
+             and re-renderable with $(b,isolation_lab explain).")
+  in
   Cmd.v
     (Cmd.info "stress"
        ~doc:
@@ -486,7 +535,116 @@ let stress_cmd =
     Term.(
       const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
       $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
-      $ seed_arg $ fuw_arg $ json_arg)
+      $ seed_arg $ fuw_arg $ json_arg $ trace_arg)
+
+(* {2 explain — re-render a recorded trace} *)
+
+let explain file txn show_log limit =
+  match Trace.Chrome.read_file file with
+  | Error e ->
+    Fmt.epr "explain: %s@." e;
+    exit 1
+  | Ok (meta, events) ->
+    let spans = Trace.Span.of_events events in
+    Format.printf "%s: level %s, mix %s, %d workers, seed %d@."
+      meta.Trace.Chrome.tool meta.Trace.Chrome.level meta.Trace.Chrome.mix
+      meta.Trace.Chrome.workers meta.Trace.Chrome.seed;
+    if meta.Trace.Chrome.dropped > 0 then
+      Format.printf
+        "flight recorder dropped %d events; the oldest timelines may be \
+         truncated@."
+        meta.Trace.Chrome.dropped;
+    let history =
+      match History.Parser.parse meta.Trace.Chrome.history with
+      | Ok h -> Some h
+      | Error _ -> None
+    in
+    (match txn with
+    | Some tid -> (
+      match Trace.Span.find spans tid with
+      | None ->
+        Fmt.epr "explain: no transaction %d in the trace@." tid;
+        exit 1
+      | Some span -> Format.printf "%a@." Trace.Render.transaction span)
+    | None ->
+      Format.printf "%d events, %d transaction attempts, retry overhead \
+                     %.3fms@."
+        (List.length events) (List.length spans)
+        (float (Trace.Span.retry_overhead_ns spans) /. 1e6);
+      (match history with
+      | Some h -> Format.printf "history: %s@." (Trace.Render.history_line h)
+      | None -> ());
+      Format.printf "%a@." Trace.Render.timeline spans;
+      if show_log then
+        Format.printf "%a@."
+          (fun ppf -> Trace.Render.event_log ?limit ppf)
+          events;
+      (* Anomaly view: re-run the oracle on the embedded history and map
+         each witness back onto the recorded interleaving. *)
+      match history with
+      | None ->
+        Format.printf
+          "no parseable history in the trace file; skipping the anomaly \
+           check@."
+      | Some h ->
+        let oracle = Runtime.Oracle.check h in
+        (match Runtime.Oracle.anomalies oracle with
+        | [] ->
+          Format.printf "oracle: %s@."
+            (if Runtime.Oracle.clean oracle then "serializable, no anomalies"
+             else "NOT SERIALIZABLE (dependency cycle outside the named \
+                   anomaly templates)")
+        | anoms ->
+          Format.printf "oracle: anomalies detected: %s@."
+            (String.concat ", "
+               (List.map
+                  (fun (p, n) -> Printf.sprintf "%s x%d" (P.name p) n)
+                  anoms)));
+        match oracle.Runtime.Oracle.witnesses with
+        | [] -> ()
+        | ws ->
+          Format.printf "@.anomaly provenance:@.";
+          List.iter
+            (fun w ->
+              Trace.Render.provenance ~events Format.std_formatter ~history:h
+                w;
+              Format.printf "@.")
+            ws)
+
+let explain_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by stress --trace.")
+  in
+  let txn_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "t"; "txn" ] ~docv:"TID"
+          ~doc:"Show one transaction attempt's full timeline and events.")
+  in
+  let log_arg =
+    Arg.(
+      value & flag
+      & info [ "log" ] ~doc:"Also print the merged event log.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"With --log, print only the newest N events.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-render a recorded trace: per-transaction timelines with phase \
+          breakdowns, the paper-notation history, and — when the embedded \
+          history exhibits anomalies — the annotated interleaving excerpt \
+          behind each oracle witness.")
+    Term.(const explain $ file_arg $ txn_arg $ log_arg $ limit_arg)
 
 (* {2 scenarios / histories} *)
 
@@ -551,6 +709,6 @@ let main_cmd =
          "A laboratory for 'A Critique of ANSI SQL Isolation Levels' \
           (Berenson et al., SIGMOD 1995).")
     [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; stress_cmd;
-      scenarios_cmd; histories_cmd; levels_cmd; figure_cmd ]
+      explain_cmd; scenarios_cmd; histories_cmd; levels_cmd; figure_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

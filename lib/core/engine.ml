@@ -147,6 +147,17 @@ let trace = function
   | Mv e -> Mv_engine.trace e
   | Timestamp e -> To_engine.trace e
 
+let trace_len = function
+  | Locking e -> Lock_engine.trace_len e
+  | Mv e -> Mv_engine.trace_len e
+  | Timestamp e -> To_engine.trace_len e
+
+let set_lock_hook t f =
+  match t with
+  | Locking e -> Lock_engine.set_lock_hook e f
+  | Mv e -> Mv_engine.set_lock_hook e f
+  | Timestamp _ -> ()
+
 let final_state = function
   | Locking e -> Lock_engine.final_state e
   | Mv e -> Mv_engine.final_state e

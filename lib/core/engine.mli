@@ -82,6 +82,19 @@ val abort_txn : t -> txn -> unit
     terminated. *)
 
 val trace : t -> History.t
+
+val trace_len : t -> int
+(** Number of actions the engine has emitted so far, in O(1). The
+    runtime's tracer reads it around each step to tag the step's trace
+    event with the half-open range of history positions it produced —
+    the bridge from oracle witnesses back to wall-clock moments. *)
+
+val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
+(** Install the lock-table observation hook (grants, conflicts with
+    holders, releases, upgrade flags). Locking engines hook their one
+    table; multiversion engines hook the Read Consistency write-lock
+    table; timestamp ordering has no locks and ignores the hook. *)
+
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t option
 (** The write-ahead log (locking engines only). *)

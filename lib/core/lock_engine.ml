@@ -48,6 +48,7 @@ type t = {
   locks : Lock_table.t;
   wal : Wal.t;
   mutable trace : Action.t list; (* newest first *)
+  mutable trace_len : int;       (* = List.length trace, O(1) for tracing *)
   txns : (txn, txn_state) Hashtbl.t;
   predicates : Predicate.t list; (* annotated on writes for the detectors *)
   next_key_locking : bool;       (* phantom guard ablation *)
@@ -69,14 +70,19 @@ let create ~initial ~predicates ?(next_key_locking = false)
     locks = Lock_table.create ();
     wal = Wal.create ();
     trace = [];
+    trace_len = 0;
     txns = Hashtbl.create 8;
     predicates;
     next_key_locking;
     update_locks;
   }
 
-let emit t action = t.trace <- action :: t.trace
+let emit t action =
+  t.trace <- action :: t.trace;
+  t.trace_len <- t.trace_len + 1
+
 let trace t = List.rev t.trace
+let trace_len t = t.trace_len
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with
@@ -406,3 +412,4 @@ let wal t = t.wal
 let store t = t.store
 let lock_events t = Lock_table.events t.locks
 let lock_stats t = Lock_table.stats t.locks
+let set_lock_hook t f = Lock_table.set_hook t.locks f

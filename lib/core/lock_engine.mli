@@ -39,6 +39,12 @@ val env : t -> txn -> Program.env
 val step : t -> txn -> Program.op -> step_outcome
 val abort_txn : t -> txn -> reason:abort_reason -> unit
 val trace : t -> History.t
+
+val trace_len : t -> int
+(** Number of actions emitted so far (O(1)) — the instrumentation point
+    the runtime's tracer uses to tag each step with the history
+    positions it produced. *)
+
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t
 val store : t -> Storage.Store.t
@@ -47,4 +53,9 @@ val lock_events : t -> Locking.Lock_table.event list
 (** The lock table's audit log, for discipline analysis. *)
 
 val lock_stats : t -> Locking.Lock_table.stats
-(** Cumulative grant/conflict/release counters. *)
+(** Cumulative grant/conflict/release/upgrade counters. *)
+
+val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
+(** Install the lock table's observation hook (see
+    {!Locking.Lock_table.set_hook}); the runtime's tracer uses it to put
+    lock grants/conflicts/releases on per-transaction timelines. *)

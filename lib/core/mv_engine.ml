@@ -64,6 +64,7 @@ type t = {
   mutable now : Version_store.ts; (* last commit timestamp issued *)
   locks : Lock_table.t;           (* write locks, Read Consistency only *)
   mutable trace : Action.t list;  (* newest first *)
+  mutable trace_len : int;        (* = List.length trace, O(1) for tracing *)
   txns : (txn, txn_state) Hashtbl.t;
   predicates : Predicate.t list;
   first_updater_wins : bool;      (* SI write-conflict timing ablation *)
@@ -77,13 +78,19 @@ let create ~initial ~predicates ?(first_updater_wins = false) () =
     now = 0;
     locks = Lock_table.create ();
     trace = [];
+    trace_len = 0;
     txns = Hashtbl.create 8;
     predicates;
     first_updater_wins;
   }
 
-let emit t action = t.trace <- action :: t.trace
+let emit t action =
+  t.trace <- action :: t.trace;
+  t.trace_len <- t.trace_len + 1
+
 let trace t = List.rev t.trace
+let trace_len t = t.trace_len
+let set_lock_hook t f = Lock_table.set_hook t.locks f
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with

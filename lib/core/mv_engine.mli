@@ -51,6 +51,14 @@ val env : t -> txn -> Program.env
 val step : t -> txn -> Program.op -> step_outcome
 val abort_txn : t -> txn -> reason:abort_reason -> unit
 val trace : t -> History.t
+
+val trace_len : t -> int
+(** Number of actions emitted so far (O(1)); see {!Lock_engine.trace_len}. *)
+
+val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
+(** Observation hook on the engine's write-lock table (used only by the
+    Read Consistency protocol's updatable cursors). *)
+
 val final_state : t -> (key * value) list
 val version_store : t -> Storage.Version_store.t
 val now : t -> Storage.Version_store.ts

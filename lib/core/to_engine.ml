@@ -63,6 +63,7 @@ type t = {
   writers : (key, txn) Hashtbl.t; (* uncommitted writer per key *)
   mutable clock : int;
   mutable trace : Action.t list; (* newest first *)
+  mutable trace_len : int;       (* = List.length trace, O(1) for tracing *)
   txns : (txn, txn_state) Hashtbl.t;
   predicates : Predicate.t list;
 }
@@ -76,12 +77,17 @@ let create ~initial ~predicates () =
     writers = Hashtbl.create 8;
     clock = 0;
     trace = [];
+    trace_len = 0;
     txns = Hashtbl.create 8;
     predicates;
   }
 
-let emit t action = t.trace <- action :: t.trace
+let emit t action =
+  t.trace <- action :: t.trace;
+  t.trace_len <- t.trace_len + 1
+
 let trace t = List.rev t.trace
+let trace_len t = t.trace_len
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with

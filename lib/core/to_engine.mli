@@ -37,4 +37,8 @@ val env : t -> txn -> Program.env
 val step : t -> txn -> Program.op -> step_outcome
 val abort_txn : t -> txn -> reason:abort_reason -> unit
 val trace : t -> History.t
+
+val trace_len : t -> int
+(** Number of actions emitted so far (O(1)); see {!Lock_engine.trace_len}. *)
+
 val final_state : t -> (key * value) list

@@ -9,7 +9,9 @@
    Tokens are actions; whitespace and the paper's ellipses ("...") separate
    them, but actions may also abut ("...c2 r1[y=50]" vs "c2r1[y=50]" both
    parse). Item names are lowercase identifiers; trailing digits denote a
-   version (x0, y1). Predicate names begin with an uppercase letter and may
+   version (x0, y1), except directly after an underscore, where they are
+   part of the name (acct_007) — that keeps the runtime's histories
+   round-trippable. Predicate names begin with an uppercase letter and may
    list their matched items as P:{x,y}. *)
 
 type error = { position : int; message : string }
@@ -77,9 +79,15 @@ let expect c ch =
 let parse_item_ref c =
   let name = take_while c (fun ch -> is_lower ch) in
   if name = "" then fail c.pos "expected an item name";
-  let ver =
-    let digits = take_while c is_digit in
-    if digits = "" then None else Some (int_of_string digits)
+  (* Digits right after an underscore belong to the name (the runtime's
+     acct_007-style keys); only digits after a letter denote a version
+     (the paper's x0, y1). *)
+  let name, ver =
+    if name.[String.length name - 1] = '_' then
+      (name ^ take_while c is_digit, None)
+    else
+      let digits = take_while c is_digit in
+      (name, if digits = "" then None else Some (int_of_string digits))
   in
   let value =
     match peek c with

@@ -42,7 +42,16 @@ type event =
   | Acquired of { owner : txn; req : request; tag : tag }
   | Released of { owner : txn; count : int }
 
-type stats = { grants : int; conflicts : int; releases : int }
+type stats = { grants : int; conflicts : int; releases : int; upgrades : int }
+
+(* Live observation hook: fired synchronously on every grant decision,
+   refusal and release, with the upgrade flag the counters see. The
+   runtime's tracing layer installs one to put lock traffic on the
+   per-transaction timeline; [None] (the default) costs one branch. *)
+type hook =
+  | On_grant of { owner : txn; req : request; tag : tag; upgrade : bool }
+  | On_conflict of { owner : txn; req : request; upgrade : bool; holders : txn list }
+  | On_release of { owner : txn; count : int }
 
 type t = {
   mutable entries : entry list;
@@ -50,14 +59,23 @@ type t = {
   mutable grants : int;     (* grant decisions, including redundant covers *)
   mutable conflicts : int;  (* acquire attempts refused by a holder *)
   mutable releases : int;   (* lock entries dropped by release/release_all *)
+  mutable upgrades : int;   (* write requests over an own weaker lock *)
+  mutable hook : (hook -> unit) option;
 }
 
 let create () =
-  { entries = []; events = []; grants = 0; conflicts = 0; releases = 0 }
+  { entries = []; events = []; grants = 0; conflicts = 0; releases = 0;
+    upgrades = 0; hook = None }
+
+let set_hook t f = t.hook <- Some f
+let clear_hook t = t.hook <- None
+let notify t h = match t.hook with None -> () | Some f -> f h
 
 let events t = List.rev t.events
 
-let stats t = { grants = t.grants; conflicts = t.conflicts; releases = t.releases }
+let stats t =
+  { grants = t.grants; conflicts = t.conflicts; releases = t.releases;
+    upgrades = t.upgrades }
 
 (* Do two granted/requested locks conflict? Two locks by different
    transactions conflict if at least one is a Write lock and they cover a
@@ -107,7 +125,24 @@ let covers held req =
 
 type verdict = Granted | Conflict of txn list
 
+(* A lock *upgrade*: a Write request on an item the owner already covers
+   only with a weaker (Read or Update) lock — the paper's canonical
+   deadlock trigger (two transactions read x, then both try to write it).
+   Counted on the request, granted or refused: the refused ones are the
+   upgrade storm. *)
+let is_upgrade table ~owner req =
+  match req with
+  | Write_item { k; _ } ->
+    let holds pred = List.exists (fun e -> e.owner = owner && pred e.req) table.entries in
+    holds (function
+      | Read_item k' | Update_item k' -> k' = k
+      | _ -> false)
+    && not (holds (function Write_item { k = k'; _ } -> k' = k | _ -> false))
+  | _ -> false
+
 let acquire table ~owner ~tag req =
+  let upgrade = is_upgrade table ~owner req in
+  if upgrade then table.upgrades <- table.upgrades + 1;
   let conflicting =
     List.filter
       (fun e -> e.owner <> owner && requests_conflict e.req req)
@@ -116,7 +151,11 @@ let acquire table ~owner ~tag req =
   match conflicting with
   | _ :: _ ->
     table.conflicts <- table.conflicts + 1;
-    Conflict (List.sort_uniq compare (List.map (fun e -> e.owner) conflicting))
+    let holders =
+      List.sort_uniq compare (List.map (fun e -> e.owner) conflicting)
+    in
+    notify table (On_conflict { owner; req; upgrade; holders });
+    Conflict holders
   | [] ->
     (* Promote rather than duplicate: an identical or covering lock with a
        duration at least as long needs no new entry. Write item locks are
@@ -139,6 +178,7 @@ let acquire table ~owner ~tag req =
       table.events <- Acquired { owner; req; tag } :: table.events
     end;
     table.grants <- table.grants + 1;
+    notify table (On_grant { owner; req; tag; upgrade });
     Granted
 
 let release table ~owner ~tag =
@@ -147,16 +187,20 @@ let release table ~owner ~tag =
   in
   table.entries <- keep;
   if dropped <> [] then begin
-    table.releases <- table.releases + List.length dropped;
-    table.events <- Released { owner; count = List.length dropped } :: table.events
+    let count = List.length dropped in
+    table.releases <- table.releases + count;
+    table.events <- Released { owner; count } :: table.events;
+    notify table (On_release { owner; count })
   end
 
 let release_all table ~owner =
   let keep, dropped = List.partition (fun e -> e.owner <> owner) table.entries in
   table.entries <- keep;
   if dropped <> [] then begin
-    table.releases <- table.releases + List.length dropped;
-    table.events <- Released { owner; count = List.length dropped } :: table.events
+    let count = List.length dropped in
+    table.releases <- table.releases + count;
+    table.events <- Released { owner; count } :: table.events;
+    notify table (On_release { owner; count })
   end
 
 let held table ~owner =

@@ -42,12 +42,27 @@ type event =
 
 val events : t -> event list
 
-type stats = { grants : int; conflicts : int; releases : int }
+type stats = { grants : int; conflicts : int; releases : int; upgrades : int }
 (** Cumulative lock-table traffic: grant decisions (including redundant
-    covers), refused acquire attempts, and entries dropped by releases —
-    the counters the runtime's stress metrics report. *)
+    covers), refused acquire attempts, entries dropped by releases, and
+    lock {e upgrades} — Write requests on an item the owner so far covers
+    only with a Read or Update lock, the paper's canonical deadlock
+    trigger. Upgrades are counted per request, granted or refused: the
+    refused ones are the 2PL upgrade storm. *)
 
 val stats : t -> stats
+
+(** Live observation hook: fired synchronously on every grant decision,
+    refusal and release. The runtime's tracing layer installs one to put
+    lock traffic on per-transaction timelines; the default ([None])
+    costs one branch per operation. *)
+type hook =
+  | On_grant of { owner : txn; req : request; tag : tag; upgrade : bool }
+  | On_conflict of { owner : txn; req : request; upgrade : bool; holders : txn list }
+  | On_release of { owner : txn; count : int }
+
+val set_hook : t -> (hook -> unit) -> unit
+val clear_hook : t -> unit
 
 type verdict = Granted | Conflict of txn list
 

@@ -20,6 +20,14 @@ type t = {
   lat_hist : int Atomic.t array;  (* commit latencies, bucket = log2 ns *)
   lat_sum_ns : Stripes.Counter.t;
   lat_max_ns : int Atomic.t;      (* CAS-raised high-water mark *)
+  (* Phase breakdown of committed attempts: wall = exec + lock wait.
+     Failed attempts land in retry_overhead_ns instead (their whole wall
+     time, plus the restart backoffs between attempts). *)
+  exec_hist : int Atomic.t array;
+  exec_sum_ns : Stripes.Counter.t;
+  cwait_hist : int Atomic.t array;
+  cwait_sum_ns : Stripes.Counter.t;
+  retry_overhead_ns : Stripes.Counter.t;
   mutable started_at : float;
   mutable stopped_at : float;
 }
@@ -57,6 +65,11 @@ let create () =
     lat_hist = Array.init buckets (fun _ -> Atomic.make 0);
     lat_sum_ns = Stripes.Counter.create ();
     lat_max_ns = Atomic.make 0;
+    exec_hist = Array.init buckets (fun _ -> Atomic.make 0);
+    exec_sum_ns = Stripes.Counter.create ();
+    cwait_hist = Array.init buckets (fun _ -> Atomic.make 0);
+    cwait_sum_ns = Stripes.Counter.create ();
+    retry_overhead_ns = Stripes.Counter.create ();
     started_at = 0.;
     stopped_at = 0.;
   }
@@ -72,11 +85,19 @@ let rec raise_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then raise_max a v
 
-let record_commit t ~latency_ns =
+let record_commit ?(wait_ns = 0) t ~latency_ns =
   Stripes.Counter.incr t.committed;
   Stripes.Counter.add t.lat_sum_ns latency_ns;
   raise_max t.lat_max_ns latency_ns;
-  ignore (Atomic.fetch_and_add t.lat_hist.(bucket_of_ns latency_ns) 1)
+  ignore (Atomic.fetch_and_add t.lat_hist.(bucket_of_ns latency_ns) 1);
+  let wait_ns = min wait_ns latency_ns in
+  let exec_ns = latency_ns - wait_ns in
+  Stripes.Counter.add t.exec_sum_ns exec_ns;
+  ignore (Atomic.fetch_and_add t.exec_hist.(bucket_of_ns exec_ns) 1);
+  Stripes.Counter.add t.cwait_sum_ns wait_ns;
+  ignore (Atomic.fetch_and_add t.cwait_hist.(bucket_of_ns wait_ns) 1)
+
+let record_retry_overhead_ns t ns = Stripes.Counter.add t.retry_overhead_ns ns
 
 let record_abort t reason = Stripes.Counter.incr t.aborted.(reason_index reason)
 let record_block t = Stripes.Counter.incr t.lock_waits
@@ -103,6 +124,13 @@ type snapshot = {
   lat_p99_ms : float;
   lat_max_ms : float;
   lat_mean_ms : float;
+  exec_p50_ms : float;
+  exec_p99_ms : float;
+  exec_mean_ms : float;
+  lock_wait_p50_ms : float;
+  lock_wait_p99_ms : float;
+  lock_wait_mean_ms : float;
+  retry_overhead_s : float;
 }
 
 (* Quantile from the histogram: the geometric midpoint of the first
@@ -150,6 +178,17 @@ let snapshot (t : t) =
     lat_max_ms = float (Atomic.get t.lat_max_ns) /. 1e6;
     lat_mean_ms =
       (if committed = 0 then 0. else float sum_ns /. float committed /. 1e6);
+    exec_p50_ms = quantile t.exec_hist committed 0.50;
+    exec_p99_ms = quantile t.exec_hist committed 0.99;
+    exec_mean_ms =
+      (if committed = 0 then 0.
+       else float (Stripes.Counter.sum t.exec_sum_ns) /. float committed /. 1e6);
+    lock_wait_p50_ms = quantile t.cwait_hist committed 0.50;
+    lock_wait_p99_ms = quantile t.cwait_hist committed 0.99;
+    lock_wait_mean_ms =
+      (if committed = 0 then 0.
+       else float (Stripes.Counter.sum t.cwait_sum_ns) /. float committed /. 1e6);
+    retry_overhead_s = float (Stripes.Counter.sum t.retry_overhead_ns) /. 1e9;
   }
 
 let pp ppf s =
@@ -157,9 +196,13 @@ let pp ppf s =
     "@[<v>committed %d  aborted %d  retries %d  giveups %d@,\
      throughput %.0f txn/s  (wall %.3fs)@,\
      latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  mean %.3f@,\
+     phases ms: exec p50 %.3f p99 %.3f mean %.3f | lock-wait p50 %.3f \
+     p99 %.3f mean %.3f | retry overhead %.3fs@,\
      lock waits %d  wait %.3fs  deadlocks %d  stalls %d" s.committed
     s.aborted_total s.retries s.giveups s.throughput s.wall_s s.lat_p50_ms
-    s.lat_p90_ms s.lat_p99_ms s.lat_max_ms s.lat_mean_ms s.lock_waits
+    s.lat_p90_ms s.lat_p99_ms s.lat_max_ms s.lat_mean_ms s.exec_p50_ms
+    s.exec_p99_ms s.exec_mean_ms s.lock_wait_p50_ms s.lock_wait_p99_ms
+    s.lock_wait_mean_ms s.retry_overhead_s s.lock_waits
     (float s.wait_ns /. 1e9)
     s.deadlocks s.stalls;
   if s.aborted <> [] then begin
@@ -201,5 +244,12 @@ let to_json ?(extra = []) s =
   field "lat_p99_ms" (Printf.sprintf "%.4f" s.lat_p99_ms);
   field "lat_max_ms" (Printf.sprintf "%.4f" s.lat_max_ms);
   field "lat_mean_ms" (Printf.sprintf "%.4f" s.lat_mean_ms);
+  field "exec_p50_ms" (Printf.sprintf "%.4f" s.exec_p50_ms);
+  field "exec_p99_ms" (Printf.sprintf "%.4f" s.exec_p99_ms);
+  field "exec_mean_ms" (Printf.sprintf "%.4f" s.exec_mean_ms);
+  field "lock_wait_p50_ms" (Printf.sprintf "%.4f" s.lock_wait_p50_ms);
+  field "lock_wait_p99_ms" (Printf.sprintf "%.4f" s.lock_wait_p99_ms);
+  field "lock_wait_mean_ms" (Printf.sprintf "%.4f" s.lock_wait_mean_ms);
+  field "retry_overhead_s" (Printf.sprintf "%.6f" s.retry_overhead_s);
   Buffer.add_char b '}';
   Buffer.contents b

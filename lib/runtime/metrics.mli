@@ -17,7 +17,11 @@ val start : t -> unit
 val stop : t -> unit
 (** Mark the end; {!snapshot} then reports the closed interval. *)
 
-val record_commit : t -> latency_ns:int -> unit
+val record_commit : ?wait_ns:int -> t -> latency_ns:int -> unit
+(** [wait_ns] is the share of [latency_ns] the attempt spent sleeping on
+    blocked operations; the remainder is counted as execution time in the
+    phase histograms. Defaults to 0 (all execution). *)
+
 val record_abort : t -> Core.Engine.abort_reason -> unit
 
 val record_block : t -> unit
@@ -39,6 +43,10 @@ val record_stall : t -> unit
 val record_giveup : t -> unit
 (** A job exhausted its attempt budget without committing. *)
 
+val record_retry_overhead_ns : t -> int -> unit
+(** Time charged to retrying: a failed attempt's whole wall time, or a
+    restart backoff sleep between attempts. *)
+
 type snapshot = {
   committed : int;
   aborted : (Core.Engine.abort_reason * int) list;  (** non-zero reasons *)
@@ -56,6 +64,14 @@ type snapshot = {
   lat_p99_ms : float;
   lat_max_ms : float;
   lat_mean_ms : float;
+  exec_p50_ms : float;  (** committed attempts' engine-execution phase *)
+  exec_p99_ms : float;
+  exec_mean_ms : float;
+  lock_wait_p50_ms : float;  (** committed attempts' lock-wait phase *)
+  lock_wait_p99_ms : float;
+  lock_wait_mean_ms : float;
+  retry_overhead_s : float;
+      (** total wall time of failed attempts plus restart backoffs *)
 }
 
 val snapshot : t -> snapshot

@@ -59,6 +59,7 @@ type config = {
   retry_backoff : Backoff.config;
   oracle_phenomena : Phenomena.Phenomenon.t list;
   seed : int;
+  trace : Trace.Sink.t option;
 }
 
 (* Restarting a whole transaction is costlier than re-polling one lock,
@@ -74,7 +75,7 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(update_locks = false) ?(max_attempts = 64) ?(max_op_retries = 10_000)
     ?(think_us = 0.) ?(backoff = Backoff.default)
     ?(retry_backoff = default_retry_backoff)
-    ?(oracle_phenomena = Phenomena.Phenomenon.all) ?(seed = 1) () =
+    ?(oracle_phenomena = Phenomena.Phenomenon.all) ?(seed = 1) ?trace () =
   {
     workers = max 1 workers;
     initial;
@@ -90,6 +91,7 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     retry_backoff;
     oracle_phenomena;
     seed;
+    trace;
   }
 
 type result = {
@@ -99,6 +101,8 @@ type result = {
   journal : Recorder.entry list;
   oracle : Oracle.t;
   lock_stats : Locking.Lock_table.stats option;
+  events : Trace.Event.t list;
+  events_dropped : int;
 }
 
 exception Stuck of string
@@ -110,7 +114,11 @@ type shared = {
   next_tid : int Atomic.t;
   metrics : Metrics.t;
   recorder : Recorder.t;
+  sink : Trace.Sink.t option;
 }
+
+let emit sh ~tid kind =
+  match sh.sink with None -> () | Some s -> Trace.Sink.emit s ~tid kind
 
 let locked sh f =
   Mutex.lock sh.latch;
@@ -134,6 +142,7 @@ let note_blocked sh tid holders =
     Engine.abort_txn sh.engine victim;
     Hashtbl.remove sh.waits victim;
     Metrics.record_deadlock sh.metrics;
+    emit sh ~tid:victim (Trace.Event.Deadlock_victim { cycle });
     if victim = tid then `Self_aborted else `Wait
 
 (* One attempt at a job: begin a fresh transaction, drive every
@@ -146,27 +155,52 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
     else job.program.Program.ops @ [ Program.Commit ]
   in
   let start_ns = now_ns () in
+  let traced = sh.sink <> None in
+  let waited_ns = ref 0 in
+  emit sh ~tid
+    (Trace.Event.Attempt_begin
+       { job = jidx; name = job.name; attempt; level = Level.name job.level });
   locked sh (fun () ->
       Engine.begin_txn ~read_only:job.read_only sh.engine tid ~level:job.level);
   Backoff.reset bo;
   let rec exec = function
     | [] -> ()
     | op :: rest ->
+      let op_str = if traced then Fmt.str "%a" Program.pp_op op else "" in
       let rec attempt_op tries =
-        let outcome =
+        emit sh ~tid (Trace.Event.Step_begin { op = op_str });
+        let outcome, hpos0, hpos1 =
           locked sh (fun () ->
-              match Engine.step sh.engine tid op with
-              | Engine.Progress ->
-                Hashtbl.remove sh.waits tid;
-                `Progress
-              | Engine.Finished ->
-                (* terminated from outside: deadlock victim *)
-                Hashtbl.remove sh.waits tid;
-                `Finished
-              | Engine.Blocked holders ->
-                Metrics.record_block sh.metrics;
-                note_blocked sh tid holders)
+              let h0 = Engine.trace_len sh.engine in
+              let o =
+                match Engine.step sh.engine tid op with
+                | Engine.Progress ->
+                  Hashtbl.remove sh.waits tid;
+                  `Progress
+                | Engine.Finished ->
+                  (* terminated from outside: deadlock victim *)
+                  Hashtbl.remove sh.waits tid;
+                  `Finished
+                | Engine.Blocked holders -> (
+                  Metrics.record_block sh.metrics;
+                  match note_blocked sh tid holders with
+                  | `Wait -> `Wait holders
+                  | `Self_aborted -> `Self_aborted holders)
+              in
+              (o, h0, Engine.trace_len sh.engine))
         in
+        emit sh ~tid
+          (Trace.Event.Step_end
+             {
+               op = op_str;
+               outcome =
+                 (match outcome with
+                 | `Progress -> Trace.Event.Progress
+                 | `Finished -> Trace.Event.Finished
+                 | `Wait hs | `Self_aborted hs -> Trace.Event.Blocked hs);
+               hpos0;
+               hpos1;
+             });
         match outcome with
         | `Progress ->
           Backoff.reset bo;
@@ -176,19 +210,23 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
           if cfg.think_us > 0. && rest <> [] then
             Unix.sleepf (Random.State.float rng (2. *. cfg.think_us) /. 1e6);
           exec rest
-        | `Finished | `Self_aborted -> ()
-        | `Wait ->
+        | `Finished | `Self_aborted _ -> ()
+        | `Wait _ ->
           if tries >= cfg.max_op_retries then begin
             (* Starvation safety valve: restart rather than wait forever. *)
             locked sh (fun () ->
                 Engine.abort_txn sh.engine tid;
                 Hashtbl.remove sh.waits tid);
-            Metrics.record_stall sh.metrics
+            Metrics.record_stall sh.metrics;
+            emit sh ~tid Trace.Event.Stall_restart
           end
           else begin
             let t0 = now_ns () in
             Backoff.wait bo;
-            Metrics.record_wait_ns sh.metrics (now_ns () - t0);
+            let slept = now_ns () - t0 in
+            waited_ns := !waited_ns + slept;
+            Metrics.record_wait_ns sh.metrics slept;
+            emit sh ~tid (Trace.Event.Lock_wait { slept_ns = slept });
             attempt_op (tries + 1)
           end
       in
@@ -204,17 +242,21 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   let outcome =
     match status with
     | Engine.Committed ->
-      Metrics.record_commit sh.metrics ~latency_ns:(finish_ns - start_ns);
+      Metrics.record_commit ~wait_ns:!waited_ns sh.metrics
+        ~latency_ns:(finish_ns - start_ns);
+      emit sh ~tid Trace.Event.Commit;
       Recorder.Committed
     | Engine.Aborted reason ->
       Metrics.record_abort sh.metrics reason;
+      emit sh ~tid
+        (Trace.Event.Abort { reason = Metrics.abort_reason_slug reason });
       Recorder.Aborted reason
     | Engine.Active ->
       raise (Stuck (Fmt.str "T%d still active after its program ended" tid))
   in
   Recorder.record sh.recorder ~job:jidx ~name:job.name ~level:job.level ~tid
     ~attempt ~worker:widx ~start_ns ~finish_ns outcome;
-  outcome
+  (outcome, tid, finish_ns - start_ns)
 
 (* Retry policy: user aborts are the program's own decision and final;
    every system-initiated abort is retried until the budget runs out.
@@ -224,19 +266,32 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
 let run_job sh cfg ~rng ~bo ~rbo ~widx jidx job =
   Backoff.reset rbo;
   let rec go attempt =
-    match run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job with
+    let outcome, tid, wall_ns =
+      run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job
+    in
+    match outcome with
     | Recorder.Committed | Recorder.Aborted Engine.User_abort -> ()
     | Recorder.Aborted _ ->
+      (* The failed attempt's whole wall time is retry overhead, and so is
+         the restart backoff that follows it. *)
+      Metrics.record_retry_overhead_ns sh.metrics wall_ns;
       if attempt >= cfg.max_attempts then Metrics.record_giveup sh.metrics
       else begin
         Metrics.record_retry sh.metrics;
+        let t0 = now_ns () in
         Backoff.wait rbo;
+        let slept = now_ns () - t0 in
+        Metrics.record_retry_overhead_ns sh.metrics slept;
+        emit sh ~tid
+          (Trace.Event.Retry_backoff
+             { slept_ns = slept; next_attempt = attempt + 1 });
         go (attempt + 1)
       end
   in
   go 1
 
 let worker sh cfg ~next_job widx =
+  Option.iter (fun s -> Trace.Sink.attach s ~worker:widx) sh.sink;
   let rng = Random.State.make [| cfg.seed; 0x90c0; widx |] in
   let bo = Backoff.create ~rng cfg.backoff in
   let rbo = Backoff.create ~rng cfg.retry_backoff in
@@ -264,8 +319,37 @@ let run_with cfg ~family ~next_job =
       next_tid = Atomic.make 1;
       metrics = Metrics.create ();
       recorder = Recorder.create ~stripes:cfg.workers ();
+      sink = cfg.trace;
     }
   in
+  (* Lock traffic reaches the trace through the engine's observation
+     hook; it fires under the latch on the calling worker's domain, so
+     the DLS ring binding routes it correctly. *)
+  (match cfg.trace with
+  | None -> ()
+  | Some s ->
+    (* The hook runs under the latch: build the label by concatenation
+       (same shape as {!Locking.Lock_table.pp_request}) rather than
+       going through a formatter there. *)
+    let req_label = function
+      | Locking.Lock_table.Read_item k -> "S(" ^ k ^ ")"
+      | Locking.Lock_table.Update_item k -> "U(" ^ k ^ ")"
+      | Locking.Lock_table.Write_item { k; _ } -> "X(" ^ k ^ ")"
+      | Locking.Lock_table.Read_pred p ->
+        "S<" ^ Storage.Predicate.name p ^ ">"
+      | Locking.Lock_table.Write_pred p ->
+        "X<" ^ Storage.Predicate.name p ^ ">"
+    in
+    Engine.set_lock_hook engine (function
+      | Locking.Lock_table.On_grant { owner; req; tag = _; upgrade } ->
+        Trace.Sink.emit s ~tid:owner
+          (Trace.Event.Lock_grant { req = req_label req; upgrade })
+      | Locking.Lock_table.On_conflict { owner; req; upgrade; holders } ->
+        Trace.Sink.emit s ~tid:owner
+          (Trace.Event.Lock_conflict
+             { req = req_label req; upgrade; holders })
+      | Locking.Lock_table.On_release { owner; count } ->
+        Trace.Sink.emit s ~tid:owner (Trace.Event.Lock_release { count })));
   Metrics.start sh.metrics;
   let spawned =
     List.init (cfg.workers - 1) (fun i ->
@@ -277,6 +361,11 @@ let run_with cfg ~family ~next_job =
   (match mine with Ok () -> () | Error e -> raise e);
   Metrics.stop sh.metrics;
   let history = Engine.trace engine in
+  let events, events_dropped =
+    match cfg.trace with
+    | None -> ([], 0)
+    | Some s -> (Trace.Sink.events s, Trace.Sink.dropped s)
+  in
   {
     history;
     final = Engine.final_state engine;
@@ -284,6 +373,8 @@ let run_with cfg ~family ~next_job =
     journal = Recorder.entries sh.recorder;
     oracle = Oracle.check ~phenomena:cfg.oracle_phenomena history;
     lock_stats = Engine.lock_stats engine;
+    events;
+    events_dropped;
   }
 
 let family_for cfg levels =

@@ -58,6 +58,14 @@ type config = {
   oracle_phenomena : Phenomena.Phenomenon.t list;
       (** detectors the post-run oracle applies *)
   seed : int;  (** seeds the per-worker backoff jitter *)
+  trace : Trace.Sink.t option;
+      (** flight recorder for the structured event trace. [None] (the
+          default) costs one branch per instrumentation point; [Some]
+          records the full transaction lifecycle — attempts, engine
+          steps with their history-position ranges, lock traffic,
+          backoff sleeps, deadlock victims — into per-worker ring
+          buffers that overwrite their oldest events rather than ever
+          blocking a worker. *)
 }
 
 val config :
@@ -75,6 +83,7 @@ val config :
   ?retry_backoff:Backoff.config ->
   ?oracle_phenomena:Phenomena.Phenomenon.t list ->
   ?seed:int ->
+  ?trace:Trace.Sink.t ->
   unit ->
   config
 
@@ -87,6 +96,11 @@ type result = {
   journal : Recorder.entry list;
   oracle : Oracle.t;
   lock_stats : Locking.Lock_table.stats option;  (** locking engines only *)
+  events : Trace.Event.t list;
+      (** the merged flight-recorder timeline, sorted by timestamp
+          (empty when [config.trace] is [None]) *)
+  events_dropped : int;
+      (** trace events lost to ring overwrites or unattached domains *)
 }
 
 exception Stuck of string

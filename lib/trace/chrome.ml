@@ -1,0 +1,171 @@
+(* Chrome trace_event export and re-import.
+
+   The exported file is a top-level JSON array in the trace_event format,
+   loadable in chrome://tracing and Perfetto: one lane per worker domain,
+   duration (B/E) slices for transaction attempts and engine steps,
+   complete (X) slices for the backoff sleeps, instant (i) events for
+   lock traffic and deadlocks.
+
+   The file is also this repository's *native* trace format: every event
+   serializes its full payload into [args] (see {!Event.to_args}), and a
+   metadata event carries the run's recorded history in the paper's
+   notation plus the run configuration. [parse] inverts the export
+   losslessly, which is what lets [isolation_lab explain] re-render — and
+   re-run the oracle over — a saved trace with no other inputs. *)
+
+type meta = {
+  tool : string;
+  level : string;
+  mix : string;
+  workers : int;
+  seed : int;
+  history : string; (* the engine trace in the paper's notation *)
+  dropped : int;    (* events the flight recorder lost *)
+}
+
+let meta ?(tool = "isolation_lab") ?(level = "") ?(mix = "") ?(workers = 0)
+    ?(seed = 0) ?(history = "") ?(dropped = 0) () =
+  { tool; level; mix; workers; seed; history; dropped }
+
+let meta_name = "isolation_lab.meta"
+
+let us_of_ns ns = ns / 1_000
+
+(* A short human label; everything lossless lives in args. *)
+let name_of (e : Event.t) =
+  match e.kind with
+  | Event.Attempt_begin { name; attempt; _ } ->
+    Printf.sprintf "T%d %s#%d" e.tid name attempt
+  | Event.Step_begin { op } | Event.Step_end { op; _ } ->
+    Printf.sprintf "T%d %s" e.tid op
+  | Event.Lock_grant { req; _ } -> Printf.sprintf "T%d grant %s" e.tid req
+  | Event.Lock_conflict { req; _ } -> Printf.sprintf "T%d conflict %s" e.tid req
+  | Event.Lock_release _ -> Printf.sprintf "T%d release" e.tid
+  | Event.Lock_wait _ -> Printf.sprintf "T%d lock wait" e.tid
+  | Event.Retry_backoff _ -> Printf.sprintf "T%d retry backoff" e.tid
+  | Event.Deadlock_victim _ -> Printf.sprintf "T%d deadlock victim" e.tid
+  | Event.Stall_restart -> Printf.sprintf "T%d stall" e.tid
+  | Event.Commit -> Printf.sprintf "T%d commit" e.tid
+  | Event.Abort _ -> Printf.sprintf "T%d abort" e.tid
+
+(* The trace_event phase for each kind. Attempts and steps become B/E
+   slice pairs; sleeps become X slices spanning the time actually slept;
+   the rest are thread-scoped instants. *)
+let phase_of (e : Event.t) =
+  match e.kind with
+  | Event.Attempt_begin _ | Event.Step_begin _ -> `B
+  | Event.Step_end _ | Event.Commit | Event.Abort _ -> `E
+  | Event.Lock_wait { slept_ns } | Event.Retry_backoff { slept_ns; _ } ->
+    `X slept_ns
+  | Event.Lock_grant _ | Event.Lock_conflict _ | Event.Lock_release _
+  | Event.Deadlock_victim _ | Event.Stall_restart ->
+    `I
+
+let event_to_json e =
+  let base ph extra =
+    Json.Obj
+      (("name", Json.String (name_of e))
+       :: ("ph", Json.String ph)
+       :: ("pid", Json.Int 1)
+       :: ("tid", Json.Int e.Event.worker)
+       :: extra
+       @ [ ("args", Event.to_args e) ])
+  in
+  match phase_of e with
+  | `B -> base "B" [ ("ts", Json.Int (us_of_ns e.Event.ts_ns)) ]
+  | `E -> base "E" [ ("ts", Json.Int (us_of_ns e.Event.ts_ns)) ]
+  | `X dur_ns ->
+    (* The event is stamped when the sleep ends; the slice starts then. *)
+    base "X"
+      [ ("ts", Json.Int (us_of_ns (e.Event.ts_ns - dur_ns)));
+        ("dur", Json.Int (max 1 (us_of_ns dur_ns))) ]
+  | `I ->
+    base "i"
+      [ ("ts", Json.Int (us_of_ns e.Event.ts_ns)); ("s", Json.String "t") ]
+
+let meta_events m =
+  Json.Obj
+    [ ("name", Json.String "process_name"); ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.String m.tool) ]) ]
+  :: Json.Obj
+       [ ("name", Json.String meta_name); ("ph", Json.String "i");
+         ("pid", Json.Int 1); ("tid", Json.Int 0); ("ts", Json.Int 0);
+         ("s", Json.String "g");
+         ( "args",
+           Json.Obj
+             [ ("tool", Json.String m.tool); ("level", Json.String m.level);
+               ("mix", Json.String m.mix); ("workers", Json.Int m.workers);
+               ("seed", Json.Int m.seed); ("history", Json.String m.history);
+               ("dropped", Json.Int m.dropped) ] ) ]
+  :: List.init (max 1 m.workers) (fun w ->
+         Json.Obj
+           [ ("name", Json.String "thread_name"); ("ph", Json.String "M");
+             ("pid", Json.Int 1); ("tid", Json.Int w);
+             ("args",
+              Json.Obj [ ("name", Json.String (Printf.sprintf "worker %d" w)) ])
+           ])
+
+let to_json m events = Json.List (meta_events m @ List.map event_to_json events)
+let to_string m events = Json.to_string (to_json m events)
+
+let write_file path m events =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string m events);
+      Out_channel.output_string oc "\n")
+
+let parse_json j =
+  let entries =
+    match j with
+    | Json.List xs -> Ok xs
+    | Json.Obj _ as obj -> (
+      (* Also accept the object form some tools re-save. *)
+      match Option.bind (Json.member "traceEvents" obj) Json.to_list with
+      | Some xs -> Ok xs
+      | None -> Error "no traceEvents array")
+    | _ -> Error "expected a trace_event array"
+  in
+  Result.map
+    (fun entries ->
+      let meta = ref (meta ()) in
+      let events =
+        List.filter_map
+          (fun entry ->
+            let name =
+              Option.bind (Json.member "name" entry) Json.to_string_opt
+            in
+            let args = Json.member "args" entry in
+            match (name, args) with
+            | Some n, Some args when n = meta_name ->
+              (meta :=
+                 {
+                   tool = Event.get_string ~default:"isolation_lab" "tool" args;
+                   level = Event.get_string "level" args;
+                   mix = Event.get_string "mix" args;
+                   workers = Event.get_int "workers" args;
+                   seed = Event.get_int "seed" args;
+                   history = Event.get_string "history" args;
+                   dropped = Event.get_int "dropped" args;
+                 });
+              None
+            | _, Some args -> Event.of_args args
+            | _ -> None)
+          entries
+      in
+      let events =
+        List.stable_sort
+          (fun (a : Event.t) (b : Event.t) -> compare a.ts_ns b.ts_ns)
+          events
+      in
+      (!meta, events))
+    entries
+
+let parse text =
+  match Json.parse text with
+  | Error e -> Error (Fmt.str "%a" Json.pp_error e)
+  | Ok j -> parse_json j
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,43 @@
+(** Chrome [trace_event] export (loadable in chrome://tracing and
+    Perfetto) that doubles as the lossless native trace format: every
+    event's full payload rides in [args], and a metadata event carries
+    the run configuration plus the recorded history in the paper's
+    notation, so {!parse} recovers everything [isolation_lab explain]
+    needs from the file alone.
+
+    Layout: one process, one lane per worker domain. Transaction attempts
+    and engine steps are B/E slice pairs, backoff sleeps are X slices
+    spanning the time slept, lock traffic and deadlocks are instants. *)
+
+type meta = {
+  tool : string;
+  level : string;
+  mix : string;
+  workers : int;
+  seed : int;
+  history : string;
+      (** the engine trace in the paper's notation — parseable by
+          [History.Parser], which is how [explain] re-runs the oracle *)
+  dropped : int;  (** events the flight recorder lost *)
+}
+
+val meta :
+  ?tool:string ->
+  ?level:string ->
+  ?mix:string ->
+  ?workers:int ->
+  ?seed:int ->
+  ?history:string ->
+  ?dropped:int ->
+  unit ->
+  meta
+
+val to_json : meta -> Event.t list -> Json.t
+val to_string : meta -> Event.t list -> string
+val write_file : string -> meta -> Event.t list -> unit
+
+val parse : string -> (meta * Event.t list, string) result
+(** Invert the export: accepts the array form this module writes and the
+    [{"traceEvents": ...}] object form; foreign events are skipped. *)
+
+val read_file : string -> (meta * Event.t list, string) result

@@ -1,0 +1,215 @@
+(* The trace event vocabulary: everything the runtime does on behalf of a
+   transaction, as timestamped facts. One event is one record; the hot
+   path allocates the record and nothing else (the ring buffer it lands
+   in is preallocated).
+
+   Events speak in transaction ids, worker indices and history
+   positions, because those are the coordinates the oracle's witnesses
+   use: [Step_end.hpos0 .. hpos1) is the half-open range of positions
+   this step appended to the engine trace, which is what lets anomaly
+   provenance map a witness operation back to the exact moment (and
+   worker) that executed it. *)
+
+type outcome = Progress | Blocked of int list | Finished
+
+type kind =
+  | Attempt_begin of { job : int; name : string; attempt : int; level : string }
+      (* a fresh transaction id started executing a job's program *)
+  | Step_begin of { op : string }
+      (* about to take the execution latch for one engine step *)
+  | Step_end of { op : string; outcome : outcome; hpos0 : int; hpos1 : int }
+      (* the step returned; [hpos0..hpos1) are the history positions it
+         emitted (empty when blocked) *)
+  | Lock_grant of { req : string; upgrade : bool }
+  | Lock_conflict of { req : string; upgrade : bool; holders : int list }
+  | Lock_release of { count : int }
+  | Lock_wait of { slept_ns : int }
+      (* slept outside the latch after a Blocked step, before retrying *)
+  | Retry_backoff of { slept_ns : int; next_attempt : int }
+      (* slept between attempts after a system abort; attributed to the
+         failed attempt's tid *)
+  | Deadlock_victim of { cycle : int list }
+      (* this tid was chosen as the victim that broke [cycle] *)
+  | Stall_restart
+      (* the worker aborted its own transaction after exhausting blocked
+         retries of one operation (starvation safety valve) *)
+  | Commit
+  | Abort of { reason : string }
+
+type t = { ts_ns : int; tid : int; worker : int; kind : kind }
+
+let tag = function
+  | Attempt_begin _ -> "attempt"
+  | Step_begin _ -> "step_begin"
+  | Step_end _ -> "step_end"
+  | Lock_grant _ -> "lock_grant"
+  | Lock_conflict _ -> "lock_conflict"
+  | Lock_release _ -> "lock_release"
+  | Lock_wait _ -> "lock_wait"
+  | Retry_backoff _ -> "retry_backoff"
+  | Deadlock_victim _ -> "deadlock"
+  | Stall_restart -> "stall"
+  | Commit -> "commit"
+  | Abort _ -> "abort"
+
+let pp_outcome ppf = function
+  | Progress -> Fmt.string ppf "progress"
+  | Blocked holders ->
+    Fmt.pf ppf "blocked by %a"
+      Fmt.(list ~sep:comma (fun ppf t -> Fmt.pf ppf "T%d" t))
+      holders
+  | Finished -> Fmt.string ppf "finished"
+
+let pp_kind ppf = function
+  | Attempt_begin { job; name; attempt; level } ->
+    Fmt.pf ppf "begin %s (job %d, attempt %d, %s)" name job attempt level
+  | Step_begin { op } -> Fmt.pf ppf "step %s" op
+  | Step_end { op; outcome; hpos0; hpos1 } ->
+    Fmt.pf ppf "step %s -> %a" op pp_outcome outcome;
+    if hpos1 > hpos0 then
+      Fmt.pf ppf " [h%d%s]" hpos0
+        (if hpos1 > hpos0 + 1 then Printf.sprintf "-%d" (hpos1 - 1) else "")
+  | Lock_grant { req; upgrade } ->
+    Fmt.pf ppf "lock grant %s%s" req (if upgrade then " (upgrade)" else "")
+  | Lock_conflict { req; upgrade; holders } ->
+    Fmt.pf ppf "lock conflict %s%s held by %a" req
+      (if upgrade then " (upgrade)" else "")
+      Fmt.(list ~sep:comma (fun ppf t -> Fmt.pf ppf "T%d" t))
+      holders
+  | Lock_release { count } -> Fmt.pf ppf "released %d locks" count
+  | Lock_wait { slept_ns } ->
+    Fmt.pf ppf "lock wait %.1fus" (float slept_ns /. 1e3)
+  | Retry_backoff { slept_ns; next_attempt } ->
+    Fmt.pf ppf "retry backoff %.1fus before attempt %d"
+      (float slept_ns /. 1e3)
+      next_attempt
+  | Deadlock_victim { cycle } ->
+    Fmt.pf ppf "deadlock victim (cycle %s)"
+      (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
+  | Stall_restart -> Fmt.string ppf "stall: self-restart"
+  | Commit -> Fmt.string ppf "commit"
+  | Abort { reason } -> Fmt.pf ppf "abort (%s)" reason
+
+let pp ppf e =
+  Fmt.pf ppf "%10.3fms w%d T%-4d %a"
+    (float e.ts_ns /. 1e6)
+    e.worker e.tid pp_kind e.kind
+
+(* {2 JSON round trip}
+
+   Every event serializes its full payload into the [args] object of its
+   Chrome trace_event, so a saved trace file is lossless: [explain]
+   rebuilds the exact event list from [of_args]. *)
+
+let ints xs = Json.List (List.map (fun i -> Json.Int i) xs)
+
+let int_list j =
+  match Json.to_list j with
+  | Some xs -> List.filter_map Json.to_int_opt xs
+  | None -> []
+
+let outcome_to_json = function
+  | Progress -> Json.String "progress"
+  | Finished -> Json.String "finished"
+  | Blocked holders -> ints holders
+
+let outcome_of_json = function
+  | Json.String "progress" -> Progress
+  | Json.String "finished" -> Finished
+  | j -> Blocked (int_list j)
+
+let kind_args = function
+  | Attempt_begin { job; name; attempt; level } ->
+    [ ("job", Json.Int job); ("name", Json.String name);
+      ("attempt", Json.Int attempt); ("level", Json.String level) ]
+  | Step_begin { op } -> [ ("op", Json.String op) ]
+  | Step_end { op; outcome; hpos0; hpos1 } ->
+    [ ("op", Json.String op); ("outcome", outcome_to_json outcome);
+      ("hpos0", Json.Int hpos0); ("hpos1", Json.Int hpos1) ]
+  | Lock_grant { req; upgrade } ->
+    [ ("req", Json.String req); ("upgrade", Json.Bool upgrade) ]
+  | Lock_conflict { req; upgrade; holders } ->
+    [ ("req", Json.String req); ("upgrade", Json.Bool upgrade);
+      ("holders", ints holders) ]
+  | Lock_release { count } -> [ ("count", Json.Int count) ]
+  | Lock_wait { slept_ns } -> [ ("slept_ns", Json.Int slept_ns) ]
+  | Retry_backoff { slept_ns; next_attempt } ->
+    [ ("slept_ns", Json.Int slept_ns); ("next_attempt", Json.Int next_attempt) ]
+  | Deadlock_victim { cycle } -> [ ("cycle", ints cycle) ]
+  | Stall_restart | Commit -> []
+  | Abort { reason } -> [ ("reason", Json.String reason) ]
+
+let to_args e =
+  Json.Obj
+    (("k", Json.String (tag e.kind))
+     :: ("tid", Json.Int e.tid)
+     :: ("worker", Json.Int e.worker)
+     :: ("ts_ns", Json.Int e.ts_ns)
+     :: kind_args e.kind)
+
+let get_int ?(default = 0) k j =
+  match Option.bind (Json.member k j) Json.to_int_opt with
+  | Some n -> n
+  | None -> default
+
+let get_string ?(default = "") k j =
+  match Option.bind (Json.member k j) Json.to_string_opt with
+  | Some s -> s
+  | None -> default
+
+let get_bool k j =
+  match Option.bind (Json.member k j) Json.to_bool_opt with
+  | Some b -> b
+  | None -> false
+
+let get_ints k j =
+  match Json.member k j with Some l -> int_list l | None -> []
+
+let of_args j =
+  match Option.bind (Json.member "k" j) Json.to_string_opt with
+  | None -> None
+  | Some tag ->
+    let kind =
+      match tag with
+      | "attempt" ->
+        Some
+          (Attempt_begin
+             { job = get_int "job" j; name = get_string "name" j;
+               attempt = get_int "attempt" j; level = get_string "level" j })
+      | "step_begin" -> Some (Step_begin { op = get_string "op" j })
+      | "step_end" ->
+        let outcome =
+          match Json.member "outcome" j with
+          | Some o -> outcome_of_json o
+          | None -> Progress
+        in
+        Some
+          (Step_end
+             { op = get_string "op" j; outcome; hpos0 = get_int "hpos0" j;
+               hpos1 = get_int "hpos1" j })
+      | "lock_grant" ->
+        Some
+          (Lock_grant { req = get_string "req" j; upgrade = get_bool "upgrade" j })
+      | "lock_conflict" ->
+        Some
+          (Lock_conflict
+             { req = get_string "req" j; upgrade = get_bool "upgrade" j;
+               holders = get_ints "holders" j })
+      | "lock_release" -> Some (Lock_release { count = get_int "count" j })
+      | "lock_wait" -> Some (Lock_wait { slept_ns = get_int "slept_ns" j })
+      | "retry_backoff" ->
+        Some
+          (Retry_backoff
+             { slept_ns = get_int "slept_ns" j;
+               next_attempt = get_int "next_attempt" j })
+      | "deadlock" -> Some (Deadlock_victim { cycle = get_ints "cycle" j })
+      | "stall" -> Some Stall_restart
+      | "commit" -> Some Commit
+      | "abort" -> Some (Abort { reason = get_string "reason" j })
+      | _ -> None
+    in
+    Option.map
+      (fun kind ->
+        { ts_ns = get_int "ts_ns" j; tid = get_int "tid" j;
+          worker = get_int "worker" j; kind })
+      kind

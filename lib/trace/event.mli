@@ -1,0 +1,50 @@
+(** The trace event vocabulary: the full transaction lifecycle as
+    timestamped facts — attempt start, engine step begin/end, lock
+    grant/conflict/release (via the {!Locking.Lock_table} hook), backoff
+    sleeps, deadlock victim selection, commit/abort with reason.
+
+    [Step_end] carries the half-open range [hpos0, hpos1) of history
+    positions the step appended to the engine trace; that range is the
+    bridge from the oracle's positional witnesses back to wall-clock
+    moments and workers (anomaly provenance). *)
+
+type outcome = Progress | Blocked of int list | Finished
+
+type kind =
+  | Attempt_begin of { job : int; name : string; attempt : int; level : string }
+  | Step_begin of { op : string }
+  | Step_end of { op : string; outcome : outcome; hpos0 : int; hpos1 : int }
+  | Lock_grant of { req : string; upgrade : bool }
+  | Lock_conflict of { req : string; upgrade : bool; holders : int list }
+  | Lock_release of { count : int }
+  | Lock_wait of { slept_ns : int }
+      (** slept outside the latch after a Blocked step *)
+  | Retry_backoff of { slept_ns : int; next_attempt : int }
+      (** slept between attempts; attributed to the failed attempt's tid *)
+  | Deadlock_victim of { cycle : int list }
+  | Stall_restart
+  | Commit
+  | Abort of { reason : string }
+
+type t = { ts_ns : int; tid : int; worker : int; kind : kind }
+
+val tag : kind -> string
+(** Stable machine-readable name, used as the [args.k] discriminator in
+    exported files. *)
+
+val pp : t Fmt.t
+val pp_kind : kind Fmt.t
+val pp_outcome : outcome Fmt.t
+
+val to_args : t -> Json.t
+(** Lossless encoding as a Chrome trace_event [args] object. *)
+
+val of_args : Json.t -> t option
+(** Inverse of {!to_args}; [None] for foreign/unknown events. *)
+
+(** {2 Args helpers} — defaulted field lookups shared with {!Chrome}. *)
+
+val get_int : ?default:int -> string -> Json.t -> int
+val get_string : ?default:string -> string -> Json.t -> string
+val get_bool : string -> Json.t -> bool
+val get_ints : string -> Json.t -> int list

@@ -1,0 +1,33 @@
+(** A minimal JSON value type, printer and parser — just enough of
+    RFC 8259 to write Chrome [trace_event] files and read them back in
+    [isolation_lab explain]. The repository carries no JSON dependency;
+    this is the tracing layer's own. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+type error = { position : int; message : string }
+
+val pp_error : error Fmt.t
+
+val parse : string -> (t, error) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+(** {2 Accessors} — shallow, total lookups used by the trace reader. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+(** Accepts integral floats too (Chrome tools rewrite numbers freely). *)
+
+val to_bool_opt : t -> bool option

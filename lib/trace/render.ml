@@ -1,0 +1,162 @@
+(* Text renderings of a trace: the global event log, per-transaction
+   timelines with the phase breakdown, the compact one-line history in
+   the paper's own notation, and — the piece the paper's argument turns
+   on — anomaly provenance: given an oracle witness, the annotated
+   excerpt of the history showing exactly the H1/H2/H3-style
+   interleaving that occurred, the dependency edges that close the
+   cycle, and (when trace events are available) the wall-clock moment
+   and worker that executed each witness operation. *)
+
+module A = History.Action
+module P = Phenomena.Phenomenon
+module Detect = Phenomena.Detect
+
+let ms ns = float ns /. 1e6
+
+(* {2 Event log and timelines} *)
+
+let event_log ?(limit = max_int) ppf events =
+  let n = List.length events in
+  if n > limit then Fmt.pf ppf "(%d events; showing the last %d)@," n limit;
+  let shown =
+    if n <= limit then events
+    else List.filteri (fun i _ -> i >= n - limit) events
+  in
+  List.iter (fun e -> Fmt.pf ppf "%a@," Event.pp e) shown
+
+let pp_phase ppf (s : Span.t) =
+  Fmt.pf ppf "exec %.3fms, lock wait %.3fms, retry backoff %.3fms"
+    (ms (Span.exec_ns s))
+    (ms s.Span.lock_wait_ns)
+    (ms s.Span.retry_backoff_ns)
+
+let timeline ppf spans =
+  Fmt.pf ppf "@[<v>%-6s %-16s %3s %2s %9s %9s %8s %8s %6s %s@,"
+    "txn" "job" "try" "w" "start_ms" "wall_ms" "exec_ms" "wait_ms" "steps"
+    "outcome";
+  List.iter
+    (fun (s : Span.t) ->
+      Fmt.pf ppf "T%-5d %-16s %3d %2d %9.3f %9.3f %8.3f %8.3f %6d %a%s@,"
+        s.Span.tid
+        (if s.Span.name = "" then "?" else s.Span.name)
+        s.Span.attempt s.Span.worker (ms s.Span.start_ns)
+        (ms (Span.wall_ns s))
+        (ms (Span.exec_ns s))
+        (ms s.Span.lock_wait_ns)
+        s.Span.steps Span.pp_outcome s.Span.outcome
+        (if s.Span.deadlock_victim then " [deadlock victim]" else "")
+    )
+    spans;
+  Fmt.pf ppf "@]"
+
+let transaction ppf (s : Span.t) =
+  Fmt.pf ppf "@[<v>T%d: job %d %S attempt %d on worker %d (%s)@,"
+    s.Span.tid s.Span.job s.Span.name s.Span.attempt s.Span.worker
+    (if s.Span.level = "" then "?" else s.Span.level);
+  Fmt.pf ppf "  %a, wall %.3fms: %a@,"
+    Span.pp_outcome s.Span.outcome
+    (ms (Span.wall_ns s))
+    pp_phase s;
+  Fmt.pf ppf "  %d steps (%d blocked), %d lock conflicts@,"
+    s.Span.steps s.Span.blocked_steps s.Span.lock_conflicts;
+  List.iter (fun e -> Fmt.pf ppf "  %a@," Event.pp e) s.Span.events;
+  Fmt.pf ppf "@]"
+
+(* {2 The paper's notation} *)
+
+let history_line h = History.to_string h
+
+(* {2 Anomaly provenance} *)
+
+(* The Step_end event whose emitted history range covers position [p]. *)
+let event_at_position events p =
+  List.find_opt
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Step_end { hpos0; hpos1; _ } -> hpos0 <= p && p < hpos1
+      | _ -> false)
+    events
+
+(* Conflict-edge label in dependency vocabulary: the kind of dependency
+   the earlier action induces on the later one. *)
+let edge_label a b =
+  let item =
+    match A.key a with
+    | Some k -> k
+    | None -> (
+      match a with A.Pred_read pr -> pr.A.pname | _ -> "?")
+  in
+  match (a, b) with
+  | A.Write _, A.Write _ -> Printf.sprintf "ww[%s]" item
+  | A.Write _, (A.Read _ | A.Pred_read _) -> Printf.sprintf "wr[%s]" item
+  | (A.Read _ | A.Pred_read _), A.Write _ -> (
+    match b with
+    | A.Write w -> Printf.sprintf "rw[%s]" w.A.wk
+    | _ -> Printf.sprintf "rw[%s]" item)
+  | _ -> Printf.sprintf "conflict[%s]" item
+
+let context = 2 (* history positions of context around the witness window *)
+
+let provenance ?(events = []) ppf ~(history : History.t)
+    (w : Detect.witness) =
+  let arr = Array.of_list history in
+  let n = Array.length arr in
+  let minp = List.fold_left min max_int w.Detect.positions in
+  let maxp = List.fold_left max 0 w.Detect.positions in
+  let lo = max 0 (minp - context) and hi = min (n - 1) (maxp + context) in
+  Fmt.pf ppf "@[<v>%s (%s): T%d is the template's T1, T%d is T2@,"
+    (P.name w.Detect.phenomenon)
+    (P.long_name w.Detect.phenomenon)
+    w.Detect.t1 w.Detect.t2;
+  if w.Detect.note <> "" then Fmt.pf ppf "  %s@," w.Detect.note;
+  (* One line of the excerpt in the paper's notation. *)
+  let excerpt =
+    String.concat " "
+      (List.init (hi - lo + 1) (fun i -> A.to_string arr.(lo + i)))
+  in
+  Fmt.pf ppf "  interleaving (h%d..h%d)%s:@,    %s%s@," lo hi
+    (if lo > 0 then " after ..." else "")
+    excerpt
+    (if hi < n - 1 then " ..." else "");
+  (* The annotated, per-position view. *)
+  List.iter
+    (fun p ->
+      let a = arr.(p) in
+      let marker =
+        if not (List.mem p w.Detect.positions) then ""
+        else if A.txn a = w.Detect.t1 then "  <-- witness (T1 role)"
+        else if A.txn a = w.Detect.t2 then "  <-- witness (T2 role)"
+        else "  <-- witness"
+      in
+      let timing =
+        match event_at_position events p with
+        | Some e ->
+          Printf.sprintf "  @ %+.3fms on worker %d" (ms e.Event.ts_ns)
+            e.Event.worker
+        | None -> ""
+      in
+      Fmt.pf ppf "    h%-4d %-24s%s%s@," p (A.to_string a) timing marker)
+    (List.init (hi - lo + 1) (fun i -> lo + i));
+  (* Dependency edges between the witness transactions inside the window:
+     the edges that close the cycle the anomaly is made of. *)
+  let edges = ref [] in
+  for i = lo to hi do
+    for j = i + 1 to hi do
+      let a = arr.(i) and b = arr.(j) in
+      let ta = A.txn a and tb = A.txn b in
+      if
+        ta <> tb
+        && List.mem ta [ w.Detect.t1; w.Detect.t2 ]
+        && List.mem tb [ w.Detect.t1; w.Detect.t2 ]
+        && A.conflicts a b
+      then begin
+        let label = Printf.sprintf "T%d --%s--> T%d" ta (edge_label a b) tb in
+        if not (List.mem label !edges) then edges := label :: !edges
+      end
+    done
+  done;
+  (match List.rev !edges with
+  | [] -> ()
+  | edges ->
+    Fmt.pf ppf "  dependency edges: %s@," (String.concat ", " edges));
+  Fmt.pf ppf "@]"

@@ -1,0 +1,35 @@
+(** Text renderings of a trace: the global event log, per-transaction
+    timelines with phase breakdowns, the paper-notation history line, and
+    anomaly provenance — the annotated interleaving excerpt for an
+    oracle witness, with the dependency edges that close the cycle and
+    (when events are available) the wall-clock moment and worker that
+    executed each witness operation. *)
+
+val event_log : ?limit:int -> Format.formatter -> Event.t list -> unit
+(** The merged event stream, one line per event; with [limit], only the
+    newest [limit] events. *)
+
+val timeline : Format.formatter -> Span.t list -> unit
+(** One row per transaction attempt: start, wall, exec/wait phase split,
+    steps, outcome. *)
+
+val transaction : Format.formatter -> Span.t -> unit
+(** Full detail for one span: phase breakdown plus its event log. *)
+
+val history_line : History.t -> string
+(** The history in the paper's own shorthand ([r1[x] w2[y] c1 ...]). *)
+
+val event_at_position : Event.t list -> int -> Event.t option
+(** The [Step_end] event whose emitted history range covers the
+    position — how witness positions map back to trace events. *)
+
+val provenance :
+  ?events:Event.t list ->
+  Format.formatter ->
+  history:History.t ->
+  Phenomena.Detect.witness ->
+  unit
+(** Annotated excerpt for one witness: the interleaving window in paper
+    notation, each position marked with its witness role, the dependency
+    edges between the witness transactions, and per-operation timing when
+    [events] covers the window. *)

@@ -1,0 +1,39 @@
+(* A fixed-capacity single-writer flight recorder. The slot array is
+   preallocated at creation, so recording an event is two writes and an
+   increment — no allocation, no locks, no CAS. When the ring is full the
+   oldest slot is overwritten: a flight recorder keeps the newest events
+   and *counts* what it dropped, it never blocks the writer.
+
+   One ring has exactly one writer (the pool gives each worker domain its
+   own ring). Readers drain only after the writer's domain has been
+   joined, so the join's happens-before makes the plain mutable fields
+   safe to read. *)
+
+type t = {
+  capacity : int;
+  slots : Event.t option array;
+  mutable next : int; (* total events ever written; slot = next mod capacity *)
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { capacity; slots = Array.make capacity None; next = 0 }
+
+let record t e =
+  t.slots.(t.next mod t.capacity) <- Some e;
+  t.next <- t.next + 1
+
+let written t = t.next
+let dropped t = max 0 (t.next - t.capacity)
+
+(* Oldest surviving event first. *)
+let to_list t =
+  let first = dropped t in
+  let rec go i acc =
+    if i < first then acc
+    else
+      match t.slots.(i mod t.capacity) with
+      | Some e -> go (i - 1) (e :: acc)
+      | None -> acc
+  in
+  go (t.next - 1) []

@@ -1,0 +1,21 @@
+(** A fixed-capacity, single-writer, overwrite-oldest event ring (flight
+    recorder). Recording never allocates, locks or blocks; when full, the
+    oldest event is overwritten and counted as dropped.
+
+    Safety: one writer per ring. Drain with {!to_list} only after the
+    writer's domain has been joined (the join provides the
+    happens-before). *)
+
+type t
+
+val create : capacity:int -> t
+val record : t -> Event.t -> unit
+
+val written : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to overwriting: [max 0 (written - capacity)]. *)
+
+val to_list : t -> Event.t list
+(** The surviving (newest) events, oldest first. *)

@@ -1,0 +1,56 @@
+(* The runtime's tracing endpoint: one ring per worker domain, selected
+   through domain-local storage so that code which does not know its
+   worker index (the lock-table hook, running under the execution latch
+   on whichever domain took it) still lands events in the right ring.
+
+   Emit path: read the DLS slot, check it belongs to this sink (a sink id
+   guards against stale bindings from a previous run on the same domain),
+   stamp the clock, write into the single-writer ring. No locks anywhere;
+   an unattached domain's events are counted as orphaned and dropped
+   rather than ever blocking. *)
+
+type t = {
+  id : int;
+  rings : Ring.t array; (* index = worker *)
+  epoch_ns : int;       (* subtracted from every stamp: small, stable ts *)
+  orphaned : int Atomic.t;
+}
+
+let ids = Atomic.make 1
+
+(* What the current domain is attached to: which sink, which worker. *)
+let binding : (int * int * Ring.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(capacity_per_worker = 65536) ~workers () =
+  {
+    id = Atomic.fetch_and_add ids 1;
+    rings =
+      Array.init (max 1 workers) (fun _ -> Ring.create ~capacity:capacity_per_worker);
+    epoch_ns = now_ns ();
+    orphaned = Atomic.make 0;
+  }
+
+let attach t ~worker =
+  let worker = worker mod Array.length t.rings in
+  Domain.DLS.get binding := Some (t.id, worker, t.rings.(worker))
+
+let emit t ~tid kind =
+  match !(Domain.DLS.get binding) with
+  | Some (id, worker, ring) when id = t.id ->
+    Ring.record ring { Event.ts_ns = now_ns () - t.epoch_ns; tid; worker; kind }
+  | _ -> Atomic.incr t.orphaned
+
+let dropped t =
+  Array.fold_left (fun acc r -> acc + Ring.dropped r) (Atomic.get t.orphaned) t.rings
+
+let written t = Array.fold_left (fun acc r -> acc + Ring.written r) 0 t.rings
+
+(* Merge the per-worker rings into one global timeline. *)
+let events t =
+  Array.to_list t.rings
+  |> List.concat_map Ring.to_list
+  |> List.stable_sort (fun (a : Event.t) (b : Event.t) ->
+         compare a.ts_ns b.ts_ns)

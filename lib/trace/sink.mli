@@ -1,0 +1,32 @@
+(** The tracing endpoint the runtime writes into: one single-writer
+    {!Ring} per worker domain, selected through domain-local storage so
+    that callbacks that do not carry a worker index (the lock-table hook)
+    still record into the attached domain's ring.
+
+    Timestamps are nanoseconds relative to the sink's creation. Emitting
+    never blocks: a full ring overwrites its oldest event, an unattached
+    domain's event is dropped and counted as orphaned. *)
+
+type t
+
+val create : ?capacity_per_worker:int -> workers:int -> unit -> t
+(** [capacity_per_worker] defaults to 65536 events (the flight-recorder
+    window per worker). *)
+
+val attach : t -> worker:int -> unit
+(** Bind the calling domain to ring [worker]. Each worker calls this once
+    at startup; a later {!attach} (or one from a different sink)
+    supersedes the binding. *)
+
+val emit : t -> tid:int -> Event.kind -> unit
+(** Stamp and record an event on the calling domain's ring. *)
+
+val events : t -> Event.t list
+(** The merged timeline (all rings, sorted by timestamp). Call only after
+    the writer domains have been joined. *)
+
+val written : t -> int
+(** Total events recorded across rings, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost: ring overwrites plus orphaned emits. *)

@@ -1,0 +1,123 @@
+(* Spans: the per-transaction view of the event stream. Transaction ids
+   are globally fresh in the runtime (a retried job is a new tid), so one
+   tid is exactly one attempt and its events fold into one span.
+
+   The phase breakdown partitions an attempt's wall time:
+
+     wall = exec + lock_wait        (within the attempt)
+     retry overhead = the whole wall time of failed attempts, plus the
+                      restart backoff slept before the next attempt
+
+   [lock_wait] is the time actually slept outside the latch after
+   Blocked steps; [exec] is everything else (latch waits, engine work,
+   think time). The runtime feeds the same numbers into
+   [Runtime.Metrics]'s phase histograms as it records them; this module
+   recomputes them from a saved event stream so [explain] can render the
+   breakdown from a file alone. *)
+
+type outcome = Committed | Aborted of string | Unfinished
+
+type t = {
+  tid : int;
+  job : int;
+  name : string;
+  attempt : int;
+  level : string;
+  worker : int;
+  start_ns : int;
+  finish_ns : int;
+  outcome : outcome;
+  steps : int;            (* engine step attempts, including blocked ones *)
+  blocked_steps : int;
+  lock_wait_ns : int;     (* slept after Blocked steps *)
+  retry_backoff_ns : int; (* slept after this attempt failed *)
+  lock_conflicts : int;
+  deadlock_victim : bool;
+  events : Event.t list;  (* this tid's events, oldest first *)
+}
+
+let wall_ns s = max 0 (s.finish_ns - s.start_ns)
+let exec_ns s = max 0 (wall_ns s - s.lock_wait_ns)
+
+let pp_outcome ppf = function
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted r -> Fmt.pf ppf "aborted (%s)" r
+  | Unfinished -> Fmt.string ppf "unfinished"
+
+let of_events (events : Event.t list) =
+  let tids = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      match Hashtbl.find_opt tids e.tid with
+      | Some es -> es := e :: !es
+      | None ->
+        Hashtbl.add tids e.tid (ref [ e ]);
+        order := e.tid :: !order)
+    events;
+  List.rev_map
+    (fun tid ->
+      let events = List.rev !(Hashtbl.find tids tid) in
+      let first = List.hd events in
+      let init =
+        {
+          tid;
+          job = -1;
+          name = "";
+          attempt = 0;
+          level = "";
+          worker = first.Event.worker;
+          start_ns = first.Event.ts_ns;
+          finish_ns = first.Event.ts_ns;
+          outcome = Unfinished;
+          steps = 0;
+          blocked_steps = 0;
+          lock_wait_ns = 0;
+          retry_backoff_ns = 0;
+          lock_conflicts = 0;
+          deadlock_victim = false;
+          events;
+        }
+      in
+      List.fold_left
+        (fun s (e : Event.t) ->
+          (* The retry backoff is slept after the attempt's terminal
+             action; everything else extends the attempt's interval. *)
+          let s =
+            match e.kind with
+            | Event.Retry_backoff _ -> s
+            | _ -> { s with finish_ns = max s.finish_ns e.ts_ns }
+          in
+          match e.kind with
+          | Event.Attempt_begin { job; name; attempt; level } ->
+            { s with job; name; attempt; level; worker = e.worker;
+              start_ns = e.ts_ns }
+          | Event.Step_begin _ -> { s with steps = s.steps + 1 }
+          | Event.Step_end { outcome = Event.Blocked _; _ } ->
+            { s with blocked_steps = s.blocked_steps + 1 }
+          | Event.Step_end _ -> s
+          | Event.Lock_wait { slept_ns } ->
+            { s with lock_wait_ns = s.lock_wait_ns + slept_ns }
+          | Event.Retry_backoff { slept_ns; _ } ->
+            { s with retry_backoff_ns = s.retry_backoff_ns + slept_ns }
+          | Event.Lock_conflict _ ->
+            { s with lock_conflicts = s.lock_conflicts + 1 }
+          | Event.Deadlock_victim _ -> { s with deadlock_victim = true }
+          | Event.Commit -> { s with outcome = Committed }
+          | Event.Abort { reason } -> { s with outcome = Aborted reason }
+          | Event.Lock_grant _ | Event.Lock_release _ | Event.Stall_restart ->
+            s)
+        init events)
+    !order
+  |> List.sort (fun a b -> compare (a.start_ns, a.tid) (b.start_ns, b.tid))
+
+let find spans tid = List.find_opt (fun s -> s.tid = tid) spans
+
+(* Aggregate retry overhead chargeable to failed attempts. *)
+let retry_overhead_ns spans =
+  List.fold_left
+    (fun acc s ->
+      match s.outcome with
+      | Committed -> acc + s.retry_backoff_ns
+      | Aborted _ | Unfinished -> acc + wall_ns s + s.retry_backoff_ns)
+    0 spans

@@ -1,0 +1,45 @@
+(** Spans: per-transaction timelines folded from the event stream, with
+    the phase breakdown (execution vs lock wait vs retry backoff) that
+    also feeds [Runtime.Metrics]'s phase histograms.
+
+    Transaction ids are globally fresh in the runtime — one tid is one
+    attempt — so a span is an attempt: which job, which try, on which
+    worker, when, and where the time went. *)
+
+type outcome = Committed | Aborted of string | Unfinished
+
+type t = {
+  tid : int;
+  job : int;            (** -1 when the Attempt_begin event was dropped *)
+  name : string;
+  attempt : int;
+  level : string;
+  worker : int;
+  start_ns : int;
+  finish_ns : int;
+  outcome : outcome;
+  steps : int;          (** engine step attempts, including blocked retries *)
+  blocked_steps : int;
+  lock_wait_ns : int;   (** slept outside the latch after Blocked steps *)
+  retry_backoff_ns : int;
+      (** slept after this attempt failed, before the job's next attempt *)
+  lock_conflicts : int;
+  deadlock_victim : bool;
+  events : Event.t list;  (** this tid's events, oldest first *)
+}
+
+val wall_ns : t -> int
+val exec_ns : t -> int
+(** Wall time minus lock waits: engine work, latch waits and think time. *)
+
+val pp_outcome : outcome Fmt.t
+
+val of_events : Event.t list -> t list
+(** Fold a merged timeline into spans, sorted by start time. Tolerates
+    truncated streams (ring overwrote an attempt's early events). *)
+
+val find : t list -> int -> t option
+
+val retry_overhead_ns : t list -> int
+(** Total time charged to retrying: failed attempts' wall time plus all
+    restart backoff sleeps. *)

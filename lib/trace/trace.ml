@@ -1,0 +1,17 @@
+(* Umbrella module of the [trace] library: structured event tracing for
+   the runtime. {!Sink} is the write side — per-domain single-writer
+   flight-recorder rings the worker pool emits {!Event}s into, never
+   blocking and dropping (counted) rather than stalling. {!Span} folds
+   the stream into per-transaction timelines with a phase breakdown;
+   {!Chrome} exports/imports the lossless trace_event file; {!Render}
+   prints timelines, paper-notation histories and anomaly provenance.
+   {!Json} is the layer's own minimal JSON — the repository carries no
+   JSON dependency. *)
+
+module Json = Json
+module Event = Event
+module Ring = Ring
+module Sink = Sink
+module Span = Span
+module Chrome = Chrome
+module Render = Render

@@ -33,4 +33,5 @@ let () =
       ("classify", Test_classify.suite);
       ("properties", Test_properties.suite);
       ("runtime", Test_runtime.suite);
+      ("trace", Test_trace.suite);
     ]
