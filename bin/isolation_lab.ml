@@ -327,7 +327,7 @@ let run_cmd =
 (* {2 stress — the multicore runtime with its live oracle} *)
 
 let stress workers level mix_name txns duration accounts hot ops think seed
-    fuw json_path trace_path =
+    fuw stripes coarse oracle_window json_path trace_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -351,17 +351,20 @@ let stress workers level mix_name txns duration accounts hot ops think seed
   let cfg =
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
-      ~first_updater_wins:fuw ~think_us:think ~seed ?trace:sink ()
+      ~first_updater_wins:fuw ~stripes ~coarse ?oracle_window ~think_us:think
+      ~seed ?trace:sink ()
   in
   Format.printf
     "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
-     %.0fus, seed %d@."
+     %.0fus, seed %d, %s@."
     cfg.Runtime.Pool.workers (L.name level)
     (Workload.Generators.mix_name mix)
     (match duration with
     | Some d -> Printf.sprintf "%.2fs deadline" d
     | None -> Printf.sprintf "%d transactions" txns)
-    accounts hot think seed;
+    accounts hot think seed
+    (if coarse then "coarse latch"
+     else Printf.sprintf "%d stripes" cfg.Runtime.Pool.stripes);
   let r =
     match duration with
     | Some d -> Runtime.Pool.run_for cfg ~duration_s:d ~gen
@@ -511,6 +514,34 @@ let stress_cmd =
       & info [ "first-updater-wins" ]
           ~doc:"Use the First-Updater-Wins variant of Snapshot Isolation.")
   in
+  let stripes_arg =
+    Arg.(
+      value & opt int Runtime.Pool.default_stripes
+      & info [ "stripes" ] ~docv:"N"
+          ~doc:
+            "Key stripes for the striped execution path (locking engines; \
+             one extra stripe serializes predicate locking). Each engine \
+             step takes only the stripes its footprint touches.")
+  in
+  let coarse_arg =
+    Arg.(
+      value & flag
+      & info [ "coarse" ]
+          ~doc:
+            "Serialize every engine step under one coarse latch (a single \
+             stripe with every footprint widened to the whole store) — the \
+             pre-striping behavior, kept as the comparison baseline.")
+  in
+  let oracle_window_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "oracle-window" ] ~docv:"N"
+          ~doc:
+            "Run the post-run oracle over sliding N-transaction windows \
+             instead of the whole history. Anomaly reports stay sound; \
+             dependency cycles spanning transactions further than a window \
+             apart can be missed. Makes long runs checkable.")
+  in
   let json_arg =
     Arg.(
       value & opt (some string) None
@@ -535,7 +566,8 @@ let stress_cmd =
     Term.(
       const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
       $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
-      $ seed_arg $ fuw_arg $ json_arg $ trace_arg)
+      $ seed_arg $ fuw_arg $ stripes_arg $ coarse_arg $ oracle_window_arg
+      $ json_arg $ trace_arg)
 
 (* {2 explain — re-render a recorded trace} *)
 

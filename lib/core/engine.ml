@@ -49,18 +49,21 @@ let family_of_levels levels =
       "Engine.create: cannot mix engine families (locking, multiversion, \
        timestamp ordering) in one execution (they do not share a store)"
 
-let create ~initial ~predicates ?(first_updater_wins = false)
-    ?(next_key_locking = false) ?(update_locks = false) ~family () =
+let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
+    ?(first_updater_wins = false) ?(next_key_locking = false)
+    ?(update_locks = false) ~family () =
   match family with
   | `Locking ->
-    Locking (Lock_engine.create ~initial ~predicates ~next_key_locking ~update_locks ())
+    Locking
+      (Lock_engine.create ~initial ~predicates ~stripes ~audit ~next_key_locking
+         ~update_locks ())
   | `Mv -> Mv (Mv_engine.create ~initial ~predicates ~first_updater_wins ())
   | `Timestamp -> Timestamp (To_engine.create ~initial ~predicates ())
 
-let create_for_levels ~initial ~predicates ?first_updater_wins
+let create_for_levels ~initial ~predicates ?stripes ?audit ?first_updater_wins
     ?next_key_locking ?update_locks ~levels () =
-  create ~initial ~predicates ?first_updater_wins ?next_key_locking
-    ?update_locks ~family:(family_of_levels levels) ()
+  create ~initial ~predicates ?stripes ?audit ?first_updater_wins
+    ?next_key_locking ?update_locks ~family:(family_of_levels levels) ()
 
 let mv_level = function
   | Level.Snapshot -> Mv_engine.Snapshot_isolation
@@ -135,6 +138,20 @@ let step t tid op =
     | To_engine.Progress -> Progress
     | To_engine.Blocked holders -> Blocked holders
     | To_engine.Finished -> Finished)
+
+(* Which shards a step touches, for the runtime's stripe planner. Only
+   the locking engine is striped; the multiversion and timestamp engines
+   share unsharded structures and always run under every stripe. *)
+type footprint = Lock_engine.footprint = All | Keys of { keys : key list; pred : bool }
+
+let footprint t tid op =
+  match t with
+  | Locking e -> Lock_engine.footprint e tid op
+  | Mv _ | Timestamp _ -> All
+
+let stripes = function
+  | Locking e -> Lock_engine.stripes e
+  | Mv _ | Timestamp _ -> 1
 
 let abort_txn t tid =
   match t with

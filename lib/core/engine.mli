@@ -39,6 +39,8 @@ val family_of_levels : Level.t list -> [ `Locking | `Mv | `Timestamp ]
 val create :
   initial:(key * value) list ->
   predicates:Storage.Predicate.t list ->
+  ?stripes:int ->
+  ?audit:bool ->
   ?first_updater_wins:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
@@ -47,14 +49,21 @@ val create :
   t
 (** [predicates] are annotated onto matching writes in the trace (for the
     phantom detectors) — they do not affect locking, which uses the actual
-    predicates of scans. [first_updater_wins] switches Snapshot Isolation
-    from First-Committer-Wins to the PostgreSQL-style write-time check.
+    predicates of scans. [stripes] (default 1) shards the locking engine's
+    store and lock table by key hash for the runtime's striped execution;
+    [audit] (default true) keeps the lock table's audit log (striped
+    callers turn it off). Both are ignored by the multiversion and
+    timestamp engines, which always report an {!All} footprint.
+    [first_updater_wins] switches Snapshot Isolation from
+    First-Committer-Wins to the PostgreSQL-style write-time check.
     [next_key_locking] swaps the locking engine's predicate-lock phantom
     guard for next-key locking. *)
 
 val create_for_levels :
   initial:(key * value) list ->
   predicates:Storage.Predicate.t list ->
+  ?stripes:int ->
+  ?audit:bool ->
   ?first_updater_wins:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
@@ -63,6 +72,19 @@ val create_for_levels :
   t
 (** Like {!create}, inferring the family from the levels.
     @raise Invalid_argument if [levels] mixes the two families. *)
+
+(** The shards a step of an operation touches — the runtime's stripe
+    planner acquires exactly these stripes before stepping. [All] is the
+    conservative answer (and the only one non-locking engines and
+    next-key locking give): hold every stripe, i.e. the coarse latch. *)
+type footprint = Lock_engine.footprint = All | Keys of { keys : key list; pred : bool }
+
+val footprint : t -> txn -> Program.op -> footprint
+(** Computed on the owning worker from owner-local state; see
+    {!Lock_engine.footprint}. *)
+
+val stripes : t -> int
+(** The locking engine's shard count; [1] for other families. *)
 
 val begin_txn : ?read_only:bool -> t -> txn -> level:Level.t -> unit
 (** [read_only] transactions read the committed snapshot as of begin

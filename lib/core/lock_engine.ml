@@ -41,15 +41,27 @@ type txn_state = {
   cursors : (string, cursor) Hashtbl.t;
 }
 
+(* Shared state under striped execution. The pool guarantees that a step
+   holds the stripe mutexes of every shard it touches (store shards, lock
+   buckets), so those need no further protection. What transactions of
+   *disjoint* footprints still share is protected here: the WAL has its
+   own mutex, the trace has [trace_m], and [reg_m] covers the transaction
+   registry together with [commit_ts] and the version store installs that
+   must be atomic with respect to a beginner reading its snapshot
+   timestamp. The registry itself is a tid-indexed array behind an
+   [Atomic]: lookups — the per-step hot path, and the deadlock detector
+   peeking at a victim — are lock-free; only [begin_txn] mutates it. *)
 type t = {
   store : Store.t;
   vstore : Version_store.t; (* committed versions, for read-only snapshots *)
-  mutable commit_ts : int;
+  mutable commit_ts : int;  (* under reg_m *)
   locks : Lock_table.t;
   wal : Wal.t;
-  mutable trace : Action.t list; (* newest first *)
-  mutable trace_len : int;       (* = List.length trace, O(1) for tracing *)
-  txns : (txn, txn_state) Hashtbl.t;
+  mutable trace : Action.t list; (* newest first; under trace_m *)
+  trace_m : Mutex.t;
+  trace_len : int Atomic.t;      (* = List.length trace, O(1) for tracing *)
+  reg_m : Mutex.t;
+  slots : txn_state option array Atomic.t; (* tid-indexed; grown by begin *)
   predicates : Predicate.t list; (* annotated on writes for the detectors *)
   next_key_locking : bool;       (* phantom guard ablation *)
   update_locks : bool;           (* U locks on for-update fetches (ablation) *)
@@ -61,42 +73,70 @@ type step_outcome = Progress | Blocked of txn list | Finished
    ranges and by inserts with no successor. *)
 let infinity_key = "\255<infinity>"
 
-let create ~initial ~predicates ?(next_key_locking = false)
-    ?(update_locks = false) () =
+let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
+    ?(next_key_locking = false) ?(update_locks = false) () =
+  let stripes = max 1 stripes in
   {
-    store = Store.of_list initial;
+    store = Store.of_list ~shards:stripes initial;
     vstore = Version_store.of_list initial;
     commit_ts = 0;
-    locks = Lock_table.create ();
+    locks = Lock_table.create ~stripes ~audit ();
     wal = Wal.create ();
     trace = [];
-    trace_len = 0;
-    txns = Hashtbl.create 8;
+    trace_m = Mutex.create ();
+    trace_len = Atomic.make 0;
+    reg_m = Mutex.create ();
+    slots = Atomic.make (Array.make 8 None);
     predicates;
     next_key_locking;
     update_locks;
   }
 
 let emit t action =
+  Mutex.lock t.trace_m;
   t.trace <- action :: t.trace;
-  t.trace_len <- t.trace_len + 1
+  Atomic.incr t.trace_len;
+  Mutex.unlock t.trace_m
 
-let trace t = List.rev t.trace
-let trace_len t = t.trace_len
+let trace t =
+  Mutex.lock t.trace_m;
+  let tr = t.trace in
+  Mutex.unlock t.trace_m;
+  List.rev tr
+
+let trace_len t = Atomic.get t.trace_len
+
+let find_state t tid =
+  let a = Atomic.get t.slots in
+  if tid >= 0 && tid < Array.length a then a.(tid) else None
 
 let state t tid =
-  match Hashtbl.find_opt t.txns tid with
+  match find_state t tid with
   | Some st -> st
   | None -> invalid_arg (Fmt.str "Lock_engine: unknown transaction %d" tid)
 
 let begin_txn ?(read_only = false) t tid ~level =
+  if tid < 0 then invalid_arg "Lock_engine: negative transaction id";
   let protocol = Protocol.for_level_exn level in
   let protocol =
     if t.next_key_locking then Protocol.with_next_key protocol else protocol
   in
-  Hashtbl.replace t.txns tid
-    { tid; protocol; read_only; snapshot_ts = t.commit_ts; status = Active;
-      env = Program.empty_env; undo = []; cursors = Hashtbl.create 2 };
+  Mutex.lock t.reg_m;
+  let a = Atomic.get t.slots in
+  let a =
+    if tid < Array.length a then a
+    else begin
+      let b = Array.make (max (tid + 1) (2 * Array.length a)) None in
+      Array.blit a 0 b 0 (Array.length a);
+      Atomic.set t.slots b;
+      b
+    end
+  in
+  a.(tid) <-
+    Some
+      { tid; protocol; read_only; snapshot_ts = t.commit_ts; status = Active;
+        env = Program.empty_env; undo = []; cursors = Hashtbl.create 2 };
+  Mutex.unlock t.reg_m;
   Wal.append t.wal (Wal.Begin tid)
 
 let status t tid = (state t tid).status
@@ -114,7 +154,11 @@ let acquire t st duration req =
   | None -> Lock_table.Granted
   | Some tag -> Lock_table.acquire t.locks ~owner:st.tid ~tag req
 
-let release_short t st = Lock_table.release t.locks ~owner:st.tid ~tag:Lock_table.Short
+(* Step-local releases are scoped to the buckets the step's footprint
+   covers — exactly the stripes the caller holds. [scope = None] (single
+   stripe, or an all-stripes step) sweeps every bucket. *)
+let release_short ?scope t st =
+  Lock_table.release ?scope t.locks ~owner:st.tid ~tag:Lock_table.Short
 
 (* Predicates (from the configured set) that a write of [k] from [before]
    to [after] affects — the annotation the P3/A3 detectors consume. *)
@@ -146,7 +190,7 @@ let snapshot_scan t st p =
   then emit t (Action.pred_read ~keys:(List.map fst rows) st.tid (Predicate.name p));
   Progress
 
-let do_read t st k =
+let do_read ?scope t st k =
   if st.read_only then snapshot_read t st k
   else
   match acquire t st st.protocol.item_read (Lock_table.Read_item k) with
@@ -155,7 +199,7 @@ let do_read t st k =
     let v = Store.get t.store k in
     st.env <- Program.observe_read st.env k v;
     emit t (Action.read ?value:v st.tid k);
-    if st.protocol.item_read = Protocol.Short then release_short t st;
+    if st.protocol.item_read = Protocol.Short then release_short ?scope t st;
     Progress
 
 (* Under next-key locking, an insert or delete of [k] also takes a short
@@ -178,7 +222,7 @@ let acquire_gap_guard t st k ~before ~after =
     Lock_table.acquire t.locks ~owner:st.tid ~tag:Lock_table.Short
       (Lock_table.Write_item { k = gap_key; before = None; after = None })
 
-let do_write t st k ~after ~kind ~cursor =
+let do_write ?scope t st k ~after ~kind ~cursor =
   if st.read_only then
     invalid_arg "Lock_engine: read-only transactions cannot write";
   let before = Store.get t.store k in
@@ -197,7 +241,7 @@ let do_write t st k ~after ~kind ~cursor =
     | None -> Store.delete t.store k);
     let preds = affected_predicates t k ~before ~after in
     emit t (Action.write ?value:after ~kind ~preds ~cursor st.tid k);
-    if st.protocol.item_write = Protocol.Short then release_short t st;
+    if st.protocol.item_write = Protocol.Short then release_short ?scope t st;
     Progress
 
 (* The scan-side phantom guard. With predicate locks, one Read lock on
@@ -267,7 +311,7 @@ let do_open_cursor t st name ~for_update p =
     if st.protocol.pred_read = Protocol.Short then release_short t st;
     Progress
 
-let do_fetch t st name =
+let do_fetch ?scope t st name =
   match Hashtbl.find_opt st.cursors name with
   | None -> invalid_arg "Lock_engine: fetch without an open cursor"
   | Some c -> (
@@ -275,7 +319,8 @@ let do_fetch t st name =
     | [] ->
       (* Moving past the end releases the hold on the previous row. *)
       if st.protocol.cursor_hold then
-        Lock_table.release t.locks ~owner:st.tid ~tag:(Lock_table.Cursor name);
+        Lock_table.release ?scope t.locks ~owner:st.tid
+          ~tag:(Lock_table.Cursor name);
       c.current <- None;
       Progress
     | (k, _stale) :: rest ->
@@ -293,9 +338,11 @@ let do_fetch t st name =
         | None -> Lock_table.Granted
         | Some tag ->
           (* Cursor Stability releases the previous row's lock when the
-             cursor moves; done before acquiring the next row's lock. *)
+             cursor moves; done before acquiring the next row's lock. The
+             footprint (and so [scope]) covers the previous row's bucket. *)
           if st.protocol.cursor_hold && not u_mode then
-            Lock_table.release t.locks ~owner:st.tid ~tag:(Lock_table.Cursor name);
+            Lock_table.release ?scope t.locks ~owner:st.tid
+              ~tag:(Lock_table.Cursor name);
           Lock_table.acquire t.locks ~owner:st.tid ~tag
             (if u_mode then Lock_table.Update_item k else Lock_table.Read_item k)
       in
@@ -308,7 +355,7 @@ let do_fetch t st name =
         st.env <- Program.observe_read st.env k v;
         emit t (Action.read ?value:v ~cursor:true st.tid k);
         if (not st.protocol.cursor_hold) && st.protocol.item_read = Protocol.Short
-        then release_short t st;
+        then release_short ?scope t st;
         Progress)
 
 let do_cursor_write t st name expr =
@@ -350,8 +397,12 @@ let do_commit t st =
   (match write_set t st with
   | [] -> ()
   | writes ->
+    (* Atomic w.r.t. a beginner reading its snapshot timestamp: the bump
+       and the install publish together or not at all. *)
+    Mutex.lock t.reg_m;
     t.commit_ts <- t.commit_ts + 1;
-    Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.commit_ts writes);
+    Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.commit_ts writes;
+    Mutex.unlock t.reg_m);
   st.status <- Committed;
   finish t st;
   emit t (Action.commit st.tid);
@@ -381,32 +432,99 @@ let abort_txn t tid ~reason =
   let st = state t tid in
   match st.status with Active -> rollback t st reason | Committed | Aborted _ -> ()
 
+(* Which shards (store shards, lock buckets, stripe mutexes) a step of
+   [op] touches. [All] is the conservative answer — the pool then holds
+   every stripe, which is exactly the coarse latch. [Keys] names the data
+   keys, plus whether the step reaches the predicate bucket (writers must
+   see predicate readers — the phantom rule).
+
+   The analysis runs on the owning worker before the step, reading only
+   owner-local state (protocol, cursors), and is conservative:
+   - next-key locking takes gap guards on *successor* keys found by
+     cross-shard queries, so those engines always execute under [All];
+   - read-only transactions read the shared version store, mutated by
+     committers, so they too run under [All] (their reads are lock-free
+     in the 2PL sense, not in the memory sense);
+   - scans, cursor opens, commits and aborts touch every shard.
+
+   Item reads and writes additionally *read* the predicate bucket during
+   conflict checks without it being in their footprint when [pred=false]:
+   that is safe because every predicate-bucket mutation happens under
+   [All], which excludes any concurrent step. *)
+type footprint = All | Keys of { keys : key list; pred : bool }
+
+let footprint t tid (op : Program.op) =
+  if t.next_key_locking then All
+  else
+    match find_state t tid with
+    | None -> All
+    | Some st -> (
+      if st.read_only then All
+      else
+        match op with
+        | Program.Read k -> Keys { keys = [ k ]; pred = false }
+        | Program.Write (k, _) | Program.Insert (k, _) | Program.Delete k ->
+          Keys { keys = [ k ]; pred = true }
+        | Program.Scan _ | Program.Open_cursor _ -> All
+        | Program.Fetch c -> (
+          match Hashtbl.find_opt st.cursors c with
+          | None -> All
+          | Some cur ->
+            (* The previous row (its cursor lock is released) and the row
+               the fetch moves to. *)
+            let prev = match cur.current with Some (k, _) -> [ k ] | None -> [] in
+            let next = match cur.remaining with (k, _) :: _ -> [ k ] | [] -> [] in
+            Keys { keys = prev @ next; pred = false })
+        | Program.Cursor_write (c, _) -> (
+          match Hashtbl.find_opt st.cursors c with
+          | Some { current = Some (k, _); _ } -> Keys { keys = [ k ]; pred = true }
+          | _ -> All)
+        | Program.Close_cursor c -> (
+          match Hashtbl.find_opt st.cursors c with
+          | Some { current = Some (k, _); _ } -> Keys { keys = [ k ]; pred = false }
+          | _ -> Keys { keys = []; pred = false })
+        | Program.Commit | Program.Abort -> All)
+
+(* The lock-bucket release scope matching a footprint: [None] means every
+   bucket (legal only because [All] steps hold every stripe). *)
+let scope_of_footprint t = function
+  | All -> None
+  | Keys { keys; pred } ->
+    let buckets =
+      List.sort_uniq compare (List.map (Lock_table.bucket_of_key t.locks) keys)
+    in
+    Some (if pred then buckets @ [ Lock_table.pred_bucket t.locks ] else buckets)
+
 let step t tid (op : Program.op) =
   let st = state t tid in
   match st.status with
   | Committed | Aborted _ -> Finished
   | Active -> (
+    let scope = scope_of_footprint t (footprint t tid op) in
     match op with
-    | Program.Read k -> do_read t st k
+    | Program.Read k -> do_read ?scope t st k
     | Program.Write (k, expr) ->
-      do_write t st k ~after:(Some (expr st.env)) ~kind:Action.Update ~cursor:false
+      do_write ?scope t st k ~after:(Some (expr st.env)) ~kind:Action.Update
+        ~cursor:false
     | Program.Insert (k, expr) ->
-      do_write t st k ~after:(Some (expr st.env)) ~kind:Action.Insert ~cursor:false
+      do_write ?scope t st k ~after:(Some (expr st.env)) ~kind:Action.Insert
+        ~cursor:false
     | Program.Delete k ->
-      do_write t st k ~after:None ~kind:Action.Delete ~cursor:false
+      do_write ?scope t st k ~after:None ~kind:Action.Delete ~cursor:false
     | Program.Scan p -> do_scan t st p
     | Program.Open_cursor { cursor; pred; for_update } ->
       do_open_cursor t st cursor ~for_update pred
-    | Program.Fetch c -> do_fetch t st c
+    | Program.Fetch c -> do_fetch ?scope t st c
     | Program.Cursor_write (c, expr) -> do_cursor_write t st c expr
     | Program.Close_cursor c ->
       if st.protocol.cursor_hold then
-        Lock_table.release t.locks ~owner:st.tid ~tag:(Lock_table.Cursor c);
+        Lock_table.release ?scope t.locks ~owner:st.tid ~tag:(Lock_table.Cursor c);
       Hashtbl.remove st.cursors c;
       Progress
     | Program.Commit -> do_commit t st
     | Program.Abort -> do_abort t st User_abort)
 
+let stripes t = Lock_table.stripes t.locks
 let final_state t = Store.to_list t.store
 let wal t = t.wal
 let store t = t.store

@@ -20,14 +20,31 @@ type t
 val create :
   initial:(key * value) list ->
   predicates:Storage.Predicate.t list ->
+  ?stripes:int ->
+  ?audit:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
   unit ->
   t
-(** [next_key_locking] swaps the predicate-lock phantom guard for
-    ARIES/KVL-style next-key locking on range predicates. [update_locks]
-    makes for-update fetches take long U locks, trading upgrade deadlocks
-    for blocking. *)
+(** [stripes] (default 1) shards the store and the lock table by key hash
+    for the runtime's striped execution; the engine itself stays
+    lock-free on the striped paths and relies on the caller holding the
+    stripes named by {!footprint}. [audit] (default true) keeps the lock
+    table's audit log; striped callers turn it off so the hot path shares
+    no list. [next_key_locking] swaps the predicate-lock phantom guard
+    for ARIES/KVL-style next-key locking on range predicates.
+    [update_locks] makes for-update fetches take long U locks, trading
+    upgrade deadlocks for blocking. *)
+
+(** The shards a step touches: [All] — hold every stripe (scans, cursor
+    opens, commits, aborts, read-only snapshot reads, and everything
+    under next-key locking) — or the named data [keys] plus, for writers,
+    the predicate bucket. *)
+type footprint = All | Keys of { keys : key list; pred : bool }
+
+val footprint : t -> txn -> Program.op -> footprint
+(** Computed on the owning worker before the step, from owner-local state
+    only. Conservative: whenever in doubt the answer is [All]. *)
 
 val begin_txn : ?read_only:bool -> t -> txn -> level:Isolation.Level.t -> unit
 (** [read_only] runs the transaction by the Multiversion Mixed Method
@@ -44,6 +61,9 @@ val trace_len : t -> int
 (** Number of actions emitted so far (O(1)) — the instrumentation point
     the runtime's tracer uses to tag each step with the history
     positions it produced. *)
+
+val stripes : t -> int
+(** The shard count this engine was created with. *)
 
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t

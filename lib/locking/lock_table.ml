@@ -9,7 +9,29 @@
    The table only decides grant/conflict; durations are the caller's
    policy (Table 2) and are expressed as tags used for bulk release:
    [Short] locks are released after the action, [Cursor] locks when the
-   cursor moves, [Long] locks at end of transaction. *)
+   cursor moves, [Long] locks at end of transaction.
+
+   Striping. Item locks are partitioned into [stripes] buckets by key
+   hash ({!Storage.Shard.of_key}); predicate locks live in one dedicated
+   bucket, because a predicate covers keys in every stripe. The table
+   itself takes no locks — the runtime's pool guarantees that an
+   operation only touches buckets whose stripe mutexes it holds:
+
+   - an item request reads and writes only the key's bucket, plus a read
+     of the predicate bucket (a Write item lock must see predicate
+     readers — the phantom rule). Writers therefore hold the key stripe
+     and the predicate stripe, acquired in that order; plain readers
+     hold just the key stripe, and their predicate-bucket read is safe
+     because every predicate-bucket *mutation* happens under all stripes
+     (predicate locks are only taken by scans, which hold everything).
+   - a predicate request reads every bucket (a predicate reader
+     conflicts with item writers anywhere), so its caller holds every
+     stripe.
+
+   Shared counters are atomics; the audit log — an exact interleaved
+   order of grants and releases, which only single-threaded harnesses
+   consume — is kept under a private mutex and can be disabled
+   ([~audit:false]) so the striped hot path shares no list. *)
 
 type key = History.Action.key
 type value = History.Action.value
@@ -36,6 +58,8 @@ type tag = Short | Cursor of string | Long
 
 type entry = { owner : txn; req : request; tag : tag }
 
+type bucket = { mutable entries : entry list }
+
 (* The audit log: every grant and release, in order. Lets tests check the
    paper's two-phase property against actual engine behavior. *)
 type event =
@@ -54,28 +78,69 @@ type hook =
   | On_release of { owner : txn; count : int }
 
 type t = {
-  mutable entries : entry list;
-  mutable events : event list; (* newest first *)
-  mutable grants : int;     (* grant decisions, including redundant covers *)
-  mutable conflicts : int;  (* acquire attempts refused by a holder *)
-  mutable releases : int;   (* lock entries dropped by release/release_all *)
-  mutable upgrades : int;   (* write requests over an own weaker lock *)
+  stripes : int;
+  buckets : bucket array;      (* item locks, by key hash *)
+  pred : bucket;               (* predicate locks, one dedicated bucket *)
+  audit : bool;
+  audit_m : Mutex.t;
+  mutable events : event list; (* newest first; under audit_m *)
+  grants : int Atomic.t;     (* grant decisions, including redundant covers *)
+  conflicts : int Atomic.t;  (* acquire attempts refused by a holder *)
+  releases : int Atomic.t;   (* lock entries dropped by release/release_all *)
+  upgrades : int Atomic.t;   (* write requests over an own weaker lock *)
   mutable hook : (hook -> unit) option;
 }
 
-let create () =
-  { entries = []; events = []; grants = 0; conflicts = 0; releases = 0;
-    upgrades = 0; hook = None }
+let create ?(stripes = 1) ?(audit = true) () =
+  let stripes = max 1 stripes in
+  {
+    stripes;
+    buckets = Array.init stripes (fun _ -> { entries = [] });
+    pred = { entries = [] };
+    audit;
+    audit_m = Mutex.create ();
+    events = [];
+    grants = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    releases = Atomic.make 0;
+    upgrades = Atomic.make 0;
+    hook = None;
+  }
+
+let stripes t = t.stripes
+let bucket_of_key t k = Storage.Shard.of_key ~shards:t.stripes k
+
+(* Bucket indices [0 .. stripes - 1] are the item buckets; index
+   [stripes] names the predicate bucket (mirroring the pool's convention
+   that the predicate stripe is the last, highest-ordered stripe). *)
+let pred_bucket t = t.stripes
+
+let bucket t i = if i >= t.stripes then t.pred else t.buckets.(i)
+
+let bucket_of_req t = function
+  | Read_item k | Update_item k | Write_item { k; _ } -> bucket_of_key t k
+  | Read_pred _ | Write_pred _ -> pred_bucket t
 
 let set_hook t f = t.hook <- Some f
 let clear_hook t = t.hook <- None
 let notify t h = match t.hook with None -> () | Some f -> f h
 
-let events t = List.rev t.events
+let log_event t e =
+  if t.audit then begin
+    Mutex.lock t.audit_m;
+    t.events <- e :: t.events;
+    Mutex.unlock t.audit_m
+  end
+
+let events t =
+  Mutex.lock t.audit_m;
+  let es = t.events in
+  Mutex.unlock t.audit_m;
+  List.rev es
 
 let stats t =
-  { grants = t.grants; conflicts = t.conflicts; releases = t.releases;
-    upgrades = t.upgrades }
+  { grants = Atomic.get t.grants; conflicts = Atomic.get t.conflicts;
+    releases = Atomic.get t.releases; upgrades = Atomic.get t.upgrades }
 
 (* Do two granted/requested locks conflict? Two locks by different
    transactions conflict if at least one is a Write lock and they cover a
@@ -130,31 +195,44 @@ type verdict = Granted | Conflict of txn list
    deadlock trigger (two transactions read x, then both try to write it).
    Counted on the request, granted or refused: the refused ones are the
    upgrade storm. *)
-let is_upgrade table ~owner req =
+let is_upgrade t ~owner req =
   match req with
   | Write_item { k; _ } ->
-    let holds pred = List.exists (fun e -> e.owner = owner && pred e.req) table.entries in
+    let entries = (bucket t (bucket_of_key t k)).entries in
+    let holds pred = List.exists (fun e -> e.owner = owner && pred e.req) entries in
     holds (function
       | Read_item k' | Update_item k' -> k' = k
       | _ -> false)
     && not (holds (function Write_item { k = k'; _ } -> k' = k | _ -> false))
   | _ -> false
 
-let acquire table ~owner ~tag req =
-  let upgrade = is_upgrade table ~owner req in
-  if upgrade then table.upgrades <- table.upgrades + 1;
+(* The buckets whose existing entries can conflict with [req]: the
+   request's own bucket, plus the predicate bucket for item requests
+   (phantom rule and conservative Write_pred handling), plus every item
+   bucket for predicate requests (a predicate covers all stripes). *)
+let conflict_entries t req =
+  match req with
+  | Read_item _ | Update_item _ | Write_item _ ->
+    let own = (bucket t (bucket_of_req t req)).entries in
+    if t.pred.entries == [] then own else own @ t.pred.entries
+  | Read_pred _ | Write_pred _ ->
+    Array.fold_left (fun acc b -> acc @ b.entries) t.pred.entries t.buckets
+
+let acquire t ~owner ~tag req =
+  let upgrade = is_upgrade t ~owner req in
+  if upgrade then Atomic.incr t.upgrades;
   let conflicting =
     List.filter
       (fun e -> e.owner <> owner && requests_conflict e.req req)
-      table.entries
+      (conflict_entries t req)
   in
   match conflicting with
   | _ :: _ ->
-    table.conflicts <- table.conflicts + 1;
+    Atomic.incr t.conflicts;
     let holders =
       List.sort_uniq compare (List.map (fun e -> e.owner) conflicting)
     in
-    notify table (On_conflict { owner; req; upgrade; holders });
+    notify t (On_conflict { owner; req; upgrade; holders });
     Conflict holders
   | [] ->
     (* Promote rather than duplicate: an identical or covering lock with a
@@ -168,54 +246,73 @@ let acquire table ~owner ~tag req =
       | _, Write_item _ -> held = req
       | _ -> covers held req
     in
+    let b = bucket t (bucket_of_req t req) in
     let redundant =
       List.exists
         (fun e -> e.owner = owner && subsumes e.req && tag_rank e.tag >= tag_rank tag)
-        table.entries
+        b.entries
     in
     if not redundant then begin
-      table.entries <- { owner; req; tag } :: table.entries;
-      table.events <- Acquired { owner; req; tag } :: table.events
+      b.entries <- { owner; req; tag } :: b.entries;
+      log_event t (Acquired { owner; req; tag })
     end;
-    table.grants <- table.grants + 1;
-    notify table (On_grant { owner; req; tag; upgrade });
+    Atomic.incr t.grants;
+    notify t (On_grant { owner; req; tag; upgrade });
     Granted
 
-let release table ~owner ~tag =
-  let keep, dropped =
-    List.partition (fun e -> not (e.owner = owner && e.tag = tag)) table.entries
+(* Drop [owner]'s entries matching [keep_if] from the buckets in [scope]
+   ([None] = every bucket). Striped callers must scope a release to
+   buckets whose stripes they hold; the engine's step-local [Short] and
+   [Cursor] releases pass exactly the step's stripe footprint, and
+   end-of-transaction [release_all] runs with every stripe held. *)
+let release_matching t ~owner ~scope matches =
+  let indices =
+    match scope with
+    | Some is -> List.sort_uniq compare is
+    | None -> List.init (t.stripes + 1) Fun.id
   in
-  table.entries <- keep;
-  if dropped <> [] then begin
-    let count = List.length dropped in
-    table.releases <- table.releases + count;
-    table.events <- Released { owner; count } :: table.events;
-    notify table (On_release { owner; count })
+  let dropped = ref 0 in
+  List.iter
+    (fun i ->
+      let b = bucket t i in
+      let keep, gone =
+        List.partition
+          (fun e -> not (e.owner = owner && matches e.tag))
+          b.entries
+      in
+      if gone <> [] then begin
+        b.entries <- keep;
+        dropped := !dropped + List.length gone
+      end)
+    indices;
+  if !dropped > 0 then begin
+    let count = !dropped in
+    ignore (Atomic.fetch_and_add t.releases count);
+    log_event t (Released { owner; count });
+    notify t (On_release { owner; count })
   end
 
-let release_all table ~owner =
-  let keep, dropped = List.partition (fun e -> e.owner <> owner) table.entries in
-  table.entries <- keep;
-  if dropped <> [] then begin
-    let count = List.length dropped in
-    table.releases <- table.releases + count;
-    table.events <- Released { owner; count } :: table.events;
-    notify table (On_release { owner; count })
-  end
+let release ?scope t ~owner ~tag =
+  release_matching t ~owner ~scope (fun tg -> tg = tag)
 
-let held table ~owner =
+let release_all t ~owner = release_matching t ~owner ~scope:None (fun _ -> true)
+
+let all_entries t =
+  Array.fold_left (fun acc b -> acc @ b.entries) t.pred.entries t.buckets
+
+let held t ~owner =
   List.filter_map
     (fun e -> if e.owner = owner then Some (e.req, e.tag) else None)
-    table.entries
+    (all_entries t)
 
-let owners table =
-  List.sort_uniq compare (List.map (fun e -> e.owner) table.entries)
+let owners t =
+  List.sort_uniq compare (List.map (fun e -> e.owner) (all_entries t))
 
-let is_empty table = table.entries = []
+let is_empty t = all_entries t = []
 
-let pp ppf table =
+let pp ppf t =
   Fmt.pf ppf "%a"
     Fmt.(
       list ~sep:sp (fun ppf e ->
           Fmt.pf ppf "T%d:%a" e.owner pp_request e.req))
-    table.entries
+    (all_entries t)

@@ -4,7 +4,15 @@
     Read predicate lock whenever the write affects the predicate.
 
     Durations are the caller's policy (Table 2), expressed as tags for
-    bulk release. *)
+    bulk release.
+
+    The table can be {e striped}: item locks are partitioned into
+    [stripes] buckets by key hash ({!Storage.Shard.of_key}); predicate
+    locks live in one dedicated bucket. The table takes no locks itself —
+    a striped caller must hold the stripe mutexes covering the buckets an
+    operation touches (see the runtime's pool for the discipline). With
+    the default single stripe every operation touches one item bucket and
+    the table behaves exactly as before striping. *)
 
 type key = History.Action.key
 type value = History.Action.value
@@ -33,7 +41,22 @@ type tag =
 
 type t
 
-val create : unit -> t
+val create : ?stripes:int -> ?audit:bool -> unit -> t
+(** [create ~stripes ~audit ()] makes a table with [max 1 stripes] item
+    buckets (default 1). [~audit:false] disables the {!events} audit log,
+    whose single shared list would otherwise serialize striped callers;
+    counters and hooks still fire. *)
+
+val stripes : t -> int
+
+val bucket_of_key : t -> key -> int
+(** The item bucket a key's locks live in — {!Storage.Shard.of_key} over
+    this table's stripe count. *)
+
+val pred_bucket : t -> int
+(** The index naming the predicate bucket in release scopes: [stripes t],
+    one past the last item bucket — mirroring the runtime's convention
+    that the predicate stripe is the last, highest-ordered stripe. *)
 
 (** The audit log: every grant and release, in order. *)
 type event =
@@ -71,8 +94,17 @@ val acquire : t -> owner:txn -> tag:tag -> request -> verdict
     conflict, report the blockers. Locks already held by the owner that
     cover the request are promoted rather than duplicated. *)
 
-val release : t -> owner:txn -> tag:tag -> unit
+val release : ?scope:int list -> t -> owner:txn -> tag:tag -> unit
+(** Drop the owner's entries carrying [tag]. [?scope] restricts the
+    release to the named buckets (item bucket indices and/or
+    [pred_bucket]); a striped caller must scope step-local releases to
+    buckets whose stripes it holds. [None] (the default) sweeps every
+    bucket. *)
+
 val release_all : t -> owner:txn -> unit
+(** Drop every entry of the owner, across all buckets — end of
+    transaction; a striped caller runs this with every stripe held. *)
+
 val held : t -> owner:txn -> (request * tag) list
 val owners : t -> txn list
 val is_empty : t -> bool

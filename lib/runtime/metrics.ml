@@ -28,6 +28,12 @@ type t = {
   cwait_hist : int Atomic.t array;
   cwait_sum_ns : Stripes.Counter.t;
   retry_overhead_ns : Stripes.Counter.t;
+  (* Striped-execution observability: per-stripe acquisition counts and
+     how many of those acquisitions found the stripe mutex held (a failed
+     try_lock). One atomic pair per stripe — a worker increments only the
+     stripes it acquires, so there is no shared hot cell. *)
+  stripe_acquired : int Atomic.t array;
+  stripe_contended : int Atomic.t array;
   mutable started_at : float;
   mutable stopped_at : float;
 }
@@ -52,7 +58,8 @@ let abort_reason_slug = function
   | Engine.Serialization_failure -> "serialization_failure"
   | Engine.Too_late -> "too_late"
 
-let create () =
+let create ?(stripes = 1) () =
+  let nstripes = max 1 stripes + 1 (* + the predicate stripe *) in
   {
     committed = Stripes.Counter.create ();
     aborted = Array.init (Array.length reasons) (fun _ -> Stripes.Counter.create ());
@@ -70,6 +77,8 @@ let create () =
     cwait_hist = Array.init buckets (fun _ -> Atomic.make 0);
     cwait_sum_ns = Stripes.Counter.create ();
     retry_overhead_ns = Stripes.Counter.create ();
+    stripe_acquired = Array.init nstripes (fun _ -> Atomic.make 0);
+    stripe_contended = Array.init nstripes (fun _ -> Atomic.make 0);
     started_at = 0.;
     stopped_at = 0.;
   }
@@ -103,6 +112,12 @@ let record_abort t reason = Stripes.Counter.incr t.aborted.(reason_index reason)
 let record_block t = Stripes.Counter.incr t.lock_waits
 let record_wait_ns t ns = Stripes.Counter.add t.wait_ns ns
 let record_retry t = Stripes.Counter.incr t.retries
+
+let record_stripe_acquire t i ~contended =
+  if i >= 0 && i < Array.length t.stripe_acquired then begin
+    ignore (Atomic.fetch_and_add t.stripe_acquired.(i) 1);
+    if contended then ignore (Atomic.fetch_and_add t.stripe_contended.(i) 1)
+  end
 let record_deadlock t = Stripes.Counter.incr t.deadlocks
 let record_stall t = Stripes.Counter.incr t.stalls
 let record_giveup t = Stripes.Counter.incr t.giveups
@@ -131,6 +146,10 @@ type snapshot = {
   lock_wait_p99_ms : float;
   lock_wait_mean_ms : float;
   retry_overhead_s : float;
+  stripe_acquired : int;
+  stripe_contended : int;
+  lock_stripe_contended : float;
+  stripe_detail : (int * int) array; (* per stripe: acquired, contended *)
 }
 
 (* Quantile from the histogram: the geometric midpoint of the first
@@ -151,6 +170,12 @@ let quantile hist total q =
 
 let snapshot (t : t) =
   let committed = Stripes.Counter.sum t.committed in
+  let stripe_acquired =
+    Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.stripe_acquired
+  in
+  let stripe_contended =
+    Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.stripe_contended
+  in
   let aborted_counts =
     Array.to_list
       (Array.mapi (fun i c -> (reasons.(i), Stripes.Counter.sum c)) t.aborted)
@@ -189,6 +214,15 @@ let snapshot (t : t) =
       (if committed = 0 then 0.
        else float (Stripes.Counter.sum t.cwait_sum_ns) /. float committed /. 1e6);
     retry_overhead_s = float (Stripes.Counter.sum t.retry_overhead_ns) /. 1e9;
+    stripe_acquired;
+    stripe_contended;
+    lock_stripe_contended =
+      (if stripe_acquired = 0 then 0.
+       else float stripe_contended /. float stripe_acquired);
+    stripe_detail =
+      Array.map2
+        (fun a c -> (Atomic.get a, Atomic.get c))
+        t.stripe_acquired t.stripe_contended;
   }
 
 let pp ppf s =
@@ -205,6 +239,9 @@ let pp ppf s =
     s.lock_wait_mean_ms s.retry_overhead_s s.lock_waits
     (float s.wait_ns /. 1e9)
     s.deadlocks s.stalls;
+  if s.stripe_acquired > 0 then
+    Fmt.pf ppf "@,stripes: %d acquisitions  %d contended  (ratio %.4f)"
+      s.stripe_acquired s.stripe_contended s.lock_stripe_contended;
   if s.aborted <> [] then begin
     Fmt.pf ppf "@,aborts by reason:";
     List.iter
@@ -251,5 +288,8 @@ let to_json ?(extra = []) s =
   field "lock_wait_p99_ms" (Printf.sprintf "%.4f" s.lock_wait_p99_ms);
   field "lock_wait_mean_ms" (Printf.sprintf "%.4f" s.lock_wait_mean_ms);
   field "retry_overhead_s" (Printf.sprintf "%.6f" s.retry_overhead_s);
+  field "stripe_acquired" (string_of_int s.stripe_acquired);
+  field "stripe_contended" (string_of_int s.stripe_contended);
+  field "lock_stripe_contended" (Printf.sprintf "%.6f" s.lock_stripe_contended);
   Buffer.add_char b '}';
   Buffer.contents b

@@ -9,7 +9,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?stripes:int -> unit -> t
+(** [stripes] (default 1) sizes the per-stripe acquisition counters: one
+    pair per key stripe plus one for the predicate stripe. *)
 
 val start : t -> unit
 (** Mark the wall-clock start of the measured run. *)
@@ -32,6 +34,10 @@ val record_wait_ns : t -> int -> unit
 
 val record_retry : t -> unit
 (** A transaction attempt aborted and will be restarted. *)
+
+val record_stripe_acquire : t -> int -> contended:bool -> unit
+(** Stripe [i] was acquired; [contended] means the mutex was held when
+    first tried ({!Stripes.acquire} returned [true]). *)
 
 val record_deadlock : t -> unit
 (** A waits-for cycle was broken by aborting a victim. *)
@@ -72,6 +78,15 @@ type snapshot = {
   lock_wait_mean_ms : float;
   retry_overhead_s : float;
       (** total wall time of failed attempts plus restart backoffs *)
+  stripe_acquired : int;  (** total stripe-mutex acquisitions *)
+  stripe_contended : int;  (** of those, how many found the mutex held *)
+  lock_stripe_contended : float;
+      (** contended / acquired — the striping health number: near 0 means
+          workers rarely meet on a stripe, near 1 means the stripe set
+          degenerated to a coarse latch *)
+  stripe_detail : (int * int) array;
+      (** per stripe (the last entry is the predicate stripe):
+          (acquired, contended) *)
 }
 
 val snapshot : t -> snapshot

@@ -120,9 +120,10 @@ type t = {
   cycle : History.Action.txn list option;
   phenomena : (P.t * int) list;
   witnesses : Detect.witness list;
+  window : int option;
 }
 
-let check ?(phenomena = P.all) h =
+let check_full ?(phenomena = P.all) h =
   let well_formed = History.well_formed h in
   let multiversion = History.Mv.is_mv h in
   let serializable, cycle =
@@ -152,7 +153,102 @@ let check ?(phenomena = P.all) h =
       (let anoms, pats = List.partition (fun (p, _) -> is_anomaly p) hits in
        let all = List.concat_map snd (anoms @ pats) in
        List.filteri (fun i _ -> i < max_display_witnesses) all);
+    window = None;
   }
+
+(* {2 Windowed checking}
+
+   The serializability tests and detectors are polynomial in history
+   size, so on long stress runs the post-run check dominates wall time.
+   A windowed check slides a window of [n] transactions (in completion
+   order, never-terminated ones last) with 50% overlap and checks each
+   projected subhistory in full, merging the verdicts. The result is a
+   sound *detector* but not a prover: every reported anomaly is real
+   (witnesses project intact into some window), while a dependency
+   cycle spanning more than a window apart can be missed — which the
+   [window] field records, so consumers can label the verdict. *)
+
+let completion_order h =
+  let terminated =
+    List.filter_map
+      (function (A.Commit t | A.Abort t) -> Some t | _ -> None)
+      h
+  in
+  terminated @ History.active h
+
+let merge_verdicts full verdicts =
+  let worst_wf =
+    List.fold_left
+      (fun acc v -> if acc = Ok () then v.well_formed else acc)
+      (Ok ()) verdicts
+  in
+  let serializable = List.for_all (fun v -> v.serializable) verdicts in
+  let cycle =
+    List.fold_left
+      (fun acc v -> if acc = None then v.cycle else acc)
+      None verdicts
+  in
+  (* Overlapping windows would double-count a witness pair; the merged
+     count per phenomenon is the max over windows — a lower bound on the
+     whole history's count. *)
+  let phenomena =
+    List.fold_left
+      (fun acc v ->
+        List.fold_left
+          (fun acc (p, n) ->
+            let cur = try List.assoc p acc with Not_found -> 0 in
+            (p, max cur n) :: List.remove_assoc p acc)
+          acc v.phenomena)
+      [] verdicts
+    |> List.sort compare
+  in
+  let witnesses =
+    let anoms, pats =
+      List.partition
+        (fun (w : Detect.witness) -> is_anomaly w.phenomenon)
+        (List.concat_map (fun v -> v.witnesses) verdicts)
+    in
+    List.filteri (fun i _ -> i < max_display_witnesses) (anoms @ pats)
+  in
+  {
+    actions = List.length full;
+    txns = List.length (History.txns full);
+    committed = List.length (History.committed full);
+    aborted = List.length (History.aborted full);
+    well_formed = worst_wf;
+    multiversion = List.exists (fun v -> v.multiversion) verdicts;
+    serializable;
+    cycle;
+    phenomena;
+    witnesses;
+    window = None;
+  }
+
+let check ?phenomena ?window h =
+  match window with
+  | None -> check_full ?phenomena h
+  | Some n ->
+    let n = max 2 n in
+    let order = completion_order h in
+    if List.length order <= n then
+      { (check_full ?phenomena h) with window = Some n }
+    else begin
+      let arr = Array.of_list order in
+      let total = Array.length arr in
+      let stride = max 1 (n / 2) in
+      let rec starts s acc =
+        if s + n >= total then List.rev ((total - n) :: acc)
+        else starts (s + stride) (s :: acc)
+      in
+      let verdicts =
+        List.map
+          (fun s ->
+            let tids = Array.to_list (Array.sub arr s n) in
+            check_full ?phenomena (History.project tids h))
+          (starts 0 [])
+      in
+      { (merge_verdicts h verdicts) with window = Some n }
+    end
 
 let anomalies t = List.filter (fun (p, _) -> is_anomaly p) t.phenomena
 let patterns t = List.filter (fun (p, _) -> not (is_anomaly p)) t.phenomena
@@ -162,6 +258,13 @@ let pattern_free t = clean t && t.phenomena = []
 let pp ppf t =
   Fmt.pf ppf "@[<v>oracle: %d actions, %d txns (%d committed, %d aborted)@,"
     t.actions t.txns t.committed t.aborted;
+  (match t.window with
+  | Some n ->
+    Fmt.pf ppf
+      "windowed: %d-txn sliding windows (anomalies sound; cross-window \
+       cycles may be missed)@,"
+      n
+  | None -> ());
   (match t.well_formed with
   | Ok () -> Fmt.pf ppf "well-formed: yes@,"
   | Error m -> Fmt.pf ppf "well-formed: NO (%s)@," m);
@@ -192,11 +295,16 @@ let to_json t =
     String.concat ","
       (List.map (fun (p, n) -> Printf.sprintf "%S:%d" (P.name p) n) ps)
   in
+  let windowed =
+    match t.window with
+    | Some n -> Printf.sprintf "\"windowed\":%d," n
+    | None -> ""
+  in
   Printf.sprintf
-    "{\"actions\":%d,\"txns\":%d,\"committed\":%d,\"aborted\":%d,\
+    "{%s\"actions\":%d,\"txns\":%d,\"committed\":%d,\"aborted\":%d,\
      \"well_formed\":%b,\"multiversion\":%b,\"serializable\":%b,\
      \"patterns\":{%s},\"anomalies\":{%s},\"clean\":%b,\"pattern_free\":%b}"
-    t.actions t.txns t.committed t.aborted
+    windowed t.actions t.txns t.committed t.aborted
     (t.well_formed = Ok ())
     t.multiversion t.serializable
     (obj (patterns t))

@@ -39,11 +39,24 @@ type t = {
           multiversion traces) *)
   witnesses : Phenomena.Detect.witness list;
       (** a few, anomalies first, for display *)
+  window : int option;
+      (** [Some n] — the verdict came from sliding [n]-transaction
+          windows, not the whole history: anomalies are sound (each
+          reported one is real), but dependency cycles spanning
+          transactions further than a window apart can be missed *)
 }
 
-val check : ?phenomena:Phenomena.Phenomenon.t list -> History.t -> t
+val check :
+  ?phenomena:Phenomena.Phenomenon.t list -> ?window:int -> History.t -> t
 (** [phenomena] restricts the detectors (they are polynomial in history
-    size; restrict for very large traces). Default: all. *)
+    size; restrict for very large traces). Default: all.
+
+    [window] slides a window of [max 2 n] transactions — completion
+    order, 50% overlap — over the history and merges the per-window
+    verdicts (phenomenon counts merge by max, so overlaps never
+    double-count a witness pair). Turns the post-run check from
+    polynomial in the whole run into polynomial in the window, at the
+    cost recorded in the result's [window] field. *)
 
 val anomalies : t -> (Phenomena.Phenomenon.t * int) list
 (** The phenomena that are anomalies proper (A1–A3, P4, P4C, A5A, A5B):

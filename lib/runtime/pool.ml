@@ -2,23 +2,52 @@
 
    Concurrency architecture, from the inside out:
 
-   - One engine instance, guarded by one coarse execution latch
-     (profiling note: the engines are single-threaded by design; striping
-     the latch by key hash requires first striping the lock table and
-     store, which is on the roadmap). Every Engine call happens inside
-     [locked].
+   - One engine instance, executed under *striped* mutual exclusion: a
+     stripe set of [n] key stripes (mutexes indexed by {!Storage.Shard}
+     key hash) plus one dedicated predicate stripe, ordered last. Before
+     an engine step the worker asks the engine for the op's footprint
+     ({!Core.Engine.footprint}) and acquires exactly the stripes it
+     names, in ascending index order — so point reads and writes of keys
+     in different shards run concurrently, while scans, commits, aborts
+     and everything the engine cannot localize acquire every stripe,
+     which is exactly the old coarse latch. Ascending acquisition makes
+     the stripe mutexes themselves deadlock-free; the ordering "key
+     stripe then predicate stripe" falls out because the predicate
+     stripe has the highest index.
 
-   - Workers never sleep while holding the latch. A step that comes back
-     [Blocked] releases the latch and backs off with capped exponential
-     jitter before retrying, so one transaction's lock wait costs only
-     its own worker.
+     Correctness invariants: every step holds at least one stripe; any
+     all-stripes holder (commit, abort, scan, the deadlock detector)
+     therefore excludes every step. Conflicting operations touch a
+     common key or the predicate bucket, so their stripe sets intersect
+     and they are totally ordered by a mutex — which is why the recorded
+     history orders every pair of conflicting actions exactly as they
+     executed. Non-conflicting actions may be recorded in either order;
+     both orders are correct linearizations.
 
-   - Deadlock handling mirrors the deterministic executor: a shared
-     waits-for table is updated under the latch on every blocked step,
-     and the youngest transaction of any cycle is aborted on the spot —
-     possibly by the worker of another transaction in the cycle. The
-     victim's worker observes the abort on its next step ([Finished])
-     and restarts the job under a fresh transaction id.
+     [coarse = true] (the bench's comparison baseline, and the automatic
+     mode for the single-threaded multiversion and timestamp engines)
+     degenerates the set to one key stripe with every footprint forced
+     to All: the unified code path then behaves exactly like the old
+     single latch.
+
+   - Workers never sleep while holding a stripe. A step that comes back
+     [Blocked] releases its stripes and backs off with capped
+     exponential jitter before retrying, so one transaction's lock wait
+     costs only its own worker.
+
+   - The waits-for table is sharded by transaction id, each shard under
+     its own small mutex. A blocked step publishes its edge while still
+     holding the step's stripes; a progressing step clears it the same
+     way. Deadlock detection is a detector pass run by the blocked
+     worker: a cheap snapshot of the shards first (no stripes), and only
+     if that sees a cycle does the worker take the detector mutex plus
+     every stripe, re-snapshot, and — since holding all stripes means no
+     step is in flight and every edge reflects a transaction's latest
+     completed step — a cycle confirmed there is real, and its youngest
+     (highest-id) member is aborted on the spot, possibly by the worker
+     of another transaction in the cycle. The victim's worker observes
+     the abort on its next step ([Finished]) and restarts the job under
+     a fresh transaction id.
 
    - Job dispatch is a lock-free ticket: Atomic.fetch_and_add over the
      job array (or the generator, for timed runs).
@@ -52,12 +81,15 @@ type config = {
   first_updater_wins : bool;
   next_key_locking : bool;
   update_locks : bool;
+  stripes : int;
+  coarse : bool;
   max_attempts : int;
   max_op_retries : int;
   think_us : float;
   backoff : Backoff.config;
   retry_backoff : Backoff.config;
   oracle_phenomena : Phenomena.Phenomenon.t list;
+  oracle_window : int option;
   seed : int;
   trace : Trace.Sink.t option;
 }
@@ -70,12 +102,15 @@ type config = {
 let default_retry_backoff =
   { Backoff.base_us = 200.; cap_us = 20_000.; multiplier = 2. }
 
+let default_stripes = 16
+
 let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(first_updater_wins = false) ?(next_key_locking = false)
-    ?(update_locks = false) ?(max_attempts = 64) ?(max_op_retries = 10_000)
-    ?(think_us = 0.) ?(backoff = Backoff.default)
-    ?(retry_backoff = default_retry_backoff)
-    ?(oracle_phenomena = Phenomena.Phenomenon.all) ?(seed = 1) ?trace () =
+    ?(update_locks = false) ?(stripes = default_stripes) ?(coarse = false)
+    ?(max_attempts = 64) ?(max_op_retries = 10_000) ?(think_us = 0.)
+    ?(backoff = Backoff.default) ?(retry_backoff = default_retry_backoff)
+    ?(oracle_phenomena = Phenomena.Phenomenon.all) ?oracle_window ?(seed = 1)
+    ?trace () =
   {
     workers = max 1 workers;
     initial;
@@ -84,12 +119,15 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     first_updater_wins;
     next_key_locking;
     update_locks;
+    stripes = max 1 stripes;
+    coarse;
     max_attempts = max 1 max_attempts;
     max_op_retries = max 1 max_op_retries;
     think_us = Float.max 0. think_us;
     backoff;
     retry_backoff;
     oracle_phenomena;
+    oracle_window;
     seed;
     trace;
   }
@@ -107,10 +145,24 @@ type result = {
 
 exception Stuck of string
 
+(* A waits-for shard: transaction ids hash here by [tid mod shards].
+   The shard mutex protects only the table's structure; the discipline
+   that makes the *contents* trustworthy is that edges are only mutated
+   while the owner holds its step's stripes (see the detector). *)
+type waits_shard = {
+  wm : Mutex.t;
+  tbl : (Action.txn, Action.txn list) Hashtbl.t;
+}
+
 type shared = {
   engine : Engine.t;
-  latch : Mutex.t;
-  waits : (Action.txn, Action.txn list) Hashtbl.t; (* guarded by latch *)
+  stripes : Stripes.t; (* nstripes key stripes + 1 predicate stripe *)
+  nstripes : int;      (* key stripes; the predicate stripe is index nstripes *)
+  all : int list;      (* the all-stripes plan, precomputed *)
+  coarse : bool;       (* force the All plan for every step *)
+  serial_aux : bool;   (* begin/status need the full stripe set (Mv/TO) *)
+  waits : waits_shard array;
+  detector : Mutex.t;  (* one confirm-and-break pass at a time *)
   next_tid : int Atomic.t;
   metrics : Metrics.t;
   recorder : Recorder.t;
@@ -120,30 +172,119 @@ type shared = {
 let emit sh ~tid kind =
   match sh.sink with None -> () | Some s -> Trace.Sink.emit s ~tid kind
 
-let locked sh f =
-  Mutex.lock sh.latch;
-  Fun.protect ~finally:(fun () -> Mutex.unlock sh.latch) f
-
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-(* Under the latch: record tid's waits-for edges and break any cycle by
-   aborting its youngest (highest-id, hence most recently started)
-   member. Returns [`Self_aborted] when the caller was the victim. *)
-let note_blocked sh tid holders =
-  Hashtbl.replace sh.waits tid holders;
+(* {2 Stripe plans}
+
+   A plan is the ascending list of stripe indices a step acquires. Key
+   stripes are [0 .. stripes - 1]; the predicate stripe is [stripes],
+   deliberately the highest index so "key stripes, then the predicate
+   stripe" is just ascending order. The empty-keys footprint still
+   claims stripe 0: every step must hold at least one stripe, or
+   all-stripes holders could not exclude it. *)
+let stripe_plan ~stripes (fp : Engine.footprint) =
+  match fp with
+  | Engine.All -> List.init (stripes + 1) Fun.id
+  | Engine.Keys { keys; pred } ->
+    let ks =
+      List.sort_uniq compare
+        (List.map (fun k -> Storage.Shard.of_key ~shards:stripes k) keys)
+    in
+    let plan = if pred then ks @ [ stripes ] else ks in
+    (match plan with [] -> [ 0 ] | plan -> plan)
+
+let all_plan sh = sh.all
+
+let plan_for sh tid op =
+  if sh.coarse then all_plan sh
+  else stripe_plan ~stripes:sh.nstripes (Engine.footprint sh.engine tid op)
+
+let acquire_plan sh ~tid plan =
+  List.iter
+    (fun i ->
+      let contended = Stripes.acquire sh.stripes i in
+      Metrics.record_stripe_acquire sh.metrics i ~contended;
+      if contended && sh.sink <> None then
+        emit sh ~tid (Trace.Event.Stripe_wait { stripe = i }))
+    plan
+
+let release_plan sh plan = List.iter (fun i -> Stripes.release sh.stripes i) plan
+
+(* {2 The sharded waits-for graph} *)
+
+let waits_shard sh tid = sh.waits.(tid mod Array.length sh.waits)
+
+let set_waiting sh tid holders =
+  let s = waits_shard sh tid in
+  Mutex.lock s.wm;
+  Hashtbl.replace s.tbl tid holders;
+  Mutex.unlock s.wm
+
+let clear_waiting sh tid =
+  let s = waits_shard sh tid in
+  Mutex.lock s.wm;
+  Hashtbl.remove s.tbl tid;
+  Mutex.unlock s.wm
+
+let snapshot_waits sh =
   let g = Digraph.create () in
-  Hashtbl.iter
-    (fun t hs -> List.iter (fun h -> Digraph.add_edge g t h) hs)
+  Array.iter
+    (fun s ->
+      Mutex.lock s.wm;
+      Hashtbl.iter
+        (fun t hs -> List.iter (fun h -> Digraph.add_edge g t h) hs)
+        s.tbl;
+      Mutex.unlock s.wm)
     sh.waits;
-  match Digraph.find_cycle g with
+  g
+
+(* The detector pass, run by a worker whose step just blocked (its edge
+   is already published). Phase 1 is cheap and racy: snapshot the shards
+   and look for a cycle while holding no stripes. Only a positive goes
+   to phase 2: take the detector mutex (skip if another worker is
+   already in — it will break any real cycle, including ours), then
+   every stripe. With all stripes held no step is in flight, so the
+   re-snapshot reflects each transaction's latest completed step; a
+   cycle in it is a real deadlock among transactions that are all
+   backing off, and aborting the youngest member is safe. Edges may
+   still be conservatively stale between a holder's release and the
+   waiter's next poll — exactly as under the old coarse latch, where a
+   broken "cycle" of that kind also cost one innocent restart. *)
+let try_break_deadlock sh tid =
+  match Digraph.find_cycle (snapshot_waits sh) with
   | None -> `Wait
-  | Some cycle ->
-    let victim = List.fold_left max min_int cycle in
-    Engine.abort_txn sh.engine victim;
-    Hashtbl.remove sh.waits victim;
-    Metrics.record_deadlock sh.metrics;
-    emit sh ~tid:victim (Trace.Event.Deadlock_victim { cycle });
-    if victim = tid then `Self_aborted else `Wait
+  | Some _ ->
+    if not (Mutex.try_lock sh.detector) then `Wait
+    else begin
+      let plan = all_plan sh in
+      acquire_plan sh ~tid plan;
+      let verdict =
+        match Digraph.find_cycle (snapshot_waits sh) with
+        | None -> `Wait
+        | Some cycle ->
+          let victim = List.fold_left max min_int cycle in
+          Engine.abort_txn sh.engine victim;
+          clear_waiting sh victim;
+          Metrics.record_deadlock sh.metrics;
+          emit sh ~tid:victim (Trace.Event.Deadlock_victim { cycle });
+          if victim = tid then `Self_aborted else `Wait
+      in
+      release_plan sh plan;
+      Mutex.unlock sh.detector;
+      verdict
+    end
+
+(* Begin/terminal-status calls on the striped locking engine are
+   internally synchronized (registry mutex, atomics) and run without
+   stripes; the multiversion and timestamp engines are single-threaded
+   throughout and get the full set. *)
+let with_aux_exclusion sh ~tid f =
+  if sh.serial_aux then begin
+    let plan = all_plan sh in
+    acquire_plan sh ~tid plan;
+    Fun.protect ~finally:(fun () -> release_plan sh plan) f
+  end
+  else f ()
 
 (* One attempt at a job: begin a fresh transaction, drive every
    operation through the engine (waiting out blocks), and report the
@@ -160,7 +301,7 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   emit sh ~tid
     (Trace.Event.Attempt_begin
        { job = jidx; name = job.name; attempt; level = Level.name job.level });
-  locked sh (fun () ->
+  with_aux_exclusion sh ~tid (fun () ->
       Engine.begin_txn ~read_only:job.read_only sh.engine tid ~level:job.level);
   Backoff.reset bo;
   let rec exec = function
@@ -169,25 +310,35 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
       let op_str = if traced then Fmt.str "%a" Program.pp_op op else "" in
       let rec attempt_op tries =
         emit sh ~tid (Trace.Event.Step_begin { op = op_str });
-        let outcome, hpos0, hpos1 =
-          locked sh (fun () ->
-              let h0 = Engine.trace_len sh.engine in
-              let o =
-                match Engine.step sh.engine tid op with
-                | Engine.Progress ->
-                  Hashtbl.remove sh.waits tid;
-                  `Progress
-                | Engine.Finished ->
-                  (* terminated from outside: deadlock victim *)
-                  Hashtbl.remove sh.waits tid;
-                  `Finished
-                | Engine.Blocked holders -> (
-                  Metrics.record_block sh.metrics;
-                  match note_blocked sh tid holders with
-                  | `Wait -> `Wait holders
-                  | `Self_aborted -> `Self_aborted holders)
-              in
-              (o, h0, Engine.trace_len sh.engine))
+        let plan = plan_for sh tid op in
+        acquire_plan sh ~tid plan;
+        let hpos0 = Engine.trace_len sh.engine in
+        let stepped =
+          match Engine.step sh.engine tid op with
+          | Engine.Progress ->
+            clear_waiting sh tid;
+            `Progress
+          | Engine.Finished ->
+            (* terminated from outside: deadlock victim *)
+            clear_waiting sh tid;
+            `Finished
+          | Engine.Blocked holders ->
+            Metrics.record_block sh.metrics;
+            (* Publish the edge while still holding the step's stripes:
+               the detector's all-stripes confirm pass then sees only
+               edges of completed steps. *)
+            set_waiting sh tid holders;
+            `Blocked holders
+        in
+        let hpos1 = Engine.trace_len sh.engine in
+        release_plan sh plan;
+        let outcome =
+          match stepped with
+          | (`Progress | `Finished) as o -> o
+          | `Blocked holders -> (
+            match try_break_deadlock sh tid with
+            | `Wait -> `Wait holders
+            | `Self_aborted -> `Self_aborted holders)
         in
         emit sh ~tid
           (Trace.Event.Step_end
@@ -204,19 +355,23 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
         match outcome with
         | `Progress ->
           Backoff.reset bo;
-          (* Think time between statements, slept outside the latch: the
-             gap during which other workers interleave — without it the
-             latch hand-off all but serializes short transactions. *)
+          (* Think time between statements, slept holding no stripes:
+             the gap during which other workers interleave — without it
+             the stripe hand-off all but serializes short transactions
+             on hot keys. *)
           if cfg.think_us > 0. && rest <> [] then
             Unix.sleepf (Random.State.float rng (2. *. cfg.think_us) /. 1e6);
           exec rest
         | `Finished | `Self_aborted _ -> ()
         | `Wait _ ->
           if tries >= cfg.max_op_retries then begin
-            (* Starvation safety valve: restart rather than wait forever. *)
-            locked sh (fun () ->
-                Engine.abort_txn sh.engine tid;
-                Hashtbl.remove sh.waits tid);
+            (* Starvation safety valve: restart rather than wait forever.
+               The abort touches everything, so it takes every stripe. *)
+            let plan = all_plan sh in
+            acquire_plan sh ~tid plan;
+            Engine.abort_txn sh.engine tid;
+            clear_waiting sh tid;
+            release_plan sh plan;
             Metrics.record_stall sh.metrics;
             emit sh ~tid Trace.Event.Stall_restart
           end
@@ -233,10 +388,11 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
       attempt_op 0
   in
   exec ops;
+  (* The entry is already cleared by the last step; this sweep only
+     covers defensive corner cases (e.g. a program ending mid-wait). *)
+  clear_waiting sh tid;
   let status =
-    locked sh (fun () ->
-        Hashtbl.remove sh.waits tid;
-        Engine.status sh.engine tid)
+    with_aux_exclusion sh ~tid (fun () -> Engine.status sh.engine tid)
   in
   let finish_ns = now_ns () in
   let outcome =
@@ -304,9 +460,17 @@ let worker sh cfg ~next_job widx =
   in
   loop ()
 
-let run_with cfg ~family ~next_job =
+let run_with (cfg : config) ~family ~next_job =
+  (* Only the locking engine is striped; the multiversion and timestamp
+     engines stay single-threaded and run every step (and begin/status)
+     under the full stripe set — behaviorally the old coarse latch.
+     [cfg.coarse] forces the same degenerate shape onto the locking
+     engine for baseline comparison. *)
+  let striped = family = `Locking && not cfg.coarse in
+  let nstripes = if striped then cfg.stripes else 1 in
   let engine =
     Engine.create ~initial:cfg.initial ~predicates:cfg.predicates
+      ~stripes:nstripes ~audit:false
       ~first_updater_wins:cfg.first_updater_wins
       ~next_key_locking:cfg.next_key_locking ~update_locks:cfg.update_locks
       ~family ()
@@ -314,23 +478,32 @@ let run_with cfg ~family ~next_job =
   let sh =
     {
       engine;
-      latch = Mutex.create ();
-      waits = Hashtbl.create 64;
+      stripes = Stripes.create (nstripes + 1);
+      nstripes;
+      all = List.init (nstripes + 1) Fun.id;
+      coarse = not striped;
+      serial_aux = family <> `Locking;
+      waits =
+        Array.init
+          (max 1 cfg.workers)
+          (fun _ -> { wm = Mutex.create (); tbl = Hashtbl.create 8 });
+      detector = Mutex.create ();
       next_tid = Atomic.make 1;
-      metrics = Metrics.create ();
+      metrics = Metrics.create ~stripes:nstripes ();
       recorder = Recorder.create ~stripes:cfg.workers ();
       sink = cfg.trace;
     }
   in
   (* Lock traffic reaches the trace through the engine's observation
-     hook; it fires under the latch on the calling worker's domain, so
-     the DLS ring binding routes it correctly. *)
+     hook; it fires inside a step — so under the step's stripes — on the
+     calling worker's domain, and the DLS ring binding routes it
+     correctly. *)
   (match cfg.trace with
   | None -> ()
   | Some s ->
-    (* The hook runs under the latch: build the label by concatenation
-       (same shape as {!Locking.Lock_table.pp_request}) rather than
-       going through a formatter there. *)
+    (* The hook runs inside the stripe critical section: build the label
+       by concatenation (same shape as {!Locking.Lock_table.pp_request})
+       rather than going through a formatter there. *)
     let req_label = function
       | Locking.Lock_table.Read_item k -> "S(" ^ k ^ ")"
       | Locking.Lock_table.Update_item k -> "U(" ^ k ^ ")"
@@ -371,7 +544,9 @@ let run_with cfg ~family ~next_job =
     final = Engine.final_state engine;
     metrics = Metrics.snapshot sh.metrics;
     journal = Recorder.entries sh.recorder;
-    oracle = Oracle.check ~phenomena:cfg.oracle_phenomena history;
+    oracle =
+      Oracle.check ~phenomena:cfg.oracle_phenomena ?window:cfg.oracle_window
+        history;
     lock_stats = Engine.lock_stats engine;
     events;
     events_dropped;

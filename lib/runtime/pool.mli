@@ -3,14 +3,27 @@
 
     N workers pull jobs (a transaction program plus its isolation level)
     from a shared lock-free queue and execute them against a single
-    engine instance. Engine steps are serialized by one coarse execution
-    latch — the engines themselves are single-threaded — but everything
-    around the latch is parallel: blocked transactions sleep *outside*
-    it with capped exponential backoff, so lock waits in the engine
-    never idle the other workers, and the interleavings are whatever the
-    scheduler produces. A shared waits-for graph detects deadlocks; the
-    youngest transaction in a cycle is aborted and its job restarted
-    under a fresh transaction id. Aborted attempts (deadlock victim,
+    engine instance. Mutual exclusion is *striped*: the engine's keys
+    hash onto [stripes] key stripes (the same {!Storage.Shard} map the
+    sharded store and lock table use), with one extra stripe — ordered
+    last — dedicated to predicate locks. Before each engine step the
+    worker asks the engine for the operation's footprint
+    ({!Core.Engine.footprint}) and takes exactly the stripes it names,
+    in ascending index order, so steps on keys in different shards run
+    concurrently while scans, commits and aborts take every stripe.
+    Conflicting steps always share a stripe, which is what keeps the
+    recorded history conflict-faithful (see {!field:result.history}).
+    [coarse = true] collapses the set to a single latch through the same
+    code path; the single-threaded multiversion and timestamp engines
+    always run that way.
+
+    Blocked transactions sleep *outside* their stripes with capped
+    exponential backoff, so lock waits in the engine never idle the
+    other workers. The waits-for graph is sharded by transaction id; a
+    blocked worker runs a detector pass (cheap sharded snapshot, then a
+    confirm pass under every stripe) and the youngest transaction in a
+    confirmed cycle is aborted and its job restarted under a fresh
+    transaction id. Aborted attempts (deadlock victim,
     First-Committer-Wins, serialization failure, timestamp too-late) are
     retried up to an attempt budget.
 
@@ -39,13 +52,20 @@ type config = {
   first_updater_wins : bool;
   next_key_locking : bool;
   update_locks : bool;
+  stripes : int;
+      (** key stripes for the striped execution path (locking engines
+          only; plus one implicit predicate stripe). Default 16. *)
+  coarse : bool;
+      (** force the old coarse-latch behavior: one stripe, every
+          footprint treated as All. The comparison baseline for the
+          striped path. *)
   max_attempts : int;  (** attempt budget per job, >= 1 *)
   max_op_retries : int;
       (** blocked retries of one operation before the worker aborts its
           own transaction and restarts the job (starvation safety
           valve) *)
   think_us : float;
-      (** mean think time slept (outside the latch) between a
+      (** mean think time slept (holding no stripes) between a
           transaction's operations. 0 measures raw engine throughput, but
           then transactions are so short they rarely overlap; a realistic
           think time is what makes the stress contend. *)
@@ -57,15 +77,21 @@ type config = {
           meets the same contenders and deadlocks again. *)
   oracle_phenomena : Phenomena.Phenomenon.t list;
       (** detectors the post-run oracle applies *)
+  oracle_window : int option;
+      (** [Some n] runs the post-run oracle over sliding [n]-transaction
+          windows instead of the whole history (see {!Oracle.check}):
+          anomaly reports stay sound, whole-run serializability becomes
+          "no cycle within a window". For long stress runs where the
+          polynomial full check dominates wall time. *)
   seed : int;  (** seeds the per-worker backoff jitter *)
   trace : Trace.Sink.t option;
       (** flight recorder for the structured event trace. [None] (the
           default) costs one branch per instrumentation point; [Some]
           records the full transaction lifecycle — attempts, engine
           steps with their history-position ranges, lock traffic,
-          backoff sleeps, deadlock victims — into per-worker ring
-          buffers that overwrite their oldest events rather than ever
-          blocking a worker. *)
+          stripe contention, backoff sleeps, deadlock victims — into
+          per-worker ring buffers that overwrite their oldest events
+          rather than ever blocking a worker. *)
 }
 
 val config :
@@ -76,12 +102,15 @@ val config :
   ?first_updater_wins:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
+  ?stripes:int ->
+  ?coarse:bool ->
   ?max_attempts:int ->
   ?max_op_retries:int ->
   ?think_us:float ->
   ?backoff:Backoff.config ->
   ?retry_backoff:Backoff.config ->
   ?oracle_phenomena:Phenomena.Phenomenon.t list ->
+  ?oracle_window:int ->
   ?seed:int ->
   ?trace:Trace.Sink.t ->
   unit ->
@@ -89,8 +118,11 @@ val config :
 
 type result = {
   history : History.t;
-      (** the engine trace of the whole run — a true linearization, since
-          every step executed under the execution latch *)
+      (** the engine trace of the whole run. Conflicting actions always
+          executed under a common stripe, so the trace orders every
+          conflicting pair exactly as it happened — a conflict-faithful
+          linearization (and under [coarse], where every step held the
+          single latch, a true one). *)
   final : (Action.key * Action.value) list;
   metrics : Metrics.snapshot;
   journal : Recorder.entry list;
@@ -106,6 +138,15 @@ type result = {
 exception Stuck of string
 (** Raised only on runtime bugs: a transaction left neither committed nor
     aborted after its program ran to completion. *)
+
+val default_stripes : int
+(** Key stripes used when [config] is not told otherwise (16). *)
+
+val stripe_plan : stripes:int -> Core.Engine.footprint -> int list
+(** The ascending stripe indices a step with the given footprint
+    acquires: key stripes [0 .. stripes - 1] via {!Storage.Shard.of_key},
+    the predicate stripe at index [stripes] (always last), at least one
+    stripe always. Exposed for tests; the pool uses exactly this plan. *)
 
 val run : config -> job array -> result
 (** Execute a fixed batch of jobs to completion. *)

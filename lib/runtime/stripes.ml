@@ -6,7 +6,25 @@ type t = Mutex.t array
 
 let create n = Array.init (max 1 n) (fun _ -> Mutex.create ())
 let size = Array.length
-let stripe_of_key t k = Hashtbl.hash k mod Array.length t
+
+(* The same key-to-stripe map the sharded store and the striped lock
+   table use — one hash, so "hold the key's stripe" covers the key's
+   store shard and lock bucket at once. *)
+let stripe_of_key t k = Storage.Shard.of_key ~shards:(Array.length t) k
+
+(* Acquire stripe [i], reporting whether the lock was contended: a failed
+   [try_lock] means another worker holds the stripe right now, which is
+   the signal the contention counters (and the [Stripe_wait] trace event)
+   want — cheap, and exact enough for a ratio. *)
+let acquire t i =
+  let m = t.(i) in
+  if Mutex.try_lock m then false
+  else begin
+    Mutex.lock m;
+    true
+  end
+
+let release t i = Mutex.unlock t.(i)
 
 let with_index t i f =
   let m = t.(((i mod Array.length t) + Array.length t) mod Array.length t) in

@@ -18,7 +18,15 @@ val create : int -> t
 val size : t -> int
 
 val stripe_of_key : t -> string -> int
-(** The stripe a key hashes to. *)
+(** The stripe a key hashes to — {!Storage.Shard.of_key}, the same map
+    the sharded store and striped lock table index by. *)
+
+val acquire : t -> int -> bool
+(** Lock stripe [i] (must be a valid index), returning [true] iff the
+    mutex was contended — i.e. a first [try_lock] failed and the caller
+    had to wait. Pair with {!release}. *)
+
+val release : t -> int -> unit
 
 val with_index : t -> int -> (unit -> 'a) -> 'a
 (** Run a function holding the stripe [i mod size]. *)

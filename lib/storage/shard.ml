@@ -1,0 +1,11 @@
+(* The one key-to-shard map every striped structure shares.
+
+   The runtime's stripe mutexes, the sharded store and the striped lock
+   table must all agree on which shard a key lives in: the pool acquires
+   the stripes an operation touches and the engine then reads and writes
+   only store shards and lock-table buckets with those indices. Keeping
+   the function here — the lowest layer all of them depend on — makes
+   that agreement structural rather than a convention. *)
+
+let of_key ~shards k =
+  if shards <= 1 then 0 else Hashtbl.hash (k : string) mod shards

@@ -1,0 +1,9 @@
+(** The canonical key-to-shard map shared by every striped structure:
+    the runtime's stripe mutexes, the sharded {!Store} and the striped
+    lock table all index by this function, which is what lets the pool
+    guarantee that an engine step only touches shards whose stripes it
+    holds. *)
+
+val of_key : shards:int -> string -> int
+(** [of_key ~shards k] is the shard index of [k] in [0 .. shards - 1]
+    ([0] when [shards <= 1]). *)

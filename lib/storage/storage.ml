@@ -4,6 +4,7 @@
 
 module Predicate = Predicate
 module Btree = Btree
+module Shard = Shard
 module Store = Store
 module Version_store = Version_store
 module Wal = Wal

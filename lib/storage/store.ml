@@ -3,46 +3,79 @@
    deletes are representable and predicate scans see exactly the present
    rows.
 
-   Backed by the B+ tree, so ordered scans and the successor queries that
-   next-key locking relies on are index operations, not sorts. *)
+   Backed by B+ trees, so ordered scans and the successor queries that
+   next-key locking relies on are index operations, not sorts.
+
+   The store is sharded by key hash ({!Shard.of_key}) so the multicore
+   runtime's striped execution can touch distinct keys concurrently:
+   point operations reach exactly one shard, which the caller protects
+   with that shard's stripe mutex, while cross-shard operations (scans,
+   successor queries, [to_list]) merge over every shard and are only
+   called with every stripe held. The default is one shard — the
+   single-threaded executor and the tests see exactly the old store. *)
 
 type key = History.Action.key
 type value = History.Action.value
 
-type t = value Btree.t
+type t = value Btree.t array
 
-let create () : t = Btree.create ()
+let create ?(shards = 1) () : t =
+  Array.init (max 1 shards) (fun _ -> Btree.create ())
 
-let of_list rows =
-  let s = create () in
-  List.iter (fun (k, v) -> Btree.insert s k v) rows;
+let shards (s : t) = Array.length s
+let shard_of_key (s : t) k = Shard.of_key ~shards:(Array.length s) k
+let tree (s : t) k = s.(shard_of_key s k)
+
+let of_list ?shards rows =
+  let s = create ?shards () in
+  List.iter (fun (k, v) -> Btree.insert (tree s k) k v) rows;
   s
 
-let get (s : t) k = Btree.find s k
-let mem (s : t) k = Btree.mem s k
-let put (s : t) k v = Btree.insert s k v
-let delete (s : t) k = ignore (Btree.remove s k)
+let get (s : t) k = Btree.find (tree s k) k
+let mem (s : t) k = Btree.mem (tree s k) k
+let put (s : t) k v = Btree.insert (tree s k) k v
+let delete (s : t) k = ignore (Btree.remove (tree s k) k)
 
 (* Restore a row to a previous state, as undo does: [None] removes it. *)
 let restore (s : t) k = function
   | None -> delete s k
   | Some v -> put s k v
 
-let to_list (s : t) = Btree.to_list s
+(* Merge the shards' sorted bindings into one sorted list. Point reads
+   never pay for this; only scans and snapshots do. *)
+let merge (lists : (key * value) list list) =
+  match lists with
+  | [ one ] -> one
+  | lists -> List.sort (fun (a, _) (b, _) -> compare a b) (List.concat lists)
+
+let to_list (s : t) =
+  merge (Array.to_list (Array.map Btree.to_list s))
+
 let keys s = List.map fst (to_list s)
 
 (* The smallest present key greater than or equal to [k] — the "next key"
-   that gap (next-key) locking guards. *)
-let next_key_geq (s : t) k = Option.map fst (Btree.successor s k)
+   that gap (next-key) locking guards. With several shards, the global
+   successor is the least of the per-shard successors. *)
+let next_key_geq (s : t) k =
+  Array.fold_left
+    (fun best tree ->
+      match (best, Btree.successor tree k) with
+      | None, found -> Option.map fst found
+      | best, None -> best
+      | Some b, Some (k', _) -> Some (min b k'))
+    None s
 
 let scan (s : t) (p : Predicate.t) =
   (* Range predicates scan only their index range; others scan all. *)
-  match Predicate.range_bounds p with
-  | Some (lo, hi) ->
-    List.filter (fun (k, v) -> p.Predicate.satisfies k v) (Btree.range s ~lo ~hi)
-  | None -> List.filter (fun (k, v) -> p.Predicate.satisfies k v) (to_list s)
+  let per_shard tree =
+    match Predicate.range_bounds p with
+    | Some (lo, hi) ->
+      List.filter (fun (k, v) -> p.Predicate.satisfies k v) (Btree.range tree ~lo ~hi)
+    | None -> List.filter (fun (k, v) -> p.Predicate.satisfies k v) (Btree.to_list tree)
+  in
+  merge (Array.to_list (Array.map per_shard s))
 
-let copy (s : t) = Btree.copy s
+let copy (s : t) = Array.map Btree.copy s
 let equal (a : t) (b : t) = to_list a = to_list b
 
 let pp ppf s =

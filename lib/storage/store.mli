@@ -1,13 +1,30 @@
 (** Single-version store: the database a locking scheduler updates in
     place. Rows have explicit presence, so inserts, deletes and predicate
-    scans over present rows are all representable. *)
+    scans over present rows are all representable.
+
+    The store is sharded by key hash ({!Shard.of_key}): point operations
+    touch exactly the key's shard, so a striped caller that holds the
+    key's stripe mutex can run them concurrently with operations on other
+    shards. Cross-shard operations ([scan], [next_key_geq], [to_list],
+    [keys], [equal], [pp]) read every shard and must only run with every
+    stripe held. With the default single shard the store behaves exactly
+    as before sharding. *)
 
 type key = History.Action.key
 type value = History.Action.value
 type t
 
-val create : unit -> t
-val of_list : (key * value) list -> t
+val create : ?shards:int -> unit -> t
+(** [create ~shards ()] makes a store with [max 1 shards] shards
+    (default 1). *)
+
+val of_list : ?shards:int -> (key * value) list -> t
+
+val shards : t -> int
+val shard_of_key : t -> key -> int
+(** The shard a key lives in — {!Shard.of_key} over this store's shard
+    count, shared with the runtime's stripe map. *)
+
 val get : t -> key -> value option
 val mem : t -> key -> bool
 val put : t -> key -> value -> unit

@@ -24,12 +24,25 @@ let pp_record ppf = function
   | Commit t -> Fmt.pf ppf "COMMIT(T%d)" t
   | Abort t -> Fmt.pf ppf "ABORT(T%d)" t
 
-type t = { mutable records : record list (* newest first *) }
+(* Appends are serialized by a private mutex: under striped execution,
+   transactions updating different shards log concurrently, and the WAL
+   is the one log they share. The critical section is a cons. *)
+type t = { mutable records : record list (* newest first *); m : Mutex.t }
 
-let create () = { records = [] }
-let append log r = log.records <- r :: log.records
-let records log = List.rev log.records
-let length log = List.length log.records
+let create () = { records = []; m = Mutex.create () }
+
+let append log r =
+  Mutex.lock log.m;
+  log.records <- r :: log.records;
+  Mutex.unlock log.m
+
+let records log =
+  Mutex.lock log.m;
+  let rs = log.records in
+  Mutex.unlock log.m;
+  List.rev rs
+
+let length log = List.length (records log)
 
 let committed log =
   List.filter_map (function Commit t -> Some t | _ -> None) (records log)

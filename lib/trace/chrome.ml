@@ -42,6 +42,7 @@ let name_of (e : Event.t) =
   | Event.Lock_conflict { req; _ } -> Printf.sprintf "T%d conflict %s" e.tid req
   | Event.Lock_release _ -> Printf.sprintf "T%d release" e.tid
   | Event.Lock_wait _ -> Printf.sprintf "T%d lock wait" e.tid
+  | Event.Stripe_wait { stripe } -> Printf.sprintf "T%d stripe %d wait" e.tid stripe
   | Event.Retry_backoff _ -> Printf.sprintf "T%d retry backoff" e.tid
   | Event.Deadlock_victim _ -> Printf.sprintf "T%d deadlock victim" e.tid
   | Event.Stall_restart -> Printf.sprintf "T%d stall" e.tid
@@ -58,7 +59,7 @@ let phase_of (e : Event.t) =
   | Event.Lock_wait { slept_ns } | Event.Retry_backoff { slept_ns; _ } ->
     `X slept_ns
   | Event.Lock_grant _ | Event.Lock_conflict _ | Event.Lock_release _
-  | Event.Deadlock_victim _ | Event.Stall_restart ->
+  | Event.Stripe_wait _ | Event.Deadlock_victim _ | Event.Stall_restart ->
     `I
 
 let event_to_json e =

@@ -25,6 +25,9 @@ type kind =
   | Lock_release of { count : int }
   | Lock_wait of { slept_ns : int }
       (* slept outside the latch after a Blocked step, before retrying *)
+  | Stripe_wait of { stripe : int }
+      (* found a stripe mutex held by another worker while acquiring the
+         step's stripe set (striped execution contention) *)
   | Retry_backoff of { slept_ns : int; next_attempt : int }
       (* slept between attempts after a system abort; attributed to the
          failed attempt's tid *)
@@ -46,6 +49,7 @@ let tag = function
   | Lock_conflict _ -> "lock_conflict"
   | Lock_release _ -> "lock_release"
   | Lock_wait _ -> "lock_wait"
+  | Stripe_wait _ -> "stripe_wait"
   | Retry_backoff _ -> "retry_backoff"
   | Deadlock_victim _ -> "deadlock"
   | Stall_restart -> "stall"
@@ -79,6 +83,7 @@ let pp_kind ppf = function
   | Lock_release { count } -> Fmt.pf ppf "released %d locks" count
   | Lock_wait { slept_ns } ->
     Fmt.pf ppf "lock wait %.1fus" (float slept_ns /. 1e3)
+  | Stripe_wait { stripe } -> Fmt.pf ppf "stripe %d contended" stripe
   | Retry_backoff { slept_ns; next_attempt } ->
     Fmt.pf ppf "retry backoff %.1fus before attempt %d"
       (float slept_ns /. 1e3)
@@ -133,6 +138,7 @@ let kind_args = function
       ("holders", ints holders) ]
   | Lock_release { count } -> [ ("count", Json.Int count) ]
   | Lock_wait { slept_ns } -> [ ("slept_ns", Json.Int slept_ns) ]
+  | Stripe_wait { stripe } -> [ ("stripe", Json.Int stripe) ]
   | Retry_backoff { slept_ns; next_attempt } ->
     [ ("slept_ns", Json.Int slept_ns); ("next_attempt", Json.Int next_attempt) ]
   | Deadlock_victim { cycle } -> [ ("cycle", ints cycle) ]
@@ -197,6 +203,7 @@ let of_args j =
                holders = get_ints "holders" j })
       | "lock_release" -> Some (Lock_release { count = get_int "count" j })
       | "lock_wait" -> Some (Lock_wait { slept_ns = get_int "slept_ns" j })
+      | "stripe_wait" -> Some (Stripe_wait { stripe = get_int "stripe" j })
       | "retry_backoff" ->
         Some
           (Retry_backoff

@@ -19,6 +19,9 @@ type kind =
   | Lock_release of { count : int }
   | Lock_wait of { slept_ns : int }
       (** slept outside the latch after a Blocked step *)
+  | Stripe_wait of { stripe : int }
+      (** found a stripe mutex held by another worker while acquiring the
+          step's stripe set (striped execution contention) *)
   | Retry_backoff of { slept_ns : int; next_attempt : int }
       (** slept between attempts; attributed to the failed attempt's tid *)
   | Deadlock_victim of { cycle : int list }

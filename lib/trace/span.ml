@@ -105,7 +105,8 @@ let of_events (events : Event.t list) =
           | Event.Deadlock_victim _ -> { s with deadlock_victim = true }
           | Event.Commit -> { s with outcome = Committed }
           | Event.Abort { reason } -> { s with outcome = Aborted reason }
-          | Event.Lock_grant _ | Event.Lock_release _ | Event.Stall_restart ->
+          | Event.Lock_grant _ | Event.Lock_release _ | Event.Stripe_wait _
+          | Event.Stall_restart ->
             s)
         init events)
     !order

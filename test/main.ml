@@ -33,5 +33,6 @@ let () =
       ("classify", Test_classify.suite);
       ("properties", Test_properties.suite);
       ("runtime", Test_runtime.suite);
+      ("striped", Test_striped.suite);
       ("trace", Test_trace.suite);
     ]
