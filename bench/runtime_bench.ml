@@ -199,6 +199,106 @@ let scaling () =
        ratio measures overhead parity, not scaling)\n";
   (rows, speedup)
 
+(* {2 Chaos smoke}
+
+   One cell under the chaos preset: SERIALIZABLE hotspot with faults at
+   every point class, a per-attempt deadline and the watchdog on, then
+   the two conservation checks — the final store equals the committed
+   WAL replay, and every crash point recovers to the ideal state. A
+   throughput row like the others, plus the robustness verdicts the
+   chaos machinery is accountable to. *)
+
+let chaos_txns = 96
+let chaos_rate = 0.08
+let chaos_deadline_us = 10_000.
+let chaos_watchdog_us = 5_000.
+
+type chaos_row = {
+  c_m : Metrics.snapshot;
+  c_clean : bool;
+  c_injected : (string * int) list;
+  c_effects_ok : bool;
+  c_crash : Fault.Crash.report option;
+}
+
+let run_chaos_cell () =
+  let gen i =
+    let p =
+      Generators.stress_program Generators.Hotspot ~seed ~accounts ~hot ~ops
+        ~index:i
+    in
+    Pool.job ~name:p.Core.Program.name ~level:L.Serializable p
+  in
+  let initial = Generators.bank_accounts accounts in
+  let plan =
+    Fault.Plan.chaos ~stall_us:(chaos_deadline_us /. 4.) ~rate:chaos_rate ~seed
+      ()
+  in
+  let cfg =
+    Pool.config ~workers ~initial ~think_us ~seed ~fault:plan
+      ~deadline_us:chaos_deadline_us ~watchdog_us:chaos_watchdog_us ()
+  in
+  let r = Pool.run cfg (Array.init chaos_txns gen) in
+  let initial_store = Storage.Store.of_list initial in
+  let effects_ok, crash =
+    match r.Pool.wal with
+    | None -> (false, None)
+    | Some wal ->
+      ( Storage.Store.equal
+          (Storage.Store.of_list r.Pool.final)
+          (Storage.Recovery.ideal_state ~initial:initial_store wal),
+        Some (Fault.Crash.enumerate ~initial:initial_store wal) )
+  in
+  {
+    c_m = r.Pool.metrics;
+    c_clean = Oracle.pattern_free r.Pool.oracle;
+    c_injected = Fault.Plan.injected plan;
+    c_effects_ok = effects_ok;
+    c_crash = crash;
+  }
+
+let chaos_row_json c =
+  let crash_json =
+    match c.c_crash with
+    | None -> "null"
+    | Some rep -> Fault.Crash.to_json rep
+  in
+  Printf.sprintf
+    "{\"level\":%S,\"mix\":\"hotspot\",\"workers\":%d,\"txns\":%d,\
+     \"fault_rate\":%g,\"deadline_us\":%.0f,\"txn_s\":%.1f,\
+     \"faults_injected\":%d,\"by_class\":{%s},\"deadline_exceeded\":%d,\
+     \"watchdog_kicks\":%d,\"oracle_clean\":%b,\"effects_ok\":%b,\
+     \"crash_points\":%s}"
+    (L.name L.Serializable) workers chaos_txns chaos_rate chaos_deadline_us
+    c.c_m.Metrics.throughput c.c_m.Metrics.faults_injected
+    (String.concat ","
+       (List.map (fun (k, n) -> Printf.sprintf "%S:%d" k n) c.c_injected))
+    c.c_m.Metrics.deadline_exceeded c.c_m.Metrics.watchdog_kicks c.c_clean
+    c.c_effects_ok crash_json
+
+let chaos () =
+  Printf.printf
+    "== chaos smoke: SERIALIZABLE hotspot, %d txns, fault rate %g, deadline \
+     %.0fus, watchdog %.0fus ==\n"
+    chaos_txns chaos_rate chaos_deadline_us chaos_watchdog_us;
+  let c = run_chaos_cell () in
+  Printf.printf
+    "  %9.0f txn/s  faults %d (%s)  deadline exceeded %d  watchdog %d\n"
+    c.c_m.Metrics.throughput c.c_m.Metrics.faults_injected
+    (String.concat ", "
+       (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) c.c_injected))
+    c.c_m.Metrics.deadline_exceeded c.c_m.Metrics.watchdog_kicks;
+  Printf.printf "  oracle %s | committed effects %s | crash points %s\n"
+    (if c.c_clean then "clean" else "DIRTY")
+    (if c.c_effects_ok then "conserved" else "LOST/DUPLICATED")
+    (match c.c_crash with
+    | None -> "n/a"
+    | Some rep ->
+      if Fault.Crash.ok rep then
+        Printf.sprintf "all %d recover" (rep.Fault.Crash.points + rep.Fault.Crash.torn_points)
+      else Printf.sprintf "%d UNSOUND" (List.length rep.Fault.Crash.failures));
+  c
+
 let runtime () =
   Printf.printf
     "== runtime: %d worker domains, %d txns/cell, %d accounts (%d hot), \
@@ -226,15 +326,17 @@ let runtime () =
       levels
   in
   let scaling_rows, speedup = scaling () in
+  let chaos_row = chaos () in
   let json =
     Printf.sprintf
       "{\"bench\":\"runtime\",\"rows\":[%s],\"scaling\":[%s],\
-       \"speedup_8w\":%.2f,\"cores\":%d,\"scaling_reps\":%d}\n"
+       \"speedup_8w\":%.2f,\"cores\":%d,\"scaling_reps\":%d,\"chaos\":%s}\n"
       (String.concat "," (List.map row_json rows))
       (String.concat "," (List.map scaling_row_json scaling_rows))
       speedup
       (Domain.recommended_domain_count ())
       scaling_reps
+      (chaos_row_json chaos_row)
   in
   Out_channel.with_open_text json_path (fun oc ->
       Out_channel.output_string oc json);

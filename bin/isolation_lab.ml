@@ -569,6 +569,363 @@ let stress_cmd =
       $ seed_arg $ fuw_arg $ stripes_arg $ coarse_arg $ oracle_window_arg
       $ json_arg $ trace_arg)
 
+(* {2 chaos — stress under deterministic fault injection} *)
+
+let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
+    coarse oracle_window faults stall_us deadline_ms watchdog_ms crash_points
+    json_path trace_path =
+  let mix =
+    match Workload.Generators.mix_of_string mix_name with
+    | Some m -> m
+    | None ->
+      Fmt.epr "unknown mix %S; available: %s@." mix_name
+        (String.concat ", "
+           (List.map Workload.Generators.mix_name Workload.Generators.all_mixes));
+      exit 1
+  in
+  if faults < 0. || faults > 1. then begin
+    Fmt.epr "--faults must be in [0, 1]@.";
+    exit 1
+  end;
+  let gen i =
+    let p =
+      Workload.Generators.stress_program mix ~seed ~accounts ~hot ~ops ~index:i
+    in
+    Runtime.Pool.job ~name:p.Core.Program.name ~level p
+  in
+  let sink =
+    match trace_path with
+    | None -> None
+    | Some _ -> Some (Trace.Sink.create ~workers:(max 1 workers) ())
+  in
+  let plan =
+    if faults <= 0. then None
+    else
+      (* Stalls must fit inside the deadline budget, or every stalled
+         attempt blows its deadline and the run never drains. *)
+      let stall_us =
+        match (stall_us, deadline_ms) with
+        | Some us, _ -> us
+        | None, Some d -> Float.min 2000. (d *. 1000. /. 4.)
+        | None, None -> 2000.
+      in
+      Some (Fault.Plan.chaos ~stall_us ~rate:faults ~seed ())
+  in
+  let initial = Workload.Generators.bank_accounts accounts in
+  let cfg =
+    Runtime.Pool.config ~workers ~initial ~first_updater_wins:fuw ~stripes
+      ~coarse ?oracle_window ~think_us:think ~seed ?trace:sink ?fault:plan
+      ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
+      ?watchdog_us:(Option.map (fun ms -> ms *. 1000.) watchdog_ms)
+      ()
+  in
+  Format.printf
+    "chaos: %d workers, level %s, mix %s, %d transactions, fault rate %g, \
+     %s deadline, %s watchdog, seed %d@."
+    cfg.Runtime.Pool.workers (L.name level)
+    (Workload.Generators.mix_name mix)
+    txns faults
+    (match deadline_ms with
+    | Some d -> Printf.sprintf "%.1fms" d
+    | None -> "no")
+    (match watchdog_ms with
+    | Some w -> Printf.sprintf "%.1fms" w
+    | None -> "no")
+    seed;
+  let r = Runtime.Pool.run cfg (Array.init txns gen) in
+  let m = r.Runtime.Pool.metrics in
+  Format.printf "%a@." Runtime.Metrics.pp m;
+  (match plan with
+  | Some p ->
+    Format.printf "faults injected: %d (%s)@." (Fault.Plan.total p)
+      (String.concat ", "
+         (List.map
+            (fun (k, n) -> Printf.sprintf "%s %d" k n)
+            (Fault.Plan.injected p)))
+  | None -> Format.printf "faults injected: none (rate 0)@.");
+  let oracle = r.Runtime.Pool.oracle in
+  Format.printf "%a@." Runtime.Oracle.pp oracle;
+  Format.printf "oracle verdict: %s@."
+    (if Runtime.Oracle.pattern_free oracle then
+       "CLEAN (no anomalies, no phenomenon patterns)"
+     else if Runtime.Oracle.clean oracle then
+       "CLEAN (serializable; pattern templates admitted, as a non-locking \
+        scheduler may)"
+     else if Runtime.Oracle.anomalies oracle = [] then
+       "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
+        templates)"
+     else "ANOMALIES DETECTED");
+  (* Conservation check: the surviving store must equal a replay of the
+     WAL's committed transactions over the initial state — no committed
+     effect lost, none duplicated, nothing from an aborted attempt. *)
+  let initial_store = Storage.Store.of_list initial in
+  let effects_ok =
+    match r.Runtime.Pool.wal with
+    | None -> None
+    | Some wal ->
+      let ideal = Storage.Recovery.ideal_state ~initial:initial_store wal in
+      let ok = Storage.Store.equal (Storage.Store.of_list r.Runtime.Pool.final) ideal in
+      Format.printf "committed effects: %s@."
+        (if ok then "CONSERVED (final state = committed WAL replay)"
+         else "LOST OR DUPLICATED (final state differs from committed WAL \
+               replay)");
+      Some ok
+  in
+  (* P0-free levels must recover at every crash point; a Degree 0 run
+     admitting dirty writes is *expected* to fail somewhere — that is the
+     paper's §3 argument made executable. *)
+  let p0_free = List.mem P.P0 (Isolation.Spec.forbidden level) in
+  let crash_report =
+    match (crash_points, r.Runtime.Pool.wal) with
+    | false, _ -> None
+    | true, None ->
+      Format.printf
+        "crash points: skipped (no WAL — %s runs on a non-locking engine)@."
+        (L.name level);
+      None
+    | true, Some wal ->
+      let report = Fault.Crash.enumerate ~initial:initial_store wal in
+      Format.printf "%a@." Fault.Crash.pp report;
+      if (not (Fault.Crash.ok report)) && not p0_free then
+        Format.printf
+          "  (expected: %s admits P0, so before-image undo is unsound — \
+           the paper's section 3 dilemma)@."
+          (L.name level);
+      Some report
+  in
+  (match trace_path with
+  | Some path ->
+    (match (sink, crash_report) with
+    | Some s, Some rep ->
+      Trace.Sink.emit_external s ~worker:0 ~tid:0
+        (Trace.Event.Crash_replay
+           {
+             points = rep.Fault.Crash.points + rep.Fault.Crash.torn_points;
+             torn = rep.Fault.Crash.torn_points;
+             failures = List.length rep.Fault.Crash.failures;
+           })
+    | _ -> ());
+    let events =
+      match sink with Some s -> Trace.Sink.events s | None -> r.Runtime.Pool.events
+    in
+    let tmeta =
+      Trace.Chrome.meta ~tool:"isolation_lab chaos" ~level:(L.name level)
+        ~mix:(Workload.Generators.mix_name mix) ~workers ~seed
+        ~history:(Trace.Render.history_line r.Runtime.Pool.history)
+        ~dropped:r.Runtime.Pool.events_dropped ()
+    in
+    Trace.Chrome.write_file path tmeta events;
+    Format.printf "trace: %d events (%d dropped) written to %s@."
+      (List.length events) r.Runtime.Pool.events_dropped path
+  | None -> ());
+  (match json_path with
+  | Some path ->
+    let fault_json =
+      match plan with
+      | None -> "{}"
+      | Some p ->
+        Printf.sprintf "{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, n) -> Printf.sprintf "%S:%d" k n)
+                (Fault.Plan.injected p)))
+    in
+    let chaos_json =
+      Printf.sprintf
+        "{\"fault_rate\":%g,\"faults_injected\":%d,\"by_class\":%s,\"deadline_exceeded\":%d,\"watchdog_kicks\":%d,\"effects_ok\":%s,\"crash_points\":%s}"
+        faults m.Runtime.Metrics.faults_injected fault_json
+        m.Runtime.Metrics.deadline_exceeded m.Runtime.Metrics.watchdog_kicks
+        (match effects_ok with
+        | Some b -> string_of_bool b
+        | None -> "null")
+        (match crash_report with
+        | Some rep -> Fault.Crash.to_json rep
+        | None -> "null")
+    in
+    let json =
+      Printf.sprintf
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s,\"chaos\":%s}"
+        (L.name level)
+        (Workload.Generators.mix_name mix)
+        workers
+        (Runtime.Metrics.to_json m)
+        (Runtime.Oracle.to_json oracle)
+        chaos_json
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc json;
+        Out_channel.output_string oc "\n");
+    Format.printf "metrics written to %s@." path
+  | None -> ());
+  (* Failure conditions: a serializable-level oracle violation, lost or
+     duplicated committed effects, or a crash point a P0-free level
+     failed to recover from. Degree 0 crash failures are the expected
+     finding, not an error. *)
+  let oracle_ok =
+    match level with
+    | L.Serializable -> Runtime.Oracle.pattern_free oracle
+    | L.Serializable_snapshot | L.Timestamp_ordering -> Runtime.Oracle.clean oracle
+    | _ -> true
+  in
+  let effects_fine = match effects_ok with Some false -> false | _ -> true in
+  let crash_fine =
+    match crash_report with
+    | Some rep when p0_free -> Fault.Crash.ok rep
+    | _ -> true
+  in
+  if not (oracle_ok && effects_fine && crash_fine) then exit 1
+
+let chaos_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "hotspot"
+      & info [ "m"; "mix" ] ~docv:"MIX"
+          ~doc:"Workload mix: transfer, hotspot, read-heavy, mixed.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "n"; "txns" ] ~docv:"N" ~doc:"Transactions to run.")
+  in
+  let accounts_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "accounts" ] ~docv:"N" ~doc:"Rows in the bank table.")
+  in
+  let hot_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "hot" ] ~docv:"N"
+          ~doc:"Size of the contended key set for the hotspot mix.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per mixed-mix transaction.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 100.
+      & info [ "think" ] ~docv:"MICROSECONDS"
+          ~doc:"Mean think time between a transaction's statements.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seeds the workload, the backoff jitter and every fault \
+             decision: the same seed injects the same faults at the same \
+             transactions regardless of interleaving.")
+  in
+  let fuw_arg =
+    Arg.(
+      value & flag
+      & info [ "first-updater-wins" ]
+          ~doc:"Use the First-Updater-Wins variant of Snapshot Isolation.")
+  in
+  let stripes_arg =
+    Arg.(
+      value & opt int Runtime.Pool.default_stripes
+      & info [ "stripes" ] ~docv:"N"
+          ~doc:"Key stripes for the striped execution path.")
+  in
+  let coarse_arg =
+    Arg.(
+      value & flag
+      & info [ "coarse" ] ~doc:"Serialize every engine step under one latch.")
+  in
+  let oracle_window_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "oracle-window" ] ~docv:"N"
+          ~doc:"Run the post-run oracle over sliding N-transaction windows.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:
+            "Fault rate in [0,1]: worker stalls and torn commits fire at \
+             RATE per injection point, spurious step failures and forced \
+             deadlock victims at RATE/2. 0 disables injection.")
+  in
+  let stall_us_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "stall-us" ] ~docv:"MICROSECONDS"
+          ~doc:
+            "Injected stall length. Default 2000, clamped to a quarter of \
+             the deadline so stalled attempts can still commit.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-attempt wall-clock budget: an attempt past it aborts \
+             itself gracefully and the job retries.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt (some float) (Some 25.)
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:
+            "Stuck-worker threshold for the watchdog domain (report-only). \
+             Default 25ms; pass 0 to disable.")
+  in
+  let crash_points_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-points" ]
+          ~doc:
+            "After the run, replay recovery at every WAL prefix and every \
+             torn mid-record tail, checking each crash image against the \
+             committed-only ideal state (locking engines).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write metrics, the oracle verdict and the chaos section \
+             (fault counts, effects conservation, crash-point report) as \
+             JSON.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the structured event trace — including fault_inject, \
+             deadline_exceeded, watchdog and crash_replay events — as \
+             Chrome trace_event JSON.")
+  in
+  let watchdog_term =
+    Term.(
+      const (fun w -> match w with Some t when t <= 0. -> None | w -> w)
+      $ watchdog_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Stress the engines under deterministic seeded fault injection — \
+          worker stalls, spurious failures, forced deadlock victims, torn \
+          WAL commits, transaction deadlines — then check that the oracle \
+          is clean, committed effects are conserved, and (with \
+          $(b,--crash-points)) recovery succeeds at every crash point.")
+    Term.(
+      const chaos $ workers_arg $ level_arg $ mix_arg $ txns_arg
+      $ accounts_arg $ hot_arg $ ops_arg $ think_arg $ seed_arg $ fuw_arg
+      $ stripes_arg $ coarse_arg $ oracle_window_arg $ faults_arg
+      $ stall_us_arg $ deadline_arg $ watchdog_term $ crash_points_arg
+      $ json_arg $ trace_arg)
+
 (* {2 explain — re-render a recorded trace} *)
 
 let explain file txn show_log limit =
@@ -741,6 +1098,7 @@ let main_cmd =
          "A laboratory for 'A Critique of ANSI SQL Isolation Levels' \
           (Berenson et al., SIGMOD 1995).")
     [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; stress_cmd;
-      explain_cmd; scenarios_cmd; histories_cmd; levels_cmd; figure_cmd ]
+      chaos_cmd; explain_cmd; scenarios_cmd; histories_cmd; levels_cmd;
+      figure_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -21,6 +21,8 @@ type abort_reason =
   | First_updater_wins
   | Serialization_failure
   | Too_late
+  | Fault_injected
+  | Deadline_exceeded
 
 let pp_abort_reason ppf = function
   | User_abort -> Fmt.string ppf "user abort"
@@ -29,6 +31,8 @@ let pp_abort_reason ppf = function
   | First_updater_wins -> Fmt.string ppf "first-updater-wins"
   | Serialization_failure -> Fmt.string ppf "serialization failure"
   | Too_late -> Fmt.string ppf "timestamp too late"
+  | Fault_injected -> Fmt.string ppf "fault injected"
+  | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
 
 type status = Active | Committed | Aborted of abort_reason
 
@@ -91,6 +95,8 @@ let lift_lock_status = function
   | Lock_engine.Committed -> Committed
   | Lock_engine.Aborted Lock_engine.User_abort -> Aborted User_abort
   | Lock_engine.Aborted Lock_engine.Deadlock_victim -> Aborted Deadlock_victim
+  | Lock_engine.Aborted Lock_engine.Fault_injected -> Aborted Fault_injected
+  | Lock_engine.Aborted Lock_engine.Deadline_exceeded -> Aborted Deadline_exceeded
 
 let lift_mv_status = function
   | Mv_engine.Active -> Active
@@ -100,6 +106,8 @@ let lift_mv_status = function
   | Mv_engine.Aborted Mv_engine.First_committer_wins -> Aborted First_committer_wins
   | Mv_engine.Aborted Mv_engine.First_updater_wins -> Aborted First_updater_wins
   | Mv_engine.Aborted Mv_engine.Serialization_failure -> Aborted Serialization_failure
+  | Mv_engine.Aborted Mv_engine.Fault_injected -> Aborted Fault_injected
+  | Mv_engine.Aborted Mv_engine.Deadline_exceeded -> Aborted Deadline_exceeded
 
 let lift_to_status = function
   | To_engine.Active -> Active
@@ -107,6 +115,8 @@ let lift_to_status = function
   | To_engine.Aborted To_engine.User_abort -> Aborted User_abort
   | To_engine.Aborted To_engine.Deadlock_victim -> Aborted Deadlock_victim
   | To_engine.Aborted To_engine.Too_late -> Aborted Too_late
+  | To_engine.Aborted To_engine.Fault_injected -> Aborted Fault_injected
+  | To_engine.Aborted To_engine.Deadline_exceeded -> Aborted Deadline_exceeded
 
 let status t tid =
   match t with
@@ -153,11 +163,45 @@ let stripes = function
   | Locking e -> Lock_engine.stripes e
   | Mv _ | Timestamp _ -> 1
 
-let abort_txn t tid =
+(* Externally-initiated aborts carry the reasons the runtime can decide
+   on its own: deadlock victim (the default), an injected fault, or a
+   blown deadline. Engine-internal reasons (first-committer-wins, ...)
+   only arise from the engines themselves. *)
+let abort_txn ?(reason = Deadlock_victim) t tid =
   match t with
-  | Locking e -> Lock_engine.abort_txn e tid ~reason:Lock_engine.Deadlock_victim
-  | Mv e -> Mv_engine.abort_txn e tid ~reason:Mv_engine.Deadlock_victim
-  | Timestamp e -> To_engine.abort_txn e tid ~reason:To_engine.Deadlock_victim
+  | Locking e ->
+    let reason =
+      match reason with
+      | Deadlock_victim -> Lock_engine.Deadlock_victim
+      | Fault_injected -> Lock_engine.Fault_injected
+      | Deadline_exceeded -> Lock_engine.Deadline_exceeded
+      | User_abort -> Lock_engine.User_abort
+      | _ ->
+        invalid_arg "Engine.abort_txn: reason is internal to an engine"
+    in
+    Lock_engine.abort_txn e tid ~reason
+  | Mv e ->
+    let reason =
+      match reason with
+      | Deadlock_victim -> Mv_engine.Deadlock_victim
+      | Fault_injected -> Mv_engine.Fault_injected
+      | Deadline_exceeded -> Mv_engine.Deadline_exceeded
+      | User_abort -> Mv_engine.User_abort
+      | _ ->
+        invalid_arg "Engine.abort_txn: reason is internal to an engine"
+    in
+    Mv_engine.abort_txn e tid ~reason
+  | Timestamp e ->
+    let reason =
+      match reason with
+      | Deadlock_victim -> To_engine.Deadlock_victim
+      | Fault_injected -> To_engine.Fault_injected
+      | Deadline_exceeded -> To_engine.Deadline_exceeded
+      | User_abort -> To_engine.User_abort
+      | _ ->
+        invalid_arg "Engine.abort_txn: reason is internal to an engine"
+    in
+    To_engine.abort_txn e tid ~reason
 
 let trace = function
   | Locking e -> Lock_engine.trace e
@@ -174,6 +218,14 @@ let set_lock_hook t f =
   | Locking e -> Lock_engine.set_lock_hook e f
   | Mv e -> Mv_engine.set_lock_hook e f
   | Timestamp _ -> ()
+
+(* Torn-commit injection needs a WAL, so only the locking engine has the
+   hook; for the other families installing it is a no-op (their fault
+   plans still stall/fail/victimize steps). *)
+let set_tear_hook t f =
+  match t with
+  | Locking e -> Lock_engine.set_tear_hook e f
+  | Mv _ | Timestamp _ -> ()
 
 let final_state = function
   | Locking e -> Lock_engine.final_state e

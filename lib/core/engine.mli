@@ -21,6 +21,10 @@ type abort_reason =
   | Too_late
       (** a timestamp-ordering operation arrived against a younger
           transaction's access *)
+  | Fault_injected
+      (** injected by a fault plan: spurious step failure or torn
+          commit *)
+  | Deadline_exceeded  (** the transaction ran past its deadline *)
 
 val pp_abort_reason : abort_reason Fmt.t
 
@@ -99,9 +103,12 @@ val status : t -> txn -> status
 val env : t -> txn -> Program.env
 val step : t -> txn -> Program.op -> step_outcome
 
-val abort_txn : t -> txn -> unit
-(** Abort an active transaction as a deadlock victim; no-op if already
-    terminated. *)
+val abort_txn : ?reason:abort_reason -> t -> txn -> unit
+(** Abort an active transaction from outside its program; no-op if
+    already terminated. [reason] defaults to [Deadlock_victim]; the
+    runtime also passes [Fault_injected], [Deadline_exceeded] or
+    [User_abort]. @raise Invalid_argument for engine-internal reasons
+    (first-committer-wins, ...). *)
 
 val trace : t -> History.t
 
@@ -116,6 +123,11 @@ val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
     holders, releases, upgrade flags). Locking engines hook their one
     table; multiversion engines hook the Read Consistency write-lock
     table; timestamp ordering has no locks and ignores the hook. *)
+
+val set_tear_hook : t -> (txn -> bool) -> unit
+(** Install the torn-commit fault hook (see
+    {!Lock_engine.set_tear_hook}). Torn commits need a WAL, so the hook
+    only bites on locking engines; elsewhere it is a no-op. *)
 
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t option

@@ -20,7 +20,11 @@ type txn = Action.txn
 type key = Action.key
 type value = Action.value
 
-type abort_reason = User_abort | Deadlock_victim
+type abort_reason =
+  | User_abort
+  | Deadlock_victim
+  | Fault_injected      (* injected by a fault plan (spurious failure, torn commit) *)
+  | Deadline_exceeded   (* transaction ran past its deadline *)
 
 type status = Active | Committed | Aborted of abort_reason
 
@@ -65,6 +69,11 @@ type t = {
   predicates : Predicate.t list; (* annotated on writes for the detectors *)
   next_key_locking : bool;       (* phantom guard ablation *)
   update_locks : bool;           (* U locks on for-update fetches (ablation) *)
+  (* Fault-injection hook consulted as the Commit record would be logged:
+     [true] means the simulated crash tore the record off the WAL tail,
+     so the transaction never committed and rolls back instead. Set once
+     before workers spawn; read on worker domains. *)
+  mutable tear_commit : (txn -> bool) option;
 }
 
 type step_outcome = Progress | Blocked of txn list | Finished
@@ -90,6 +99,7 @@ let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
     predicates;
     next_key_locking;
     update_locks;
+    tear_commit = None;
   }
 
 let emit t action =
@@ -392,22 +402,6 @@ let write_set t st =
       if List.mem_assoc k acc then acc else (k, Store.get t.store k) :: acc)
     [] st.undo
 
-let do_commit t st =
-  Wal.append t.wal (Wal.Commit st.tid);
-  (match write_set t st with
-  | [] -> ()
-  | writes ->
-    (* Atomic w.r.t. a beginner reading its snapshot timestamp: the bump
-       and the install publish together or not at all. *)
-    Mutex.lock t.reg_m;
-    t.commit_ts <- t.commit_ts + 1;
-    Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.commit_ts writes;
-    Mutex.unlock t.reg_m);
-  st.status <- Committed;
-  finish t st;
-  emit t (Action.commit st.tid);
-  Progress
-
 let rollback t st reason =
   (* Undo by restoring before-images, newest first, logging each restore
      as a compensation update so crash recovery can replay it. *)
@@ -422,6 +416,32 @@ let rollback t st reason =
   st.status <- Aborted reason;
   finish t st;
   emit t (Action.abort st.tid)
+
+let do_commit t st =
+  match t.tear_commit with
+  | Some tear when tear st.tid ->
+    (* The injected crash strikes as the Commit record is logged: the
+       record never became durable, so the transaction never committed.
+       Roll back with compensation — the same before-image undo a
+       recovery manager would run — and let the runtime retry the
+       attempt under a fresh tid. *)
+    rollback t st Fault_injected;
+    Progress
+  | _ ->
+  Wal.append t.wal (Wal.Commit st.tid);
+  (match write_set t st with
+  | [] -> ()
+  | writes ->
+    (* Atomic w.r.t. a beginner reading its snapshot timestamp: the bump
+       and the install publish together or not at all. *)
+    Mutex.lock t.reg_m;
+    t.commit_ts <- t.commit_ts + 1;
+    Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.commit_ts writes;
+    Mutex.unlock t.reg_m);
+  st.status <- Committed;
+  finish t st;
+  emit t (Action.commit st.tid);
+  Progress
 
 let do_abort t st reason =
   rollback t st reason;
@@ -531,3 +551,4 @@ let store t = t.store
 let lock_events t = Lock_table.events t.locks
 let lock_stats t = Lock_table.stats t.locks
 let set_lock_hook t f = Lock_table.set_hook t.locks f
+let set_tear_hook t f = t.tear_commit <- Some f

@@ -11,7 +11,13 @@ type txn = Action.txn
 type key = Action.key
 type value = Action.value
 
-type abort_reason = User_abort | Deadlock_victim
+type abort_reason =
+  | User_abort
+  | Deadlock_victim
+  | Fault_injected
+      (** injected by a fault plan: spurious step failure or torn commit *)
+  | Deadline_exceeded  (** the transaction ran past its deadline *)
+
 type status = Active | Committed | Aborted of abort_reason
 type step_outcome = Progress | Blocked of txn list | Finished
 
@@ -79,3 +85,10 @@ val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
 (** Install the lock table's observation hook (see
     {!Locking.Lock_table.set_hook}); the runtime's tracer uses it to put
     lock grants/conflicts/releases on per-transaction timelines. *)
+
+val set_tear_hook : t -> (txn -> bool) -> unit
+(** Install the torn-commit fault hook, consulted as the Commit record
+    would be logged. Returning [true] simulates a crash tearing the
+    record off the WAL tail: the transaction never committed — it rolls
+    back with compensation (status [Aborted Fault_injected]) and the
+    runtime retries the attempt. Install before workers spawn. *)

@@ -33,6 +33,8 @@ type abort_reason =
   | First_committer_wins
   | First_updater_wins
   | Serialization_failure (* SSI commit-time read validation *)
+  | Fault_injected        (* injected by a fault plan *)
+  | Deadline_exceeded     (* transaction ran past its deadline *)
 
 type status = Active | Committed | Aborted of abort_reason
 

@@ -24,6 +24,8 @@ type abort_reason =
   | First_updater_wins
   | Serialization_failure
       (** commit-time read validation failed (Serializable SI) *)
+  | Fault_injected  (** injected by a fault plan *)
+  | Deadline_exceeded  (** the transaction ran past its deadline *)
 
 type status = Active | Committed | Aborted of abort_reason
 type step_outcome = Progress | Blocked of txn list | Finished

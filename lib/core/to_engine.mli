@@ -17,7 +17,12 @@ type txn = Action.txn
 type key = Action.key
 type value = Action.value
 
-type abort_reason = User_abort | Deadlock_victim | Too_late
+type abort_reason =
+  | User_abort
+  | Deadlock_victim
+  | Too_late
+  | Fault_injected  (** injected by a fault plan *)
+  | Deadline_exceeded  (** the transaction ran past its deadline *)
 type status = Active | Committed | Aborted of abort_reason
 type step_outcome = Progress | Blocked of txn list | Finished
 

@@ -1,0 +1,30 @@
+(** Crash-point enumeration: replay before-image undo recovery at every
+    WAL prefix and every torn mid-record tail, checking each crash image
+    against the ideal state. Passes exhaustively for P0-free runs;
+    surfaces the paper's §3 restore-or-not dilemma as concrete failing
+    crash points when dirty writes were admitted (Degree 0). *)
+
+type failure = {
+  point : int;  (** durable records at the crash *)
+  torn : bool;  (** record [point] was torn mid-write *)
+  undone : Storage.Wal.txn list;  (** losers recovery rolled back *)
+}
+
+type report = {
+  records : int;  (** full log length *)
+  points : int;  (** clean prefixes checked: [records + 1] *)
+  torn_points : int;  (** torn tails checked: [records] *)
+  failures : failure list;
+}
+
+val enumerate : initial:Storage.Store.t -> Storage.Wal.t -> report
+(** Check all [2 * length + 1] crash images of [log]. O(n²) in the log
+    length; each per-prefix recovery is linear. *)
+
+val ok : report -> bool
+val pp_failure : failure Fmt.t
+val pp : report Fmt.t
+
+val to_json : report -> string
+(** One JSON object:
+    [{"records":..,"points":..,"torn_points":..,"ok":..,"failures":[..]}]. *)

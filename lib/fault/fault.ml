@@ -1,0 +1,10 @@
+(* Umbrella module of the [fault] library: deterministic seeded fault
+   plans consulted by the runtime, and crash-point recovery enumeration
+   over write-ahead logs. *)
+
+module Plan = Plan
+module Crash = Crash
+
+(* The injection-point API, re-exported at the umbrella for call sites
+   that read better as [Fault.point]. *)
+let point = Plan.point

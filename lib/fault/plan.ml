@@ -1,0 +1,121 @@
+(* Deterministic, seeded fault plans.
+
+   A plan decides, at every injection point the runtime consults, whether
+   to inject a fault and which one. Decisions are pure functions of
+   (seed, transaction id, step sequence): each consultation hashes its
+   coordinates instead of drawing from a shared PRNG, so the faults a
+   given transaction suffers do not depend on how the domains happened to
+   interleave — a rerun with the same seed and the same transaction ids
+   injects the same faults, no matter the schedule. Retried attempts run
+   under fresh transaction ids and therefore draw fresh decisions, which
+   is what lets a faulted workload eventually drain.
+
+   The per-class counters are the plan's own account of what it injected;
+   Runtime.Metrics counts the same events from the pool's side, and tests
+   compare the two views. *)
+
+type action =
+  | Stall of { us : float }  (* hold the worker mid-transaction *)
+  | Step_fail                (* spurious failure: abort, runtime retries *)
+  | Victim                   (* force a deadlock-victim abort *)
+  | Torn_commit              (* crash tears the Commit record off the WAL *)
+
+type site =
+  | Step of { seq : int }    (* before operation [seq] of the attempt *)
+  | Commit                   (* as the Commit record is logged *)
+
+type t = {
+  seed : int;
+  stall_rate : float;
+  stall_us : float;
+  step_fail_rate : float;
+  victim_rate : float;
+  torn_commit_rate : float;
+  stalls : int Atomic.t;
+  step_fails : int Atomic.t;
+  victims : int Atomic.t;
+  torn_commits : int Atomic.t;
+}
+
+let create ?(stall_rate = 0.) ?(stall_us = 2000.) ?(step_fail_rate = 0.)
+    ?(victim_rate = 0.) ?(torn_commit_rate = 0.) ~seed () =
+  let rate what r =
+    if r < 0. || r > 1. then
+      invalid_arg (Fmt.str "Fault.Plan.create: %s rate %g not in [0, 1]" what r)
+  in
+  rate "stall" stall_rate;
+  rate "step_fail" step_fail_rate;
+  rate "victim" victim_rate;
+  rate "torn_commit" torn_commit_rate;
+  {
+    seed;
+    stall_rate;
+    stall_us;
+    step_fail_rate;
+    victim_rate;
+    torn_commit_rate;
+    stalls = Atomic.make 0;
+    step_fails = Atomic.make 0;
+    victims = Atomic.make 0;
+    torn_commits = Atomic.make 0;
+  }
+
+(* The CLI's one-knob preset: [rate] drives every class, with victims and
+   spurious failures at half weight so stalls (the class deadlines and the
+   watchdog exist for) dominate. *)
+let chaos ?(stall_us = 2000.) ~rate ~seed () =
+  create ~stall_rate:rate ~stall_us ~step_fail_rate:(rate /. 2.)
+    ~victim_rate:(rate /. 2.) ~torn_commit_rate:rate ~seed ()
+
+(* Hashtbl.hash is a seeded MurmurHash over the structure; folding it to
+   [0, 1) gives an interleaving-independent uniform draw per coordinate.
+   The salt separates fault classes at the same site. *)
+let draw t ~tid ~seq ~salt =
+  float_of_int (Hashtbl.hash (t.seed, tid, seq, salt) land 0x3FFFFFFF)
+  /. 1073741824.
+
+let hit counter = Atomic.incr counter
+
+let point t ~tid site =
+  match site with
+  | Commit ->
+    if draw t ~tid ~seq:(-1) ~salt:3 < t.torn_commit_rate then begin
+      hit t.torn_commits;
+      Some Torn_commit
+    end
+    else None
+  | Step { seq } ->
+    if draw t ~tid ~seq ~salt:0 < t.stall_rate then begin
+      hit t.stalls;
+      Some (Stall { us = t.stall_us })
+    end
+    else if draw t ~tid ~seq ~salt:1 < t.step_fail_rate then begin
+      hit t.step_fails;
+      Some Step_fail
+    end
+    else if draw t ~tid ~seq ~salt:2 < t.victim_rate then begin
+      hit t.victims;
+      Some Victim
+    end
+    else None
+
+let injected t =
+  [
+    ("stall", Atomic.get t.stalls);
+    ("step_fail", Atomic.get t.step_fails);
+    ("victim", Atomic.get t.victims);
+    ("torn_commit", Atomic.get t.torn_commits);
+  ]
+
+let total t = List.fold_left (fun acc (_, n) -> acc + n) 0 (injected t)
+
+let klass = function
+  | Stall _ -> "stall"
+  | Step_fail -> "step_fail"
+  | Victim -> "victim"
+  | Torn_commit -> "torn_commit"
+
+let pp ppf t =
+  Fmt.pf ppf "faults[seed %d]: %a" t.seed
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+    (injected t)

@@ -1,0 +1,57 @@
+(** Deterministic, seeded fault plans.
+
+    A plan answers, at every injection point the runtime consults,
+    whether to fault and how. Decisions are pure functions of
+    [(seed, tid, site)] — hashed coordinates, not a shared PRNG — so
+    injected faults are reproducible under any thread interleaving.
+    Retried attempts carry fresh transaction ids and so draw fresh
+    decisions, letting a faulted workload drain through retry/backoff. *)
+
+type action =
+  | Stall of { us : float }
+      (** hold the worker mid-transaction for [us] microseconds *)
+  | Step_fail  (** spurious step failure: abort, runtime retries *)
+  | Victim  (** force a deadlock-victim abort *)
+  | Torn_commit
+      (** the crash tears the Commit record off the WAL tail: the
+          transaction rolls back and the attempt is retried *)
+
+type site =
+  | Step of { seq : int }  (** before operation [seq] of the attempt *)
+  | Commit  (** as the Commit record is logged *)
+
+type t
+
+val create :
+  ?stall_rate:float ->
+  ?stall_us:float ->
+  ?step_fail_rate:float ->
+  ?victim_rate:float ->
+  ?torn_commit_rate:float ->
+  seed:int ->
+  unit ->
+  t
+(** All rates default to [0.] (no injection); [stall_us] defaults to
+    [2000.]. Raises [Invalid_argument] for a rate outside [0, 1]. *)
+
+val chaos : ?stall_us:float -> rate:float -> seed:int -> unit -> t
+(** One-knob preset used by [isolation_lab chaos]: stalls and torn
+    commits at [rate], spurious failures and forced victims at
+    [rate /. 2]. *)
+
+val point : t -> tid:int -> site -> action option
+(** Consult the plan at an injection point. Deterministic in
+    [(seed, tid, site)]; bumps the per-class injected counter when it
+    fires. At a [Step] site the classes are tried in order stall,
+    step-fail, victim; a [Commit] site only ever yields
+    [Torn_commit]. *)
+
+val injected : t -> (string * int) list
+(** Per-class injected counts, in a stable order:
+    [stall; step_fail; victim; torn_commit]. *)
+
+val total : t -> int
+val klass : action -> string
+(** Stable slug naming the action's class. *)
+
+val pp : t Fmt.t

@@ -34,13 +34,21 @@ type t = {
      stripes it acquires, so there is no shared hot cell. *)
   stripe_acquired : int Atomic.t array;
   stripe_contended : int Atomic.t array;
+  (* Chaos counters: faults the plan actually injected, attempts that
+     blew their deadline, and watchdog sightings of a stuck worker. The
+     first two also show up as abort reasons; these count events, not
+     aborts (a stall injects a fault but aborts nothing). *)
+  faults_injected : Stripes.Counter.t;
+  deadline_exceeded : Stripes.Counter.t;
+  watchdog_kicks : Stripes.Counter.t;
   mutable started_at : float;
   mutable stopped_at : float;
 }
 
 let reasons =
   [| Engine.User_abort; Engine.Deadlock_victim; Engine.First_committer_wins;
-     Engine.First_updater_wins; Engine.Serialization_failure; Engine.Too_late |]
+     Engine.First_updater_wins; Engine.Serialization_failure; Engine.Too_late;
+     Engine.Fault_injected; Engine.Deadline_exceeded |]
 
 let reason_index = function
   | Engine.User_abort -> 0
@@ -49,6 +57,8 @@ let reason_index = function
   | Engine.First_updater_wins -> 3
   | Engine.Serialization_failure -> 4
   | Engine.Too_late -> 5
+  | Engine.Fault_injected -> 6
+  | Engine.Deadline_exceeded -> 7
 
 let abort_reason_slug = function
   | Engine.User_abort -> "user_abort"
@@ -57,6 +67,8 @@ let abort_reason_slug = function
   | Engine.First_updater_wins -> "first_updater_wins"
   | Engine.Serialization_failure -> "serialization_failure"
   | Engine.Too_late -> "too_late"
+  | Engine.Fault_injected -> "fault_injected"
+  | Engine.Deadline_exceeded -> "deadline_exceeded"
 
 let create ?(stripes = 1) () =
   let nstripes = max 1 stripes + 1 (* + the predicate stripe *) in
@@ -79,6 +91,9 @@ let create ?(stripes = 1) () =
     retry_overhead_ns = Stripes.Counter.create ();
     stripe_acquired = Array.init nstripes (fun _ -> Atomic.make 0);
     stripe_contended = Array.init nstripes (fun _ -> Atomic.make 0);
+    faults_injected = Stripes.Counter.create ();
+    deadline_exceeded = Stripes.Counter.create ();
+    watchdog_kicks = Stripes.Counter.create ();
     started_at = 0.;
     stopped_at = 0.;
   }
@@ -121,6 +136,9 @@ let record_stripe_acquire t i ~contended =
 let record_deadlock t = Stripes.Counter.incr t.deadlocks
 let record_stall t = Stripes.Counter.incr t.stalls
 let record_giveup t = Stripes.Counter.incr t.giveups
+let record_fault t = Stripes.Counter.incr t.faults_injected
+let record_deadline_exceeded t = Stripes.Counter.incr t.deadline_exceeded
+let record_watchdog t = Stripes.Counter.incr t.watchdog_kicks
 
 type snapshot = {
   committed : int;
@@ -150,6 +168,9 @@ type snapshot = {
   stripe_contended : int;
   lock_stripe_contended : float;
   stripe_detail : (int * int) array; (* per stripe: acquired, contended *)
+  faults_injected : int;
+  deadline_exceeded : int;
+  watchdog_kicks : int;
 }
 
 (* Quantile from the histogram: the geometric midpoint of the first
@@ -223,6 +244,9 @@ let snapshot (t : t) =
       Array.map2
         (fun a c -> (Atomic.get a, Atomic.get c))
         t.stripe_acquired t.stripe_contended;
+    faults_injected = Stripes.Counter.sum t.faults_injected;
+    deadline_exceeded = Stripes.Counter.sum t.deadline_exceeded;
+    watchdog_kicks = Stripes.Counter.sum t.watchdog_kicks;
   }
 
 let pp ppf s =
@@ -242,6 +266,10 @@ let pp ppf s =
   if s.stripe_acquired > 0 then
     Fmt.pf ppf "@,stripes: %d acquisitions  %d contended  (ratio %.4f)"
       s.stripe_acquired s.stripe_contended s.lock_stripe_contended;
+  if s.faults_injected > 0 || s.deadline_exceeded > 0 || s.watchdog_kicks > 0
+  then
+    Fmt.pf ppf "@,chaos: faults %d  deadline exceeded %d  watchdog kicks %d"
+      s.faults_injected s.deadline_exceeded s.watchdog_kicks;
   if s.aborted <> [] then begin
     Fmt.pf ppf "@,aborts by reason:";
     List.iter
@@ -291,5 +319,8 @@ let to_json ?(extra = []) s =
   field "stripe_acquired" (string_of_int s.stripe_acquired);
   field "stripe_contended" (string_of_int s.stripe_contended);
   field "lock_stripe_contended" (Printf.sprintf "%.6f" s.lock_stripe_contended);
+  field "faults_injected" (string_of_int s.faults_injected);
+  field "deadline_exceeded" (string_of_int s.deadline_exceeded);
+  field "watchdog_kicks" (string_of_int s.watchdog_kicks);
   Buffer.add_char b '}';
   Buffer.contents b

@@ -53,6 +53,15 @@ val record_retry_overhead_ns : t -> int -> unit
 (** Time charged to retrying: a failed attempt's whole wall time, or a
     restart backoff sleep between attempts. *)
 
+val record_fault : t -> unit
+(** The fault plan injected a fault (any class) at a consulted point. *)
+
+val record_deadline_exceeded : t -> unit
+(** An attempt ran past its deadline and aborted itself. *)
+
+val record_watchdog : t -> unit
+(** The watchdog saw a worker make no step progress past its threshold. *)
+
 type snapshot = {
   committed : int;
   aborted : (Core.Engine.abort_reason * int) list;  (** non-zero reasons *)
@@ -87,6 +96,10 @@ type snapshot = {
   stripe_detail : (int * int) array;
       (** per stripe (the last entry is the predicate stripe):
           (acquired, contended) *)
+  faults_injected : int;
+      (** fault-plan injections (events, not aborts: a stall counts) *)
+  deadline_exceeded : int;  (** attempts aborted for blowing the deadline *)
+  watchdog_kicks : int;  (** watchdog sightings of a stuck worker *)
 }
 
 val snapshot : t -> snapshot

@@ -92,6 +92,9 @@ type config = {
   oracle_window : int option;
   seed : int;
   trace : Trace.Sink.t option;
+  fault : Fault.Plan.t option;   (* seeded fault plan; None = no injection *)
+  deadline_us : float option;    (* per-attempt budget; abort + retry past it *)
+  watchdog_us : float option;    (* stuck-worker threshold; None = no watchdog *)
 }
 
 (* Restarting a whole transaction is costlier than re-polling one lock,
@@ -110,7 +113,7 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(max_attempts = 64) ?(max_op_retries = 10_000) ?(think_us = 0.)
     ?(backoff = Backoff.default) ?(retry_backoff = default_retry_backoff)
     ?(oracle_phenomena = Phenomena.Phenomenon.all) ?oracle_window ?(seed = 1)
-    ?trace () =
+    ?trace ?fault ?deadline_us ?watchdog_us () =
   {
     workers = max 1 workers;
     initial;
@@ -130,6 +133,9 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     oracle_window;
     seed;
     trace;
+    fault;
+    deadline_us;
+    watchdog_us;
   }
 
 type result = {
@@ -141,6 +147,7 @@ type result = {
   lock_stats : Locking.Lock_table.stats option;
   events : Trace.Event.t list;
   events_dropped : int;
+  wal : Storage.Wal.t option; (* the locking engine's log, for crash replay *)
 }
 
 exception Stuck of string
@@ -167,6 +174,12 @@ type shared = {
   metrics : Metrics.t;
   recorder : Recorder.t;
   sink : Trace.Sink.t option;
+  (* Per-worker heartbeats for the watchdog: the stamp of the worker's
+     last step entry (0 = not started, max_int = done), and the tid it is
+     currently running — read by the watchdog domain, written only by the
+     owning worker. *)
+  hb : int Atomic.t array;
+  hb_tid : int Atomic.t array;
 }
 
 let emit sh ~tid kind =
@@ -274,6 +287,50 @@ let try_break_deadlock sh tid =
       verdict
     end
 
+(* Graceful self-abort from outside the program — an injected fault or a
+   blown deadline. The abort touches everything, so it takes every
+   stripe, like the stall safety valve; the attempt then terminates and
+   the job's retry machinery takes over under a fresh tid. *)
+let abort_self sh ~tid reason =
+  let plan = all_plan sh in
+  acquire_plan sh ~tid plan;
+  Engine.abort_txn ~reason sh.engine tid;
+  clear_waiting sh tid;
+  release_plan sh plan
+
+(* {2 The watchdog}
+
+   A spare domain polling the per-worker heartbeats. A worker that has
+   not stamped its heartbeat within [threshold_us] is reported — once
+   per stuck episode, i.e. once per stale heartbeat value — as a
+   watchdog kick, with a trace event attributed to the stuck worker's
+   lane and current tid. The watchdog only observes; recovery is the
+   deadline/retry machinery's job (a stalled worker resumes by itself,
+   a deadlocked one is broken by the detector). It owns no ring, so its
+   events go through the sink's external side channel. *)
+let watchdog_loop sh ~stop ~threshold_us =
+  let n = Array.length sh.hb in
+  let kicked = Array.make n min_int in
+  let interval_s = Float.max 5e-4 (threshold_us /. 4. /. 1e6) in
+  let threshold_ns = int_of_float (threshold_us *. 1e3) in
+  while not (Atomic.get stop) do
+    Unix.sleepf interval_s;
+    let now = now_ns () in
+    for w = 0 to n - 1 do
+      let ts = Atomic.get sh.hb.(w) in
+      if ts > 0 && ts < max_int && now - ts > threshold_ns && kicked.(w) <> ts
+      then begin
+        kicked.(w) <- ts;
+        Metrics.record_watchdog sh.metrics;
+        match sh.sink with
+        | Some s ->
+          Trace.Sink.emit_external s ~worker:w ~tid:(Atomic.get sh.hb_tid.(w))
+            (Trace.Event.Watchdog { worker = w; stalled_ns = now - ts })
+        | None -> ()
+      end
+    done
+  done
+
 (* Begin/terminal-status calls on the striped locking engine are
    internally synchronized (registry mutex, atomics) and run without
    stripes; the multiversion and timestamp engines are single-threaded
@@ -298,6 +355,16 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   let start_ns = now_ns () in
   let traced = sh.sink <> None in
   let waited_ns = ref 0 in
+  (* Fault coordinates: the plan draws per (tid, step-consultation seq),
+     so a retried attempt (fresh tid) draws fresh decisions. *)
+  let nstep = ref 0 in
+  let deadline_at =
+    match cfg.deadline_us with
+    | Some us -> start_ns + int_of_float (us *. 1e3)
+    | None -> max_int
+  in
+  Atomic.set sh.hb_tid.(widx) tid;
+  Atomic.set sh.hb.(widx) start_ns;
   emit sh ~tid
     (Trace.Event.Attempt_begin
        { job = jidx; name = job.name; attempt; level = Level.name job.level });
@@ -309,6 +376,47 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
     | op :: rest ->
       let op_str = if traced then Fmt.str "%a" Program.pp_op op else "" in
       let rec attempt_op tries =
+        Atomic.set sh.hb.(widx) (now_ns ());
+        let fault =
+          match cfg.fault with
+          | None -> None
+          | Some plan ->
+            let seq = !nstep in
+            incr nstep;
+            Fault.Plan.point plan ~tid (Fault.Plan.Step { seq })
+        in
+        (match fault with
+        | Some (Fault.Plan.Stall { us }) ->
+          (* Stall holding no stripes: the worker just goes dark, which
+             is what the deadline and the watchdog exist to notice — the
+             heartbeat is deliberately left stale for the duration. *)
+          Metrics.record_fault sh.metrics;
+          emit sh ~tid (Trace.Event.Fault_inject { klass = "stall" });
+          Unix.sleepf (us /. 1e6)
+        | _ -> ());
+        match fault with
+        | Some Fault.Plan.Step_fail ->
+          (* Spurious failure: abort here; the job retries. *)
+          Metrics.record_fault sh.metrics;
+          emit sh ~tid (Trace.Event.Fault_inject { klass = "step_fail" });
+          abort_self sh ~tid Engine.Fault_injected
+        | Some Fault.Plan.Victim ->
+          (* Forced deadlock victim: same path a detector break takes. *)
+          Metrics.record_fault sh.metrics;
+          emit sh ~tid (Trace.Event.Fault_inject { klass = "victim" });
+          abort_self sh ~tid Engine.Deadlock_victim
+        | _ when now_ns () > deadline_at ->
+          (* Past the budget (blocked waits and injected stalls count):
+             graceful abort; the retry starts a fresh deadline window. *)
+          Metrics.record_deadline_exceeded sh.metrics;
+          emit sh ~tid
+            (Trace.Event.Deadline_exceeded
+               {
+                 elapsed_ns = now_ns () - start_ns;
+                 budget_ns = deadline_at - start_ns;
+               });
+          abort_self sh ~tid Engine.Deadline_exceeded
+        | _ ->
         emit sh ~tid (Trace.Event.Step_begin { op = op_str });
         let plan = plan_for sh tid op in
         acquire_plan sh ~tid plan;
@@ -453,7 +561,10 @@ let worker sh cfg ~next_job widx =
   let rbo = Backoff.create ~rng cfg.retry_backoff in
   let rec loop () =
     match next_job () with
-    | None -> ()
+    | None ->
+      (* Done: park the heartbeat so an idle worker is never mistaken
+         for a stuck one while the others drain. *)
+      Atomic.set sh.hb.(widx) max_int
     | Some (jidx, job) ->
       run_job sh cfg ~rng ~bo ~rbo ~widx jidx job;
       loop ()
@@ -492,8 +603,23 @@ let run_with (cfg : config) ~family ~next_job =
       metrics = Metrics.create ~stripes:nstripes ();
       recorder = Recorder.create ~stripes:cfg.workers ();
       sink = cfg.trace;
+      hb = Array.init (max 1 cfg.workers) (fun _ -> Atomic.make 0);
+      hb_tid = Array.init (max 1 cfg.workers) (fun _ -> Atomic.make 0);
     }
   in
+  (* Torn-commit injection: the hook fires on the committing worker's
+     domain (under its stripes, DLS ring bound), so metrics and trace
+     emission are safe here. *)
+  (match cfg.fault with
+  | None -> ()
+  | Some plan ->
+    Engine.set_tear_hook engine (fun tid ->
+        match Fault.Plan.point plan ~tid Fault.Plan.Commit with
+        | Some Fault.Plan.Torn_commit ->
+          Metrics.record_fault sh.metrics;
+          emit sh ~tid (Trace.Event.Fault_inject { klass = "torn_commit" });
+          true
+        | _ -> false));
   (* Lock traffic reaches the trace through the engine's observation
      hook; it fires inside a step — so under the step's stripes — on the
      calling worker's domain, and the DLS ring binding routes it
@@ -524,6 +650,15 @@ let run_with (cfg : config) ~family ~next_job =
       | Locking.Lock_table.On_release { owner; count } ->
         Trace.Sink.emit s ~tid:owner (Trace.Event.Lock_release { count })));
   Metrics.start sh.metrics;
+  let stop_watchdog = Atomic.make false in
+  let watchdog =
+    match cfg.watchdog_us with
+    | None -> None
+    | Some threshold_us ->
+      Some
+        (Domain.spawn (fun () ->
+             watchdog_loop sh ~stop:stop_watchdog ~threshold_us))
+  in
   let spawned =
     List.init (cfg.workers - 1) (fun i ->
         Domain.spawn (fun () -> worker sh cfg ~next_job (i + 1)))
@@ -531,6 +666,8 @@ let run_with (cfg : config) ~family ~next_job =
   (* The calling domain is worker 0; join the rest even if it trips. *)
   let mine = try Ok (worker sh cfg ~next_job 0) with e -> Error e in
   List.iter Domain.join spawned;
+  Atomic.set stop_watchdog true;
+  Option.iter Domain.join watchdog;
   (match mine with Ok () -> () | Error e -> raise e);
   Metrics.stop sh.metrics;
   let history = Engine.trace engine in
@@ -550,6 +687,7 @@ let run_with (cfg : config) ~family ~next_job =
     lock_stats = Engine.lock_stats engine;
     events;
     events_dropped;
+    wal = Engine.wal engine;
   }
 
 let family_for cfg levels =

@@ -92,6 +92,22 @@ type config = {
           stripe contention, backoff sleeps, deadlock victims — into
           per-worker ring buffers that overwrite their oldest events
           rather than ever blocking a worker. *)
+  fault : Fault.Plan.t option;
+      (** deterministic seeded fault plan, consulted before every step
+          (stall / spurious failure / forced victim) and at every commit
+          (torn WAL tail, locking engines). [None] (the default) costs
+          one branch per step. Injected aborts drain through the normal
+          retry machinery. *)
+  deadline_us : float option;
+      (** per-attempt wall-clock budget: an attempt past it aborts itself
+          gracefully ([Deadline_exceeded]) and the job retries with a
+          fresh window. Checked before each step, so a blocked or stalled
+          attempt notices on its next poll. *)
+  watchdog_us : float option;
+      (** stuck-worker threshold: [Some t] spawns a watchdog domain that
+          reports (metrics + trace event) any worker whose last step
+          entry is more than [t] microseconds old. Observation only — no
+          recovery action. *)
 }
 
 val config :
@@ -113,6 +129,9 @@ val config :
   ?oracle_window:int ->
   ?seed:int ->
   ?trace:Trace.Sink.t ->
+  ?fault:Fault.Plan.t ->
+  ?deadline_us:float ->
+  ?watchdog_us:float ->
   unit ->
   config
 
@@ -133,6 +152,10 @@ type result = {
           (empty when [config.trace] is [None]) *)
   events_dropped : int;
       (** trace events lost to ring overwrites or unattached domains *)
+  wal : Storage.Wal.t option;
+      (** the locking engine's write-ahead log, for post-run crash-point
+          enumeration ({!Fault.Crash.enumerate}); [None] for the other
+          families *)
 }
 
 exception Stuck of string

@@ -8,17 +8,31 @@
    time, and that rollback is logged as compensation updates, so replay
    reconstructs the crash-time state faithfully.
 
+   Only the intact records of the log are believed: a torn tail (a record
+   cut mid-write by the crash) carries no durable payload, and under WAL
+   discipline its data write never reached the store either — so torn
+   records simply do not exist for recovery. See Wal's torn-tail notes.
+
    With long write locks (no P0), each item's updates by different
    transactions never interleave, so before-images compose correctly.
    Under P0 they do not: for the log of w1[x] w2[x] with T1 in flight at
    the crash and T2 committed, restoring T1's before-image wipes out T2's
    committed update — and not restoring it would strand T1's value. This
-   is exactly the paper's restore-or-not dilemma. *)
+   is exactly the paper's restore-or-not dilemma.
+
+   Membership tests go through hash tables rather than List.mem: crash
+   enumeration (Fault.Crash) runs recover at every prefix of a stress
+   run's log, so each pass must stay linear in the log. *)
 
 type outcome = {
   state : Store.t;          (* state after recovery *)
   undone : Wal.txn list;    (* transactions rolled back *)
 }
+
+let txn_set txns =
+  let h = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace h t ()) txns;
+  h
 
 (* Apply the log forward to reconstruct the state at the crash, starting
    from the initial database. *)
@@ -28,7 +42,7 @@ let replay ~initial log =
     (function
       | Wal.Update { k; after; _ } -> Store.restore s k after
       | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
-    (Wal.records log);
+    (Wal.intact log);
   s
 
 (* Undo losers by restoring before-images, newest first. Aborted
@@ -36,26 +50,27 @@ let replay ~initial log =
 let recover ~initial log =
   let state = replay ~initial log in
   let to_undo = Wal.losers log in
+  let losing = txn_set to_undo in
   List.iter
     (function
-      | Wal.Update { t; k; before; _ } when List.mem t to_undo ->
+      | Wal.Update { t; k; before; _ } when Hashtbl.mem losing t ->
         Store.restore state k before
       | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
-    (List.rev (Wal.records log));
+    (List.rev (Wal.intact log));
   { state; undone = List.sort_uniq compare to_undo }
 
 (* The correct post-crash state, for comparison: replay only the updates of
    committed transactions, in order. This is what a recovery manager is
    supposed to produce. *)
 let ideal_state ~initial log =
-  let committed = Wal.committed log in
+  let committed = txn_set (Wal.committed log) in
   let s = Store.copy initial in
   List.iter
     (function
-      | Wal.Update { t; k; after; _ } when List.mem t committed ->
+      | Wal.Update { t; k; after; _ } when Hashtbl.mem committed t ->
         Store.restore s k after
       | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
-    (Wal.records log);
+    (Wal.intact log);
   s
 
 (* Recovery is correct when before-image undo reproduces the ideal state. *)

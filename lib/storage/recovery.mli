@@ -1,6 +1,11 @@
 (** Before-image undo recovery — executable form of the paper's §3
     argument that P0 (dirty writes) must be excluded at every isolation
-    level or recovery by restoring before-images is unsound. *)
+    level or recovery by restoring before-images is unsound.
+
+    Recovery believes only the intact records of the log: a torn tail
+    never took effect (and under WAL discipline its store write never
+    happened), so the transaction it belongs to is treated as in flight.
+    See {!Wal} for torn-tail semantics. *)
 
 type outcome = {
   state : Store.t;        (** state after recovery *)

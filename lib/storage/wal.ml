@@ -1,7 +1,17 @@
 (* Write-ahead log. The paper's second argument for P0 (§3) is that dirty
    writes break recovery: "you don't want to undo w1[x] by restoring its
    before-image, because that would wipe out w2's update". This log and the
-   companion Recovery module make that argument executable. *)
+   companion Recovery module make that argument executable.
+
+   Torn tails. A crash can land mid-append: the newest record's header
+   (its type and transaction id) survives but its payload did not — the
+   torn record is visible to the log reader yet must not be trusted.
+   [prefix] and [torn_prefix] build exactly these crash images, and the
+   accessors split the log into the [intact] records (everything a
+   recovery manager may believe) and the [torn_tail]. Because the log is
+   written before the store (WAL discipline), a torn [Update] means the
+   data write never happened; a torn [Commit]/[Abort] never took effect,
+   so its transaction is still in flight and must be undone. *)
 
 type key = History.Action.key
 type value = History.Action.value
@@ -26,10 +36,16 @@ let pp_record ppf = function
 
 (* Appends are serialized by a private mutex: under striped execution,
    transactions updating different shards log concurrently, and the WAL
-   is the one log they share. The critical section is a cons. *)
-type t = { mutable records : record list (* newest first *); m : Mutex.t }
+   is the one log they share. The critical section is a cons. [torn] is
+   only ever set on crash images built by [prefix]/[torn_prefix]; a live
+   log is never torn. *)
+type t = {
+  mutable records : record list; (* newest first *)
+  mutable torn : bool;           (* the newest record is a torn tail *)
+  m : Mutex.t;
+}
 
-let create () = { records = []; m = Mutex.create () }
+let create () = { records = []; torn = false; m = Mutex.create () }
 
 let append log r =
   Mutex.lock log.m;
@@ -42,19 +58,71 @@ let records log =
   Mutex.unlock log.m;
   List.rev rs
 
+let torn_tail log =
+  Mutex.lock log.m;
+  let r = if log.torn then (match log.records with r :: _ -> Some r | [] -> None)
+          else None in
+  Mutex.unlock log.m;
+  r
+
+let intact log =
+  Mutex.lock log.m;
+  let rs = if log.torn then (match log.records with _ :: rest -> rest | [] -> [])
+           else log.records in
+  Mutex.unlock log.m;
+  List.rev rs
+
 let length log = List.length (records log)
 
+(* Terminal-record accounting believes only intact records: a Commit or
+   Abort torn off the tail never took effect. *)
 let committed log =
-  List.filter_map (function Commit t -> Some t | _ -> None) (records log)
+  List.filter_map (function Commit t -> Some t | _ -> None) (intact log)
 
 let aborted log =
-  List.filter_map (function Abort t -> Some t | _ -> None) (records log)
+  List.filter_map (function Abort t -> Some t | _ -> None) (intact log)
 
-(* Transactions with a Begin but no terminal record: crashed in flight. *)
+(* Transactions with an intact Begin but no intact terminal record:
+   crashed in flight. A transaction whose Commit/Abort is the torn tail
+   is in flight too — the terminal record did not survive the crash, so
+   the transaction never (durably) ended. The membership tables keep this
+   linear in the log, which matters to crash-point enumeration (it calls
+   [losers] once per prefix). *)
 let losers log =
-  let ended = committed log @ aborted log in
+  let rs = intact log in
+  let ended = Hashtbl.create 16 in
+  List.iter
+    (function Commit t | Abort t -> Hashtbl.replace ended t () | _ -> ())
+    rs;
   List.filter_map
-    (function Begin t when not (List.mem t ended) -> Some t | _ -> None)
-    (records log)
+    (function Begin t when not (Hashtbl.mem ended t) -> Some t | _ -> None)
+    rs
 
-let pp ppf log = Fmt.(list ~sep:sp pp_record) ppf (records log)
+(* {2 Crash images} *)
+
+let take n xs =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] xs
+
+let prefix log n =
+  let rs = records log in
+  let len = List.length rs in
+  if n < 0 || n > len then
+    invalid_arg (Fmt.str "Wal.prefix: %d not in [0, %d]" n len);
+  { records = List.rev (take n rs); torn = false; m = Mutex.create () }
+
+let torn_prefix log n =
+  let rs = records log in
+  let len = List.length rs in
+  if n < 1 || n > len then
+    invalid_arg (Fmt.str "Wal.torn_prefix: %d not in [1, %d]" n len);
+  { records = List.rev (take n rs); torn = true; m = Mutex.create () }
+
+let pp ppf log =
+  Fmt.(list ~sep:sp pp_record) ppf (intact log);
+  match torn_tail log with
+  | None -> ()
+  | Some r -> Fmt.pf ppf " ~torn~%a" pp_record r

@@ -1,5 +1,19 @@
 (** Write-ahead log with before/after images, making the paper's recovery
-    argument for P0 (§3) executable. *)
+    argument for P0 (§3) executable.
+
+    {2 Torn-tail semantics}
+
+    A crash can cut the log mid-append: the newest record's header (its
+    type and transaction id) is readable but its payload is not durable.
+    [prefix]/[torn_prefix] build such crash images; [intact] and
+    [torn_tail] split a log into the records a recovery manager may
+    believe and the torn one it must not. Because records are logged
+    before the store is written (WAL discipline), a torn [Update] means
+    the corresponding data write never happened, and a torn
+    [Commit]/[Abort] never took effect — so [committed], [aborted] and
+    [losers] are computed over the intact records only. In particular a
+    transaction whose terminal record is the torn tail is still in
+    flight and must be undone. *)
 
 type key = History.Action.key
 type value = History.Action.value
@@ -17,15 +31,39 @@ type t
 
 val create : unit -> t
 val append : t -> record -> unit
+
 val records : t -> record list
-(** In append order. *)
+(** In append order, including the torn tail when there is one. *)
+
+val intact : t -> record list
+(** In append order, excluding the torn tail: the trustworthy log. *)
+
+val torn_tail : t -> record option
+(** The torn newest record of a crash image built by [torn_prefix];
+    [None] for a live log or an untorn prefix. *)
 
 val length : t -> int
+
 val committed : t -> txn list
+(** Transactions with an intact [Commit]. A [Commit] torn off the tail
+    never took effect. *)
+
 val aborted : t -> txn list
 
 val losers : t -> txn list
-(** Transactions with a [Begin] but no terminal record — in-flight at the
-    crash. *)
+(** Transactions with an intact [Begin] but no intact terminal record —
+    in flight at the crash. Includes a transaction whose [Commit] or
+    [Abort] is the torn tail. *)
+
+val prefix : t -> int -> t
+(** [prefix log n] is the crash image after exactly the first [n] records
+    were made durable, [0 <= n <= length log]. Raises [Invalid_argument]
+    out of range. *)
+
+val torn_prefix : t -> int -> t
+(** [torn_prefix log n] is the crash image where the [n]-th record was
+    torn mid-write: records [1..n-1] are intact, record [n] is the torn
+    tail, [1 <= n <= length log]. Raises [Invalid_argument] out of
+    range. *)
 
 val pp : t Fmt.t

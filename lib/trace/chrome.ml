@@ -46,6 +46,10 @@ let name_of (e : Event.t) =
   | Event.Retry_backoff _ -> Printf.sprintf "T%d retry backoff" e.tid
   | Event.Deadlock_victim _ -> Printf.sprintf "T%d deadlock victim" e.tid
   | Event.Stall_restart -> Printf.sprintf "T%d stall" e.tid
+  | Event.Fault_inject { klass } -> Printf.sprintf "T%d fault %s" e.tid klass
+  | Event.Deadline_exceeded _ -> Printf.sprintf "T%d deadline" e.tid
+  | Event.Watchdog { worker; _ } -> Printf.sprintf "watchdog w%d" worker
+  | Event.Crash_replay _ -> "crash replay"
   | Event.Commit -> Printf.sprintf "T%d commit" e.tid
   | Event.Abort _ -> Printf.sprintf "T%d abort" e.tid
 
@@ -59,7 +63,9 @@ let phase_of (e : Event.t) =
   | Event.Lock_wait { slept_ns } | Event.Retry_backoff { slept_ns; _ } ->
     `X slept_ns
   | Event.Lock_grant _ | Event.Lock_conflict _ | Event.Lock_release _
-  | Event.Stripe_wait _ | Event.Deadlock_victim _ | Event.Stall_restart ->
+  | Event.Stripe_wait _ | Event.Deadlock_victim _ | Event.Stall_restart
+  | Event.Fault_inject _ | Event.Deadline_exceeded _ | Event.Watchdog _
+  | Event.Crash_replay _ ->
     `I
 
 let event_to_json e =

@@ -36,6 +36,16 @@ type kind =
   | Stall_restart
       (* the worker aborted its own transaction after exhausting blocked
          retries of one operation (starvation safety valve) *)
+  | Fault_inject of { klass : string }
+      (* the fault plan fired here: "stall" | "step_fail" | "victim" |
+         "torn_commit" *)
+  | Deadline_exceeded of { elapsed_ns : int; budget_ns : int }
+      (* the attempt blew its deadline and aborted itself *)
+  | Watchdog of { worker : int; stalled_ns : int }
+      (* the watchdog saw [worker] make no progress for [stalled_ns];
+         attributed to the stuck worker's current tid *)
+  | Crash_replay of { points : int; torn : int; failures : int }
+      (* crash-point enumeration ran over the WAL after the run *)
   | Commit
   | Abort of { reason : string }
 
@@ -53,6 +63,10 @@ let tag = function
   | Retry_backoff _ -> "retry_backoff"
   | Deadlock_victim _ -> "deadlock"
   | Stall_restart -> "stall"
+  | Fault_inject _ -> "fault_inject"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Watchdog _ -> "watchdog"
+  | Crash_replay _ -> "crash_replay"
   | Commit -> "commit"
   | Abort _ -> "abort"
 
@@ -92,6 +106,16 @@ let pp_kind ppf = function
     Fmt.pf ppf "deadlock victim (cycle %s)"
       (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
   | Stall_restart -> Fmt.string ppf "stall: self-restart"
+  | Fault_inject { klass } -> Fmt.pf ppf "fault injected (%s)" klass
+  | Deadline_exceeded { elapsed_ns; budget_ns } ->
+    Fmt.pf ppf "deadline exceeded (%.1fms of %.1fms budget)"
+      (float elapsed_ns /. 1e6) (float budget_ns /. 1e6)
+  | Watchdog { worker; stalled_ns } ->
+    Fmt.pf ppf "watchdog: worker %d stuck %.1fms" worker
+      (float stalled_ns /. 1e6)
+  | Crash_replay { points; torn; failures } ->
+    Fmt.pf ppf "crash replay: %d prefixes + %d torn tails, %d unsound"
+      points torn failures
   | Commit -> Fmt.string ppf "commit"
   | Abort { reason } -> Fmt.pf ppf "abort (%s)" reason
 
@@ -142,6 +166,14 @@ let kind_args = function
   | Retry_backoff { slept_ns; next_attempt } ->
     [ ("slept_ns", Json.Int slept_ns); ("next_attempt", Json.Int next_attempt) ]
   | Deadlock_victim { cycle } -> [ ("cycle", ints cycle) ]
+  | Fault_inject { klass } -> [ ("klass", Json.String klass) ]
+  | Deadline_exceeded { elapsed_ns; budget_ns } ->
+    [ ("elapsed_ns", Json.Int elapsed_ns); ("budget_ns", Json.Int budget_ns) ]
+  | Watchdog { worker; stalled_ns } ->
+    [ ("stuck_worker", Json.Int worker); ("stalled_ns", Json.Int stalled_ns) ]
+  | Crash_replay { points; torn; failures } ->
+    [ ("points", Json.Int points); ("torn", Json.Int torn);
+      ("failures", Json.Int failures) ]
   | Stall_restart | Commit -> []
   | Abort { reason } -> [ ("reason", Json.String reason) ]
 
@@ -211,6 +243,22 @@ let of_args j =
                next_attempt = get_int "next_attempt" j })
       | "deadlock" -> Some (Deadlock_victim { cycle = get_ints "cycle" j })
       | "stall" -> Some Stall_restart
+      | "fault_inject" -> Some (Fault_inject { klass = get_string "klass" j })
+      | "deadline_exceeded" ->
+        Some
+          (Deadline_exceeded
+             { elapsed_ns = get_int "elapsed_ns" j;
+               budget_ns = get_int "budget_ns" j })
+      | "watchdog" ->
+        Some
+          (Watchdog
+             { worker = get_int "stuck_worker" j;
+               stalled_ns = get_int "stalled_ns" j })
+      | "crash_replay" ->
+        Some
+          (Crash_replay
+             { points = get_int "points" j; torn = get_int "torn" j;
+               failures = get_int "failures" j })
       | "commit" -> Some Commit
       | "abort" -> Some (Abort { reason = get_string "reason" j })
       | _ -> None

@@ -26,6 +26,16 @@ type kind =
       (** slept between attempts; attributed to the failed attempt's tid *)
   | Deadlock_victim of { cycle : int list }
   | Stall_restart
+  | Fault_inject of { klass : string }
+      (** the fault plan fired: ["stall"], ["step_fail"], ["victim"] or
+          ["torn_commit"] *)
+  | Deadline_exceeded of { elapsed_ns : int; budget_ns : int }
+      (** the attempt blew its deadline and aborted itself *)
+  | Watchdog of { worker : int; stalled_ns : int }
+      (** the watchdog saw [worker] make no step progress for
+          [stalled_ns]; attributed to that worker's current tid *)
+  | Crash_replay of { points : int; torn : int; failures : int }
+      (** post-run crash-point enumeration over the WAL *)
   | Commit
   | Abort of { reason : string }
 

@@ -44,7 +44,15 @@ let timeline ppf spans =
         (ms (Span.exec_ns s))
         (ms s.Span.lock_wait_ns)
         s.Span.steps Span.pp_outcome s.Span.outcome
-        (if s.Span.deadlock_victim then " [deadlock victim]" else "")
+        (String.concat ""
+           [
+             (if s.Span.deadlock_victim then " [deadlock victim]" else "");
+             (if s.Span.faults > 0 then
+                Printf.sprintf " [faults %d]" s.Span.faults
+              else "");
+             (if s.Span.deadline_exceeded then " [deadline]" else "");
+             (if s.Span.watchdog_kicks > 0 then " [watchdog]" else "");
+           ])
     )
     spans;
   Fmt.pf ppf "@]"

@@ -14,6 +14,11 @@ type t = {
   rings : Ring.t array; (* index = worker *)
   epoch_ns : int;       (* subtracted from every stamp: small, stable ts *)
   orphaned : int Atomic.t;
+  (* Side channel for domains that own no ring (the watchdog): a
+     mutex-protected list, merged into [events]. Cold path — a handful of
+     events per run, never on a worker's hot path. *)
+  ext_m : Mutex.t;
+  mutable ext : Event.t list; (* newest first *)
 }
 
 let ids = Atomic.make 1
@@ -31,6 +36,8 @@ let create ?(capacity_per_worker = 65536) ~workers () =
       Array.init (max 1 workers) (fun _ -> Ring.create ~capacity:capacity_per_worker);
     epoch_ns = now_ns ();
     orphaned = Atomic.make 0;
+    ext_m = Mutex.create ();
+    ext = [];
   }
 
 let attach t ~worker =
@@ -43,14 +50,31 @@ let emit t ~tid kind =
     Ring.record ring { Event.ts_ns = now_ns () - t.epoch_ns; tid; worker; kind }
   | _ -> Atomic.incr t.orphaned
 
+(* For domains with no ring of their own — the watchdog, or post-run
+   bookkeeping (crash-replay summaries). Never touches the single-writer
+   rings, so it is safe from any domain at any time. *)
+let emit_external t ~worker ~tid kind =
+  let e = { Event.ts_ns = now_ns () - t.epoch_ns; tid; worker; kind } in
+  Mutex.lock t.ext_m;
+  t.ext <- e :: t.ext;
+  Mutex.unlock t.ext_m
+
 let dropped t =
   Array.fold_left (fun acc r -> acc + Ring.dropped r) (Atomic.get t.orphaned) t.rings
 
 let written t = Array.fold_left (fun acc r -> acc + Ring.written r) 0 t.rings
 
-(* Merge the per-worker rings into one global timeline. *)
+(* Merge the per-worker rings and the external side channel into one
+   global timeline. *)
 let events t =
+  let ext =
+    Mutex.lock t.ext_m;
+    let es = t.ext in
+    Mutex.unlock t.ext_m;
+    List.rev es
+  in
   Array.to_list t.rings
   |> List.concat_map Ring.to_list
+  |> (fun ring_events -> ring_events @ ext)
   |> List.stable_sort (fun (a : Event.t) (b : Event.t) ->
          compare a.ts_ns b.ts_ns)

@@ -21,6 +21,12 @@ val attach : t -> worker:int -> unit
 val emit : t -> tid:int -> Event.kind -> unit
 (** Stamp and record an event on the calling domain's ring. *)
 
+val emit_external : t -> worker:int -> tid:int -> Event.kind -> unit
+(** Stamp and record an event from a domain that owns no ring (the
+    watchdog, post-run bookkeeping) through a mutex-protected side
+    channel merged into {!events}. [worker] is the lane the event is
+    attributed to. Cold path — never used by workers. *)
+
 val events : t -> Event.t list
 (** The merged timeline (all rings, sorted by timestamp). Call only after
     the writer domains have been joined. *)

@@ -33,6 +33,9 @@ type t = {
   retry_backoff_ns : int; (* slept after this attempt failed *)
   lock_conflicts : int;
   deadlock_victim : bool;
+  faults : int;               (* fault-plan injections into this attempt *)
+  deadline_exceeded : bool;   (* aborted for blowing its deadline *)
+  watchdog_kicks : int;       (* watchdog sightings while this tid ran *)
   events : Event.t list;  (* this tid's events, oldest first *)
 }
 
@@ -76,6 +79,9 @@ let of_events (events : Event.t list) =
           retry_backoff_ns = 0;
           lock_conflicts = 0;
           deadlock_victim = false;
+          faults = 0;
+          deadline_exceeded = false;
+          watchdog_kicks = 0;
           events;
         }
       in
@@ -103,10 +109,13 @@ let of_events (events : Event.t list) =
           | Event.Lock_conflict _ ->
             { s with lock_conflicts = s.lock_conflicts + 1 }
           | Event.Deadlock_victim _ -> { s with deadlock_victim = true }
+          | Event.Fault_inject _ -> { s with faults = s.faults + 1 }
+          | Event.Deadline_exceeded _ -> { s with deadline_exceeded = true }
+          | Event.Watchdog _ -> { s with watchdog_kicks = s.watchdog_kicks + 1 }
           | Event.Commit -> { s with outcome = Committed }
           | Event.Abort { reason } -> { s with outcome = Aborted reason }
           | Event.Lock_grant _ | Event.Lock_release _ | Event.Stripe_wait _
-          | Event.Stall_restart ->
+          | Event.Stall_restart | Event.Crash_replay _ ->
             s)
         init events)
     !order

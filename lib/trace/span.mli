@@ -25,6 +25,9 @@ type t = {
       (** slept after this attempt failed, before the job's next attempt *)
   lock_conflicts : int;
   deadlock_victim : bool;
+  faults : int;  (** fault-plan injections into this attempt *)
+  deadline_exceeded : bool;  (** aborted for blowing its deadline *)
+  watchdog_kicks : int;  (** watchdog sightings while this tid ran *)
   events : Event.t list;  (** this tid's events, oldest first *)
 }
 

@@ -35,4 +35,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("striped", Test_striped.suite);
       ("trace", Test_trace.suite);
+      ("fault", Test_fault.suite);
     ]
