@@ -199,6 +199,100 @@ let scaling () =
        ratio measures overhead parity, not scaling)\n";
   (rows, speedup)
 
+(* {2 Certifier overhead}
+
+   The online certifier costs one incremental-graph insertion per
+   recorded action, inside the recorder's critical section. The
+   accountable comparison: the same READ COMMITTED hotspot cell with and
+   without [~certify] (the throughput delta is the online overhead), set
+   against the wall cost of the offline full-history replay
+   ({!Runtime.Certifier.replay}) and of the complete post-run oracle —
+   the polynomial machinery an online-certified long run can skip. READ
+   COMMITTED because it actually admits dependency cycles, so the
+   enforce path (doom, abort, era purge) is exercised rather than just
+   edge insertion. *)
+
+let cert_txns = 1024
+
+type cert_row = {
+  ct_mode : string; (* "baseline" | "certify" *)
+  ct_tput : float;
+  ct_dooms : int;
+  ct_replay_ms : float; (* offline Certifier.replay over the history *)
+  ct_oracle_ms : float; (* full post-run oracle on the same history *)
+  ct_serializable : bool; (* committed projection, post-run verdict *)
+}
+
+let run_cert_cell ~certify =
+  let gen i =
+    let p =
+      Generators.stress_program Generators.Hotspot ~seed ~accounts ~hot ~ops
+        ~index:i
+    in
+    Pool.job ~name:p.Core.Program.name ~level:L.Read_committed p
+  in
+  (* The in-run oracle is windowed so the cell prices the *certifier*,
+     not the polynomial detectors; its serializability verdict is still
+     the exact full-history one (incremental replay). The explicitly
+     timed [Oracle.check] below is the unwindowed post-run pass being
+     compared against. *)
+  let cfg =
+    Pool.config ~workers
+      ~initial:(Generators.bank_accounts accounts)
+      ~think_us:0. ~oracle_window:32 ~seed ~certify ()
+  in
+  let r = Pool.run cfg (Array.init cert_txns gen) in
+  let h = r.Pool.history in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  let replay_ms = time (fun () -> Runtime.Certifier.replay h) in
+  let oracle_ms = time (fun () -> Oracle.check h) in
+  {
+    ct_mode = (if certify then "certify" else "baseline");
+    ct_tput = r.Pool.metrics.Metrics.throughput;
+    ct_dooms = r.Pool.metrics.Metrics.certifier_aborts;
+    ct_replay_ms = replay_ms;
+    ct_oracle_ms = oracle_ms;
+    ct_serializable = r.Pool.oracle.Oracle.serializable;
+  }
+
+let cert_row_json c =
+  Printf.sprintf
+    "{\"mode\":%S,\"level\":%S,\"mix\":\"hotspot\",\"txns\":%d,\
+     \"txn_s\":%.1f,\"certifier_aborts\":%d,\"replay_ms\":%.3f,\
+     \"oracle_ms\":%.3f,\"serializable\":%b}"
+    c.ct_mode (L.name L.Read_committed) cert_txns c.ct_tput c.ct_dooms
+    c.ct_replay_ms c.ct_oracle_ms c.ct_serializable
+
+let certifier () =
+  Printf.printf
+    "== certifier: READ COMMITTED hotspot, %d txns, online enforcement vs \
+     post-run checking ==\n"
+    cert_txns;
+  Printf.printf "  %-10s %9s %8s %11s %11s %13s\n" "mode" "txn/s" "dooms"
+    "replay_ms" "oracle_ms" "serializable";
+  let rows =
+    List.map
+      (fun certify ->
+        let c = run_cert_cell ~certify in
+        Printf.printf "  %-10s %9.0f %8d %11.3f %11.3f %13b\n" c.ct_mode
+          c.ct_tput c.ct_dooms c.ct_replay_ms c.ct_oracle_ms c.ct_serializable;
+        c)
+      [ false; true ]
+  in
+  (match rows with
+  | [ base; cert ] when base.ct_tput > 0. ->
+    Printf.printf
+      "  online overhead: %.1f%% throughput (replay alone would cost \
+       %.3fms post-run, the full oracle %.3fms)\n"
+      (100. *. (1. -. (cert.ct_tput /. base.ct_tput)))
+      base.ct_replay_ms base.ct_oracle_ms
+  | _ -> ());
+  rows
+
 (* {2 Chaos smoke}
 
    One cell under the chaos preset: SERIALIZABLE hotspot with faults at
@@ -326,16 +420,19 @@ let runtime () =
       levels
   in
   let scaling_rows, speedup = scaling () in
+  let cert_rows = certifier () in
   let chaos_row = chaos () in
   let json =
     Printf.sprintf
       "{\"bench\":\"runtime\",\"rows\":[%s],\"scaling\":[%s],\
-       \"speedup_8w\":%.2f,\"cores\":%d,\"scaling_reps\":%d,\"chaos\":%s}\n"
+       \"speedup_8w\":%.2f,\"cores\":%d,\"scaling_reps\":%d,\
+       \"certifier\":[%s],\"chaos\":%s}\n"
       (String.concat "," (List.map row_json rows))
       (String.concat "," (List.map scaling_row_json scaling_rows))
       speedup
       (Domain.recommended_domain_count ())
       scaling_reps
+      (String.concat "," (List.map cert_row_json cert_rows))
       (chaos_row_json chaos_row)
   in
   Out_channel.with_open_text json_path (fun oc ->

@@ -327,7 +327,7 @@ let run_cmd =
 (* {2 stress — the multicore runtime with its live oracle} *)
 
 let stress workers level mix_name txns duration accounts hot ops think seed
-    fuw stripes coarse oracle_window json_path trace_path =
+    fuw stripes coarse oracle_window certify json_path trace_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -352,7 +352,7 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
       ~first_updater_wins:fuw ~stripes ~coarse ?oracle_window ~think_us:think
-      ~seed ?trace:sink ()
+      ~seed ?trace:sink ~certify ()
   in
   Format.printf
     "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
@@ -389,6 +389,15 @@ let stress workers level mix_name txns duration accounts hot ops think seed
        "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
         templates)"
      else "ANOMALIES DETECTED");
+  (match r.Runtime.Pool.certifier with
+  | Some s ->
+    Format.printf "%a@." Runtime.Certifier.pp_summary s;
+    List.iteri
+      (fun i v ->
+        if i < 5 then
+          Format.printf "  %a@." Runtime.Certifier.pp_violation v)
+      s.Runtime.Certifier.violations
+  | None -> ());
   (match trace_path with
   | Some path ->
     let tmeta =
@@ -423,15 +432,20 @@ let stress workers level mix_name txns duration accounts hot ops think seed
           s.Locking.Lock_table.grants s.Locking.Lock_table.conflicts
           s.Locking.Lock_table.releases s.Locking.Lock_table.upgrades
     in
+    let certifier_json =
+      match r.Runtime.Pool.certifier with
+      | None -> ""
+      | Some s -> ",\"certifier\":" ^ Runtime.Certifier.to_json s
+    in
     let json =
       Printf.sprintf
-        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s%s}"
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s%s%s}"
         (L.name level)
         (Workload.Generators.mix_name mix)
         workers
         (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
         (Runtime.Oracle.to_json r.Runtime.Pool.oracle)
-        lock_json
+        lock_json certifier_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -441,7 +455,11 @@ let stress workers level mix_name txns duration accounts hot ops think seed
   (* Levels that promise serializability turn the oracle into an
      assertion: a dirty history is an engine bug, not a workload fact.
      2PL SERIALIZABLE must be pattern-free — locking prevents the very
-     templates; SSI and T/O admit patterns but must show no anomaly. *)
+     templates; SSI and T/O admit patterns but must show no anomaly.
+     --certify adds its own promise at *any* level: the certifier dooms
+     cycle closers before they commit, so the committed projection must
+     come back acyclic (anomalies that need no cycle — e.g. a dirty
+     read whose writer aborts — are still observed and reported). *)
   let assertion =
     match level with
     | L.Serializable -> Some (Runtime.Oracle.pattern_free oracle)
@@ -449,7 +467,10 @@ let stress workers level mix_name txns duration accounts hot ops think seed
       Some (Runtime.Oracle.clean oracle)
     | _ -> None
   in
-  match assertion with Some false -> exit 1 | _ -> ()
+  let certify_ok = (not certify) || oracle.Runtime.Oracle.serializable in
+  match assertion with
+  | Some false -> exit 1
+  | _ -> if not certify_ok then exit 1
 
 let stress_cmd =
   let workers_arg =
@@ -537,10 +558,26 @@ let stress_cmd =
       value & opt (some int) None
       & info [ "oracle-window" ] ~docv:"N"
           ~doc:
-            "Run the post-run oracle over sliding N-transaction windows \
-             instead of the whole history. Anomaly reports stay sound; \
-             dependency cycles spanning transactions further than a window \
-             apart can be missed. Makes long runs checkable.")
+            "Run the post-run anomaly detectors over sliding N-transaction \
+             windows instead of the whole history (reports stay sound; \
+             counts become per-window lower bounds). Serializability is \
+             still decided on the full history by an incremental-graph \
+             replay, so cross-window cycles are never missed. Makes long \
+             runs checkable.")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Certify serializability online: feed every recorded action to \
+             the incremental dependency graph and abort a transaction the \
+             moment its action closes a cycle, before it can commit. Works \
+             at any isolation level — anomalies are certified away rather \
+             than observed; the run fails if the committed projection still \
+             has a cycle. Adds certifier_aborts to the metrics, dep_edge / \
+             dep_cycle events to the trace, and a certifier section (with \
+             per-kind wr/ww/rw edge counts) to the JSON.")
   in
   let json_arg =
     Arg.(
@@ -567,13 +604,13 @@ let stress_cmd =
       const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
       $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
       $ seed_arg $ fuw_arg $ stripes_arg $ coarse_arg $ oracle_window_arg
-      $ json_arg $ trace_arg)
+      $ certify_arg $ json_arg $ trace_arg)
 
 (* {2 chaos — stress under deterministic fault injection} *)
 
 let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
-    coarse oracle_window faults stall_us deadline_ms watchdog_ms crash_points
-    json_path trace_path =
+    coarse oracle_window certify faults stall_us deadline_ms watchdog_ms
+    crash_points crash_sample json_path trace_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -614,7 +651,8 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
   let initial = Workload.Generators.bank_accounts accounts in
   let cfg =
     Runtime.Pool.config ~workers ~initial ~first_updater_wins:fuw ~stripes
-      ~coarse ?oracle_window ~think_us:think ~seed ?trace:sink ?fault:plan
+      ~coarse ?oracle_window ~certify ~think_us:think ~seed ?trace:sink
+      ?fault:plan
       ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
       ?watchdog_us:(Option.map (fun ms -> ms *. 1000.) watchdog_ms)
       ()
@@ -655,6 +693,15 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
        "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
         templates)"
      else "ANOMALIES DETECTED");
+  (match r.Runtime.Pool.certifier with
+  | Some s ->
+    Format.printf "%a@." Runtime.Certifier.pp_summary s;
+    List.iteri
+      (fun i v ->
+        if i < 5 then
+          Format.printf "  %a@." Runtime.Certifier.pp_violation v)
+      s.Runtime.Certifier.violations
+  | None -> ());
   (* Conservation check: the surviving store must equal a replay of the
      WAL's committed transactions over the initial state — no committed
      effect lost, none duplicated, nothing from an aborted attempt. *)
@@ -684,7 +731,10 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
         (L.name level);
       None
     | true, Some wal ->
-      let report = Fault.Crash.enumerate ~initial:initial_store wal in
+      let report =
+        Fault.Crash.enumerate ?sample:crash_sample ~seed ~initial:initial_store
+          wal
+      in
       Format.printf "%a@." Fault.Crash.pp report;
       if (not (Fault.Crash.ok report)) && not p0_free then
         Format.printf
@@ -742,15 +792,20 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
         | Some rep -> Fault.Crash.to_json rep
         | None -> "null")
     in
+    let certifier_json =
+      match r.Runtime.Pool.certifier with
+      | None -> ""
+      | Some s -> ",\"certifier\":" ^ Runtime.Certifier.to_json s
+    in
     let json =
       Printf.sprintf
-        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s,\"chaos\":%s}"
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s%s,\"chaos\":%s}"
         (L.name level)
         (Workload.Generators.mix_name mix)
         workers
         (Runtime.Metrics.to_json m)
         (Runtime.Oracle.to_json oracle)
-        chaos_json
+        certifier_json chaos_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -773,7 +828,8 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
     | Some rep when p0_free -> Fault.Crash.ok rep
     | _ -> true
   in
-  if not (oracle_ok && effects_fine && crash_fine) then exit 1
+  let certify_ok = (not certify) || oracle.Runtime.Oracle.serializable in
+  if not (oracle_ok && effects_fine && crash_fine && certify_ok) then exit 1
 
 let chaos_cmd =
   let workers_arg =
@@ -844,7 +900,19 @@ let chaos_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "oracle-window" ] ~docv:"N"
-          ~doc:"Run the post-run oracle over sliding N-transaction windows.")
+          ~doc:
+            "Run the post-run anomaly detectors over sliding N-transaction \
+             windows; serializability is still decided on the full history \
+             by an incremental-graph replay.")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Certify serializability online: abort a transaction the moment \
+             one of its actions closes a dependency cycle. The run fails if \
+             the committed projection still has a cycle.")
   in
   let faults_arg =
     Arg.(
@@ -888,6 +956,18 @@ let chaos_cmd =
              torn mid-record tail, checking each crash image against the \
              committed-only ideal state (locking engines).")
   in
+  let crash_sample_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-sample" ] ~docv:"N"
+          ~doc:
+            "With --crash-points, check at most N seeded-random points per \
+             category (clean prefixes, torn tails) instead of all of them. \
+             The empty prefix, the full log and every torn Commit/Abort \
+             record are always checked; the draw is deterministic in \
+             --seed. Turns the O(n^2) exhaustive replay into O(N n) for \
+             long logs.")
+  in
   let json_arg =
     Arg.(
       value & opt (some string) None
@@ -922,9 +1002,9 @@ let chaos_cmd =
     Term.(
       const chaos $ workers_arg $ level_arg $ mix_arg $ txns_arg
       $ accounts_arg $ hot_arg $ ops_arg $ think_arg $ seed_arg $ fuw_arg
-      $ stripes_arg $ coarse_arg $ oracle_window_arg $ faults_arg
-      $ stall_us_arg $ deadline_arg $ watchdog_term $ crash_points_arg
-      $ json_arg $ trace_arg)
+      $ stripes_arg $ coarse_arg $ oracle_window_arg $ certify_arg
+      $ faults_arg $ stall_us_arg $ deadline_arg $ watchdog_term
+      $ crash_points_arg $ crash_sample_arg $ json_arg $ trace_arg)
 
 (* {2 explain — re-render a recorded trace} *)
 
@@ -989,6 +1069,33 @@ let explain file txn show_log limit =
                (List.map
                   (fun (p, n) -> Printf.sprintf "%s x%d" (P.name p) n)
                   anoms)));
+        (* Certifier provenance: when the run was traced with --certify,
+           each dep_cycle event records which dependency-edge class (wr,
+           ww or rw) would have closed a cycle, and on whom. *)
+        (match
+           List.filter_map
+             (fun (e : Trace.Event.t) ->
+               match e.Trace.Event.kind with
+               | Trace.Event.Dep_cycle { cycle; dep; src; dst } ->
+                 Some (cycle, dep, src, dst)
+               | _ -> None)
+             events
+         with
+        | [] -> ()
+        | cycles ->
+          let shown_max = 10 in
+          Format.printf "@.certified cycles (closing edge class):@.";
+          List.iteri
+            (fun i (cycle, dep, src, dst) ->
+              if i < shown_max then
+                Format.printf "  %s: closed by %s edge T%d -> T%d@."
+                  (String.concat " -> "
+                     (List.map (fun t -> "T" ^ string_of_int t) cycle))
+                  dep src dst)
+            cycles;
+          let n = List.length cycles in
+          if n > shown_max then
+            Format.printf "  ... and %d more@." (n - shown_max));
         match oracle.Runtime.Oracle.witnesses with
         | [] -> ()
         | ws ->

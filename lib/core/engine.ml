@@ -23,6 +23,7 @@ type abort_reason =
   | Too_late
   | Fault_injected
   | Deadline_exceeded
+  | Certifier_abort
 
 let pp_abort_reason ppf = function
   | User_abort -> Fmt.string ppf "user abort"
@@ -33,6 +34,7 @@ let pp_abort_reason ppf = function
   | Too_late -> Fmt.string ppf "timestamp too late"
   | Fault_injected -> Fmt.string ppf "fault injected"
   | Deadline_exceeded -> Fmt.string ppf "deadline exceeded"
+  | Certifier_abort -> Fmt.string ppf "certifier abort"
 
 type status = Active | Committed | Aborted of abort_reason
 
@@ -97,6 +99,7 @@ let lift_lock_status = function
   | Lock_engine.Aborted Lock_engine.Deadlock_victim -> Aborted Deadlock_victim
   | Lock_engine.Aborted Lock_engine.Fault_injected -> Aborted Fault_injected
   | Lock_engine.Aborted Lock_engine.Deadline_exceeded -> Aborted Deadline_exceeded
+  | Lock_engine.Aborted Lock_engine.Certifier_abort -> Aborted Certifier_abort
 
 let lift_mv_status = function
   | Mv_engine.Active -> Active
@@ -108,6 +111,7 @@ let lift_mv_status = function
   | Mv_engine.Aborted Mv_engine.Serialization_failure -> Aborted Serialization_failure
   | Mv_engine.Aborted Mv_engine.Fault_injected -> Aborted Fault_injected
   | Mv_engine.Aborted Mv_engine.Deadline_exceeded -> Aborted Deadline_exceeded
+  | Mv_engine.Aborted Mv_engine.Certifier_abort -> Aborted Certifier_abort
 
 let lift_to_status = function
   | To_engine.Active -> Active
@@ -117,6 +121,7 @@ let lift_to_status = function
   | To_engine.Aborted To_engine.Too_late -> Aborted Too_late
   | To_engine.Aborted To_engine.Fault_injected -> Aborted Fault_injected
   | To_engine.Aborted To_engine.Deadline_exceeded -> Aborted Deadline_exceeded
+  | To_engine.Aborted To_engine.Certifier_abort -> Aborted Certifier_abort
 
 let status t tid =
   match t with
@@ -164,9 +169,9 @@ let stripes = function
   | Mv _ | Timestamp _ -> 1
 
 (* Externally-initiated aborts carry the reasons the runtime can decide
-   on its own: deadlock victim (the default), an injected fault, or a
-   blown deadline. Engine-internal reasons (first-committer-wins, ...)
-   only arise from the engines themselves. *)
+   on its own: deadlock victim (the default), an injected fault, a blown
+   deadline, or a certifier doom. Engine-internal reasons
+   (first-committer-wins, ...) only arise from the engines themselves. *)
 let abort_txn ?(reason = Deadlock_victim) t tid =
   match t with
   | Locking e ->
@@ -176,6 +181,7 @@ let abort_txn ?(reason = Deadlock_victim) t tid =
       | Fault_injected -> Lock_engine.Fault_injected
       | Deadline_exceeded -> Lock_engine.Deadline_exceeded
       | User_abort -> Lock_engine.User_abort
+      | Certifier_abort -> Lock_engine.Certifier_abort
       | _ ->
         invalid_arg "Engine.abort_txn: reason is internal to an engine"
     in
@@ -187,6 +193,7 @@ let abort_txn ?(reason = Deadlock_victim) t tid =
       | Fault_injected -> Mv_engine.Fault_injected
       | Deadline_exceeded -> Mv_engine.Deadline_exceeded
       | User_abort -> Mv_engine.User_abort
+      | Certifier_abort -> Mv_engine.Certifier_abort
       | _ ->
         invalid_arg "Engine.abort_txn: reason is internal to an engine"
     in
@@ -198,6 +205,7 @@ let abort_txn ?(reason = Deadlock_victim) t tid =
       | Fault_injected -> To_engine.Fault_injected
       | Deadline_exceeded -> To_engine.Deadline_exceeded
       | User_abort -> To_engine.User_abort
+      | Certifier_abort -> To_engine.Certifier_abort
       | _ ->
         invalid_arg "Engine.abort_txn: reason is internal to an engine"
     in
@@ -226,6 +234,12 @@ let set_tear_hook t f =
   match t with
   | Locking e -> Lock_engine.set_tear_hook e f
   | Mv _ | Timestamp _ -> ()
+
+let set_trace_hook t f =
+  match t with
+  | Locking e -> Lock_engine.set_trace_hook e f
+  | Mv e -> Mv_engine.set_trace_hook e f
+  | Timestamp e -> To_engine.set_trace_hook e f
 
 let final_state = function
   | Locking e -> Lock_engine.final_state e

@@ -25,6 +25,9 @@ type abort_reason =
       (** injected by a fault plan: spurious step failure or torn
           commit *)
   | Deadline_exceeded  (** the transaction ran past its deadline *)
+  | Certifier_abort
+      (** the online certifier doomed it: one of its actions closed a
+          dependency cycle *)
 
 val pp_abort_reason : abort_reason Fmt.t
 
@@ -106,9 +109,9 @@ val step : t -> txn -> Program.op -> step_outcome
 val abort_txn : ?reason:abort_reason -> t -> txn -> unit
 (** Abort an active transaction from outside its program; no-op if
     already terminated. [reason] defaults to [Deadlock_victim]; the
-    runtime also passes [Fault_injected], [Deadline_exceeded] or
-    [User_abort]. @raise Invalid_argument for engine-internal reasons
-    (first-committer-wins, ...). *)
+    runtime also passes [Fault_injected], [Deadline_exceeded],
+    [Certifier_abort] or [User_abort]. @raise Invalid_argument for
+    engine-internal reasons (first-committer-wins, ...). *)
 
 val trace : t -> History.t
 
@@ -128,6 +131,12 @@ val set_tear_hook : t -> (txn -> bool) -> unit
 (** Install the torn-commit fault hook (see
     {!Lock_engine.set_tear_hook}). Torn commits need a WAL, so the hook
     only bites on locking engines; elsewhere it is a no-op. *)
+
+val set_trace_hook : t -> (int -> History.Action.t -> unit) -> unit
+(** Install a trace observation hook, called with [(position, action)]
+    as each action is appended to the history — serialised and in
+    history order on every family. The online certifier's feed. Install
+    before workers spawn; the hook must only take leaf locks. *)
 
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t option

@@ -25,6 +25,7 @@ type abort_reason =
   | Deadlock_victim
   | Fault_injected      (* injected by a fault plan (spurious failure, torn commit) *)
   | Deadline_exceeded   (* transaction ran past its deadline *)
+  | Certifier_abort     (* the online certifier doomed it: it closed a dependency cycle *)
 
 type status = Active | Committed | Aborted of abort_reason
 
@@ -74,6 +75,11 @@ type t = {
      so the transaction never committed and rolls back instead. Set once
      before workers spawn; read on worker domains. *)
   mutable tear_commit : (txn -> bool) option;
+  (* Trace observation hook, called with (position, action) inside
+     [trace_m] as each action is appended — a serialised, history-ordered
+     action stream for the online certifier. Set once before workers
+     spawn; must only take leaf locks of its own. *)
+  mutable trace_hook : (int -> Action.t -> unit) option;
 }
 
 type step_outcome = Progress | Blocked of txn list | Finished
@@ -100,12 +106,16 @@ let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
     next_key_locking;
     update_locks;
     tear_commit = None;
+    trace_hook = None;
   }
 
 let emit t action =
   Mutex.lock t.trace_m;
   t.trace <- action :: t.trace;
   Atomic.incr t.trace_len;
+  (match t.trace_hook with
+  | Some f -> f (Atomic.get t.trace_len - 1) action
+  | None -> ());
   Mutex.unlock t.trace_m
 
 let trace t =
@@ -552,3 +562,4 @@ let lock_events t = Lock_table.events t.locks
 let lock_stats t = Lock_table.stats t.locks
 let set_lock_hook t f = Lock_table.set_hook t.locks f
 let set_tear_hook t f = t.tear_commit <- Some f
+let set_trace_hook t f = t.trace_hook <- Some f

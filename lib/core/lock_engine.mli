@@ -17,6 +17,9 @@ type abort_reason =
   | Fault_injected
       (** injected by a fault plan: spurious step failure or torn commit *)
   | Deadline_exceeded  (** the transaction ran past its deadline *)
+  | Certifier_abort
+      (** the online certifier doomed it: one of its actions closed a
+          dependency cycle *)
 
 type status = Active | Committed | Aborted of abort_reason
 type step_outcome = Progress | Blocked of txn list | Finished
@@ -92,3 +95,9 @@ val set_tear_hook : t -> (txn -> bool) -> unit
     record off the WAL tail: the transaction never committed — it rolls
     back with compensation (status [Aborted Fault_injected]) and the
     runtime retries the attempt. Install before workers spawn. *)
+
+val set_trace_hook : t -> (int -> Action.t -> unit) -> unit
+(** Install a trace observation hook, called with [(position, action)]
+    under the trace mutex as each action is appended — a serialised,
+    history-ordered feed for the online certifier. Install before
+    workers spawn; the hook must only take leaf locks of its own. *)

@@ -35,6 +35,7 @@ type abort_reason =
   | Serialization_failure (* SSI commit-time read validation *)
   | Fault_injected        (* injected by a fault plan *)
   | Deadline_exceeded     (* transaction ran past its deadline *)
+  | Certifier_abort       (* the online certifier doomed it: it closed a cycle *)
 
 type status = Active | Committed | Aborted of abort_reason
 
@@ -70,6 +71,10 @@ type t = {
   txns : (txn, txn_state) Hashtbl.t;
   predicates : Predicate.t list;
   first_updater_wins : bool;      (* SI write-conflict timing ablation *)
+  (* Trace observation hook, called with (position, action) on each
+     append. Steps of this engine run single-threaded under every stripe
+     of the pool, so the plain emit is already serialised. *)
+  mutable trace_hook : (int -> Action.t -> unit) option;
 }
 
 type step_outcome = Progress | Blocked of txn list | Finished
@@ -84,15 +89,20 @@ let create ~initial ~predicates ?(first_updater_wins = false) () =
     txns = Hashtbl.create 8;
     predicates;
     first_updater_wins;
+    trace_hook = None;
   }
 
 let emit t action =
   t.trace <- action :: t.trace;
-  t.trace_len <- t.trace_len + 1
+  t.trace_len <- t.trace_len + 1;
+  match t.trace_hook with
+  | Some f -> f (t.trace_len - 1) action
+  | None -> ()
 
 let trace t = List.rev t.trace
 let trace_len t = t.trace_len
 let set_lock_hook t f = Lock_table.set_hook t.locks f
+let set_trace_hook t f = t.trace_hook <- Some f
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with

@@ -26,6 +26,9 @@ type abort_reason =
       (** commit-time read validation failed (Serializable SI) *)
   | Fault_injected  (** injected by a fault plan *)
   | Deadline_exceeded  (** the transaction ran past its deadline *)
+  | Certifier_abort
+      (** the online certifier doomed it: one of its actions closed a
+          dependency cycle *)
 
 type status = Active | Committed | Aborted of abort_reason
 type step_outcome = Progress | Blocked of txn list | Finished
@@ -60,6 +63,10 @@ val trace_len : t -> int
 val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
 (** Observation hook on the engine's write-lock table (used only by the
     Read Consistency protocol's updatable cursors). *)
+
+val set_trace_hook : t -> (int -> Action.t -> unit) -> unit
+(** Trace observation hook, called with [(position, action)] on each
+    append; see {!Lock_engine.set_trace_hook}. *)
 
 val final_state : t -> (key * value) list
 val version_store : t -> Storage.Version_store.t

@@ -38,6 +38,7 @@ type abort_reason =
   | Too_late
   | Fault_injected    (* injected by a fault plan *)
   | Deadline_exceeded (* transaction ran past its deadline *)
+  | Certifier_abort   (* the online certifier doomed it: it closed a cycle *)
 
 type status = Active | Committed | Aborted of abort_reason
 
@@ -71,6 +72,9 @@ type t = {
   mutable trace_len : int;       (* = List.length trace, O(1) for tracing *)
   txns : (txn, txn_state) Hashtbl.t;
   predicates : Predicate.t list;
+  (* Trace observation hook; steps run single-threaded under every pool
+     stripe, so the plain emit is already serialised. *)
+  mutable trace_hook : (int -> Action.t -> unit) option;
 }
 
 type step_outcome = Progress | Blocked of txn list | Finished
@@ -85,14 +89,19 @@ let create ~initial ~predicates () =
     trace_len = 0;
     txns = Hashtbl.create 8;
     predicates;
+    trace_hook = None;
   }
 
 let emit t action =
   t.trace <- action :: t.trace;
-  t.trace_len <- t.trace_len + 1
+  t.trace_len <- t.trace_len + 1;
+  match t.trace_hook with
+  | Some f -> f (t.trace_len - 1) action
+  | None -> ()
 
 let trace t = List.rev t.trace
 let trace_len t = t.trace_len
+let set_trace_hook t f = t.trace_hook <- Some f
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with

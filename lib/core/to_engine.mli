@@ -23,6 +23,9 @@ type abort_reason =
   | Too_late
   | Fault_injected  (** injected by a fault plan *)
   | Deadline_exceeded  (** the transaction ran past its deadline *)
+  | Certifier_abort
+      (** the online certifier doomed it: one of its actions closed a
+          dependency cycle *)
 type status = Active | Committed | Aborted of abort_reason
 type step_outcome = Progress | Blocked of txn list | Finished
 
@@ -45,5 +48,9 @@ val trace : t -> History.t
 
 val trace_len : t -> int
 (** Number of actions emitted so far (O(1)); see {!Lock_engine.trace_len}. *)
+
+val set_trace_hook : t -> (int -> Action.t -> unit) -> unit
+(** Trace observation hook, called with [(position, action)] on each
+    append; see {!Lock_engine.set_trace_hook}. *)
 
 val final_state : t -> (key * value) list

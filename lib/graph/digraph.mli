@@ -1,0 +1,34 @@
+(** Mutable directed graphs over integer-identified nodes (transaction
+    ids), with adjacency stored in a fixed array of hash shards keyed by
+    [id mod shards]. Unlike [History.Digraph] — an immutable analysis
+    structure rebuilt per query — this one supports cheap edge and node
+    deletion, so long-running consumers (the waits-for graph, the online
+    certifier) can retire transactions as they finish.
+
+    Not internally synchronised: callers that mutate from several domains
+    must serialise access (as [Incremental] does). *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] is rounded up to a power of two; default 16. *)
+
+val add_node : t -> int -> unit
+(** Idempotent. *)
+
+val add_edge : t -> int -> int -> unit
+(** Adds both endpoints; idempotent on duplicate edges. *)
+
+val remove_edge : t -> int -> int -> unit
+val remove_out_edges : t -> int -> unit
+
+val remove_node : t -> int -> unit
+(** Removes the node and every edge incident to it. *)
+
+val mem_node : t -> int -> bool
+val mem_edge : t -> int -> int -> bool
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val nodes : t -> int list
+val node_count : t -> int
+val edge_count : t -> int

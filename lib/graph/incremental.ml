@@ -1,0 +1,133 @@
+(* Pearce–Kelly online topological order.
+
+   Invariant: for every edge a->b in [g], [ord a < ord b]. Priorities are
+   arbitrary distinct integers (not a dense 0..n-1 array), so node
+   insertion and deletion never renumber anything.
+
+   Inserting x->y when [ord x < ord y] already holds is O(1). Otherwise
+   the affected region is ord in [ord y, ord x]: a forward search from y
+   (which, by the invariant, can reach x only through that region) either
+   reaches x — the cycle case, reported with the discovery-parent path as
+   witness and the edge rejected — or collects the descendants F of y in
+   the region; a backward search from x collects its ancestors B. B and F
+   are disjoint (a shared node would itself witness a y ~> x path), and
+   reassigning the pooled priorities to B then F, each in old relative
+   order, restores the invariant with no node outside the region moved. *)
+
+type t = {
+  g : Digraph.t;
+  ord : (int, int) Hashtbl.t;
+  m : Mutex.t;
+  mutable next : int;
+}
+
+let create ?shards () =
+  {
+    g = Digraph.create ?shards ();
+    ord = Hashtbl.create 256;
+    m = Mutex.create ();
+    next = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let ensure_node t n =
+  if not (Digraph.mem_node t.g n) then begin
+    Digraph.add_node t.g n;
+    Hashtbl.replace t.ord n t.next;
+    t.next <- t.next + 1
+  end
+
+let ord t n = Hashtbl.find t.ord n
+
+(* Forward DFS from [y] through the affected region (ord < ord x; the
+   invariant bounds any y ~> x path inside it). Returns the witness path
+   [y; ...; x] if x is reached, else the visited set F (including y). *)
+let forward t ~x ~y ~ox =
+  let visited = Hashtbl.create 16 in
+  let parent = Hashtbl.create 16 in
+  let rec dfs n =
+    List.exists
+      (fun w ->
+        if w = x then begin
+          Hashtbl.replace parent w n;
+          true
+        end
+        else if (not (Hashtbl.mem visited w)) && ord t w < ox then begin
+          Hashtbl.replace visited w ();
+          Hashtbl.replace parent w n;
+          dfs w
+        end
+        else false)
+      (Digraph.succs t.g n)
+  in
+  Hashtbl.replace visited y ();
+  if dfs y then begin
+    let rec build acc n =
+      if n = y then n :: acc else build (n :: acc) (Hashtbl.find parent n)
+    in
+    `Cycle (build [] x)
+  end
+  else `F (Hashtbl.fold (fun n () acc -> n :: acc) visited [])
+
+(* Backward DFS from [x]: its ancestors inside the region (ord > ord y). *)
+let backward t ~x ~oy =
+  let visited = Hashtbl.create 16 in
+  let rec dfs n =
+    List.iter
+      (fun w ->
+        if (not (Hashtbl.mem visited w)) && ord t w > oy then begin
+          Hashtbl.replace visited w ();
+          dfs w
+        end)
+      (Digraph.preds t.g n)
+  in
+  Hashtbl.replace visited x ();
+  dfs x;
+  Hashtbl.fold (fun n () acc -> n :: acc) visited []
+
+let reorder t ~b ~f =
+  let by_ord ns = List.sort (fun a b -> compare (ord t a) (ord t b)) ns in
+  let seq = by_ord b @ by_ord f in
+  let pool = List.sort compare (List.map (ord t) seq) in
+  List.iter2 (fun n o -> Hashtbl.replace t.ord n o) seq pool
+
+let add_node t n = locked t (fun () -> ensure_node t n)
+
+let add_edge t x y =
+  locked t (fun () ->
+      ensure_node t x;
+      ensure_node t y;
+      if x = y then `Cycle [ x ]
+      else if Digraph.mem_edge t.g x y then `Exists
+      else begin
+        let ox = ord t x and oy = ord t y in
+        if ox < oy then begin
+          Digraph.add_edge t.g x y;
+          `Ok
+        end
+        else
+          match forward t ~x ~y ~ox with
+          | `Cycle _ as c -> c
+          | `F f ->
+            reorder t ~b:(backward t ~x ~oy) ~f;
+            Digraph.add_edge t.g x y;
+            `Ok
+      end)
+
+let remove_edge t a b = locked t (fun () -> Digraph.remove_edge t.g a b)
+let remove_out_edges t n = locked t (fun () -> Digraph.remove_out_edges t.g n)
+
+let remove_node t n =
+  locked t (fun () ->
+      Digraph.remove_node t.g n;
+      Hashtbl.remove t.ord n)
+
+let mem_edge t a b = locked t (fun () -> Digraph.mem_edge t.g a b)
+let succs t n = locked t (fun () -> Digraph.succs t.g n)
+let nodes t = locked t (fun () -> Digraph.nodes t.g)
+let node_count t = locked t (fun () -> Digraph.node_count t.g)
+let edge_count t = locked t (fun () -> Digraph.edge_count t.g)
+let order_of t n = locked t (fun () -> Hashtbl.find_opt t.ord n)

@@ -319,7 +319,98 @@ let detect_a5b ctx =
         (item_reads ctx))
     (item_reads ctx)
 
-let detect phenomenon h =
+(* Version-aware refinement for multiversion histories.
+
+   The detectors above match the paper's single-version templates
+   positionally. In a multiversion trace a read that positionally
+   follows a write may still have returned an older version — a
+   snapshot read — in which case the phenomenon did not occur; this is
+   exactly §4.2's argument that Snapshot Isolation cannot be judged in
+   single-version vocabulary. Each filter below keeps a witness only
+   when the recorded versions (or terminations) corroborate the
+   anomaly:
+
+   - P0/P4/P4C: versions are private until commit, so an overwrite is
+     only real when both transactions commit (what First-Committer-Wins
+     forbids).
+   - P1/A1: a dirty read must have returned the writer's uncommitted
+     version; predicate evaluations run against the snapshot and are
+     never dirty.
+   - P2/A2, P3/A3: a fuzzy read / phantom must be observed — a later
+     read (re-evaluation) by T1 returning a different version (item
+     set); reads of T1's own versions do not count.
+   - A5A: the second read must actually return T2's version.
+   - A5B: write skew is real under SI; kept as matched. *)
+let refine_mv h ws =
+  let arr = Array.of_list h in
+  let committed = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace committed t ()) (History.committed h);
+  let commits t = Hashtbl.mem committed t in
+  let read_at p = match arr.(p) with A.Read r -> Some r | _ -> None in
+  let pred_at p = match arr.(p) with A.Pred_read pr -> Some pr | _ -> None in
+  let minp (w : witness) = List.fold_left min max_int w.positions in
+  let maxp (w : witness) = List.fold_left max 0 w.positions in
+  let keys_differ a b = List.sort compare a <> List.sort compare b in
+  let rereads_differently ~after t k ver =
+    Array.exists Fun.id
+      (Array.mapi
+         (fun p a ->
+           p > after
+           &&
+           match a with
+           | A.Read r -> r.A.rt = t && r.A.rk = k && r.A.rver <> ver
+                         && r.A.rver <> Some t
+           | _ -> false)
+         arr)
+  in
+  let reevaluates_differently ~after t pname keys =
+    Array.exists Fun.id
+      (Array.mapi
+         (fun p a ->
+           p > after
+           &&
+           match a with
+           | A.Pred_read pr ->
+             pr.A.pt = t && pr.A.pname = pname && keys_differ pr.A.pkeys keys
+           | _ -> false)
+         arr)
+  in
+  let keep (w : witness) =
+    match w.phenomenon with
+    | Phenomenon.P0 | Phenomenon.P4 | Phenomenon.P4C ->
+      commits w.t1 && commits w.t2
+    | Phenomenon.P1 | Phenomenon.A1 -> (
+      match read_at (maxp w) with
+      | Some r -> (
+        match r.A.rver with Some v -> v = w.t1 | None -> true)
+      | None -> false)
+    | Phenomenon.P2 -> (
+      match read_at (minp w) with
+      | Some r -> rereads_differently ~after:(minp w) w.t1 r.A.rk r.A.rver
+      | None -> true)
+    | Phenomenon.A2 -> (
+      match (read_at (minp w), read_at (maxp w)) with
+      | Some r, Some r' -> r'.A.rver <> r.A.rver && r'.A.rver <> Some w.t1
+      | _ -> true)
+    | Phenomenon.P3 -> (
+      match pred_at (minp w) with
+      | Some pr ->
+        reevaluates_differently ~after:(minp w) w.t1 pr.A.pname pr.A.pkeys
+      | None -> true)
+    | Phenomenon.A3 -> (
+      match (pred_at (minp w), pred_at (maxp w)) with
+      | Some pr, Some pr' -> keys_differ pr.A.pkeys pr'.A.pkeys
+      | _ -> true)
+    | Phenomenon.A5A -> (
+      match read_at (maxp w) with
+      | Some r -> (
+        match r.A.rver with Some v -> v = w.t2 | None -> true)
+      | None -> true)
+    | Phenomenon.A5B -> true
+  in
+  List.filter keep ws
+
+let detect_raw phenomenon h =
   let ctx = context h in
   match (phenomenon : Phenomenon.t) with
   | P0 -> detect_p0 ctx
@@ -333,6 +424,13 @@ let detect phenomenon h =
   | P4C -> detect_p4c ctx
   | A5A -> detect_a5a ctx
   | A5B -> detect_a5b ctx
+
+(* Multiversion histories get the version-aware refinement by default,
+   so the runtime oracle and deterministic Sim runs over MV traces share
+   one detector library. *)
+let detect phenomenon h =
+  let ws = detect_raw phenomenon h in
+  if ws <> [] && History.Mv.is_mv h then refine_mv h ws else ws
 
 let occurs phenomenon h = detect phenomenon h <> []
 let exhibited h = List.filter (fun p -> occurs p h) Phenomenon.all

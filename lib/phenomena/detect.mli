@@ -17,7 +17,23 @@ type witness = {
 val pp_witness : witness Fmt.t
 
 val detect : Phenomenon.t -> History.t -> witness list
-(** All instances of the phenomenon in the history. *)
+(** All instances of the phenomenon in the history. On a multiversion
+    history (any version-annotated read, {!History.Mv.is_mv}) the
+    positional matches are filtered through {!refine_mv}, so a snapshot
+    read that positionally follows a write does not count as having
+    observed it — §4.2's argument that SI cannot be judged in
+    single-version vocabulary. *)
+
+val detect_raw : Phenomenon.t -> History.t -> witness list
+(** The purely positional template matches, with no version-aware
+    refinement — the paper's single-version reading verbatim. *)
+
+val refine_mv : History.t -> witness list -> witness list
+(** Keep only witnesses the recorded versions (or terminations)
+    corroborate: P0/P4/P4C need both transactions committed, a dirty
+    read must return the writer's version, a fuzzy read / phantom must
+    be observed by a later differing read, A5A's second read must
+    return T2's version. A5B (write skew) is kept as matched. *)
 
 val occurs : Phenomenon.t -> History.t -> bool
 val exhibited : History.t -> Phenomenon.t list

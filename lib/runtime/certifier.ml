@@ -1,0 +1,590 @@
+(* Online serializability certification over the incremental dependency
+   graph ({!Graph.Incremental}).
+
+   The certifier consumes the recorded history action by action — fed by
+   the engine's trace hook as each step commits to the trace, or offline
+   via {!replay} — and maintains a *reduced* dependency graph whose
+   transitive closure equals the offline graph's:
+
+   - Single-version families (locking, timestamp ordering): per key, a
+     stack of "eras", one per write, each holding its writer and the
+     readers that observed it (the explicit bottom era has writer 0, the
+     initial state). A read adds wr(top.writer -> reader) and joins the
+     top era; a write adds ww(top.writer -> writer) plus
+     rw(top.readers -> writer) and pushes a fresh era. Only
+     immediate-neighbour edges are inserted; earlier writers and buried
+     readers are reached through the ww chain, so the closure — and
+     hence the cycles — match {!History.Conflict.graph} exactly.
+     Predicates keep flat reader/writer lists per predicate name,
+     mirroring {!History.Action.conflicts} (no era chain: a predicate
+     read conflicts with every writer that declares the name).
+
+   - Multiversion family: a mirror of {!History.Mv.mvsg}. Version order
+     is commit order, so ww(lcw -> T) and rw(readers(lcw) -> T) land
+     when T commits a key; reads add wr(version -> reader) plus
+     rw(reader -> committed successor version). Writes and reads also
+     add those edges *optimistically* against pending writers — genuine
+     exactly if the writer commits, and erased by the purge if it
+     aborts — so a wr-ww-rw cycle (e.g. write skew under SI) is caught
+     before the closing transaction commits, not after.
+
+   An aborted transaction is purged: its graph node (and thus every
+   edge through it) disappears, and the single-version era merge
+   re-wires the surviving neighbours (wr from the writer below, rw/ww
+   to the writer above) so the graph keeps describing exactly the
+   dependencies among surviving transactions.
+
+   {!Graph.Incremental.add_edge} rejects an edge that would close a
+   cycle and returns the witness immediately. In [Enforce] mode the
+   certifier then dooms the acting transaction (or, for edges not
+   attributable to a live actor — commit-time multiversion closures,
+   purge re-wires — the youngest still-active cycle member); the pool
+   polls {!doomed} and aborts the victim before its next operation, so
+   the committed projection stays acyclic. In [Observe] mode rejected
+   edges are only recorded. Either way {!finalize} replays the rejected
+   edges whose endpoints both committed, in arrival order, over the
+   purged graph: the first re-rejection is a genuine committed-
+   projection cycle, and its absence is a full, non-windowed
+   serializability verdict. *)
+
+module Action = History.Action
+
+type mode = Observe | Enforce
+type family = [ `Locking | `Mv | `Timestamp ]
+type kind = Wr | Ww | Rw
+
+let kind_name = function Wr -> "wr" | Ww -> "ww" | Rw -> "rw"
+
+type violation = {
+  cycle : int list;
+  dep : string;
+  src : int;
+  dst : int;
+  doomed : int option;
+}
+
+type summary = {
+  mode : mode;
+  edges_wr : int;
+  edges_ww : int;
+  edges_rw : int;
+  cycles : int;
+  dooms : int;
+  misses : int;
+  serializable : bool;
+  witness : int list option;
+  violations : violation list;
+}
+
+(* {2 Per-key state} *)
+
+(* Single-version: one era per write of the key, top (latest) first; the
+   bottom era is the initial state, writer 0. *)
+type era = { writer : int; mutable readers : int list }
+type key_sv = { mutable eras : era list }
+
+type pred_state = { mutable preaders : int list; mutable pwriters : int list }
+
+(* Multiversion: last committed writer, committed writers newest-first
+   (the tail of {!History.Mv.version_order} reversed), readers per
+   version, and the pending (uncommitted) writers. *)
+type key_mv = {
+  mutable lcw : int;
+  mutable vorder_rev : int list;
+  readers : (int, int list ref) Hashtbl.t;
+  mutable pending : int list;
+}
+
+type status = Active | Committed | Aborted
+
+type t = {
+  mode : mode;
+  family : family;
+  g : Graph.Incremental.t;
+  m : Mutex.t;
+  keys_sv : (string, key_sv) Hashtbl.t;
+  preds : (string, pred_state) Hashtbl.t;
+  keys_mv : (string, key_mv) Hashtbl.t;
+  written : (int, string list ref) Hashtbl.t;
+  wpreds_of : (int, string list ref) Hashtbl.t;
+  preads_of : (int, string list ref) Hashtbl.t;
+  status : (int, status) Hashtbl.t;
+  doomed_tbl : (int, unit) Hashtbl.t;
+  mutable pending_edges : (int * int * kind) list; (* rejected, reversed *)
+  mutable violations : violation list;             (* reversed, capped *)
+  mutable edges_wr : int;
+  mutable edges_ww : int;
+  mutable edges_rw : int;
+  mutable cycles : int;
+  mutable dooms : int;
+  mutable misses : int;
+  on_edge : (src:int -> dst:int -> dep:string -> unit) option;
+  on_cycle : (violation -> unit) option;
+}
+
+let max_stored_violations = 64
+
+let create ?on_edge ?on_cycle ~mode ~family () =
+  {
+    mode;
+    family;
+    g = Graph.Incremental.create ();
+    m = Mutex.create ();
+    keys_sv = Hashtbl.create 64;
+    preds = Hashtbl.create 8;
+    keys_mv = Hashtbl.create 64;
+    written = Hashtbl.create 64;
+    wpreds_of = Hashtbl.create 16;
+    preads_of = Hashtbl.create 16;
+    status = Hashtbl.create 64;
+    doomed_tbl = Hashtbl.create 8;
+    pending_edges = [];
+    violations = [];
+    edges_wr = 0;
+    edges_ww = 0;
+    edges_rw = 0;
+    cycles = 0;
+    dooms = 0;
+    misses = 0;
+    on_edge;
+    on_cycle;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let status_of t n = Option.value ~default:Active (Hashtbl.find_opt t.status n)
+let is_active t n = n <> 0 && status_of t n = Active
+
+(* {2 Edge offers}
+
+   Every dependency the rules derive goes through [offer]: self-edges,
+   edges through the virtual initial transaction 0 and edges touching an
+   already-aborted transaction are dropped; the rest are inserted unless
+   they would close a cycle. A rejected edge is remembered for the
+   finalize replay, and in [Enforce] mode dooms [actor] if it is still
+   active (it always sits on the cycle: every rule emits edges with the
+   acting transaction as one endpoint), else the youngest active cycle
+   member, else counts as a miss. *)
+let offer ?actor ~dep t src dst =
+  if
+    src <> dst && src <> 0 && dst <> 0
+    && status_of t src <> Aborted
+    && status_of t dst <> Aborted
+  then
+    match Graph.Incremental.add_edge t.g src dst with
+    | `Exists -> ()
+    | `Ok ->
+      (match dep with
+      | Wr -> t.edges_wr <- t.edges_wr + 1
+      | Ww -> t.edges_ww <- t.edges_ww + 1
+      | Rw -> t.edges_rw <- t.edges_rw + 1);
+      (match t.on_edge with
+      | Some f -> f ~src ~dst ~dep:(kind_name dep)
+      | None -> ())
+    | `Cycle cycle ->
+      t.cycles <- t.cycles + 1;
+      t.pending_edges <- (src, dst, dep) :: t.pending_edges;
+      let victim =
+        if t.mode <> Enforce then None
+        else begin
+          let doomable n = is_active t n && not (Hashtbl.mem t.doomed_tbl n) in
+          let v =
+            match actor with
+            | Some a when doomable a -> Some a
+            | _ ->
+              List.fold_left
+                (fun acc n ->
+                  if doomable n then
+                    match acc with Some m when m >= n -> acc | _ -> Some n
+                  else acc)
+                None cycle
+          in
+          (match v with
+          | Some a ->
+            Hashtbl.replace t.doomed_tbl a ();
+            t.dooms <- t.dooms + 1
+          | None -> t.misses <- t.misses + 1);
+          v
+        end
+      in
+      let v = { cycle; dep = kind_name dep; src; dst; doomed = victim } in
+      if t.cycles <= max_stored_violations then t.violations <- v :: t.violations;
+      (match t.on_cycle with Some f -> f v | None -> ())
+
+let note_in tbl tid v =
+  match Hashtbl.find_opt tbl tid with
+  | Some l -> if not (List.mem v !l) then l := v :: !l
+  | None -> Hashtbl.replace tbl tid (ref [ v ])
+
+let noted tbl tid =
+  match Hashtbl.find_opt tbl tid with Some l -> !l | None -> []
+
+(* {2 Single-version rules} *)
+
+let key_sv t k =
+  match Hashtbl.find_opt t.keys_sv k with
+  | Some s -> s
+  | None ->
+    let s = { eras = [ { writer = 0; readers = [] } ] } in
+    Hashtbl.replace t.keys_sv k s;
+    s
+
+let pred_state t p =
+  match Hashtbl.find_opt t.preds p with
+  | Some s -> s
+  | None ->
+    let s = { preaders = []; pwriters = [] } in
+    Hashtbl.replace t.preds p s;
+    s
+
+let add_reader (era : era) r =
+  if not (List.mem r era.readers) then era.readers <- r :: era.readers
+
+(* The era directly above (written after) [era], if any; [eras] is
+   top-first. *)
+let era_above eras (era : era) =
+  let rec go = function
+    | (a : era) :: (b :: _ as rest) -> if b == era then Some a else go rest
+    | _ -> None
+  in
+  go eras
+
+let sv_read t tid k rver =
+  let s = key_sv t k in
+  let era =
+    match rver with
+    | Some v when v <> tid -> (
+      (* an annotated (snapshot) read of a buried version joins that
+         version's era and antidepends on the writer above it *)
+      match List.find_opt (fun e -> e.writer = v) s.eras with
+      | Some e -> e
+      | None -> List.hd s.eras)
+    | _ -> List.hd s.eras
+  in
+  offer ~actor:tid ~dep:Wr t era.writer tid;
+  (match era_above s.eras era with
+  | Some a -> offer ~actor:tid ~dep:Rw t tid a.writer
+  | None -> ());
+  add_reader era tid
+
+let sv_write t tid k wpreds =
+  let s = key_sv t k in
+  (match s.eras with
+  | top :: _ when top.writer = tid ->
+    (* re-write: the era's readers saw the earlier value, so their reads
+       precede this write — a genuine antidependency *)
+    List.iter (fun r -> offer ~actor:tid ~dep:Rw t r tid) top.readers
+  | top :: _ ->
+    offer ~actor:tid ~dep:Ww t top.writer tid;
+    List.iter (fun r -> offer ~actor:tid ~dep:Rw t r tid) top.readers;
+    s.eras <- { writer = tid; readers = [] } :: s.eras;
+    note_in t.written tid k
+  | [] -> assert false);
+  List.iter
+    (fun p ->
+      let ps = pred_state t p in
+      List.iter (fun r -> offer ~actor:tid ~dep:Rw t r tid) ps.preaders;
+      if not (List.mem tid ps.pwriters) then ps.pwriters <- tid :: ps.pwriters;
+      note_in t.wpreds_of tid p)
+    wpreds
+
+let sv_pred_read t tid pname pkeys =
+  List.iter
+    (fun k ->
+      let s = key_sv t k in
+      let top = List.hd s.eras in
+      offer ~actor:tid ~dep:Wr t top.writer tid;
+      add_reader top tid)
+    pkeys;
+  let ps = pred_state t pname in
+  List.iter (fun w -> offer ~actor:tid ~dep:Wr t w tid) ps.pwriters;
+  if not (List.mem tid ps.preaders) then ps.preaders <- tid :: ps.preaders;
+  note_in t.preads_of tid pname
+
+(* Purging an aborted transaction's eras: each of its eras merges into
+   the era below — the below writer's value is what the merged readers
+   (and, with the era gone, the below era's own readers' successor
+   edges) now relate to. The re-wired edges are exactly the surviving
+   projection's dependencies: wr(below.writer -> r) because the abort's
+   undo restored below's value, and rw(r -> above.writer) /
+   ww(below.writer -> above.writer) because [above] is now the next
+   surviving write. *)
+let sv_purge t tid =
+  List.iter
+    (fun k ->
+      let s = key_sv t k in
+      let rec go ~above = function
+        | [] -> []
+        | era :: rest when era.writer = tid ->
+          let rest' = go ~above rest in
+          (match rest' with
+          | below :: _ ->
+            List.iter
+              (fun r ->
+                offer ~dep:Wr t below.writer r;
+                add_reader below r)
+              era.readers;
+            (match above with
+            | Some (a : era) ->
+              offer ~dep:Ww t below.writer a.writer;
+              List.iter (fun r -> offer ~dep:Rw t r a.writer) below.readers
+            | None -> ())
+          | [] -> ());
+          rest'
+        | era :: rest -> era :: go ~above:(Some era) rest
+      in
+      s.eras <- go ~above:None s.eras)
+    (noted t.written tid);
+  List.iter
+    (fun p ->
+      let ps = pred_state t p in
+      ps.pwriters <- List.filter (fun w -> w <> tid) ps.pwriters)
+    (noted t.wpreds_of tid);
+  List.iter
+    (fun p ->
+      let ps = pred_state t p in
+      ps.preaders <- List.filter (fun r -> r <> tid) ps.preaders)
+    (noted t.preads_of tid);
+  Hashtbl.remove t.written tid;
+  Hashtbl.remove t.wpreds_of tid;
+  Hashtbl.remove t.preads_of tid
+
+(* {2 Multiversion rules} *)
+
+let key_mv t k =
+  match Hashtbl.find_opt t.keys_mv k with
+  | Some s -> s
+  | None ->
+    let s =
+      { lcw = 0; vorder_rev = []; readers = Hashtbl.create 4; pending = [] }
+    in
+    Hashtbl.replace t.keys_mv k s;
+    s
+
+let mv_readers s v =
+  match Hashtbl.find_opt s.readers v with Some l -> !l | None -> []
+
+let mv_add_reader s v tid =
+  match Hashtbl.find_opt s.readers v with
+  | Some l -> if not (List.mem tid !l) then l := tid :: !l
+  | None -> Hashtbl.replace s.readers v (ref [ tid ])
+
+(* The committed version directly after [v] in commit order, if any. *)
+let mv_succ s v =
+  if v = s.lcw then None
+  else if v = 0 then
+    match List.rev s.vorder_rev with w :: _ -> Some w | [] -> None
+  else
+    let rec go = function
+      | newer :: v' :: _ when v' = v -> Some newer
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go s.vorder_rev
+
+let mv_read t tid k rver =
+  let s = key_mv t k in
+  let v =
+    match rver with
+    | Some v -> v
+    | None -> if List.mem tid s.pending then tid else s.lcw
+  in
+  if v <> tid then begin
+    offer ~actor:tid ~dep:Wr t v tid;
+    mv_add_reader s v tid;
+    (match mv_succ s v with
+    | Some w -> offer ~actor:tid ~dep:Rw t tid w
+    | None -> ());
+    (* optimistic: a pending writer's version will follow [v] in commit
+       order if it commits — unless [v] itself is pending, in which case
+       their relative order is unknowable yet *)
+    if not (List.mem v s.pending) then
+      List.iter
+        (fun w -> if w <> v then offer ~actor:tid ~dep:Rw t tid w)
+        s.pending
+  end
+
+let mv_write t tid k =
+  let s = key_mv t k in
+  if not (List.mem tid s.pending) then begin
+    s.pending <- tid :: s.pending;
+    note_in t.written tid k
+  end;
+  (* optimistic mirrors of the commit-time edges: if tid commits, its
+     version follows the currently last committed one *)
+  offer ~actor:tid ~dep:Ww t s.lcw tid;
+  List.iter (fun r -> offer ~actor:tid ~dep:Rw t r tid) (mv_readers s s.lcw)
+
+let mv_commit t tid =
+  List.iter
+    (fun k ->
+      let s = key_mv t k in
+      s.pending <- List.filter (fun w -> w <> tid) s.pending;
+      offer ~dep:Ww t s.lcw tid;
+      List.iter (fun r -> offer ~dep:Rw t r tid) (mv_readers s s.lcw);
+      s.vorder_rev <- tid :: s.vorder_rev;
+      s.lcw <- tid)
+    (noted t.written tid)
+
+let mv_purge t tid =
+  List.iter
+    (fun k ->
+      let s = key_mv t k in
+      s.pending <- List.filter (fun w -> w <> tid) s.pending)
+    (noted t.written tid);
+  Hashtbl.remove t.written tid
+
+(* {2 The feed} *)
+
+let seen t tid =
+  if not (Hashtbl.mem t.status tid) then Hashtbl.replace t.status tid Active
+
+let observe_locked t (a : Action.t) =
+  let tid = Action.txn a in
+  seen t tid;
+  match t.family with
+  | `Locking | `Timestamp -> (
+    match a with
+    | Action.Read r -> sv_read t tid r.rk r.rver
+    | Action.Write w -> sv_write t tid w.wk w.wpreds
+    | Action.Pred_read p -> sv_pred_read t tid p.pname p.pkeys
+    | Action.Commit _ -> Hashtbl.replace t.status tid Committed
+    | Action.Abort _ ->
+      Hashtbl.replace t.status tid Aborted;
+      sv_purge t tid;
+      Graph.Incremental.remove_node t.g tid)
+  | `Mv -> (
+    match a with
+    | Action.Read r -> mv_read t tid r.rk r.rver
+    | Action.Write w -> mv_write t tid w.wk
+    | Action.Pred_read _ -> () (* the MVSG has no predicate vocabulary *)
+    | Action.Commit _ ->
+      Hashtbl.replace t.status tid Committed;
+      mv_commit t tid
+    | Action.Abort _ ->
+      Hashtbl.replace t.status tid Aborted;
+      mv_purge t tid;
+      Graph.Incremental.remove_node t.g tid)
+
+let observe t _pos a = locked t (fun () -> observe_locked t a)
+let doomed t tid = locked t (fun () -> Hashtbl.mem t.doomed_tbl tid)
+
+(* {2 The final verdict}
+
+   Purge the transactions that never terminated (they are outside the
+   committed projection), then re-offer the rejected edges whose
+   endpoints both committed, in arrival order. The maintained graph is
+   closure-equal to the offline dependency graph of the committed
+   projection, so the first re-rejection witnesses a genuine cycle —
+   and if every re-offer lands, the projection is serializable. *)
+let finalize t =
+  locked t (fun () ->
+      let stragglers =
+        Hashtbl.fold
+          (fun n st acc -> if st = Active then n :: acc else acc)
+          t.status []
+      in
+      List.iter
+        (fun n ->
+          Hashtbl.replace t.status n Aborted;
+          (match t.family with
+          | `Locking | `Timestamp -> sv_purge t n
+          | `Mv -> mv_purge t n);
+          Graph.Incremental.remove_node t.g n)
+        (List.sort compare stragglers);
+      let witness = ref None in
+      List.iter
+        (fun (src, dst, _) ->
+          if
+            !witness = None
+            && status_of t src = Committed
+            && status_of t dst = Committed
+          then
+            match Graph.Incremental.add_edge t.g src dst with
+            | `Ok | `Exists -> ()
+            | `Cycle c -> witness := Some c)
+        (List.rev t.pending_edges);
+      {
+        mode = t.mode;
+        edges_wr = t.edges_wr;
+        edges_ww = t.edges_ww;
+        edges_rw = t.edges_rw;
+        cycles = t.cycles;
+        dooms = t.dooms;
+        misses = t.misses;
+        serializable = !witness = None;
+        witness = !witness;
+        violations = List.rev t.violations;
+      })
+
+let replay ?(mode = Observe) ?family h =
+  let family =
+    match family with
+    | Some f -> f
+    | None -> if History.Mv.is_mv h then `Mv else `Locking
+  in
+  let t = create ~mode ~family () in
+  List.iteri (fun i a -> observe t i a) h;
+  finalize t
+
+(* {2 Printing} *)
+
+let pp_mode ppf = function
+  | Observe -> Fmt.string ppf "observe"
+  | Enforce -> Fmt.string ppf "enforce"
+
+let pp_cycle ppf c =
+  Fmt.(list ~sep:(any " -> ") (fmt "T%d")) ppf (c @ [ List.hd c ])
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s T%d -> T%d closes %a%a" v.dep v.src v.dst pp_cycle v.cycle
+    (fun ppf -> function
+      | Some d -> Fmt.pf ppf " (doomed T%d)" d
+      | None -> ())
+    v.doomed
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf
+    "certifier (%a): %d wr + %d ww + %d rw edges, %d cycle%s rejected, %d \
+     doomed, %d missed; committed projection %s"
+    pp_mode s.mode s.edges_wr s.edges_ww s.edges_rw s.cycles
+    (if s.cycles = 1 then "" else "s")
+    s.dooms s.misses
+    (match s.witness with
+    | None -> "serializable"
+    | Some c -> Fmt.str "cyclic: %a" pp_cycle c)
+
+let to_json (s : summary) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"mode":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d,"serializable":%b|}
+       (match s.mode with Observe -> "observe" | Enforce -> "enforce")
+       s.edges_wr s.edges_ww s.edges_rw s.cycles s.dooms s.misses
+       s.serializable);
+  (match s.witness with
+  | Some c ->
+    Buffer.add_string b ",\"witness\":[";
+    List.iteri
+      (fun i n ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int n))
+      c;
+    Buffer.add_char b ']'
+  | None -> ());
+  Buffer.add_string b ",\"violations\":[";
+  List.iteri
+    (fun i (v : violation) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf {|{"dep":"%s","src":%d,"dst":%d,"cycle":[%s]%s}|} v.dep
+           v.src v.dst
+           (String.concat "," (List.map string_of_int v.cycle))
+           (match v.doomed with
+           | Some d -> Printf.sprintf {|,"doomed":%d|} d
+           | None -> "")))
+    s.violations;
+  Buffer.add_string b "]}";
+  Buffer.contents b

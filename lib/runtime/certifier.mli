@@ -1,0 +1,84 @@
+(** Online serializability certification.
+
+    A certifier ingests the recorded history one action at a time —
+    through the engine trace hook during a live run, or via {!replay}
+    offline — and maintains a reduced dependency graph on the
+    incremental topological order of {!Graph.Incremental}: wr / ww / rw
+    edges whose transitive closure equals the offline
+    {!History.Conflict.graph} (single-version families) or
+    {!History.Mv.mvsg} (multiversion family). The closing edge of a
+    dependency cycle is rejected and reported the moment it is offered.
+
+    In [Enforce] mode the transaction whose action closed the cycle is
+    doomed on the spot; the worker pool polls {!doomed} and aborts it
+    before its next operation, so anomalies are certified away rather
+    than observed. In [Observe] mode cycles are only recorded.
+    {!finalize} turns either run into a full, non-windowed verdict on
+    the committed projection by purging unfinished transactions and
+    replaying the rejected edges whose endpoints committed. *)
+
+type mode = Observe | Enforce
+type family = [ `Locking | `Mv | `Timestamp ]
+
+type violation = {
+  cycle : int list;      (** the witness: [n1 -> ... -> nk -> n1] *)
+  dep : string;          (** the closing edge's kind: "wr", "ww" or "rw" *)
+  src : int;
+  dst : int;
+  doomed : int option;   (** the transaction doomed for it, if enforcing *)
+}
+
+type summary = {
+  mode : mode;
+  edges_wr : int;        (** distinct write-read edges inserted *)
+  edges_ww : int;
+  edges_rw : int;
+  cycles : int;          (** closing edges rejected during the run *)
+  dooms : int;           (** transactions doomed (Enforce) *)
+  misses : int;          (** cycles with no active member left to doom *)
+  serializable : bool;   (** the committed projection's final verdict *)
+  witness : int list option;
+  violations : violation list;  (** at most 64 retained, in order *)
+}
+
+type t
+
+val create :
+  ?on_edge:(src:int -> dst:int -> dep:string -> unit) ->
+  ?on_cycle:(violation -> unit) ->
+  mode:mode ->
+  family:family ->
+  unit ->
+  t
+(** [on_edge] fires for every edge actually inserted, [on_cycle] for
+    every rejected closing edge — both inside the certifier's critical
+    section, so keep them cheap (the pool uses them to emit
+    [Dep_edge] / [Dep_cycle] trace events). *)
+
+val observe : t -> int -> History.Action.t -> unit
+(** Feed one action, in history order; the [int] is its position
+    (matching the {!Core.Engine.set_trace_hook} signature). Safe to call
+    concurrently with {!doomed}. *)
+
+val doomed : t -> int -> bool
+(** Has the transaction been doomed for closing a cycle? Polled by
+    workers before each operation. *)
+
+val finalize : t -> summary
+(** The final verdict; call once the run is over (every transaction
+    terminated or permanently idle). *)
+
+val replay : ?mode:mode -> ?family:family -> History.t -> summary
+(** Run a fresh certifier over a complete history. [family] defaults to
+    [`Mv] when the history is version-annotated ({!History.Mv.is_mv}),
+    else [`Locking] — the same dispatch the offline oracle uses, so
+    [(replay h).serializable] agrees with
+    {!History.Conflict.is_serializable} / {!History.Mv.is_one_copy_serializable}
+    on the committed projection. *)
+
+val pp_violation : violation Fmt.t
+val pp_summary : summary Fmt.t
+
+val to_json : summary -> string
+(** One JSON object: mode, per-kind [dep_edges] counts, cycle/doom/miss
+    counters, the verdict, the witness and the retained violations. *)

@@ -41,6 +41,11 @@ type t = {
   faults_injected : Stripes.Counter.t;
   deadline_exceeded : Stripes.Counter.t;
   watchdog_kicks : Stripes.Counter.t;
+  (* Online certification: transactions the certifier doomed because one
+     of their actions closed a dependency cycle. Also an abort reason;
+     kept as its own counter so the stress report surfaces it even when
+     buried among retries. *)
+  certifier_aborts : Stripes.Counter.t;
   mutable started_at : float;
   mutable stopped_at : float;
 }
@@ -48,7 +53,7 @@ type t = {
 let reasons =
   [| Engine.User_abort; Engine.Deadlock_victim; Engine.First_committer_wins;
      Engine.First_updater_wins; Engine.Serialization_failure; Engine.Too_late;
-     Engine.Fault_injected; Engine.Deadline_exceeded |]
+     Engine.Fault_injected; Engine.Deadline_exceeded; Engine.Certifier_abort |]
 
 let reason_index = function
   | Engine.User_abort -> 0
@@ -59,6 +64,7 @@ let reason_index = function
   | Engine.Too_late -> 5
   | Engine.Fault_injected -> 6
   | Engine.Deadline_exceeded -> 7
+  | Engine.Certifier_abort -> 8
 
 let abort_reason_slug = function
   | Engine.User_abort -> "user_abort"
@@ -69,6 +75,7 @@ let abort_reason_slug = function
   | Engine.Too_late -> "too_late"
   | Engine.Fault_injected -> "fault_injected"
   | Engine.Deadline_exceeded -> "deadline_exceeded"
+  | Engine.Certifier_abort -> "certifier_abort"
 
 let create ?(stripes = 1) () =
   let nstripes = max 1 stripes + 1 (* + the predicate stripe *) in
@@ -94,6 +101,7 @@ let create ?(stripes = 1) () =
     faults_injected = Stripes.Counter.create ();
     deadline_exceeded = Stripes.Counter.create ();
     watchdog_kicks = Stripes.Counter.create ();
+    certifier_aborts = Stripes.Counter.create ();
     started_at = 0.;
     stopped_at = 0.;
   }
@@ -139,6 +147,7 @@ let record_giveup t = Stripes.Counter.incr t.giveups
 let record_fault t = Stripes.Counter.incr t.faults_injected
 let record_deadline_exceeded t = Stripes.Counter.incr t.deadline_exceeded
 let record_watchdog t = Stripes.Counter.incr t.watchdog_kicks
+let record_certifier_abort t = Stripes.Counter.incr t.certifier_aborts
 
 type snapshot = {
   committed : int;
@@ -171,6 +180,7 @@ type snapshot = {
   faults_injected : int;
   deadline_exceeded : int;
   watchdog_kicks : int;
+  certifier_aborts : int;
 }
 
 (* Quantile from the histogram: the geometric midpoint of the first
@@ -247,6 +257,7 @@ let snapshot (t : t) =
     faults_injected = Stripes.Counter.sum t.faults_injected;
     deadline_exceeded = Stripes.Counter.sum t.deadline_exceeded;
     watchdog_kicks = Stripes.Counter.sum t.watchdog_kicks;
+    certifier_aborts = Stripes.Counter.sum t.certifier_aborts;
   }
 
 let pp ppf s =
@@ -270,6 +281,8 @@ let pp ppf s =
   then
     Fmt.pf ppf "@,chaos: faults %d  deadline exceeded %d  watchdog kicks %d"
       s.faults_injected s.deadline_exceeded s.watchdog_kicks;
+  if s.certifier_aborts > 0 then
+    Fmt.pf ppf "@,certifier aborts %d" s.certifier_aborts;
   if s.aborted <> [] then begin
     Fmt.pf ppf "@,aborts by reason:";
     List.iter
@@ -322,5 +335,6 @@ let to_json ?(extra = []) s =
   field "faults_injected" (string_of_int s.faults_injected);
   field "deadline_exceeded" (string_of_int s.deadline_exceeded);
   field "watchdog_kicks" (string_of_int s.watchdog_kicks);
+  field "certifier_aborts" (string_of_int s.certifier_aborts);
   Buffer.add_char b '}';
   Buffer.contents b

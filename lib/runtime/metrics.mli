@@ -62,6 +62,11 @@ val record_deadline_exceeded : t -> unit
 val record_watchdog : t -> unit
 (** The watchdog saw a worker make no step progress past its threshold. *)
 
+val record_certifier_abort : t -> unit
+(** The online certifier doomed a transaction whose action closed a
+    dependency cycle (also recorded as an abort with reason
+    [Certifier_abort] when the worker notices the doom). *)
+
 type snapshot = {
   committed : int;
   aborted : (Core.Engine.abort_reason * int) list;  (** non-zero reasons *)
@@ -100,6 +105,9 @@ type snapshot = {
       (** fault-plan injections (events, not aborts: a stall counts) *)
   deadline_exceeded : int;  (** attempts aborted for blowing the deadline *)
   watchdog_kicks : int;  (** watchdog sightings of a stuck worker *)
+  certifier_aborts : int;
+      (** transactions doomed by the online certifier for closing a
+          dependency cycle *)
 }
 
 val snapshot : t -> snapshot

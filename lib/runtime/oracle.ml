@@ -16,99 +16,6 @@ let is_anomaly = function
   | P.P0 | P.P1 | P.P2 | P.P3 -> false
   | P.A1 | P.A2 | P.A3 | P.P4 | P.P4C | P.A5A | P.A5B -> true
 
-(* Version-aware refinement for multiversion histories.
-
-   The detectors match the paper's single-version templates
-   positionally. In a multiversion trace a read that positionally
-   follows a write may still have returned an older version — a
-   snapshot read — in which case the phenomenon did not occur; this is
-   exactly §4.2's argument that Snapshot Isolation cannot be judged in
-   single-version vocabulary. Each filter below keeps a witness only
-   when the recorded versions (or terminations) corroborate the
-   anomaly:
-
-   - P0/P4/P4C: versions are private until commit, so an overwrite is
-     only real when both transactions commit (what First-Committer-Wins
-     forbids).
-   - P1/A1: a dirty read must have returned the writer's uncommitted
-     version; predicate evaluations run against the snapshot and are
-     never dirty.
-   - P2/A2, P3/A3: a fuzzy read / phantom must be observed — a later
-     read (re-evaluation) by T1 returning a different version (item
-     set); reads of T1's own versions do not count.
-   - A5A: the second read must actually return T2's version.
-   - A5B: write skew is real under SI; kept as matched. *)
-let refine_mv h hits =
-  let arr = Array.of_list h in
-  let committed = Hashtbl.create 16 in
-  List.iter (fun t -> Hashtbl.replace committed t ()) (History.committed h);
-  let commits t = Hashtbl.mem committed t in
-  let read_at p = match arr.(p) with A.Read r -> Some r | _ -> None in
-  let pred_at p = match arr.(p) with A.Pred_read pr -> Some pr | _ -> None in
-  let minp (w : Detect.witness) = List.fold_left min max_int w.positions in
-  let maxp (w : Detect.witness) = List.fold_left max 0 w.positions in
-  let keys_differ a b = List.sort compare a <> List.sort compare b in
-  let rereads_differently ~after t k ver =
-    Array.exists Fun.id
-      (Array.mapi
-         (fun p a ->
-           p > after
-           &&
-           match a with
-           | A.Read r -> r.A.rt = t && r.A.rk = k && r.A.rver <> ver
-                         && r.A.rver <> Some t
-           | _ -> false)
-         arr)
-  in
-  let reevaluates_differently ~after t pname keys =
-    Array.exists Fun.id
-      (Array.mapi
-         (fun p a ->
-           p > after
-           &&
-           match a with
-           | A.Pred_read pr ->
-             pr.A.pt = t && pr.A.pname = pname && keys_differ pr.A.pkeys keys
-           | _ -> false)
-         arr)
-  in
-  let keep (w : Detect.witness) =
-    match w.phenomenon with
-    | P.P0 | P.P4 | P.P4C -> commits w.t1 && commits w.t2
-    | P.P1 | P.A1 -> (
-      match read_at (maxp w) with
-      | Some r -> (
-        match r.A.rver with Some v -> v = w.t1 | None -> true)
-      | None -> false)
-    | P.P2 -> (
-      match read_at (minp w) with
-      | Some r -> rereads_differently ~after:(minp w) w.t1 r.A.rk r.A.rver
-      | None -> true)
-    | P.A2 -> (
-      match (read_at (minp w), read_at (maxp w)) with
-      | Some r, Some r' -> r'.A.rver <> r.A.rver && r'.A.rver <> Some w.t1
-      | _ -> true)
-    | P.P3 -> (
-      match pred_at (minp w) with
-      | Some pr ->
-        reevaluates_differently ~after:(minp w) w.t1 pr.A.pname pr.A.pkeys
-      | None -> true)
-    | P.A3 -> (
-      match (pred_at (minp w), pred_at (maxp w)) with
-      | Some pr, Some pr' -> keys_differ pr.A.pkeys pr'.A.pkeys
-      | _ -> true)
-    | P.A5A -> (
-      match read_at (maxp w) with
-      | Some r -> (
-        match r.A.rver with Some v -> v = w.t2 | None -> true)
-      | None -> true)
-    | P.A5B -> true
-  in
-  List.filter_map
-    (fun (p, ws) ->
-      match List.filter keep ws with [] -> None | ws -> Some (p, ws))
-    hits
-
 type t = {
   actions : int;
   txns : int;
@@ -131,13 +38,15 @@ let check_full ?(phenomena = P.all) h =
       (History.Mv.is_one_copy_serializable h, History.Mv.mvsg_cycle h)
     else (History.Conflict.is_serializable h, History.Conflict.cycle h)
   in
+  (* {!Detect.detect} applies the version-aware refinement itself on
+     multiversion histories, so oracle and simulator share one detector
+     library ({!Phenomena.Detect.refine_mv}). *)
   let hits =
     List.filter_map
       (fun p ->
         match Detect.detect p h with [] -> None | ws -> Some (p, ws))
       phenomena
   in
-  let hits = if multiversion then refine_mv h hits else hits in
   {
     actions = List.length h;
     txns = List.length (History.txns h);
@@ -158,15 +67,21 @@ let check_full ?(phenomena = P.all) h =
 
 (* {2 Windowed checking}
 
-   The serializability tests and detectors are polynomial in history
-   size, so on long stress runs the post-run check dominates wall time.
-   A windowed check slides a window of [n] transactions (in completion
-   order, never-terminated ones last) with 50% overlap and checks each
-   projected subhistory in full, merging the verdicts. The result is a
-   sound *detector* but not a prover: every reported anomaly is real
-   (witnesses project intact into some window), while a dependency
-   cycle spanning more than a window apart can be missed — which the
-   [window] field records, so consumers can label the verdict. *)
+   The detectors are polynomial in history size, so on long stress runs
+   the post-run check dominates wall time. A windowed check slides a
+   window of [n] transactions (in completion order, never-terminated
+   ones last) with 50% overlap and runs the detectors on each projected
+   subhistory, merging the hits — sound (witnesses project intact into
+   some window) and near-linear.
+
+   Serializability, however, is *never* windowed: a dependency cycle
+   can span transactions that no window holds together, so the old
+   per-window conjunction was a false-negative trap. The full-history
+   verdict instead comes from an incremental-graph replay
+   ({!Certifier.replay}) whose cost is itself near-linear — so the
+   windowed oracle is now a sound detector *and* a sound prover; the
+   [window] field only records that phenomenon counts are per-window
+   lower bounds. *)
 
 let completion_order h =
   let terminated =
@@ -182,12 +97,12 @@ let merge_verdicts full verdicts =
       (fun acc v -> if acc = Ok () then v.well_formed else acc)
       (Ok ()) verdicts
   in
-  let serializable = List.for_all (fun v -> v.serializable) verdicts in
-  let cycle =
-    List.fold_left
-      (fun acc v -> if acc = None then v.cycle else acc)
-      None verdicts
-  in
+  (* The full, non-windowed serializability verdict: replay the whole
+     history through the incremental dependency graph. Cycles crossing
+     window boundaries are exactly what the per-window checks miss. *)
+  let replay = Certifier.replay full in
+  let serializable = replay.Certifier.serializable in
+  let cycle = replay.Certifier.witness in
   (* Overlapping windows would double-count a witness pair; the merged
      count per phenomenon is the max over windows — a lower bound on the
      whole history's count. *)
@@ -261,8 +176,8 @@ let pp ppf t =
   (match t.window with
   | Some n ->
     Fmt.pf ppf
-      "windowed: %d-txn sliding windows (anomalies sound; cross-window \
-       cycles may be missed)@,"
+      "windowed: %d-txn sliding windows for the detectors; serializability \
+       checked on the full history (incremental replay)@,"
       n
   | None -> ());
   (match t.well_formed with

@@ -40,10 +40,12 @@ type t = {
   witnesses : Phenomena.Detect.witness list;
       (** a few, anomalies first, for display *)
   window : int option;
-      (** [Some n] — the verdict came from sliding [n]-transaction
-          windows, not the whole history: anomalies are sound (each
-          reported one is real), but dependency cycles spanning
-          transactions further than a window apart can be missed *)
+      (** [Some n] — the detectors ran over sliding [n]-transaction
+          windows: anomalies are sound (each reported one is real) and
+          counts are per-window lower bounds. Serializability is {e not}
+          windowed: it is always decided on the full history by an
+          incremental-graph replay ({!Certifier.replay}), so a
+          dependency cycle spanning windows is still caught. *)
 }
 
 val check :
@@ -53,10 +55,11 @@ val check :
 
     [window] slides a window of [max 2 n] transactions — completion
     order, 50% overlap — over the history and merges the per-window
-    verdicts (phenomenon counts merge by max, so overlaps never
-    double-count a witness pair). Turns the post-run check from
-    polynomial in the whole run into polynomial in the window, at the
-    cost recorded in the result's [window] field. *)
+    detector verdicts (phenomenon counts merge by max, so overlaps never
+    double-count a witness pair); the serializability verdict and its
+    cycle witness still come from a full-history incremental replay.
+    Turns the post-run detectors from polynomial in the whole run into
+    polynomial in the window. *)
 
 val anomalies : t -> (Phenomena.Phenomenon.t * int) list
 (** The phenomena that are anomalies proper (A1–A3, P4, P4C, A5A, A5B):

@@ -35,19 +35,31 @@
      exponential jitter before retrying, so one transaction's lock wait
      costs only its own worker.
 
-   - The waits-for table is sharded by transaction id, each shard under
-     its own small mutex. A blocked step publishes its edge while still
-     holding the step's stripes; a progressing step clears it the same
-     way. Deadlock detection is a detector pass run by the blocked
-     worker: a cheap snapshot of the shards first (no stripes), and only
-     if that sees a cycle does the worker take the detector mutex plus
-     every stripe, re-snapshot, and — since holding all stripes means no
-     step is in flight and every edge reflects a transaction's latest
-     completed step — a cycle confirmed there is real, and its youngest
-     (highest-id) member is aborted on the spot, possibly by the worker
-     of another transaction in the cycle. The victim's worker observes
-     the abort on its next step ([Finished]) and restarts the job under
-     a fresh transaction id.
+   - The waits-for graph is a {!Graph.Incremental}: a blocked step
+     publishes its edges while still holding the step's stripes, and the
+     incremental topological order rejects — and reports, with its
+     witness — the exact edge insertion that would close a cycle. There
+     is no snapshot-and-scan detector pass any more: detection costs
+     nothing on the (overwhelmingly common) acyclic insertions, and a
+     deadlock is known the instant the closing wait is published. The
+     reporting worker then takes the detector mutex plus every stripe,
+     re-checks that the witness path still stands (edges can go
+     conservatively stale between a holder's release and the waiter's
+     next poll — exactly as under the old coarse latch, where a broken
+     "cycle" of that kind also cost one innocent restart), and aborts
+     the youngest (highest-id) member, possibly the transaction of
+     another worker. The victim's worker observes the abort on its next
+     step ([Finished]) and restarts the job under a fresh transaction
+     id. The closing edge itself is never stored, so a surviving
+     deadlock is re-reported by the blocked waiter's next poll.
+
+   - With [certify = true] the same incremental structure, in a second
+     instance, certifies serializability online: every recorded action
+     feeds the {!Certifier} through the engine trace hook, and the
+     transaction whose action closes a dependency cycle is doomed on the
+     spot. Workers poll {!Certifier.doomed} before each operation and
+     abort the victim ([Certifier_abort]), so the committed projection
+     stays acyclic — anomalies are certified away, not merely observed.
 
    - Job dispatch is a lock-free ticket: Atomic.fetch_and_add over the
      job array (or the generator, for timed runs).
@@ -61,7 +73,7 @@ module Action = History.Action
 module Level = Isolation.Level
 module Engine = Core.Engine
 module Program = Core.Program
-module Digraph = History.Digraph
+module Waits = Graph.Incremental
 
 type job = {
   name : string;
@@ -95,6 +107,7 @@ type config = {
   fault : Fault.Plan.t option;   (* seeded fault plan; None = no injection *)
   deadline_us : float option;    (* per-attempt budget; abort + retry past it *)
   watchdog_us : float option;    (* stuck-worker threshold; None = no watchdog *)
+  certify : bool;                (* online certification: doom cycle closers *)
 }
 
 (* Restarting a whole transaction is costlier than re-polling one lock,
@@ -113,7 +126,7 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(max_attempts = 64) ?(max_op_retries = 10_000) ?(think_us = 0.)
     ?(backoff = Backoff.default) ?(retry_backoff = default_retry_backoff)
     ?(oracle_phenomena = Phenomena.Phenomenon.all) ?oracle_window ?(seed = 1)
-    ?trace ?fault ?deadline_us ?watchdog_us () =
+    ?trace ?fault ?deadline_us ?watchdog_us ?(certify = false) () =
   {
     workers = max 1 workers;
     initial;
@@ -136,6 +149,7 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     fault;
     deadline_us;
     watchdog_us;
+    certify;
   }
 
 type result = {
@@ -144,6 +158,7 @@ type result = {
   metrics : Metrics.snapshot;
   journal : Recorder.entry list;
   oracle : Oracle.t;
+  certifier : Certifier.summary option; (* online verdict, when certifying *)
   lock_stats : Locking.Lock_table.stats option;
   events : Trace.Event.t list;
   events_dropped : int;
@@ -152,15 +167,6 @@ type result = {
 
 exception Stuck of string
 
-(* A waits-for shard: transaction ids hash here by [tid mod shards].
-   The shard mutex protects only the table's structure; the discipline
-   that makes the *contents* trustworthy is that edges are only mutated
-   while the owner holds its step's stripes (see the detector). *)
-type waits_shard = {
-  wm : Mutex.t;
-  tbl : (Action.txn, Action.txn list) Hashtbl.t;
-}
-
 type shared = {
   engine : Engine.t;
   stripes : Stripes.t; (* nstripes key stripes + 1 predicate stripe *)
@@ -168,7 +174,8 @@ type shared = {
   all : int list;      (* the all-stripes plan, precomputed *)
   coarse : bool;       (* force the All plan for every step *)
   serial_aux : bool;   (* begin/status need the full stripe set (Mv/TO) *)
-  waits : waits_shard array;
+  waits : Waits.t;     (* the incremental waits-for graph *)
+  certifier : Certifier.t option;
   detector : Mutex.t;  (* one confirm-and-break pass at a time *)
   next_tid : int Atomic.t;
   metrics : Metrics.t;
@@ -223,69 +230,60 @@ let acquire_plan sh ~tid plan =
 
 let release_plan sh plan = List.iter (fun i -> Stripes.release sh.stripes i) plan
 
-(* {2 The sharded waits-for graph} *)
+(* {2 The incremental waits-for graph}
 
-let waits_shard sh tid = sh.waits.(tid mod Array.length sh.waits)
+   Publishing is [remove_out_edges] + one [add_edge] per holder, all
+   under the step's stripes; the incremental topological order makes the
+   acyclic case O(1) amortised and *rejects* the edge that would close a
+   cycle, handing back the witness path [holder -> ... -> tid]. The
+   rejected closing edge is deliberately not stored: if the deadlock
+   survives the break attempt, the blocked waiter's next poll re-reports
+   it against the re-published edges. *)
 
 let set_waiting sh tid holders =
-  let s = waits_shard sh tid in
-  Mutex.lock s.wm;
-  Hashtbl.replace s.tbl tid holders;
-  Mutex.unlock s.wm
+  Waits.remove_out_edges sh.waits tid;
+  List.fold_left
+    (fun acc h ->
+      match Waits.add_edge sh.waits tid h with
+      | `Ok | `Exists -> acc
+      | `Cycle path -> (match acc with None -> Some path | some -> some))
+    None holders
 
-let clear_waiting sh tid =
-  let s = waits_shard sh tid in
-  Mutex.lock s.wm;
-  Hashtbl.remove s.tbl tid;
-  Mutex.unlock s.wm
+(* Progress drops the transaction's node wholesale — out-edges are its
+   now-satisfied waits, and in-edges are other waiters' stale claims on
+   it, which their own next poll re-publishes if still true. *)
+let clear_waiting sh tid = Waits.remove_node sh.waits tid
 
-let snapshot_waits sh =
-  let g = Digraph.create () in
-  Array.iter
-    (fun s ->
-      Mutex.lock s.wm;
-      Hashtbl.iter
-        (fun t hs -> List.iter (fun h -> Digraph.add_edge g t h) hs)
-        s.tbl;
-      Mutex.unlock s.wm)
-    sh.waits;
-  g
-
-(* The detector pass, run by a worker whose step just blocked (its edge
-   is already published). Phase 1 is cheap and racy: snapshot the shards
-   and look for a cycle while holding no stripes. Only a positive goes
-   to phase 2: take the detector mutex (skip if another worker is
-   already in — it will break any real cycle, including ours), then
-   every stripe. With all stripes held no step is in flight, so the
-   re-snapshot reflects each transaction's latest completed step; a
-   cycle in it is a real deadlock among transactions that are all
-   backing off, and aborting the youngest member is safe. Edges may
-   still be conservatively stale between a holder's release and the
-   waiter's next poll — exactly as under the old coarse latch, where a
-   broken "cycle" of that kind also cost one innocent restart. *)
-let try_break_deadlock sh tid =
-  match Digraph.find_cycle (snapshot_waits sh) with
-  | None -> `Wait
-  | Some _ ->
-    if not (Mutex.try_lock sh.detector) then `Wait
+(* Break the deadlock whose witness [path] ([holder; ...; tid], closed
+   by the rejected edge [tid -> holder]) was just reported to this
+   worker. Under the detector mutex and every stripe no step is in
+   flight; if each witness edge still stands (a holder releasing
+   between our publish and now dissolves the cycle — conservatively
+   stale edges can still cost one innocent restart, exactly as under
+   the retired snapshot detector), abort the youngest member. *)
+let break_deadlock sh tid path =
+  Mutex.lock sh.detector;
+  let plan = all_plan sh in
+  acquire_plan sh ~tid plan;
+  let rec stands = function
+    | a :: (b :: _ as rest) -> Waits.mem_edge sh.waits a b && stands rest
+    | _ -> true
+  in
+  let verdict =
+    if not (stands path) then `Wait
     else begin
-      let plan = all_plan sh in
-      acquire_plan sh ~tid plan;
-      let verdict =
-        match Digraph.find_cycle (snapshot_waits sh) with
-        | None -> `Wait
-        | Some cycle ->
-          let victim = List.fold_left max min_int cycle in
-          Engine.abort_txn sh.engine victim;
-          clear_waiting sh victim;
-          Metrics.record_deadlock sh.metrics;
-          emit sh ~tid:victim (Trace.Event.Deadlock_victim { cycle });
-          if victim = tid then `Self_aborted else `Wait
-      in
-      release_plan sh plan;
-      Mutex.unlock sh.detector;
-      verdict
+      let cycle = path in
+      let victim = List.fold_left max min_int cycle in
+      Engine.abort_txn sh.engine victim;
+      clear_waiting sh victim;
+      Metrics.record_deadlock sh.metrics;
+      emit sh ~tid:victim (Trace.Event.Deadlock_victim { cycle });
+      if victim = tid then `Self_aborted else `Wait
     end
+  in
+  release_plan sh plan;
+  Mutex.unlock sh.detector;
+  verdict
 
 (* Graceful self-abort from outside the program — an injected fault or a
    blown deadline. The abort touches everything, so it takes every
@@ -405,6 +403,15 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
           Metrics.record_fault sh.metrics;
           emit sh ~tid (Trace.Event.Fault_inject { klass = "victim" });
           abort_self sh ~tid Engine.Deadlock_victim
+        | _
+          when (match sh.certifier with
+               | Some c -> Certifier.doomed c tid
+               | None -> false) ->
+          (* The certifier doomed us for closing a dependency cycle:
+             abort before the next operation (in particular before a
+             commit), keeping the committed projection acyclic. *)
+          Metrics.record_certifier_abort sh.metrics;
+          abort_self sh ~tid Engine.Certifier_abort
         | _ when now_ns () > deadline_at ->
           (* Past the budget (blocked waits and injected stalls count):
              graceful abort; the retry starts a fresh deadline window. *)
@@ -432,19 +439,19 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
             `Finished
           | Engine.Blocked holders ->
             Metrics.record_block sh.metrics;
-            (* Publish the edge while still holding the step's stripes:
-               the detector's all-stripes confirm pass then sees only
-               edges of completed steps. *)
-            set_waiting sh tid holders;
-            `Blocked holders
+            (* Publish the edges while still holding the step's stripes,
+               so they reflect a completed step; the insertion itself
+               reports the cycle-closing edge, if any. *)
+            `Blocked (holders, set_waiting sh tid holders)
         in
         let hpos1 = Engine.trace_len sh.engine in
         release_plan sh plan;
         let outcome =
           match stepped with
           | (`Progress | `Finished) as o -> o
-          | `Blocked holders -> (
-            match try_break_deadlock sh tid with
+          | `Blocked (holders, None) -> `Wait holders
+          | `Blocked (holders, Some path) -> (
+            match break_deadlock sh tid path with
             | `Wait -> `Wait holders
             | `Self_aborted -> `Self_aborted holders)
         in
@@ -586,6 +593,30 @@ let run_with (cfg : config) ~family ~next_job =
       ~next_key_locking:cfg.next_key_locking ~update_locks:cfg.update_locks
       ~family ()
   in
+  let certifier =
+    if not cfg.certify then None
+    else begin
+      (* Event emission rides the acting worker's DLS ring binding, like
+         the lock hook: both callbacks fire inside the engine's trace
+         critical section on the acting worker's domain. *)
+      let on_edge, on_cycle =
+        match cfg.trace with
+        | None -> (None, None)
+        | Some s ->
+          ( Some
+              (fun ~src ~dst ~dep ->
+                Trace.Sink.emit s ~tid:dst
+                  (Trace.Event.Dep_edge { src; dst; dep })),
+            Some
+              (fun (v : Certifier.violation) ->
+                Trace.Sink.emit s ~tid:v.dst
+                  (Trace.Event.Dep_cycle
+                     { cycle = v.cycle; dep = v.dep; src = v.src; dst = v.dst })) )
+      in
+      Some
+        (Certifier.create ?on_edge ?on_cycle ~mode:Certifier.Enforce ~family ())
+    end
+  in
   let sh =
     {
       engine;
@@ -594,10 +625,8 @@ let run_with (cfg : config) ~family ~next_job =
       all = List.init (nstripes + 1) Fun.id;
       coarse = not striped;
       serial_aux = family <> `Locking;
-      waits =
-        Array.init
-          (max 1 cfg.workers)
-          (fun _ -> { wm = Mutex.create (); tbl = Hashtbl.create 8 });
+      waits = Waits.create ();
+      certifier;
       detector = Mutex.create ();
       next_tid = Atomic.make 1;
       metrics = Metrics.create ~stripes:nstripes ();
@@ -607,6 +636,14 @@ let run_with (cfg : config) ~family ~next_job =
       hb_tid = Array.init (max 1 cfg.workers) (fun _ -> Atomic.make 0);
     }
   in
+  (* The certifier feed: every action enters the recorded trace exactly
+     once, inside the engine's trace critical section, on the acting
+     worker's domain — so the certifier sees the history in its recorded
+     order and a doomed transaction observes its doom before its own
+     next operation. *)
+  (match certifier with
+  | None -> ()
+  | Some c -> Engine.set_trace_hook engine (fun pos a -> Certifier.observe c pos a));
   (* Torn-commit injection: the hook fires on the committing worker's
      domain (under its stripes, DLS ring bound), so metrics and trace
      emission are safe here. *)
@@ -684,6 +721,7 @@ let run_with (cfg : config) ~family ~next_job =
     oracle =
       Oracle.check ~phenomena:cfg.oracle_phenomena ?window:cfg.oracle_window
         history;
+    certifier = Option.map Certifier.finalize sh.certifier;
     lock_stats = Engine.lock_stats engine;
     events;
     events_dropped;

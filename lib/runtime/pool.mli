@@ -19,17 +19,25 @@
 
     Blocked transactions sleep *outside* their stripes with capped
     exponential backoff, so lock waits in the engine never idle the
-    other workers. The waits-for graph is sharded by transaction id; a
-    blocked worker runs a detector pass (cheap sharded snapshot, then a
-    confirm pass under every stripe) and the youngest transaction in a
-    confirmed cycle is aborted and its job restarted under a fresh
-    transaction id. Aborted attempts (deadlock victim,
-    First-Committer-Wins, serialization failure, timestamp too-late) are
-    retried up to an attempt budget.
+    other workers. The waits-for graph is a {!Graph.Incremental}: a
+    blocked worker publishes its edges under the step's stripes, and the
+    insertion that would close a cycle is rejected with its witness on
+    the spot — deadlock detection costs nothing while the graph stays
+    acyclic. The reporting worker confirms the witness under every
+    stripe and aborts the youngest member, whose job restarts under a
+    fresh transaction id. Aborted attempts (deadlock victim,
+    First-Committer-Wins, serialization failure, timestamp too-late,
+    certifier doom) are retried up to an attempt budget.
 
-    The run's engine trace, attempt journal, metrics and the
-    {!Oracle.t} verdict over the recorded history come back in
-    {!result}. *)
+    With [certify = true] the run is additionally certified online: the
+    engine trace feeds a {!Certifier} as each action is recorded, and a
+    transaction whose action closes a dependency cycle is doomed and
+    aborted before it can commit ([Certifier_abort]), so the committed
+    projection stays serializable at any isolation level.
+
+    The run's engine trace, attempt journal, metrics, the {!Oracle.t}
+    verdict over the recorded history — and, when certifying, the
+    certifier's own online verdict — come back in {!result}. *)
 
 module Action := History.Action
 module Level := Isolation.Level
@@ -108,6 +116,13 @@ type config = {
           reports (metrics + trace event) any worker whose last step
           entry is more than [t] microseconds old. Observation only — no
           recovery action. *)
+  certify : bool;
+      (** online serializability certification (default false): feed the
+          recorded history to a {!Certifier} in [Enforce] mode and abort
+          any transaction whose action closes a dependency cycle before
+          its next operation. Adds [Dep_edge] / [Dep_cycle] trace events
+          when tracing, [certifier_aborts] to the metrics, and the
+          online {!Certifier.summary} to the result. *)
 }
 
 val config :
@@ -132,6 +147,7 @@ val config :
   ?fault:Fault.Plan.t ->
   ?deadline_us:float ->
   ?watchdog_us:float ->
+  ?certify:bool ->
   unit ->
   config
 
@@ -146,6 +162,9 @@ type result = {
   metrics : Metrics.snapshot;
   journal : Recorder.entry list;
   oracle : Oracle.t;
+  certifier : Certifier.summary option;
+      (** the online certifier's finalized verdict and edge/cycle
+          accounting ([Some] iff [config.certify]) *)
   lock_stats : Locking.Lock_table.stats option;  (** locking engines only *)
   events : Trace.Event.t list;
       (** the merged flight-recorder timeline, sorted by timestamp

@@ -11,5 +11,6 @@ module Stripes = Stripes
 module Backoff = Backoff
 module Metrics = Metrics
 module Recorder = Recorder
+module Certifier = Certifier
 module Oracle = Oracle
 module Pool = Pool

@@ -50,6 +50,9 @@ let name_of (e : Event.t) =
   | Event.Deadline_exceeded _ -> Printf.sprintf "T%d deadline" e.tid
   | Event.Watchdog { worker; _ } -> Printf.sprintf "watchdog w%d" worker
   | Event.Crash_replay _ -> "crash replay"
+  | Event.Dep_edge { src; dst; dep } ->
+    Printf.sprintf "dep %s T%d>T%d" dep src dst
+  | Event.Dep_cycle { dep; _ } -> Printf.sprintf "T%d dep cycle (%s)" e.tid dep
   | Event.Commit -> Printf.sprintf "T%d commit" e.tid
   | Event.Abort _ -> Printf.sprintf "T%d abort" e.tid
 
@@ -65,7 +68,7 @@ let phase_of (e : Event.t) =
   | Event.Lock_grant _ | Event.Lock_conflict _ | Event.Lock_release _
   | Event.Stripe_wait _ | Event.Deadlock_victim _ | Event.Stall_restart
   | Event.Fault_inject _ | Event.Deadline_exceeded _ | Event.Watchdog _
-  | Event.Crash_replay _ ->
+  | Event.Crash_replay _ | Event.Dep_edge _ | Event.Dep_cycle _ ->
     `I
 
 let event_to_json e =

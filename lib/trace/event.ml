@@ -46,6 +46,12 @@ type kind =
          attributed to the stuck worker's current tid *)
   | Crash_replay of { points : int; torn : int; failures : int }
       (* crash-point enumeration ran over the WAL after the run *)
+  | Dep_edge of { src : int; dst : int; dep : string }
+      (* the certifier added src -> dst to the dependency graph;
+         [dep] is "wr" | "ww" | "rw" (the rw are anti-dependencies) *)
+  | Dep_cycle of { cycle : int list; dep : string; src : int; dst : int }
+      (* the [src -> dst] edge of class [dep] would have closed [cycle];
+         attributed to the transaction whose action offered the edge *)
   | Commit
   | Abort of { reason : string }
 
@@ -67,6 +73,8 @@ let tag = function
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Watchdog _ -> "watchdog"
   | Crash_replay _ -> "crash_replay"
+  | Dep_edge _ -> "dep_edge"
+  | Dep_cycle _ -> "dep_cycle"
   | Commit -> "commit"
   | Abort _ -> "abort"
 
@@ -116,6 +124,10 @@ let pp_kind ppf = function
   | Crash_replay { points; torn; failures } ->
     Fmt.pf ppf "crash replay: %d prefixes + %d torn tails, %d unsound"
       points torn failures
+  | Dep_edge { src; dst; dep } -> Fmt.pf ppf "dep %s T%d -> T%d" dep src dst
+  | Dep_cycle { cycle; dep; src; dst } ->
+    Fmt.pf ppf "dep cycle closed by %s T%d -> T%d (%s)" dep src dst
+      (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
   | Commit -> Fmt.string ppf "commit"
   | Abort { reason } -> Fmt.pf ppf "abort (%s)" reason
 
@@ -174,6 +186,11 @@ let kind_args = function
   | Crash_replay { points; torn; failures } ->
     [ ("points", Json.Int points); ("torn", Json.Int torn);
       ("failures", Json.Int failures) ]
+  | Dep_edge { src; dst; dep } ->
+    [ ("src", Json.Int src); ("dst", Json.Int dst); ("dep", Json.String dep) ]
+  | Dep_cycle { cycle; dep; src; dst } ->
+    [ ("cycle", ints cycle); ("dep", Json.String dep);
+      ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Stall_restart | Commit -> []
   | Abort { reason } -> [ ("reason", Json.String reason) ]
 
@@ -259,6 +276,16 @@ let of_args j =
           (Crash_replay
              { points = get_int "points" j; torn = get_int "torn" j;
                failures = get_int "failures" j })
+      | "dep_edge" ->
+        Some
+          (Dep_edge
+             { src = get_int "src" j; dst = get_int "dst" j;
+               dep = get_string "dep" j })
+      | "dep_cycle" ->
+        Some
+          (Dep_cycle
+             { cycle = get_ints "cycle" j; dep = get_string "dep" j;
+               src = get_int "src" j; dst = get_int "dst" j })
       | "commit" -> Some Commit
       | "abort" -> Some (Abort { reason = get_string "reason" j })
       | _ -> None

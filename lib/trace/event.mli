@@ -36,6 +36,13 @@ type kind =
           [stalled_ns]; attributed to that worker's current tid *)
   | Crash_replay of { points : int; torn : int; failures : int }
       (** post-run crash-point enumeration over the WAL *)
+  | Dep_edge of { src : int; dst : int; dep : string }
+      (** the online certifier added a dependency edge [src -> dst];
+          [dep] is ["wr"], ["ww"] or ["rw"] (anti-dependency) *)
+  | Dep_cycle of { cycle : int list; dep : string; src : int; dst : int }
+      (** the [src -> dst] edge of class [dep] would have closed
+          [cycle] (witness format of {!History.Digraph.find_cycle});
+          attributed to the transaction whose action offered the edge *)
   | Commit
   | Abort of { reason : string }
 

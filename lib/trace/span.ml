@@ -115,7 +115,8 @@ let of_events (events : Event.t list) =
           | Event.Commit -> { s with outcome = Committed }
           | Event.Abort { reason } -> { s with outcome = Aborted reason }
           | Event.Lock_grant _ | Event.Lock_release _ | Event.Stripe_wait _
-          | Event.Stall_restart | Event.Crash_replay _ ->
+          | Event.Stall_restart | Event.Crash_replay _ | Event.Dep_edge _
+          | Event.Dep_cycle _ ->
             s)
         init events)
     !order

@@ -19,8 +19,7 @@ Multiversion histories are recognized and mapped:
     snapshot reads respected: true
     first-committer-wins respected: true
     single-valued mapping: r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1
-  phenomena:
-    P1[T1,T2 at 1,2]: T2 reads T1's uncommitted write of x
+  phenomena: none
 
 Ad-hoc workloads in the mini syntax:
 
@@ -43,7 +42,7 @@ The same schedule at snapshot isolation:
   T1 committed
   T2 committed
   blocked attempts: 0   deadlocks: 0
-  phenomena: P1
+  phenomena: none
   serializable: true
 
 Classifying a Table 4 cell:

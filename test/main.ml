@@ -33,6 +33,8 @@ let () =
       ("classify", Test_classify.suite);
       ("properties", Test_properties.suite);
       ("runtime", Test_runtime.suite);
+      ("graph", Test_graph.suite);
+      ("certifier", Test_certifier.suite);
       ("striped", Test_striped.suite);
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);

@@ -1,0 +1,248 @@
+(* The online serializability certifier.
+
+   Unit tests feed hand-written histories through {!Certifier.replay}
+   and pin verdicts, edge accounting and enforcement semantics; the
+   property tests run the real pool and hold the certifier to its two
+   contracts: (1) the replay verdict agrees with the offline oracle's
+   serializability class on every recorded history, at every isolation
+   level, across seeds; (2) an enforcing run's committed projection is
+   serializable at any level — anomalies are certified away, not
+   observed. A regression test pins the windowed-oracle fix: a
+   dependency cycle spanning more transactions than a window holds must
+   still be caught. *)
+
+module Pool = Runtime.Pool
+module Oracle = Runtime.Oracle
+module Cert = Runtime.Certifier
+module Metrics = Runtime.Metrics
+module Generators = Workload.Generators
+module L = Isolation.Level
+module A = History.Action
+
+let h = History.of_string
+
+(* {2 Replay on hand-written histories} *)
+
+let test_replay_serial () =
+  let s = Cert.replay (h "r1[x=0] w1[x=1] c1 r2[x=1] w2[y=1] c2") in
+  Alcotest.(check bool) "serial history certifies" true s.Cert.serializable;
+  Alcotest.(check int) "no cycles" 0 s.Cert.cycles;
+  Alcotest.(check bool) "wr edge recorded" true (s.Cert.edges_wr >= 1)
+
+let test_replay_lost_update () =
+  (* The P4 template: both read x=100, both write — T1 -> T2 by rw,
+     T2 -> T1 by ww/rw. Not serializable. *)
+  let s = Cert.replay (h "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1") in
+  Alcotest.(check bool) "lost update is not serializable" false
+    s.Cert.serializable;
+  Alcotest.(check bool) "witness produced" true (s.Cert.witness <> None)
+
+let test_replay_aborted_writer_excluded () =
+  (* A dirty read whose writer aborts: the committed projection is just
+     T2, trivially serializable — aborted transactions must not leave
+     edges behind. *)
+  let s = Cert.replay (h "w1[x=1] r2[x=1] a1 w2[y=1] c2") in
+  Alcotest.(check bool) "committed projection certifies" true
+    s.Cert.serializable
+
+let test_replay_wr_cycle_witness () =
+  (* A pure rw cycle across three keys (the write-skew shape stretched
+     to three transactions): every closing edge class reported. *)
+  let s =
+    Cert.replay (h "r1[x=0] w2[x=1] r2[y=0] w3[y=1] r3[z=0] w1[z=1] c1 c2 c3")
+  in
+  Alcotest.(check bool) "three-txn rw cycle caught" false s.Cert.serializable;
+  match s.Cert.witness with
+  | Some w -> Alcotest.(check int) "witness covers the triangle" 3 (List.length w)
+  | None -> Alcotest.fail "no witness"
+
+let test_replay_mv_snapshot_reads_certify () =
+  (* Multiversion: T2 reads the version before T1's committed write —
+     a single-version analysis would call r2 a fuzzy read, but the MVSG
+     (version order = commit order) is acyclic. *)
+  let s = Cert.replay (h "w1[x1=1] c1 r2[x0=0] w2[y2=1] c2") in
+  Alcotest.(check bool) "snapshot read certifies" true s.Cert.serializable
+
+let test_replay_mv_write_skew_rejected () =
+  (* SI's signature anomaly in version vocabulary: disjoint writes off a
+     common snapshot — rw both ways, an MVSG cycle. *)
+  let s =
+    Cert.replay
+      (h "r1[x0=0] r1[y0=0] r2[x0=0] r2[y0=0] w1[x1=1] c1 w2[y2=1] c2")
+  in
+  Alcotest.(check bool) "write skew is not one-copy serializable" false
+    s.Cert.serializable
+
+(* {2 Enforcement semantics} *)
+
+let test_enforce_dooms_the_closer () =
+  (* Feed the three-transaction rw triangle action by action: the last
+     read/write belongs to T1 and closes the cycle, so Enforce must doom
+     T1 — and once T1 aborts instead of committing, the committed
+     projection is serializable. *)
+  let c = Cert.create ~mode:Cert.Enforce ~family:`Locking () in
+  let feed s = List.iteri (fun i a -> Cert.observe c i a) (h s) in
+  feed "r1[x=0] w2[x=1] r2[y=0] w3[y=1] r3[z=0]";
+  Alcotest.(check bool) "nobody doomed yet" false
+    (List.exists (Cert.doomed c) [ 1; 2; 3 ]);
+  feed "w1[z=1]";
+  Alcotest.(check bool) "the closer is doomed" true (Cert.doomed c 1);
+  Alcotest.(check bool) "bystanders are not" false
+    (Cert.doomed c 2 || Cert.doomed c 3);
+  feed "a1 c2 c3";
+  let s = Cert.finalize c in
+  Alcotest.(check int) "one cycle rejected" 1 s.Cert.cycles;
+  Alcotest.(check int) "one doom" 1 s.Cert.dooms;
+  Alcotest.(check bool) "committed projection serializable" true
+    s.Cert.serializable;
+  (* The violation names the closing edge's class and victim. *)
+  match s.Cert.violations with
+  | [ v ] ->
+    Alcotest.(check string) "closing edge class" "rw" v.Cert.dep;
+    Alcotest.(check (option int)) "doomed is recorded" (Some 1) v.Cert.doomed
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_observe_mode_never_dooms () =
+  let c = Cert.create ~mode:Cert.Observe ~family:`Locking () in
+  List.iteri (fun i a -> Cert.observe c i a)
+    (h "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1");
+  Alcotest.(check bool) "observe dooms nobody" false
+    (Cert.doomed c 1 || Cert.doomed c 2);
+  let s = Cert.finalize c in
+  Alcotest.(check bool) "cycle still recorded" true (s.Cert.cycles >= 1);
+  Alcotest.(check int) "no dooms" 0 s.Cert.dooms;
+  Alcotest.(check bool) "verdict still falls" false s.Cert.serializable
+
+(* {2 The cross-window regression}
+
+   Before serializability was decided by full-history replay, the
+   windowed oracle took the conjunction of per-window verdicts — and a
+   cycle spanning more transactions than one window holds slipped
+   through. The triangle above with window 2 is exactly that trap. *)
+
+let test_windowed_oracle_catches_spanning_cycle () =
+  let hist = h "r1[x=0] w2[x=1] r2[y=0] w3[y=1] r3[z=0] w1[z=1] c1 c2 c3" in
+  let full = Oracle.check hist in
+  Alcotest.(check bool) "full check: not serializable" false
+    full.Oracle.serializable;
+  (* Window 2 over 3 transactions: no window contains the whole cycle,
+     yet the verdict must still fall. *)
+  let windowed = Oracle.check ~window:2 hist in
+  Alcotest.(check (option int)) "windowed" (Some 2) windowed.Oracle.window;
+  Alcotest.(check bool) "windowed check: not serializable" false
+    windowed.Oracle.serializable;
+  Alcotest.(check bool) "cycle witness survives windowing" true
+    (windowed.Oracle.cycle <> None)
+
+(* {2 Properties over real pool runs} *)
+
+let seeds = List.init 20 (fun i -> i + 1)
+
+let levels =
+  [
+    L.Read_committed;
+    L.Repeatable_read;
+    L.Serializable;
+    L.Snapshot;
+    L.Serializable_snapshot;
+    L.Timestamp_ordering;
+  ]
+
+let run_pool ?(certify = false) ~level ~seed () =
+  let gen i =
+    let p =
+      Generators.stress_program Generators.Hotspot ~seed ~accounts:8 ~hot:3
+        ~ops:4 ~index:i
+    in
+    Pool.job ~name:p.Core.Program.name ~level p
+  in
+  let cfg =
+    Pool.config ~workers:4
+      ~initial:(Generators.bank_accounts 8)
+      ~think_us:10. ~seed ~certify ()
+  in
+  Pool.run cfg (Array.init 24 gen)
+
+(* Contract (1): the incremental replay's verdict equals the offline
+   oracle's on every history the pool can produce — locking, snapshot
+   and timestamp families alike. *)
+let test_replay_agrees_with_oracle () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun seed ->
+          let r = run_pool ~level ~seed () in
+          let replay = Cert.replay r.Pool.history in
+          if replay.Cert.serializable <> r.Pool.oracle.Oracle.serializable then
+            Alcotest.failf "%s seed %d: replay says %b, oracle says %b"
+              (L.name level) seed replay.Cert.serializable
+              r.Pool.oracle.Oracle.serializable)
+        seeds)
+    levels
+
+(* Contract (2): enforcing runs commit only a serializable projection —
+   at READ COMMITTED, where cycles genuinely form, the certifier must
+   abort its way to an acyclic history across every seed. *)
+let test_enforced_runs_certify_clean () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun seed ->
+          let r = run_pool ~certify:true ~level ~seed () in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d serializable" (L.name level) seed)
+            true r.Pool.oracle.Oracle.serializable;
+          match r.Pool.certifier with
+          | None -> Alcotest.fail "certifier summary missing"
+          | Some s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s seed %d summary verdict" (L.name level) seed)
+              true s.Cert.serializable;
+            Alcotest.(check int)
+              (Printf.sprintf "%s seed %d dooms = metric" (L.name level) seed)
+              s.Cert.dooms r.Pool.metrics.Metrics.certifier_aborts)
+        seeds)
+    [ L.Read_committed; L.Serializable ]
+
+(* At SERIALIZABLE the engine already prevents cycles, so certification
+   must be a no-op: no dooms, no anomalies, pattern-free — the ISSUE's
+   20-seed acceptance bar. *)
+let test_serializable_certify_is_noop () =
+  List.iter
+    (fun seed ->
+      let r = run_pool ~certify:true ~level:L.Serializable ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d pattern-free" seed)
+        true
+        (Oracle.pattern_free r.Pool.oracle);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d no certifier aborts" seed)
+        0 r.Pool.metrics.Metrics.certifier_aborts)
+    seeds
+
+let suite =
+  [
+    Alcotest.test_case "replay: serial history" `Quick test_replay_serial;
+    Alcotest.test_case "replay: lost update rejected" `Quick
+      test_replay_lost_update;
+    Alcotest.test_case "replay: aborted writer excluded" `Quick
+      test_replay_aborted_writer_excluded;
+    Alcotest.test_case "replay: rw triangle witness" `Quick
+      test_replay_wr_cycle_witness;
+    Alcotest.test_case "replay: MV snapshot reads certify" `Quick
+      test_replay_mv_snapshot_reads_certify;
+    Alcotest.test_case "replay: MV write skew rejected" `Quick
+      test_replay_mv_write_skew_rejected;
+    Alcotest.test_case "enforce dooms the closer" `Quick
+      test_enforce_dooms_the_closer;
+    Alcotest.test_case "observe mode never dooms" `Quick
+      test_observe_mode_never_dooms;
+    Alcotest.test_case "windowed oracle catches spanning cycle" `Quick
+      test_windowed_oracle_catches_spanning_cycle;
+    Alcotest.test_case "replay agrees with the oracle (20 seeds x levels)"
+      `Slow test_replay_agrees_with_oracle;
+    Alcotest.test_case "enforced runs certify clean (20 seeds)" `Slow
+      test_enforced_runs_certify_clean;
+    Alcotest.test_case "certify at SERIALIZABLE is a no-op (20 seeds)" `Slow
+      test_serializable_certify_is_noop;
+  ]

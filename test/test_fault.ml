@@ -143,6 +143,70 @@ let test_enumerate_clean_log () =
   Alcotest.(check bool) "serial log recovers everywhere" true (Crash.ok r);
   Alcotest.(check int) "checked every image" 11 (r.Crash.points + r.Crash.torn_points)
 
+(* {2 Sampled enumeration}
+
+   [?sample] must be deterministic in the seed, bounded by the budget
+   plus the always-checked decisive points, and still catch the §3
+   dilemma — the full prefix and every torn terminal record are never
+   sampled away. *)
+
+(* A long clean serial log: [n] one-update committed transactions. *)
+let serial_log n =
+  let w = Wal.create () in
+  for t = 1 to n do
+    Wal.append w (Wal.Begin t);
+    Wal.append w (Wal.Update { t; k = "x"; before = Some (t - 1); after = Some t });
+    Wal.append w (Wal.Commit t)
+  done;
+  w
+
+let test_sample_deterministic () =
+  let initial = Store.of_list [ ("x", 0) ] in
+  let w = serial_log 40 in
+  let a = Crash.enumerate ~sample:10 ~seed:42 ~initial w in
+  let b = Crash.enumerate ~sample:10 ~seed:42 ~initial w in
+  Alcotest.(check int) "same clean points" a.Crash.points b.Crash.points;
+  Alcotest.(check int) "same torn points" a.Crash.torn_points b.Crash.torn_points;
+  Alcotest.(check bool) "same verdict" (Crash.ok a) (Crash.ok b);
+  Alcotest.(check bool) "clean log passes sampled" true (Crash.ok a)
+
+let test_sample_bounded_but_complete () =
+  let initial = Store.of_list [ ("x", 0) ] in
+  let w = serial_log 40 in
+  let n = Wal.length w in
+  let terminals = 40 (* one Commit per transaction *) in
+  let r = Crash.enumerate ~sample:10 ~seed:3 ~initial w in
+  Alcotest.(check int) "full log length" 120 n;
+  Alcotest.(check bool) "clean prefixes capped near the budget" true
+    (r.Crash.points <= 10 + 2 (* budget + {empty, full} *));
+  Alcotest.(check bool) "fewer than exhaustive" true (r.Crash.points < n + 1);
+  Alcotest.(check bool) "torn points capped near budget + terminals" true
+    (r.Crash.torn_points <= 10 + terminals && r.Crash.torn_points >= terminals);
+  (* A budget at least the span degenerates to the exhaustive check. *)
+  let full = Crash.enumerate ~sample:1000 ~initial w in
+  Alcotest.(check int) "big budget = every prefix" (n + 1) full.Crash.points;
+  Alcotest.(check int) "big budget = every torn tail" n full.Crash.torn_points
+
+let test_sample_still_flags_p0 () =
+  (* The P0 log's only unsound points are the full prefix and the torn
+     terminal — exactly the points sampling always keeps, so even a
+     budget of 1 must convict. *)
+  let initial = Store.of_list [ ("x", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Update { t = 1; k = "x"; before = Some 0; after = Some 1 };
+        Wal.Begin 2;
+        Wal.Update { t = 2; k = "x"; before = Some 1; after = Some 2 };
+        Wal.Commit 2 ]
+  in
+  let r = Crash.enumerate ~sample:1 ~seed:9 ~initial w in
+  Alcotest.(check bool) "sampled run still flags P0" false (Crash.ok r);
+  Alcotest.(check bool) "the full prefix is among the failures" true
+    (List.exists
+       (fun f -> f.Crash.point = 5 && not f.Crash.torn)
+       r.Crash.failures)
+
 (* Property: a real SERIALIZABLE pool run (2PL long write locks — no P0
    by construction) must recover at every crash point of its WAL, for
    every seed. This is the tentpole guarantee: durability of the
@@ -318,6 +382,12 @@ let suite =
     Alcotest.test_case "enumeration flags P0" `Quick test_enumerate_flags_p0;
     Alcotest.test_case "enumeration passes a clean log" `Quick
       test_enumerate_clean_log;
+    Alcotest.test_case "sampled enumeration is deterministic" `Quick
+      test_sample_deterministic;
+    Alcotest.test_case "sampled enumeration is bounded" `Quick
+      test_sample_bounded_but_complete;
+    Alcotest.test_case "sampling keeps the decisive points" `Quick
+      test_sample_still_flags_p0;
     Alcotest.test_case "20 seeded runs recover at every crash point" `Slow
       test_stress_runs_recover_everywhere;
     Alcotest.test_case "chaos drains clean" `Quick test_chaos_drains_clean;
