@@ -18,7 +18,7 @@ let () =
     | _ ->
       [
         "tables"; "figure"; "histories"; "recovery"; "ablation"; "perf";
-        "runtime";
+        "runtime"; "server";
       ]
   in
   List.iter
@@ -42,14 +42,16 @@ let () =
         Sections.update_locks ()
       | "perf" -> Perf.all ()
       | "runtime" -> Runtime_bench.runtime ()
+      | "server" -> Server_bench.server ()
       | "all" ->
         Sections.all ();
         Perf.all ();
-        Runtime_bench.runtime ()
+        Runtime_bench.runtime ();
+        Server_bench.server ()
       | other ->
         Printf.eprintf
           "unknown section %S (expected \
-           tables|table1..4|figure|histories|recovery|ablation|perf|runtime)\n"
+           tables|table1..4|figure|histories|recovery|ablation|perf|runtime|server)\n"
           other;
         exit 2)
     sections

@@ -1,0 +1,123 @@
+(* Server section: the wire-protocol front-end measured end to end —
+   loadgen sessions over real sockets into the session scheduler, the
+   striped engine underneath — across a sessions sweep (sessions ≫
+   workers) with the online certifier off and on. Prints a table and
+   writes BENCH_server.json so the trajectory is diffable across PRs.
+
+   Like the runtime section this is a macro-benchmark: one run per cell,
+   oracle verdict included. Throughput falls and latency climbs as the
+   multiprogramming level blows past the worker count — that thrashing
+   curve is the point of the sweep, not noise. *)
+
+module L = Isolation.Level
+module Pool = Runtime.Pool
+module Frontend = Server.Frontend
+module Loadgen = Server.Loadgen
+
+let workers = 8
+let accounts = 128
+let total_txns = 2048  (* per cell, split across the sessions *)
+let seed = 11
+
+type cell = {
+  sv_sessions : int;
+  sv_certify : bool;
+  sv_stats : Loadgen.stats;
+  sv_metrics : Runtime.Metrics.snapshot;
+  sv_serializable : bool;
+  sv_wire : Frontend.stats;
+}
+
+let run_cell ~sessions ~certify =
+  let stop = Atomic.make false in
+  let port_box = Atomic.make 0 in
+  let pool =
+    Pool.config ~workers
+      ~initial:(Workload.Generators.bank_accounts accounts)
+      ~seed ~certify ~oracle_window:64 ()
+  in
+  let cfg =
+    Frontend.config ~port:0
+      ~on_ready:(fun p -> Atomic.set port_box p)
+      ~drain_grace_s:5.0 ~stop ~pool ~family:`Locking ()
+  in
+  let result = ref None in
+  let server = Thread.create (fun () -> result := Some (Frontend.serve cfg)) () in
+  let rec await_port n =
+    if Atomic.get port_box = 0 && n < 500 then begin
+      Thread.delay 0.01;
+      await_port (n + 1)
+    end
+  in
+  await_port 0;
+  let port = Atomic.get port_box in
+  if port = 0 then failwith "server_bench: server never came up";
+  let lg =
+    Loadgen.config ~port ~sessions
+      ~txns_per_session:(max 1 (total_txns / sessions))
+      ~mix:Workload.Generators.Transfer
+      ~levels:[ (L.Read_committed, 3.); (L.Serializable, 1.) ]
+      ~accounts ~seed ()
+  in
+  let stats = Loadgen.run lg in
+  Atomic.set stop true;
+  Thread.join server;
+  let r, wire =
+    match !result with Some r -> r | None -> failwith "server died"
+  in
+  {
+    sv_sessions = sessions;
+    sv_certify = certify;
+    sv_stats = stats;
+    sv_metrics = r.Pool.metrics;
+    sv_serializable = r.Pool.oracle.Runtime.Oracle.serializable;
+    sv_wire = wire;
+  }
+
+let cell_json c =
+  Printf.sprintf
+    "{\"sessions\":%d,\"certify\":%b,\"workers\":%d,\"committed\":%d,\
+     \"aborted\":%d,\"giveups\":%d,\"protocol_errors\":%d,\
+     \"throughput\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\
+     \"frames\":%d,\"certifier_aborts\":%d,\"serializable\":%b}"
+    c.sv_sessions c.sv_certify workers c.sv_stats.Loadgen.committed
+    c.sv_stats.Loadgen.aborted c.sv_stats.Loadgen.giveups
+    c.sv_stats.Loadgen.protocol_errors c.sv_stats.Loadgen.throughput
+    c.sv_stats.Loadgen.p50_ms c.sv_stats.Loadgen.p95_ms
+    c.sv_stats.Loadgen.p99_ms c.sv_wire.Frontend.frames
+    c.sv_metrics.Runtime.Metrics.certifier_aborts c.sv_serializable
+
+let json_path = "BENCH_server.json"
+
+let server () =
+  Printf.printf
+    "== server: wire front-end, %d worker domains, transfer mix over %d \
+     accounts, %d txns/cell, rc:serializable sessions 3:1 ==\n"
+    workers accounts total_txns;
+  Printf.printf "  %-9s %-8s %9s %8s %8s %8s %8s %7s %6s  %s\n" "sessions"
+    "certify" "txn/s" "p50ms" "p95ms" "p99ms" "commits" "aborts" "proto"
+    "serializable";
+  let cells =
+    List.concat_map
+      (fun sessions ->
+        List.map
+          (fun certify ->
+            let c = run_cell ~sessions ~certify in
+            Printf.printf "  %-9d %-8b %9.0f %8.2f %8.2f %8.2f %8d %7d %6d  %b\n"
+              c.sv_sessions c.sv_certify c.sv_stats.Loadgen.throughput
+              c.sv_stats.Loadgen.p50_ms c.sv_stats.Loadgen.p95_ms
+              c.sv_stats.Loadgen.p99_ms c.sv_stats.Loadgen.committed
+              c.sv_stats.Loadgen.aborted c.sv_stats.Loadgen.protocol_errors
+              c.sv_serializable;
+            c)
+          [ false; true ])
+      [ 64; 256; 1024 ]
+  in
+  let json =
+    Printf.sprintf "{\"bench\":\"server\",\"workers\":%d,\"cells\":[%s]}\n"
+      workers
+      (String.concat "," (List.map cell_json cells))
+  in
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "  wrote %s\n%!" json_path

@@ -326,6 +326,25 @@ let run_cmd =
 
 (* {2 stress — the multicore runtime with its live oracle} *)
 
+(* Wire SIGINT to the pool's drain flag: the first Ctrl-C finishes
+   in-flight transactions, takes no new work, and still reports (trace,
+   journal, oracle all intact); a second Ctrl-C kills the process. *)
+let drain_on_sigint () =
+  let stop = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle
+          (fun _ ->
+            if Atomic.get stop then Stdlib.exit 130
+            else begin
+              Atomic.set stop true;
+              prerr_endline
+                "draining: finishing in-flight transactions (Ctrl-C again to \
+                 kill)"
+            end))
+   with Invalid_argument _ -> ());
+  stop
+
 let stress workers level mix_name txns duration accounts hot ops think seed
     fuw stripes coarse oracle_window certify json_path trace_path =
   let mix =
@@ -348,11 +367,12 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     | None -> None
     | Some _ -> Some (Trace.Sink.create ~workers:(max 1 workers) ())
   in
+  let stop = drain_on_sigint () in
   let cfg =
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
       ~first_updater_wins:fuw ~stripes ~coarse ?oracle_window ~think_us:think
-      ~seed ?trace:sink ~certify ()
+      ~seed ?trace:sink ~certify ~stop ()
   in
   Format.printf
     "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
@@ -649,13 +669,14 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
       Some (Fault.Plan.chaos ~stall_us ~rate:faults ~seed ())
   in
   let initial = Workload.Generators.bank_accounts accounts in
+  let stop = drain_on_sigint () in
   let cfg =
     Runtime.Pool.config ~workers ~initial ~first_updater_wins:fuw ~stripes
       ~coarse ?oracle_window ~certify ~think_us:think ~seed ?trace:sink
       ?fault:plan
       ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
       ?watchdog_us:(Option.map (fun ms -> ms *. 1000.) watchdog_ms)
-      ()
+      ~stop ()
   in
   Format.printf
     "chaos: %d workers, level %s, mix %s, %d transactions, fault rate %g, \
@@ -1107,6 +1128,407 @@ let explain file txn show_log limit =
               Format.printf "@.")
             ws)
 
+(* {2 serve / loadgen — the wire-protocol front-end} *)
+
+let family_of_string = function
+  | "locking" | "lock" -> Some `Locking
+  | "mv" | "multiversion" | "snapshot" -> Some `Mv
+  | "timestamp" | "to" | "t/o" -> Some `Timestamp
+  | _ -> None
+
+let family_name = function
+  | `Locking -> "locking"
+  | `Mv -> "multiversion"
+  | `Timestamp -> "timestamp"
+
+let serve workers family_str level port host accounts stripes coarse certify
+    certify_batch oracle_window duration drain_grace seed disconnect_rate
+    trace_path json_path =
+  let family =
+    match family_of_string (String.lowercase_ascii family_str) with
+    | Some f -> f
+    | None ->
+      Fmt.epr "unknown engine family %S (locking, mv, timestamp)@." family_str;
+      exit 1
+  in
+  if L.family level <> family then begin
+    Fmt.epr "default level %s needs the %s family, not %s@." (L.name level)
+      (family_name (L.family level))
+      (family_name family);
+    exit 1
+  end;
+  if disconnect_rate < 0. || disconnect_rate > 1. then begin
+    Fmt.epr "--disconnect-rate must be in [0, 1]@.";
+    exit 1
+  end;
+  let sink =
+    match trace_path with
+    | None -> None
+    | Some _ -> Some (Trace.Sink.create ~workers:(max 1 workers) ())
+  in
+  let fault =
+    if disconnect_rate <= 0. then None
+    else Some (Fault.Plan.create ~disconnect_rate ~seed ())
+  in
+  let stop = drain_on_sigint () in
+  let oracle_window = if oracle_window = 0 then None else Some oracle_window in
+  let pool =
+    Runtime.Pool.config ~workers
+      ~initial:(Workload.Generators.bank_accounts accounts)
+      ~stripes ~coarse ~certify ~certify_batch ?oracle_window ~seed ?trace:sink
+      ?fault ()
+  in
+  let cfg =
+    Server.Frontend.config ~host ~port ~default_level:level
+      ~drain_grace_s:drain_grace ?duration_s:duration ~stop
+      ~on_ready:(fun p ->
+        Format.printf "serving on %s:%d (%d workers, %s family, default %s%s)@."
+          host p workers (family_name family) (L.name level)
+          (if certify then ", certified" else "");
+        Format.print_flush ())
+      ~pool ~family ()
+  in
+  let r, stats = Server.Frontend.serve cfg in
+  Format.printf "%a@." Server.Frontend.pp_stats stats;
+  Format.printf "%a@." Runtime.Metrics.pp r.Runtime.Pool.metrics;
+  Format.printf "%a@." Runtime.Oracle.pp r.Runtime.Pool.oracle;
+  (match r.Runtime.Pool.certifier with
+  | Some s -> Format.printf "%a@." Runtime.Certifier.pp_summary s
+  | None -> ());
+  (match trace_path with
+  | Some path ->
+    let tmeta =
+      Trace.Chrome.meta ~tool:"isolation_lab serve" ~level:(L.name level)
+        ~mix:"wire" ~workers ~seed
+        ~history:(Trace.Render.history_line r.Runtime.Pool.history)
+        ~dropped:r.Runtime.Pool.events_dropped ()
+    in
+    Trace.Chrome.write_file path tmeta r.Runtime.Pool.events;
+    Format.printf "trace: %d events (%d dropped) written to %s@."
+      (List.length r.Runtime.Pool.events)
+      r.Runtime.Pool.events_dropped path
+  | None -> ());
+  (match json_path with
+  | Some path ->
+    let certifier_json =
+      match r.Runtime.Pool.certifier with
+      | None -> ""
+      | Some s -> ",\"certifier\":" ^ Runtime.Certifier.to_json s
+    in
+    let json =
+      Printf.sprintf
+        "{\"family\":%S,\"default_level\":%S,\"workers\":%d,\"server\":{\"conns\":%d,\"sessions\":%d,\"frames\":%d,\"protocol_errors\":%d,\"disconnects\":%d},\"metrics\":%s,\"oracle\":%s%s}"
+        (family_name family) (L.name level) workers stats.Server.Frontend.conns
+        stats.Server.Frontend.sessions stats.Server.Frontend.frames
+        stats.Server.Frontend.protocol_errors stats.Server.Frontend.disconnects
+        (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
+        (Runtime.Oracle.to_json r.Runtime.Pool.oracle)
+        certifier_json
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc json;
+        Out_channel.output_string oc "\n");
+    Format.printf "server report written to %s@." path
+  | None -> ());
+  (* --certify is a promise at any level: the committed projection must
+     come back acyclic. *)
+  if certify && not r.Runtime.Pool.oracle.Runtime.Oracle.serializable then
+    exit 1
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Worker domains pumping sessions (sessions may far exceed N).")
+  in
+  let family_arg =
+    Arg.(
+      value & opt string "locking"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Engine family: locking, mv (multiversion) or timestamp. \
+             Sessions may SET any level within the family.")
+  in
+  let level_arg =
+    Arg.(
+      value & opt level_conv L.Read_committed
+      & info [ "l"; "level" ] ~docv:"LEVEL"
+          ~doc:"Default isolation level for sessions that never SET one.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7654
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen port (0 picks one).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Listen address.")
+  in
+  let accounts_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "accounts" ] ~docv:"N" ~doc:"Rows in the initial bank table.")
+  in
+  let stripes_arg =
+    Arg.(
+      value & opt int Runtime.Pool.default_stripes
+      & info [ "stripes" ] ~docv:"N" ~doc:"Key stripes (locking engines).")
+  in
+  let coarse_arg =
+    Arg.(
+      value & flag
+      & info [ "coarse" ] ~doc:"Single coarse latch instead of stripes.")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Certify serializability online; doomed transactions abort \
+             before commit and the run fails if the committed projection \
+             has a cycle.")
+  in
+  let certify_batch_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "certify-batch" ] ~docv:"BOOL"
+          ~doc:
+            "Batch certifier edge offers outside the engine trace lock \
+             (default true; false restores the unbatched feed).")
+  in
+  let oracle_window_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "oracle-window" ] ~docv:"N"
+          ~doc:
+            "Sliding window for the post-run anomaly detectors (0 = whole \
+             history; the default keeps long serving runs checkable).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "d"; "duration" ] ~docv:"SECONDS"
+          ~doc:"Serve for this long, then drain (default: until SIGINT).")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"Grace for in-flight transactions during shutdown.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Backoff-jitter and fault seed.")
+  in
+  let disconnect_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "disconnect-rate" ] ~docv:"RATE"
+          ~doc:
+            "Per-frame probability of an injected connection sever \
+             (deterministic, seeded): open transactions on the connection \
+             abort and drain through client retry.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the structured event trace (sessions, parks, engine \
+             steps) as Chrome trace_event JSON.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write wire stats, metrics and the oracle verdict as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the wire protocol: sessions declare isolation levels, \
+          transactions multiplex over the worker-domain pool, and the \
+          recorded history is oracle-checked at shutdown.")
+    Term.(
+      const serve $ workers_arg $ family_arg $ level_arg $ port_arg $ host_arg
+      $ accounts_arg $ stripes_arg $ coarse_arg $ certify_arg
+      $ certify_batch_arg $ oracle_window_arg $ duration_arg $ drain_grace_arg
+      $ seed_arg $ disconnect_arg $ trace_arg $ json_arg)
+
+let parse_levels s =
+  (* "rc,si=3,serializable=0.5": comma-separated level[=weight] *)
+  let parts = String.split_on_char ',' (String.trim s) in
+  let parse_one p =
+    let name, w =
+      match String.index_opt p '=' with
+      | None -> (p, 1.0)
+      | Some i -> (
+        ( String.sub p 0 i,
+          let ws = String.sub p (i + 1) (String.length p - i - 1) in
+          match float_of_string_opt (String.trim ws) with
+          | Some w when w > 0. -> w
+          | _ -> -1. ))
+    in
+    match L.of_string name with
+    | Some l when w > 0. -> Some (l, w)
+    | _ -> None
+  in
+  let levels = List.map parse_one parts in
+  if List.exists Option.is_none levels then None
+  else Some (List.filter_map Fun.id levels)
+
+let loadgen host port sessions conns txns mix_name levels_str accounts hot ops
+    think seed max_attempts json_path =
+  let mix =
+    match Workload.Generators.mix_of_string mix_name with
+    | Some m -> m
+    | None ->
+      Fmt.epr "unknown mix %S; available: %s@." mix_name
+        (String.concat ", "
+           (List.map Workload.Generators.mix_name Workload.Generators.all_mixes));
+      exit 1
+  in
+  let levels =
+    match parse_levels levels_str with
+    | Some ls -> ls
+    | None ->
+      Fmt.epr
+        "bad --levels %S: comma-separated level[=weight], e.g. \
+         \"rc,si=3\"@."
+        levels_str;
+      exit 1
+  in
+  let cfg =
+    Server.Loadgen.config ~host ~port ~sessions ?conns ~txns_per_session:txns
+      ~mix ~levels ~accounts ~hot ~ops ~think_us:think ~seed ~max_attempts ()
+  in
+  Format.printf
+    "loadgen: %d sessions over %d connections -> %s:%d, %d txns/session, mix \
+     %s, levels %s, seed %d@."
+    sessions cfg.Server.Loadgen.conns host port txns
+    (Workload.Generators.mix_name mix)
+    (String.concat ","
+       (List.map
+          (fun (l, w) -> Printf.sprintf "%s=%g" (L.name l) w)
+          levels))
+    seed;
+  Format.print_flush ();
+  let st = Server.Loadgen.run cfg in
+  Format.printf "%a@." Server.Loadgen.pp_stats st;
+  (match json_path with
+  | Some path ->
+    let json =
+      Printf.sprintf
+        "{\"sessions\":%d,\"committed\":%d,\"aborted\":%d,\"giveups\":%d,\"draining_rejects\":%d,\"protocol_errors\":%d,\"requests\":%d,\"wall_s\":%.3f,\"throughput\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f}"
+        st.Server.Loadgen.sessions st.Server.Loadgen.committed
+        st.Server.Loadgen.aborted st.Server.Loadgen.giveups
+        st.Server.Loadgen.draining_rejects st.Server.Loadgen.protocol_errors
+        st.Server.Loadgen.requests st.Server.Loadgen.wall_s
+        st.Server.Loadgen.throughput st.Server.Loadgen.p50_ms
+        st.Server.Loadgen.p95_ms st.Server.Loadgen.p99_ms
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc json;
+        Out_channel.output_string oc "\n");
+    Format.printf "loadgen report written to %s@." path
+  | None -> ());
+  if st.Server.Loadgen.protocol_errors > 0 then exit 1
+
+let loadgen_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7654
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "s"; "sessions" ] ~docv:"N" ~doc:"Concurrent client sessions.")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "conns" ] ~docv:"N"
+          ~doc:
+            "Sockets to spread the sessions over (default min(sessions, \
+             32)); each socket pipelines its sessions' requests.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "txns" ] ~docv:"N" ~doc:"Transactions per session.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "hotspot"
+      & info [ "m"; "mix" ] ~docv:"MIX"
+          ~doc:"Workload mix: transfer, hotspot, read-heavy, mixed.")
+  in
+  let levels_arg =
+    Arg.(
+      value & opt string "rc"
+      & info [ "levels" ] ~docv:"SPEC"
+          ~doc:
+            "Weighted per-session isolation levels, comma-separated \
+             level[=weight] (e.g. \"rc=1,serializable=1\"). Each session \
+             draws one and declares it with SET LEVEL.")
+  in
+  let accounts_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "accounts" ] ~docv:"N" ~doc:"Rows in the bank table.")
+  in
+  let hot_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "hot" ] ~docv:"N" ~doc:"Contended key set for hotspot.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per mixed-mix transaction.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "think" ] ~docv:"MICROSECONDS"
+          ~doc:"Mean client think time between requests.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed (same programs as \
+                                           the in-process stress harness).")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Client-side retry budget per transaction.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the run report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running server with N wire sessions; exits non-zero on \
+          any protocol error.")
+    Term.(
+      const loadgen $ host_arg $ port_arg $ sessions_arg $ conns_arg
+      $ txns_arg $ mix_arg $ levels_arg $ accounts_arg $ hot_arg $ ops_arg
+      $ think_arg $ seed_arg $ max_attempts_arg $ json_arg)
+
 let explain_cmd =
   let file_arg =
     Arg.(
@@ -1205,7 +1627,7 @@ let main_cmd =
          "A laboratory for 'A Critique of ANSI SQL Isolation Levels' \
           (Berenson et al., SIGMOD 1995).")
     [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; stress_cmd;
-      chaos_cmd; explain_cmd; scenarios_cmd; histories_cmd; levels_cmd;
-      figure_cmd ]
+      chaos_cmd; serve_cmd; loadgen_cmd; explain_cmd; scenarios_cmd;
+      histories_cmd; levels_cmd; figure_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -19,10 +19,12 @@ type action =
   | Step_fail                (* spurious failure: abort, runtime retries *)
   | Victim                   (* force a deadlock-victim abort *)
   | Torn_commit              (* crash tears the Commit record off the WAL *)
+  | Disconnect               (* sever the client connection mid-stream *)
 
 type site =
   | Step of { seq : int }    (* before operation [seq] of the attempt *)
   | Commit                   (* as the Commit record is logged *)
+  | Frame of { seq : int }   (* as frame [seq] arrives on a connection *)
 
 type t = {
   seed : int;
@@ -31,14 +33,17 @@ type t = {
   step_fail_rate : float;
   victim_rate : float;
   torn_commit_rate : float;
+  disconnect_rate : float;
   stalls : int Atomic.t;
   step_fails : int Atomic.t;
   victims : int Atomic.t;
   torn_commits : int Atomic.t;
+  disconnects : int Atomic.t;
 }
 
 let create ?(stall_rate = 0.) ?(stall_us = 2000.) ?(step_fail_rate = 0.)
-    ?(victim_rate = 0.) ?(torn_commit_rate = 0.) ~seed () =
+    ?(victim_rate = 0.) ?(torn_commit_rate = 0.) ?(disconnect_rate = 0.) ~seed
+    () =
   let rate what r =
     if r < 0. || r > 1. then
       invalid_arg (Fmt.str "Fault.Plan.create: %s rate %g not in [0, 1]" what r)
@@ -47,6 +52,7 @@ let create ?(stall_rate = 0.) ?(stall_us = 2000.) ?(step_fail_rate = 0.)
   rate "step_fail" step_fail_rate;
   rate "victim" victim_rate;
   rate "torn_commit" torn_commit_rate;
+  rate "disconnect" disconnect_rate;
   {
     seed;
     stall_rate;
@@ -54,10 +60,12 @@ let create ?(stall_rate = 0.) ?(stall_us = 2000.) ?(step_fail_rate = 0.)
     step_fail_rate;
     victim_rate;
     torn_commit_rate;
+    disconnect_rate;
     stalls = Atomic.make 0;
     step_fails = Atomic.make 0;
     victims = Atomic.make 0;
     torn_commits = Atomic.make 0;
+    disconnects = Atomic.make 0;
   }
 
 (* The CLI's one-knob preset: [rate] drives every class, with victims and
@@ -98,6 +106,15 @@ let point t ~tid site =
       Some Victim
     end
     else None
+  | Frame { seq } ->
+    (* The server consults this per inbound frame, with the connection id
+       standing in for [tid] — connection ids are as stable across reruns
+       as transaction ids are. *)
+    if draw t ~tid ~seq ~salt:4 < t.disconnect_rate then begin
+      hit t.disconnects;
+      Some Disconnect
+    end
+    else None
 
 let injected t =
   [
@@ -105,6 +122,7 @@ let injected t =
     ("step_fail", Atomic.get t.step_fails);
     ("victim", Atomic.get t.victims);
     ("torn_commit", Atomic.get t.torn_commits);
+    ("disconnect", Atomic.get t.disconnects);
   ]
 
 let total t = List.fold_left (fun acc (_, n) -> acc + n) 0 (injected t)
@@ -114,6 +132,7 @@ let klass = function
   | Step_fail -> "step_fail"
   | Victim -> "victim"
   | Torn_commit -> "torn_commit"
+  | Disconnect -> "disconnect"
 
 let pp ppf t =
   Fmt.pf ppf "faults[seed %d]: %a" t.seed

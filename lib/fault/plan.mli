@@ -15,10 +15,16 @@ type action =
   | Torn_commit
       (** the crash tears the Commit record off the WAL tail: the
           transaction rolls back and the attempt is retried *)
+  | Disconnect
+      (** sever the client connection mid-stream: the server aborts the
+          connection's open transactions and closes the socket *)
 
 type site =
   | Step of { seq : int }  (** before operation [seq] of the attempt *)
   | Commit  (** as the Commit record is logged *)
+  | Frame of { seq : int }
+      (** as frame [seq] arrives on a connection; consulted by the
+          server with the connection id as [tid] *)
 
 type t
 
@@ -28,6 +34,7 @@ val create :
   ?step_fail_rate:float ->
   ?victim_rate:float ->
   ?torn_commit_rate:float ->
+  ?disconnect_rate:float ->
   seed:int ->
   unit ->
   t
@@ -43,12 +50,12 @@ val point : t -> tid:int -> site -> action option
 (** Consult the plan at an injection point. Deterministic in
     [(seed, tid, site)]; bumps the per-class injected counter when it
     fires. At a [Step] site the classes are tried in order stall,
-    step-fail, victim; a [Commit] site only ever yields
-    [Torn_commit]. *)
+    step-fail, victim; a [Commit] site only ever yields [Torn_commit];
+    a [Frame] site only ever yields [Disconnect]. *)
 
 val injected : t -> (string * int) list
 (** Per-class injected counts, in a stable order:
-    [stall; step_fail; victim; torn_commit]. *)
+    [stall; step_fail; victim; torn_commit; disconnect]. *)
 
 val total : t -> int
 val klass : action -> string

@@ -100,6 +100,9 @@ type status = Active | Committed | Aborted
 type t = {
   mode : mode;
   family : family;
+  batch : bool;
+  buf_m : Mutex.t;                  (* guards [buf] only; taken after [m] *)
+  mutable buf : Action.t list;      (* offered actions, reversed *)
   g : Graph.Incremental.t;
   m : Mutex.t;
   keys_sv : (string, key_sv) Hashtbl.t;
@@ -124,10 +127,13 @@ type t = {
 
 let max_stored_violations = 64
 
-let create ?on_edge ?on_cycle ~mode ~family () =
+let create ?on_edge ?on_cycle ?(batch = false) ~mode ~family () =
   {
     mode;
     family;
+    batch;
+    buf_m = Mutex.create ();
+    buf = [];
     g = Graph.Incremental.create ();
     m = Mutex.create ();
     keys_sv = Hashtbl.create 64;
@@ -468,8 +474,35 @@ let observe_locked t (a : Action.t) =
       mv_purge t tid;
       Graph.Incremental.remove_node t.g tid)
 
-let observe t _pos a = locked t (fun () -> observe_locked t a)
-let doomed t tid = locked t (fun () -> Hashtbl.mem t.doomed_tbl tid)
+(* Batched mode trades the heavy graph work out of the caller's critical
+   section (the engine trace lock) for a two-mutex dance: [observe] only
+   appends under the tiny [buf_m] — appends arrive in history order
+   because the engine serializes its trace hook — and the graph catches
+   up on the next [flush]/[doomed]/[finalize]. Lock order is [m] then
+   [buf_m]: a flusher takes the graph lock first, so concurrent flushers
+   drain whole prefixes in order and the replayed sequence equals the
+   recorded history. *)
+let drain_locked t =
+  Mutex.lock t.buf_m;
+  let pending = List.rev t.buf in
+  t.buf <- [];
+  Mutex.unlock t.buf_m;
+  List.iter (observe_locked t) pending
+
+let observe t _pos a =
+  if t.batch then begin
+    Mutex.lock t.buf_m;
+    t.buf <- a :: t.buf;
+    Mutex.unlock t.buf_m
+  end
+  else locked t (fun () -> observe_locked t a)
+
+let flush t = if t.batch then locked t (fun () -> drain_locked t)
+
+let doomed t tid =
+  locked t (fun () ->
+      if t.batch then drain_locked t;
+      Hashtbl.mem t.doomed_tbl tid)
 
 (* {2 The final verdict}
 
@@ -481,6 +514,7 @@ let doomed t tid = locked t (fun () -> Hashtbl.mem t.doomed_tbl tid)
    and if every re-offer lands, the projection is serializable. *)
 let finalize t =
   locked t (fun () ->
+      if t.batch then drain_locked t;
       let stragglers =
         Hashtbl.fold
           (fun n st acc -> if st = Active then n :: acc else acc)

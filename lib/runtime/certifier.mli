@@ -46,6 +46,7 @@ type t
 val create :
   ?on_edge:(src:int -> dst:int -> dep:string -> unit) ->
   ?on_cycle:(violation -> unit) ->
+  ?batch:bool ->
   mode:mode ->
   family:family ->
   unit ->
@@ -53,12 +54,25 @@ val create :
 (** [on_edge] fires for every edge actually inserted, [on_cycle] for
     every rejected closing edge — both inside the certifier's critical
     section, so keep them cheap (the pool uses them to emit
-    [Dep_edge] / [Dep_cycle] trace events). *)
+    [Dep_edge] / [Dep_cycle] trace events).
+
+    With [~batch:true] (default false), {!observe} only appends the
+    action to a small buffer — shrinking the caller's critical section
+    (the engine trace lock) to a list cons — and the dependency-graph
+    work happens on the next {!flush}, {!doomed} poll or {!finalize}.
+    Buffer order equals history order because the engine serializes its
+    trace hook, so verdicts are unchanged; only the locus of the work
+    moves. *)
 
 val observe : t -> int -> History.Action.t -> unit
 (** Feed one action, in history order; the [int] is its position
     (matching the {!Core.Engine.set_trace_hook} signature). Safe to call
     concurrently with {!doomed}. *)
+
+val flush : t -> unit
+(** Drain buffered actions into the graph ([~batch:true] only; a no-op
+    otherwise). {!doomed} and {!finalize} flush implicitly, so calling
+    this is an optimisation, not a correctness requirement. *)
 
 val doomed : t -> int -> bool
 (** Has the transaction been doomed for closing a cycle? Polled by

@@ -108,6 +108,8 @@ type config = {
   deadline_us : float option;    (* per-attempt budget; abort + retry past it *)
   watchdog_us : float option;    (* stuck-worker threshold; None = no watchdog *)
   certify : bool;                (* online certification: doom cycle closers *)
+  certify_batch : bool;          (* buffer certifier offers outside the trace lock *)
+  stop : bool Atomic.t option;   (* drain flag: finish in-flight, take no new jobs *)
 }
 
 (* Restarting a whole transaction is costlier than re-polling one lock,
@@ -126,7 +128,8 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(max_attempts = 64) ?(max_op_retries = 10_000) ?(think_us = 0.)
     ?(backoff = Backoff.default) ?(retry_backoff = default_retry_backoff)
     ?(oracle_phenomena = Phenomena.Phenomenon.all) ?oracle_window ?(seed = 1)
-    ?trace ?fault ?deadline_us ?watchdog_us ?(certify = false) () =
+    ?trace ?fault ?deadline_us ?watchdog_us ?(certify = false)
+    ?(certify_batch = true) ?stop () =
   {
     workers = max 1 workers;
     initial;
@@ -150,6 +153,8 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     deadline_us;
     watchdog_us;
     certify;
+    certify_batch;
+    stop;
   }
 
 type result = {
@@ -289,12 +294,21 @@ let break_deadlock sh tid path =
    blown deadline. The abort touches everything, so it takes every
    stripe, like the stall safety valve; the attempt then terminates and
    the job's retry machinery takes over under a fresh tid. *)
+(* Returns the reason the abort actually landed with: if another actor
+   (a deadlock break on some other worker) terminated the transaction
+   first, that earlier reason stands and owns the accounting. *)
 let abort_self sh ~tid reason =
   let plan = all_plan sh in
   acquire_plan sh ~tid plan;
   Engine.abort_txn ~reason sh.engine tid;
   clear_waiting sh tid;
-  release_plan sh plan
+  let actual =
+    match Engine.status sh.engine tid with
+    | Engine.Aborted r -> r
+    | Engine.Committed | Engine.Active -> reason
+  in
+  release_plan sh plan;
+  actual
 
 (* {2 The watchdog}
 
@@ -397,12 +411,12 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
           (* Spurious failure: abort here; the job retries. *)
           Metrics.record_fault sh.metrics;
           emit sh ~tid (Trace.Event.Fault_inject { klass = "step_fail" });
-          abort_self sh ~tid Engine.Fault_injected
+          ignore (abort_self sh ~tid Engine.Fault_injected : Engine.abort_reason)
         | Some Fault.Plan.Victim ->
           (* Forced deadlock victim: same path a detector break takes. *)
           Metrics.record_fault sh.metrics;
           emit sh ~tid (Trace.Event.Fault_inject { klass = "victim" });
-          abort_self sh ~tid Engine.Deadlock_victim
+          ignore (abort_self sh ~tid Engine.Deadlock_victim : Engine.abort_reason)
         | _
           when (match sh.certifier with
                | Some c -> Certifier.doomed c tid
@@ -411,18 +425,23 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
              abort before the next operation (in particular before a
              commit), keeping the committed projection acyclic. *)
           Metrics.record_certifier_abort sh.metrics;
-          abort_self sh ~tid Engine.Certifier_abort
-        | _ when now_ns () > deadline_at ->
+          ignore (abort_self sh ~tid Engine.Certifier_abort : Engine.abort_reason)
+        | _ when now_ns () > deadline_at -> (
           (* Past the budget (blocked waits and injected stalls count):
-             graceful abort; the retry starts a fresh deadline window. *)
-          Metrics.record_deadline_exceeded sh.metrics;
-          emit sh ~tid
-            (Trace.Event.Deadline_exceeded
-               {
-                 elapsed_ns = now_ns () - start_ns;
-                 budget_ns = deadline_at - start_ns;
-               });
-          abort_self sh ~tid Engine.Deadline_exceeded
+             graceful abort; the retry starts a fresh deadline window.
+             Count it only if the abort landed as ours — a concurrent
+             deadlock break may have terminated the transaction first,
+             and then its reason owns the accounting. *)
+          match abort_self sh ~tid Engine.Deadline_exceeded with
+          | Engine.Deadline_exceeded ->
+            Metrics.record_deadline_exceeded sh.metrics;
+            emit sh ~tid
+              (Trace.Event.Deadline_exceeded
+                 {
+                   elapsed_ns = now_ns () - start_ns;
+                   budget_ns = deadline_at - start_ns;
+                 })
+          | _ -> ())
         | _ ->
         emit sh ~tid (Trace.Event.Step_begin { op = op_str });
         let plan = plan_for sh tid op in
@@ -578,7 +597,11 @@ let worker sh cfg ~next_job widx =
   in
   loop ()
 
-let run_with (cfg : config) ~family ~next_job =
+(* Build the shared execution state: engine, stripes, waits-for graph,
+   certifier/tear/lock hooks — everything both entry points (the batch
+   runner [run_with] and the server's parked-session [exec] interface)
+   need, up to and including [Metrics.start]. *)
+let make_shared (cfg : config) ~family =
   (* Only the locking engine is striped; the multiversion and timestamp
      engines stay single-threaded and run every step (and begin/status)
      under the full stripe set — behaviorally the old coarse latch.
@@ -614,7 +637,8 @@ let run_with (cfg : config) ~family ~next_job =
                      { cycle = v.cycle; dep = v.dep; src = v.src; dst = v.dst })) )
       in
       Some
-        (Certifier.create ?on_edge ?on_cycle ~mode:Certifier.Enforce ~family ())
+        (Certifier.create ?on_edge ?on_cycle ~batch:cfg.certify_batch
+           ~mode:Certifier.Enforce ~family ())
     end
   in
   let sh =
@@ -687,6 +711,37 @@ let run_with (cfg : config) ~family ~next_job =
       | Locking.Lock_table.On_release { owner; count } ->
         Trace.Sink.emit s ~tid:owner (Trace.Event.Lock_release { count })));
   Metrics.start sh.metrics;
+  sh
+
+(* Stop the clock and gather everything a finished run reports — the
+   tail shared by [run_with] and the server's [exec_finalize]. The trace
+   sink's per-worker rings and the recorder shards are drained here, so
+   a drained shutdown keeps its tail events. *)
+let collect_result (cfg : config) sh =
+  Metrics.stop sh.metrics;
+  let history = Engine.trace sh.engine in
+  let events, events_dropped =
+    match cfg.trace with
+    | None -> ([], 0)
+    | Some s -> (Trace.Sink.events s, Trace.Sink.dropped s)
+  in
+  {
+    history;
+    final = Engine.final_state sh.engine;
+    metrics = Metrics.snapshot sh.metrics;
+    journal = Recorder.entries sh.recorder;
+    oracle =
+      Oracle.check ~phenomena:cfg.oracle_phenomena ?window:cfg.oracle_window
+        history;
+    certifier = Option.map Certifier.finalize sh.certifier;
+    lock_stats = Engine.lock_stats sh.engine;
+    events;
+    events_dropped;
+    wal = Engine.wal sh.engine;
+  }
+
+let run_with (cfg : config) ~family ~next_job =
+  let sh = make_shared cfg ~family in
   let stop_watchdog = Atomic.make false in
   let watchdog =
     match cfg.watchdog_us with
@@ -706,32 +761,19 @@ let run_with (cfg : config) ~family ~next_job =
   Atomic.set stop_watchdog true;
   Option.iter Domain.join watchdog;
   (match mine with Ok () -> () | Error e -> raise e);
-  Metrics.stop sh.metrics;
-  let history = Engine.trace engine in
-  let events, events_dropped =
-    match cfg.trace with
-    | None -> ([], 0)
-    | Some s -> (Trace.Sink.events s, Trace.Sink.dropped s)
-  in
-  {
-    history;
-    final = Engine.final_state engine;
-    metrics = Metrics.snapshot sh.metrics;
-    journal = Recorder.entries sh.recorder;
-    oracle =
-      Oracle.check ~phenomena:cfg.oracle_phenomena ?window:cfg.oracle_window
-        history;
-    certifier = Option.map Certifier.finalize sh.certifier;
-    lock_stats = Engine.lock_stats engine;
-    events;
-    events_dropped;
-    wal = Engine.wal engine;
-  }
+  collect_result cfg sh
 
 let family_for cfg levels =
   match cfg.family with
   | Some f -> f
   | None -> Engine.family_of_levels levels
+
+(* The drain flag: once set, [next_job] answers None — workers finish
+   the job in hand (its retries included) and exit, and the collectors
+   then drain every recorder shard and trace ring as usual, so a SIGINT
+   shutdown loses no tail events. *)
+let draining cfg =
+  match cfg.stop with Some s -> Atomic.get s | None -> false
 
 let run cfg jobs =
   let family =
@@ -739,8 +781,10 @@ let run cfg jobs =
   in
   let next = Atomic.make 0 in
   let next_job () =
-    let i = Atomic.fetch_and_add next 1 in
-    if i < Array.length jobs then Some (i, jobs.(i)) else None
+    if draining cfg then None
+    else
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length jobs then Some (i, jobs.(i)) else None
   in
   run_with cfg ~family ~next_job
 
@@ -749,9 +793,212 @@ let run_for cfg ~duration_s ~gen =
   let deadline = Unix.gettimeofday () +. duration_s in
   let next = Atomic.make 0 in
   let next_job () =
-    if Unix.gettimeofday () >= deadline then None
+    if draining cfg || Unix.gettimeofday () >= deadline then None
     else
       let i = Atomic.fetch_and_add next 1 in
       Some (i, gen i)
   in
   run_with cfg ~family ~next_job
+
+(* {2 Parked, resumable transactions — the server's entry points}
+
+   The batch runner above owns its workers: a blocked operation sleeps
+   its worker in [Backoff.wait] and retries in place. A network server
+   multiplexing thousands of sessions over a fixed pool cannot afford
+   that — a session that blocks must *park*, freeing the worker for
+   runnable sessions, and retry when its backoff expires. [exec] exposes
+   exactly one engine step at a time for that caller: same stripe plans,
+   same waits-for publication and deadlock break, same fault / certifier
+   / deadline consultations as [run_attempt], but the "wait" outcome is
+   returned to the caller instead of being slept through. The session
+   layer owns the per-transaction bookkeeping the batch runner keeps on
+   its stack (attempt counts, per-session backoff state, accumulated
+   wait time) and feeds it back in for the terminal accounting. *)
+
+type exec = { ecfg : config; esh : shared }
+
+type session_step =
+  | Session_progress
+  | Session_blocked of { holders : int list }
+  | Session_finished
+  | Session_aborted of Engine.abort_reason
+
+let exec_create (cfg : config) ~family = { ecfg = cfg; esh = make_shared cfg ~family }
+
+let exec_attach_worker t ~worker =
+  Option.iter (fun s -> Trace.Sink.attach s ~worker) t.esh.sink
+
+let exec_fresh_tid t = Atomic.fetch_and_add t.esh.next_tid 1
+let exec_env t ~tid = Engine.env t.esh.engine tid
+
+let exec_status t ~tid =
+  with_aux_exclusion t.esh ~tid (fun () -> Engine.status t.esh.engine tid)
+
+let heartbeat sh ~worker ~tid =
+  if worker >= 0 && worker < Array.length sh.hb then begin
+    Atomic.set sh.hb_tid.(worker) tid;
+    Atomic.set sh.hb.(worker) (now_ns ())
+  end
+
+let exec_begin t ~worker ~tid ~job ~name ~attempt ~level ~read_only =
+  let sh = t.esh in
+  heartbeat sh ~worker ~tid;
+  emit sh ~tid
+    (Trace.Event.Attempt_begin { job; name; attempt; level = Level.name level });
+  with_aux_exclusion sh ~tid (fun () ->
+      Engine.begin_txn ~read_only sh.engine tid ~level)
+
+let exec_step t ~worker ~tid ~seq ~start_ns op =
+  let sh = t.esh and cfg = t.ecfg in
+  heartbeat sh ~worker ~tid;
+  let fault =
+    match cfg.fault with
+    | None -> None
+    | Some plan -> Fault.Plan.point plan ~tid (Fault.Plan.Step { seq })
+  in
+  (match fault with
+  | Some (Fault.Plan.Stall { us }) ->
+    (* Stalls sleep the serving worker in place: a dark worker is what
+       the deadline and watchdog exist to notice, sessions included. *)
+    Metrics.record_fault sh.metrics;
+    emit sh ~tid (Trace.Event.Fault_inject { klass = "stall" });
+    Unix.sleepf (us /. 1e6)
+  | _ -> ());
+  let deadline_at =
+    match cfg.deadline_us with
+    | Some us -> start_ns + int_of_float (us *. 1e3)
+    | None -> max_int
+  in
+  match fault with
+  | Some Fault.Plan.Step_fail ->
+    Metrics.record_fault sh.metrics;
+    emit sh ~tid (Trace.Event.Fault_inject { klass = "step_fail" });
+    Session_aborted (abort_self sh ~tid Engine.Fault_injected)
+  | Some Fault.Plan.Victim ->
+    Metrics.record_fault sh.metrics;
+    emit sh ~tid (Trace.Event.Fault_inject { klass = "victim" });
+    Session_aborted (abort_self sh ~tid Engine.Deadlock_victim)
+  | _
+    when (match sh.certifier with
+         | Some c -> Certifier.doomed c tid
+         | None -> false) ->
+    Metrics.record_certifier_abort sh.metrics;
+    Session_aborted (abort_self sh ~tid Engine.Certifier_abort)
+  | _ when now_ns () > deadline_at ->
+    (* As in the batch path: a concurrent deadlock break may land its
+       abort first, and then its reason owns the accounting. *)
+    let actual = abort_self sh ~tid Engine.Deadline_exceeded in
+    if actual = Engine.Deadline_exceeded then begin
+      Metrics.record_deadline_exceeded sh.metrics;
+      emit sh ~tid
+        (Trace.Event.Deadline_exceeded
+           {
+             elapsed_ns = now_ns () - start_ns;
+             budget_ns = deadline_at - start_ns;
+           })
+    end;
+    Session_aborted actual
+  | _ ->
+    let traced = sh.sink <> None in
+    let op_str = if traced then Fmt.str "%a" Program.pp_op op else "" in
+    emit sh ~tid (Trace.Event.Step_begin { op = op_str });
+    let plan = plan_for sh tid op in
+    acquire_plan sh ~tid plan;
+    let hpos0 = Engine.trace_len sh.engine in
+    let stepped =
+      match Engine.step sh.engine tid op with
+      | Engine.Progress ->
+        clear_waiting sh tid;
+        `Progress
+      | Engine.Finished ->
+        clear_waiting sh tid;
+        `Finished
+      | Engine.Blocked holders ->
+        Metrics.record_block sh.metrics;
+        `Blocked (holders, set_waiting sh tid holders)
+    in
+    let hpos1 = Engine.trace_len sh.engine in
+    release_plan sh plan;
+    let outcome =
+      match stepped with
+      | (`Progress | `Finished) as o -> o
+      | `Blocked (holders, None) -> `Wait holders
+      | `Blocked (holders, Some path) -> (
+        match break_deadlock sh tid path with
+        | `Wait -> `Wait holders
+        | `Self_aborted -> `Self_aborted holders)
+    in
+    emit sh ~tid
+      (Trace.Event.Step_end
+         {
+           op = op_str;
+           outcome =
+             (match outcome with
+             | `Progress -> Trace.Event.Progress
+             | `Finished -> Trace.Event.Finished
+             | `Wait hs | `Self_aborted hs -> Trace.Event.Blocked hs);
+           hpos0;
+           hpos1;
+         });
+    (match outcome with
+    | `Progress -> Session_progress
+    | `Finished -> Session_finished
+    | `Self_aborted _ -> Session_aborted Engine.Deadlock_victim
+    | `Wait holders -> Session_blocked { holders })
+
+let exec_abort ?(reason = Engine.User_abort) t ~tid =
+  ignore (abort_self t.esh ~tid reason : Engine.abort_reason)
+
+(* The starvation safety valve, mirrored from [run_attempt]: a session
+   that exhausted its blocked retries of one operation aborts itself and
+   lets the client restart the transaction. *)
+let exec_stall_restart t ~tid =
+  let sh = t.esh in
+  let plan = all_plan sh in
+  acquire_plan sh ~tid plan;
+  Engine.abort_txn sh.engine tid;
+  clear_waiting sh tid;
+  release_plan sh plan;
+  Metrics.record_stall sh.metrics;
+  emit sh ~tid Trace.Event.Stall_restart
+
+let exec_family t = Engine.family t.esh.engine
+
+let exec_finish t ~worker ~tid ~job ~name ~level ~attempt ~start_ns ~wait_ns =
+  let sh = t.esh in
+  clear_waiting sh tid;
+  let status =
+    with_aux_exclusion sh ~tid (fun () -> Engine.status sh.engine tid)
+  in
+  let finish_ns = now_ns () in
+  let outcome =
+    match status with
+    | Engine.Committed ->
+      Metrics.record_commit ~wait_ns sh.metrics
+        ~latency_ns:(finish_ns - start_ns);
+      emit sh ~tid Trace.Event.Commit;
+      Recorder.Committed
+    | Engine.Aborted reason ->
+      Metrics.record_abort sh.metrics reason;
+      emit sh ~tid
+        (Trace.Event.Abort { reason = Metrics.abort_reason_slug reason });
+      Recorder.Aborted reason
+    | Engine.Active ->
+      raise (Stuck (Fmt.str "T%d still active after its session ended" tid))
+  in
+  Recorder.record sh.recorder ~job ~name ~level ~tid ~attempt ~worker
+    ~start_ns ~finish_ns outcome;
+  outcome
+
+let exec_note_wait t ~slept_ns =
+  Metrics.record_wait_ns t.esh.metrics slept_ns
+
+let exec_note_retry t ~wall_ns =
+  Metrics.record_retry_overhead_ns t.esh.metrics wall_ns;
+  Metrics.record_retry t.esh.metrics
+
+let exec_note_giveup t ~wall_ns =
+  Metrics.record_retry_overhead_ns t.esh.metrics wall_ns;
+  Metrics.record_giveup t.esh.metrics
+
+let exec_finalize t = collect_result t.ecfg t.esh

@@ -123,6 +123,20 @@ type config = {
           its next operation. Adds [Dep_edge] / [Dep_cycle] trace events
           when tracing, [certifier_aborts] to the metrics, and the
           online {!Certifier.summary} to the result. *)
+  certify_batch : bool;
+      (** batch certifier edge offers (default true): the trace hook only
+          buffers each action, shrinking the engine's recorder critical
+          section to a list cons, and the dependency-graph work happens
+          at the workers' next {!Certifier.doomed} poll — i.e. once per
+          engine step — instead of inside the trace lock. Verdicts are
+          identical; [false] restores the unbatched feed (the bench's
+          comparison baseline). *)
+  stop : bool Atomic.t option;
+      (** drain flag: when the atomic flips to [true], workers finish the
+          job in hand (retries included), take no new jobs, and the run
+          returns normally with every tail event and journal entry
+          intact. Wire it to SIGINT for graceful shutdown. [None] (the
+          default) never drains early. *)
 }
 
 val config :
@@ -148,6 +162,8 @@ val config :
   ?deadline_us:float ->
   ?watchdog_us:float ->
   ?certify:bool ->
+  ?certify_batch:bool ->
+  ?stop:bool Atomic.t ->
   unit ->
   config
 
@@ -198,3 +214,101 @@ val run_for : config -> duration_s:float -> gen:(int -> job) -> result
     deadline passes. [gen] is called concurrently and must be pure (e.g.
     seed a fresh [Random.State] from the index). With [config.family =
     None] the family is inferred from [gen 0]. *)
+
+(** {2 Parked, resumable transactions}
+
+    The batch entry points above sleep a blocked worker in place. A
+    server multiplexing sessions ≫ workers instead *parks* a blocked
+    session and serves runnable ones; this interface exposes the same
+    execution machinery — stripe plans, incremental waits-for graph and
+    deadlock break, fault / certifier / deadline consultation, metrics,
+    journal, trace — one engine step at a time, with the wait returned
+    to the caller rather than slept through. The caller (the session
+    scheduler in [lib/server]) owns per-transaction bookkeeping: attempt
+    numbers, backoff state ({!Backoff.next_us} gives the park delay),
+    accumulated wait time, and the step sequence number that addresses
+    fault-plan draws. *)
+
+type exec
+(** A shared execution context: one engine plus the pool's concurrency
+    machinery, without the pool's own workers. Any thread or domain may
+    call into it; steps synchronize on the same stripes the batch
+    runner uses. *)
+
+(** One step's verdict, from the session's point of view. *)
+type session_step =
+  | Session_progress      (** executed; feed the next operation *)
+  | Session_blocked of { holders : int list }
+      (** blocked on these transactions: park, retry the same op after a
+          backoff delay *)
+  | Session_finished
+      (** the transaction was already terminated from outside (deadlock
+          victim, certifier doom observed late); check {!exec_status} *)
+  | Session_aborted of Core.Engine.abort_reason
+      (** aborted itself during this step (injected fault, certifier
+          doom, blown deadline, or chosen as its own deadlock victim) *)
+
+val exec_create : config -> family:[ `Locking | `Mv | `Timestamp ] -> exec
+(** [config.workers] sizes the heartbeat lanes; pass the number of
+    serving threads/domains that will call {!exec_step}. *)
+
+val exec_attach_worker : exec -> worker:int -> unit
+(** Bind the calling domain to trace ring [worker] (no-op untraced).
+    Call once from each serving domain before it steps sessions. *)
+
+val exec_fresh_tid : exec -> int
+(** Globally fresh transaction id (retries must use a new one). *)
+
+val exec_begin :
+  exec -> worker:int -> tid:int -> job:int -> name:string -> attempt:int ->
+  level:Isolation.Level.t -> read_only:bool -> unit
+(** Begin a transaction and emit its [Attempt_begin] event. [job] is the
+    session's stable index (journal key); [attempt] starts at 1. *)
+
+val exec_step :
+  exec -> worker:int -> tid:int -> seq:int -> start_ns:int ->
+  Core.Program.op -> session_step
+(** Execute one operation. [seq] is the per-transaction step-consultation
+    counter (addresses the fault plan — increment it per call); [start_ns]
+    is the attempt's start stamp (grounds the deadline check). *)
+
+val exec_env : exec -> tid:int -> Core.Program.env
+(** The transaction's observations so far — the read/scan results a
+    server returns to its client. *)
+
+val exec_status : exec -> tid:int -> Core.Engine.status
+
+val exec_abort : ?reason:Core.Engine.abort_reason -> exec -> tid:int -> unit
+(** Abort from outside the program (e.g. the client disconnected);
+    [reason] defaults to [User_abort]. No-op if already terminated. *)
+
+val exec_stall_restart : exec -> tid:int -> unit
+(** The starvation safety valve: abort a transaction that exhausted
+    [config.max_op_retries] blocked retries of one operation, counting
+    the stall and emitting its event; the client restarts it. *)
+
+val exec_family : exec -> [ `Locking | `Mv | `Timestamp ]
+
+val exec_finish :
+  exec -> worker:int -> tid:int -> job:int -> name:string ->
+  level:Isolation.Level.t -> attempt:int -> start_ns:int -> wait_ns:int ->
+  Recorder.outcome
+(** Terminal accounting once the transaction's program (or its abort) is
+    done: reads the engine status, records commit/abort metrics and the
+    journal entry, emits the Commit/Abort event, returns the outcome.
+    @raise Stuck if the transaction is somehow still active. *)
+
+val exec_note_wait : exec -> slept_ns:int -> unit
+(** Account a parked backoff delay as lock-wait time. *)
+
+val exec_note_retry : exec -> wall_ns:int -> unit
+(** Account a failed attempt's wall time as retry overhead and count the
+    retry. *)
+
+val exec_note_giveup : exec -> wall_ns:int -> unit
+(** Account a failed final attempt: retry budget exhausted. *)
+
+val exec_finalize : exec -> result
+(** Stop the clock and collect the run: history, final state, metrics,
+    journal, oracle verdict, certifier verdict, trace events. Call once,
+    after the last session has finished. *)

@@ -1,0 +1,102 @@
+(* A wire client: one socket carrying any number of sessions. Sending
+   and receiving are explicit so callers can pipeline ({!send} many,
+   {!recv} in completion order); {!request} is the synchronous
+   convenience used by tests, stashing out-of-order replies so
+   interleaved sessions on one connection still pair up correctly. *)
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  buf : Bytes.t;
+  mutable next_req : int;
+  stash : (int * int, Protocol.response) Hashtbl.t;  (* (sid, req) -> reply *)
+}
+
+let connect ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  {
+    fd;
+    reader = Protocol.Reader.create ();
+    buf = Bytes.create 65536;
+    next_req = 1;
+    stash = Hashtbl.create 64;
+  }
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+let send t ~sid request =
+  let req = t.next_req in
+  t.next_req <- req + 1;
+  let frame = Protocol.encode_request ~sid ~req request in
+  let rec write_all pos len =
+    if len > 0 then begin
+      match Unix.write t.fd frame pos len with
+      | n -> write_all (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all pos len
+    end
+  in
+  write_all 0 (Bytes.length frame);
+  req
+
+(* One decoded response, pulling from the socket as needed. [timeout_s]
+   bounds the whole wait; [None] on timeout or EOF, [Error] on protocol
+   corruption. *)
+let recv ?timeout_s t =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let rec next () =
+    match Protocol.Reader.next t.reader with
+    | `Frame payload -> (
+      match Protocol.decode_response payload with
+      | Ok (sid, req, resp) -> Ok (Some (sid, req, resp))
+      | Error msg -> Error msg)
+    | `Corrupt msg -> Error msg
+    | `Awaiting -> (
+      let remaining =
+        match deadline with
+        | None -> -1.0 (* block *)
+        | Some d ->
+          let r = d -. Unix.gettimeofday () in
+          if r <= 0. then 0. else r
+      in
+      if remaining = 0. then Ok None
+      else
+        match Unix.select [ t.fd ] [] [] remaining with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+        | [], _, _ -> Ok None
+        | _, _, _ -> (
+          match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+          | 0 -> Ok None
+          | exception Unix.Unix_error (_, _, _) -> Ok None
+          | n ->
+            Protocol.Reader.feed t.reader t.buf ~pos:0 ~len:n;
+            next ()))
+  in
+  next ()
+
+(* Send and wait for that specific reply, stashing replies to other
+   (sid, req) pairs for their own waiters. *)
+let request ?(timeout_s = 10.0) t ~sid req_body =
+  let req = send t ~sid req_body in
+  match Hashtbl.find_opt t.stash (sid, req) with
+  | Some resp ->
+    Hashtbl.remove t.stash (sid, req);
+    Ok resp
+  | None ->
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec wait () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then Error "timeout"
+      else
+        match recv ~timeout_s:remaining t with
+        | Error msg -> Error msg
+        | Ok None -> Error "timeout"
+        | Ok (Some (rsid, rreq, resp)) ->
+          if rsid = sid && rreq = req then Ok resp
+          else begin
+            Hashtbl.replace t.stash (rsid, rreq) resp;
+            wait ()
+          end
+    in
+    wait ()

@@ -1,0 +1,31 @@
+(** A wire client: one socket carrying any number of sessions.
+
+    {!send}/{!recv} are the pipelined primitives (the load generator
+    keeps many sessions in flight per socket); {!request} is the
+    synchronous convenience for tests, pairing replies by (sid, req) and
+    stashing out-of-order arrivals. Not thread-safe: one driver thread
+    per connection. *)
+
+type t
+
+val connect : host:string -> port:int -> t
+val close : t -> unit
+
+val send : t -> sid:int -> Protocol.request -> int
+(** Write one frame; returns the request id echoed by the reply. *)
+
+val recv :
+  ?timeout_s:float ->
+  t ->
+  ((int * int * Protocol.response) option, string) result
+(** Next decoded [(sid, req, response)] in arrival order. [Ok None] on
+    timeout or EOF; [Error] on wire corruption. Omitting [timeout_s]
+    blocks. *)
+
+val request :
+  ?timeout_s:float ->
+  t ->
+  sid:int ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** [send] then wait for that specific reply (default timeout 10s). *)

@@ -1,0 +1,62 @@
+(** The load generator: N client sessions multiplexed over a few
+    connections, each a state machine with at most one outstanding
+    request. Programs come from {!Workload.Generators.stress_program}
+    (same seeding as the in-process stress harness); expressions are
+    evaluated client-side from VALUE/ROWS replies, so read-modify-write
+    data flows through the protocol. Aborts retry with fresh BEGINs up
+    to [max_attempts]; DRAINING ends sessions gracefully. *)
+
+type config = {
+  host : string;
+  port : int;
+  sessions : int;
+  conns : int;  (** sockets; sessions are spread round-robin *)
+  txns_per_session : int;
+  mix : Workload.Generators.mix;
+  levels : (Isolation.Level.t * float) list;
+      (** weighted per-session level choice (SET LEVEL once at open) *)
+  accounts : int;
+  hot : int;
+  ops : int;
+  think_us : float;
+  seed : int;
+  max_attempts : int;
+}
+
+val config :
+  ?host:string ->
+  ?port:int ->
+  ?sessions:int ->
+  ?conns:int ->
+  ?txns_per_session:int ->
+  ?mix:Workload.Generators.mix ->
+  ?levels:(Isolation.Level.t * float) list ->
+  ?accounts:int ->
+  ?hot:int ->
+  ?ops:int ->
+  ?think_us:float ->
+  ?seed:int ->
+  ?max_attempts:int ->
+  unit ->
+  config
+
+type stats = {
+  sessions : int;
+  committed : int;
+  aborted : int;  (** abort replies received (each triggers a retry) *)
+  giveups : int;  (** transactions dropped after [max_attempts] *)
+  draining_rejects : int;
+  protocol_errors : int;
+  requests : int;
+  wall_s : float;
+  throughput : float;  (** committed transactions per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;  (** commit latency: BEGIN sent -> COMMITTED received *)
+}
+
+val pp_stats : stats Fmt.t
+
+val run : config -> stats
+(** Blocks until every session has finished (or abandoned after 30s of
+    server silence). One driver thread per connection. *)

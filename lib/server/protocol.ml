@@ -1,0 +1,378 @@
+(* The wire protocol: length-prefixed binary frames.
+
+   A frame is a 4-byte big-endian payload length followed by the
+   payload; the payload is an opcode byte, a 4-byte session id, a 4-byte
+   request id and an opcode-specific body. The session id is what lets
+   one TCP connection multiplex many sessions (sessions ≫ file
+   descriptors); the request id is echoed on the response, so a client
+   can pipeline requests across its sessions and pair the replies back
+   up. Integers are big-endian: u16 for string lengths, u32 for ids and
+   counts, i64 for values. Strings are u16 length + bytes.
+
+   Decoding is total: every malformed input — oversized or undersized
+   frames, unknown opcodes, truncated bodies, trailing garbage — comes
+   back as [Error msg], never an exception, so the server can answer
+   with a clean protocol error and close the connection instead of
+   crashing. *)
+
+(* Conservative ceiling on one frame's payload: large enough for a scan
+   of every row a test database holds, small enough that a corrupt
+   length prefix cannot make the server buffer gigabytes. *)
+let max_frame = 1 lsl 20
+
+(* Smallest well-formed payload: opcode + session id + request id. *)
+let min_frame = 9
+
+type pred =
+  | Named of string
+      (* resolved against the server's predicate registry ("all" is
+         pre-registered) *)
+  | Range of { name : string; lo : string; hi : string option }
+      (* rows with lo <= key < hi; [None] is unbounded above *)
+
+type request =
+  | Open
+  | Close
+  | Set_level of string
+  | Begin of { read_only : bool; attempt : int; name : string }
+  | Read of string
+  | Write of string * int
+  | Insert of string * int
+  | Delete of string
+  | Predicate of pred
+  | Commit
+  | Abort
+
+(* Error codes, mirrored in {!err_name}. *)
+let err_malformed = 1
+let err_bad_state = 2
+let err_unknown = 3
+let err_draining = 4
+let err_server = 5
+
+let err_name = function
+  | 1 -> "malformed"
+  | 2 -> "bad_state"
+  | 3 -> "unknown"
+  | 4 -> "draining"
+  | 5 -> "server"
+  | n -> Printf.sprintf "error_%d" n
+
+type response =
+  | Ok_resp
+  | Value of int option          (* read result; None = absent row *)
+  | Rows of (string * int) list  (* predicate scan result *)
+  | Committed
+  | Aborted of string            (* abort reason slug *)
+  | Error of { code : int; msg : string }
+
+(* {2 Encoding} *)
+
+let add_u16 b n =
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let add_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let add_i64 b n =
+  let v = Int64.of_int n in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let add_str b s =
+  let n = min (String.length s) 0xffff in
+  add_u16 b n;
+  Buffer.add_substring b s 0 n
+
+let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let request_body b = function
+  | Open | Close | Commit | Abort -> ()
+  | Set_level l -> add_str b l
+  | Begin { read_only; attempt; name } ->
+    add_bool b read_only;
+    add_u32 b attempt;
+    add_str b name
+  | Read k | Delete k -> add_str b k
+  | Write (k, v) | Insert (k, v) ->
+    add_str b k;
+    add_i64 b v
+  | Predicate (Named n) ->
+    Buffer.add_char b '\000';
+    add_str b n
+  | Predicate (Range { name; lo; hi }) ->
+    Buffer.add_char b '\001';
+    add_str b name;
+    add_str b lo;
+    (match hi with
+    | None -> add_bool b false
+    | Some h ->
+      add_bool b true;
+      add_str b h)
+
+let request_opcode = function
+  | Open -> 1
+  | Close -> 2
+  | Set_level _ -> 3
+  | Begin _ -> 4
+  | Read _ -> 5
+  | Write _ -> 6
+  | Insert _ -> 7
+  | Delete _ -> 8
+  | Predicate _ -> 9
+  | Commit -> 10
+  | Abort -> 11
+
+let response_body b = function
+  | Ok_resp | Committed -> ()
+  | Value None -> add_bool b false
+  | Value (Some v) ->
+    add_bool b true;
+    add_i64 b v
+  | Rows rows ->
+    add_u32 b (List.length rows);
+    List.iter
+      (fun (k, v) ->
+        add_str b k;
+        add_i64 b v)
+      rows
+  | Aborted reason -> add_str b reason
+  | Error { code; msg } ->
+    Buffer.add_char b (Char.chr (code land 0xff));
+    add_str b msg
+
+let response_opcode = function
+  | Ok_resp -> 0x81
+  | Value _ -> 0x82
+  | Rows _ -> 0x83
+  | Committed -> 0x84
+  | Aborted _ -> 0x85
+  | Error _ -> 0x86
+
+let frame ~opcode ~sid ~req body =
+  let b = Buffer.create 32 in
+  add_u32 b 0; (* length placeholder *)
+  Buffer.add_char b (Char.chr opcode);
+  add_u32 b sid;
+  add_u32 b req;
+  body b;
+  let bytes = Buffer.to_bytes b in
+  Bytes.set_int32_be bytes 0 (Int32.of_int (Bytes.length bytes - 4));
+  bytes
+
+let encode_request ~sid ~req r =
+  frame ~opcode:(request_opcode r) ~sid ~req (fun b -> request_body b r)
+
+let encode_response ~sid ~req r =
+  frame ~opcode:(response_opcode r) ~sid ~req (fun b -> response_body b r)
+
+(* {2 Decoding} *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* A little cursor over one frame's payload. *)
+type cur = { data : Bytes.t; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > Bytes.length c.data then
+    bad "truncated %s at offset %d" what c.pos
+
+let u8 c what =
+  need c 1 what;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c what =
+  need c 2 what;
+  let v = Bytes.get_uint16_be c.data c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c what =
+  need c 4 what;
+  let v = Int32.to_int (Bytes.get_int32_be c.data c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let i64 c what =
+  need c 8 what;
+  let v = Int64.to_int (Bytes.get_int64_be c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let str c what =
+  let n = u16 c what in
+  need c n what;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let bool c what =
+  match u8 c what with
+  | 0 -> false
+  | 1 -> true
+  | n -> bad "bad boolean %d in %s" n what
+
+let finish c v =
+  if c.pos <> Bytes.length c.data then
+    bad "%d trailing bytes after payload" (Bytes.length c.data - c.pos);
+  v
+
+(* Shared header: opcode, session id, request id. *)
+let header payload =
+  if Bytes.length payload < min_frame then
+    bad "payload %d bytes, minimum %d" (Bytes.length payload) min_frame;
+  let c = { data = payload; pos = 0 } in
+  let opcode = u8 c "opcode" in
+  let sid = u32 c "session id" in
+  let req = u32 c "request id" in
+  (c, opcode, sid, req)
+
+let decode_request payload =
+  try
+    let c, opcode, sid, req = header payload in
+    let r =
+      match opcode with
+      | 1 -> Open
+      | 2 -> Close
+      | 3 -> Set_level (str c "level")
+      | 4 ->
+        let read_only = bool c "read_only" in
+        let attempt = u32 c "attempt" in
+        let name = str c "name" in
+        Begin { read_only; attempt; name }
+      | 5 -> Read (str c "key")
+      | 6 ->
+        let k = str c "key" in
+        Write (k, i64 c "value")
+      | 7 ->
+        let k = str c "key" in
+        Insert (k, i64 c "value")
+      | 8 -> Delete (str c "key")
+      | 9 -> (
+        match u8 c "predicate form" with
+        | 0 -> Predicate (Named (str c "predicate name"))
+        | 1 ->
+          let name = str c "predicate name" in
+          let lo = str c "range lo" in
+          let hi = if bool c "range bound" then Some (str c "range hi") else None in
+          Predicate (Range { name; lo; hi })
+        | f -> bad "unknown predicate form %d" f)
+      | 10 -> Commit
+      | 11 -> Abort
+      | op -> bad "unknown request opcode %d" op
+    in
+    Result.Ok (sid, req, finish c r)
+  with Bad msg -> Result.Error msg
+
+let decode_response payload =
+  try
+    let c, opcode, sid, req = header payload in
+    let r =
+      match opcode with
+      | 0x81 -> Ok_resp
+      | 0x82 -> if bool c "presence" then Value (Some (i64 c "value")) else Value None
+      | 0x83 ->
+        let n = u32 c "row count" in
+        if n > max_frame then bad "row count %d out of bounds" n;
+        let rows = ref [] in
+        for _ = 1 to n do
+          let k = str c "row key" in
+          let v = i64 c "row value" in
+          rows := (k, v) :: !rows
+        done;
+        Rows (List.rev !rows)
+      | 0x84 -> Committed
+      | 0x85 -> Aborted (str c "abort reason")
+      | 0x86 ->
+        let code = u8 c "error code" in
+        Error { code; msg = str c "error message" }
+      | op -> bad "unknown response opcode %d" op
+    in
+    Result.Ok (sid, req, finish c r)
+  with Bad msg -> Result.Error msg
+
+(* {2 The incremental frame reader} *)
+
+module Reader = struct
+  type t = { mutable buf : Bytes.t; mutable len : int; mutable off : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0; off = 0 }
+
+  let compact t =
+    if t.off > 0 then begin
+      Bytes.blit t.buf t.off t.buf 0 (t.len - t.off);
+      t.len <- t.len - t.off;
+      t.off <- 0
+    end
+
+  let feed t src ~pos ~len =
+    compact t;
+    if t.len + len > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + len > !cap do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end;
+    Bytes.blit src pos t.buf t.len len;
+    t.len <- t.len + len
+
+  let next t =
+    let avail = t.len - t.off in
+    if avail < 4 then `Awaiting
+    else begin
+      let flen = Int32.to_int (Bytes.get_int32_be t.buf t.off) in
+      if flen < min_frame || flen > max_frame then
+        `Corrupt (Printf.sprintf "frame length %d out of bounds" flen)
+      else if avail < 4 + flen then `Awaiting
+      else begin
+        let payload = Bytes.sub t.buf (t.off + 4) flen in
+        t.off <- t.off + 4 + flen;
+        `Frame payload
+      end
+    end
+end
+
+(* {2 Printing} *)
+
+let pp_pred ppf = function
+  | Named n -> Fmt.pf ppf "<%s>" n
+  | Range { name; lo; hi } ->
+    Fmt.pf ppf "<%s: [%s, %a)>" name lo
+      (fun ppf -> function None -> Fmt.string ppf "∞" | Some h -> Fmt.string ppf h)
+      hi
+
+let pp_request ppf = function
+  | Open -> Fmt.string ppf "OPEN"
+  | Close -> Fmt.string ppf "CLOSE"
+  | Set_level l -> Fmt.pf ppf "SET LEVEL %s" l
+  | Begin { read_only; attempt; name } ->
+    Fmt.pf ppf "BEGIN %s#%d%s" name attempt (if read_only then " RO" else "")
+  | Read k -> Fmt.pf ppf "READ %s" k
+  | Write (k, v) -> Fmt.pf ppf "WRITE %s=%d" k v
+  | Insert (k, v) -> Fmt.pf ppf "INSERT %s=%d" k v
+  | Delete k -> Fmt.pf ppf "DELETE %s" k
+  | Predicate p -> Fmt.pf ppf "PREDICATE %a" pp_pred p
+  | Commit -> Fmt.string ppf "COMMIT"
+  | Abort -> Fmt.string ppf "ABORT"
+
+let pp_response ppf = function
+  | Ok_resp -> Fmt.string ppf "OK"
+  | Value None -> Fmt.string ppf "VALUE -"
+  | Value (Some v) -> Fmt.pf ppf "VALUE %d" v
+  | Rows rows -> Fmt.pf ppf "ROWS %d" (List.length rows)
+  | Committed -> Fmt.string ppf "COMMITTED"
+  | Aborted r -> Fmt.pf ppf "ABORTED %s" r
+  | Error { code; msg } -> Fmt.pf ppf "ERROR %s: %s" (err_name code) msg

@@ -1,0 +1,123 @@
+(** The wire protocol: length-prefixed binary frames.
+
+    Grammar (all integers big-endian):
+
+    {v
+    frame    := len:u32 payload            len = |payload|, 9 <= len <= 2^20
+    payload  := opcode:u8 sid:u32 req:u32 body
+    string   := len:u16 bytes
+    value    := i64
+
+    requests (client -> server)
+      1  OPEN                              open session [sid]
+      2  CLOSE                             close it (aborts an open txn)
+      3  SET_LEVEL   level:string          SET TRANSACTION ISOLATION LEVEL
+      4  BEGIN       ro:u8 attempt:u32 name:string
+      5  READ        key:string
+      6  WRITE       key:string value
+      7  INSERT      key:string value
+      8  DELETE      key:string
+      9  PREDICATE   form:u8 ...           form 0: name:string (registry)
+                                           form 1: name lo:string hi?:u8 [hi:string]
+      10 COMMIT
+      11 ABORT
+
+    responses (server -> client, echoing sid and req)
+      0x81 OK
+      0x82 VALUE     present:u8 [value]
+      0x83 ROWS      count:u32 (key:string value)*
+      0x84 COMMITTED
+      0x85 ABORTED   reason:string
+      0x86 ERROR     code:u8 msg:string
+    v}
+
+    The session id multiplexes many sessions over one connection
+    (sessions ≫ file descriptors); the echoed request id lets clients
+    pipeline requests across sessions and pair replies back up.
+    Decoding never raises: malformed input becomes [Error msg], so the
+    server answers with a protocol error and closes cleanly. *)
+
+val max_frame : int
+(** Payload-size ceiling (1 MiB): a frame whose length prefix exceeds it
+    is corrupt by definition. *)
+
+val min_frame : int
+(** Smallest well-formed payload (the 9-byte header). *)
+
+type pred =
+  | Named of string
+      (** resolved against the server's predicate registry ("all" is
+          pre-registered) *)
+  | Range of { name : string; lo : string; hi : string option }
+      (** rows with [lo <= key < hi]; [None] is unbounded above *)
+
+type request =
+  | Open
+  | Close
+  | Set_level of string
+  | Begin of { read_only : bool; attempt : int; name : string }
+  | Read of string
+  | Write of string * int
+  | Insert of string * int
+  | Delete of string
+  | Predicate of pred
+  | Commit
+  | Abort
+
+type response =
+  | Ok_resp
+  | Value of int option           (** read result; [None] = absent row *)
+  | Rows of (string * int) list   (** predicate scan result *)
+  | Committed
+  | Aborted of string             (** abort reason slug *)
+  | Error of { code : int; msg : string }
+
+(** {2 Error codes} *)
+
+val err_malformed : int
+(** unparseable frame; the connection closes *)
+
+val err_bad_state : int
+(** request illegal in the session's state *)
+
+val err_unknown : int
+(** unknown level or predicate name *)
+
+val err_draining : int
+(** server shutting down; no new transactions *)
+
+val err_server : int
+val err_name : int -> string
+
+(** {2 Codec} *)
+
+val encode_request : sid:int -> req:int -> request -> Bytes.t
+(** The full frame, length prefix included. *)
+
+val encode_response : sid:int -> req:int -> response -> Bytes.t
+
+val decode_request : Bytes.t -> (int * int * request, string) result
+(** Decode one payload (the bytes after the length prefix) into
+    [(sid, req, request)]. Total: malformed input is [Error _]. *)
+
+val decode_response : Bytes.t -> (int * int * response, string) result
+
+(** {2 Incremental frame reader}
+
+    Feed raw socket bytes in, pull complete frames out. [`Corrupt] is
+    sticky in intent: the connection cannot be resynchronized after a
+    bad length prefix, so the caller should error out and close. *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> Bytes.t -> pos:int -> len:int -> unit
+
+  val next : t -> [ `Frame of Bytes.t | `Awaiting | `Corrupt of string ]
+  (** [`Frame payload] hands back one payload (length prefix stripped);
+      call again — several frames may be buffered. [`Awaiting] means
+      more bytes are needed. *)
+end
+
+val pp_request : request Fmt.t
+val pp_response : response Fmt.t

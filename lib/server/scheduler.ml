@@ -1,0 +1,248 @@
+(* The session scheduler: N worker domains multiplexing many more
+   tasks (sessions) than workers.
+
+   A task is a pump closure plus a scheduling state. The reader threads
+   wake a task when input arrives; a worker picks it off the ready queue
+   and pumps it until it reports one of three outcomes: [`Idle] (inbox
+   drained — wait for more input), [`Park due_ns] (its transaction is
+   blocked or backing off — resume when the timer expires, freeing the
+   worker for runnable sessions), or [`Yield] (still runnable — go to
+   the back of the queue so siblings get a turn).
+
+   The lost-wakeup race — input arriving between the pump's last inbox
+   check and the worker marking the task idle — is closed by the state
+   machine under the scheduler mutex: a wake hitting a [Running] task
+   marks it [Running_dirty], and the worker's post-pump transition
+   re-queues a dirty task instead of idling it.
+
+   OCaml's stdlib has no [Condition.timedwait], so parked timers are
+   driven by a dedicated waker thread that sleeps until the earliest
+   due time (capped at 200µs, so a newly parked earlier timer is picked
+   up promptly) and moves due tasks to the ready queue. *)
+
+type outcome = [ `Idle | `Park of int | `Yield ]
+
+type state =
+  | Idle          (* waiting for input; not owned by the scheduler *)
+  | Queued        (* on the ready queue *)
+  | Running       (* being pumped by a worker *)
+  | Running_dirty (* being pumped; new input arrived meanwhile *)
+  | Parked        (* on the timer heap *)
+
+type task = {
+  pump : worker:int -> outcome;
+  mutable state : state;
+}
+
+let task pump = { pump; state = Idle }
+
+(* A binary min-heap of (due_ns, task). *)
+module Heap = struct
+  type t = {
+    mutable arr : (int * task) array;
+    mutable n : int;
+  }
+
+  let dummy = (max_int, { pump = (fun ~worker:_ -> `Idle); state = Idle })
+  let create () = { arr = Array.make 64 dummy; n = 0 }
+  let _size h = h.n
+
+  let swap h i j =
+    let t = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- t
+
+  let push h due task =
+    if h.n = Array.length h.arr then begin
+      let arr = Array.make (2 * h.n) dummy in
+      Array.blit h.arr 0 arr 0 h.n;
+      h.arr <- arr
+    end;
+    h.arr.(h.n) <- (due, task);
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    while !i > 0 && fst h.arr.((!i - 1) / 2) > fst h.arr.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let min_due h = if h.n = 0 then None else Some (fst h.arr.(0))
+
+  let pop h =
+    let top = h.arr.(0) in
+    h.n <- h.n - 1;
+    h.arr.(0) <- h.arr.(h.n);
+    h.arr.(h.n) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && fst h.arr.(l) < fst h.arr.(!m) then m := l;
+      if r < h.n && fst h.arr.(r) < fst h.arr.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        swap h !i !m;
+        i := !m
+      end
+    done;
+    top
+end
+
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;        (* workers wait here for ready tasks *)
+  ready : task Queue.t;
+  timers : Heap.t;
+  mutable active : int;    (* tasks not in [Idle] *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  mutable waker : Thread.t option;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let enqueue_locked t task =
+  task.state <- Queued;
+  Queue.push task t.ready;
+  Condition.signal t.cv
+
+(* Input arrived for [task]: make sure it gets pumped. *)
+let wake t task =
+  Mutex.lock t.m;
+  (match task.state with
+  | Idle ->
+    t.active <- t.active + 1;
+    enqueue_locked t task
+  | Running -> task.state <- Running_dirty
+  | Queued | Running_dirty | Parked -> ());
+  Mutex.unlock t.m
+
+(* How soon a park is worth the timer heap: shorter delays just go to
+   the back of the ready queue, which costs one round-robin lap instead
+   of a (200µs-granular) timer sleep. *)
+let min_park_ns = 150_000
+
+let worker_loop t ~attach widx =
+  attach widx;
+  Mutex.lock t.m;
+  let rec loop () =
+    if Queue.is_empty t.ready && not t.stopped then begin
+      Condition.wait t.cv t.m;
+      loop ()
+    end
+    else if Queue.is_empty t.ready then Mutex.unlock t.m (* stopped + drained *)
+    else begin
+      let task = Queue.pop t.ready in
+      task.state <- Running;
+      Mutex.unlock t.m;
+      let outcome =
+        try task.pump ~worker:widx
+        with e ->
+          (* A pump failure must not kill its worker: report it, wedge
+             only the one session. *)
+          Printf.eprintf "scheduler: pump raised %s\n%!" (Printexc.to_string e);
+          `Idle
+      in
+      Mutex.lock t.m;
+      (match outcome with
+      | `Idle when task.state = Running ->
+        task.state <- Idle;
+        t.active <- t.active - 1
+      | `Idle | `Yield ->
+        (* dirty idle: input raced in while pumping — run it again *)
+        enqueue_locked t task
+      | `Park due ->
+        (* a park with pending input still parks: the blocked operation
+           must complete before the new input can be served anyway *)
+        if due - now_ns () < min_park_ns then enqueue_locked t task
+        else begin
+          task.state <- Parked;
+          Heap.push t.timers due task
+        end);
+      loop ()
+    end
+  in
+  loop ()
+
+let waker_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    if t.stopped then Mutex.unlock t.m
+    else begin
+      let now = now_ns () in
+      let fired = ref false in
+      let rec fire () =
+        match Heap.min_due t.timers with
+        | Some due when due <= now ->
+          let _, task = Heap.pop t.timers in
+          (* Parked is the only state a task on the heap can be in. *)
+          enqueue_locked t task;
+          fired := true;
+          fire ()
+        | _ -> ()
+      in
+      fire ();
+      let sleep_ns =
+        match Heap.min_due t.timers with
+        | Some due -> min (due - now) 200_000
+        | None -> 200_000
+      in
+      Mutex.unlock t.m;
+      ignore !fired;
+      Unix.sleepf (float (max 20_000 sleep_ns) /. 1e9);
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~attach =
+  let t =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      ready = Queue.create ();
+      timers = Heap.create ();
+      active = 0;
+      stopped = false;
+      workers = [];
+      waker = None;
+    }
+  in
+  t.workers <-
+    List.init (max 1 workers) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~attach i));
+  t.waker <- Some (Thread.create waker_loop t);
+  t
+
+let active t =
+  Mutex.lock t.m;
+  let n = t.active in
+  Mutex.unlock t.m;
+  n
+
+(* Wait (politely) until every task has gone idle; [false] on timeout.
+   Parked tasks count as active — a drain waits out their backoff. *)
+let quiesce t ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    if active t = 0 then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.001;
+      wait ()
+    end
+  in
+  wait ()
+
+(* Stop the workers once the ready queue drains. Parked tasks are
+   abandoned (the caller has already quiesced or force-closed them). *)
+let stop t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  Option.iter Thread.join t.waker;
+  t.waker <- None

@@ -1,0 +1,42 @@
+(** The session scheduler: a fixed pool of worker domains multiplexing
+    many more tasks (sessions) than workers.
+
+    A task is a pump closure plus scheduler-owned state. {!wake} makes a
+    task runnable when input arrives; a worker pumps it until it reports
+    [`Idle] (inbox drained), [`Park due_ns] (blocked or backing off —
+    resume when the timer expires, freeing the worker) or [`Yield]
+    (still runnable; requeue behind siblings). A task is pumped by at
+    most one worker at a time, which is what lets sessions mutate their
+    own state without locks; the wake-while-running race is closed by a
+    dirty flag under the scheduler mutex. Parks shorter than ~150µs skip
+    the timer heap and just requeue — one round-robin lap is cheaper
+    than a timer sleep at the waker's 200µs granularity. *)
+
+type outcome = [ `Idle | `Park of int | `Yield ]
+
+type task
+
+val task : (worker:int -> outcome) -> task
+(** Wrap a pump. The [worker] argument is the lane of the domain pumping
+    this time (trace-ring binding, heartbeat index). *)
+
+type t
+
+val create : workers:int -> attach:(int -> unit) -> t
+(** Spawn [workers] domains. Each calls [attach i] once at startup —
+    bind trace rings there ({!Runtime.Pool.exec_attach_worker}). *)
+
+val wake : t -> task -> unit
+(** Input arrived: schedule the task if it is idle, or mark it dirty if
+    it is currently being pumped. Idempotent. *)
+
+val active : t -> int
+(** Tasks not currently idle (queued, running or parked). *)
+
+val quiesce : t -> timeout_s:float -> bool
+(** Wait until every task is idle; [false] on timeout. Parked tasks
+    count as active — a drain waits out their backoff. *)
+
+val stop : t -> unit
+(** Stop and join the workers once the ready queue drains; parked tasks
+    are abandoned (quiesce or force-close sessions first). *)

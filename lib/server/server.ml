@@ -1,0 +1,11 @@
+(** The wire-protocol front-end: a socket server multiplexing thousands
+    of client sessions — each with its own declared isolation level —
+    over the fixed worker-domain pool, plus the matching client and load
+    generator. See DESIGN.md, "Server front-end & session scheduler". *)
+
+module Protocol = Protocol
+module Scheduler = Scheduler
+module Session = Session
+module Frontend = Frontend
+module Client = Client
+module Loadgen = Loadgen

@@ -53,6 +53,15 @@ let name_of (e : Event.t) =
   | Event.Dep_edge { src; dst; dep } ->
     Printf.sprintf "dep %s T%d>T%d" dep src dst
   | Event.Dep_cycle { dep; _ } -> Printf.sprintf "T%d dep cycle (%s)" e.tid dep
+  | Event.Conn_open { conn } -> Printf.sprintf "conn %d open" conn
+  | Event.Conn_close { conn; reason } ->
+    Printf.sprintf "conn %d close (%s)" conn reason
+  | Event.Session_open { session; _ } -> Printf.sprintf "session %d open" session
+  | Event.Session_close { session; _ } ->
+    Printf.sprintf "session %d close" session
+  | Event.Session_park { session } -> Printf.sprintf "session %d park" session
+  | Event.Session_resume { session } ->
+    Printf.sprintf "session %d resume" session
   | Event.Commit -> Printf.sprintf "T%d commit" e.tid
   | Event.Abort _ -> Printf.sprintf "T%d abort" e.tid
 
@@ -68,7 +77,9 @@ let phase_of (e : Event.t) =
   | Event.Lock_grant _ | Event.Lock_conflict _ | Event.Lock_release _
   | Event.Stripe_wait _ | Event.Deadlock_victim _ | Event.Stall_restart
   | Event.Fault_inject _ | Event.Deadline_exceeded _ | Event.Watchdog _
-  | Event.Crash_replay _ | Event.Dep_edge _ | Event.Dep_cycle _ ->
+  | Event.Crash_replay _ | Event.Dep_edge _ | Event.Dep_cycle _
+  | Event.Conn_open _ | Event.Conn_close _ | Event.Session_open _
+  | Event.Session_close _ | Event.Session_park _ | Event.Session_resume _ ->
     `I
 
 let event_to_json e =

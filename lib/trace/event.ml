@@ -52,6 +52,21 @@ type kind =
   | Dep_cycle of { cycle : int list; dep : string; src : int; dst : int }
       (* the [src -> dst] edge of class [dep] would have closed [cycle];
          attributed to the transaction whose action offered the edge *)
+  | Conn_open of { conn : int }
+      (* the server accepted connection [conn] *)
+  | Conn_close of { conn : int; reason : string }
+      (* the connection ended: "eof" | "protocol_error" | "fault" |
+         "drain" *)
+  | Session_open of { conn : int; session : int }
+      (* a session was opened on [conn]; attributed tid 0 until its
+         first transaction begins *)
+  | Session_close of { session : int; txns : int }
+      (* the session closed after completing [txns] transactions *)
+  | Session_park of { session : int }
+      (* the session left its worker: blocked on a lock or backing off,
+         to resume when its timer expires *)
+  | Session_resume of { session : int }
+      (* a worker picked the parked session back up *)
   | Commit
   | Abort of { reason : string }
 
@@ -75,6 +90,12 @@ let tag = function
   | Crash_replay _ -> "crash_replay"
   | Dep_edge _ -> "dep_edge"
   | Dep_cycle _ -> "dep_cycle"
+  | Conn_open _ -> "conn_open"
+  | Conn_close _ -> "conn_close"
+  | Session_open _ -> "session_open"
+  | Session_close _ -> "session_close"
+  | Session_park _ -> "session_park"
+  | Session_resume _ -> "session_resume"
   | Commit -> "commit"
   | Abort _ -> "abort"
 
@@ -128,6 +149,15 @@ let pp_kind ppf = function
   | Dep_cycle { cycle; dep; src; dst } ->
     Fmt.pf ppf "dep cycle closed by %s T%d -> T%d (%s)" dep src dst
       (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
+  | Conn_open { conn } -> Fmt.pf ppf "connection %d open" conn
+  | Conn_close { conn; reason } ->
+    Fmt.pf ppf "connection %d closed (%s)" conn reason
+  | Session_open { conn; session } ->
+    Fmt.pf ppf "session %d open on connection %d" session conn
+  | Session_close { session; txns } ->
+    Fmt.pf ppf "session %d closed after %d txns" session txns
+  | Session_park { session } -> Fmt.pf ppf "session %d parked" session
+  | Session_resume { session } -> Fmt.pf ppf "session %d resumed" session
   | Commit -> Fmt.string ppf "commit"
   | Abort { reason } -> Fmt.pf ppf "abort (%s)" reason
 
@@ -191,6 +221,15 @@ let kind_args = function
   | Dep_cycle { cycle; dep; src; dst } ->
     [ ("cycle", ints cycle); ("dep", Json.String dep);
       ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Conn_open { conn } -> [ ("conn", Json.Int conn) ]
+  | Conn_close { conn; reason } ->
+    [ ("conn", Json.Int conn); ("reason", Json.String reason) ]
+  | Session_open { conn; session } ->
+    [ ("conn", Json.Int conn); ("session", Json.Int session) ]
+  | Session_close { session; txns } ->
+    [ ("session", Json.Int session); ("txns", Json.Int txns) ]
+  | Session_park { session } -> [ ("session", Json.Int session) ]
+  | Session_resume { session } -> [ ("session", Json.Int session) ]
   | Stall_restart | Commit -> []
   | Abort { reason } -> [ ("reason", Json.String reason) ]
 
@@ -286,6 +325,19 @@ let of_args j =
           (Dep_cycle
              { cycle = get_ints "cycle" j; dep = get_string "dep" j;
                src = get_int "src" j; dst = get_int "dst" j })
+      | "conn_open" -> Some (Conn_open { conn = get_int "conn" j })
+      | "conn_close" ->
+        Some
+          (Conn_close { conn = get_int "conn" j; reason = get_string "reason" j })
+      | "session_open" ->
+        Some
+          (Session_open { conn = get_int "conn" j; session = get_int "session" j })
+      | "session_close" ->
+        Some
+          (Session_close { session = get_int "session" j; txns = get_int "txns" j })
+      | "session_park" -> Some (Session_park { session = get_int "session" j })
+      | "session_resume" ->
+        Some (Session_resume { session = get_int "session" j })
       | "commit" -> Some Commit
       | "abort" -> Some (Abort { reason = get_string "reason" j })
       | _ -> None

@@ -43,6 +43,21 @@ type kind =
       (** the [src -> dst] edge of class [dep] would have closed
           [cycle] (witness format of {!History.Digraph.find_cycle});
           attributed to the transaction whose action offered the edge *)
+  | Conn_open of { conn : int }
+      (** the server accepted connection [conn] *)
+  | Conn_close of { conn : int; reason : string }
+      (** the connection ended: ["eof"], ["protocol_error"], ["fault"]
+          (injected drop) or ["drain"] *)
+  | Session_open of { conn : int; session : int }
+      (** a session opened on [conn]; attributed tid 0 until its first
+          transaction begins *)
+  | Session_close of { session : int; txns : int }
+      (** the session closed after completing [txns] transactions *)
+  | Session_park of { session : int }
+      (** the session left its worker (blocked on a lock or backing off)
+          to resume when its timer expires *)
+  | Session_resume of { session : int }
+      (** a worker picked the parked session back up *)
   | Commit
   | Abort of { reason : string }
 

@@ -116,7 +116,9 @@ let of_events (events : Event.t list) =
           | Event.Abort { reason } -> { s with outcome = Aborted reason }
           | Event.Lock_grant _ | Event.Lock_release _ | Event.Stripe_wait _
           | Event.Stall_restart | Event.Crash_replay _ | Event.Dep_edge _
-          | Event.Dep_cycle _ ->
+          | Event.Dep_cycle _ | Event.Conn_open _ | Event.Conn_close _
+          | Event.Session_open _ | Event.Session_close _
+          | Event.Session_park _ | Event.Session_resume _ ->
             s)
         init events)
     !order

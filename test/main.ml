@@ -38,4 +38,6 @@ let () =
       ("striped", Test_striped.suite);
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
+      ("protocol", Test_protocol.suite);
+      ("server", Test_server.suite);
     ]

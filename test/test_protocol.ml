@@ -1,0 +1,234 @@
+(* The wire codec: property tests pin the round trip (any request or
+   response survives encode -> frame reader -> decode, under any
+   chunking of the byte stream), and the malformed-input tests pin the
+   failure mode — truncated frames wait, corrupt length prefixes and
+   garbage payloads become clean errors, never exceptions. *)
+
+module P = Server.Protocol
+
+(* {2 Generators} *)
+
+let gen_key =
+  QCheck.Gen.(
+    oneof
+      [
+        map (Printf.sprintf "acct_%03d") (int_bound 999);
+        string_size ~gen:(char_range 'a' 'z') (int_range 1 24);
+      ])
+
+let gen_value = QCheck.Gen.(oneof [ int; int_bound 1000; return (-1) ])
+
+let gen_pred =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> P.Named s) gen_key;
+        map3
+          (fun name lo hi -> P.Range { name; lo; hi })
+          gen_key gen_key (opt gen_key);
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Open;
+        return P.Close;
+        map (fun s -> P.Set_level s) gen_key;
+        map3
+          (fun read_only attempt name -> P.Begin { read_only; attempt; name })
+          bool (int_bound 1000) gen_key;
+        map (fun k -> P.Read k) gen_key;
+        map2 (fun k v -> P.Write (k, v)) gen_key gen_value;
+        map2 (fun k v -> P.Insert (k, v)) gen_key gen_value;
+        map (fun k -> P.Delete k) gen_key;
+        map (fun p -> P.Predicate p) gen_pred;
+        return P.Commit;
+        return P.Abort;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Ok_resp;
+        map (fun v -> P.Value v) (opt gen_value);
+        map (fun rows -> P.Rows rows) (small_list (pair gen_key gen_value));
+        return P.Committed;
+        map (fun s -> P.Aborted s) gen_key;
+        map2 (fun code msg -> P.Error { code; msg }) (int_bound 255) gen_key;
+      ])
+
+let gen_sid_req = QCheck.Gen.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF))
+
+let arb_request =
+  QCheck.make
+    ~print:(fun (sid, req, r) ->
+      Fmt.str "sid=%d req=%d %a" sid req P.pp_request r)
+    QCheck.Gen.(
+      map2 (fun (sid, req) r -> (sid, req, r)) gen_sid_req gen_request)
+
+let arb_response =
+  QCheck.make
+    ~print:(fun (sid, req, r) ->
+      Fmt.str "sid=%d req=%d %a" sid req P.pp_response r)
+    QCheck.Gen.(
+      map2 (fun (sid, req) r -> (sid, req, r)) gen_sid_req gen_response)
+
+(* Strip the length prefix off a full frame. *)
+let payload_of_frame frame =
+  Bytes.sub frame 4 (Bytes.length frame - 4)
+
+(* {2 Round trips} *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request round-trips" arb_request
+    (fun (sid, req, r) ->
+      let frame = P.encode_request ~sid ~req r in
+      match P.decode_request (payload_of_frame frame) with
+      | Ok (sid', req', r') -> sid' = sid && req' = req && r' = r
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response round-trips" arb_response
+    (fun (sid, req, r) ->
+      let frame = P.encode_response ~sid ~req r in
+      match P.decode_response (payload_of_frame frame) with
+      | Ok (sid', req', r') -> sid' = sid && req' = req && r' = r
+      | Error _ -> false)
+
+(* Any chunking of a frame stream reassembles the same frames: the
+   reader is agnostic to where the kernel splits reads. *)
+let prop_reader_chunking =
+  QCheck.Test.make ~count:200 ~name:"reader reassembles any chunking"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 8)
+              (map2 (fun (sid, req) r -> (sid, req, r)) gen_sid_req gen_request))
+           (int_range 1 13)))
+    (fun (msgs, chunk) ->
+      let stream =
+        Bytes.concat Bytes.empty
+          (List.map
+             (fun (sid, req, r) -> P.encode_request ~sid ~req r)
+             msgs)
+      in
+      let reader = P.Reader.create () in
+      let n = Bytes.length stream in
+      let pos = ref 0 in
+      let out = ref [] in
+      let drain () =
+        let rec go () =
+          match P.Reader.next reader with
+          | `Frame payload -> (
+            match P.decode_request payload with
+            | Ok m ->
+              out := m :: !out;
+              go ()
+            | Error _ -> ())
+          | `Awaiting | `Corrupt _ -> ()
+        in
+        go ()
+      in
+      while !pos < n do
+        let len = min chunk (n - !pos) in
+        P.Reader.feed reader stream ~pos:!pos ~len;
+        pos := !pos + len;
+        drain ()
+      done;
+      List.rev !out = msgs)
+
+(* {2 Malformed input} *)
+
+let feed_all reader b =
+  P.Reader.feed reader b ~pos:0 ~len:(Bytes.length b)
+
+let test_truncated_frame () =
+  (* a frame missing its last byte waits for more input, forever *)
+  let frame = P.encode_request ~sid:1 ~req:2 (P.Read "acct_001") in
+  let reader = P.Reader.create () in
+  P.Reader.feed reader frame ~pos:0 ~len:(Bytes.length frame - 1);
+  (match P.Reader.next reader with
+  | `Awaiting -> ()
+  | `Frame _ -> Alcotest.fail "truncated frame produced a frame"
+  | `Corrupt m -> Alcotest.failf "truncated frame corrupt: %s" m);
+  (* the missing byte completes it *)
+  P.Reader.feed reader frame
+    ~pos:(Bytes.length frame - 1)
+    ~len:1;
+  match P.Reader.next reader with
+  | `Frame p -> (
+    match P.decode_request p with
+    | Ok (1, 2, P.Read "acct_001") -> ()
+    | _ -> Alcotest.fail "wrong frame after completion")
+  | _ -> Alcotest.fail "no frame after completing the bytes"
+
+let test_corrupt_length_prefix () =
+  (* an oversized length prefix cannot be resynchronized: corrupt *)
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int (P.max_frame + 1));
+  let reader = P.Reader.create () in
+  feed_all reader b;
+  (match P.Reader.next reader with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "oversized length prefix not corrupt");
+  (* an undersized one (below the 9-byte header) likewise *)
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 4l;
+  let reader = P.Reader.create () in
+  feed_all reader b;
+  match P.Reader.next reader with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "undersized length prefix not corrupt"
+
+let test_garbage_payload () =
+  (* a well-framed payload with an unknown opcode decodes to Error *)
+  let payload = Bytes.make 9 '\xFF' in
+  (match P.decode_request payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "opcode 255 decoded");
+  (* a string length pointing past the payload end decodes to Error *)
+  let frame = P.encode_request ~sid:0 ~req:0 (P.Read "abcdef") in
+  let payload = payload_of_frame frame in
+  (* inflate the embedded string length *)
+  Bytes.set_uint16_be payload 9 60000;
+  match P.decode_request payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "string overrun decoded"
+
+let test_trailing_bytes_rejected () =
+  let frame = P.encode_request ~sid:3 ~req:4 P.Commit in
+  let payload = payload_of_frame frame in
+  let padded = Bytes.cat payload (Bytes.make 1 '\x00') in
+  match P.decode_request padded with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes decoded"
+
+let prop_random_bytes_never_raise =
+  QCheck.Test.make ~count:500 ~name:"random payloads never raise"
+    QCheck.(make Gen.(string_size (int_range 0 64)))
+    (fun s ->
+      let payload = Bytes.of_string s in
+      (match P.decode_request payload with Ok _ | Error _ -> ());
+      (match P.decode_response payload with Ok _ | Error _ -> ());
+      true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_request_roundtrip;
+      prop_response_roundtrip;
+      prop_reader_chunking;
+      prop_random_bytes_never_raise;
+    ]
+  @ [
+      Alcotest.test_case "truncated frame awaits, then completes" `Quick
+        test_truncated_frame;
+      Alcotest.test_case "corrupt length prefixes" `Quick
+        test_corrupt_length_prefix;
+      Alcotest.test_case "garbage payloads decode to Error" `Quick
+        test_garbage_payload;
+      Alcotest.test_case "trailing bytes rejected" `Quick
+        test_trailing_bytes_rejected;
+    ]

@@ -1,0 +1,400 @@
+(* The wire front-end, live over loopback: a real server (scheduler
+   domains, reader/writer threads, striped engine) driven by real
+   sockets. The tests pin the session semantics the protocol promises —
+   per-session levels land in the journal, writes commit atomically,
+   malformed frames error and close without hurting other connections,
+   an abruptly vanished client's locks are released, draining rejects
+   new transactions — and the two pool-level satellites: the stop-flag
+   drain and certifier batching equivalence. *)
+
+module Pool = Runtime.Pool
+module Oracle = Runtime.Oracle
+module Frontend = Server.Frontend
+module Client = Server.Client
+module Loadgen = Server.Loadgen
+module P = Server.Protocol
+module L = Isolation.Level
+module Generators = Workload.Generators
+
+(* Start a server on a free port, run [f port], stop, return
+   (pool result, wire stats, f's result). *)
+let with_server ?(workers = 2) ?(accounts = 16) ?(certify = false)
+    ?(seed = 3) f =
+  let stop = Atomic.make false in
+  let port_box = Atomic.make 0 in
+  let pool =
+    Pool.config ~workers
+      ~initial:(Generators.bank_accounts accounts)
+      ~seed ~certify ~oracle_window:32 ()
+  in
+  let cfg =
+    Frontend.config ~port:0
+      ~on_ready:(fun p -> Atomic.set port_box p)
+      ~drain_grace_s:3.0 ~stop ~pool ~family:`Locking ()
+  in
+  let out = ref None in
+  let server = Thread.create (fun () -> out := Some (Frontend.serve cfg)) () in
+  let rec await n =
+    if Atomic.get port_box = 0 then
+      if n > 500 then Alcotest.fail "server never came up"
+      else begin
+        Thread.delay 0.01;
+        await (n + 1)
+      end
+  in
+  await 0;
+  let x = f (Atomic.get port_box) in
+  Atomic.set stop true;
+  Thread.join server;
+  match !out with
+  | Some (r, stats) -> (r, stats, x)
+  | None -> Alcotest.fail "server produced no result"
+
+let ok_or_fail what = function
+  | Ok P.Ok_resp -> ()
+  | Ok resp -> Alcotest.failf "%s: unexpected %a" what P.pp_response resp
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* {2 Per-session levels land in the journal} *)
+
+let test_levels_honored () =
+  let r, stats, () =
+    with_server (fun port ->
+        let cl = Client.connect ~host:"127.0.0.1" ~port in
+        (* two sessions on one connection, different declared levels *)
+        ok_or_fail "open 1" (Client.request cl ~sid:1 P.Open);
+        ok_or_fail "open 2" (Client.request cl ~sid:2 P.Open);
+        ok_or_fail "level 1" (Client.request cl ~sid:1 (P.Set_level "serializable"));
+        ok_or_fail "level 2" (Client.request cl ~sid:2 (P.Set_level "repeatable read"));
+        (* a multiversion level must be refused on a locking server *)
+        (match Client.request cl ~sid:1 (P.Set_level "snapshot") with
+        | Ok (P.Error { code; _ }) when code = P.err_unknown -> ()
+        | other ->
+          Alcotest.failf "snapshot on locking family: %s"
+            (match other with
+            | Ok resp -> Fmt.str "%a" P.pp_response resp
+            | Error e -> e));
+        let txn sid name =
+          ok_or_fail "begin"
+            (Client.request cl ~sid
+               (P.Begin { read_only = false; attempt = 1; name }));
+          (match Client.request cl ~sid (P.Read "acct_000") with
+          | Ok (P.Value _) -> ()
+          | _ -> Alcotest.fail "read failed");
+          ok_or_fail "write" (Client.request cl ~sid (P.Write ("acct_000", 7)));
+          match Client.request cl ~sid P.Commit with
+          | Ok (P.Committed | P.Aborted _) -> ()
+          | _ -> Alcotest.fail "commit failed"
+        in
+        txn 1 "ser_txn";
+        txn 2 "rr_txn";
+        ok_or_fail "close 1" (Client.request cl ~sid:1 P.Close);
+        ok_or_fail "close 2" (Client.request cl ~sid:2 P.Close);
+        Client.close cl)
+  in
+  Alcotest.(check int) "no protocol errors" 0 stats.Frontend.protocol_errors;
+  let find name =
+    match
+      List.find_opt
+        (fun e -> e.Runtime.Recorder.name = name)
+        r.Pool.journal
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "journal entry %s missing" name
+  in
+  Alcotest.(check string)
+    "declared SERIALIZABLE journaled" (L.name L.Serializable)
+    (L.name (find "ser_txn").Runtime.Recorder.level);
+  Alcotest.(check string)
+    "declared REPEATABLE READ journaled" (L.name L.Repeatable_read)
+    (L.name (find "rr_txn").Runtime.Recorder.level)
+
+(* {2 Committed writes are visible to later transactions} *)
+
+let test_write_then_read_back () =
+  let r, _, () =
+    with_server (fun port ->
+        let cl = Client.connect ~host:"127.0.0.1" ~port in
+        ok_or_fail "open" (Client.request cl ~sid:1 P.Open);
+        ok_or_fail "begin"
+          (Client.request cl ~sid:1
+             (P.Begin { read_only = false; attempt = 1; name = "w" }));
+        ok_or_fail "write" (Client.request cl ~sid:1 (P.Write ("acct_003", 321)));
+        (match Client.request cl ~sid:1 P.Commit with
+        | Ok P.Committed -> ()
+        | _ -> Alcotest.fail "uncontended commit failed");
+        ok_or_fail "begin 2"
+          (Client.request cl ~sid:1
+             (P.Begin { read_only = true; attempt = 1; name = "r" }));
+        (match Client.request cl ~sid:1 (P.Read "acct_003") with
+        | Ok (P.Value (Some 321)) -> ()
+        | Ok resp -> Alcotest.failf "read back: %a" P.pp_response resp
+        | Error e -> Alcotest.fail e);
+        (match Client.request cl ~sid:1 P.Commit with
+        | Ok P.Committed -> ()
+        | _ -> Alcotest.fail "read-only commit failed");
+        ok_or_fail "close" (Client.request cl ~sid:1 P.Close);
+        Client.close cl)
+  in
+  match List.assoc_opt "acct_003" r.Pool.final with
+  | Some 321 -> ()
+  | _ -> Alcotest.fail "committed write missing from final state"
+
+(* {2 Malformed frames: clean error, other connections unharmed} *)
+
+let test_malformed_frame () =
+  let _, stats, () =
+    with_server (fun port ->
+        (* connection 1 sends garbage after a valid open *)
+        let bad = Client.connect ~host:"127.0.0.1" ~port in
+        ok_or_fail "open" (Client.request bad ~sid:1 P.Open);
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let garbage = Bytes.make 13 '\xEE' in
+        Bytes.set_int32_be garbage 0 9l (* valid length, junk payload *);
+        let n = Unix.write fd garbage 0 13 in
+        Alcotest.(check int) "wrote the frame" 13 n;
+        (* the server answers with a malformed error, then closes *)
+        let buf = Bytes.create 1024 in
+        let got = Unix.read fd buf 0 1024 in
+        Alcotest.(check bool) "an error frame came back" true (got > 4);
+        let payload = Bytes.sub buf 4 (got - 4) in
+        (match P.decode_response payload with
+        | Ok (_, _, P.Error { code; _ }) ->
+          Alcotest.(check int) "malformed error code" P.err_malformed code
+        | other ->
+          Alcotest.failf "expected malformed error, got %s"
+            (match other with
+            | Ok (_, _, resp) -> Fmt.str "%a" P.pp_response resp
+            | Error e -> e));
+        Alcotest.(check int) "then EOF" 0 (Unix.read fd buf 0 1024);
+        Unix.close fd;
+        (* the healthy connection still works *)
+        ok_or_fail "begin after garbage"
+          (Client.request bad ~sid:1
+             (P.Begin { read_only = false; attempt = 1; name = "ok" }));
+        (match Client.request bad ~sid:1 P.Commit with
+        | Ok P.Committed -> ()
+        | _ -> Alcotest.fail "healthy connection broken by the other's garbage");
+        Client.close bad)
+  in
+  Alcotest.(check bool)
+    "protocol error counted" true
+    (stats.Frontend.protocol_errors >= 1)
+
+(* {2 An abruptly vanished client releases its locks} *)
+
+let test_disconnect_releases_locks () =
+  let r, _, () =
+    with_server (fun port ->
+        (* session A takes a write lock and the client dies *)
+        let a = Client.connect ~host:"127.0.0.1" ~port in
+        ok_or_fail "open a" (Client.request a ~sid:1 P.Open);
+        ok_or_fail "begin a"
+          (Client.request a ~sid:1
+             (P.Begin { read_only = false; attempt = 1; name = "orphan" }));
+        ok_or_fail "write a" (Client.request a ~sid:1 (P.Write ("acct_001", 5)));
+        Client.close a (* no COMMIT, no CLOSE: just gone *);
+        (* session B needs the same lock; it must get through once the
+           server reaps the orphan *)
+        let b = Client.connect ~host:"127.0.0.1" ~port in
+        ok_or_fail "open b" (Client.request b ~sid:1 P.Open);
+        let rec attempt n =
+          if n > 20 then Alcotest.fail "orphaned lock never released"
+          else begin
+            ok_or_fail "begin b"
+              (Client.request b ~sid:1
+                 (P.Begin { read_only = false; attempt = n; name = "survivor" }));
+            ok_or_fail "write b"
+              (Client.request b ~sid:1 (P.Write ("acct_001", 6)));
+            match Client.request ~timeout_s:30.0 b ~sid:1 P.Commit with
+            | Ok P.Committed -> ()
+            | Ok (P.Aborted _) ->
+              Thread.delay 0.05;
+              attempt (n + 1)
+            | _ -> Alcotest.fail "survivor commit errored"
+          end
+        in
+        attempt 1;
+        ok_or_fail "close b" (Client.request b ~sid:1 P.Close);
+        Client.close b)
+  in
+  (* the orphan was aborted, not committed *)
+  let orphan =
+    List.find_opt (fun e -> e.Runtime.Recorder.name = "orphan") r.Pool.journal
+  in
+  (match orphan with
+  | Some { Runtime.Recorder.outcome = Runtime.Recorder.Aborted _; _ } -> ()
+  | Some _ -> Alcotest.fail "orphan committed?"
+  | None -> Alcotest.fail "orphan never journaled");
+  match List.assoc_opt "acct_001" r.Pool.final with
+  | Some 6 -> ()
+  | v ->
+    Alcotest.failf "survivor's write lost (acct_001 = %s)"
+      (match v with Some n -> string_of_int n | None -> "absent")
+
+(* {2 Certified serving over the wire} *)
+
+let test_certify_over_wire () =
+  let r, stats, lg =
+    with_server ~workers:4 ~accounts:8 ~certify:true (fun port ->
+        Loadgen.run
+          (Loadgen.config ~port ~sessions:24 ~txns_per_session:4
+             ~mix:Generators.Hotspot ~accounts:8 ~hot:4
+             ~levels:[ (L.Read_committed, 1.0) ]
+             ~seed:5 ()))
+  in
+  Alcotest.(check int) "no wire protocol errors" 0 stats.Frontend.protocol_errors;
+  Alcotest.(check int) "no client protocol errors" 0 lg.Loadgen.protocol_errors;
+  Alcotest.(check bool) "some transactions committed" true (lg.Loadgen.committed > 0);
+  Alcotest.(check bool)
+    "committed projection serializable (certified, even at RC)" true
+    r.Pool.oracle.Oracle.serializable
+
+(* {2 Draining rejects new transactions} *)
+
+let test_draining_rejects () =
+  let stop = Atomic.make false in
+  let port_box = Atomic.make 0 in
+  let pool =
+    Pool.config ~workers:2 ~initial:(Generators.bank_accounts 8) ~seed:9 ()
+  in
+  let cfg =
+    Frontend.config ~port:0
+      ~on_ready:(fun p -> Atomic.set port_box p)
+      ~drain_grace_s:2.0 ~stop ~pool ~family:`Locking ()
+  in
+  let out = ref None in
+  let server = Thread.create (fun () -> out := Some (Frontend.serve cfg)) () in
+  let rec await n =
+    if Atomic.get port_box = 0 then
+      if n > 500 then Alcotest.fail "server never came up"
+      else begin
+        Thread.delay 0.01;
+        await (n + 1)
+      end
+  in
+  await 0;
+  let cl = Client.connect ~host:"127.0.0.1" ~port:(Atomic.get port_box) in
+  ok_or_fail "open" (Client.request cl ~sid:1 P.Open);
+  (* commit one transaction while the server is healthy *)
+  ok_or_fail "begin"
+    (Client.request cl ~sid:1 (P.Begin { read_only = false; attempt = 1; name = "pre" }));
+  (match Client.request cl ~sid:1 P.Commit with
+  | Ok P.Committed -> ()
+  | _ -> Alcotest.fail "healthy commit failed");
+  (* flip the drain flag; the accept loop notices within its 100ms poll *)
+  Atomic.set stop true;
+  Thread.delay 0.3;
+  (match Client.request cl ~sid:1 (P.Begin { read_only = false; attempt = 1; name = "late" })
+   with
+  | Ok (P.Error { code; _ }) when code = P.err_draining -> ()
+  | Ok resp ->
+    Alcotest.failf "BEGIN while draining: %a (wanted DRAINING error)"
+      P.pp_response resp
+  | Error _ -> () (* connection already severed: also a valid drain *));
+  Client.close cl;
+  Thread.join server;
+  match !out with
+  | Some (r, _) ->
+    Alcotest.(check bool)
+      "pre-drain txn journaled" true
+      (List.exists (fun e -> e.Runtime.Recorder.name = "pre") r.Pool.journal)
+  | None -> Alcotest.fail "server produced no result"
+
+(* {2 Pool drain flag (batch runner)} *)
+
+let test_pool_stop_drains () =
+  let stop = Atomic.make false in
+  let cfg =
+    Pool.config ~workers:4
+      ~initial:(Generators.bank_accounts 8)
+      ~think_us:500. ~seed:13 ~stop ()
+  in
+  let gen i =
+    let p =
+      Generators.stress_program Generators.Hotspot ~seed:13 ~accounts:8 ~hot:2
+        ~ops:4 ~index:i
+    in
+    Pool.job ~name:p.Core.Program.name ~level:L.Read_committed p
+  in
+  let stopper =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        Atomic.set stop true)
+      ()
+  in
+  (* far more work than 50ms can finish: the run must return early,
+     complete (journal) every attempt it started, and stay checkable *)
+  let r = Pool.run cfg (Array.init 5000 gen) in
+  Thread.join stopper;
+  let m = r.Pool.metrics in
+  let done_ =
+    m.Runtime.Metrics.committed + m.Runtime.Metrics.aborted_total
+  in
+  Alcotest.(check bool) "drained early (not all 5000 ran)" true (done_ < 5000);
+  Alcotest.(check bool) "made some progress first" true (done_ > 0);
+  Alcotest.(check bool)
+    "history well-formed after drain" true
+    (match r.Pool.oracle.Oracle.well_formed with
+    | Ok () -> true
+    | Error _ -> false)
+
+(* {2 Certifier batching equivalence} *)
+
+let test_certify_batch_equivalent () =
+  (* single worker: identical schedules, so batched and inline feeds
+     must produce identical certifier accounting, not just verdicts *)
+  let run ~certify_batch =
+    let cfg =
+      Pool.config ~workers:1
+        ~initial:(Generators.bank_accounts 8)
+        ~seed:21 ~certify:true ~certify_batch ()
+    in
+    let gen i =
+      let p =
+        Generators.stress_program Generators.Mixed ~seed:21 ~accounts:8 ~hot:4
+          ~ops:5 ~index:i
+      in
+      Pool.job ~name:p.Core.Program.name ~level:L.Read_committed p
+    in
+    Pool.run cfg (Array.init 64 gen)
+  in
+  let a = run ~certify_batch:true and b = run ~certify_batch:false in
+  let s r =
+    match r.Pool.certifier with
+    | Some s -> s
+    | None -> Alcotest.fail "certifier summary missing"
+  in
+  let sa = s a and sb = s b in
+  Alcotest.(check bool) "batched serializable" true sa.Runtime.Certifier.serializable;
+  Alcotest.(check bool) "inline serializable" true sb.Runtime.Certifier.serializable;
+  Alcotest.(check int)
+    "same wr edges" sa.Runtime.Certifier.edges_wr sb.Runtime.Certifier.edges_wr;
+  Alcotest.(check int)
+    "same ww edges" sa.Runtime.Certifier.edges_ww sb.Runtime.Certifier.edges_ww;
+  Alcotest.(check int)
+    "same rw edges" sa.Runtime.Certifier.edges_rw sb.Runtime.Certifier.edges_rw;
+  Alcotest.(check int)
+    "same dooms" sa.Runtime.Certifier.dooms sb.Runtime.Certifier.dooms
+
+let suite =
+  [
+    Alcotest.test_case "per-session levels land in the journal" `Slow
+      test_levels_honored;
+    Alcotest.test_case "committed writes read back over the wire" `Slow
+      test_write_then_read_back;
+    Alcotest.test_case "malformed frame: clean error, isolation" `Slow
+      test_malformed_frame;
+    Alcotest.test_case "abrupt disconnect releases locks" `Slow
+      test_disconnect_releases_locks;
+    Alcotest.test_case "certified serving over the wire" `Slow
+      test_certify_over_wire;
+    Alcotest.test_case "draining rejects new transactions" `Slow
+      test_draining_rejects;
+    Alcotest.test_case "pool stop flag drains the batch runner" `Slow
+      test_pool_stop_drains;
+    Alcotest.test_case "certifier batching is accounting-equivalent" `Quick
+      test_certify_batch_equivalent;
+  ]
