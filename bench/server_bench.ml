@@ -22,15 +22,45 @@ let seed = 11
 type cell = {
   sv_sessions : int;
   sv_certify : bool;
+  sv_telemetry : bool;
+  sv_scrapes : int;
   sv_stats : Loadgen.stats;
   sv_metrics : Runtime.Metrics.snapshot;
   sv_serializable : bool;
   sv_wire : Frontend.stats;
 }
 
-let run_cell ~sessions ~certify =
+(* One Prometheus scrape over a raw socket — the bench measures the cost
+   of serving the exposition under load, so it must actually pull it,
+   not just open the port. Returns the byte count (0 on any failure). *)
+let scrape_metrics ~port =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+        ignore (Unix.write fd req 0 (Bytes.length req));
+        let buf = Bytes.create 8192 in
+        let total = ref 0 in
+        let rec drain () =
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          if n > 0 then begin
+            total := !total + n;
+            drain ()
+          end
+        in
+        drain ();
+        !total)
+  with
+  | n -> n
+  | exception (Unix.Unix_error _ | End_of_file) -> 0
+
+let run_cell ~sessions ~certify ~telemetry =
   let stop = Atomic.make false in
   let port_box = Atomic.make 0 in
+  let tport_box = Atomic.make 0 in
   let pool =
     Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
@@ -39,6 +69,8 @@ let run_cell ~sessions ~certify =
   let cfg =
     Frontend.config ~port:0
       ~on_ready:(fun p -> Atomic.set port_box p)
+      ?telemetry_port:(if telemetry then Some 0 else None)
+      ~telemetry_ready:(fun p -> Atomic.set tport_box p)
       ~drain_grace_s:5.0 ~stop ~pool ~family:`Locking ()
   in
   let result = ref None in
@@ -52,6 +84,31 @@ let run_cell ~sessions ~certify =
   await_port 0;
   let port = Atomic.get port_box in
   if port = 0 then failwith "server_bench: server never came up";
+  (* with telemetry on, a scraper polls the exposition throughout the
+     run — the measured cell includes the cost of answering it *)
+  let scrapes = ref 0 in
+  let scraper =
+    if not telemetry then None
+    else begin
+      let rec await_tport n =
+        if Atomic.get tport_box = 0 && n < 500 then begin
+          Thread.delay 0.01;
+          await_tport (n + 1)
+        end
+      in
+      await_tport 0;
+      let tport = Atomic.get tport_box in
+      if tport = 0 then failwith "server_bench: telemetry never came up";
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get stop) do
+               if scrape_metrics ~port:tport > 0 then incr scrapes;
+               Thread.delay 0.25
+             done)
+           ())
+    end
+  in
   let lg =
     Loadgen.config ~port ~sessions
       ~txns_per_session:(max 1 (total_txns / sessions))
@@ -61,6 +118,7 @@ let run_cell ~sessions ~certify =
   in
   let stats = Loadgen.run lg in
   Atomic.set stop true;
+  Option.iter Thread.join scraper;
   Thread.join server;
   let r, wire =
     match !result with Some r -> r | None -> failwith "server died"
@@ -68,6 +126,8 @@ let run_cell ~sessions ~certify =
   {
     sv_sessions = sessions;
     sv_certify = certify;
+    sv_telemetry = telemetry;
+    sv_scrapes = !scrapes;
     sv_stats = stats;
     sv_metrics = r.Pool.metrics;
     sv_serializable = r.Pool.oracle.Runtime.Oracle.serializable;
@@ -76,11 +136,13 @@ let run_cell ~sessions ~certify =
 
 let cell_json c =
   Printf.sprintf
-    "{\"sessions\":%d,\"certify\":%b,\"workers\":%d,\"committed\":%d,\
+    "{\"sessions\":%d,\"certify\":%b,\"telemetry\":%b,\"scrapes\":%d,\
+     \"workers\":%d,\"committed\":%d,\
      \"aborted\":%d,\"giveups\":%d,\"protocol_errors\":%d,\
      \"throughput\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\
      \"frames\":%d,\"certifier_aborts\":%d,\"serializable\":%b}"
-    c.sv_sessions c.sv_certify workers c.sv_stats.Loadgen.committed
+    c.sv_sessions c.sv_certify c.sv_telemetry c.sv_scrapes workers
+    c.sv_stats.Loadgen.committed
     c.sv_stats.Loadgen.aborted c.sv_stats.Loadgen.giveups
     c.sv_stats.Loadgen.protocol_errors c.sv_stats.Loadgen.throughput
     c.sv_stats.Loadgen.p50_ms c.sv_stats.Loadgen.p95_ms
@@ -94,22 +156,26 @@ let server () =
     "== server: wire front-end, %d worker domains, transfer mix over %d \
      accounts, %d txns/cell, rc:serializable sessions 3:1 ==\n"
     workers accounts total_txns;
-  Printf.printf "  %-9s %-8s %9s %8s %8s %8s %8s %7s %6s  %s\n" "sessions"
-    "certify" "txn/s" "p50ms" "p95ms" "p99ms" "commits" "aborts" "proto"
-    "serializable";
+  Printf.printf "  %-9s %-8s %-9s %9s %8s %8s %8s %8s %7s %6s  %s\n" "sessions"
+    "certify" "telemetry" "txn/s" "p50ms" "p95ms" "p99ms" "commits" "aborts"
+    "proto" "serializable";
   let cells =
     List.concat_map
       (fun sessions ->
-        List.map
+        List.concat_map
           (fun certify ->
-            let c = run_cell ~sessions ~certify in
-            Printf.printf "  %-9d %-8b %9.0f %8.2f %8.2f %8.2f %8d %7d %6d  %b\n"
-              c.sv_sessions c.sv_certify c.sv_stats.Loadgen.throughput
-              c.sv_stats.Loadgen.p50_ms c.sv_stats.Loadgen.p95_ms
-              c.sv_stats.Loadgen.p99_ms c.sv_stats.Loadgen.committed
-              c.sv_stats.Loadgen.aborted c.sv_stats.Loadgen.protocol_errors
-              c.sv_serializable;
-            c)
+            List.map
+              (fun telemetry ->
+                let c = run_cell ~sessions ~certify ~telemetry in
+                Printf.printf
+                  "  %-9d %-8b %-9b %9.0f %8.2f %8.2f %8.2f %8d %7d %6d  %b\n"
+                  c.sv_sessions c.sv_certify c.sv_telemetry
+                  c.sv_stats.Loadgen.throughput c.sv_stats.Loadgen.p50_ms
+                  c.sv_stats.Loadgen.p95_ms c.sv_stats.Loadgen.p99_ms
+                  c.sv_stats.Loadgen.committed c.sv_stats.Loadgen.aborted
+                  c.sv_stats.Loadgen.protocol_errors c.sv_serializable;
+                c)
+              [ false; true ])
           [ false; true ])
       [ 64; 256; 1024 ]
   in

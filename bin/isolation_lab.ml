@@ -346,7 +346,8 @@ let drain_on_sigint () =
   stop
 
 let stress workers level mix_name txns duration accounts hot ops think seed
-    fuw stripes coarse oracle_window certify json_path trace_path =
+    fuw stripes coarse oracle_window certify json_path trace_path
+    telemetry_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -385,11 +386,59 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     accounts hot think seed
     (if coarse then "coarse latch"
      else Printf.sprintf "%d stripes" cfg.Runtime.Pool.stripes);
+  (* --telemetry: a sampler thread scrapes the live runtime reading
+     every second and appends Prometheus exposition blocks, one per
+     scrape, so a run leaves a greppable time series behind. *)
+  let telemetry_stop = ref false in
+  let telemetry_threads = ref [] in
+  let monitor =
+    match telemetry_path with
+    | None -> None
+    | Some path ->
+      Some
+        (fun sampler ->
+          let th =
+            Thread.create
+              (fun () ->
+                Out_channel.with_open_text path (fun oc ->
+                    let scrape () =
+                      let live = sampler () in
+                      Printf.fprintf oc "# scrape %.6f\n%s\n"
+                        live.Runtime.Pool.at
+                        (Telemetry.Report.to_prometheus
+                           (Telemetry.Report.make live));
+                      flush oc
+                    in
+                    scrape ();
+                    (* the t=0 baseline; even a sub-second run leaves a
+                       well-formed series *)
+                    while not !telemetry_stop do
+                      (* nap in 0.1s steps so the final join is prompt;
+                         the loop body still cuts one last scrape after
+                         the drain *)
+                      let rec nap k =
+                        if k > 0 && not !telemetry_stop then begin
+                          Thread.delay 0.1;
+                          nap (k - 1)
+                        end
+                      in
+                      nap 10;
+                      scrape ()
+                    done))
+              ()
+          in
+          telemetry_threads := th :: !telemetry_threads)
+  in
   let r =
     match duration with
-    | Some d -> Runtime.Pool.run_for cfg ~duration_s:d ~gen
-    | None -> Runtime.Pool.run cfg (Array.init txns gen)
+    | Some d -> Runtime.Pool.run_for ?monitor cfg ~duration_s:d ~gen
+    | None -> Runtime.Pool.run ?monitor cfg (Array.init txns gen)
   in
+  telemetry_stop := true;
+  List.iter Thread.join !telemetry_threads;
+  (match telemetry_path with
+  | Some path -> Format.printf "telemetry time series written to %s@." path
+  | None -> ());
   Format.printf "%a@." Runtime.Metrics.pp r.Runtime.Pool.metrics;
   (match r.Runtime.Pool.lock_stats with
   | Some s ->
@@ -615,6 +664,16 @@ let stress_cmd =
              trace_event JSON — loadable in chrome://tracing or Perfetto, \
              and re-renderable with $(b,isolation_lab explain).")
   in
+  let telemetry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Scrape the live runtime once a second while the run is in \
+             flight and append each reading as a Prometheus text-format \
+             block (separated by $(b,# scrape) timestamp comments) — a \
+             time series of the run, not just its final totals.")
+  in
   Cmd.v
     (Cmd.info "stress"
        ~doc:
@@ -624,7 +683,7 @@ let stress_cmd =
       const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
       $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
       $ seed_arg $ fuw_arg $ stripes_arg $ coarse_arg $ oracle_window_arg
-      $ certify_arg $ json_arg $ trace_arg)
+      $ certify_arg $ json_arg $ trace_arg $ telemetry_arg)
 
 (* {2 chaos — stress under deterministic fault injection} *)
 
@@ -1143,7 +1202,7 @@ let family_name = function
 
 let serve workers family_str level port host accounts stripes coarse certify
     certify_batch oracle_window duration drain_grace seed disconnect_rate
-    trace_path json_path =
+    trace_path json_path telemetry_port =
   let family =
     match family_of_string (String.lowercase_ascii family_str) with
     | Some f -> f
@@ -1185,6 +1244,10 @@ let serve workers family_str level port host accounts stripes coarse certify
         Format.printf "serving on %s:%d (%d workers, %s family, default %s%s)@."
           host p workers (family_name family) (L.name level)
           (if certify then ", certified" else "");
+        Format.print_flush ())
+      ?telemetry_port
+      ~telemetry_ready:(fun p ->
+        Format.printf "telemetry on http://%s:%d/metrics@." host p;
         Format.print_flush ())
       ~pool ~family ()
   in
@@ -1346,6 +1409,16 @@ let serve_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write wire stats, metrics and the oracle verdict as JSON.")
   in
+  let telemetry_port_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "telemetry-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve a Prometheus text exposition of the live metrics \
+             over HTTP on this port (0 picks one). The same snapshot \
+             answers the wire protocol's STATS admin op — see \
+             $(b,isolation_lab top).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1356,7 +1429,7 @@ let serve_cmd =
       const serve $ workers_arg $ family_arg $ level_arg $ port_arg $ host_arg
       $ accounts_arg $ stripes_arg $ coarse_arg $ certify_arg
       $ certify_batch_arg $ oracle_window_arg $ duration_arg $ drain_grace_arg
-      $ seed_arg $ disconnect_arg $ trace_arg $ json_arg)
+      $ seed_arg $ disconnect_arg $ trace_arg $ json_arg $ telemetry_port_arg)
 
 let parse_levels s =
   (* "rc,si=3,serializable=0.5": comma-separated level[=weight] *)
@@ -1381,7 +1454,7 @@ let parse_levels s =
   else Some (List.filter_map Fun.id levels)
 
 let loadgen host port sessions conns txns mix_name levels_str accounts hot ops
-    think seed max_attempts json_path =
+    think seed max_attempts json_path progress =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -1403,7 +1476,8 @@ let loadgen host port sessions conns txns mix_name levels_str accounts hot ops
   in
   let cfg =
     Server.Loadgen.config ~host ~port ~sessions ?conns ~txns_per_session:txns
-      ~mix ~levels ~accounts ~hot ~ops ~think_us:think ~seed ~max_attempts ()
+      ~mix ~levels ~accounts ~hot ~ops ~think_us:think ~seed ~max_attempts
+      ~progress_s:progress ()
   in
   Format.printf
     "loadgen: %d sessions over %d connections -> %s:%d, %d txns/session, mix \
@@ -1519,6 +1593,14 @@ let loadgen_cmd =
       value & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write the run report as JSON.")
   in
+  let progress_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "progress" ] ~docv:"SECONDS"
+          ~doc:
+            "Print an interval line (commit rate, aborts, retries) to \
+             stderr this often while driving; 0 disables.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -1527,7 +1609,183 @@ let loadgen_cmd =
     Term.(
       const loadgen $ host_arg $ port_arg $ sessions_arg $ conns_arg
       $ txns_arg $ mix_arg $ levels_arg $ accounts_arg $ hot_arg $ ops_arg
-      $ think_arg $ seed_arg $ max_attempts_arg $ json_arg)
+      $ think_arg $ seed_arg $ max_attempts_arg $ json_arg $ progress_arg)
+
+(* {2 top — live dashboard against a running server} *)
+
+let top host port interval once =
+  let module P = Server.Protocol in
+  let module J = Trace.Json in
+  let module W = Telemetry.Window in
+  let cl =
+    try Server.Client.connect ~host ~port
+    with Unix.Unix_error (e, _, _) ->
+      Fmt.epr "top: cannot connect to %s:%d: %s@." host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let seen = ref false in
+  let scrape () =
+    match Server.Client.request ~timeout_s:5.0 cl ~sid:0 P.Stats with
+    | Ok (P.Stats_resp body) -> (
+      match J.parse body with
+      | Ok j ->
+        seen := true;
+        j
+      | Error e ->
+        Fmt.epr "top: bad STATS JSON: %a@." J.pp_error e;
+        exit 1)
+    | Ok _ ->
+      Fmt.epr "top: unexpected reply to STATS@.";
+      exit 1
+    | Error msg ->
+      if !seen then begin
+        (* the server drained away mid-watch; that is a normal ending *)
+        Fmt.pr "top: server gone (%s)@." msg;
+        exit 0
+      end
+      else begin
+        Fmt.epr "top: %s@." msg;
+        exit 1
+      end
+  in
+  let num sec k =
+    Option.value ~default:0
+      (Option.bind (Option.bind sec (J.member k)) J.to_int_opt)
+  in
+  let fnum sec k =
+    Option.value ~default:0.
+      (Option.bind (Option.bind sec (J.member k)) J.to_float_opt)
+  in
+  let render ?prev j =
+    let b = Buffer.create 1024 in
+    let line fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string b s;
+          Buffer.add_char b '\n')
+        fmt
+    in
+    let sample = Option.bind (J.member "metrics" j) W.of_json in
+    let cert = J.member "certifier" j in
+    let sched = J.member "scheduler" j in
+    let srv = J.member "server" j in
+    let draining =
+      Option.value ~default:false
+        (Option.bind (Option.bind srv (J.member "draining")) J.to_bool_opt)
+    in
+    let clock =
+      let tm = Unix.localtime (fnum (Some j) "at") in
+      Printf.sprintf "%02d:%02d:%02d" tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+    in
+    line "isolation_lab top — %s:%d — %s%s" host port clock
+      (if draining then "  DRAINING" else "");
+    (match sample with
+    | None -> line "  (malformed metrics section)"
+    | Some s ->
+      line
+        "  totals    committed %d  aborted %d  retries %d  giveups %d  \
+         deadlocks %d  dooms %d"
+        s.W.committed s.W.aborted s.W.retries s.W.giveups s.W.deadlocks
+        s.W.certifier_aborts;
+      (match prev with
+      | None -> if not once then line "  interval  (first scrape)"
+      | Some p ->
+        let r = W.delta p s in
+        line "  interval  %s" (Fmt.str "%a" W.pp_rates r);
+        if r.W.d_aborted_by <> [] then
+          line "  aborts    %s"
+            (String.concat "  "
+               (List.map
+                  (fun (k, n) -> Printf.sprintf "%s %d" k n)
+                  r.W.d_aborted_by)));
+      if s.W.per_level <> [] then begin
+        line "  by level";
+        List.iter
+          (fun (slug, c, a, d) ->
+            line "    %-24s committed %-8d aborted %-8d doomed %d" slug c a d)
+          s.W.per_level
+      end);
+    (match cert with
+    | None -> ()
+    | Some _ ->
+      line
+        "  certifier nodes %d  edges %d  queue %d  pending %d  cycles %d  \
+         dooms %d  misses %d"
+        (num cert "nodes") (num cert "edges") (num cert "queue")
+        (num cert "pending") (num cert "cycles") (num cert "dooms")
+        (num cert "misses"));
+    (match sched with
+    | None -> ()
+    | Some _ ->
+      line
+        "  scheduler runnable %d  parked %d  active %d  wakes %d  wake wait \
+         mean %.0fus max %.0fus"
+        (num sched "runnable") (num sched "parked")
+        (num sched "sessions_active") (num sched "wakes")
+        (fnum sched "wake_wait_mean_us")
+        (fnum sched "wake_wait_max_us"));
+    (match srv with
+    | None -> ()
+    | Some _ ->
+      line "  server    conns %d  sessions %d  frames %d  proto_errs %d"
+        (num srv "conns") (num srv "sessions") (num srv "frames")
+        (num srv "protocol_errors"));
+    line "  storage   wal %d records  history %d actions"
+      (num (Some j) "wal_entries")
+      (num (Some j) "history_len");
+    Buffer.contents b
+  in
+  if once then begin
+    print_string (render (scrape ()));
+    exit 0
+  end
+  else begin
+    let rec loop prev =
+      let j = scrape () in
+      let sample = Option.bind (J.member "metrics" j) W.of_json in
+      print_string "\027[2J\027[H";
+      print_string (render ?prev j);
+      flush stdout;
+      Unix.sleepf (Float.max 0.1 interval);
+      loop (match sample with Some _ -> sample | None -> prev)
+    in
+    loop None
+  end
+
+let top_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7654
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "i"; "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print a single report and exit (no screen clearing; for \
+             scripts and CI).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running server: polls the wire protocol's \
+          STATS admin op and renders interval commit/abort rates, the \
+          abort mix, per-level counts, and certifier, scheduler and \
+          connection gauges.")
+    Term.(const top $ host_arg $ port_arg $ interval_arg $ once_arg)
 
 let explain_cmd =
   let file_arg =
@@ -1627,7 +1885,7 @@ let main_cmd =
          "A laboratory for 'A Critique of ANSI SQL Isolation Levels' \
           (Berenson et al., SIGMOD 1995).")
     [ analyze_cmd; run_cmd; classify_cmd; scenario_cmd; stress_cmd;
-      chaos_cmd; serve_cmd; loadgen_cmd; explain_cmd; scenarios_cmd;
+      chaos_cmd; serve_cmd; loadgen_cmd; top_cmd; explain_cmd; scenarios_cmd;
       histories_cmd; levels_cmd; figure_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -66,7 +66,7 @@ let family = function
 
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
-  | "degree 0" | "degree0" | "d0" -> Some Degree_0
+  | "degree 0" | "degree0" | "degree_0" | "d0" -> Some Degree_0
   | "read uncommitted" | "read_uncommitted" | "ru" | "degree 1" | "d1" ->
     Some Read_uncommitted
   | "read committed" | "read_committed" | "rc" | "degree 2" | "d2" ->
@@ -74,14 +74,31 @@ let of_string s =
   | "cursor stability" | "cursor_stability" | "cs" -> Some Cursor_stability
   | "repeatable read" | "repeatable_read" | "rr" -> Some Repeatable_read
   | "snapshot" | "snapshot isolation" | "si" -> Some Snapshot
-  | "oracle read consistency" | "read consistency" | "oracle" | "orc" ->
+  | "oracle read consistency" | "oracle_read_consistency" | "read consistency"
+  | "oracle" | "orc" ->
     Some Oracle_read_consistency
-  | "serializable si (ssi)" | "serializable snapshot" | "ssi" ->
+  | "serializable si (ssi)" | "serializable snapshot"
+  | "serializable_snapshot" | "ssi" ->
     Some Serializable_snapshot
-  | "timestamp ordering (t/o)" | "timestamp ordering" | "timestamp" | "to" ->
+  | "timestamp ordering (t/o)" | "timestamp ordering" | "timestamp_ordering"
+  | "timestamp" | "to" ->
     Some Timestamp_ordering
   | "serializable" | "ser" | "degree 3" | "d3" -> Some Serializable
   | _ -> None
+
+(* Machine-readable spelling: JSON keys, Prometheus labels. Every slug
+   round-trips through [of_string]. *)
+let slug = function
+  | Degree_0 -> "degree_0"
+  | Read_uncommitted -> "read_uncommitted"
+  | Read_committed -> "read_committed"
+  | Cursor_stability -> "cursor_stability"
+  | Repeatable_read -> "repeatable_read"
+  | Snapshot -> "snapshot"
+  | Oracle_read_consistency -> "oracle_read_consistency"
+  | Serializable_snapshot -> "serializable_snapshot"
+  | Timestamp_ordering -> "timestamp_ordering"
+  | Serializable -> "serializable"
 
 let pp ppf l = Fmt.string ppf (name l)
 let compare = compare

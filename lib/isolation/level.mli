@@ -35,6 +35,10 @@ val is_multiversion : t -> bool
 val family : t -> [ `Locking | `Mv | `Timestamp ]
 (** The engine family implementing the level. *)
 
+val slug : t -> string
+(** Stable machine-readable name (lowercase, underscores): the JSON key
+    and Prometheus label for the level. Round-trips via {!of_string}. *)
+
 val of_string : string -> t option
 val pp : t Fmt.t
 val compare : t -> t -> int

@@ -65,6 +65,8 @@ type violation = {
 
 type summary = {
   mode : mode;
+  nodes : int;           (* graph size when finalize began *)
+  edges : int;
   edges_wr : int;
   edges_ww : int;
   edges_rw : int;
@@ -504,6 +506,50 @@ let doomed t tid =
       if t.batch then drain_locked t;
       Hashtbl.mem t.doomed_tbl tid)
 
+(* {2 Live gauges}
+
+   A non-destructive progress reading for telemetry: unlike {!doomed}
+   and {!finalize} it does *not* drain the batch buffer — the queue
+   depth is the gauge — so a scrape never does graph work on behalf of
+   the workers. Two short critical sections ([buf_m], then [m]), never
+   nested, so a scrape cannot participate in a lock cycle. *)
+type stats = {
+  s_nodes : int;
+  s_edges : int;
+  s_queue : int;          (* batched actions not yet in the graph *)
+  s_pending : int;        (* rejected closing edges held for finalize *)
+  s_edges_wr : int;
+  s_edges_ww : int;
+  s_edges_rw : int;
+  s_cycles : int;
+  s_dooms : int;
+  s_misses : int;
+}
+
+let stats t =
+  let queue =
+    if not t.batch then 0
+    else begin
+      Mutex.lock t.buf_m;
+      let n = List.length t.buf in
+      Mutex.unlock t.buf_m;
+      n
+    end
+  in
+  locked t (fun () ->
+      {
+        s_nodes = Graph.Incremental.node_count t.g;
+        s_edges = Graph.Incremental.edge_count t.g;
+        s_queue = queue;
+        s_pending = List.length t.pending_edges;
+        s_edges_wr = t.edges_wr;
+        s_edges_ww = t.edges_ww;
+        s_edges_rw = t.edges_rw;
+        s_cycles = t.cycles;
+        s_dooms = t.dooms;
+        s_misses = t.misses;
+      })
+
 (* {2 The final verdict}
 
    Purge the transactions that never terminated (they are outside the
@@ -520,6 +566,8 @@ let finalize t =
           (fun n st acc -> if st = Active then n :: acc else acc)
           t.status []
       in
+      let nodes = Graph.Incremental.node_count t.g in
+      let edges = Graph.Incremental.edge_count t.g in
       List.iter
         (fun n ->
           Hashtbl.replace t.status n Aborted;
@@ -542,6 +590,8 @@ let finalize t =
         (List.rev t.pending_edges);
       {
         mode = t.mode;
+        nodes;
+        edges;
         edges_wr = t.edges_wr;
         edges_ww = t.edges_ww;
         edges_rw = t.edges_rw;
@@ -594,10 +644,10 @@ let to_json (s : summary) =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       {|{"mode":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d,"serializable":%b|}
+       {|{"mode":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"graph":{"nodes":%d,"edges":%d},"cycles":%d,"dooms":%d,"misses":%d,"serializable":%b|}
        (match s.mode with Observe -> "observe" | Enforce -> "enforce")
-       s.edges_wr s.edges_ww s.edges_rw s.cycles s.dooms s.misses
-       s.serializable);
+       s.edges_wr s.edges_ww s.edges_rw s.nodes s.edges s.cycles s.dooms
+       s.misses s.serializable);
   (match s.witness with
   | Some c ->
     Buffer.add_string b ",\"witness\":[";

@@ -30,6 +30,8 @@ type violation = {
 
 type summary = {
   mode : mode;
+  nodes : int;           (** dependency-graph nodes when finalize began *)
+  edges : int;           (** dependency-graph edges when finalize began *)
   edges_wr : int;        (** distinct write-read edges inserted *)
   edges_ww : int;
   edges_rw : int;
@@ -77,6 +79,25 @@ val flush : t -> unit
 val doomed : t -> int -> bool
 (** Has the transaction been doomed for closing a cycle? Polled by
     workers before each operation. *)
+
+type stats = {
+  s_nodes : int;          (** dependency-graph nodes right now *)
+  s_edges : int;
+  s_queue : int;          (** batched actions awaiting graph work *)
+  s_pending : int;        (** rejected closing edges held for finalize *)
+  s_edges_wr : int;
+  s_edges_ww : int;
+  s_edges_rw : int;
+  s_cycles : int;
+  s_dooms : int;
+  s_misses : int;         (** cycles with no active member left to doom *)
+}
+
+val stats : t -> stats
+(** A live, non-destructive progress reading: unlike {!doomed} and
+    {!finalize} it does not drain the batch buffer (the queue depth is
+    itself the gauge), so scraping a running certifier never moves graph
+    work onto the scraper. Safe from any thread. *)
 
 val finalize : t -> summary
 (** The final verdict; call once the run is over (every transaction

@@ -5,8 +5,25 @@
    levels, mixes and PRs against each other. *)
 
 module Engine = Core.Engine
+module L = Isolation.Level
 
 let buckets = 64
+let nbuckets = buckets
+
+let levels = Array.of_list L.all
+let nlevels = Array.length levels
+
+let level_index = function
+  | L.Degree_0 -> 0
+  | L.Read_uncommitted -> 1
+  | L.Read_committed -> 2
+  | L.Cursor_stability -> 3
+  | L.Repeatable_read -> 4
+  | L.Snapshot -> 5
+  | L.Oracle_read_consistency -> 6
+  | L.Serializable_snapshot -> 7
+  | L.Timestamp_ordering -> 8
+  | L.Serializable -> 9
 
 type t = {
   committed : Stripes.Counter.t;
@@ -46,6 +63,13 @@ type t = {
      kept as its own counter so the stress report surfaces it even when
      buried among retries. *)
   certifier_aborts : Stripes.Counter.t;
+  (* Per-isolation-level outcome breakdown (indexed by [level_index]).
+     Only the sites that know the transaction's level feed these, so the
+     column sums can trail the global counters (e.g. certifier dooms
+     noticed outside a leveled context). *)
+  level_commits : Stripes.Counter.t array;
+  level_aborts : Stripes.Counter.t array;
+  level_dooms : Stripes.Counter.t array;
   mutable started_at : float;
   mutable stopped_at : float;
 }
@@ -102,6 +126,9 @@ let create ?(stripes = 1) () =
     deadline_exceeded = Stripes.Counter.create ();
     watchdog_kicks = Stripes.Counter.create ();
     certifier_aborts = Stripes.Counter.create ();
+    level_commits = Array.init nlevels (fun _ -> Stripes.Counter.create ());
+    level_aborts = Array.init nlevels (fun _ -> Stripes.Counter.create ());
+    level_dooms = Array.init nlevels (fun _ -> Stripes.Counter.create ());
     started_at = 0.;
     stopped_at = 0.;
   }
@@ -117,8 +144,13 @@ let rec raise_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then raise_max a v
 
-let record_commit ?(wait_ns = 0) t ~latency_ns =
+let record_level arr = function
+  | None -> ()
+  | Some level -> Stripes.Counter.incr arr.(level_index level)
+
+let record_commit ?(wait_ns = 0) ?level t ~latency_ns =
   Stripes.Counter.incr t.committed;
+  record_level t.level_commits level;
   Stripes.Counter.add t.lat_sum_ns latency_ns;
   raise_max t.lat_max_ns latency_ns;
   ignore (Atomic.fetch_and_add t.lat_hist.(bucket_of_ns latency_ns) 1);
@@ -131,7 +163,9 @@ let record_commit ?(wait_ns = 0) t ~latency_ns =
 
 let record_retry_overhead_ns t ns = Stripes.Counter.add t.retry_overhead_ns ns
 
-let record_abort t reason = Stripes.Counter.incr t.aborted.(reason_index reason)
+let record_abort ?level t reason =
+  Stripes.Counter.incr t.aborted.(reason_index reason);
+  record_level t.level_aborts level
 let record_block t = Stripes.Counter.incr t.lock_waits
 let record_wait_ns t ns = Stripes.Counter.add t.wait_ns ns
 let record_retry t = Stripes.Counter.incr t.retries
@@ -147,9 +181,19 @@ let record_giveup t = Stripes.Counter.incr t.giveups
 let record_fault t = Stripes.Counter.incr t.faults_injected
 let record_deadline_exceeded t = Stripes.Counter.incr t.deadline_exceeded
 let record_watchdog t = Stripes.Counter.incr t.watchdog_kicks
-let record_certifier_abort t = Stripes.Counter.incr t.certifier_aborts
+let record_certifier_abort ?level t =
+  Stripes.Counter.incr t.certifier_aborts;
+  record_level t.level_dooms level
+
+type level_stats = {
+  level : L.t;
+  l_committed : int;
+  l_aborted : int;
+  l_doomed : int;
+}
 
 type snapshot = {
+  taken_at : float;  (* when the snapshot was cut (unix seconds) *)
   committed : int;
   aborted : (Engine.abort_reason * int) list;
   aborted_total : int;
@@ -181,23 +225,29 @@ type snapshot = {
   deadline_exceeded : int;
   watchdog_kicks : int;
   certifier_aborts : int;
+  lat_hist : int array;
+  per_level : level_stats list;
 }
 
-(* Quantile from the histogram: the geometric midpoint of the first
-   bucket at which the cumulative count reaches the rank. *)
-let quantile hist total q =
+(* Quantile from a plain bucket-count array: the geometric midpoint of
+   the first bucket at which the cumulative count reaches the rank. *)
+let hist_quantile hist total q =
   if total = 0 then 0.
   else begin
+    let n = Array.length hist in
     let rank = max 1 (int_of_float (ceil (q *. float total))) in
     let rec go i acc =
-      if i >= buckets then float buckets
+      if i >= n then float n
       else
-        let acc = acc + Atomic.get hist.(i) in
+        let acc = acc + hist.(i) in
         if acc >= rank then float i else go (i + 1) acc
     in
     let b = go 0 0 in
     (2. ** b) *. 1.5 /. 1e6
   end
+
+let quantile hist total q =
+  hist_quantile (Array.map Atomic.get hist) total q
 
 let snapshot (t : t) =
   let committed = Stripes.Counter.sum t.committed in
@@ -213,10 +263,25 @@ let snapshot (t : t) =
   in
   let aborted = List.filter (fun (_, n) -> n > 0) aborted_counts in
   let aborted_total = List.fold_left (fun acc (_, n) -> acc + n) 0 aborted in
-  let stopped = if t.stopped_at > 0. then t.stopped_at else Unix.gettimeofday () in
+  let now = Unix.gettimeofday () in
+  let stopped = if t.stopped_at > 0. then t.stopped_at else now in
   let wall_s = Float.max 1e-9 (stopped -. t.started_at) in
   let sum_ns = Stripes.Counter.sum t.lat_sum_ns in
+  let per_level =
+    Array.to_list
+      (Array.mapi
+         (fun i level ->
+           {
+             level;
+             l_committed = Stripes.Counter.sum t.level_commits.(i);
+             l_aborted = Stripes.Counter.sum t.level_aborts.(i);
+             l_doomed = Stripes.Counter.sum t.level_dooms.(i);
+           })
+         levels)
+    |> List.filter (fun l -> l.l_committed + l.l_aborted + l.l_doomed > 0)
+  in
   {
+    taken_at = now;
     committed;
     aborted;
     aborted_total;
@@ -258,6 +323,8 @@ let snapshot (t : t) =
     deadline_exceeded = Stripes.Counter.sum t.deadline_exceeded;
     watchdog_kicks = Stripes.Counter.sum t.watchdog_kicks;
     certifier_aborts = Stripes.Counter.sum t.certifier_aborts;
+    lat_hist = Array.map Atomic.get t.lat_hist;
+    per_level;
   }
 
 let pp ppf s =
@@ -289,6 +356,14 @@ let pp ppf s =
       (fun (r, n) -> Fmt.pf ppf " %a=%d" Engine.pp_abort_reason r n)
       s.aborted
   end;
+  (match s.per_level with
+  | [] | [ _ ] -> () (* a single level adds nothing over the totals *)
+  | per_level ->
+    Fmt.pf ppf "@,by level:";
+    List.iter
+      (fun l ->
+        Fmt.pf ppf " %s=%d/%d" (L.slug l.level) l.l_committed l.l_aborted)
+      per_level);
   Fmt.pf ppf "@]"
 
 let to_json ?(extra = []) s =
@@ -301,6 +376,7 @@ let to_json ?(extra = []) s =
     Buffer.add_string b (Printf.sprintf "%S:%s" k v)
   in
   List.iter (fun (k, v) -> field k v) extra;
+  field "taken_at" (Printf.sprintf "%.6f" s.taken_at);
   field "committed" (string_of_int s.committed);
   field "aborted_total" (string_of_int s.aborted_total);
   field "aborted"
@@ -336,5 +412,17 @@ let to_json ?(extra = []) s =
   field "deadline_exceeded" (string_of_int s.deadline_exceeded);
   field "watchdog_kicks" (string_of_int s.watchdog_kicks);
   field "certifier_aborts" (string_of_int s.certifier_aborts);
+  field "per_level"
+    (Printf.sprintf "{%s}"
+       (String.concat ","
+          (List.map
+             (fun l ->
+               Printf.sprintf "%S:{\"committed\":%d,\"aborted\":%d,\"doomed\":%d}"
+                 (L.slug l.level) l.l_committed l.l_aborted l.l_doomed)
+             s.per_level)));
+  field "lat_hist"
+    (Printf.sprintf "[%s]"
+       (String.concat ","
+          (Array.to_list (Array.map string_of_int s.lat_hist))));
   Buffer.add_char b '}';
   Buffer.contents b

@@ -5,7 +5,20 @@
     latencies land in a lock-free log₂ histogram, so recording never
     serializes the workers. Quantiles are therefore bucket-resolution
     approximations (successive buckets differ by 2×), which is enough to
-    track the performance trajectory across PRs. *)
+    track the performance trajectory across PRs.
+
+    {2 Live-read semantics}
+
+    {!snapshot} may be called at any time, from any thread, while the
+    workers are still recording. Each counter read is individually
+    atomic: a per-domain cell is an [Atomic.t], so a sum never tears a
+    cell and never goes backwards between two snapshots of the same
+    counter (counters are monotone). What a live snapshot does {e not}
+    promise is cross-counter consistency — a commit that lands between
+    reading [committed] and reading [lat_hist] appears in one but not
+    the other, so derived ratios can be off by the handful of events in
+    flight. Once the workers have joined (after {!stop}), a snapshot is
+    exact. *)
 
 type t
 
@@ -19,12 +32,14 @@ val start : t -> unit
 val stop : t -> unit
 (** Mark the end; {!snapshot} then reports the closed interval. *)
 
-val record_commit : ?wait_ns:int -> t -> latency_ns:int -> unit
+val record_commit :
+  ?wait_ns:int -> ?level:Isolation.Level.t -> t -> latency_ns:int -> unit
 (** [wait_ns] is the share of [latency_ns] the attempt spent sleeping on
     blocked operations; the remainder is counted as execution time in the
-    phase histograms. Defaults to 0 (all execution). *)
+    phase histograms. Defaults to 0 (all execution). [level] (when the
+    caller knows it) also feeds the per-level breakdown. *)
 
-val record_abort : t -> Core.Engine.abort_reason -> unit
+val record_abort : ?level:Isolation.Level.t -> t -> Core.Engine.abort_reason -> unit
 
 val record_block : t -> unit
 (** A step attempt came back [Blocked] (a lock wait). *)
@@ -62,12 +77,20 @@ val record_deadline_exceeded : t -> unit
 val record_watchdog : t -> unit
 (** The watchdog saw a worker make no step progress past its threshold. *)
 
-val record_certifier_abort : t -> unit
+val record_certifier_abort : ?level:Isolation.Level.t -> t -> unit
 (** The online certifier doomed a transaction whose action closed a
     dependency cycle (also recorded as an abort with reason
     [Certifier_abort] when the worker notices the doom). *)
 
+type level_stats = {
+  level : Isolation.Level.t;
+  l_committed : int;
+  l_aborted : int;
+  l_doomed : int;  (** certifier dooms at this level *)
+}
+
 type snapshot = {
+  taken_at : float;  (** unix time the snapshot was cut *)
   committed : int;
   aborted : (Core.Engine.abort_reason * int) list;  (** non-zero reasons *)
   aborted_total : int;
@@ -108,10 +131,31 @@ type snapshot = {
   certifier_aborts : int;
       (** transactions doomed by the online certifier for closing a
           dependency cycle *)
+  lat_hist : int array;
+      (** raw commit-latency bucket counts (bucket i covers latencies of
+          roughly [2^i] ns); monotone between snapshots, so two snapshots
+          diff into an interval histogram *)
+  per_level : level_stats list;
+      (** per-isolation-level outcomes, non-zero levels only; sites that
+          don't know the level feed only the global counters, so the
+          column sums may trail them *)
 }
 
 val snapshot : t -> snapshot
-(** Call after the workers have joined (counter sums are then exact). *)
+(** Safe to call while the workers run (see the live-read semantics
+    above): each counter is individually consistent and monotone, the
+    set is only approximately mutually consistent until the workers have
+    joined — then it is exact. *)
+
+val nbuckets : int
+(** Number of log₂ latency buckets in [lat_hist]. *)
+
+val hist_quantile : int array -> int -> float -> float
+(** [hist_quantile hist total q] reads quantile [q] (in \[0,1\]) off a
+    bucket-count array in the [lat_hist] encoding, in milliseconds —
+    the geometric midpoint of the bucket where the cumulative count
+    reaches the rank. Used by live consumers to quote interval
+    latencies from snapshot diffs. *)
 
 val pp : snapshot Fmt.t
 

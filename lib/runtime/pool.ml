@@ -157,6 +157,16 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     stop;
   }
 
+type live = {
+  at : float;
+  metrics : Metrics.snapshot;
+  certifier : Certifier.stats option;
+  lock_stats : Locking.Lock_table.stats option;
+  lock_stripes : int;
+  wal_entries : int;
+  history_len : int;
+}
+
 type result = {
   history : History.t;
   final : (Action.key * Action.value) list;
@@ -424,7 +434,7 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
           (* The certifier doomed us for closing a dependency cycle:
              abort before the next operation (in particular before a
              commit), keeping the committed projection acyclic. *)
-          Metrics.record_certifier_abort sh.metrics;
+          Metrics.record_certifier_abort ~level:job.level sh.metrics;
           ignore (abort_self sh ~tid Engine.Certifier_abort : Engine.abort_reason)
         | _ when now_ns () > deadline_at -> (
           (* Past the budget (blocked waits and injected stalls count):
@@ -532,12 +542,12 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   let outcome =
     match status with
     | Engine.Committed ->
-      Metrics.record_commit ~wait_ns:!waited_ns sh.metrics
+      Metrics.record_commit ~wait_ns:!waited_ns ~level:job.level sh.metrics
         ~latency_ns:(finish_ns - start_ns);
       emit sh ~tid Trace.Event.Commit;
       Recorder.Committed
     | Engine.Aborted reason ->
-      Metrics.record_abort sh.metrics reason;
+      Metrics.record_abort ~level:job.level sh.metrics reason;
       emit sh ~tid
         (Trace.Event.Abort { reason = Metrics.abort_reason_slug reason });
       Recorder.Aborted reason
@@ -740,7 +750,31 @@ let collect_result (cfg : config) sh =
     wal = Engine.wal sh.engine;
   }
 
-let run_with (cfg : config) ~family ~next_job =
+(* {2 Live observation}
+
+   Everything here is a racy-tolerant read of running state: metric
+   counter sums are per-cell atomic and monotone ({!Metrics.snapshot}'s
+   live contract), the certifier reads its gauges under its own locks
+   without draining the batch queue, the lock-table counters are
+   atomics, and WAL/history lengths come from their own synchronized
+   accessors. No worker is stopped or slowed beyond the cache traffic
+   of the reads themselves. *)
+
+let live_of_shared sh : live =
+  {
+    at = Unix.gettimeofday ();
+    metrics = Metrics.snapshot sh.metrics;
+    certifier = Option.map Certifier.stats sh.certifier;
+    lock_stats = Engine.lock_stats sh.engine;
+    lock_stripes = sh.nstripes;
+    wal_entries =
+      (match Engine.wal sh.engine with
+      | None -> 0
+      | Some w -> Storage.Wal.length w);
+    history_len = Engine.trace_len sh.engine;
+  }
+
+let run_with ?monitor (cfg : config) ~family ~next_job =
   let sh = make_shared cfg ~family in
   let stop_watchdog = Atomic.make false in
   let watchdog =
@@ -755,6 +789,11 @@ let run_with (cfg : config) ~family ~next_job =
     List.init (cfg.workers - 1) (fun i ->
         Domain.spawn (fun () -> worker sh cfg ~next_job (i + 1)))
   in
+  (* Hand the caller a live sampler before this domain becomes worker 0;
+     the callback must return promptly (spawn a thread to poll). *)
+  (match monitor with
+  | None -> ()
+  | Some f -> f (fun () -> live_of_shared sh));
   (* The calling domain is worker 0; join the rest even if it trips. *)
   let mine = try Ok (worker sh cfg ~next_job 0) with e -> Error e in
   List.iter Domain.join spawned;
@@ -775,7 +814,7 @@ let family_for cfg levels =
 let draining cfg =
   match cfg.stop with Some s -> Atomic.get s | None -> false
 
-let run cfg jobs =
+let run ?monitor cfg jobs =
   let family =
     family_for cfg (List.map (fun j -> j.level) (Array.to_list jobs))
   in
@@ -786,9 +825,9 @@ let run cfg jobs =
       let i = Atomic.fetch_and_add next 1 in
       if i < Array.length jobs then Some (i, jobs.(i)) else None
   in
-  run_with cfg ~family ~next_job
+  run_with cfg ?monitor ~family ~next_job
 
-let run_for cfg ~duration_s ~gen =
+let run_for ?monitor cfg ~duration_s ~gen =
   let family = family_for cfg [ (gen 0).level ] in
   let deadline = Unix.gettimeofday () +. duration_s in
   let next = Atomic.make 0 in
@@ -798,7 +837,7 @@ let run_for cfg ~duration_s ~gen =
       let i = Atomic.fetch_and_add next 1 in
       Some (i, gen i)
   in
-  run_with cfg ~family ~next_job
+  run_with cfg ?monitor ~family ~next_job
 
 (* {2 Parked, resumable transactions — the server's entry points}
 
@@ -848,7 +887,7 @@ let exec_begin t ~worker ~tid ~job ~name ~attempt ~level ~read_only =
   with_aux_exclusion sh ~tid (fun () ->
       Engine.begin_txn ~read_only sh.engine tid ~level)
 
-let exec_step t ~worker ~tid ~seq ~start_ns op =
+let exec_step ?level t ~worker ~tid ~seq ~start_ns op =
   let sh = t.esh and cfg = t.ecfg in
   heartbeat sh ~worker ~tid;
   let fault =
@@ -882,7 +921,7 @@ let exec_step t ~worker ~tid ~seq ~start_ns op =
     when (match sh.certifier with
          | Some c -> Certifier.doomed c tid
          | None -> false) ->
-    Metrics.record_certifier_abort sh.metrics;
+    Metrics.record_certifier_abort ?level sh.metrics;
     Session_aborted (abort_self sh ~tid Engine.Certifier_abort)
   | _ when now_ns () > deadline_at ->
     (* As in the batch path: a concurrent deadlock break may land its
@@ -963,6 +1002,7 @@ let exec_stall_restart t ~tid =
   emit sh ~tid Trace.Event.Stall_restart
 
 let exec_family t = Engine.family t.esh.engine
+let exec_live t = live_of_shared t.esh
 
 let exec_finish t ~worker ~tid ~job ~name ~level ~attempt ~start_ns ~wait_ns =
   let sh = t.esh in
@@ -974,12 +1014,12 @@ let exec_finish t ~worker ~tid ~job ~name ~level ~attempt ~start_ns ~wait_ns =
   let outcome =
     match status with
     | Engine.Committed ->
-      Metrics.record_commit ~wait_ns sh.metrics
+      Metrics.record_commit ~wait_ns ~level sh.metrics
         ~latency_ns:(finish_ns - start_ns);
       emit sh ~tid Trace.Event.Commit;
       Recorder.Committed
     | Engine.Aborted reason ->
-      Metrics.record_abort sh.metrics reason;
+      Metrics.record_abort ~level sh.metrics reason;
       emit sh ~tid
         (Trace.Event.Abort { reason = Metrics.abort_reason_slug reason });
       Recorder.Aborted reason

@@ -167,6 +167,24 @@ val config :
   unit ->
   config
 
+(** {2 Live observation}
+
+    A racy-tolerant reading of a run in flight: metric sums are
+    per-cell atomic and monotone ({!Metrics.snapshot}'s live contract),
+    certifier gauges come from {!Certifier.stats} without draining its
+    batch queue, lock-table counters are atomics, WAL and history
+    lengths from their synchronized accessors. Sampling never stops a
+    worker. *)
+type live = {
+  at : float;  (** unix time the reading was taken *)
+  metrics : Metrics.snapshot;
+  certifier : Certifier.stats option;
+  lock_stats : Locking.Lock_table.stats option;
+  lock_stripes : int;   (** key stripes backing the lock table / store *)
+  wal_entries : int;    (** records in the locking engine's log *)
+  history_len : int;    (** actions in the recorded history *)
+}
+
 type result = {
   history : History.t;
       (** the engine trace of the whole run. Conflicting actions always
@@ -206,14 +224,21 @@ val stripe_plan : stripes:int -> Core.Engine.footprint -> int list
     the predicate stripe at index [stripes] (always last), at least one
     stripe always. Exposed for tests; the pool uses exactly this plan. *)
 
-val run : config -> job array -> result
-(** Execute a fixed batch of jobs to completion. *)
+val run : ?monitor:((unit -> live) -> unit) -> config -> job array -> result
+(** Execute a fixed batch of jobs to completion. [monitor], if given, is
+    called once after the workers have started, with a sampler that can
+    be polled from any thread for the duration of the run (spawn a
+    thread; the callback itself must return promptly — the calling
+    domain becomes worker 0). The sampler must not be used after [run]
+    returns. *)
 
-val run_for : config -> duration_s:float -> gen:(int -> job) -> result
+val run_for :
+  ?monitor:((unit -> live) -> unit) ->
+  config -> duration_s:float -> gen:(int -> job) -> result
 (** Open-ended run: workers call [gen] with increasing indices until the
     deadline passes. [gen] is called concurrently and must be pure (e.g.
     seed a fresh [Random.State] from the index). With [config.family =
-    None] the family is inferred from [gen 0]. *)
+    None] the family is inferred from [gen 0]. [monitor] as in {!run}. *)
 
 (** {2 Parked, resumable transactions}
 
@@ -266,11 +291,14 @@ val exec_begin :
     session's stable index (journal key); [attempt] starts at 1. *)
 
 val exec_step :
+  ?level:Isolation.Level.t ->
   exec -> worker:int -> tid:int -> seq:int -> start_ns:int ->
   Core.Program.op -> session_step
 (** Execute one operation. [seq] is the per-transaction step-consultation
     counter (addresses the fault plan — increment it per call); [start_ns]
-    is the attempt's start stamp (grounds the deadline check). *)
+    is the attempt's start stamp (grounds the deadline check). [level]
+    feeds the per-level breakdown should the certifier doom the
+    transaction at this step. *)
 
 val exec_env : exec -> tid:int -> Core.Program.env
 (** The transaction's observations so far — the read/scan results a
@@ -288,6 +316,10 @@ val exec_stall_restart : exec -> tid:int -> unit
     the stall and emitting its event; the client restarts it. *)
 
 val exec_family : exec -> [ `Locking | `Mv | `Timestamp ]
+
+val exec_live : exec -> live
+(** Sample the running context (see {!live}); safe from any thread,
+    including concurrently with steps. *)
 
 val exec_finish :
   exec -> worker:int -> tid:int -> job:int -> name:string ->

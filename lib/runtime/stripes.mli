@@ -42,6 +42,10 @@ module Counter : sig
   val incr : t -> unit
 
   val sum : t -> int
-  (** Fold all cells. Linearizable only once writers are quiescent; while
-      they run it is a consistent-enough progress reading. *)
+  (** Fold all cells. Each cell is an [Atomic.t], so a live sum never
+      tears a cell and — the counter being add-only — never decreases
+      between two reads. A live sum can lag increments that land on
+      already-folded cells mid-fold; it is exact once writers are
+      quiescent. This is the contract {!Metrics.snapshot}'s live reads
+      are built on. *)
 end

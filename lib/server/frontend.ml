@@ -38,13 +38,18 @@ type config = {
   duration_s : float option;  (** [None] serves until [stop] flips *)
   stop : bool Atomic.t;
   on_ready : int -> unit;  (** called with the bound port once listening *)
+  telemetry_port : int option;
+      (** also serve a Prometheus text exposition over HTTP here
+          (0 picks a free port, see [telemetry_ready]) *)
+  telemetry_ready : int -> unit;
 }
 
 let config ?(host = "127.0.0.1") ?(port = 7654) ?(default_level = Level.Read_committed)
     ?(drain_grace_s = 2.0) ?duration_s ?(stop = Atomic.make false)
-    ?(on_ready = fun _ -> ()) ~pool ~family () =
+    ?(on_ready = fun _ -> ()) ?telemetry_port ?(telemetry_ready = fun _ -> ())
+    ~pool ~family () =
   { host; port; pool; family; default_level; drain_grace_s; duration_s; stop;
-    on_ready }
+    on_ready; telemetry_port; telemetry_ready }
 
 type stats = {
   conns : int;
@@ -158,6 +163,42 @@ let lookup_pred t : Protocol.pred -> (Storage.Predicate.t, string) result =
 let send_response c ~sid ~req resp =
   conn_send c (Protocol.encode_response ~sid ~req resp)
 
+(* {2 Live telemetry}
+
+   One scrape = one {!Telemetry.Report.t}: the runtime's live reading
+   (racy-tolerant counter sums — no quiesce, no join) plus the
+   scheduler's gauges and this front-end's own counters. Assembled on
+   whichever thread asks: a connection reader answering STATS, or the
+   HTTP exposition listener. *)
+
+let report t =
+  let sg = Scheduler.gauges t.sched in
+  let scheduler =
+    {
+      Telemetry.Report.runnable = sg.Scheduler.runnable;
+      parked = sg.Scheduler.parked;
+      sessions_active = sg.Scheduler.active_tasks;
+      wakes = sg.Scheduler.wakes;
+      wake_wait_mean_us =
+        (if sg.Scheduler.wakes = 0 then 0.
+         else
+           float_of_int sg.Scheduler.wake_ns_total
+           /. float_of_int sg.Scheduler.wakes /. 1e3);
+      wake_wait_max_us = float_of_int sg.Scheduler.wake_ns_max /. 1e3;
+    }
+  in
+  let server =
+    {
+      Telemetry.Report.conns = Atomic.get t.n_conns;
+      sessions = Atomic.get t.n_sessions;
+      frames = Atomic.get t.n_frames;
+      protocol_errors = Atomic.get t.n_protocol_errors;
+      disconnects = Atomic.get t.n_disconnects;
+      draining = Atomic.get t.draining;
+    }
+  in
+  Telemetry.Report.make ~scheduler ~server (Pool.exec_live t.exec)
+
 let open_session t c ~sid ~req =
   if Atomic.get t.draining then
     send_response c ~sid ~req
@@ -219,6 +260,13 @@ let handle_frame t c payload =
     `Close "protocol_error"
   | Ok (sid, req, Protocol.Open) ->
     open_session t c ~sid ~req;
+    `Continue
+  | Ok (sid, req, Protocol.Stats) ->
+    (* admin op, answered here on the reader thread (never enters a
+       session); the reply rides the writer queue like any other
+       response, so it pipelines with in-flight session traffic *)
+    send_response c ~sid ~req
+      (Protocol.Stats_resp (Telemetry.Report.to_json (report t)));
     `Continue
   | Ok (sid, req, request) -> (
     Mutex.lock c.sm;
@@ -288,6 +336,52 @@ let reader_loop t c =
   close_all_sessions t c;
   conn_close_writes c
 
+(* {2 The exposition endpoint}
+
+   A deliberately tiny HTTP/1.0 responder: every request — whatever the
+   path — gets the current Prometheus exposition and the connection is
+   closed. Scrapers arrive every few seconds; keep-alive and request
+   parsing would buy nothing. *)
+
+let http_reply fd body =
+  let msg =
+    Bytes.of_string
+      (Printf.sprintf
+         "HTTP/1.0 200 OK\r\n\
+          Content-Type: text/plain; version=0.0.4\r\n\
+          Content-Length: %d\r\n\
+          \r\n\
+          %s"
+         (String.length body) body)
+  in
+  let rec write_all pos len =
+    if len > 0 then
+      match Unix.write fd msg pos len with
+      | n -> write_all (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all pos len
+  in
+  try write_all 0 (Bytes.length msg) with Unix.Unix_error (_, _, _) -> ()
+
+let telemetry_loop t fd ~should_stop =
+  let buf = Bytes.create 1024 in
+  let rec loop () =
+    if not (should_stop ()) then begin
+      (match Unix.select [ fd ] [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept fd with
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | cfd, _ ->
+          (try ignore (Unix.read cfd buf 0 (Bytes.length buf))
+           with Unix.Unix_error (_, _, _) -> ());
+          http_reply cfd (Telemetry.Report.to_prometheus (report t));
+          (try Unix.close cfd with Unix.Unix_error (_, _, _) -> ())));
+      loop ()
+    end
+  in
+  loop ()
+
 (* {2 Serving} *)
 
 let now () = Unix.gettimeofday ()
@@ -341,6 +435,22 @@ let serve cfg =
     Atomic.get cfg.stop
     || match deadline with Some d -> now () > d | None -> false
   in
+  let telemetry =
+    match cfg.telemetry_port with
+    | None -> None
+    | Some tport ->
+      let tfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt tfd Unix.SO_REUSEADDR true;
+      Unix.bind tfd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, tport));
+      Unix.listen tfd 16;
+      let bound =
+        match Unix.getsockname tfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> tport
+      in
+      cfg.telemetry_ready bound;
+      Some (tfd, Thread.create (fun () -> telemetry_loop t tfd ~should_stop) ())
+  in
   (* accept loop *)
   let rec accept_loop () =
     if not (should_stop ()) then begin
@@ -390,6 +500,13 @@ let serve cfg =
   (* drain: no new work, let in-flight transactions finish *)
   Atomic.set t.draining true;
   (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+  (match telemetry with
+  | None -> ()
+  | Some (tfd, th) ->
+    (* the loop re-checks [should_stop] at select granularity; join it
+       before the exec is finalized so no scrape races the teardown *)
+    Thread.join th;
+    (try Unix.close tfd with Unix.Unix_error (_, _, _) -> ()));
   ignore (Scheduler.quiesce sched ~timeout_s:cfg.drain_grace_s);
   (* sever the connections; readers see EOF and close every session
      through the pump path *)

@@ -21,6 +21,11 @@ type config = {
   duration_s : float option;  (** [None] serves until [stop] flips *)
   stop : bool Atomic.t;
   on_ready : int -> unit;  (** called with the bound port once listening *)
+  telemetry_port : int option;
+      (** also serve a Prometheus text exposition over HTTP here
+          (0 picks a free port, see [telemetry_ready]); the same live
+          report answers the wire protocol's STATS admin op either way *)
+  telemetry_ready : int -> unit;
 }
 
 val config :
@@ -31,6 +36,8 @@ val config :
   ?duration_s:float ->
   ?stop:bool Atomic.t ->
   ?on_ready:(int -> unit) ->
+  ?telemetry_port:int ->
+  ?telemetry_ready:(int -> unit) ->
   pool:Runtime.Pool.config ->
   family:[ `Locking | `Mv | `Timestamp ] ->
   unit ->

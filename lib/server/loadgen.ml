@@ -34,17 +34,19 @@ type config = {
   think_us : float;  (** mean think time between a session's requests *)
   seed : int;
   max_attempts : int;
+  progress_s : float;  (** > 0: print an interval line this often *)
 }
 
 let config ?(host = "127.0.0.1") ?(port = 7654) ?(sessions = 64) ?conns
     ?(txns_per_session = 10) ?(mix = Generators.Hotspot)
     ?(levels = [ (Level.Read_committed, 1.0) ]) ?(accounts = 16) ?(hot = 4)
-    ?(ops = 6) ?(think_us = 0.) ?(seed = 42) ?(max_attempts = 10) () =
+    ?(ops = 6) ?(think_us = 0.) ?(seed = 42) ?(max_attempts = 10)
+    ?(progress_s = 0.) () =
   let conns =
     match conns with Some c -> max 1 c | None -> max 1 (min sessions 32)
   in
   { host; port; sessions; conns; txns_per_session; mix; levels; accounts; hot;
-    ops; think_us; seed; max_attempts }
+    ops; think_us; seed; max_attempts; progress_s }
 
 type stats = {
   sessions : int;
@@ -262,7 +264,7 @@ let on_reply cfg ct now s await (resp : Protocol.response) =
     | Protocol.Ok_resp ->
       s.ops_left <- (match s.ops_left with _ :: r -> r | [] -> []);
       s.due <- think cfg s now
-    | Protocol.Error _ ->
+    | Protocol.Error _ | Protocol.Stats_resp _ ->
       ct.c_proto <- ct.c_proto + 1;
       finish ct s)
   | A_close, _ -> finish ct s
@@ -370,7 +372,54 @@ let run cfg =
          (fun i group -> Thread.create (fun () -> drive cfg counters.(i) group) ())
          groups)
   in
+  (* The progress reporter reads the driver threads' counters without a
+     lock: plain int fields are individually atomic in OCaml, and
+     {!Telemetry.Window.delta} tolerates the cross-counter skew. *)
+  let progress_stop = ref false in
+  let progress_thread =
+    if cfg.progress_s <= 0. then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             let sum f = Array.fold_left (fun a c -> a + f c) 0 counters in
+             let cut () : Telemetry.Window.sample =
+               {
+                 at = Unix.gettimeofday ();
+                 committed = sum (fun c -> c.c_committed);
+                 aborted = sum (fun c -> c.c_aborted);
+                 aborted_by = [];
+                 retries = 0;
+                 giveups = sum (fun c -> c.c_giveups);
+                 deadlocks = 0;
+                 stalls = 0;
+                 certifier_aborts = 0;
+                 per_level = [];
+                 lat_hist = [||];
+               }
+             in
+             let prev = ref (cut ()) in
+             let next = ref ((!prev).at +. cfg.progress_s) in
+             while not !progress_stop do
+               Thread.delay (min 0.1 cfg.progress_s);
+               let now = Unix.gettimeofday () in
+               if (not !progress_stop) && now >= !next then begin
+                 let s = cut () in
+                 Fmt.epr "loadgen: %a@."
+                   Telemetry.Window.pp_rates
+                   (Telemetry.Window.delta !prev s);
+                 prev := s;
+                 next := now +. cfg.progress_s
+               end
+             done)
+           ())
+  in
   List.iter Thread.join threads;
+  (match progress_thread with
+  | None -> ()
+  | Some th ->
+    progress_stop := true;
+    Thread.join th);
   let wall_s = Unix.gettimeofday () -. t0 in
   let sum f = Array.fold_left (fun a c -> a + f c) 0 counters in
   let lats =

@@ -21,6 +21,9 @@ type config = {
   think_us : float;
   seed : int;
   max_attempts : int;
+  progress_s : float;
+      (** > 0: print a {!Telemetry.Window.pp_rates} interval line to
+          stderr this often while driving *)
 }
 
 val config :
@@ -37,6 +40,7 @@ val config :
   ?think_us:float ->
   ?seed:int ->
   ?max_attempts:int ->
+  ?progress_s:float ->
   unit ->
   config
 

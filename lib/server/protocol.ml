@@ -42,6 +42,9 @@ type request =
   | Predicate of pred
   | Commit
   | Abort
+  | Stats
+      (* admin: a live telemetry snapshot; session id 0 by convention
+         (it addresses the server, not a session) *)
 
 (* Error codes, mirrored in {!err_name}. *)
 let err_malformed = 1
@@ -65,6 +68,7 @@ type response =
   | Committed
   | Aborted of string            (* abort reason slug *)
   | Error of { code : int; msg : string }
+  | Stats_resp of string         (* the telemetry report as one JSON object *)
 
 (* {2 Encoding} *)
 
@@ -90,10 +94,18 @@ let add_str b s =
   add_u16 b n;
   Buffer.add_substring b s 0 n
 
+(* Long string (u32 length): the STATS JSON outgrows a u16 at a few
+   hundred live levels × reasons, so it gets the wider prefix. Still
+   bounded by [max_frame] (minus the 9-byte header and this prefix). *)
+let add_lstr b s =
+  let n = min (String.length s) (max_frame - min_frame - 4) in
+  add_u32 b n;
+  Buffer.add_substring b s 0 n
+
 let add_bool b v = Buffer.add_char b (if v then '\001' else '\000')
 
 let request_body b = function
-  | Open | Close | Commit | Abort -> ()
+  | Open | Close | Commit | Abort | Stats -> ()
   | Set_level l -> add_str b l
   | Begin { read_only; attempt; name } ->
     add_bool b read_only;
@@ -128,6 +140,7 @@ let request_opcode = function
   | Predicate _ -> 9
   | Commit -> 10
   | Abort -> 11
+  | Stats -> 12
 
 let response_body b = function
   | Ok_resp | Committed -> ()
@@ -146,6 +159,7 @@ let response_body b = function
   | Error { code; msg } ->
     Buffer.add_char b (Char.chr (code land 0xff));
     add_str b msg
+  | Stats_resp json -> add_lstr b json
 
 let response_opcode = function
   | Ok_resp -> 0x81
@@ -154,6 +168,7 @@ let response_opcode = function
   | Committed -> 0x84
   | Aborted _ -> 0x85
   | Error _ -> 0x86
+  | Stats_resp _ -> 0x87
 
 let frame ~opcode ~sid ~req body =
   let b = Buffer.create 32 in
@@ -216,6 +231,14 @@ let str c what =
   c.pos <- c.pos + n;
   s
 
+let lstr c what =
+  let n = u32 c what in
+  if n > max_frame then bad "%s length %d out of bounds" what n;
+  need c n what;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
 let bool c what =
   match u8 c what with
   | 0 -> false
@@ -269,6 +292,7 @@ let decode_request payload =
         | f -> bad "unknown predicate form %d" f)
       | 10 -> Commit
       | 11 -> Abort
+      | 12 -> Stats
       | op -> bad "unknown request opcode %d" op
     in
     Result.Ok (sid, req, finish c r)
@@ -296,6 +320,7 @@ let decode_response payload =
       | 0x86 ->
         let code = u8 c "error code" in
         Error { code; msg = str c "error message" }
+      | 0x87 -> Stats_resp (lstr c "stats body")
       | op -> bad "unknown response opcode %d" op
     in
     Result.Ok (sid, req, finish c r)
@@ -367,6 +392,7 @@ let pp_request ppf = function
   | Predicate p -> Fmt.pf ppf "PREDICATE %a" pp_pred p
   | Commit -> Fmt.string ppf "COMMIT"
   | Abort -> Fmt.string ppf "ABORT"
+  | Stats -> Fmt.string ppf "STATS"
 
 let pp_response ppf = function
   | Ok_resp -> Fmt.string ppf "OK"
@@ -376,3 +402,4 @@ let pp_response ppf = function
   | Committed -> Fmt.string ppf "COMMITTED"
   | Aborted r -> Fmt.pf ppf "ABORTED %s" r
   | Error { code; msg } -> Fmt.pf ppf "ERROR %s: %s" (err_name code) msg
+  | Stats_resp json -> Fmt.pf ppf "STATS %d bytes" (String.length json)

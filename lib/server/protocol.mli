@@ -6,6 +6,7 @@
     frame    := len:u32 payload            len = |payload|, 9 <= len <= 2^20
     payload  := opcode:u8 sid:u32 req:u32 body
     string   := len:u16 bytes
+    lstring  := len:u32 bytes
     value    := i64
 
     requests (client -> server)
@@ -21,6 +22,7 @@
                                            form 1: name lo:string hi?:u8 [hi:string]
       10 COMMIT
       11 ABORT
+      12 STATS                             admin: live telemetry (sid 0)
 
     responses (server -> client, echoing sid and req)
       0x81 OK
@@ -29,6 +31,7 @@
       0x84 COMMITTED
       0x85 ABORTED   reason:string
       0x86 ERROR     code:u8 msg:string
+      0x87 STATS     json:lstring
     v}
 
     The session id multiplexes many sessions over one connection
@@ -63,6 +66,11 @@ type request =
   | Predicate of pred
   | Commit
   | Abort
+  | Stats
+      (** admin: ask for a live telemetry snapshot. Addressed to the
+          server rather than a session — send it with [sid 0]; the
+          response echoes whatever sid/req the request carried, so it
+          pipelines like any other request. *)
 
 type response =
   | Ok_resp
@@ -71,6 +79,10 @@ type response =
   | Committed
   | Aborted of string             (** abort reason slug *)
   | Error of { code : int; msg : string }
+  | Stats_resp of string
+      (** the telemetry report: one JSON object
+          ({!Telemetry.Report.to_json} shape), u32-length-prefixed on
+          the wire so it may exceed the u16 string cap *)
 
 (** {2 Error codes} *)
 

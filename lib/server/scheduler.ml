@@ -32,9 +32,10 @@ type state =
 type task = {
   pump : worker:int -> outcome;
   mutable state : state;
+  mutable queued_at_ns : int; (* stamp of the last enqueue, for wake latency *)
 }
 
-let task pump = { pump; state = Idle }
+let task pump = { pump; state = Idle; queued_at_ns = 0 }
 
 (* A binary min-heap of (due_ns, task). *)
 module Heap = struct
@@ -43,9 +44,10 @@ module Heap = struct
     mutable n : int;
   }
 
-  let dummy = (max_int, { pump = (fun ~worker:_ -> `Idle); state = Idle })
+  let dummy =
+    (max_int, { pump = (fun ~worker:_ -> `Idle); state = Idle; queued_at_ns = 0 })
   let create () = { arr = Array.make 64 dummy; n = 0 }
-  let _size h = h.n
+  let size h = h.n
 
   let swap h i j =
     let t = h.arr.(i) in
@@ -95,6 +97,13 @@ type t = {
   ready : task Queue.t;
   timers : Heap.t;
   mutable active : int;    (* tasks not in [Idle] *)
+  (* Wake-to-run accounting: how long tasks sit on the ready queue
+     between enqueue and a worker popping them — the scheduler's own
+     saturation number (it grows when sessions outnumber worker
+     bandwidth). All under [m], like the queues they describe. *)
+  mutable wakes : int;
+  mutable wake_ns_total : int;
+  mutable wake_ns_max : int;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
   mutable waker : Thread.t option;
@@ -104,6 +113,7 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let enqueue_locked t task =
   task.state <- Queued;
+  task.queued_at_ns <- now_ns ();
   Queue.push task t.ready;
   Condition.signal t.cv
 
@@ -135,6 +145,12 @@ let worker_loop t ~attach widx =
     else begin
       let task = Queue.pop t.ready in
       task.state <- Running;
+      let waited = now_ns () - task.queued_at_ns in
+      t.wakes <- t.wakes + 1;
+      if waited > 0 then begin
+        t.wake_ns_total <- t.wake_ns_total + waited;
+        if waited > t.wake_ns_max then t.wake_ns_max <- waited
+      end;
       Mutex.unlock t.m;
       let outcome =
         try task.pump ~worker:widx
@@ -204,6 +220,9 @@ let create ~workers ~attach =
       ready = Queue.create ();
       timers = Heap.create ();
       active = 0;
+      wakes = 0;
+      wake_ns_total = 0;
+      wake_ns_max = 0;
       stopped = false;
       workers = [];
       waker = None;
@@ -220,6 +239,33 @@ let active t =
   let n = t.active in
   Mutex.unlock t.m;
   n
+
+type gauges = {
+  runnable : int;
+  parked : int;
+  active_tasks : int;
+  wakes : int;
+  wake_ns_total : int;
+  wake_ns_max : int;
+}
+
+(* One mutex hold, so the reading is internally consistent — the same
+   exclusion every enqueue/pop takes, making a scrape as intrusive as
+   one more wake. *)
+let gauges t =
+  Mutex.lock t.m;
+  let g =
+    {
+      runnable = Queue.length t.ready;
+      parked = Heap.size t.timers;
+      active_tasks = t.active;
+      wakes = t.wakes;
+      wake_ns_total = t.wake_ns_total;
+      wake_ns_max = t.wake_ns_max;
+    }
+  in
+  Mutex.unlock t.m;
+  g
 
 (* Wait (politely) until every task has gone idle; [false] on timeout.
    Parked tasks count as active — a drain waits out their backoff. *)

@@ -33,6 +33,21 @@ val wake : t -> task -> unit
 val active : t -> int
 (** Tasks not currently idle (queued, running or parked). *)
 
+type gauges = {
+  runnable : int;  (** tasks on the ready queue right now *)
+  parked : int;  (** tasks sleeping in the timer heap *)
+  active_tasks : int;  (** tasks not idle (runnable + parked + running) *)
+  wakes : int;  (** cumulative ready-queue pops *)
+  wake_ns_total : int;
+      (** total enqueue-to-pop latency; [/ wakes] is the mean wake-to-run
+          delay, the scheduler's saturation number *)
+  wake_ns_max : int;
+}
+
+val gauges : t -> gauges
+(** One consistent reading under the scheduler mutex; costs what one
+    wake costs, so it is safe to scrape at dashboard rates. *)
+
 val quiesce : t -> timeout_s:float -> bool
 (** Wait until every task is idle; [false] on timeout. Parked tasks
     count as active — a drain waits out their backoff. *)

@@ -157,7 +157,8 @@ let step_pending t ~worker (txn : txn) (p : pending) =
   let seq = txn.seq in
   txn.seq <- seq + 1;
   match
-    Pool.exec_step t.exec ~worker ~tid:txn.tid ~seq ~start_ns:txn.start_ns p.pop
+    Pool.exec_step ~level:txn.level t.exec ~worker ~tid:txn.tid ~seq
+      ~start_ns:txn.start_ns p.pop
   with
   | Pool.Session_progress ->
     Runtime.Backoff.reset t.bo;
@@ -277,6 +278,11 @@ let handle t ~worker ~req (request : Protocol.request) =
       t.send ~req Protocol.Ok_resp;
       `Done
     end
+  | Protocol.Stats, _ ->
+    (* the front-end answers STATS on sid 0 before dispatch; one aimed
+       at a live session is a misuse, not a crash *)
+    bad_state t ~req "STATS is an admin request; send it with sid 0";
+    `Done
   | ( ( Protocol.Read _ | Protocol.Write _ | Protocol.Insert _
       | Protocol.Delete _ | Protocol.Predicate _ | Protocol.Commit
       | Protocol.Abort ),
@@ -313,7 +319,7 @@ let handle t ~worker ~req (request : Protocol.request) =
     | Protocol.Commit -> pend Program.Commit (fun () -> Protocol.Committed)
     | Protocol.Abort -> pend Program.Abort (fun () -> Protocol.Aborted "user_abort")
     | Protocol.Open | Protocol.Close | Protocol.Set_level _ | Protocol.Begin _
-      ->
+    | Protocol.Stats ->
       assert false)
 
 (* {2 The pump} *)

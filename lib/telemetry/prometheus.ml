@@ -1,0 +1,59 @@
+(* A minimal Prometheus text-exposition (version 0.0.4) writer, in the
+   spirit of Trace.Json: the repository carries no metrics dependency,
+   and the format is small — # HELP / # TYPE headers, then
+   name{label="value"} number lines, families separated by their
+   headers. Label values escape backslash, quote and newline, as the
+   format requires. *)
+
+type typ = Counter | Gauge
+
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 1024 }
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* Prometheus numbers are floats; render integral values without the
+   fraction so the output stays diff-friendly and compact. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let family t ?help ~typ name samples =
+  (match help with
+  | Some h -> Buffer.add_string t.buf (Printf.sprintf "# HELP %s %s\n" name h)
+  | None -> ());
+  Buffer.add_string t.buf
+    (Printf.sprintf "# TYPE %s %s\n" name
+       (match typ with Counter -> "counter" | Gauge -> "gauge"));
+  List.iter
+    (fun (labels, v) ->
+      let l =
+        match labels with
+        | [] -> ""
+        | ls ->
+          Printf.sprintf "{%s}"
+            (String.concat ","
+               (List.map
+                  (fun (k, value) ->
+                    Printf.sprintf "%s=\"%s\"" k (escape_label value))
+                  ls))
+      in
+      Buffer.add_string t.buf
+        (Printf.sprintf "%s%s %s\n" name l (number v)))
+    samples
+
+let counter t ?help name samples = family t ?help ~typ:Counter name samples
+let gauge t ?help name samples = family t ?help ~typ:Gauge name samples
+let to_string t = Buffer.contents t.buf

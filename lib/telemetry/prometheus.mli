@@ -1,0 +1,22 @@
+(** A minimal Prometheus text-exposition (0.0.4) writer — the
+    telemetry layer's own encoder, like {!Trace.Json}: # HELP / # TYPE
+    headers followed by [name{label="v"} value] sample lines. *)
+
+type typ = Counter | Gauge
+type t
+
+val create : unit -> t
+
+val family :
+  t -> ?help:string -> typ:typ -> string -> ((string * string) list * float) list -> unit
+(** Append one metric family: optional HELP, the TYPE header, then one
+    sample line per (labels, value) pair. Label values are escaped per
+    the format; emit each family name at most once per exposition. *)
+
+val counter :
+  t -> ?help:string -> string -> ((string * string) list * float) list -> unit
+
+val gauge :
+  t -> ?help:string -> string -> ((string * string) list * float) list -> unit
+
+val to_string : t -> string

@@ -1,0 +1,199 @@
+(* The assembled live report: everything one scrape of a running system
+   says, in one value with two renderings (the STATS JSON object and
+   the Prometheus exposition).
+
+   Layering: this module depends only on the runtime, so the server
+   front-end can *fill in* its own gauges (connection counts, scheduler
+   occupancy) through plain-int records without a dependency cycle —
+   the runtime side arrives as {!Runtime.Pool.live}. *)
+
+module Metrics = Runtime.Metrics
+module Pool = Runtime.Pool
+module Certifier = Runtime.Certifier
+
+type scheduler = {
+  runnable : int;       (* sessions queued for a worker right now *)
+  parked : int;         (* sessions sleeping in the timer heap *)
+  sessions_active : int; (* sessions registered and not closed *)
+  wakes : int;          (* cumulative ready-queue pops *)
+  wake_wait_mean_us : float; (* mean enqueue-to-run latency *)
+  wake_wait_max_us : float;
+}
+
+type server = {
+  conns : int;
+  sessions : int;
+  frames : int;
+  protocol_errors : int;
+  disconnects : int;
+  draining : bool;
+}
+
+type t = {
+  live : Pool.live;
+  scheduler : scheduler option;
+  server : server option;
+}
+
+let make ?scheduler ?server live = { live; scheduler; server }
+
+(* {2 JSON} *)
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf {|{"at":%.6f|} t.live.Pool.at);
+  Buffer.add_string b ",\"metrics\":";
+  Buffer.add_string b (Metrics.to_json t.live.Pool.metrics);
+  (match t.live.Pool.certifier with
+  | None -> ()
+  | Some (s : Certifier.stats) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         {|,"certifier":{"nodes":%d,"edges":%d,"queue":%d,"pending":%d,"dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d}|}
+         s.s_nodes s.s_edges s.s_queue s.s_pending s.s_edges_wr s.s_edges_ww
+         s.s_edges_rw s.s_cycles s.s_dooms s.s_misses));
+  (match t.live.Pool.lock_stats with
+  | None -> ()
+  | Some (s : Locking.Lock_table.stats) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         {|,"locks":{"grants":%d,"conflicts":%d,"releases":%d,"upgrades":%d,"stripes":%d}|}
+         s.grants s.conflicts s.releases s.upgrades t.live.Pool.lock_stripes));
+  Buffer.add_string b
+    (Printf.sprintf {|,"wal_entries":%d,"history_len":%d|}
+       t.live.Pool.wal_entries t.live.Pool.history_len);
+  (match t.scheduler with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         {|,"scheduler":{"runnable":%d,"parked":%d,"sessions_active":%d,"wakes":%d,"wake_wait_mean_us":%.1f,"wake_wait_max_us":%.1f}|}
+         s.runnable s.parked s.sessions_active s.wakes s.wake_wait_mean_us
+         s.wake_wait_max_us));
+  (match t.server with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         {|,"server":{"conns":%d,"sessions":%d,"frames":%d,"protocol_errors":%d,"disconnects":%d,"draining":%b}|}
+         s.conns s.sessions s.frames s.protocol_errors s.disconnects
+         s.draining));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* {2 Prometheus exposition} *)
+
+let fi n = float_of_int n
+
+let to_prometheus t =
+  let p = Prometheus.create () in
+  let m = t.live.Pool.metrics in
+  Prometheus.counter p ~help:"Committed transactions"
+    "isolation_lab_committed_total" [ ([], fi m.committed) ];
+  Prometheus.counter p ~help:"Aborted transaction attempts by reason"
+    "isolation_lab_aborted_total"
+    (List.map
+       (fun (r, n) -> ([ ("reason", Metrics.abort_reason_slug r) ], fi n))
+       m.aborted);
+  Prometheus.counter p "isolation_lab_retries_total" [ ([], fi m.retries) ];
+  Prometheus.counter p "isolation_lab_giveups_total" [ ([], fi m.giveups) ];
+  Prometheus.counter p "isolation_lab_deadlocks_total"
+    [ ([], fi m.deadlocks) ];
+  Prometheus.counter p "isolation_lab_stalls_total" [ ([], fi m.stalls) ];
+  Prometheus.counter p ~help:"Blocked step attempts (lock waits)"
+    "isolation_lab_lock_waits_total" [ ([], fi m.lock_waits) ];
+  Prometheus.counter p ~help:"Transactions doomed by the online certifier"
+    "isolation_lab_certifier_dooms_total" [ ([], fi m.certifier_aborts) ];
+  if m.per_level <> [] then begin
+    let level ls = [ ("level", Isolation.Level.slug ls.Metrics.level) ] in
+    Prometheus.counter p ~help:"Commits by isolation level"
+      "isolation_lab_level_committed_total"
+      (List.map (fun ls -> (level ls, fi ls.Metrics.l_committed)) m.per_level);
+    Prometheus.counter p ~help:"Aborts by isolation level"
+      "isolation_lab_level_aborted_total"
+      (List.map (fun ls -> (level ls, fi ls.Metrics.l_aborted)) m.per_level);
+    Prometheus.counter p ~help:"Certifier dooms by isolation level"
+      "isolation_lab_level_doomed_total"
+      (List.map (fun ls -> (level ls, fi ls.Metrics.l_doomed)) m.per_level)
+  end;
+  Prometheus.gauge p ~help:"Committed per second since start"
+    "isolation_lab_throughput_tps" [ ([], m.throughput) ];
+  Prometheus.gauge p ~help:"Commit latency quantiles (lifetime)"
+    "isolation_lab_latency_ms"
+    [
+      ([ ("quantile", "0.5") ], m.lat_p50_ms);
+      ([ ("quantile", "0.9") ], m.lat_p90_ms);
+      ([ ("quantile", "0.99") ], m.lat_p99_ms);
+    ];
+  Prometheus.counter p ~help:"Recorded history actions"
+    "isolation_lab_history_actions_total"
+    [ ([], fi t.live.Pool.history_len) ];
+  Prometheus.counter p ~help:"WAL records written"
+    "isolation_lab_wal_records_total" [ ([], fi t.live.Pool.wal_entries) ];
+  (match t.live.Pool.lock_stats with
+  | None -> ()
+  | Some (s : Locking.Lock_table.stats) ->
+    Prometheus.counter p "isolation_lab_lock_grants_total"
+      [ ([], fi s.grants) ];
+    Prometheus.counter p "isolation_lab_lock_conflicts_total"
+      [ ([], fi s.conflicts) ];
+    Prometheus.counter p "isolation_lab_lock_releases_total"
+      [ ([], fi s.releases) ];
+    Prometheus.counter p "isolation_lab_lock_upgrades_total"
+      [ ([], fi s.upgrades) ];
+    Prometheus.gauge p ~help:"Key stripes backing the lock table"
+      "isolation_lab_lock_stripes" [ ([], fi t.live.Pool.lock_stripes) ]);
+  (match t.live.Pool.certifier with
+  | None -> ()
+  | Some (s : Certifier.stats) ->
+    Prometheus.gauge p ~help:"Certifier dependency-graph size"
+      "isolation_lab_certifier_graph_nodes" [ ([], fi s.s_nodes) ];
+    Prometheus.gauge p "isolation_lab_certifier_graph_edges"
+      [ ([], fi s.s_edges) ];
+    Prometheus.gauge p ~help:"Batched actions awaiting graph work"
+      "isolation_lab_certifier_queue_depth" [ ([], fi s.s_queue) ];
+    Prometheus.counter p ~help:"Dependency edges inserted by kind"
+      "isolation_lab_certifier_edges_total"
+      [
+        ([ ("kind", "wr") ], fi s.s_edges_wr);
+        ([ ("kind", "ww") ], fi s.s_edges_ww);
+        ([ ("kind", "rw") ], fi s.s_edges_rw);
+      ];
+    Prometheus.counter p "isolation_lab_certifier_cycles_total"
+      [ ([], fi s.s_cycles) ];
+    Prometheus.counter p ~help:"Cycles with no active member left to doom"
+      "isolation_lab_certifier_misses_total" [ ([], fi s.s_misses) ]);
+  (match t.scheduler with
+  | None -> ()
+  | Some s ->
+    Prometheus.gauge p ~help:"Sessions queued for a worker"
+      "isolation_lab_scheduler_runnable" [ ([], fi s.runnable) ];
+    Prometheus.gauge p ~help:"Sessions sleeping in the timer heap"
+      "isolation_lab_scheduler_parked" [ ([], fi s.parked) ];
+    Prometheus.gauge p "isolation_lab_scheduler_sessions_active"
+      [ ([], fi s.sessions_active) ];
+    Prometheus.counter p ~help:"Ready-queue pops"
+      "isolation_lab_scheduler_wakes_total" [ ([], fi s.wakes) ];
+    Prometheus.gauge p ~help:"Enqueue-to-run latency"
+      "isolation_lab_scheduler_wake_wait_us"
+      [
+        ([ ("stat", "mean") ], s.wake_wait_mean_us);
+        ([ ("stat", "max") ], s.wake_wait_max_us);
+      ]);
+  (match t.server with
+  | None -> ()
+  | Some s ->
+    Prometheus.counter p "isolation_lab_server_conns_total"
+      [ ([], fi s.conns) ];
+    Prometheus.counter p "isolation_lab_server_sessions_total"
+      [ ([], fi s.sessions) ];
+    Prometheus.counter p "isolation_lab_server_frames_total"
+      [ ([], fi s.frames) ];
+    Prometheus.counter p "isolation_lab_server_protocol_errors_total"
+      [ ([], fi s.protocol_errors) ];
+    Prometheus.counter p ~help:"Injected connection severs"
+      "isolation_lab_server_disconnects_total" [ ([], fi s.disconnects) ];
+    Prometheus.gauge p ~help:"1 while draining"
+      "isolation_lab_server_draining"
+      [ ([], if s.draining then 1. else 0.) ]);
+  Prometheus.to_string p

@@ -1,0 +1,43 @@
+(** The assembled live report: one scrape of a running system, rendered
+    either as the STATS JSON object or as a Prometheus text exposition.
+
+    The runtime side arrives as {!Runtime.Pool.live}; the server
+    front-end contributes its own gauges through the plain-int records
+    below (this module must not depend on [lib/server], which depends
+    on it). *)
+
+type scheduler = {
+  runnable : int;  (** sessions queued for a worker right now *)
+  parked : int;  (** sessions sleeping in the timer heap *)
+  sessions_active : int;  (** sessions registered and not closed *)
+  wakes : int;  (** cumulative ready-queue pops *)
+  wake_wait_mean_us : float;  (** mean enqueue-to-run latency *)
+  wake_wait_max_us : float;
+}
+
+type server = {
+  conns : int;
+  sessions : int;
+  frames : int;
+  protocol_errors : int;
+  disconnects : int;
+  draining : bool;
+}
+
+type t = {
+  live : Runtime.Pool.live;
+  scheduler : scheduler option;
+  server : server option;
+}
+
+val make : ?scheduler:scheduler -> ?server:server -> Runtime.Pool.live -> t
+
+val to_json : t -> string
+(** One JSON object: [at], the {!Runtime.Metrics.to_json} object under
+    ["metrics"] (which {!Window.of_json} reads back), then [certifier],
+    [locks], [wal_entries], [history_len], [scheduler] and [server]
+    sections as available. This is the STATS reply body. *)
+
+val to_prometheus : t -> string
+(** The same reading as a Prometheus text-format (0.0.4) exposition,
+    metric names prefixed [isolation_lab_]. *)

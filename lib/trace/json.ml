@@ -260,3 +260,8 @@ let to_int_opt = function
   | _ -> None
 
 let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None

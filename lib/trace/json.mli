@@ -31,3 +31,6 @@ val to_int_opt : t -> int option
 (** Accepts integral floats too (Chrome tools rewrite numbers freely). *)
 
 val to_bool_opt : t -> bool option
+
+val to_float_opt : t -> float option
+(** Accepts ints too (JSON writers drop the fraction on whole numbers). *)

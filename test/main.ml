@@ -40,4 +40,5 @@ let () =
       ("fault", Test_fault.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -45,6 +45,7 @@ let gen_request =
         map (fun p -> P.Predicate p) gen_pred;
         return P.Commit;
         return P.Abort;
+        return P.Stats;
       ])
 
 let gen_response =
@@ -57,6 +58,15 @@ let gen_response =
         return P.Committed;
         map (fun s -> P.Aborted s) gen_key;
         map2 (fun code msg -> P.Error { code; msg }) (int_bound 255) gen_key;
+        (* STATS bodies are u32-length strings: cover both small JSON
+           and bodies past the u16 cap ordinary strings live under *)
+        map
+          (fun s -> P.Stats_resp s)
+          (oneof
+             [
+               string_size (int_range 0 128);
+               map (String.make 70_000) (char_range 'a' 'z');
+             ]);
       ])
 
 let gen_sid_req = QCheck.Gen.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF))
@@ -197,6 +207,41 @@ let test_garbage_payload () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "string overrun decoded"
 
+let test_stats_lstr_malformed () =
+  (* the response body is at offset 9 (opcode u8, sid u32, req u32);
+     its u32 length prefix must bound-check, not trust the sender *)
+  let frame = P.encode_response ~sid:0 ~req:1 (P.Stats_resp "{}") in
+  let payload = payload_of_frame frame in
+  (* length pointing past the payload end *)
+  Bytes.set_int32_be payload 9 1000l;
+  (match P.decode_response payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lstr overrun decoded");
+  (* length past the frame ceiling *)
+  Bytes.set_int32_be payload 9 (Int32.of_int (P.max_frame + 5));
+  (match P.decode_response payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized lstr length decoded");
+  (* a length prefix that masks to a huge unsigned value *)
+  Bytes.set_int32_be payload 9 (-1l);
+  (match P.decode_response payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "0xFFFFFFFF lstr length decoded");
+  (* truncated mid-prefix: only 2 of the 4 length bytes present *)
+  let cut = Bytes.sub payload 0 11 in
+  (match P.decode_response cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated lstr prefix decoded");
+  (* a STATS request carries no body; trailing bytes are a misuse *)
+  let sframe = P.encode_request ~sid:0 ~req:7 P.Stats in
+  let spayload = payload_of_frame sframe in
+  (match P.decode_request spayload with
+  | Ok (0, 7, P.Stats) -> ()
+  | _ -> Alcotest.fail "STATS request did not round-trip");
+  match P.decode_request (Bytes.cat spayload (Bytes.make 2 '\x00')) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "STATS with trailing bytes decoded"
+
 let test_trailing_bytes_rejected () =
   let frame = P.encode_request ~sid:3 ~req:4 P.Commit in
   let payload = payload_of_frame frame in
@@ -229,6 +274,8 @@ let suite =
         test_corrupt_length_prefix;
       Alcotest.test_case "garbage payloads decode to Error" `Quick
         test_garbage_payload;
+      Alcotest.test_case "malformed STATS frames decode to Error" `Quick
+        test_stats_lstr_malformed;
       Alcotest.test_case "trailing bytes rejected" `Quick
         test_trailing_bytes_rejected;
     ]

@@ -19,7 +19,7 @@ module Generators = Workload.Generators
 (* Start a server on a free port, run [f port], stop, return
    (pool result, wire stats, f's result). *)
 let with_server ?(workers = 2) ?(accounts = 16) ?(certify = false)
-    ?(seed = 3) f =
+    ?(seed = 3) ?telemetry_port ?(telemetry_ready = fun _ -> ()) f =
   let stop = Atomic.make false in
   let port_box = Atomic.make 0 in
   let pool =
@@ -30,7 +30,8 @@ let with_server ?(workers = 2) ?(accounts = 16) ?(certify = false)
   let cfg =
     Frontend.config ~port:0
       ~on_ready:(fun p -> Atomic.set port_box p)
-      ~drain_grace_s:3.0 ~stop ~pool ~family:`Locking ()
+      ?telemetry_port ~telemetry_ready ~drain_grace_s:3.0 ~stop ~pool
+      ~family:`Locking ()
   in
   let out = ref None in
   let server = Thread.create (fun () -> out := Some (Frontend.serve cfg)) () in
@@ -251,6 +252,120 @@ let test_certify_over_wire () =
     "committed projection serializable (certified, even at RC)" true
     r.Pool.oracle.Oracle.serializable
 
+(* {2 Live telemetry: STATS over the wire and the HTTP exposition} *)
+
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Bytes.of_string (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path) in
+  ignore (Unix.write fd req 0 (Bytes.length req));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      read_all ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+  in
+  read_all ();
+  Unix.close fd;
+  Buffer.contents buf
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let test_telemetry_live () =
+  let module W = Telemetry.Window in
+  let module J = Trace.Json in
+  let tport = Atomic.make 0 in
+  let r, stats, (lg, final_committed, expo) =
+    with_server ~workers:4 ~accounts:8 ~certify:true ~telemetry_port:0
+      ~telemetry_ready:(fun p -> Atomic.set tport p)
+      (fun port ->
+        (* real load from a thread; scrape both endpoints mid-run *)
+        let lg_out = ref None in
+        let lg_thread =
+          Thread.create
+            (fun () ->
+              lg_out :=
+                Some
+                  (Loadgen.run
+                     (Loadgen.config ~port ~sessions:16 ~txns_per_session:6
+                        ~mix:Generators.Hotspot ~accounts:8 ~hot:4
+                        ~levels:
+                          [ (L.Read_committed, 1.0); (L.Serializable, 1.0) ]
+                        ~seed:7 ())))
+            ()
+        in
+        let cl = Client.connect ~host:"127.0.0.1" ~port in
+        let scrape () =
+          match Client.request cl ~sid:0 P.Stats with
+          | Ok (P.Stats_resp body) -> (
+            match J.parse body with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "STATS JSON: %a" J.pp_error e)
+          | Ok resp -> Alcotest.failf "STATS: unexpected %a" P.pp_response resp
+          | Error e -> Alcotest.failf "STATS: %s" e
+        in
+        let sample j =
+          match Option.bind (J.member "metrics" j) W.of_json with
+          | Some s -> s
+          | None -> Alcotest.fail "STATS metrics member unparseable"
+        in
+        let s0 = sample (scrape ()) in
+        Thread.delay 0.2;
+        let j1 = scrape () in
+        let s1 = sample j1 in
+        Alcotest.(check bool)
+          "live committed monotone over the wire" true
+          (s1.W.committed >= s0.W.committed);
+        (* the report carries the server-side sections too *)
+        Alcotest.(check bool)
+          "scheduler section present" true
+          (J.member "scheduler" j1 <> None);
+        Alcotest.(check bool)
+          "certifier section present" true
+          (J.member "certifier" j1 <> None);
+        (* the HTTP exposition answers while the run is in flight *)
+        let expo = http_get ~port:(Atomic.get tport) "/metrics" in
+        Thread.join lg_thread;
+        let lg = Option.get !lg_out in
+        (* after the load has fully drained, the live counter has
+           caught up with the client's own count exactly: a COMMITTED
+           reply is sent only after the commit is recorded *)
+        let sf = sample (scrape ()) in
+        Client.close cl;
+        (lg, sf.W.committed, expo))
+  in
+  Alcotest.(check int) "no wire protocol errors" 0 stats.Frontend.protocol_errors;
+  Alcotest.(check int) "no client protocol errors" 0 lg.Loadgen.protocol_errors;
+  Alcotest.(check bool) "some transactions committed" true
+    (lg.Loadgen.committed > 0);
+  Alcotest.(check int)
+    "post-drain STATS committed matches loadgen" lg.Loadgen.committed
+    final_committed;
+  Alcotest.(check int)
+    "final result metrics agree" lg.Loadgen.committed
+    r.Pool.metrics.Runtime.Metrics.committed;
+  (* exposition shape: an HTTP 200 carrying the known families *)
+  Alcotest.(check bool) "HTTP 200" true (contains expo "HTTP/1.0 200 OK");
+  Alcotest.(check bool) "content type" true
+    (contains expo "text/plain; version=0.0.4");
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) (family ^ " present") true (contains expo family))
+    [
+      "# TYPE isolation_lab_committed_total counter";
+      "# TYPE isolation_lab_throughput_tps gauge";
+      "isolation_lab_certifier_graph_nodes";
+      "isolation_lab_scheduler_sessions_active";
+      "isolation_lab_server_conns_total";
+    ]
+
 (* {2 Draining rejects new transactions} *)
 
 let test_draining_rejects () =
@@ -391,6 +506,8 @@ let suite =
       test_disconnect_releases_locks;
     Alcotest.test_case "certified serving over the wire" `Slow
       test_certify_over_wire;
+    Alcotest.test_case "live telemetry: STATS and the HTTP exposition" `Slow
+      test_telemetry_live;
     Alcotest.test_case "draining rejects new transactions" `Slow
       test_draining_rejects;
     Alcotest.test_case "pool stop flag drains the batch runner" `Slow

@@ -1,0 +1,202 @@
+(* The telemetry layer: Window's interval arithmetic against real
+   Metrics recording (the delta of two snapshots must equal what was
+   recorded between them), monotonicity of live snapshots under
+   concurrent recording domains, the STATS JSON round trip
+   (Metrics.to_json -> Trace.Json.parse -> Window.of_json), and the
+   Prometheus writer's output shape. *)
+
+module Metrics = Runtime.Metrics
+module W = Telemetry.Window
+module L = Isolation.Level
+module J = Trace.Json
+
+let reason = Core.Engine.Deadlock_victim
+
+(* {2 Window.delta of two real snapshots} *)
+
+let test_delta_matches_recording () =
+  let m = Metrics.create () in
+  Metrics.start m;
+  Metrics.record_commit ~level:L.Serializable m ~latency_ns:1_000_000;
+  Metrics.record_abort ~level:L.Serializable m reason;
+  let s0 = W.of_snapshot (Metrics.snapshot m) in
+  (* the interval under test: 3 commits, 2 aborts, 1 doom, 1 retry *)
+  Metrics.record_commit ~level:L.Serializable m ~latency_ns:2_000_000;
+  Metrics.record_commit ~level:L.Serializable m ~latency_ns:2_000_000;
+  Metrics.record_commit ~level:L.Read_committed m ~latency_ns:4_000_000;
+  Metrics.record_abort ~level:L.Read_committed m reason;
+  Metrics.record_abort ~level:L.Read_committed m Core.Engine.Certifier_abort;
+  Metrics.record_certifier_abort ~level:L.Read_committed m;
+  Metrics.record_retry m;
+  let s1 = W.of_snapshot (Metrics.snapshot m) in
+  let r = W.delta s0 s1 in
+  Alcotest.(check int) "interval commits" 3 r.W.d_committed;
+  Alcotest.(check int) "interval aborts" 2 r.W.d_aborted;
+  Alcotest.(check int) "interval retries" 1 r.W.d_retries;
+  Alcotest.(check int) "interval dooms" 1 r.W.d_certifier_aborts;
+  Alcotest.(check (list (pair string int)))
+    "interval abort mix"
+    (List.sort compare
+       [
+         (Metrics.abort_reason_slug reason, 1);
+         (Metrics.abort_reason_slug Core.Engine.Certifier_abort, 1);
+       ])
+    (List.sort compare r.W.d_aborted_by);
+  Alcotest.(check (list (triple string int int)))
+    "per-level interval (committed, aborted)"
+    [ ("read_committed", 1, 2); ("serializable", 2, 0) ]
+    (List.sort compare
+       (List.map (fun (s, c, a, _) -> (s, c, a)) r.W.d_per_level));
+  (* the interval histogram holds exactly the interval's 3 commits, and
+     its quantiles land near the recorded latencies (log2 buckets) *)
+  Alcotest.(check bool) "interval p50 in [1, 4]ms" true
+    (r.W.lat_p50_ms >= 1.0 && r.W.lat_p50_ms <= 4.0);
+  Alcotest.(check bool) "interval p99 in [2, 8]ms" true
+    (r.W.lat_p99_ms >= 2.0 && r.W.lat_p99_ms <= 8.0);
+  (* an empty interval deltas to zero, not noise *)
+  let r0 = W.delta s1 (W.of_snapshot (Metrics.snapshot m)) in
+  Alcotest.(check int) "empty interval commits" 0 r0.W.d_committed;
+  Alcotest.(check int) "empty interval aborts" 0 r0.W.d_aborted;
+  Alcotest.(check (list (pair string int)))
+    "empty interval abort mix" [] r0.W.d_aborted_by
+
+(* {2 Monotone live reads under concurrent recording} *)
+
+let test_monotone_under_concurrency () =
+  let m = Metrics.create () in
+  Metrics.start m;
+  let per_domain = 20_000 in
+  let running = Atomic.make 4 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              if i land 1 = 0 then
+                Metrics.record_commit ~level:L.Snapshot m
+                  ~latency_ns:((i land 0xFF) * 1000)
+              else Metrics.record_abort ~level:L.Snapshot m reason;
+              if d = 0 && i land 63 = 0 then Metrics.record_retry m
+            done;
+            Atomic.decr running))
+  in
+  (* reader side: every counter must be monotone between consecutive
+     live snapshots, and no read may tear *)
+  let prev = ref (W.of_snapshot (Metrics.snapshot m)) in
+  let checks = ref 0 in
+  while Atomic.get running > 0 do
+    let s = W.of_snapshot (Metrics.snapshot m) in
+    let p = !prev in
+    if s.W.committed < p.W.committed then
+      Alcotest.failf "committed went backwards: %d -> %d" p.W.committed
+        s.W.committed;
+    if s.W.aborted < p.W.aborted then
+      Alcotest.failf "aborted went backwards: %d -> %d" p.W.aborted s.W.aborted;
+    if s.W.retries < p.W.retries then
+      Alcotest.failf "retries went backwards: %d -> %d" p.W.retries s.W.retries;
+    Array.iteri
+      (fun i n ->
+        if Array.length p.W.lat_hist > i && n < p.W.lat_hist.(i) then
+          Alcotest.failf "lat_hist.(%d) went backwards" i)
+      s.W.lat_hist;
+    incr checks;
+    prev := s
+  done;
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "reader actually raced the writers" true (!checks > 0);
+  (* quiescent snapshot is exact *)
+  let s = W.of_snapshot (Metrics.snapshot m) in
+  Alcotest.(check int) "final commits" (4 * per_domain / 2) s.W.committed;
+  Alcotest.(check int) "final aborts" (4 * per_domain / 2) s.W.aborted;
+  Alcotest.(check int)
+    "histogram holds every commit"
+    (4 * per_domain / 2)
+    (Array.fold_left ( + ) 0 s.W.lat_hist)
+
+(* {2 JSON round trip} *)
+
+let test_of_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.start m;
+  Metrics.record_commit ~level:L.Serializable m ~latency_ns:3_000_000;
+  Metrics.record_commit m ~latency_ns:500_000;
+  Metrics.record_abort ~level:L.Serializable m reason;
+  Metrics.record_retry m;
+  Metrics.record_giveup m;
+  Metrics.record_deadlock m;
+  Metrics.record_certifier_abort ~level:L.Serializable m;
+  Metrics.stop m;
+  let snap = Metrics.snapshot m in
+  let direct = W.of_snapshot snap in
+  let j =
+    match J.parse (Metrics.to_json snap) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "metrics JSON did not parse: %a" J.pp_error e
+  in
+  let parsed =
+    match W.of_json j with
+    | Some s -> s
+    | None -> Alcotest.fail "Window.of_json rejected Metrics.to_json"
+  in
+  Alcotest.(check (float 1e-6)) "at survives" direct.W.at parsed.W.at;
+  Alcotest.(check int) "committed survives" direct.W.committed
+    parsed.W.committed;
+  Alcotest.(check int) "aborted survives" direct.W.aborted parsed.W.aborted;
+  Alcotest.(check int) "retries survive" direct.W.retries parsed.W.retries;
+  Alcotest.(check int) "giveups survive" direct.W.giveups parsed.W.giveups;
+  Alcotest.(check int) "deadlocks survive" direct.W.deadlocks
+    parsed.W.deadlocks;
+  Alcotest.(check int) "dooms survive" direct.W.certifier_aborts
+    parsed.W.certifier_aborts;
+  Alcotest.(check (list (pair string int)))
+    "abort mix survives"
+    (List.sort compare direct.W.aborted_by)
+    (List.sort compare parsed.W.aborted_by);
+  Alcotest.(check bool) "per-level survives" true
+    (List.sort compare direct.W.per_level
+    = List.sort compare parsed.W.per_level);
+  Alcotest.(check bool) "histogram survives" true
+    (direct.W.lat_hist = parsed.W.lat_hist);
+  (* a malformed object (no taken_at) is None, not an exception *)
+  Alcotest.(check bool) "missing taken_at rejected" true
+    (W.of_json (J.Obj [ ("committed", J.Int 3) ]) = None)
+
+(* {2 Prometheus writer} *)
+
+let test_prometheus_shape () =
+  let p = Telemetry.Prometheus.create () in
+  Telemetry.Prometheus.counter p ~help:"Committed transactions" "lab_commits"
+    [ ([], 42.) ];
+  Telemetry.Prometheus.counter p "lab_aborts"
+    [
+      ([ ("reason", "deadlock") ], 7.);
+      ([ ("reason", "weird\"quote\\and\nnewline") ], 1.);
+    ];
+  Telemetry.Prometheus.gauge p "lab_queue" [ ([], 3.5) ];
+  let out = Telemetry.Prometheus.to_string p in
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+      (let n = String.length needle and m = String.length out in
+       let rec at i = i + n <= m && (String.sub out i n = needle || at (i + 1)) in
+       at 0)
+  in
+  has "# HELP lab_commits Committed transactions\n";
+  has "# TYPE lab_commits counter\n";
+  has "lab_commits 42\n";
+  has "# TYPE lab_aborts counter\n";
+  has "lab_aborts{reason=\"deadlock\"} 7\n";
+  (* label escaping: backslash, quote and newline *)
+  has "lab_aborts{reason=\"weird\\\"quote\\\\and\\nnewline\"} 1\n";
+  has "# TYPE lab_queue gauge\n";
+  has "lab_queue 3.5\n"
+
+let suite =
+  [
+    Alcotest.test_case "window delta matches the interval's recording" `Quick
+      test_delta_matches_recording;
+    Alcotest.test_case "live snapshots are monotone under concurrency" `Quick
+      test_monotone_under_concurrency;
+    Alcotest.test_case "sample survives the STATS JSON round trip" `Quick
+      test_of_json_roundtrip;
+    Alcotest.test_case "prometheus exposition shape and escaping" `Quick
+      test_prometheus_shape;
+  ]
