@@ -130,7 +130,7 @@ let run_cell ~sessions ~certify ~telemetry =
     sv_scrapes = !scrapes;
     sv_stats = stats;
     sv_metrics = r.Pool.metrics;
-    sv_serializable = r.Pool.oracle.Runtime.Oracle.serializable;
+    sv_serializable = (Option.get r.Pool.oracle).Runtime.Oracle.serializable;
     sv_wire = wire;
   }
 

@@ -345,9 +345,37 @@ let drain_on_sigint () =
    with Invalid_argument _ -> ());
   stop
 
+(* Above this many transactions the full engine trace (and the
+   polynomial oracle over it) stops being tenable; stress flips to the
+   out-of-core pipeline unless --history forces it back on. *)
+let out_of_core_threshold = 65_536
+
+(* A fresh scratch directory under the system temp dir, for spilled
+   journals of runs the user gave no --wal-dir. *)
+let scratch_dir label =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "isolation_lab_%s_%d" label (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let wal_json_of (w : Storage.Wal.stats) =
+  let hist =
+    String.concat ","
+      (List.map (fun (le, n) -> Printf.sprintf "\"%d\":%d" le n)
+         w.Storage.Wal.w_batch_hist)
+  in
+  Printf.sprintf
+    "{\"records\":%d,\"segments\":%d,\"disk_bytes\":%d,\"syncs\":%d,\"checkpoints\":%d,\"truncated_segments\":%d,\"batch_hist\":{%s}}"
+    w.Storage.Wal.w_records w.Storage.Wal.w_segments
+    w.Storage.Wal.w_disk_bytes w.Storage.Wal.w_syncs
+    w.Storage.Wal.w_checkpoints w.Storage.Wal.w_truncated_segments hist
+
 let stress workers level mix_name txns duration accounts hot ops think seed
-    fuw stripes coarse oracle_window certify json_path trace_path
-    telemetry_path =
+    fuw stripes coarse oracle_window certify wal_dir checkpoint_every
+    history json_path trace_path telemetry_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -369,12 +397,34 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     | Some _ -> Some (Trace.Sink.create ~workers:(max 1 workers) ())
   in
   let stop = drain_on_sigint () in
+  (* Out-of-core decision: huge fixed-count runs drop the trace — the
+     engine logs to its (checkpoint-truncated) WAL, the recorder spills
+     its journal, and the online certifier carries the serializability
+     verdict the oracle would otherwise give. *)
+  let keep_history =
+    match history with
+    | Some b -> b
+    | None -> duration <> None || txns <= out_of_core_threshold
+  in
+  let spill_dir =
+    if keep_history then None else Some (scratch_dir "journal")
+  in
   let cfg =
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
       ~first_updater_wins:fuw ~stripes ~coarse ?oracle_window ~think_us:think
-      ~seed ?trace:sink ~certify ~stop ()
+      ~seed ?trace:sink ~certify ?wal_dir ~checkpoint_every ~keep_history
+      ?spill_dir ~stop ()
   in
+  if not keep_history then
+    Format.printf
+      "out-of-core: history off (%d txns > %d); checkpoints every %d \
+       commits, journal spills to %s%s@."
+      txns out_of_core_threshold checkpoint_every
+      (Option.value ~default:"(memory)" spill_dir)
+      (match wal_dir with
+      | Some d -> Printf.sprintf ", wal segments in %s" d
+      | None -> "");
   Format.printf
     "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
      %.0fus, seed %d, %s@."
@@ -432,7 +482,7 @@ let stress workers level mix_name txns duration accounts hot ops think seed
   let r =
     match duration with
     | Some d -> Runtime.Pool.run_for ?monitor cfg ~duration_s:d ~gen
-    | None -> Runtime.Pool.run ?monitor cfg (Array.init txns gen)
+    | None -> Runtime.Pool.run_n ?monitor cfg ~txns ~gen
   in
   telemetry_stop := true;
   List.iter Thread.join !telemetry_threads;
@@ -446,18 +496,37 @@ let stress workers level mix_name txns duration accounts hot ops think seed
       s.Locking.Lock_table.grants s.Locking.Lock_table.conflicts
       s.Locking.Lock_table.releases s.Locking.Lock_table.upgrades
   | None -> ());
-  Format.printf "%a@." Runtime.Oracle.pp r.Runtime.Pool.oracle;
+  let mem = Runtime.Sysmem.read () in
+  Format.printf "memory: %a@." Runtime.Sysmem.pp mem;
+  let wal_stats = Option.map Storage.Wal.stats r.Runtime.Pool.wal in
+  (match wal_stats with
+  | Some w
+    when w.Storage.Wal.w_syncs > 0 || w.Storage.Wal.w_checkpoints > 0 ->
+    Format.printf
+      "wal: %d live records, %d segments (%d bytes on disk), %d fsync \
+       batches, %d checkpoints, %d segments truncated@."
+      w.Storage.Wal.w_records w.Storage.Wal.w_segments
+      w.Storage.Wal.w_disk_bytes w.Storage.Wal.w_syncs
+      w.Storage.Wal.w_checkpoints w.Storage.Wal.w_truncated_segments
+  | _ -> ());
   let oracle = r.Runtime.Pool.oracle in
-  Format.printf "oracle verdict: %s@."
-    (if Runtime.Oracle.pattern_free oracle then
-       "CLEAN (no anomalies, no phenomenon patterns)"
-     else if Runtime.Oracle.clean oracle then
-       "CLEAN (serializable; pattern templates admitted, as a non-locking \
-        scheduler may)"
-     else if Runtime.Oracle.anomalies oracle = [] then
-       "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
-        templates)"
-     else "ANOMALIES DETECTED");
+  (match oracle with
+  | None ->
+    Format.printf
+      "oracle: skipped (out-of-core run keeps no history; the online \
+       certifier carries the verdict)@."
+  | Some oracle ->
+    Format.printf "%a@." Runtime.Oracle.pp oracle;
+    Format.printf "oracle verdict: %s@."
+      (if Runtime.Oracle.pattern_free oracle then
+         "CLEAN (no anomalies, no phenomenon patterns)"
+       else if Runtime.Oracle.clean oracle then
+         "CLEAN (serializable; pattern templates admitted, as a non-locking \
+          scheduler may)"
+       else if Runtime.Oracle.anomalies oracle = [] then
+         "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
+          templates)"
+       else "ANOMALIES DETECTED"));
   (match r.Runtime.Pool.certifier with
   | Some s ->
     Format.printf "%a@." Runtime.Certifier.pp_summary s;
@@ -480,7 +549,10 @@ let stress workers level mix_name txns duration accounts hot ops think seed
       (List.length r.Runtime.Pool.events)
       r.Runtime.Pool.events_dropped path
   | None -> ());
-  (match oracle.Runtime.Oracle.witnesses with
+  (match
+     Option.map (fun o -> o.Runtime.Oracle.witnesses) oracle
+     |> Option.value ~default:[]
+   with
   | [] -> ()
   | ws ->
     Format.printf "@.anomaly provenance:@.";
@@ -506,15 +578,25 @@ let stress workers level mix_name txns duration accounts hot ops think seed
       | None -> ""
       | Some s -> ",\"certifier\":" ^ Runtime.Certifier.to_json s
     in
+    let oracle_json =
+      match oracle with
+      | None -> ""
+      | Some o -> ",\"oracle\":" ^ Runtime.Oracle.to_json o
+    in
+    let wal_json =
+      match wal_stats with
+      | None -> ""
+      | Some w -> ",\"wal\":" ^ wal_json_of w
+    in
     let json =
       Printf.sprintf
-        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s%s%s}"
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"txns\":%d,\"metrics\":%s,\"memory\":%s%s%s%s%s}"
         (L.name level)
         (Workload.Generators.mix_name mix)
-        workers
+        workers txns
         (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
-        (Runtime.Oracle.to_json r.Runtime.Pool.oracle)
-        lock_json certifier_json
+        (Runtime.Sysmem.to_json mem) oracle_json lock_json certifier_json
+        wal_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -530,13 +612,24 @@ let stress workers level mix_name txns duration accounts hot ops think seed
      come back acyclic (anomalies that need no cycle — e.g. a dirty
      read whose writer aborts — are still observed and reported). *)
   let assertion =
-    match level with
-    | L.Serializable -> Some (Runtime.Oracle.pattern_free oracle)
-    | L.Serializable_snapshot | L.Timestamp_ordering ->
-      Some (Runtime.Oracle.clean oracle)
-    | _ -> None
+    match oracle with
+    | None -> None (* no history kept; the certifier below decides *)
+    | Some o -> (
+      match level with
+      | L.Serializable -> Some (Runtime.Oracle.pattern_free o)
+      | L.Serializable_snapshot | L.Timestamp_ordering ->
+        Some (Runtime.Oracle.clean o)
+      | _ -> None)
   in
-  let certify_ok = (not certify) || oracle.Runtime.Oracle.serializable in
+  (* --certify's promise is judged by the online certifier itself: its
+     finalized verdict is exact on the committed projection whether or
+     not a history was kept for the oracle. *)
+  let certify_ok =
+    (not certify)
+    || (match r.Runtime.Pool.certifier with
+       | Some s -> s.Runtime.Certifier.serializable
+       | None -> true)
+  in
   match assertion with
   | Some false -> exit 1
   | _ -> if not certify_ok then exit 1
@@ -674,6 +767,37 @@ let stress_cmd =
              block (separated by $(b,# scrape) timestamp comments) — a \
              time series of the run, not just its final totals.")
   in
+  let wal_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Keep the locking engine's write-ahead log in segmented files \
+             under DIR (created if missing) instead of in memory. Commit \
+             records reach the disk through group commit: one fsync covers \
+             every commit that queued behind it.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Commits between WAL checkpoints (0 = never). A checkpoint \
+             logs the committed store image plus the undo journals of the \
+             in-flight transactions and truncates everything older, so \
+             the log stays bounded however long the run.")
+  in
+  let history_arg =
+    Arg.(
+      value & opt (some bool) None
+      & info [ "history" ] ~docv:"BOOL"
+          ~doc:
+            "Keep the full engine trace and run the post-run oracle over \
+             it. Defaults to true up to 65536 transactions (and for \
+             --duration runs), false above — the out-of-core mode, where \
+             the attempt journal spills to disk and the online certifier \
+             ($(b,--certify)) carries the serializability verdict.")
+  in
   Cmd.v
     (Cmd.info "stress"
        ~doc:
@@ -683,7 +807,8 @@ let stress_cmd =
       const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
       $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
       $ seed_arg $ fuw_arg $ stripes_arg $ coarse_arg $ oracle_window_arg
-      $ certify_arg $ json_arg $ trace_arg $ telemetry_arg)
+      $ certify_arg $ wal_dir_arg $ checkpoint_arg $ history_arg $ json_arg
+      $ trace_arg $ telemetry_arg)
 
 (* {2 chaos — stress under deterministic fault injection} *)
 
@@ -761,7 +886,7 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
             (fun (k, n) -> Printf.sprintf "%s %d" k n)
             (Fault.Plan.injected p)))
   | None -> Format.printf "faults injected: none (rate 0)@.");
-  let oracle = r.Runtime.Pool.oracle in
+  let oracle = (Option.get r.Runtime.Pool.oracle) in
   Format.printf "%a@." Runtime.Oracle.pp oracle;
   Format.printf "oracle verdict: %s@."
     (if Runtime.Oracle.pattern_free oracle then
@@ -879,11 +1004,12 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
     in
     let json =
       Printf.sprintf
-        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"oracle\":%s%s,\"chaos\":%s}"
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"memory\":%s,\"oracle\":%s%s,\"chaos\":%s}"
         (L.name level)
         (Workload.Generators.mix_name mix)
         workers
         (Runtime.Metrics.to_json m)
+        (Runtime.Sysmem.to_json (Runtime.Sysmem.read ()))
         (Runtime.Oracle.to_json oracle)
         certifier_json chaos_json
     in
@@ -1201,8 +1327,8 @@ let family_name = function
   | `Timestamp -> "timestamp"
 
 let serve workers family_str level port host accounts stripes coarse certify
-    certify_batch oracle_window duration drain_grace seed disconnect_rate
-    trace_path json_path telemetry_port =
+    certify_batch oracle_window wal_dir checkpoint_every history duration
+    drain_grace seed disconnect_rate trace_path json_path telemetry_port =
   let family =
     match family_of_string (String.lowercase_ascii family_str) with
     | Some f -> f
@@ -1231,11 +1357,18 @@ let serve workers family_str level port host accounts stripes coarse certify
   in
   let stop = drain_on_sigint () in
   let oracle_window = if oracle_window = 0 then None else Some oracle_window in
+  (* Long-lived servers can outgrow any in-memory history: --history \
+     false drops the trace and the post-run oracle (the online certifier \
+     still certifies when --certify) and spills the attempt journal. *)
+  let keep_history = Option.value ~default:true history in
+  let spill_dir =
+    if keep_history then None else Some (scratch_dir "serve_journal")
+  in
   let pool =
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
       ~stripes ~coarse ~certify ~certify_batch ?oracle_window ~seed ?trace:sink
-      ?fault ()
+      ?fault ?wal_dir ~checkpoint_every ~keep_history ?spill_dir ()
   in
   let cfg =
     Server.Frontend.config ~host ~port ~default_level:level
@@ -1254,7 +1387,13 @@ let serve workers family_str level port host accounts stripes coarse certify
   let r, stats = Server.Frontend.serve cfg in
   Format.printf "%a@." Server.Frontend.pp_stats stats;
   Format.printf "%a@." Runtime.Metrics.pp r.Runtime.Pool.metrics;
-  Format.printf "%a@." Runtime.Oracle.pp r.Runtime.Pool.oracle;
+  Format.printf "memory: %a@." Runtime.Sysmem.pp (Runtime.Sysmem.read ());
+  (match r.Runtime.Pool.oracle with
+  | Some o -> Format.printf "%a@." Runtime.Oracle.pp o
+  | None ->
+    Format.printf
+      "oracle: skipped (--history false; the online certifier carries the \
+       verdict)@.");
   (match r.Runtime.Pool.certifier with
   | Some s -> Format.printf "%a@." Runtime.Certifier.pp_summary s
   | None -> ());
@@ -1278,15 +1417,20 @@ let serve workers family_str level port host accounts stripes coarse certify
       | None -> ""
       | Some s -> ",\"certifier\":" ^ Runtime.Certifier.to_json s
     in
+    let oracle_json =
+      match r.Runtime.Pool.oracle with
+      | None -> ""
+      | Some o -> ",\"oracle\":" ^ Runtime.Oracle.to_json o
+    in
     let json =
       Printf.sprintf
-        "{\"family\":%S,\"default_level\":%S,\"workers\":%d,\"server\":{\"conns\":%d,\"sessions\":%d,\"frames\":%d,\"protocol_errors\":%d,\"disconnects\":%d},\"metrics\":%s,\"oracle\":%s%s}"
+        "{\"family\":%S,\"default_level\":%S,\"workers\":%d,\"server\":{\"conns\":%d,\"sessions\":%d,\"frames\":%d,\"protocol_errors\":%d,\"disconnects\":%d},\"metrics\":%s,\"memory\":%s%s%s}"
         (family_name family) (L.name level) workers stats.Server.Frontend.conns
         stats.Server.Frontend.sessions stats.Server.Frontend.frames
         stats.Server.Frontend.protocol_errors stats.Server.Frontend.disconnects
         (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
-        (Runtime.Oracle.to_json r.Runtime.Pool.oracle)
-        certifier_json
+        (Runtime.Sysmem.to_json (Runtime.Sysmem.read ()))
+        oracle_json certifier_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -1294,9 +1438,17 @@ let serve workers family_str level port host accounts stripes coarse certify
     Format.printf "server report written to %s@." path
   | None -> ());
   (* --certify is a promise at any level: the committed projection must
-     come back acyclic. *)
-  if certify && not r.Runtime.Pool.oracle.Runtime.Oracle.serializable then
-    exit 1
+     come back acyclic. The certifier's own finalized verdict judges it,
+     so the promise holds with or without a kept history. *)
+  let certified_ok =
+    match r.Runtime.Pool.certifier with
+    | Some s -> s.Runtime.Certifier.serializable
+    | None -> (
+      match r.Runtime.Pool.oracle with
+      | Some o -> o.Runtime.Oracle.serializable
+      | None -> true)
+  in
+  if certify && not certified_ok then exit 1
 
 let serve_cmd =
   let workers_arg =
@@ -1419,6 +1571,30 @@ let serve_cmd =
              answers the wire protocol's STATS admin op — see \
              $(b,isolation_lab top).")
   in
+  let wal_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Segmented on-disk WAL under DIR; commits group-commit their \
+             fsyncs (see $(b,isolation_lab stress)).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Commits between WAL checkpoints (0 = never).")
+  in
+  let history_arg =
+    Arg.(
+      value & opt (some bool) None
+      & info [ "history" ] ~docv:"BOOL"
+          ~doc:
+            "Keep the full engine trace for the shutdown oracle (default \
+             true). false is the out-of-core mode for long serving runs: \
+             no trace, journal spilled to disk, the online certifier \
+             ($(b,--certify)) carries the serializability verdict.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1428,8 +1604,9 @@ let serve_cmd =
     Term.(
       const serve $ workers_arg $ family_arg $ level_arg $ port_arg $ host_arg
       $ accounts_arg $ stripes_arg $ coarse_arg $ certify_arg
-      $ certify_batch_arg $ oracle_window_arg $ duration_arg $ drain_grace_arg
-      $ seed_arg $ disconnect_arg $ trace_arg $ json_arg $ telemetry_port_arg)
+      $ certify_batch_arg $ oracle_window_arg $ wal_dir_arg $ checkpoint_arg
+      $ history_arg $ duration_arg $ drain_grace_arg $ seed_arg
+      $ disconnect_arg $ trace_arg $ json_arg $ telemetry_port_arg)
 
 let parse_levels s =
   (* "rc,si=3,serializable=0.5": comma-separated level[=weight] *)
@@ -1715,7 +1892,11 @@ let top host port interval once =
          dooms %d  misses %d"
         (num cert "nodes") (num cert "edges") (num cert "queue")
         (num cert "pending") (num cert "cycles") (num cert "dooms")
-        (num cert "misses"));
+        (num cert "misses");
+      let prune = Option.bind cert (J.member "prune") in
+      if num prune "passes" > 0 then
+        line "  pruned    %d nodes  %d eras  over %d passes"
+          (num prune "nodes") (num prune "eras") (num prune "passes"));
     (match sched with
     | None -> ()
     | Some _ ->
@@ -1735,6 +1916,15 @@ let top host port interval once =
     line "  storage   wal %d records  history %d actions"
       (num (Some j) "wal_entries")
       (num (Some j) "history_len");
+    (match J.member "wal" j with
+    | None -> ()
+    | Some _ as wal ->
+      line
+        "  wal       %d segments  %d bytes on disk  %d fsync batches  %d \
+         checkpoints  %d truncated"
+        (num wal "segments") (num wal "disk_bytes") (num wal "syncs")
+        (num wal "checkpoints")
+        (num wal "truncated_segments"));
     Buffer.contents b
   in
   if once then begin

@@ -57,19 +57,24 @@ let family_of_levels levels =
 
 let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
     ?(first_updater_wins = false) ?(next_key_locking = false)
-    ?(update_locks = false) ~family () =
+    ?(update_locks = false) ?wal_dir ?wal_segment_bytes ?wal_group_commit
+    ?checkpoint_every ?retain_trace ~family () =
   match family with
   | `Locking ->
     Locking
       (Lock_engine.create ~initial ~predicates ~stripes ~audit ~next_key_locking
-         ~update_locks ())
+         ~update_locks ?wal_dir ?wal_segment_bytes ?wal_group_commit
+         ?checkpoint_every ?retain_trace ())
   | `Mv -> Mv (Mv_engine.create ~initial ~predicates ~first_updater_wins ())
   | `Timestamp -> Timestamp (To_engine.create ~initial ~predicates ())
 
 let create_for_levels ~initial ~predicates ?stripes ?audit ?first_updater_wins
-    ?next_key_locking ?update_locks ~levels () =
+    ?next_key_locking ?update_locks ?wal_dir ?wal_segment_bytes
+    ?wal_group_commit ?checkpoint_every ?retain_trace ~levels () =
   create ~initial ~predicates ?stripes ?audit ?first_updater_wins
-    ?next_key_locking ?update_locks ~family:(family_of_levels levels) ()
+    ?next_key_locking ?update_locks ?wal_dir ?wal_segment_bytes
+    ?wal_group_commit ?checkpoint_every ?retain_trace
+    ~family:(family_of_levels levels) ()
 
 let mv_level = function
   | Level.Snapshot -> Mv_engine.Snapshot_isolation
@@ -211,6 +216,19 @@ let abort_txn ?(reason = Deadlock_victim) t tid =
     in
     To_engine.abort_txn e tid ~reason
 
+(* Release a finished transaction's per-txn engine state. The locking
+   engine clears its slot under its registration mutex, so the call is
+   safe from the worker that owns the finished attempt without holding
+   any stripes. The MV and timestamp engines step under *every* stripe
+   (their footprint is [All]) and a lock-free removal here would race
+   their transaction tables, so for now they keep states resident —
+   the out-of-core path is the locking family's (see ROADMAP:
+   snapshot-watermark pruning is the MV follow-up). *)
+let forget t tid =
+  match t with
+  | Locking e -> Lock_engine.forget e tid
+  | Mv _ | Timestamp _ -> ()
+
 let trace = function
   | Locking e -> Lock_engine.trace e
   | Mv e -> Mv_engine.trace e
@@ -249,6 +267,12 @@ let final_state = function
 let wal = function
   | Locking e -> Some (Lock_engine.wal e)
   | Mv _ | Timestamp _ -> None
+
+(* Durability point after a commit step, outside the stripe critical
+   section (group commit). Only the locking engine logs. *)
+let wal_sync = function
+  | Locking e -> Lock_engine.wal_sync e
+  | Mv _ | Timestamp _ -> ()
 
 let family = function
   | Locking _ -> `Locking

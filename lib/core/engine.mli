@@ -51,6 +51,11 @@ val create :
   ?first_updater_wins:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
+  ?wal_dir:string ->
+  ?wal_segment_bytes:int ->
+  ?wal_group_commit:bool ->
+  ?checkpoint_every:int ->
+  ?retain_trace:bool ->
   family:[ `Locking | `Mv | `Timestamp ] ->
   unit ->
   t
@@ -64,7 +69,10 @@ val create :
     [first_updater_wins] switches Snapshot Isolation from
     First-Committer-Wins to the PostgreSQL-style write-time check.
     [next_key_locking] swaps the locking engine's predicate-lock phantom
-    guard for next-key locking. *)
+    guard for next-key locking. The out-of-core options ([wal_dir],
+    [wal_segment_bytes], [wal_group_commit], [checkpoint_every],
+    [retain_trace]) pass through to {!Lock_engine.create} and are ignored
+    by the non-logging families. *)
 
 val create_for_levels :
   initial:(key * value) list ->
@@ -74,6 +82,11 @@ val create_for_levels :
   ?first_updater_wins:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
+  ?wal_dir:string ->
+  ?wal_segment_bytes:int ->
+  ?wal_group_commit:bool ->
+  ?checkpoint_every:int ->
+  ?retain_trace:bool ->
   levels:Level.t list ->
   unit ->
   t
@@ -113,6 +126,16 @@ val abort_txn : ?reason:abort_reason -> t -> txn -> unit
     [Certifier_abort] or [User_abort]. @raise Invalid_argument for
     engine-internal reasons (first-committer-wins, ...). *)
 
+val forget : t -> txn -> unit
+(** Release the engine's per-transaction state for a {e finished}
+    transaction. Tids are dense and never reused, so without this every
+    txn state stays resident for the whole run — the call is what keeps
+    10^6-txn out-of-core runs flat. Terminal-status-guarded and
+    idempotent; after it, [status]/[env] on the tid raise and
+    [abort_txn] is a no-op. Currently real for the locking family only
+    (the MV/timestamp engines keep states resident — their tables are
+    only safe to mutate under every stripe). *)
+
 val trace : t -> History.t
 
 val trace_len : t -> int
@@ -141,6 +164,10 @@ val set_trace_hook : t -> (int -> History.Action.t -> unit) -> unit
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t option
 (** The write-ahead log (locking engines only). *)
+
+val wal_sync : t -> unit
+(** Group-commit durability point ({!Lock_engine.wal_sync}); no-op for
+    the non-logging families. *)
 
 val family : t -> [ `Locking | `Mv | `Timestamp ]
 (** The engine family this instance was created with. *)

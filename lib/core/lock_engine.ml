@@ -62,6 +62,9 @@ type t = {
   mutable commit_ts : int;  (* under reg_m *)
   locks : Lock_table.t;
   wal : Wal.t;
+  checkpoint_every : int;   (* commits between WAL checkpoints; 0 = never *)
+  mutable commits_since_ckpt : int; (* under all stripes (commit footprint) *)
+  retain_trace : bool;      (* keep the action list (out-of-core runs drop it) *)
   mutable trace : Action.t list; (* newest first; under trace_m *)
   trace_m : Mutex.t;
   trace_len : int Atomic.t;      (* = List.length trace, O(1) for tracing *)
@@ -89,14 +92,20 @@ type step_outcome = Progress | Blocked of txn list | Finished
 let infinity_key = "\255<infinity>"
 
 let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
-    ?(next_key_locking = false) ?(update_locks = false) () =
+    ?(next_key_locking = false) ?(update_locks = false) ?wal_dir
+    ?wal_segment_bytes ?wal_group_commit ?(checkpoint_every = 0)
+    ?(retain_trace = true) () =
   let stripes = max 1 stripes in
   {
     store = Store.of_list ~shards:stripes initial;
     vstore = Version_store.of_list initial;
     commit_ts = 0;
     locks = Lock_table.create ~stripes ~audit ();
-    wal = Wal.create ();
+    wal = Wal.create ?dir:wal_dir ?segment_bytes:wal_segment_bytes
+        ?group_commit:wal_group_commit ();
+    checkpoint_every;
+    commits_since_ckpt = 0;
+    retain_trace;
     trace = [];
     trace_m = Mutex.create ();
     trace_len = Atomic.make 0;
@@ -111,7 +120,7 @@ let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
 
 let emit t action =
   Mutex.lock t.trace_m;
-  t.trace <- action :: t.trace;
+  if t.retain_trace then t.trace <- action :: t.trace;
   Atomic.incr t.trace_len;
   (match t.trace_hook with
   | Some f -> f (Atomic.get t.trace_len - 1) action
@@ -451,16 +460,65 @@ let do_commit t st =
   st.status <- Committed;
   finish t st;
   emit t (Action.commit st.tid);
+  (* Periodic WAL checkpoint. A commit step's footprint is [All], so every
+     stripe is held here: the store image is consistent and no undo list
+     is mid-mutation. Still-active transactions are carried with their
+     undo journals so recovery can roll their pre-checkpoint writes out of
+     the image. *)
+  if t.checkpoint_every > 0 then begin
+    t.commits_since_ckpt <- t.commits_since_ckpt + 1;
+    if t.commits_since_ckpt >= t.checkpoint_every then begin
+      t.commits_since_ckpt <- 0;
+      let image = Store.to_list t.store in
+      Mutex.lock t.reg_m;
+      let slots = Atomic.get t.slots in
+      let active = ref [] in
+      let horizon = ref t.commit_ts in
+      Array.iter
+        (function
+          | Some st when st.status = Active ->
+            active := (st.tid, st.undo) :: !active;
+            if st.snapshot_ts < !horizon then horizon := st.snapshot_ts
+          | _ -> ())
+        slots;
+      (* Checkpoint cadence is also the version-store GC cadence: no
+         live snapshot reads below the oldest active snapshot_ts, so
+         versions visible only there are unreachable. Without this the
+         store grows by one version per committed write forever. *)
+      ignore (Version_store.prune t.vstore ~horizon:!horizon : int);
+      Mutex.unlock t.reg_m;
+      Wal.checkpoint t.wal ~image ~active:!active
+    end
+  end;
   Progress
 
 let do_abort t st reason =
   rollback t st reason;
   Progress
 
-(* Abort initiated from outside the program — deadlock victim. *)
+(* Abort initiated from outside the program — deadlock victim. A tid the
+   engine no longer knows (finished and forgotten) already reached a
+   terminal status, so the abort is a no-op, same as Committed/Aborted. *)
 let abort_txn t tid ~reason =
-  let st = state t tid in
-  match st.status with Active -> rollback t st reason | Committed | Aborted _ -> ()
+  match find_state t tid with
+  | Some st when st.status = Active -> rollback t st reason
+  | Some _ | None -> ()
+
+(* Release a finished transaction's slot. Tids are dense and never
+   reused, so without this the slot array retains every txn_state (env,
+   undo tail, cursor table) for the whole run — the dominant resident
+   cost of a 10^6-txn out-of-core run. Only terminal transactions are
+   dropped; the guard makes a racing forget of a tid that was never
+   begun (or is somehow still active) harmless. [reg_m] orders the write
+   against the array growth in [begin_txn]. *)
+let forget t tid =
+  Mutex.lock t.reg_m;
+  let a = Atomic.get t.slots in
+  (if tid >= 0 && tid < Array.length a then
+     match a.(tid) with
+     | Some st when st.status <> Active -> a.(tid) <- None
+     | _ -> ());
+  Mutex.unlock t.reg_m
 
 (* Which shards (store shards, lock buckets, stripe mutexes) a step of
    [op] touches. [All] is the conservative answer — the pool then holds
@@ -557,6 +615,12 @@ let step t tid (op : Program.op) =
 let stripes t = Lock_table.stripes t.locks
 let final_state t = Store.to_list t.store
 let wal t = t.wal
+
+(* Group-commit durability point: called by the runtime after the commit
+   step returns and its stripes are released, so concurrent committers
+   batch into one fsync instead of serialising it inside the critical
+   section. *)
+let wal_sync t = Wal.sync t.wal
 let store t = t.store
 let lock_events t = Lock_table.events t.locks
 let lock_stats t = Lock_table.stats t.locks

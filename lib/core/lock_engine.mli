@@ -33,6 +33,11 @@ val create :
   ?audit:bool ->
   ?next_key_locking:bool ->
   ?update_locks:bool ->
+  ?wal_dir:string ->
+  ?wal_segment_bytes:int ->
+  ?wal_group_commit:bool ->
+  ?checkpoint_every:int ->
+  ?retain_trace:bool ->
   unit ->
   t
 (** [stripes] (default 1) shards the store and the lock table by key hash
@@ -43,7 +48,15 @@ val create :
     no list. [next_key_locking] swaps the predicate-lock phantom guard
     for ARIES/KVL-style next-key locking on range predicates.
     [update_locks] makes for-update fetches take long U locks, trading
-    upgrade deadlocks for blocking. *)
+    upgrade deadlocks for blocking.
+
+    Out-of-core options: [wal_dir] puts the WAL on disk (segmented, see
+    {!Storage.Wal.create}; [wal_segment_bytes], [wal_group_commit] pass
+    through); [checkpoint_every] > 0 writes a WAL checkpoint — and
+    truncates the log behind it — every that many commits (both
+    backends); [retain_trace] = false drops the in-memory action list
+    (the trace hook and {!trace_len} still run) for runs too large to
+    materialize a history. *)
 
 (** The shards a step touches: [All] — hold every stripe (scans, cursor
     opens, commits, aborts, read-only snapshot reads, and everything
@@ -64,6 +77,12 @@ val status : t -> txn -> status
 val env : t -> txn -> Program.env
 val step : t -> txn -> Program.op -> step_outcome
 val abort_txn : t -> txn -> reason:abort_reason -> unit
+
+val forget : t -> txn -> unit
+(** Drop a finished transaction's slot (no-op while it is still active,
+    or for a tid never begun). Serialised against {!begin_txn}'s slot
+    array growth by the registration mutex. *)
+
 val trace : t -> History.t
 
 val trace_len : t -> int
@@ -76,6 +95,12 @@ val stripes : t -> int
 
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t
+
+val wal_sync : t -> unit
+(** Make every WAL record appended so far durable ({!Storage.Wal.sync} —
+    group commit). The runtime calls it after a commit step returns and
+    its stripes are released, so concurrent committers share one fsync. *)
+
 val store : t -> Storage.Store.t
 
 val lock_events : t -> Locking.Lock_table.event list

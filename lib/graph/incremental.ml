@@ -127,6 +127,7 @@ let remove_node t n =
 
 let mem_edge t a b = locked t (fun () -> Digraph.mem_edge t.g a b)
 let succs t n = locked t (fun () -> Digraph.succs t.g n)
+let preds t n = locked t (fun () -> Digraph.preds t.g n)
 let nodes t = locked t (fun () -> Digraph.nodes t.g)
 let node_count t = locked t (fun () -> Digraph.node_count t.g)
 let edge_count t = locked t (fun () -> Digraph.edge_count t.g)

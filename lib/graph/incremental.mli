@@ -38,6 +38,7 @@ val remove_node : t -> int -> unit
 
 val mem_edge : t -> int -> int -> bool
 val succs : t -> int -> int list
+val preds : t -> int -> int list
 val nodes : t -> int list
 val node_count : t -> int
 val edge_count : t -> int

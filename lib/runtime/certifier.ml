@@ -73,6 +73,9 @@ type summary = {
   cycles : int;
   dooms : int;
   misses : int;
+  prune_passes : int;
+  pruned_nodes : int;
+  pruned_eras : int;
   serializable : bool;
   witness : int list option;
   violations : violation list;
@@ -123,13 +126,26 @@ type t = {
   mutable cycles : int;
   mutable dooms : int;
   mutable misses : int;
+  (* Era pruning (single-version families): every [prune_every] commits
+     the settled bottom of each era stack is trimmed, committed
+     predicate readers/writers are folded into per-predicate virtual
+     nodes, and committed graph sources no structure references any
+     more are retired. 0 disables pruning. *)
+  prune_every : int;
+  mutable commits_seen : int;
+  mutable prune_passes : int;
+  mutable pruned_nodes : int;
+  mutable pruned_eras : int;
+  mutable vnext : int;                         (* next virtual (negative) id *)
+  vpreds : (string, int * int) Hashtbl.t;      (* pred -> (vreader, vwriter) *)
   on_edge : (src:int -> dst:int -> dep:string -> unit) option;
   on_cycle : (violation -> unit) option;
 }
 
 let max_stored_violations = 64
 
-let create ?on_edge ?on_cycle ?(batch = false) ~mode ~family () =
+let create ?on_edge ?on_cycle ?(batch = false) ?(prune_every = 0) ~mode
+    ~family () =
   {
     mode;
     family;
@@ -154,6 +170,13 @@ let create ?on_edge ?on_cycle ?(batch = false) ~mode ~family () =
     cycles = 0;
     dooms = 0;
     misses = 0;
+    prune_every;
+    commits_seen = 0;
+    prune_passes = 0;
+    pruned_nodes = 0;
+    pruned_eras = 0;
+    vnext = -1;
+    vpreds = Hashtbl.create 8;
     on_edge;
     on_cycle;
   }
@@ -359,6 +382,150 @@ let sv_purge t tid =
   Hashtbl.remove t.wpreds_of tid;
   Hashtbl.remove t.preads_of tid
 
+(* {2 Era pruning}
+
+   An exact verdict does not require the whole graph: a committed
+   transaction that (a) has no in-edges and (b) is named by no structure
+   a future rule could read a tid from — era stacks, predicate lists,
+   the per-transaction tables, the pending (rejected) edges — can never
+   again gain an in-edge, so no cycle can pass through it, and its node
+   can be dropped without changing any future insertion's outcome
+   (closure-preserving, like the abort purge). Three steps make such
+   sources appear, run every [prune_every] commits:
+
+   - Era trimming: drop a key's bottom era once both its writer and the
+     writer directly above are committed (or the initial 0). A committed
+     writer is never abort-purged, so the dropped era can never be
+     needed as a purge's below-neighbour. A later snapshot read
+     annotated with a trimmed version falls back to the top era —
+     exactly the fallback already taken for versions predating the
+     certifier — which only arises for long-running read-only
+     transactions (none in the stress mixes).
+
+   - Predicate folding: the flat predicate lists mean every committed
+     past reader r would get an rw edge to every future matching
+     writer. That biclique is compressed exactly through a per-predicate
+     virtual node: r is linked r -> VR once and replaced by VR in the
+     list, so the future edges VR -> w complete the same paths; dually
+     committed writers fold into w -> VW with VW emitting the future
+     wr edges. Virtual ids are negative, committed, and never retired,
+     so cycles through them are genuine committed-projection cycles.
+
+   - Retirement: with the structures thinned, committed unreferenced
+     graph sources are removed, cascading along their out-edges.
+
+   The multiversion family is not pruned: its version order and
+   per-version reader tables stay legitimately readable by arbitrarily
+   old snapshots, which the certifier does not timestamp (see the MV
+   crash-model roadmap item). *)
+
+let committed_or_initial t n = n = 0 || status_of t n = Committed
+
+let trim_eras t =
+  Hashtbl.iter
+    (fun _ (s : key_sv) ->
+      let rec drop = function
+        | (bottom : era) :: (above :: _ as rest)
+          when committed_or_initial t bottom.writer
+               && committed_or_initial t above.writer ->
+          t.pruned_eras <- t.pruned_eras + 1;
+          drop rest
+        | rest -> rest
+      in
+      let bottom_first = List.rev s.eras in
+      let trimmed = drop bottom_first in
+      if trimmed != bottom_first then s.eras <- List.rev trimmed)
+    t.keys_sv
+
+let virtual_pair t p =
+  match Hashtbl.find_opt t.vpreds p with
+  | Some pair -> pair
+  | None ->
+    let vr = t.vnext and vw = t.vnext - 1 in
+    t.vnext <- t.vnext - 2;
+    Hashtbl.replace t.status vr Committed;
+    Hashtbl.replace t.status vw Committed;
+    Hashtbl.replace t.vpreds p (vr, vw);
+    (vr, vw)
+
+let fold_preds t =
+  Hashtbl.iter
+    (fun p ps ->
+      let live n = n > 0 && status_of t n <> Committed in
+      let folded_r = List.filter (fun r -> r > 0 && status_of t r = Committed) ps.preaders in
+      let folded_w = List.filter (fun w -> w > 0 && status_of t w = Committed) ps.pwriters in
+      if folded_r <> [] then begin
+        let vr, _ = virtual_pair t p in
+        List.iter (fun r -> offer ~dep:Rw t r vr) folded_r;
+        ps.preaders <- vr :: List.filter live ps.preaders
+      end;
+      if folded_w <> [] then begin
+        let _, vw = virtual_pair t p in
+        List.iter (fun w -> offer ~dep:Wr t w vw) folded_w;
+        ps.pwriters <- vw :: List.filter live ps.pwriters
+      end)
+    t.preds
+
+let retire_sources t =
+  let referenced = Hashtbl.create 256 in
+  let mark n = Hashtbl.replace referenced n () in
+  Hashtbl.iter
+    (fun _ (s : key_sv) ->
+      List.iter
+        (fun (e : era) ->
+          mark e.writer;
+          List.iter mark e.readers)
+        s.eras)
+    t.keys_sv;
+  Hashtbl.iter
+    (fun _ ps ->
+      List.iter mark ps.preaders;
+      List.iter mark ps.pwriters)
+    t.preds;
+  List.iter
+    (fun (src, dst, _) ->
+      mark src;
+      mark dst)
+    t.pending_edges;
+  Hashtbl.iter (fun tid _ -> mark tid) t.written;
+  Hashtbl.iter (fun tid _ -> mark tid) t.wpreds_of;
+  Hashtbl.iter (fun tid _ -> mark tid) t.preads_of;
+  let retirable n =
+    n > 0
+    && (match Hashtbl.find_opt t.status n with
+       | Some Committed -> true
+       | _ -> false)
+    && (not (Hashtbl.mem referenced n))
+    && Graph.Incremental.preds t.g n = []
+  in
+  let roots =
+    Hashtbl.fold (fun n _ acc -> if retirable n then n :: acc else acc) t.status []
+  in
+  (* Removing a source exposes its successors; cascade within the pass. *)
+  let rec go = function
+    | [] -> ()
+    | n :: rest when not (Hashtbl.mem t.status n) -> go rest
+    | n :: rest ->
+      let succs = Graph.Incremental.succs t.g n in
+      Graph.Incremental.remove_node t.g n;
+      Hashtbl.remove t.status n;
+      Hashtbl.remove t.doomed_tbl n;
+      t.pruned_nodes <- t.pruned_nodes + 1;
+      go (List.filter retirable succs @ rest)
+  in
+  go roots
+
+let maybe_prune t =
+  if t.prune_every > 0 then begin
+    t.commits_seen <- t.commits_seen + 1;
+    if t.commits_seen mod t.prune_every = 0 then begin
+      t.prune_passes <- t.prune_passes + 1;
+      trim_eras t;
+      fold_preds t;
+      retire_sources t
+    end
+  end
+
 (* {2 Multiversion rules} *)
 
 let key_mv t k =
@@ -458,7 +625,14 @@ let observe_locked t (a : Action.t) =
     | Action.Read r -> sv_read t tid r.rk r.rver
     | Action.Write w -> sv_write t tid w.wk w.wpreds
     | Action.Pred_read p -> sv_pred_read t tid p.pname p.pkeys
-    | Action.Commit _ -> Hashtbl.replace t.status tid Committed
+    | Action.Commit _ ->
+      Hashtbl.replace t.status tid Committed;
+      (* a committed transaction is never purged, so its per-txn tables
+         are dead weight from here on *)
+      Hashtbl.remove t.written tid;
+      Hashtbl.remove t.wpreds_of tid;
+      Hashtbl.remove t.preads_of tid;
+      maybe_prune t
     | Action.Abort _ ->
       Hashtbl.replace t.status tid Aborted;
       sv_purge t tid;
@@ -524,6 +698,9 @@ type stats = {
   s_cycles : int;
   s_dooms : int;
   s_misses : int;
+  s_prune_passes : int;
+  s_pruned_nodes : int;   (* committed nodes retired from the graph *)
+  s_pruned_eras : int;    (* settled era-stack entries trimmed *)
 }
 
 let stats t =
@@ -548,6 +725,9 @@ let stats t =
         s_cycles = t.cycles;
         s_dooms = t.dooms;
         s_misses = t.misses;
+        s_prune_passes = t.prune_passes;
+        s_pruned_nodes = t.pruned_nodes;
+        s_pruned_eras = t.pruned_eras;
       })
 
 (* {2 The final verdict}
@@ -598,6 +778,9 @@ let finalize t =
         cycles = t.cycles;
         dooms = t.dooms;
         misses = t.misses;
+        prune_passes = t.prune_passes;
+        pruned_nodes = t.pruned_nodes;
+        pruned_eras = t.pruned_eras;
         serializable = !witness = None;
         witness = !witness;
         violations = List.rev t.violations;
@@ -632,10 +815,18 @@ let pp_violation ppf v =
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
     "certifier (%a): %d wr + %d ww + %d rw edges, %d cycle%s rejected, %d \
-     doomed, %d missed; committed projection %s"
+     doomed, %d missed%s; committed projection %s"
     pp_mode s.mode s.edges_wr s.edges_ww s.edges_rw s.cycles
     (if s.cycles = 1 then "" else "s")
     s.dooms s.misses
+    (if s.prune_passes = 0 then ""
+     else
+       Fmt.str ", %d node%s + %d era%s pruned over %d pass%s" s.pruned_nodes
+         (if s.pruned_nodes = 1 then "" else "s")
+         s.pruned_eras
+         (if s.pruned_eras = 1 then "" else "s")
+         s.prune_passes
+         (if s.prune_passes = 1 then "" else "es"))
     (match s.witness with
     | None -> "serializable"
     | Some c -> Fmt.str "cyclic: %a" pp_cycle c)
@@ -644,10 +835,10 @@ let to_json (s : summary) =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       {|{"mode":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"graph":{"nodes":%d,"edges":%d},"cycles":%d,"dooms":%d,"misses":%d,"serializable":%b|}
+       {|{"mode":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"graph":{"nodes":%d,"edges":%d},"cycles":%d,"dooms":%d,"misses":%d,"prune":{"passes":%d,"nodes":%d,"eras":%d},"serializable":%b|}
        (match s.mode with Observe -> "observe" | Enforce -> "enforce")
        s.edges_wr s.edges_ww s.edges_rw s.nodes s.edges s.cycles s.dooms
-       s.misses s.serializable);
+       s.misses s.prune_passes s.pruned_nodes s.pruned_eras s.serializable);
   (match s.witness with
   | Some c ->
     Buffer.add_string b ",\"witness\":[";

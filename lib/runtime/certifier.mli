@@ -38,6 +38,9 @@ type summary = {
   cycles : int;          (** closing edges rejected during the run *)
   dooms : int;           (** transactions doomed (Enforce) *)
   misses : int;          (** cycles with no active member left to doom *)
+  prune_passes : int;    (** era-pruning passes run (see {!create}) *)
+  pruned_nodes : int;    (** committed nodes retired from the graph *)
+  pruned_eras : int;     (** settled era-stack entries trimmed *)
   serializable : bool;   (** the committed projection's final verdict *)
   witness : int list option;
   violations : violation list;  (** at most 64 retained, in order *)
@@ -49,6 +52,7 @@ val create :
   ?on_edge:(src:int -> dst:int -> dep:string -> unit) ->
   ?on_cycle:(violation -> unit) ->
   ?batch:bool ->
+  ?prune_every:int ->
   mode:mode ->
   family:family ->
   unit ->
@@ -64,7 +68,17 @@ val create :
     work happens on the next {!flush}, {!doomed} poll or {!finalize}.
     Buffer order equals history order because the engine serializes its
     trace hook, so verdicts are unchanged; only the locus of the work
-    moves. *)
+    moves.
+
+    [prune_every] > 0 (default 0, off) bounds memory for long
+    single-version runs: every that many commits, settled era-stack
+    bottoms are trimmed, committed predicate readers/writers are folded
+    into per-predicate virtual nodes (an exact biclique compression),
+    and committed graph sources no structure references any more are
+    retired. The verdict is unchanged — a retired node can never gain
+    another in-edge, so no future cycle can pass through it. The
+    multiversion family ignores it (old snapshots may still read any
+    buried version). *)
 
 val observe : t -> int -> History.Action.t -> unit
 (** Feed one action, in history order; the [int] is its position
@@ -91,6 +105,9 @@ type stats = {
   s_cycles : int;
   s_dooms : int;
   s_misses : int;         (** cycles with no active member left to doom *)
+  s_prune_passes : int;   (** era-pruning passes run so far *)
+  s_pruned_nodes : int;   (** committed nodes retired from the graph *)
+  s_pruned_eras : int;    (** settled era-stack entries trimmed *)
 }
 
 val stats : t -> stats

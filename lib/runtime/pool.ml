@@ -109,6 +109,13 @@ type config = {
   watchdog_us : float option;    (* stuck-worker threshold; None = no watchdog *)
   certify : bool;                (* online certification: doom cycle closers *)
   certify_batch : bool;          (* buffer certifier offers outside the trace lock *)
+  prune_every : int;             (* certifier era-pruning cadence; 0 = off *)
+  wal_dir : string option;       (* segmented on-disk WAL; None = in-memory *)
+  wal_segment_bytes : int option;(* segment rotation threshold *)
+  wal_group_commit : bool;       (* batch commit fsyncs; false = one per commit *)
+  checkpoint_every : int;        (* commits between WAL checkpoints; 0 = never *)
+  keep_history : bool;           (* false: out-of-core — drop the trace, skip the oracle *)
+  spill_dir : string option;     (* recorder journal spill directory *)
   stop : bool Atomic.t option;   (* drain flag: finish in-flight, take no new jobs *)
 }
 
@@ -129,7 +136,9 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(backoff = Backoff.default) ?(retry_backoff = default_retry_backoff)
     ?(oracle_phenomena = Phenomena.Phenomenon.all) ?oracle_window ?(seed = 1)
     ?trace ?fault ?deadline_us ?watchdog_us ?(certify = false)
-    ?(certify_batch = true) ?stop () =
+    ?(certify_batch = true) ?(prune_every = 4096) ?wal_dir ?wal_segment_bytes
+    ?(wal_group_commit = true) ?(checkpoint_every = 0) ?(keep_history = true)
+    ?spill_dir ?stop () =
   {
     workers = max 1 workers;
     initial;
@@ -154,6 +163,13 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     watchdog_us;
     certify;
     certify_batch;
+    prune_every = max 0 prune_every;
+    wal_dir;
+    wal_segment_bytes;
+    wal_group_commit;
+    checkpoint_every = max 0 checkpoint_every;
+    keep_history;
+    spill_dir;
     stop;
   }
 
@@ -164,6 +180,7 @@ type live = {
   lock_stats : Locking.Lock_table.stats option;
   lock_stripes : int;
   wal_entries : int;
+  wal_stats : Storage.Wal.stats option;
   history_len : int;
 }
 
@@ -172,7 +189,7 @@ type result = {
   final : (Action.key * Action.value) list;
   metrics : Metrics.snapshot;
   journal : Recorder.entry list;
-  oracle : Oracle.t;
+  oracle : Oracle.t option;
   certifier : Certifier.summary option; (* online verdict, when certifying *)
   lock_stats : Locking.Lock_table.stats option;
   events : Trace.Event.t list;
@@ -538,6 +555,11 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   let status =
     with_aux_exclusion sh ~tid (fun () -> Engine.status sh.engine tid)
   in
+  (* Group-commit durability point: the commit record was appended under
+     the commit's stripes; the fsync that makes it durable happens here,
+     holding no stripes, batched with every other worker waiting at the
+     same point ({!Core.Engine.wal_sync}). *)
+  if status = Engine.Committed then Engine.wal_sync sh.engine;
   let finish_ns = now_ns () in
   let outcome =
     match status with
@@ -556,6 +578,10 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   in
   Recorder.record sh.recorder ~job:jidx ~name:job.name ~level:job.level ~tid
     ~attempt ~worker:widx ~start_ns ~finish_ns outcome;
+  (* Everything the runtime will ever ask the engine about this tid has
+     been asked (the status read above; env reads happen mid-program);
+     release its slot so long runs don't retain every finished txn. *)
+  Engine.forget sh.engine tid;
   (outcome, tid, finish_ns - start_ns)
 
 (* Retry policy: user aborts are the program's own decision and final;
@@ -624,6 +650,9 @@ let make_shared (cfg : config) ~family =
       ~stripes:nstripes ~audit:false
       ~first_updater_wins:cfg.first_updater_wins
       ~next_key_locking:cfg.next_key_locking ~update_locks:cfg.update_locks
+      ?wal_dir:cfg.wal_dir ?wal_segment_bytes:cfg.wal_segment_bytes
+      ~wal_group_commit:cfg.wal_group_commit
+      ~checkpoint_every:cfg.checkpoint_every ~retain_trace:cfg.keep_history
       ~family ()
   in
   let certifier =
@@ -648,7 +677,7 @@ let make_shared (cfg : config) ~family =
       in
       Some
         (Certifier.create ?on_edge ?on_cycle ~batch:cfg.certify_batch
-           ~mode:Certifier.Enforce ~family ())
+           ~prune_every:cfg.prune_every ~mode:Certifier.Enforce ~family ())
     end
   in
   let sh =
@@ -664,7 +693,7 @@ let make_shared (cfg : config) ~family =
       detector = Mutex.create ();
       next_tid = Atomic.make 1;
       metrics = Metrics.create ~stripes:nstripes ();
-      recorder = Recorder.create ~stripes:cfg.workers ();
+      recorder = Recorder.create ~stripes:cfg.workers ?spill_dir:cfg.spill_dir ();
       sink = cfg.trace;
       hb = Array.init (max 1 cfg.workers) (fun _ -> Atomic.make 0);
       hb_tid = Array.init (max 1 cfg.workers) (fun _ -> Atomic.make 0);
@@ -739,10 +768,18 @@ let collect_result (cfg : config) sh =
     history;
     final = Engine.final_state sh.engine;
     metrics = Metrics.snapshot sh.metrics;
-    journal = Recorder.entries sh.recorder;
+    (* Out-of-core runs ([keep_history = false]) recorded no engine trace,
+       so there is nothing for the oracle to check — the online certifier
+       is the verdict — and the journal, possibly spilled to disk, is not
+       materialized back into memory (stream it with
+       {!Recorder.iter_entries} instead). *)
+    journal = (if cfg.keep_history then Recorder.entries sh.recorder else []);
     oracle =
-      Oracle.check ~phenomena:cfg.oracle_phenomena ?window:cfg.oracle_window
-        history;
+      (if cfg.keep_history then
+         Some
+           (Oracle.check ~phenomena:cfg.oracle_phenomena
+              ?window:cfg.oracle_window history)
+       else None);
     certifier = Option.map Certifier.finalize sh.certifier;
     lock_stats = Engine.lock_stats sh.engine;
     events;
@@ -771,6 +808,7 @@ let live_of_shared sh : live =
       (match Engine.wal sh.engine with
       | None -> 0
       | Some w -> Storage.Wal.length w);
+    wal_stats = Option.map Storage.Wal.stats (Engine.wal sh.engine);
     history_len = Engine.trace_len sh.engine;
   }
 
@@ -824,6 +862,20 @@ let run ?monitor cfg jobs =
     else
       let i = Atomic.fetch_and_add next 1 in
       if i < Array.length jobs then Some (i, jobs.(i)) else None
+  in
+  run_with cfg ?monitor ~family ~next_job
+
+(* Counted generator runs: like [run], but jobs are generated on demand
+   instead of materialized as an array — a million-transaction run holds
+   only the jobs in flight. *)
+let run_n ?monitor cfg ~txns ~gen =
+  let family = family_for cfg [ (gen 0).level ] in
+  let next = Atomic.make 0 in
+  let next_job () =
+    if draining cfg then None
+    else
+      let i = Atomic.fetch_and_add next 1 in
+      if i < txns then Some (i, gen i) else None
   in
   run_with cfg ?monitor ~family ~next_job
 
@@ -1010,6 +1062,9 @@ let exec_finish t ~worker ~tid ~job ~name ~level ~attempt ~start_ns ~wait_ns =
   let status =
     with_aux_exclusion sh ~tid (fun () -> Engine.status sh.engine tid)
   in
+  (* As in [run_attempt]: the committed session waits out its group-commit
+     fsync here, holding no stripes. *)
+  if status = Engine.Committed then Engine.wal_sync sh.engine;
   let finish_ns = now_ns () in
   let outcome =
     match status with
@@ -1028,6 +1083,9 @@ let exec_finish t ~worker ~tid ~job ~name ~level ~attempt ~start_ns ~wait_ns =
   in
   Recorder.record sh.recorder ~job ~name ~level ~tid ~attempt ~worker
     ~start_ns ~finish_ns outcome;
+  (* As in [run_attempt]: the session front-end reads env mid-transaction
+     and finishes last, so nothing will query this tid again. *)
+  Engine.forget sh.engine tid;
   outcome
 
 let exec_note_wait t ~slept_ns =

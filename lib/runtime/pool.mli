@@ -131,6 +131,43 @@ type config = {
           engine step — instead of inside the trace lock. Verdicts are
           identical; [false] restores the unbatched feed (the bench's
           comparison baseline). *)
+  prune_every : int;
+      (** certifier era-pruning cadence (default 4096, 0 = off): every
+          that many commits the certifier trims settled era-stack
+          bottoms, folds committed predicate readers/writers into
+          virtual nodes and retires unreferenced committed sources, so
+          certified out-of-core runs keep a bounded dependency graph.
+          Verdict-preserving ({!Certifier.create}). *)
+  wal_dir : string option;
+      (** directory for the locking engine's segmented on-disk WAL
+          (created if missing). [None] (the default) keeps the log in
+          memory, exactly as before. *)
+  wal_segment_bytes : int option;
+      (** WAL segment rotation threshold (default 4 MiB). *)
+  wal_group_commit : bool;
+      (** [true] (the default) batches commit fsyncs: the committing
+          worker parks at {!Core.Engine.wal_sync} and one leader fsyncs
+          for everyone queued behind it. [false] fsyncs once per commit
+          — the durability baseline the group-commit speedup is measured
+          against. On-disk logs only. *)
+  checkpoint_every : int;
+      (** commits between WAL checkpoints (default 0 = never): each
+          checkpoint logs the committed store image plus the active
+          transactions' undo journals and truncates everything older —
+          on disk that unlinks wholly-retired segments, in memory it
+          collapses the record list — so the log stays bounded. *)
+  keep_history : bool;
+      (** [true] (the default) keeps the full engine trace and runs the
+          post-run oracle over it. [false] is the out-of-core mode: the
+          engine appends nothing to its in-memory trace (the WAL and the
+          certifier feed still see every action), {!field:result.history}
+          comes back empty, {!field:result.oracle} is [None] and
+          {!field:result.journal} is not materialized — the online
+          certifier is the serializability verdict. *)
+  spill_dir : string option;
+      (** directory for the attempt recorder's journal spill files
+          (created if missing): stripes flush to disk past a threshold
+          and only live tails stay resident ({!Recorder.create}). *)
   stop : bool Atomic.t option;
       (** drain flag: when the atomic flips to [true], workers finish the
           job in hand (retries included), take no new jobs, and the run
@@ -163,6 +200,13 @@ val config :
   ?watchdog_us:float ->
   ?certify:bool ->
   ?certify_batch:bool ->
+  ?prune_every:int ->
+  ?wal_dir:string ->
+  ?wal_segment_bytes:int ->
+  ?wal_group_commit:bool ->
+  ?checkpoint_every:int ->
+  ?keep_history:bool ->
+  ?spill_dir:string ->
   ?stop:bool Atomic.t ->
   unit ->
   config
@@ -181,7 +225,10 @@ type live = {
   certifier : Certifier.stats option;
   lock_stats : Locking.Lock_table.stats option;
   lock_stripes : int;   (** key stripes backing the lock table / store *)
-  wal_entries : int;    (** records in the locking engine's log *)
+  wal_entries : int;    (** live records in the locking engine's log *)
+  wal_stats : Storage.Wal.stats option;
+      (** segment / sync / checkpoint / batch-histogram gauges of the
+          locking engine's log ({!Storage.Wal.stats}) *)
   history_len : int;    (** actions in the recorded history *)
 }
 
@@ -195,7 +242,12 @@ type result = {
   final : (Action.key * Action.value) list;
   metrics : Metrics.snapshot;
   journal : Recorder.entry list;
-  oracle : Oracle.t;
+      (** the merged attempt journal; empty when [config.keep_history]
+          is [false] (out-of-core runs leave it spilled on disk) *)
+  oracle : Oracle.t option;
+      (** the post-run oracle's verdict over {!field:history}; [None]
+          when [config.keep_history] is [false] — no trace was kept, and
+          the online certifier supplies the verdict instead *)
   certifier : Certifier.summary option;
       (** the online certifier's finalized verdict and edge/cycle
           accounting ([Some] iff [config.certify]) *)
@@ -231,6 +283,15 @@ val run : ?monitor:((unit -> live) -> unit) -> config -> job array -> result
     thread; the callback itself must return promptly — the calling
     domain becomes worker 0). The sampler must not be used after [run]
     returns. *)
+
+val run_n :
+  ?monitor:((unit -> live) -> unit) ->
+  config -> txns:int -> gen:(int -> job) -> result
+(** [run] with the batch generated on demand: workers call [gen] with
+    indices [0 .. txns - 1] and stop. Equivalent to
+    [run cfg (Array.init txns gen)] without materializing the array —
+    the entry point for out-of-core transaction counts. [gen] must be
+    pure, as in {!run_for}. *)
 
 val run_for :
   ?monitor:((unit -> live) -> unit) ->

@@ -10,6 +10,7 @@
 module Stripes = Stripes
 module Backoff = Backoff
 module Metrics = Metrics
+module Sysmem = Sysmem
 module Recorder = Recorder
 module Certifier = Certifier
 module Oracle = Oracle

@@ -13,6 +13,18 @@
    discipline its data write never reached the store either — so torn
    records simply do not exist for recovery. See Wal's torn-tail notes.
 
+   Checkpoints. A truncated log's first intact record is a Checkpoint
+   carrying the store image at that instant plus, for each transaction
+   then active, the before-images of its writes so far (its undo
+   journal). Replay starts from the image instead of the initial
+   database. A carried transaction that commits later is already fully
+   accounted for (pre-checkpoint writes in the image, later ones in the
+   log); one that aborted later was rolled back at run time and its
+   compensation updates are in the log; one with no intact terminal
+   record is a loser whose pre-checkpoint writes only the carried journal
+   can undo. A checkpoint seen mid-log (not leading) is a consistency
+   no-op: its image equals the replay of everything before it.
+
    With long write locks (no P0), each item's updates by different
    transactions never interleave, so before-images compose correctly.
    Under P0 they do not: for the log of w1[x] w2[x] with T1 in flight at
@@ -34,43 +46,76 @@ let txn_set txns =
   List.iter (fun t -> Hashtbl.replace h t ()) txns;
   h
 
+(* Split the intact log into its replay base and the records after it: a
+   leading checkpoint's image replaces [initial], and its active list
+   carries the undo journals recovery may need. *)
+let base_of ~initial intact =
+  match intact with
+  | Wal.Checkpoint { image; active } :: rest ->
+    (Store.of_list ~shards:(Store.shards initial) image, active, rest)
+  | rest -> (Store.copy initial, [], rest)
+
 (* Apply the log forward to reconstruct the state at the crash, starting
-   from the initial database. *)
+   from the replay base. *)
 let replay ~initial log =
-  let s = Store.copy initial in
+  let s, _, rest = base_of ~initial (Wal.intact log) in
   List.iter
     (function
       | Wal.Update { k; after; _ } -> Store.restore s k after
-      | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
-    (Wal.intact log);
+      | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+    rest;
   s
 
-(* Undo losers by restoring before-images, newest first. Aborted
-   transactions were compensated at run time and need no further undo. *)
+(* Undo losers by restoring before-images, newest first: first their
+   logged post-checkpoint updates, then the carried journals for their
+   pre-checkpoint writes. Aborted transactions were compensated at run
+   time and need no further undo. *)
 let recover ~initial log =
-  let state = replay ~initial log in
+  let intact = Wal.intact log in
+  let state, carried, rest = base_of ~initial intact in
+  List.iter
+    (function
+      | Wal.Update { k; after; _ } -> Store.restore state k after
+      | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+    rest;
   let to_undo = Wal.losers log in
   let losing = txn_set to_undo in
   List.iter
     (function
       | Wal.Update { t; k; before; _ } when Hashtbl.mem losing t ->
         Store.restore state k before
-      | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
-    (List.rev (Wal.intact log));
+      | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _
+      | Wal.Checkpoint _ -> ())
+    (List.rev rest);
+  List.iter
+    (fun (t, journal) ->
+      if Hashtbl.mem losing t then
+        List.iter (fun (k, before) -> Store.restore state k before) journal)
+    carried;
   { state; undone = List.sort_uniq compare to_undo }
 
-(* The correct post-crash state, for comparison: replay only the updates of
-   committed transactions, in order. This is what a recovery manager is
-   supposed to produce. *)
+(* The correct post-crash state, for comparison: the committed image. From
+   the base, first strip the uncommitted writes a leading checkpoint baked
+   into its image (every carried transaction without an intact Commit —
+   losers and the later-aborted alike, since compensation updates are not
+   replayed here), then apply committed transactions' updates in order.
+   This is what a recovery manager is supposed to produce. *)
 let ideal_state ~initial log =
+  let intact = Wal.intact log in
+  let s, carried, rest = base_of ~initial intact in
   let committed = txn_set (Wal.committed log) in
-  let s = Store.copy initial in
+  List.iter
+    (fun (t, journal) ->
+      if not (Hashtbl.mem committed t) then
+        List.iter (fun (k, before) -> Store.restore s k before) journal)
+    carried;
   List.iter
     (function
       | Wal.Update { t; k; after; _ } when Hashtbl.mem committed t ->
         Store.restore s k after
-      | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ())
-    (Wal.intact log);
+      | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _
+      | Wal.Checkpoint _ -> ())
+    rest;
   s
 
 (* Recovery is correct when before-image undo reproduces the ideal state. *)

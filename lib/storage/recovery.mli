@@ -5,7 +5,11 @@
     Recovery believes only the intact records of the log: a torn tail
     never took effect (and under WAL discipline its store write never
     happened), so the transaction it belongs to is treated as in flight.
-    See {!Wal} for torn-tail semantics. *)
+    See {!Wal} for torn-tail semantics.
+
+    A truncated log (leading {!Wal.record.Checkpoint}) replays from the
+    checkpoint image; carried active transactions without an intact
+    terminal record are undone from their carried journals. *)
 
 type outcome = {
   state : Store.t;        (** state after recovery *)

@@ -13,7 +13,18 @@
     [Commit]/[Abort] never took effect — so [committed], [aborted] and
     [losers] are computed over the intact records only. In particular a
     transaction whose terminal record is the torn tail is still in
-    flight and must be undone. *)
+    flight and must be undone.
+
+    {2 Backends}
+
+    [create ()] is the original in-memory log. [create ~dir ()] appends
+    to segmented on-disk files instead — u32-length-prefixed binary
+    records, a new segment every [segment_bytes], the finished segment
+    fsync'd at rotation — with durability batched by {!sync} (group
+    commit) and the log kept bounded by {!checkpoint} truncation. Crash
+    images built from a disk log ([prefix]/[torn_prefix]/[load]) are
+    in-memory logs, so everything downstream (recovery, crash-point
+    enumeration) is backend-agnostic. *)
 
 type key = History.Action.key
 type value = History.Action.value
@@ -24,16 +35,63 @@ type record =
   | Update of { t : txn; k : key; before : value option; after : value option }
   | Commit of txn
   | Abort of txn
+  | Checkpoint of {
+      image : (key * value) list;
+          (** committed store image at the checkpoint *)
+      active : (txn * (key * value option) list) list;
+          (** still-active transactions and their undo journals
+              (key, before-image), newest first *)
+    }
+      (** A checkpoint record makes every earlier record redundant: replay
+          starts from [image], and a carried active transaction that never
+          reaches an intact terminal record is undone from its carried
+          journal. Written by {!checkpoint}, which also truncates. *)
 
 val pp_record : record Fmt.t
 
 type t
 
-val create : unit -> t
+val create :
+  ?dir:string -> ?segment_bytes:int -> ?group_commit:bool -> unit -> t
+(** No [dir]: in-memory log, as before. With [dir] (created if missing):
+    segmented on-disk log rotating every [segment_bytes] (default 4 MiB,
+    min 512 B). [group_commit] (default [true]) batches concurrent
+    {!sync} calls into one fsync; [false] is the per-commit-fsync
+    baseline. *)
+
 val append : t -> record -> unit
+(** Buffers to the current segment on the disk backend — durable only
+    after {!sync} (or a segment rotation). *)
+
+val sync : t -> unit
+(** Group commit: make every record appended so far durable. The first
+    caller becomes the leader and fsyncs once for the whole batch;
+    concurrent callers covered by that batch return without their own
+    fsync. No-op on the in-memory backend. *)
+
+val checkpoint :
+  t ->
+  image:(key * value) list ->
+  active:(txn * (key * value option) list) list ->
+  unit
+(** Write a [Checkpoint] record at the head of a fresh segment and unlink
+    every segment wholly below it; the in-memory backend drops the
+    records list behind the checkpoint. The caller must pass a consistent
+    committed [image] and the undo journals of the transactions [active]
+    at that instant (the lock engine holds all stripes when it calls
+    this). *)
+
+val close : t -> unit
+(** Flush and close the disk backend. No-op in memory. *)
+
+val load : dir:string -> t
+(** Reopen a log directory after a crash: decode the surviving segments
+    into an in-memory log image. A trailing partially-written record is
+    dropped — it never became durable. *)
 
 val records : t -> record list
-(** In append order, including the torn tail when there is one. *)
+(** In append order, including the torn tail when there is one. The disk
+    backend decodes its live segments (post-truncation). *)
 
 val intact : t -> record list
 (** In append order, excluding the torn tail: the trustworthy log. *)
@@ -43,6 +101,7 @@ val torn_tail : t -> record option
     [None] for a live log or an untorn prefix. *)
 
 val length : t -> int
+(** Live (post-truncation) record count. O(1). *)
 
 val committed : t -> txn list
 (** Transactions with an intact [Commit]. A [Commit] torn off the tail
@@ -51,8 +110,9 @@ val committed : t -> txn list
 val aborted : t -> txn list
 
 val losers : t -> txn list
-(** Transactions with an intact [Begin] but no intact terminal record —
-    in flight at the crash. Includes a transaction whose [Commit] or
+(** Transactions with an intact [Begin] — or carried in a leading
+    [Checkpoint]'s active list — but no intact terminal record: in
+    flight at the crash. Includes a transaction whose [Commit] or
     [Abort] is the torn tail. *)
 
 val prefix : t -> int -> t
@@ -66,4 +126,17 @@ val torn_prefix : t -> int -> t
     tail, [1 <= n <= length log]. Raises [Invalid_argument] out of
     range. *)
 
+type stats = {
+  w_records : int;  (** live records, post-truncation *)
+  w_segments : int;  (** live segment files (0 in memory) *)
+  w_disk_bytes : int;  (** bytes across live segments *)
+  w_syncs : int;  (** fsync batches issued by {!sync} *)
+  w_checkpoints : int;
+  w_truncated_segments : int;  (** segments unlinked below checkpoints *)
+  w_batch_hist : (int * int) list;
+      (** (commit-batch-size bucket upper bound, fsyncs): the group-commit
+          evidence — at high concurrency the mass sits in buckets > 1 *)
+}
+
+val stats : t -> stats
 val pp : t Fmt.t

@@ -49,9 +49,10 @@ let to_json t =
   | Some (s : Certifier.stats) ->
     Buffer.add_string b
       (Printf.sprintf
-         {|,"certifier":{"nodes":%d,"edges":%d,"queue":%d,"pending":%d,"dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d}|}
+         {|,"certifier":{"nodes":%d,"edges":%d,"queue":%d,"pending":%d,"dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d,"prune":{"passes":%d,"nodes":%d,"eras":%d}}|}
          s.s_nodes s.s_edges s.s_queue s.s_pending s.s_edges_wr s.s_edges_ww
-         s.s_edges_rw s.s_cycles s.s_dooms s.s_misses));
+         s.s_edges_rw s.s_cycles s.s_dooms s.s_misses s.s_prune_passes
+         s.s_pruned_nodes s.s_pruned_eras));
   (match t.live.Pool.lock_stats with
   | None -> ()
   | Some (s : Locking.Lock_table.stats) ->
@@ -62,6 +63,21 @@ let to_json t =
   Buffer.add_string b
     (Printf.sprintf {|,"wal_entries":%d,"history_len":%d|}
        t.live.Pool.wal_entries t.live.Pool.history_len);
+  (match t.live.Pool.wal_stats with
+  | None -> ()
+  | Some (w : Storage.Wal.stats) ->
+    let hist =
+      String.concat ","
+        (List.map
+           (fun (le, n) -> Printf.sprintf {|"%d":%d|} le n)
+           w.Storage.Wal.w_batch_hist)
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         {|,"wal":{"records":%d,"segments":%d,"disk_bytes":%d,"syncs":%d,"checkpoints":%d,"truncated_segments":%d,"batch_hist":{%s}}|}
+         w.Storage.Wal.w_records w.Storage.Wal.w_segments
+         w.Storage.Wal.w_disk_bytes w.Storage.Wal.w_syncs
+         w.Storage.Wal.w_checkpoints w.Storage.Wal.w_truncated_segments hist));
   (match t.scheduler with
   | None -> ()
   | Some s ->
@@ -130,6 +146,28 @@ let to_prometheus t =
     [ ([], fi t.live.Pool.history_len) ];
   Prometheus.counter p ~help:"WAL records written"
     "isolation_lab_wal_records_total" [ ([], fi t.live.Pool.wal_entries) ];
+  (match t.live.Pool.wal_stats with
+  | None -> ()
+  | Some (w : Storage.Wal.stats) ->
+    Prometheus.gauge p ~help:"Live WAL segment files"
+      "isolation_lab_wal_segments" [ ([], fi w.Storage.Wal.w_segments) ];
+    Prometheus.gauge p ~help:"Bytes across live WAL segments"
+      "isolation_lab_wal_disk_bytes" [ ([], fi w.Storage.Wal.w_disk_bytes) ];
+    Prometheus.counter p ~help:"Group-commit fsync batches"
+      "isolation_lab_wal_syncs_total" [ ([], fi w.Storage.Wal.w_syncs) ];
+    Prometheus.counter p ~help:"WAL checkpoints taken"
+      "isolation_lab_wal_checkpoints_total"
+      [ ([], fi w.Storage.Wal.w_checkpoints) ];
+    Prometheus.counter p ~help:"Segments unlinked below checkpoints"
+      "isolation_lab_wal_truncated_segments_total"
+      [ ([], fi w.Storage.Wal.w_truncated_segments) ];
+    if w.Storage.Wal.w_batch_hist <> [] then
+      Prometheus.counter p
+        ~help:"Group-commit fsyncs by commit-batch-size bucket"
+        "isolation_lab_wal_commit_batches_total"
+        (List.map
+           (fun (le, n) -> ([ ("size_le", string_of_int le) ], fi n))
+           w.Storage.Wal.w_batch_hist));
   (match t.live.Pool.lock_stats with
   | None -> ()
   | Some (s : Locking.Lock_table.stats) ->
@@ -162,7 +200,16 @@ let to_prometheus t =
     Prometheus.counter p "isolation_lab_certifier_cycles_total"
       [ ([], fi s.s_cycles) ];
     Prometheus.counter p ~help:"Cycles with no active member left to doom"
-      "isolation_lab_certifier_misses_total" [ ([], fi s.s_misses) ]);
+      "isolation_lab_certifier_misses_total" [ ([], fi s.s_misses) ];
+    Prometheus.counter p ~help:"Era-pruning passes run"
+      "isolation_lab_certifier_prune_passes_total"
+      [ ([], fi s.s_prune_passes) ];
+    Prometheus.counter p ~help:"Committed nodes retired by era pruning"
+      "isolation_lab_certifier_pruned_nodes_total"
+      [ ([], fi s.s_pruned_nodes) ];
+    Prometheus.counter p ~help:"Settled era-stack entries trimmed"
+      "isolation_lab_certifier_pruned_eras_total"
+      [ ([], fi s.s_pruned_eras) ]);
   (match t.scheduler with
   | None -> ()
   | Some s ->

@@ -38,6 +38,7 @@ let () =
       ("striped", Test_striped.suite);
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
+      ("outofcore", Test_outofcore.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
       ("telemetry", Test_telemetry.suite);

@@ -173,10 +173,10 @@ let test_replay_agrees_with_oracle () =
         (fun seed ->
           let r = run_pool ~level ~seed () in
           let replay = Cert.replay r.Pool.history in
-          if replay.Cert.serializable <> r.Pool.oracle.Oracle.serializable then
+          if replay.Cert.serializable <> (Option.get r.Pool.oracle).Oracle.serializable then
             Alcotest.failf "%s seed %d: replay says %b, oracle says %b"
               (L.name level) seed replay.Cert.serializable
-              r.Pool.oracle.Oracle.serializable)
+              (Option.get r.Pool.oracle).Oracle.serializable)
         seeds)
     levels
 
@@ -191,7 +191,7 @@ let test_enforced_runs_certify_clean () =
           let r = run_pool ~certify:true ~level ~seed () in
           Alcotest.(check bool)
             (Printf.sprintf "%s seed %d serializable" (L.name level) seed)
-            true r.Pool.oracle.Oracle.serializable;
+            true (Option.get r.Pool.oracle).Oracle.serializable;
           match r.Pool.certifier with
           | None -> Alcotest.fail "certifier summary missing"
           | Some s ->
@@ -214,7 +214,7 @@ let test_serializable_certify_is_noop () =
       Alcotest.(check bool)
         (Printf.sprintf "seed %d pattern-free" seed)
         true
-        (Oracle.pattern_free r.Pool.oracle);
+        (Oracle.pattern_free (Option.get r.Pool.oracle));
       Alcotest.(check int)
         (Printf.sprintf "seed %d no certifier aborts" seed)
         0 r.Pool.metrics.Metrics.certifier_aborts)

@@ -239,6 +239,64 @@ let test_stress_runs_recover_everywhere () =
         (Store.of_list r.Pool.final)
   done
 
+(* Same property over the segmented on-disk WAL: tiny segments so every
+   run's log crosses several rotation edges (crash images that straddle
+   a segment boundary are exactly the new code paths), and on even
+   seeds aggressive checkpointing so truncated logs with carried undo
+   journals get enumerated too. *)
+let test_stress_runs_recover_everywhere_segmented () =
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  for seed = 1 to 20 do
+    let wal_dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "isolab_fault_wal_%d_%d" (Unix.getpid ()) seed)
+    in
+    Fun.protect
+      ~finally:(fun () -> rm_rf wal_dir)
+      (fun () ->
+        let accounts = 8 in
+        let initial = Generators.bank_accounts accounts in
+        let jobs =
+          Array.init 12 (fun i ->
+              let p =
+                Generators.stress_program Generators.Hotspot ~seed ~accounts
+                  ~hot:2 ~ops:4 ~index:i
+              in
+              Pool.job ~name:p.Core.Program.name ~level:L.Serializable p)
+        in
+        let checkpoint_every = if seed mod 2 = 0 then 4 else 0 in
+        let cfg =
+          Pool.config ~workers:4 ~initial ~think_us:20. ~seed ~wal_dir
+            ~wal_segment_bytes:512 ~checkpoint_every ()
+        in
+        let r = Pool.run cfg jobs in
+        match r.Pool.wal with
+        | None -> Alcotest.fail "locking run must expose its WAL"
+        | Some wal ->
+          let st = Storage.Wal.stats wal in
+          if checkpoint_every = 0 && st.Storage.Wal.w_segments < 2 then
+            Alcotest.failf "seed %d: log never rotated (%d segments)" seed
+              st.Storage.Wal.w_segments;
+          if checkpoint_every > 0 && st.Storage.Wal.w_checkpoints = 0 then
+            Alcotest.failf "seed %d: no checkpoint was taken" seed;
+          let initial_store = Store.of_list initial in
+          let report = Crash.enumerate ~initial:initial_store wal in
+          if not (Crash.ok report) then
+            Alcotest.failf "seed %d (segmented): %a" seed Crash.pp report;
+          Alcotest.(check store_eq)
+            (Printf.sprintf "seed %d: effects conserved on disk" seed)
+            (Recovery.ideal_state ~initial:initial_store wal)
+            (Store.of_list r.Pool.final))
+  done
+
 (* {2 Runtime fault injection} *)
 
 let chaos_run ?(txns = 32) ?(workers = 4) ?fault ?deadline_us ?watchdog_us
@@ -278,7 +336,7 @@ let test_chaos_drains_clean () =
   Alcotest.(check bool) "faults were actually injected" true
     (r.Pool.metrics.Metrics.faults_injected > 0);
   Alcotest.(check bool) "2PL stays pattern-free under faults" true
-    (Oracle.pattern_free r.Pool.oracle);
+    (Oracle.pattern_free (Option.get r.Pool.oracle));
   check_effects_conserved "chaos conserves committed effects" initial r
 
 (* A spurious-failure-only plan: injected aborts surface as the
@@ -322,7 +380,7 @@ let test_deadline_aborts_gracefully () =
   Alcotest.(check int) "metrics and abort reasons agree"
     r.Pool.metrics.Metrics.deadline_exceeded dl_aborts;
   Alcotest.(check bool) "graceful: no lost effects" true
-    (Oracle.pattern_free r.Pool.oracle);
+    (Oracle.pattern_free (Option.get r.Pool.oracle));
   check_effects_conserved "deadline aborts conserve effects" initial r
 
 (* A generous deadline is never hit. *)
@@ -390,6 +448,8 @@ let suite =
       test_sample_still_flags_p0;
     Alcotest.test_case "20 seeded runs recover at every crash point" `Slow
       test_stress_runs_recover_everywhere;
+    Alcotest.test_case "20 seeded runs recover on the segmented disk WAL"
+      `Slow test_stress_runs_recover_everywhere_segmented;
     Alcotest.test_case "chaos drains clean" `Quick test_chaos_drains_clean;
     Alcotest.test_case "spurious failures retry to success" `Quick
       test_step_fail_aborts_and_retries;

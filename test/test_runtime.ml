@@ -54,9 +54,9 @@ let check_conservation (r : Pool.result) =
 let test_serializable_hotspot () =
   let r = run ~level:L.Serializable ~mix:Generators.Hotspot 48 in
   Alcotest.(check bool) "history well-formed" true
-    (r.oracle.Oracle.well_formed = Ok ());
+    ((Option.get r.oracle).Oracle.well_formed = Ok ());
   Alcotest.(check bool) "2PL run is pattern-free" true
-    (Oracle.pattern_free r.oracle);
+    (Oracle.pattern_free (Option.get r.oracle));
   Alcotest.(check int) "every job eventually commits" 48
     r.metrics.Metrics.committed;
   Alcotest.(check int) "no job gave up" 0 r.metrics.Metrics.giveups;
@@ -73,9 +73,9 @@ let test_serializable_hotspot () =
 
 let test_snapshot_hotspot () =
   let r = run ~level:L.Snapshot ~mix:Generators.Hotspot 48 in
-  Alcotest.(check bool) "SI run is anomaly-free" true (Oracle.clean r.oracle);
+  Alcotest.(check bool) "SI run is anomaly-free" true (Oracle.clean (Option.get r.oracle));
   Alcotest.(check bool) "analyzed as multiversion" true
-    r.oracle.Oracle.multiversion;
+    (Option.get r.oracle).Oracle.multiversion;
   (* First-Committer-Wins means every committed increment survives. *)
   check_conservation r
 
@@ -85,7 +85,7 @@ let test_ssi_and_to_clean () =
       let r = run ~level ~mix:Generators.Hotspot 32 in
       Alcotest.(check bool)
         (L.name level ^ " promises serializability")
-        true (Oracle.clean r.oracle))
+        true (Oracle.clean (Option.get r.oracle)))
     [ L.Serializable_snapshot; L.Timestamp_ordering ]
 
 (* READ COMMITTED under a single hot key loses updates; the oracle must
@@ -106,7 +106,7 @@ let test_read_committed_loses_updates () =
             (stress_jobs ~level:L.Read_committed ~mix:Generators.Hotspot ~seed
                ~hot:1 64)
         in
-        List.mem_assoc Ph.P4 r.Pool.oracle.Oracle.phenomena)
+        List.mem_assoc Ph.P4 (Option.get r.Pool.oracle).Oracle.phenomena)
       [ 1; 2; 3; 4; 5; 6; 7; 8 ]
   in
   Alcotest.(check bool) "P4 observed in at least one seed" true found
@@ -127,8 +127,8 @@ let test_run_for_deadline () =
   let r = Pool.run_for cfg ~duration_s:0.05 ~gen in
   Alcotest.(check bool) "made progress" true (r.metrics.Metrics.committed > 0);
   Alcotest.(check bool) "well-formed" true
-    (r.oracle.Oracle.well_formed = Ok ());
-  Alcotest.(check bool) "pattern-free" true (Oracle.pattern_free r.oracle)
+    ((Option.get r.oracle).Oracle.well_formed = Ok ());
+  Alcotest.(check bool) "pattern-free" true (Oracle.pattern_free (Option.get r.oracle))
 
 let test_stripes_counter_parallel () =
   let c = Stripes.Counter.create () in

@@ -250,7 +250,7 @@ let test_certify_over_wire () =
   Alcotest.(check bool) "some transactions committed" true (lg.Loadgen.committed > 0);
   Alcotest.(check bool)
     "committed projection serializable (certified, even at RC)" true
-    r.Pool.oracle.Oracle.serializable
+    (Option.get r.Pool.oracle).Oracle.serializable
 
 (* {2 Live telemetry: STATS over the wire and the HTTP exposition} *)
 
@@ -452,7 +452,7 @@ let test_pool_stop_drains () =
   Alcotest.(check bool) "made some progress first" true (done_ > 0);
   Alcotest.(check bool)
     "history well-formed after drain" true
-    (match r.Pool.oracle.Oracle.well_formed with
+    (match (Option.get r.Pool.oracle).Oracle.well_formed with
     | Ok () -> true
     | Error _ -> false)
 

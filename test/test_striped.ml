@@ -187,7 +187,7 @@ let test_cross_stripe_deadlock () =
       Alcotest.(check bool)
         (Printf.sprintf "seed %d: pattern-free" seed)
         true
-        (Oracle.pattern_free r.Pool.oracle);
+        (Oracle.pattern_free (Option.get r.Pool.oracle));
       (* Victim accounting: every deadlock the detector broke is an
          aborted attempt with the victim reason. *)
       Alcotest.(check int)
@@ -233,16 +233,16 @@ let run_mode ~coarse ~level ~seed =
 let check_class ~mode ~level ~seed (r : Pool.result) =
   let label fact = Printf.sprintf "%s seed %d (%s): %s" (L.name level) seed mode fact in
   Alcotest.(check bool) (label "well-formed") true
-    (r.oracle.Oracle.well_formed = Ok ());
+    ((Option.get r.oracle).Oracle.well_formed = Ok ());
   match level with
   | L.Serializable ->
-    Alcotest.(check bool) (label "pattern-free") true (Oracle.pattern_free r.oracle)
+    Alcotest.(check bool) (label "pattern-free") true (Oracle.pattern_free (Option.get r.oracle))
   | L.Serializable_snapshot | L.Timestamp_ordering ->
-    Alcotest.(check bool) (label "clean") true (Oracle.clean r.oracle)
+    Alcotest.(check bool) (label "clean") true (Oracle.clean (Option.get r.oracle))
   | L.Snapshot ->
     (* SI admits write skew in principle; the bank mixes cannot form it,
        so SI must come back clean here too. *)
-    Alcotest.(check bool) (label "clean") true (Oracle.clean r.oracle)
+    Alcotest.(check bool) (label "clean") true (Oracle.clean (Option.get r.oracle))
   | _ -> ()
 
 let test_striped_serializable_20_seeds () =
@@ -278,7 +278,7 @@ let test_striped_read_committed_still_weak () =
       check_class ~mode:"striped" ~level:L.Read_committed ~seed r;
       if
         List.exists
-          (fun p -> List.mem_assoc p r.oracle.Oracle.phenomena)
+          (fun p -> List.mem_assoc p (Option.get r.oracle).Oracle.phenomena)
           [ Ph.P4; Ph.A5A; Ph.A5B ]
       then found := true)
     (List.init 20 (fun i -> i + 1));
@@ -333,9 +333,9 @@ let test_windowed_oracle_clean_run () =
   in
   let r = Pool.run cfg (Array.init 48 gen) in
   Alcotest.(check (option int)) "verdict is windowed" (Some 8)
-    r.Pool.oracle.Oracle.window;
+    (Option.get r.Pool.oracle).Oracle.window;
   Alcotest.(check bool) "windowed striped run is clean" true
-    (Oracle.clean r.Pool.oracle)
+    (Oracle.clean (Option.get r.Pool.oracle))
 
 let suite =
   [

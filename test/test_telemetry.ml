@@ -67,9 +67,17 @@ let test_monotone_under_concurrency () =
   Metrics.start m;
   let per_domain = 20_000 in
   let running = Atomic.make 4 in
+  (* Writers hold at this gate until the reader has taken its first live
+     snapshot, so at least one reader check provably races them — the
+     un-gated version flaked when all four domains finished before the
+     reader's first look at [running]. *)
+  let go = Atomic.make false in
   let domains =
     List.init 4 (fun d ->
         Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
             for i = 1 to per_domain do
               if i land 1 = 0 then
                 Metrics.record_commit ~level:L.Snapshot m
@@ -83,6 +91,7 @@ let test_monotone_under_concurrency () =
      live snapshots, and no read may tear *)
   let prev = ref (W.of_snapshot (Metrics.snapshot m)) in
   let checks = ref 0 in
+  Atomic.set go true;
   while Atomic.get running > 0 do
     let s = W.of_snapshot (Metrics.snapshot m) in
     let p = !prev in

@@ -176,7 +176,7 @@ let rc_lost_update_run () =
             Pool.job ~name:p.Core.Program.name ~level:L.Read_committed p)
       in
       let r = Pool.run cfg jobs in
-      if r.Pool.oracle.Oracle.witnesses <> [] then Some r else hunt rest
+      if (Option.get r.Pool.oracle).Oracle.witnesses <> [] then Some r else hunt rest
   in
   hunt [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
@@ -184,7 +184,7 @@ let test_provenance_names_transactions () =
   match rc_lost_update_run () with
   | None -> Alcotest.fail "no seed produced a P4 witness"
   | Some r ->
-    let w = List.hd r.Pool.oracle.Oracle.witnesses in
+    let w = List.hd (Option.get r.Pool.oracle).Oracle.witnesses in
     let out =
       Fmt.str "%a"
         (fun ppf w ->
