@@ -444,6 +444,12 @@ let chaos () =
    parked committers. *)
 
 let ooc_sizes = [ 10_000; 100_000; 1_000_000 ]
+
+(* The multiversion flatness rows span one decade: the certifier's MV
+   retirement is vacuum-driven (era pruning proper has no commit-order
+   horizon to cut at), so this is the cell that would regress if the
+   burial feed stopped collecting. *)
+let mv_ooc_sizes = [ 10_000; 100_000 ]
 let ooc_accounts = 64
 let ooc_checkpoint_every = 10_000
 let gc_txns = 8_192
@@ -479,8 +485,9 @@ let rec rm_rf path =
    uses, and what the RSS-flatness rows measure without conflating the
    result with this host's fsync latency. [disk:true] is for the group-
    commit cells, where the fsync cost is exactly the thing measured. *)
-let run_ooc_cell ?(group_commit = true) ?(disk = false) ~txns () =
-  let tag = Printf.sprintf "%d_%b" txns group_commit in
+let run_ooc_cell ?(group_commit = true) ?(disk = false)
+    ?(level = L.Serializable) ~txns () =
+  let tag = Printf.sprintf "%d_%b_%s" txns group_commit (L.name level) in
   let wal_dir =
     if disk then Some (ooc_scratch ("wal_" ^ tag)) else None
   in
@@ -490,7 +497,7 @@ let run_ooc_cell ?(group_commit = true) ?(disk = false) ~txns () =
       Generators.stress_program Generators.Transfer ~seed
         ~accounts:ooc_accounts ~hot:ooc_accounts ~ops ~index:i
     in
-    Pool.job ~name:p.Core.Program.name ~level:L.Serializable p
+    Pool.job ~name:p.Core.Program.name ~level p
   in
   let cfg =
     Pool.config ~workers
@@ -567,6 +574,29 @@ let outofcore () =
       /. float_of_int prev.oc_mem.Sysmem.r_vm_hwm_kb)
   | _ -> ());
   Printf.printf
+    "  -- multiversion family (SNAPSHOT, vacuum-driven retirement) --\n";
+  let mv_rows =
+    List.map
+      (fun txns ->
+        let r = run_ooc_cell ~level:L.Snapshot ~txns () in
+        Printf.printf "  %-9d %9.0f %9d %9.1f %12b %9d %8d %6d\n" r.oc_txns
+          r.oc_tput
+          (r.oc_mem.Sysmem.r_vm_hwm_kb / 1024)
+          (float_of_int r.oc_mem.Sysmem.r_heap_words /. 1e6)
+          r.oc_cert.Certifier.serializable r.oc_cert.Certifier.pruned_nodes
+          r.oc_cert.Certifier.pruned_eras
+          (match r.oc_wal with None -> 0 | Some w -> w.Wal.w_segments);
+        r)
+      mv_ooc_sizes
+  in
+  (match List.rev mv_rows with
+  | big :: prev :: _ when prev.oc_mem.Sysmem.r_vm_hwm_kb > 0 ->
+    Printf.printf "  MV peak RSS ratio %dx txns: %.2fx\n"
+      (big.oc_txns / max 1 prev.oc_txns)
+      (float_of_int big.oc_mem.Sysmem.r_vm_hwm_kb
+      /. float_of_int prev.oc_mem.Sysmem.r_vm_hwm_kb)
+  | _ -> ());
+  Printf.printf
     "  -- group commit vs per-commit fsync, disk WAL, %d txns, %d workers --\n"
     gc_txns workers;
   let gc_rows =
@@ -591,7 +621,7 @@ let outofcore () =
     Printf.printf "  group-commit speedup: %.2fx\n"
       (grouped.oc_tput /. per.oc_tput)
   | _ -> ());
-  (rows, gc_rows)
+  (rows, mv_rows, gc_rows)
 
 let runtime () =
   Printf.printf
@@ -622,7 +652,7 @@ let runtime () =
   let scaling_rows, speedup = scaling () in
   let cert_rows = certifier () in
   let chaos_row = chaos () in
-  let ooc_rows, gc_rows = outofcore () in
+  let ooc_rows, mv_ooc_rows, gc_rows = outofcore () in
   let json =
     Printf.sprintf
       "{\"bench\":\"runtime\",\"rows\":[%s],\"scaling\":[%s],\
@@ -631,7 +661,7 @@ let runtime () =
        \"outofcore\":{\"checkpoint_every\":%d,\"oracle\":\"superseded by \
        online certifier (exact incremental replay); post-run oracle is \
        super-linear in history length and needs the full in-memory \
-       trace\",\"rows\":[%s],\"group_commit\":[%s]}}\n"
+       trace\",\"rows\":[%s],\"mv_rows\":[%s],\"group_commit\":[%s]}}\n"
       (String.concat "," (List.map row_json rows))
       (String.concat "," (List.map scaling_row_json scaling_rows))
       speedup
@@ -641,6 +671,7 @@ let runtime () =
       (chaos_row_json chaos_row)
       ooc_checkpoint_every
       (String.concat "," (List.map ooc_row_json ooc_rows))
+      (String.concat "," (List.map ooc_row_json mv_ooc_rows))
       (String.concat "," (List.map ooc_row_json gc_rows))
   in
   Out_channel.with_open_text json_path (fun oc ->

@@ -909,14 +909,26 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
   | None -> ());
   (* Conservation check: the surviving store must equal a replay of the
      WAL's committed transactions over the initial state — no committed
-     effect lost, none duplicated, nothing from an aborted attempt. *)
+     effect lost, none duplicated, nothing from an aborted attempt. The
+     locking and timestamp engines replay single-version records; the
+     multiversion engine replays the versioned record set and compares
+     latest visible rows. *)
+  let family = Core.Engine.family_of_levels [ level ] in
   let initial_store = Storage.Store.of_list initial in
   let effects_ok =
     match r.Runtime.Pool.wal with
     | None -> None
     | Some wal ->
-      let ideal = Storage.Recovery.ideal_state ~initial:initial_store wal in
-      let ok = Storage.Store.equal (Storage.Store.of_list r.Runtime.Pool.final) ideal in
+      let ok =
+        match family with
+        | `Mv ->
+          let ideal = Storage.Recovery.ideal_mv ~initial wal in
+          List.sort compare (Storage.Version_store.to_latest_list ideal)
+          = List.sort compare r.Runtime.Pool.final
+        | `Locking | `Timestamp ->
+          let ideal = Storage.Recovery.ideal_state ~initial:initial_store wal in
+          Storage.Store.equal (Storage.Store.of_list r.Runtime.Pool.final) ideal
+      in
       Format.printf "committed effects: %s@."
         (if ok then "CONSERVED (final state = committed WAL replay)"
          else "LOST OR DUPLICATED (final state differs from committed WAL \
@@ -930,15 +942,15 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
   let crash_report =
     match (crash_points, r.Runtime.Pool.wal) with
     | false, _ -> None
-    | true, None ->
-      Format.printf
-        "crash points: skipped (no WAL — %s runs on a non-locking engine)@."
-        (L.name level);
-      None
+    | true, None -> None (* unreachable: every family logs *)
     | true, Some wal ->
       let report =
-        Fault.Crash.enumerate ?sample:crash_sample ~seed ~initial:initial_store
-          wal
+        match family with
+        | `Mv ->
+          Fault.Crash.enumerate_mv ?sample:crash_sample ~seed ~initial wal
+        | `Locking | `Timestamp ->
+          Fault.Crash.enumerate ?sample:crash_sample ~seed
+            ~initial:initial_store wal
       in
       Format.printf "%a@." Fault.Crash.pp report;
       if (not (Fault.Crash.ok report)) && not p0_free then
@@ -1160,7 +1172,8 @@ let chaos_cmd =
           ~doc:
             "After the run, replay recovery at every WAL prefix and every \
              torn mid-record tail, checking each crash image against the \
-             committed-only ideal state (locking engines).")
+             committed-only ideal state (single-version engines) or the \
+             committed-stamped version store (multiversion family).")
   in
   let crash_sample_arg =
     Arg.(
@@ -1630,8 +1643,23 @@ let parse_levels s =
   if List.exists Option.is_none levels then None
   else Some (List.filter_map Fun.id levels)
 
-let loadgen host port sessions conns txns mix_name levels_str accounts hot ops
-    think seed max_attempts json_path progress =
+let loadgen host port preset sessions conns txns mix_name levels_str accounts
+    hot ops think seed max_attempts json_path progress =
+  (* Presets override the shape knobs; everything else (mix, levels,
+     seed, ...) still applies. "1m" is the out-of-core acceptance run:
+     10^6 transactions against a server started with --history false and
+     a --wal-dir, where the WAL checkpoints, the journal spills and RSS
+     stays flat — the progress line reports commits-vs-total and the
+     generator's RSS each interval. *)
+  let sessions, txns, progress =
+    match preset with
+    | None -> (sessions, txns, progress)
+    | Some "1m" ->
+      (500, 2_000, if progress > 0. then progress else 5.)
+    | Some p ->
+      Fmt.epr "unknown --preset %S; available: 1m@." p;
+      exit 1
+  in
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -1698,6 +1726,17 @@ let loadgen_cmd =
     Arg.(
       value & opt int 7654
       & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let preset_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Canned run shapes. \"1m\": one million transactions (500 \
+             sessions x 2000 txns, progress every 5s with an RSS \
+             reading) — pair it with a server started out-of-core \
+             ($(b,serve --history false --wal-dir ...)) to exercise the \
+             whole spilled pipeline. Overrides --sessions/--txns.")
   in
   let sessions_arg =
     Arg.(
@@ -1784,9 +1823,10 @@ let loadgen_cmd =
          "Drive a running server with N wire sessions; exits non-zero on \
           any protocol error.")
     Term.(
-      const loadgen $ host_arg $ port_arg $ sessions_arg $ conns_arg
-      $ txns_arg $ mix_arg $ levels_arg $ accounts_arg $ hot_arg $ ops_arg
-      $ think_arg $ seed_arg $ max_attempts_arg $ json_arg $ progress_arg)
+      const loadgen $ host_arg $ port_arg $ preset_arg $ sessions_arg
+      $ conns_arg $ txns_arg $ mix_arg $ levels_arg $ accounts_arg $ hot_arg
+      $ ops_arg $ think_arg $ seed_arg $ max_attempts_arg $ json_arg
+      $ progress_arg)
 
 (* {2 top — live dashboard against a running server} *)
 

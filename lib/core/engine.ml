@@ -65,8 +65,15 @@ let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
       (Lock_engine.create ~initial ~predicates ~stripes ~audit ~next_key_locking
          ~update_locks ?wal_dir ?wal_segment_bytes ?wal_group_commit
          ?checkpoint_every ?retain_trace ())
-  | `Mv -> Mv (Mv_engine.create ~initial ~predicates ~first_updater_wins ())
-  | `Timestamp -> Timestamp (To_engine.create ~initial ~predicates ())
+  | `Mv ->
+    Mv
+      (Mv_engine.create ~initial ~predicates ~first_updater_wins ?wal_dir
+         ?wal_segment_bytes ?wal_group_commit ?checkpoint_every ?retain_trace
+         ())
+  | `Timestamp ->
+    Timestamp
+      (To_engine.create ~initial ~predicates ?wal_dir ?wal_segment_bytes
+         ?wal_group_commit ?checkpoint_every ?retain_trace ())
 
 let create_for_levels ~initial ~predicates ?stripes ?audit ?first_updater_wins
     ?next_key_locking ?update_locks ?wal_dir ?wal_segment_bytes
@@ -220,14 +227,14 @@ let abort_txn ?(reason = Deadlock_victim) t tid =
    engine clears its slot under its registration mutex, so the call is
    safe from the worker that owns the finished attempt without holding
    any stripes. The MV and timestamp engines step under *every* stripe
-   (their footprint is [All]) and a lock-free removal here would race
-   their transaction tables, so for now they keep states resident —
-   the out-of-core path is the locking family's (see ROADMAP:
-   snapshot-watermark pruning is the MV follow-up). *)
+   (their footprint is [All]) and mutate plain transaction tables, so
+   the runtime must call this for them under the same all-stripes
+   exclusion (Pool routes it through with_aux_exclusion). *)
 let forget t tid =
   match t with
   | Locking e -> Lock_engine.forget e tid
-  | Mv _ | Timestamp _ -> ()
+  | Mv e -> Mv_engine.forget e tid
+  | Timestamp e -> To_engine.forget e tid
 
 let trace = function
   | Locking e -> Lock_engine.trace e
@@ -245,13 +252,22 @@ let set_lock_hook t f =
   | Mv e -> Mv_engine.set_lock_hook e f
   | Timestamp _ -> ()
 
-(* Torn-commit injection needs a WAL, so only the locking engine has the
-   hook; for the other families installing it is a no-op (their fault
-   plans still stall/fail/victimize steps). *)
+(* Torn-commit injection: every family logs a terminal record now —
+   Commit for the locking and timestamp engines, the Vcommit stamp for
+   the multiversion one — and the hook is consulted as it would be
+   written. *)
 let set_tear_hook t f =
   match t with
   | Locking e -> Lock_engine.set_tear_hook e f
-  | Mv _ | Timestamp _ -> ()
+  | Mv e -> Mv_engine.set_tear_hook e f
+  | Timestamp e -> To_engine.set_tear_hook e f
+
+(* Vacuum observation (multiversion only): the certifier retires its
+   version-order entries on the buried (key, writer) pairs. *)
+let set_prune_hook t f =
+  match t with
+  | Mv e -> Mv_engine.set_prune_hook e f
+  | Locking _ | Timestamp _ -> ()
 
 let set_trace_hook t f =
   match t with
@@ -266,13 +282,15 @@ let final_state = function
 
 let wal = function
   | Locking e -> Some (Lock_engine.wal e)
-  | Mv _ | Timestamp _ -> None
+  | Mv e -> Some (Mv_engine.wal e)
+  | Timestamp e -> Some (To_engine.wal e)
 
 (* Durability point after a commit step, outside the stripe critical
-   section (group commit). Only the locking engine logs. *)
+   section (group commit). *)
 let wal_sync = function
   | Locking e -> Lock_engine.wal_sync e
-  | Mv _ | Timestamp _ -> ()
+  | Mv e -> Mv_engine.wal_sync e
+  | Timestamp e -> To_engine.wal_sync e
 
 let family = function
   | Locking _ -> `Locking

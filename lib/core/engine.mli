@@ -71,8 +71,10 @@ val create :
     [next_key_locking] swaps the locking engine's predicate-lock phantom
     guard for next-key locking. The out-of-core options ([wal_dir],
     [wal_segment_bytes], [wal_group_commit], [checkpoint_every],
-    [retain_trace]) pass through to {!Lock_engine.create} and are ignored
-    by the non-logging families. *)
+    [retain_trace]) pass through to every family's create — the locking
+    and timestamp engines log the single-version record set, the
+    multiversion engine logs versioned records
+    (Vinstall/Vcommit/Watermark/Vcheckpoint). *)
 
 val create_for_levels :
   initial:(key * value) list ->
@@ -132,9 +134,10 @@ val forget : t -> txn -> unit
     txn state stays resident for the whole run — the call is what keeps
     10^6-txn out-of-core runs flat. Terminal-status-guarded and
     idempotent; after it, [status]/[env] on the tid raise and
-    [abort_txn] is a no-op. Currently real for the locking family only
-    (the MV/timestamp engines keep states resident — their tables are
-    only safe to mutate under every stripe). *)
+    [abort_txn] is a no-op. The locking engine serialises the call
+    internally; the MV/timestamp tables are only safe to mutate under
+    every stripe, so the runtime routes their forgets through its
+    all-stripes exclusion. *)
 
 val trace : t -> History.t
 
@@ -151,9 +154,17 @@ val set_lock_hook : t -> (Locking.Lock_table.hook -> unit) -> unit
     table; timestamp ordering has no locks and ignores the hook. *)
 
 val set_tear_hook : t -> (txn -> bool) -> unit
-(** Install the torn-commit fault hook (see
-    {!Lock_engine.set_tear_hook}). Torn commits need a WAL, so the hook
-    only bites on locking engines; elsewhere it is a no-op. *)
+(** Install the torn-commit fault hook, consulted as the transaction's
+    terminal record would be logged: the Commit record on the locking
+    and timestamp engines ({!Lock_engine.set_tear_hook}), the Vcommit
+    stamp on the multiversion engine ({!Mv_engine.set_tear_hook} — the
+    Vinstalls made the log, the stamp did not). *)
+
+val set_prune_hook : t -> ((key * txn) list -> unit) -> unit
+(** Install the vacuum observation hook (multiversion engines only;
+    no-op elsewhere): called with the (key, writer) pairs each vacuum
+    buried, under the engine's all-stripes exclusion. The certifier
+    retires its version-order entries on exactly these. *)
 
 val set_trace_hook : t -> (int -> History.Action.t -> unit) -> unit
 (** Install a trace observation hook, called with [(position, action)]
@@ -163,11 +174,13 @@ val set_trace_hook : t -> (int -> History.Action.t -> unit) -> unit
 
 val final_state : t -> (key * value) list
 val wal : t -> Storage.Wal.t option
-(** The write-ahead log (locking engines only). *)
+(** The write-ahead log. Every family logs: single-version records from
+    the locking and timestamp engines, versioned records from the
+    multiversion engine. *)
 
 val wal_sync : t -> unit
-(** Group-commit durability point ({!Lock_engine.wal_sync}); no-op for
-    the non-logging families. *)
+(** Group-commit durability point ({!Storage.Wal.sync}), called by the
+    runtime after a commit step returns and its stripes are released. *)
 
 val family : t -> [ `Locking | `Mv | `Timestamp ]
 (** The engine family this instance was created with. *)

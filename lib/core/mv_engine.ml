@@ -19,6 +19,7 @@
 module Action = History.Action
 module Version_store = Storage.Version_store
 module Predicate = Storage.Predicate
+module Wal = Storage.Wal
 module Lock_table = Locking.Lock_table
 
 type txn = Action.txn
@@ -66,6 +67,10 @@ type t = {
   vstore : Version_store.t;
   mutable now : Version_store.ts; (* last commit timestamp issued *)
   locks : Lock_table.t;           (* write locks, Read Consistency only *)
+  wal : Wal.t;                    (* versioned records: the MV crash model *)
+  checkpoint_every : int;         (* commits between Vcheckpoints; 0 = never *)
+  mutable commits_since_ckpt : int;
+  retain_trace : bool;   (* keep the action list (out-of-core runs drop it) *)
   mutable trace : Action.t list;  (* newest first *)
   mutable trace_len : int;        (* = List.length trace, O(1) for tracing *)
   txns : (txn, txn_state) Hashtbl.t;
@@ -75,25 +80,42 @@ type t = {
      append. Steps of this engine run single-threaded under every stripe
      of the pool, so the plain emit is already serialised. *)
   mutable trace_hook : (int -> Action.t -> unit) option;
+  (* Torn-commit fault hook, consulted as the Vcommit stamp would be
+     logged: the Vinstalls made it to the log, the stamp did not. *)
+  mutable tear_commit : (txn -> bool) option;
+  (* Prune observation hook, called with the (key, writer) pairs each
+     vacuum buried — the certifier retires its version-order entries on
+     exactly these. *)
+  mutable prune_hook : ((key * txn) list -> unit) option;
 }
 
 type step_outcome = Progress | Blocked of txn list | Finished
 
-let create ~initial ~predicates ?(first_updater_wins = false) () =
+let create ~initial ~predicates ?(first_updater_wins = false) ?wal_dir
+    ?wal_segment_bytes ?wal_group_commit ?(checkpoint_every = 0)
+    ?(retain_trace = true) () =
   {
     vstore = Version_store.of_list initial;
     now = 0;
     locks = Lock_table.create ();
+    wal =
+      Wal.create ?dir:wal_dir ?segment_bytes:wal_segment_bytes
+        ?group_commit:wal_group_commit ();
+    checkpoint_every;
+    commits_since_ckpt = 0;
+    retain_trace;
     trace = [];
     trace_len = 0;
     txns = Hashtbl.create 8;
     predicates;
     first_updater_wins;
     trace_hook = None;
+    tear_commit = None;
+    prune_hook = None;
   }
 
 let emit t action =
-  t.trace <- action :: t.trace;
+  if t.retain_trace then t.trace <- action :: t.trace;
   t.trace_len <- t.trace_len + 1;
   match t.trace_hook with
   | Some f -> f (t.trace_len - 1) action
@@ -103,6 +125,10 @@ let trace t = List.rev t.trace
 let trace_len t = t.trace_len
 let set_lock_hook t f = Lock_table.set_hook t.locks f
 let set_trace_hook t f = t.trace_hook <- Some f
+let set_tear_hook t f = t.tear_commit <- Some f
+let set_prune_hook t f = t.prune_hook <- Some f
+let wal t = t.wal
+let wal_sync t = Wal.sync t.wal
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with
@@ -110,6 +136,7 @@ let state t tid =
   | None -> invalid_arg (Fmt.str "Mv_engine: unknown transaction %d" tid)
 
 let begin_txn ?(read_only = false) t tid ~level =
+  Wal.append t.wal (Wal.Begin tid);
   Hashtbl.replace t.txns tid
     { tid; level; read_only; start_ts = t.now; status = Active;
       env = Program.empty_env; writes = []; read_keys = []; read_preds = [];
@@ -198,7 +225,12 @@ let finish t st =
   Hashtbl.reset st.cursors
 
 let rollback t st reason =
+  (* Nothing to compensate: the store never saw this transaction's writes
+     (they were privately buffered) and any Vinstalls it logged carry no
+     stamp — recovery discards them. The Abort record just closes the
+     Begin so the transaction stops counting as a loser. *)
   drop_buffer st;
+  Wal.append t.wal (Wal.Abort st.tid);
   st.status <- Aborted reason;
   finish t st;
   emit t (Action.abort st.tid)
@@ -337,6 +369,60 @@ let read_validation_conflict t st =
            (Version_store.versions_committed_after t.vstore ~ts:st.start_ts))
        st.read_preds
 
+(* The oldest snapshot any active transaction can still read. *)
+let oldest_active_snapshot t =
+  Hashtbl.fold
+    (fun _ st acc ->
+      if st.status = Active then min acc st.start_ts else acc)
+    t.txns t.now
+
+(* Version garbage collection: discard versions no active or future
+   snapshot can observe. The Watermark record makes the prune durable —
+   recovery replays it, so the recovered store has buried exactly what
+   the live store buried and no post-crash snapshot starts below the
+   horizon — and the buried (key, writer) pairs feed the prune hook (the
+   certifier retires its version-order entries on exactly these). *)
+let vacuum_collect t =
+  let horizon = oldest_active_snapshot t in
+  let buried = Version_store.prune_collect t.vstore ~horizon in
+  Wal.append t.wal (Wal.Watermark horizon);
+  (match t.prune_hook with
+  | Some f when buried <> [] -> f buried
+  | _ -> ());
+  (horizon, buried)
+
+let vacuum t = List.length (snd (vacuum_collect t))
+
+(* Periodic Vcheckpoint. A commit step runs under every stripe, so the
+   transaction table and the version store are consistent here.
+   Checkpoint cadence is also the GC cadence (cf. the lock engine):
+   vacuum first so the image carries only reachable versions, then write
+   the chains at the head of a fresh segment and truncate the log behind
+   them. Active transactions are carried by tid alone — their writes are
+   privately buffered, never in the store, so there is no journal to
+   carry. *)
+let maybe_checkpoint t =
+  if t.checkpoint_every > 0 then begin
+    t.commits_since_ckpt <- t.commits_since_ckpt + 1;
+    if t.commits_since_ckpt >= t.checkpoint_every then begin
+      t.commits_since_ckpt <- 0;
+      let watermark, _ = vacuum_collect t in
+      let active =
+        Hashtbl.fold
+          (fun tid st acc -> if st.status = Active then tid :: acc else acc)
+          t.txns []
+      in
+      Wal.checkpoint_record t.wal
+        (Wal.Vcheckpoint
+           {
+             chains = Version_store.chains t.vstore;
+             next_ts = t.now;
+             watermark;
+             active;
+           })
+    end
+  end
+
 let do_commit t st =
   match st.level with
   | Snapshot_isolation when (not t.first_updater_wins) && fcw_conflict t st ->
@@ -348,26 +434,54 @@ let do_commit t st =
   | Serializable_snapshot when read_validation_conflict t st ->
     rollback t st Serialization_failure;
     Progress
-  | Snapshot_isolation | Read_consistency | Serializable_snapshot ->
+  | Snapshot_isolation | Read_consistency | Serializable_snapshot -> (
     let latest_per_key =
       List.fold_left
         (fun acc (k, v) ->
           if List.mem_assoc k acc then acc else (k, v) :: acc)
         [] st.writes
     in
-    if latest_per_key <> [] then begin
-      t.now <- t.now + 1;
-      Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.now
-        latest_per_key
-    end;
-    st.status <- Committed;
-    finish t st;
-    emit t (Action.commit st.tid);
-    Progress
+    (* WAL discipline for versions: the Vinstalls go to the log first,
+       then the Vcommit stamp, and only then does the store install —
+       so every crash image either has the stamp (redo installs the
+       versions) or lacks it (the versions never became visible). *)
+    List.iter
+      (fun (k, value) ->
+        Wal.append t.wal (Wal.Vinstall { t = st.tid; k; value }))
+      latest_per_key;
+    match t.tear_commit with
+    | Some tear when tear st.tid ->
+      (* The injected crash strikes as the Vcommit stamp is logged: the
+         Vinstalls are on the log, the stamp is not — the versions never
+         became visible and the transaction never committed. Roll back
+         (the Abort record closes the Begin; a real crash here is
+         exactly the torn-version-write recovery case) and let the
+         runtime retry the attempt under a fresh tid. *)
+      rollback t st Fault_injected;
+      Progress
+    | _ ->
+      if latest_per_key <> [] then begin
+        t.now <- t.now + 1;
+        Wal.append t.wal (Wal.Vcommit { t = st.tid; ts = t.now });
+        Version_store.install t.vstore ~writer:st.tid ~commit_ts:t.now
+          latest_per_key
+      end
+      else
+        (* Read-only commit: the stamp still closes the Begin, at the
+           unadvanced clock. *)
+        Wal.append t.wal (Wal.Vcommit { t = st.tid; ts = t.now });
+      st.status <- Committed;
+      finish t st;
+      emit t (Action.commit st.tid);
+      maybe_checkpoint t;
+      Progress)
 
+(* A tid the engine no longer knows (finished and forgotten) already
+   reached a terminal status, so the abort is a no-op. *)
 let abort_txn t tid ~reason =
-  let st = state t tid in
-  match st.status with Active -> rollback t st reason | Committed | Aborted _ -> ()
+  match Hashtbl.find_opt t.txns tid with
+  | Some st when st.status = Active -> rollback t st reason
+  | Some _ | None -> ()
 
 let step t tid (op : Program.op) =
   let st = state t tid in
@@ -401,14 +515,11 @@ let final_state t = Version_store.to_latest_list t.vstore
 let version_store t = t.vstore
 let now t = t.now
 
-(* The oldest snapshot any active transaction can still read. *)
-let oldest_active_snapshot t =
-  Hashtbl.fold
-    (fun _ st acc ->
-      if st.status = Active then min acc st.start_ts else acc)
-    t.txns t.now
-
-(* Version garbage collection: discard versions no active or future
-   snapshot can observe. Returns how many versions were dropped. *)
-let vacuum t =
-  Version_store.prune t.vstore ~horizon:(oldest_active_snapshot t)
+(* Drop a finished transaction's state. Tids are dense and never reused,
+   so without this every txn_state stays resident for the whole run. The
+   table is mutated by steps running under every stripe, so the pool
+   routes this call through the same all-stripes exclusion. *)
+let forget t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | Some st when st.status <> Active -> Hashtbl.remove t.txns tid
+  | _ -> ()

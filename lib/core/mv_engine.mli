@@ -39,8 +39,20 @@ val create :
   initial:(key * value) list ->
   predicates:Storage.Predicate.t list ->
   ?first_updater_wins:bool ->
+  ?wal_dir:string ->
+  ?wal_segment_bytes:int ->
+  ?wal_group_commit:bool ->
+  ?checkpoint_every:int ->
+  ?retain_trace:bool ->
   unit ->
   t
+(** Out-of-core options, mirroring {!Lock_engine.create}: [wal_dir] puts
+    the versioned WAL on disk (segmented; [wal_segment_bytes],
+    [wal_group_commit] pass through to {!Storage.Wal.create});
+    [checkpoint_every] > 0 writes a {!Storage.Wal.record.Vcheckpoint} —
+    vacuuming first, then truncating the log behind the image — every
+    that many commits; [retain_trace] = false drops the in-memory action
+    list (the trace hook and {!trace_len} still run). *)
 
 val begin_txn : ?read_only:bool -> t -> txn -> level:mv_level -> unit
 (** Takes the snapshot (Start-Timestamp) now. [read_only] transactions'
@@ -68,6 +80,34 @@ val set_trace_hook : t -> (int -> Action.t -> unit) -> unit
 (** Trace observation hook, called with [(position, action)] on each
     append; see {!Lock_engine.set_trace_hook}. *)
 
+val set_tear_hook : t -> (txn -> bool) -> unit
+(** Install the torn-commit fault hook, consulted as the
+    {!Storage.Wal.record.Vcommit} stamp would be logged. Returning
+    [true] simulates a crash tearing the stamp off the WAL tail after
+    the Vinstalls made it: the versions never became visible and the
+    transaction never committed — it rolls back (status
+    [Aborted Fault_injected]) and the runtime retries the attempt.
+    Install before workers spawn. *)
+
+val set_prune_hook : t -> ((key * txn) list -> unit) -> unit
+(** Install the vacuum observation hook, called with the (key, writer)
+    pairs of the versions each vacuum buried — under the same
+    all-stripes exclusion the commit step runs in. The certifier retires
+    its version-order entries on exactly these. *)
+
+val wal : t -> Storage.Wal.t
+(** The versioned write-ahead log. *)
+
+val wal_sync : t -> unit
+(** Group-commit durability point ({!Storage.Wal.sync}); the runtime
+    calls it after a commit step returns and its stripes are released. *)
+
+val forget : t -> txn -> unit
+(** Drop a finished transaction's state (no-op while active or for an
+    unknown tid). Must run under the same all-stripes exclusion as the
+    engine's steps — the runtime routes it through its aux-exclusion
+    path. *)
+
 val final_state : t -> (key * value) list
 val version_store : t -> Storage.Version_store.t
 val now : t -> Storage.Version_store.ts
@@ -79,6 +119,8 @@ val oldest_active_snapshot : t -> Storage.Version_store.ts
 
 val vacuum : t -> int
 (** Version garbage collection: discard versions no active or future
-    snapshot can observe; returns how many versions were dropped.
-    Explicit time-travel reads older than the oldest active snapshot are
-    no longer served correctly after a vacuum. *)
+    snapshot can observe; returns how many versions were dropped. Logs a
+    {!Storage.Wal.record.Watermark} so recovery replays the prune, and
+    feeds the buried versions to the prune hook. Explicit time-travel
+    reads older than the oldest active snapshot are no longer served
+    correctly after a vacuum. *)

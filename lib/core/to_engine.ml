@@ -27,6 +27,7 @@
 module Action = History.Action
 module Store = Storage.Store
 module Predicate = Storage.Predicate
+module Wal = Storage.Wal
 
 type txn = Action.txn
 type key = Action.key
@@ -68,6 +69,17 @@ type t = {
   stamps : (key, stamps) Hashtbl.t;
   writers : (key, txn) Hashtbl.t; (* uncommitted writer per key *)
   mutable clock : int;
+  (* The T/O scheduler updates the store in place with before-image undo
+     lists — exactly the lock engine's shape — so it logs the standard
+     Begin/Update/Commit/Abort records and reuses the single-version
+     recovery unchanged. Strictness (writes wait behind uncommitted
+     writers) excludes P0, so before-image undo is sound. The virtual
+     membership item only ever receives timestamps, never store writes,
+     so it never reaches the log. *)
+  wal : Wal.t;
+  checkpoint_every : int;   (* commits between WAL checkpoints; 0 = never *)
+  mutable commits_since_ckpt : int;
+  retain_trace : bool;  (* keep the action list (out-of-core runs drop it) *)
   mutable trace : Action.t list; (* newest first *)
   mutable trace_len : int;       (* = List.length trace, O(1) for tracing *)
   txns : (txn, txn_state) Hashtbl.t;
@@ -75,25 +87,36 @@ type t = {
   (* Trace observation hook; steps run single-threaded under every pool
      stripe, so the plain emit is already serialised. *)
   mutable trace_hook : (int -> Action.t -> unit) option;
+  (* Torn-commit fault hook, consulted as the Commit record would be
+     logged. *)
+  mutable tear_commit : (txn -> bool) option;
 }
 
 type step_outcome = Progress | Blocked of txn list | Finished
 
-let create ~initial ~predicates () =
+let create ~initial ~predicates ?wal_dir ?wal_segment_bytes ?wal_group_commit
+    ?(checkpoint_every = 0) ?(retain_trace = true) () =
   {
     store = Store.of_list initial;
     stamps = Hashtbl.create 32;
     writers = Hashtbl.create 8;
     clock = 0;
+    wal =
+      Wal.create ?dir:wal_dir ?segment_bytes:wal_segment_bytes
+        ?group_commit:wal_group_commit ();
+    checkpoint_every;
+    commits_since_ckpt = 0;
+    retain_trace;
     trace = [];
     trace_len = 0;
     txns = Hashtbl.create 8;
     predicates;
     trace_hook = None;
+    tear_commit = None;
   }
 
 let emit t action =
-  t.trace <- action :: t.trace;
+  if t.retain_trace then t.trace <- action :: t.trace;
   t.trace_len <- t.trace_len + 1;
   match t.trace_hook with
   | Some f -> f (t.trace_len - 1) action
@@ -102,6 +125,9 @@ let emit t action =
 let trace t = List.rev t.trace
 let trace_len t = t.trace_len
 let set_trace_hook t f = t.trace_hook <- Some f
+let set_tear_hook t f = t.tear_commit <- Some f
+let wal t = t.wal
+let wal_sync t = Wal.sync t.wal
 
 let state t tid =
   match Hashtbl.find_opt t.txns tid with
@@ -110,6 +136,7 @@ let state t tid =
 
 let begin_txn t tid =
   t.clock <- t.clock + 1;
+  Wal.append t.wal (Wal.Begin tid);
   Hashtbl.replace t.txns tid
     { tid; ts = t.clock; status = Active; env = Program.empty_env; undo = [];
       dirty = []; cursors = Hashtbl.create 2 }
@@ -136,8 +163,17 @@ let finish_cleanup t st =
   Hashtbl.reset st.cursors
 
 let rollback t st reason =
-  List.iter (fun (k, before) -> Store.restore t.store k before) st.undo;
+  (* Undo by restoring before-images, newest first, logging each restore
+     as a compensation update so crash recovery can replay it. *)
+  List.iter
+    (fun (k, before) ->
+      Wal.append t.wal
+        (Wal.Update
+           { t = st.tid; k; before = Store.get t.store k; after = before });
+      Store.restore t.store k before)
+    st.undo;
   st.undo <- [];
+  Wal.append t.wal (Wal.Abort st.tid);
   st.status <- Aborted reason;
   finish_cleanup t st;
   emit t (Action.abort st.tid)
@@ -197,6 +233,10 @@ let timestamped_write t st k ~after ~kind ~cursor =
     with
     | Some w -> Blocked [ w ]
     | None ->
+      (* Log before the in-place store write (WAL discipline); the
+         membership item gets only stamps below, never a store write, so
+         the log sees real keys only. *)
+      Wal.append t.wal (Wal.Update { t = st.tid; k; before; after });
       st.undo <- (k, before) :: st.undo;
       (match after with
       | Some v -> Store.put t.store k v
@@ -279,15 +319,51 @@ let do_fetch t st name =
         Progress
       | outcome -> outcome))
 
-let do_commit t st =
-  st.status <- Committed;
-  finish_cleanup t st;
-  emit t (Action.commit st.tid);
-  Progress
+(* Periodic WAL checkpoint, mirroring the lock engine: a commit step
+   runs under every stripe, so the store image is consistent and no undo
+   list is mid-mutation. Still-active transactions are carried with
+   their undo journals so recovery can roll their pre-checkpoint writes
+   out of the image. *)
+let maybe_checkpoint t =
+  if t.checkpoint_every > 0 then begin
+    t.commits_since_ckpt <- t.commits_since_ckpt + 1;
+    if t.commits_since_ckpt >= t.checkpoint_every then begin
+      t.commits_since_ckpt <- 0;
+      let image = Store.to_list t.store in
+      let active =
+        Hashtbl.fold
+          (fun tid st acc ->
+            if st.status = Active then (tid, st.undo) :: acc else acc)
+          t.txns []
+      in
+      Wal.checkpoint t.wal ~image ~active
+    end
+  end
 
+let do_commit t st =
+  match t.tear_commit with
+  | Some tear when tear st.tid ->
+    (* The injected crash strikes as the Commit record is logged: it
+       never became durable, so the transaction never committed. Roll
+       back with compensation and let the runtime retry the attempt
+       under a fresh tid. *)
+    rollback t st Fault_injected;
+    Progress
+  | _ ->
+    Wal.append t.wal (Wal.Commit st.tid);
+    st.undo <- [];
+    st.status <- Committed;
+    finish_cleanup t st;
+    emit t (Action.commit st.tid);
+    maybe_checkpoint t;
+    Progress
+
+(* A tid the engine no longer knows (finished and forgotten) already
+   reached a terminal status, so the abort is a no-op. *)
 let abort_txn t tid ~reason =
-  let st = state t tid in
-  match st.status with Active -> rollback t st reason | Committed | Aborted _ -> ()
+  match Hashtbl.find_opt t.txns tid with
+  | Some st when st.status = Active -> rollback t st reason
+  | Some _ | None -> ()
 
 let step t tid (op : Program.op) =
   let st = state t tid in
@@ -326,3 +402,13 @@ let step t tid (op : Program.op) =
 
 let final_state t =
   List.filter (fun (k, _) -> k <> membership_key) (Store.to_list t.store)
+
+(* Drop a finished transaction's state. The table is mutated by steps
+   running under every stripe, so the pool routes this call through the
+   same all-stripes exclusion. *)
+let forget t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | Some st when st.status <> Active -> Hashtbl.remove t.txns tid
+  | _ -> ()
+
+let store t = t.store

@@ -34,8 +34,23 @@ type t
 val create :
   initial:(key * value) list ->
   predicates:Storage.Predicate.t list ->
+  ?wal_dir:string ->
+  ?wal_segment_bytes:int ->
+  ?wal_group_commit:bool ->
+  ?checkpoint_every:int ->
+  ?retain_trace:bool ->
   unit ->
   t
+(** The T/O scheduler updates its store in place with before-image undo
+    lists — the lock engine's shape — so it logs the standard
+    Begin/Update/Commit/Abort records and reuses the single-version
+    {!Storage.Recovery} unchanged (strictness excludes P0, so
+    before-image undo is sound). Out-of-core options mirror
+    {!Lock_engine.create}: [wal_dir] (segmented on-disk log, with
+    [wal_segment_bytes] and [wal_group_commit]), [checkpoint_every] > 0
+    (checkpoint + truncate every that many commits), [retain_trace] =
+    false (drop the in-memory action list; the trace hook and
+    {!trace_len} still run). *)
 
 val begin_txn : t -> txn -> unit
 (** Assigns the transaction's (monotonic) timestamp. *)
@@ -52,5 +67,23 @@ val trace_len : t -> int
 val set_trace_hook : t -> (int -> Action.t -> unit) -> unit
 (** Trace observation hook, called with [(position, action)] on each
     append; see {!Lock_engine.set_trace_hook}. *)
+
+val set_tear_hook : t -> (txn -> bool) -> unit
+(** Install the torn-commit fault hook, consulted as the Commit record
+    would be logged; see {!Lock_engine.set_tear_hook}. *)
+
+val wal : t -> Storage.Wal.t
+
+val wal_sync : t -> unit
+(** Group-commit durability point ({!Storage.Wal.sync}). *)
+
+val forget : t -> txn -> unit
+(** Drop a finished transaction's state (no-op while active or for an
+    unknown tid). Must run under the same all-stripes exclusion as the
+    engine's steps. *)
+
+val store : t -> Storage.Store.t
+(** The single-version store (the virtual membership item never appears
+    in it). *)
 
 val final_state : t -> (key * value) list

@@ -62,40 +62,66 @@ let sample_points ~seed ~budget ~lo ~hi required =
     List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) picked [])
   end
 
-let enumerate ?sample ?(seed = 1) ~initial log =
+(* Point selection, shared by both families. [decisive] marks the
+   records whose torn form is never sampled away: the terminal records
+   (Commit/Abort for the single-version log, Vcommit/Abort for the
+   multiversion one — a torn Vcommit is the torn-version-write case, the
+   versions installed without their stamp). *)
+let points_of ?sample ~seed ~decisive log =
   let n = Wal.length log in
-  let clean_points, torn_points =
-    match sample with
-    | None -> (List.init (n + 1) Fun.id, List.init n (fun i -> i + 1))
-    | Some budget ->
-      let budget = max 1 budget in
-      (* Terminal records: a torn Commit/Abort is the §3 dilemma point. *)
-      let terminals =
-        List.concat
-          (List.mapi
-             (fun i r ->
-               match r with
-               | Wal.Commit _ | Wal.Abort _ -> [ i + 1 ]
-               | _ -> [])
-             (Wal.records log))
-      in
-      ( sample_points ~seed ~budget ~lo:0 ~hi:n [ 0; n ],
-        sample_points ~seed:(seed + 1) ~budget ~lo:1 ~hi:n terminals )
-  in
+  match sample with
+  | None -> (List.init (n + 1) Fun.id, List.init n (fun i -> i + 1))
+  | Some budget ->
+    let budget = max 1 budget in
+    let terminals =
+      List.concat
+        (List.mapi
+           (fun i r -> if decisive r then [ i + 1 ] else [])
+           (Wal.records log))
+    in
+    ( sample_points ~seed ~budget ~lo:0 ~hi:n [ 0; n ],
+      sample_points ~seed:(seed + 1) ~budget ~lo:1 ~hi:n terminals )
+
+let run_points ~check ~clean_points ~torn_points log =
   let acc = ref [] in
   List.iter
-    (fun i -> acc := check ~initial (Wal.prefix log i) ~point:i ~torn:false !acc)
+    (fun i -> acc := check (Wal.prefix log i) ~point:i ~torn:false !acc)
     clean_points;
   List.iter
-    (fun i ->
-      acc := check ~initial (Wal.torn_prefix log i) ~point:i ~torn:true !acc)
+    (fun i -> acc := check (Wal.torn_prefix log i) ~point:i ~torn:true !acc)
     torn_points;
   {
-    records = n;
+    records = Wal.length log;
     points = List.length clean_points;
     torn_points = List.length torn_points;
     failures = List.rev !acc;
   }
+
+let enumerate ?sample ?(seed = 1) ~initial log =
+  let clean_points, torn_points =
+    (* Terminal records: a torn Commit/Abort is the §3 dilemma point. *)
+    points_of ?sample ~seed log ~decisive:(function
+      | Wal.Commit _ | Wal.Abort _ -> true
+      | _ -> false)
+  in
+  run_points ~check:(check ~initial) ~clean_points ~torn_points log
+
+(* The multiversion form: recovery is redo-only (Recovery.recover_mv) and
+   the check compares exact version chains, watermark prunes included.
+   [initial] is the run's initial rows (version 0), not a Store. *)
+let check_mv ~initial image ~point ~torn acc =
+  if Recovery.mv_recovery_correct ~initial image then acc
+  else
+    { point; torn; undone = (Recovery.recover_mv ~initial image).mv_undone }
+    :: acc
+
+let enumerate_mv ?sample ?(seed = 1) ~initial log =
+  let clean_points, torn_points =
+    points_of ?sample ~seed log ~decisive:(function
+      | Wal.Vcommit _ | Wal.Abort _ -> true
+      | _ -> false)
+  in
+  run_points ~check:(check_mv ~initial) ~clean_points ~torn_points log
 
 let ok r = r.failures = []
 

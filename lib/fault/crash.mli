@@ -32,6 +32,22 @@ val enumerate :
     sampled away. The [points] / [torn_points] counts record what was
     actually checked. *)
 
+val enumerate_mv :
+  ?sample:int ->
+  ?seed:int ->
+  initial:(Storage.Wal.key * Storage.Wal.value) list ->
+  Storage.Wal.t ->
+  report
+(** The multiversion form of {!enumerate}, for logs written by the MV
+    engine (Vinstall/Vcommit/Watermark/Vcheckpoint records). Each crash
+    image runs {!Storage.Recovery.recover_mv} against
+    {!Storage.Recovery.ideal_mv}, compared by exact version-chain
+    equality — so a transaction's versions installed without their
+    commit stamp (the torn version write) must have been discarded, and
+    watermark prunes must replay exactly. [initial] is the run's initial
+    rows (version 0 of each key). Sampling keeps every torn
+    Vcommit/Abort point, the MV dilemma points. *)
+
 val ok : report -> bool
 val pp_failure : failure Fmt.t
 val pp : report Fmt.t

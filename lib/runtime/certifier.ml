@@ -414,10 +414,13 @@ let sv_purge t tid =
    - Retirement: with the structures thinned, committed unreferenced
      graph sources are removed, cascading along their out-edges.
 
-   The multiversion family is not pruned: its version order and
-   per-version reader tables stay legitimately readable by arbitrarily
-   old snapshots, which the certifier does not timestamp (see the MV
-   crash-model roadmap item). *)
+   The multiversion family prunes on a different trigger: the certifier
+   cannot time out versions itself (it does not timestamp snapshots, and
+   an active transaction that has not acted yet may hold an arbitrarily
+   old one), so it waits for the engine's vacuum to declare versions
+   buried — {!mv_trim}, fed by {!Core.Engine.set_prune_hook} with the
+   exact (key, writer) pairs pruned at the oldest-active-snapshot
+   horizon. Trimmed writers then fall to the same source retirement. *)
 
 let committed_or_initial t n = n = 0 || status_of t n = Committed
 
@@ -466,6 +469,32 @@ let fold_preds t =
       end)
     t.preds
 
+(* Rejected closing edges are held for the finalize replay, but holding
+   them marks both endpoints referenced and so blocks source retirement
+   behind every transient cycle. Most rejections are transient: the
+   cycle ran through an optimistic edge of a still-active transaction
+   that later aborted (taking its edges with it). Retry the stash each
+   prune pass: an edge with an aborted endpoint is outside the committed
+   projection and can go; an edge between two committed survivors that
+   now inserts cleanly is in the graph for good — the stash entry is
+   redundant. Only edges that still close a cycle (or touch an active
+   endpoint) are held. Entries stay newest-first, so re-offers across
+   passes still happen in arrival order, as the finalize replay
+   requires. *)
+let retry_pending t =
+  t.pending_edges <-
+    List.fold_left
+      (fun acc ((src, dst, _) as e) ->
+        match (status_of t src, status_of t dst) with
+        | Aborted, _ | _, Aborted -> acc
+        | Committed, Committed -> (
+          match Graph.Incremental.add_edge t.g src dst with
+          | `Ok | `Exists -> acc
+          | `Cycle _ -> e :: acc)
+        | _ -> e :: acc)
+      []
+      (List.rev t.pending_edges)
+
 let retire_sources t =
   let referenced = Hashtbl.create 256 in
   let mark n = Hashtbl.replace referenced n () in
@@ -482,6 +511,17 @@ let retire_sources t =
       List.iter mark ps.preaders;
       List.iter mark ps.pwriters)
     t.preds;
+  Hashtbl.iter
+    (fun _ (s : key_mv) ->
+      mark s.lcw;
+      List.iter mark s.vorder_rev;
+      List.iter mark s.pending;
+      Hashtbl.iter
+        (fun v l ->
+          mark v;
+          List.iter mark !l)
+        s.readers)
+    t.keys_mv;
   List.iter
     (fun (src, dst, _) ->
       mark src;
@@ -498,6 +538,18 @@ let retire_sources t =
     && (not (Hashtbl.mem referenced n))
     && Graph.Incremental.preds t.g n = []
   in
+  (* An Aborted entry only exists to deaden later offers that touch the
+     transaction (a stale reader-list member, a held closing edge). Once
+     no table or held edge names it, no rule can offer such an edge
+     again, so the tombstone is dead weight. *)
+  let dead =
+    Hashtbl.fold
+      (fun n st acc ->
+        if n > 0 && st = Aborted && not (Hashtbl.mem referenced n) then n :: acc
+        else acc)
+      t.status []
+  in
+  List.iter (fun n -> Hashtbl.remove t.status n) dead;
   let roots =
     Hashtbl.fold (fun n _ acc -> if retirable n then n :: acc else acc) t.status []
   in
@@ -522,6 +574,7 @@ let maybe_prune t =
       t.prune_passes <- t.prune_passes + 1;
       trim_eras t;
       fold_preds t;
+      retry_pending t;
       retire_sources t
     end
   end
@@ -635,6 +688,7 @@ let observe_locked t (a : Action.t) =
       maybe_prune t
     | Action.Abort _ ->
       Hashtbl.replace t.status tid Aborted;
+      Hashtbl.remove t.doomed_tbl tid;
       sv_purge t tid;
       Graph.Incremental.remove_node t.g tid)
   | `Mv -> (
@@ -644,9 +698,15 @@ let observe_locked t (a : Action.t) =
     | Action.Pred_read _ -> () (* the MVSG has no predicate vocabulary *)
     | Action.Commit _ ->
       Hashtbl.replace t.status tid Committed;
-      mv_commit t tid
+      mv_commit t tid;
+      (* committed writers are never purged, so the write-set note is
+         dead weight from here on (and would pin the node as referenced
+         forever, defeating retirement) *)
+      Hashtbl.remove t.written tid;
+      maybe_prune t
     | Action.Abort _ ->
       Hashtbl.replace t.status tid Aborted;
+      Hashtbl.remove t.doomed_tbl tid;
       mv_purge t tid;
       Graph.Incremental.remove_node t.g tid)
 
@@ -674,6 +734,32 @@ let observe t _pos a =
   else locked t (fun () -> observe_locked t a)
 
 let flush t = if t.batch then locked t (fun () -> drain_locked t)
+
+(* Vacuum retirement (the engine's prune hook, multiversion family): the
+   engine buried these (key, writer) versions at the oldest-active-
+   snapshot horizon, so no active or future snapshot can read them. Drop
+   them from the version order and forget their reader tables — every rw
+   edge a reader of a buried version will ever need was offered when the
+   read was observed (to the version's then-successor and the pending
+   writers), and surviving readers' snapshots sit at or above the
+   horizon, reading surviving versions. The buffer is drained first so
+   the buried writers' own Commits have reached the tables. With the
+   references gone, the commit-cadence [maybe_prune] source retirement
+   collects the writers themselves. *)
+let mv_trim t ~buried =
+  locked t (fun () ->
+      if t.batch then drain_locked t;
+      List.iter
+        (fun (k, w) ->
+          match Hashtbl.find_opt t.keys_mv k with
+          | None -> ()
+          | Some s ->
+            if List.mem w s.vorder_rev then begin
+              s.vorder_rev <- List.filter (fun x -> x <> w) s.vorder_rev;
+              t.pruned_eras <- t.pruned_eras + 1
+            end;
+            Hashtbl.remove s.readers w)
+        buried)
 
 let doomed t tid =
   locked t (fun () ->

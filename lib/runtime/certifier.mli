@@ -77,8 +77,9 @@ val create :
     and committed graph sources no structure references any more are
     retired. The verdict is unchanged — a retired node can never gain
     another in-edge, so no future cycle can pass through it. The
-    multiversion family ignores it (old snapshots may still read any
-    buried version). *)
+    multiversion family runs the same retirement cadence, but its
+    version-order and reader references only go away when the engine's
+    vacuum declares versions buried — see {!mv_trim}. *)
 
 val observe : t -> int -> History.Action.t -> unit
 (** Feed one action, in history order; the [int] is its position
@@ -89,6 +90,16 @@ val flush : t -> unit
 (** Drain buffered actions into the graph ([~batch:true] only; a no-op
     otherwise). {!doomed} and {!finalize} flush implicitly, so calling
     this is an optimisation, not a correctness requirement. *)
+
+val mv_trim : t -> buried:(string * int) list -> unit
+(** Retire multiversion version-order entries: [buried] is the exact
+    (key, writer) list a vacuum pruned at the oldest-active-snapshot
+    horizon (the {!Core.Engine.set_prune_hook} payload — the pool wires
+    it). Removes each writer from the key's version order and drops its
+    per-version reader table; the writers themselves are then collected
+    by the [prune_every] retirement cadence. Sound because no active or
+    future snapshot can read a buried version, and every rw edge its
+    past readers needed was offered at observation time. *)
 
 val doomed : t -> int -> bool
 (** Has the transaction been doomed for closing a cycle? Polled by
@@ -107,7 +118,9 @@ type stats = {
   s_misses : int;         (** cycles with no active member left to doom *)
   s_prune_passes : int;   (** era-pruning passes run so far *)
   s_pruned_nodes : int;   (** committed nodes retired from the graph *)
-  s_pruned_eras : int;    (** settled era-stack entries trimmed *)
+  s_pruned_eras : int;
+      (** settled era-stack entries trimmed (single-version families) or
+          buried versions dropped by {!mv_trim} (multiversion) *)
 }
 
 val stats : t -> stats

@@ -580,8 +580,11 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
     ~attempt ~worker:widx ~start_ns ~finish_ns outcome;
   (* Everything the runtime will ever ask the engine about this tid has
      been asked (the status read above; env reads happen mid-program);
-     release its slot so long runs don't retain every finished txn. *)
-  Engine.forget sh.engine tid;
+     release its slot so long runs don't retain every finished txn. The
+     MV/timestamp transaction tables only tolerate mutation under every
+     stripe, hence the aux exclusion (a no-op for the locking engine,
+     which serialises the call itself). *)
+  with_aux_exclusion sh ~tid (fun () -> Engine.forget sh.engine tid);
   (outcome, tid, finish_ns - start_ns)
 
 (* Retry policy: user aborts are the program's own decision and final;
@@ -707,6 +710,13 @@ let make_shared (cfg : config) ~family =
   (match certifier with
   | None -> ()
   | Some c -> Engine.set_trace_hook engine (fun pos a -> Certifier.observe c pos a));
+  (* Vacuum retirement feed (multiversion only): the engine reports the
+     versions each vacuum buried — under the committing worker's
+     all-stripes exclusion — and the certifier drops its version-order
+     entries for exactly those, keeping [--history false] MV runs flat. *)
+  (match certifier with
+  | None -> ()
+  | Some c -> Engine.set_prune_hook engine (fun buried -> Certifier.mv_trim c ~buried));
   (* Torn-commit injection: the hook fires on the committing worker's
      domain (under its stripes, DLS ring bound), so metrics and trace
      emission are safe here. *)
@@ -1085,7 +1095,7 @@ let exec_finish t ~worker ~tid ~job ~name ~level ~attempt ~start_ns ~wait_ns =
     ~start_ns ~finish_ns outcome;
   (* As in [run_attempt]: the session front-end reads env mid-transaction
      and finishes last, so nothing will query this tid again. *)
-  Engine.forget sh.engine tid;
+  with_aux_exclusion sh ~tid (fun () -> Engine.forget sh.engine tid);
   outcome
 
 let exec_note_wait t ~slept_ns =

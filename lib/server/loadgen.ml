@@ -400,14 +400,23 @@ let run cfg =
              in
              let prev = ref (cut ()) in
              let next = ref ((!prev).at +. cfg.progress_s) in
+             let total = cfg.sessions * cfg.txns_per_session in
              while not !progress_stop do
                Thread.delay (min 0.1 cfg.progress_s);
                let now = Unix.gettimeofday () in
                if (not !progress_stop) && now >= !next then begin
                  let s = cut () in
-                 Fmt.epr "loadgen: %a@."
+                 (* progress-vs-RSS: the million-transaction preset's
+                    flat-memory evidence, one line per interval (the
+                    generator's own RSS — the server reports its side
+                    through STATS/telemetry) *)
+                 Fmt.epr "loadgen: %a | %d/%d txns (%.1f%%), rss %d MiB@."
                    Telemetry.Window.pp_rates
-                   (Telemetry.Window.delta !prev s);
+                   (Telemetry.Window.delta !prev s)
+                   s.Telemetry.Window.committed total
+                   (100. *. float s.Telemetry.Window.committed
+                   /. float (max 1 total))
+                   (Runtime.Sysmem.vm_rss_kb () / 1024);
                  prev := s;
                  next := now +. cfg.progress_s
                end

@@ -56,13 +56,14 @@ let base_of ~initial intact =
   | rest -> (Store.copy initial, [], rest)
 
 (* Apply the log forward to reconstruct the state at the crash, starting
-   from the replay base. *)
+   from the replay base. The single-version passes only ever act on
+   [Update]; versioned records belong to the MV pass below. *)
 let replay ~initial log =
   let s, _, rest = base_of ~initial (Wal.intact log) in
   List.iter
     (function
       | Wal.Update { k; after; _ } -> Store.restore s k after
-      | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+      | _ -> ())
     rest;
   s
 
@@ -76,7 +77,7 @@ let recover ~initial log =
   List.iter
     (function
       | Wal.Update { k; after; _ } -> Store.restore state k after
-      | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ())
+      | _ -> ())
     rest;
   let to_undo = Wal.losers log in
   let losing = txn_set to_undo in
@@ -84,8 +85,7 @@ let recover ~initial log =
     (function
       | Wal.Update { t; k; before; _ } when Hashtbl.mem losing t ->
         Store.restore state k before
-      | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _
-      | Wal.Checkpoint _ -> ())
+      | _ -> ())
     (List.rev rest);
   List.iter
     (fun (t, journal) ->
@@ -113,11 +113,95 @@ let ideal_state ~initial log =
     (function
       | Wal.Update { t; k; after; _ } when Hashtbl.mem committed t ->
         Store.restore s k after
-      | Wal.Update _ | Wal.Begin _ | Wal.Commit _ | Wal.Abort _
-      | Wal.Checkpoint _ -> ())
+      | _ -> ())
     rest;
   s
 
 (* Recovery is correct when before-image undo reproduces the ideal state. *)
 let recovery_correct ~initial log =
   Store.equal (recover ~initial log).state (ideal_state ~initial log)
+
+(* {2 Multiversion recovery}
+
+   The version store needs no before-image undo at all: versions are
+   installed only at commit and become visible only with their [Vcommit]
+   stamp, so recovery is redo-only — buffer each transaction's intact
+   [Vinstall]s, install them when its stamp arrives, and drop them on
+   [Abort] or when the log ends without a stamp (the torn-version-write
+   case: installed but unstamped versions never became visible, and the
+   owning transaction is a loser). [Watermark] records replay the prunes
+   the engine ran, so the recovered store has buried exactly what the
+   live store had buried and post-crash snapshots can never start below
+   the recovered watermark. A leading [Vcheckpoint] replaces the initial
+   rows with its chains (its active transactions carry no journal —
+   their writes were privately buffered and died with the crash). *)
+
+type mv_outcome = {
+  vstate : Version_store.t;  (* recovered version store *)
+  next_ts : int;             (* recovered commit-timestamp clock *)
+  watermark : int;           (* recovered snapshot watermark *)
+  mv_undone : Wal.txn list;  (* in-flight transactions discarded *)
+}
+
+let mv_base_of ~initial intact =
+  match intact with
+  | Wal.Vcheckpoint { chains; next_ts; watermark; _ } :: rest ->
+    (Version_store.of_chains chains, next_ts, watermark, rest)
+  | rest -> (Version_store.of_list initial, 0, 0, rest)
+
+let buffered buf t = Option.value ~default:[] (Hashtbl.find_opt buf t)
+
+let recover_mv ~initial log =
+  let s, base_ts, base_wm, rest = mv_base_of ~initial (Wal.intact log) in
+  let next_ts = ref base_ts and watermark = ref base_wm in
+  let buf = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Wal.Vinstall { t; k; value } ->
+        Hashtbl.replace buf t ((k, value) :: buffered buf t)
+      | Wal.Vcommit { t; ts } ->
+        (match buffered buf t with
+        | [] -> ()
+        | writes -> Version_store.install s ~writer:t ~commit_ts:ts writes);
+        Hashtbl.remove buf t;
+        if ts > !next_ts then next_ts := ts
+      | Wal.Abort t -> Hashtbl.remove buf t
+      | Wal.Watermark w ->
+        ignore (Version_store.prune s ~horizon:w : int);
+        if w > !watermark then watermark := w
+      | _ -> ())
+    rest;
+  {
+    vstate = s;
+    next_ts = !next_ts;
+    watermark = !watermark;
+    mv_undone = List.sort_uniq compare (Wal.losers log);
+  }
+
+(* The correct post-crash version store, computed the other way around:
+   install only committed transactions' stamped write sets, then prune
+   once at the final watermark. Prune monotonicity (see
+   {!Version_store.prune}) is what makes this equal to [recover_mv]'s
+   incremental replay when recovery is sound. *)
+let ideal_mv ~initial log =
+  let s, _, base_wm, rest = mv_base_of ~initial (Wal.intact log) in
+  let committed = txn_set (Wal.committed log) in
+  let watermark = ref base_wm in
+  let buf = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Wal.Vinstall { t; k; value } ->
+        Hashtbl.replace buf t ((k, value) :: buffered buf t)
+      | Wal.Vcommit { t; ts } when Hashtbl.mem committed t ->
+        (match buffered buf t with
+        | [] -> ()
+        | writes -> Version_store.install s ~writer:t ~commit_ts:ts writes);
+        Hashtbl.remove buf t
+      | Wal.Watermark w -> if w > !watermark then watermark := w
+      | _ -> ())
+    rest;
+  if !watermark > 0 then ignore (Version_store.prune s ~horizon:!watermark : int);
+  s
+
+let mv_recovery_correct ~initial log =
+  Version_store.equal (recover_mv ~initial log).vstate (ideal_mv ~initial log)

@@ -30,3 +30,38 @@ val ideal_state : initial:Store.t -> Wal.t -> Store.t
 val recovery_correct : initial:Store.t -> Wal.t -> bool
 (** Does before-image undo reproduce the ideal state? False for P0
     histories such as [w1[x] w2[x]] with T1 in flight at the crash. *)
+
+(** {2 Multiversion recovery}
+
+    Redo-only: versions are installed at commit and become visible only
+    with their {!Wal.record.Vcommit} stamp, so recovery buffers each
+    transaction's intact [Vinstall]s, installs them when the stamp
+    arrives, and discards them on [Abort] — or when the log ends without
+    a stamp. In particular a torn [Vinstall] never existed, and a
+    transaction whose [Vinstall]s are intact but whose [Vcommit] is torn
+    or missing is in flight: its installed versions never became visible
+    and are dropped (the MV form of {!Wal.losers}' torn-terminal rule).
+    [Watermark] records replay the engine's prunes so post-crash
+    snapshots can never read below the recovered watermark. *)
+
+type mv_outcome = {
+  vstate : Version_store.t;  (** recovered version store *)
+  next_ts : int;  (** recovered commit-timestamp clock *)
+  watermark : int;  (** recovered snapshot watermark — no post-crash
+                        transaction may start below it *)
+  mv_undone : Wal.txn list;  (** in-flight transactions discarded *)
+}
+
+val recover_mv : initial:(Wal.key * Wal.value) list -> Wal.t -> mv_outcome
+(** Rebuild the version store from the log: a leading
+    {!Wal.record.Vcheckpoint}'s chains (else [initial] as version 0),
+    then stamped installs, aborts and watermark prunes in order. *)
+
+val ideal_mv : initial:(Wal.key * Wal.value) list -> Wal.t -> Version_store.t
+(** The correct post-crash version store: committed transactions'
+    stamped write sets only, pruned once at the final watermark. Equal
+    to {!recover_mv}'s incremental replay by prune monotonicity. *)
+
+val mv_recovery_correct : initial:(Wal.key * Wal.value) list -> Wal.t -> bool
+(** Does {!recover_mv} reproduce {!ideal_mv}, compared by exact chain
+    equality ({!Version_store.equal})? *)

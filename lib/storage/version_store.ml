@@ -34,6 +34,12 @@ let of_list rows =
 
 let chain s k = Option.value ~default:[] (Btree.find s.chains k)
 
+(* Rebuild a store from dumped chains — the MV checkpoint replay base. *)
+let of_chains cs =
+  let s = create () in
+  List.iter (fun (k, vs) -> if vs <> [] then Btree.insert s.chains k vs) cs;
+  s
+
 let version_at s ~ts k =
   let rec find = function
     | [] -> None
@@ -95,9 +101,18 @@ let writer_at s ~ts k =
    version with commit_ts <= horizon, per key. Reads at timestamps >=
    horizon are unaffected; snapshots older than the horizon must no
    longer be served (the engine tracks the oldest active Start-Timestamp
-   and passes it here). Returns how many versions were dropped. *)
-let prune s ~horizon =
-  let dropped = ref 0 in
+   and passes it here). [prune_collect] returns the dropped versions'
+   (key, writer) pairs — what the certifier needs to retire its
+   version-order entries; [prune] just counts them.
+
+   Pruning is monotone: pruning at w1 then at w2 >= w1 equals pruning
+   once at w2, because the survivor at w1 (the newest version <= w1) is
+   either still the newest <= w2 or strictly below a later version that
+   is — either way the w2 pass makes the same per-key cut. Recovery
+   leans on this: incremental Watermark replays and one final prune
+   agree. *)
+let prune_collect s ~horizon =
+  let dropped = ref [] in
   List.iter
     (fun k ->
       let rec keep = function
@@ -107,7 +122,7 @@ let prune s ~horizon =
             (* [v] is the newest version at or below the horizon: it stays
                (it is what snapshots at the horizon read); everything
                older goes. *)
-            dropped := !dropped + List.length rest;
+            List.iter (fun v -> dropped := (k, v.writer) :: !dropped) rest;
             [ v ]
           end
           else v :: keep rest
@@ -116,8 +131,23 @@ let prune s ~horizon =
     (keys s);
   !dropped
 
+let prune s ~horizon = List.length (prune_collect s ~horizon)
+
 let version_count s =
   List.fold_left (fun acc k -> acc + List.length (chain s k)) 0 (keys s)
+
+(* Full dump of the chains (empty chains elided), in key order — the MV
+   checkpoint image, and the equality witness for recovery checks. *)
+let chains s =
+  List.filter_map
+    (fun k -> match chain s k with [] -> None | vs -> Some (k, vs))
+    (keys s)
+
+(* Exact structural equality of the version chains — values, writers and
+   commit timestamps all — not just of the latest visible rows. Crash
+   checks compare recovered stores with this so a wrong-but-shadowed
+   version cannot hide. *)
+let equal a b = chains a = chains b
 
 let to_latest_list s =
   List.filter_map

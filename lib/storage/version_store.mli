@@ -21,6 +21,10 @@ val of_list : (key * value) list -> t
 (** Initial rows become version 0, written by the virtual transaction 0 at
     timestamp 0 — the paper's [x0]. *)
 
+val of_chains : (key * version list) list -> t
+(** Rebuild a store from dumped chains (newest first per key) — the
+    replay base of a {!Wal.record.Vcheckpoint}. *)
+
 val chain : t -> key -> version list
 (** Committed versions, newest first. *)
 
@@ -48,10 +52,23 @@ val prune : t -> horizon:ts -> int
 (** Version garbage collection: drop versions no snapshot at or after
     [horizon] can observe, returning how many were dropped. Reads at
     timestamps [>= horizon] are unaffected; older snapshots must no
-    longer be served. *)
+    longer be served. Monotone: pruning at [w1] then [w2 >= w1] equals
+    one prune at [w2]. *)
+
+val prune_collect : t -> horizon:ts -> (key * History.Action.txn) list
+(** Like {!prune}, returning the dropped versions' (key, writer) pairs —
+    what the certifier's version-order tables retire on. *)
 
 val version_count : t -> int
 (** Total versions retained across all keys. *)
+
+val chains : t -> (key * version list) list
+(** Every chain, newest first per key, in key order; empty chains
+    elided. The MV checkpoint image. *)
+
+val equal : t -> t -> bool
+(** Exact structural equality of the chains (values, writers and commit
+    timestamps), not just of the latest visible rows. *)
 
 val to_latest_list : t -> (key * value) list
 val pp : t Fmt.t

@@ -43,6 +43,27 @@ type record =
       image : (key * value) list;
       active : (txn * (key * value option) list) list;
     }
+  (* Versioned records, for the multiversion family. A version reaches
+     the log in two steps: [Vinstall] per written key (the version
+     exists, uncommitted) and one [Vcommit] carrying the writer's
+     Commit-Timestamp (the versions became visible). A crash between the
+     two — or a torn [Vcommit] — leaves the transaction in flight: its
+     installed-but-unstamped versions never became visible and recovery
+     discards them, the multiversion form of the torn-terminal rule. *)
+  | Vinstall of { t : txn; k : key; value : value option }
+  | Vcommit of { t : txn; ts : int }
+  | Watermark of int
+      (* the snapshot watermark advanced: versions buried below it were
+         pruned, and no post-crash snapshot may start below it *)
+  | Vcheckpoint of {
+      chains : (key * Version_store.version list) list;
+          (* per-key committed version chains, newest first *)
+      next_ts : int;    (* the commit-timestamp clock at the checkpoint *)
+      watermark : int;  (* snapshot watermark at the checkpoint *)
+      active : txn list;
+          (* transactions in flight — their writes are privately
+             buffered, not in the chains, so no undo journal is needed *)
+    }
 
 let pp_record ppf = function
   | Begin t -> Fmt.pf ppf "BEGIN(T%d)" t
@@ -57,6 +78,15 @@ let pp_record ppf = function
   | Checkpoint { image; active } ->
     Fmt.pf ppf "CHECKPOINT(%d keys, %d active)" (List.length image)
       (List.length active)
+  | Vinstall { t; k; value } ->
+    Fmt.pf ppf "VINSTALL(T%d, %s, %a)" t k
+      Fmt.(option ~none:(any "del") int)
+      value
+  | Vcommit { t; ts } -> Fmt.pf ppf "VCOMMIT(T%d, ts %d)" t ts
+  | Watermark w -> Fmt.pf ppf "WATERMARK(%d)" w
+  | Vcheckpoint { chains; watermark; active; _ } ->
+    Fmt.pf ppf "VCHECKPOINT(%d keys, wm %d, %d active)" (List.length chains)
+      watermark (List.length active)
 
 (* {2 Binary codec}
 
@@ -112,6 +142,36 @@ let encode_body b = function
             add_opt b before)
           undo)
       active
+  | Vinstall { t; k; value } ->
+    Buffer.add_uint8 b (Char.code 'I');
+    Buffer.add_int64_le b (Int64.of_int t);
+    add_key b k;
+    add_opt b value
+  | Vcommit { t; ts } ->
+    Buffer.add_uint8 b (Char.code 'V');
+    Buffer.add_int64_le b (Int64.of_int t);
+    Buffer.add_int64_le b (Int64.of_int ts)
+  | Watermark w ->
+    Buffer.add_uint8 b (Char.code 'W');
+    Buffer.add_int64_le b (Int64.of_int w)
+  | Vcheckpoint { chains; next_ts; watermark; active } ->
+    Buffer.add_uint8 b (Char.code 'M');
+    Buffer.add_int64_le b (Int64.of_int next_ts);
+    Buffer.add_int64_le b (Int64.of_int watermark);
+    Buffer.add_int32_le b (Int32.of_int (List.length active));
+    List.iter (fun t -> Buffer.add_int64_le b (Int64.of_int t)) active;
+    Buffer.add_int32_le b (Int32.of_int (List.length chains));
+    List.iter
+      (fun (k, vs) ->
+        add_key b k;
+        Buffer.add_int32_le b (Int32.of_int (List.length vs));
+        List.iter
+          (fun v ->
+            add_opt b v.Version_store.value;
+            Buffer.add_int64_le b (Int64.of_int v.Version_store.writer);
+            Buffer.add_int64_le b (Int64.of_int v.Version_store.commit_ts))
+          vs)
+      chains
 
 exception Truncated
 
@@ -174,6 +234,31 @@ let decode_body s =
                (k, get_opt s pos))))
     in
     Checkpoint { image; active }
+  | 'I' ->
+    let t = get_i64 s pos in
+    let k = get_key s pos in
+    Vinstall { t; k; value = get_opt s pos }
+  | 'V' ->
+    let t = get_i64 s pos in
+    Vcommit { t; ts = get_i64 s pos }
+  | 'W' -> Watermark (get_i64 s pos)
+  | 'M' ->
+    let next_ts = get_i64 s pos in
+    let watermark = get_i64 s pos in
+    let na = get_u32 s pos in
+    let active = List.init na (fun _ -> get_i64 s pos) in
+    let nk = get_u32 s pos in
+    let chains =
+      List.init nk (fun _ ->
+          let k = get_key s pos in
+          let nv = get_u32 s pos in
+          ( k,
+            List.init nv (fun _ ->
+                let value = get_opt s pos in
+                let writer = get_i64 s pos in
+                { Version_store.value; writer; commit_ts = get_i64 s pos }) ))
+    in
+    Vcheckpoint { chains; next_ts; watermark; active }
   | _ -> raise Truncated
 
 (* {2 Backends} *)
@@ -281,7 +366,7 @@ let disk_write d r =
   d.seg_bytes <- d.seg_bytes + 4 + len;
   d.appended_lsn <- d.appended_lsn + 1;
   (match r with
-  | Commit _ -> d.commits_pending <- d.commits_pending + 1
+  | Commit _ | Vcommit _ -> d.commits_pending <- d.commits_pending + 1
   | _ -> ());
   if d.seg_bytes >= d.segment_bytes then begin
     flush d.chan;
@@ -379,9 +464,13 @@ let sync log =
    and is unlinked. The in-memory backend mirrors the truncation exactly:
    the records list restarts at the checkpoint. Recovery treats a log
    whose first intact record is a Checkpoint as starting from its
-   image. *)
-let checkpoint log ~image ~active =
-  let r = Checkpoint { image; active } in
+   image.
+
+   [checkpoint_record] is the general form: any record that fully
+   captures the replay base — the single-version [Checkpoint] or the
+   multiversion [Vcheckpoint] — rides the same fresh-segment-plus-
+   truncation discipline. *)
+let checkpoint_record log r =
   Mutex.lock log.m;
   (match log.backend with
   | Mem ->
@@ -421,6 +510,9 @@ let checkpoint log ~image ~active =
     Mutex.unlock d.sync_m;
     Mutex.lock log.m);
   Mutex.unlock log.m
+
+let checkpoint log ~image ~active =
+  checkpoint_record log (Checkpoint { image; active })
 
 let close log =
   Mutex.lock log.m;
@@ -505,43 +597,39 @@ let length log =
   Mutex.unlock log.m;
   n
 
-(* Terminal-record accounting believes only intact records: a Commit or
-   Abort torn off the tail never took effect. *)
+(* Terminal-record accounting believes only intact records: a Commit,
+   Vcommit or Abort torn off the tail never took effect. *)
 let committed log =
-  List.filter_map (function Commit t -> Some t | _ -> None) (intact log)
+  List.filter_map
+    (function Commit t | Vcommit { t; _ } -> Some t | _ -> None)
+    (intact log)
 
 let aborted log =
   List.filter_map (function Abort t -> Some t | _ -> None) (intact log)
 
-(* The leading checkpoint of an intact record list, if any: the replay
-   base after truncation. Mid-log checkpoints are consistency no-ops
-   (their image equals the replay of everything before them). *)
-let leading_checkpoint_of = function
-  | Checkpoint { image; active } :: rest -> (Some (image, active), rest)
-  | rs -> (None, rs)
-
 (* Transactions in flight at the crash: an intact Begin — or a carried
    entry in the leading checkpoint's active list — with no intact
-   terminal record. A transaction whose Commit/Abort is the torn tail is
-   in flight too. The membership tables keep this linear in the log,
-   which matters to crash-point enumeration (it calls [losers] once per
-   prefix). *)
+   terminal record (Commit, Vcommit or Abort). A transaction whose
+   terminal is the torn tail is in flight too, and so is one whose
+   Vinstalls survived but whose commit stamp did not: versions without a
+   stamp never became visible. The membership tables keep this linear in
+   the log, which matters to crash-point enumeration (it calls [losers]
+   once per prefix). *)
 let losers log =
   let rs = intact log in
-  let carried, _ = leading_checkpoint_of rs in
+  let carried =
+    match rs with
+    | Checkpoint { active; _ } :: _ -> List.map fst active
+    | Vcheckpoint { active; _ } :: _ -> active
+    | _ -> []
+  in
   let ended = Hashtbl.create 16 in
   List.iter
-    (function Commit t | Abort t -> Hashtbl.replace ended t () | _ -> ())
+    (function
+      | Commit t | Abort t | Vcommit { t; _ } -> Hashtbl.replace ended t ()
+      | _ -> ())
     rs;
-  let carried_losers =
-    match carried with
-    | None -> []
-    | Some (_, active) ->
-      List.filter_map
-        (fun (t, _) -> if Hashtbl.mem ended t then None else Some t)
-        active
-  in
-  carried_losers
+  List.filter (fun t -> not (Hashtbl.mem ended t)) carried
   @ List.filter_map
       (function Begin t when not (Hashtbl.mem ended t) -> Some t | _ -> None)
       rs

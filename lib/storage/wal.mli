@@ -15,6 +15,15 @@
     transaction whose terminal record is the torn tail is still in
     flight and must be undone.
 
+    The multiversion records obey the same rule. A version reaches the
+    log as [Vinstall] (installed, uncommitted) and becomes visible only
+    with the transaction's [Vcommit] stamp; a torn [Vinstall] means the
+    version never existed, and a transaction whose [Vinstall]s are
+    intact but whose [Vcommit] is torn (or missing) is in flight — its
+    installed versions never became visible and recovery must discard
+    them. That is the MV form of the restore-or-not rule: there is
+    nothing to restore, only unstamped versions to drop.
+
     {2 Backends}
 
     [create ()] is the original in-memory log. [create ~dir ()] appends
@@ -46,6 +55,29 @@ type record =
           starts from [image], and a carried active transaction that never
           reaches an intact terminal record is undone from its carried
           journal. Written by {!checkpoint}, which also truncates. *)
+  | Vinstall of { t : txn; k : key; value : value option }
+      (** A multiversion engine installed a version of [k] ([None] is a
+          tombstone). Not yet visible: visibility needs the writer's
+          {!constructor-Vcommit} stamp. *)
+  | Vcommit of { t : txn; ts : int }
+      (** Terminal record of a committed multiversion transaction: every
+          [Vinstall] it logged becomes visible at Commit-Timestamp
+          [ts]. *)
+  | Watermark of int
+      (** The snapshot watermark advanced: versions buried below it were
+          pruned and no post-crash snapshot may start below it. *)
+  | Vcheckpoint of {
+      chains : (key * Version_store.version list) list;
+          (** per-key committed version chains, newest first *)
+      next_ts : int;  (** commit-timestamp clock at the checkpoint *)
+      watermark : int;  (** snapshot watermark at the checkpoint *)
+      active : txn list;
+          (** transactions in flight — their writes are privately
+              buffered (not in the chains), so unlike
+              {!constructor-Checkpoint} no undo journal is carried *)
+    }
+      (** The multiversion checkpoint: replay starts from [chains].
+          Written by {!checkpoint_record}, which also truncates. *)
 
 val pp_record : record Fmt.t
 
@@ -81,6 +113,11 @@ val checkpoint :
     at that instant (the lock engine holds all stripes when it calls
     this). *)
 
+val checkpoint_record : t -> record -> unit
+(** The general form of {!checkpoint}: write any record that fully
+    captures the replay base ([Checkpoint] or [Vcheckpoint]) at the head
+    of a fresh segment and truncate everything below it. *)
+
 val close : t -> unit
 (** Flush and close the disk backend. No-op in memory. *)
 
@@ -104,16 +141,18 @@ val length : t -> int
 (** Live (post-truncation) record count. O(1). *)
 
 val committed : t -> txn list
-(** Transactions with an intact [Commit]. A [Commit] torn off the tail
-    never took effect. *)
+(** Transactions with an intact [Commit] or [Vcommit]. A terminal record
+    torn off the tail never took effect. *)
 
 val aborted : t -> txn list
 
 val losers : t -> txn list
 (** Transactions with an intact [Begin] — or carried in a leading
-    [Checkpoint]'s active list — but no intact terminal record: in
-    flight at the crash. Includes a transaction whose [Commit] or
-    [Abort] is the torn tail. *)
+    [Checkpoint]/[Vcheckpoint]'s active list — but no intact terminal
+    record ([Commit], [Vcommit] or [Abort]): in flight at the crash.
+    Includes a transaction whose terminal record is the torn tail, and a
+    multiversion transaction whose [Vinstall]s survived without their
+    [Vcommit] stamp — its versions never became visible. *)
 
 val prefix : t -> int -> t
 (** [prefix log n] is the crash image after exactly the first [n] records

@@ -207,6 +207,45 @@ let test_sample_still_flags_p0 () =
        (fun f -> f.Crash.point = 5 && not f.Crash.torn)
        r.Crash.failures)
 
+(* {2 Multiversion enumeration} *)
+
+(* A versioned log with a stamped committer and an unstamped installer:
+   every crash image — including the ones that tear the Vcommit stamp
+   off the tail — must recover to the committed-prefix ideal. *)
+let test_enumerate_mv_clean_log () =
+  let initial = [ ("x", 0); ("y", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Vinstall { t = 1; k = "x"; value = Some 1 };
+        Wal.Vcommit { t = 1; ts = 1 };
+        Wal.Begin 2;
+        Wal.Vinstall { t = 2; k = "y"; value = Some 9 } ]
+  in
+  let r = Crash.enumerate_mv ~initial w in
+  Alcotest.(check bool) "versioned log recovers everywhere" true (Crash.ok r);
+  Alcotest.(check int) "all 2n+1 images checked" 11
+    (r.Crash.points + r.Crash.torn_points)
+
+(* Sampling keeps every torn Vcommit (the MV decisive points — exactly
+   where a torn stamp must demote the txn to in-flight). *)
+let test_sample_mv_keeps_stamps () =
+  let w = Wal.create () in
+  for t = 1 to 30 do
+    Wal.append w (Wal.Begin t);
+    Wal.append w (Wal.Vinstall { t; k = "x"; value = Some t });
+    Wal.append w (Wal.Vcommit { t; ts = t })
+  done;
+  let r = Crash.enumerate_mv ~sample:5 ~seed:7 ~initial:[ ("x", 0) ] w in
+  Alcotest.(check bool) "sampled MV enumeration recovers" true (Crash.ok r);
+  Alcotest.(check bool) "every torn stamp was kept" true
+    (r.Crash.torn_points >= 30);
+  let full = Crash.enumerate_mv ~initial:[ ("x", 0) ] w in
+  Alcotest.(check bool) "exhaustive agrees" true (Crash.ok full);
+  Alcotest.(check int) "exhaustive checks every image"
+    (2 * Wal.length w + 1)
+    (full.Crash.points + full.Crash.torn_points)
+
 (* Property: a real SERIALIZABLE pool run (2PL long write locks — no P0
    by construction) must recover at every crash point of its WAL, for
    every seed. This is the tentpole guarantee: durability of the
@@ -297,6 +336,38 @@ let test_stress_runs_recover_everywhere_segmented () =
             (Store.of_list r.Pool.final))
   done
 
+(* The same property at SNAPSHOT: the multiversion engine's versioned
+   WAL (Vinstall/Vcommit) must replay every one of its 2n+1 crash
+   images to the ideal committed-prefix version store, for 20 seeds —
+   and the surviving latest rows must equal the committed replay. *)
+let test_snapshot_runs_recover_everywhere () =
+  for seed = 1 to 20 do
+    let accounts = 8 in
+    let initial = Generators.bank_accounts accounts in
+    let jobs =
+      Array.init 12 (fun i ->
+          let p =
+            Generators.stress_program Generators.Hotspot ~seed ~accounts ~hot:2
+              ~ops:4 ~index:i
+          in
+          Pool.job ~name:p.Core.Program.name ~level:L.Snapshot p)
+    in
+    let cfg = Pool.config ~workers:4 ~initial ~think_us:20. ~seed () in
+    let r = Pool.run cfg jobs in
+    match r.Pool.wal with
+    | None -> Alcotest.fail "multiversion run must expose its WAL"
+    | Some wal ->
+      let report = Crash.enumerate_mv ~initial wal in
+      if not (Crash.ok report) then
+        Alcotest.failf "seed %d: %a" seed Crash.pp report;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "seed %d: effects conserved" seed)
+        (List.sort compare
+           (Storage.Version_store.to_latest_list
+              (Recovery.ideal_mv ~initial wal)))
+        (List.sort compare r.Pool.final)
+  done
+
 (* {2 Runtime fault injection} *)
 
 let chaos_run ?(txns = 32) ?(workers = 4) ?fault ?deadline_us ?watchdog_us
@@ -363,6 +434,36 @@ let test_torn_commit_retries () =
   Alcotest.(check int) "every job commits after retry" 32
     r.Pool.metrics.Metrics.committed;
   check_effects_conserved "torn commits leave no trace" initial r
+
+(* The MV form: the tear hook fires as the Vcommit stamp would be
+   logged — after the Vinstalls made it — so the live log exhibits
+   installed-but-unstamped versions closed by a compensating Abort, the
+   attempt retries, and the whole log still recovers everywhere. *)
+let test_mv_torn_stamp_retries () =
+  let plan = Plan.create ~torn_commit_rate:0.4 ~seed:3 () in
+  let accounts = 8 in
+  let initial = Generators.bank_accounts accounts in
+  let jobs =
+    Array.init 32 (fun i ->
+        let p =
+          Generators.stress_program Generators.Hotspot ~seed:3 ~accounts ~hot:2
+            ~ops:4 ~index:i
+        in
+        Pool.job ~name:p.Core.Program.name ~level:L.Snapshot p)
+  in
+  let cfg = Pool.config ~workers:4 ~initial ~think_us:20. ~seed:3 ~fault:plan () in
+  let r = Pool.run cfg jobs in
+  Alcotest.(check bool) "some stamps were torn" true
+    (r.Pool.metrics.Metrics.faults_injected > 0);
+  Alcotest.(check int) "every job commits after retry" 32
+    r.Pool.metrics.Metrics.committed;
+  let wal = Option.get r.Pool.wal in
+  Alcotest.(check (list (pair string int))) "torn stamps leave no trace"
+    (List.sort compare
+       (Storage.Version_store.to_latest_list (Recovery.ideal_mv ~initial wal)))
+    (List.sort compare r.Pool.final);
+  Alcotest.(check bool) "and every crash image recovers" true
+    (Crash.ok (Crash.enumerate_mv ~initial wal))
 
 (* {2 Deadlines and the watchdog} *)
 
@@ -446,15 +547,23 @@ let suite =
       test_sample_bounded_but_complete;
     Alcotest.test_case "sampling keeps the decisive points" `Quick
       test_sample_still_flags_p0;
+    Alcotest.test_case "MV enumeration passes a versioned log" `Quick
+      test_enumerate_mv_clean_log;
+    Alcotest.test_case "MV sampling keeps every torn stamp" `Quick
+      test_sample_mv_keeps_stamps;
     Alcotest.test_case "20 seeded runs recover at every crash point" `Slow
       test_stress_runs_recover_everywhere;
     Alcotest.test_case "20 seeded runs recover on the segmented disk WAL"
       `Slow test_stress_runs_recover_everywhere_segmented;
+    Alcotest.test_case "20 seeded SNAPSHOT runs recover at every crash point"
+      `Slow test_snapshot_runs_recover_everywhere;
     Alcotest.test_case "chaos drains clean" `Quick test_chaos_drains_clean;
     Alcotest.test_case "spurious failures retry to success" `Quick
       test_step_fail_aborts_and_retries;
     Alcotest.test_case "torn commits retry to success" `Quick
       test_torn_commit_retries;
+    Alcotest.test_case "torn MV stamps retry to success" `Quick
+      test_mv_torn_stamp_retries;
     Alcotest.test_case "deadline aborts gracefully" `Quick
       test_deadline_aborts_gracefully;
     Alcotest.test_case "generous deadline is silent" `Quick

@@ -141,6 +141,65 @@ let test_disk_crash_enumeration () =
       Alcotest.(check bool) "mem log sound" true (Crash.ok a);
       Alcotest.(check bool) "disk log sound across rotations" true (Crash.ok b))
 
+(* {2 Multiversion differential}
+
+   The versioned record set (Vinstall/Vcommit/Watermark) through the
+   disk backend: the same record sequence into an in-memory and a
+   segmented on-disk log must produce identical losers and identical
+   crash images — in particular across rotation edges — and both must
+   recover chain-exactly to the same version store. *)
+
+let busy_mv_records n =
+  let committed =
+    List.concat
+      (List.init n (fun i ->
+           let t = i + 1 in
+           let k = Printf.sprintf "acct_%02d" (i mod 7) in
+           [
+             Wal.Begin t;
+             Wal.Vinstall { t; k; value = Some (i + 1) };
+             Wal.Vcommit { t; ts = i + 1 };
+           ]))
+  in
+  (* a mid-run watermark advance, then an unstamped installer at the
+     tail — the torn-Vcommit shape recovery must discard *)
+  committed
+  @ [
+      Wal.Watermark (n / 2);
+      Wal.Begin (n + 1);
+      Wal.Vinstall { t = n + 1; k = "acct_00"; value = Some 999 };
+    ]
+
+let test_mv_disk_crash_images_equal_mem () =
+  with_dir "mv_diff" (fun dir ->
+      let records = busy_mv_records 24 in
+      let initial = List.init 7 (fun i -> (Printf.sprintf "acct_%02d" i, 0)) in
+      let mem = Wal.create () in
+      fill mem records;
+      let disk = Wal.create ~dir ~segment_bytes:512 () in
+      fill disk records;
+      Wal.sync disk;
+      Alcotest.(check bool) "crosses a rotation edge" true
+        ((Wal.stats disk).Wal.w_segments > 1);
+      Alcotest.(check (list record_eq))
+        "versioned records round-trip the codec" (Wal.records mem)
+        (Wal.records disk);
+      Alcotest.(check (list int)) "same losers" (Wal.losers mem)
+        (Wal.losers disk);
+      let a = Crash.enumerate_mv ~initial mem in
+      let b = Crash.enumerate_mv ~initial disk in
+      Alcotest.(check int) "same points" a.Crash.points b.Crash.points;
+      Alcotest.(check int) "same torn points" a.Crash.torn_points
+        b.Crash.torn_points;
+      Alcotest.(check bool) "mem versioned log recovers everywhere" true
+        (Crash.ok a);
+      Alcotest.(check bool) "disk versioned log recovers everywhere" true
+        (Crash.ok b);
+      Alcotest.(check bool) "recovered chains identical" true
+        (Storage.Version_store.equal
+           (Recovery.recover_mv ~initial mem).Recovery.vstate
+           (Recovery.recover_mv ~initial disk).Recovery.vstate))
+
 (* {2 Checkpoint, truncation, reopen} *)
 
 let test_checkpoint_truncates_and_recovers () =
@@ -330,6 +389,43 @@ let test_pool_out_of_core () =
             (Recovery.ideal_state ~initial:(Store.of_list initial) wal)
             (Store.of_list r.Pool.final)))
 
+(* The multiversion pool out-of-core: Vcheckpoints truncating the
+   versioned disk WAL behind a SNAPSHOT run with history off, engine
+   vacuums feeding the certifier's version-order retirement — and the
+   truncated log still enumerating clean from its Vcheckpoint base. *)
+let test_pool_out_of_core_mv () =
+  with_dir "mv_pool_wal" (fun wal_dir ->
+      with_dir "mv_pool_spill" (fun spill_dir ->
+          let accounts = 8 in
+          let initial = Generators.bank_accounts accounts in
+          let gen i =
+            let p =
+              Generators.stress_program Generators.Transfer ~seed:5 ~accounts
+                ~hot:4 ~ops:4 ~index:i
+            in
+            Pool.job ~name:p.Core.Program.name ~level:L.Snapshot p
+          in
+          let cfg =
+            Pool.config ~workers:4 ~initial ~think_us:0. ~seed:5 ~certify:true
+              ~prune_every:64 ~wal_dir ~wal_segment_bytes:512
+              ~checkpoint_every:100 ~keep_history:false ~spill_dir ()
+          in
+          let r = Pool.run_n cfg ~txns:500 ~gen in
+          Alcotest.(check bool) "no journal kept" true (r.Pool.journal = []);
+          let wal = Option.get r.Pool.wal in
+          let st = Wal.stats wal in
+          Alcotest.(check bool) "Vcheckpoints truncated the versioned log"
+            true
+            (st.Wal.w_checkpoints > 0 && st.Wal.w_truncated_segments > 0);
+          Alcotest.(check bool) "truncated log recovers at every image" true
+            (Crash.ok (Crash.enumerate_mv ~sample:25 ~seed:5 ~initial wal));
+          Alcotest.(check (list (pair string int)))
+            "effects conserved through Vcheckpoints"
+            (List.sort compare
+               (Storage.Version_store.to_latest_list
+                  (Recovery.ideal_mv ~initial wal)))
+            (List.sort compare r.Pool.final)))
+
 let suite =
   [
     Alcotest.test_case "disk log equals memory log at every crash image"
@@ -349,4 +445,8 @@ let suite =
       test_recorder_spill_equality;
     Alcotest.test_case "pool runs out-of-core with exact verdict" `Quick
       test_pool_out_of_core;
+    Alcotest.test_case "MV crash images agree between memory and disk" `Quick
+      test_mv_disk_crash_images_equal_mem;
+    Alcotest.test_case "MV pool runs out-of-core through Vcheckpoints" `Quick
+      test_pool_out_of_core_mv;
   ]

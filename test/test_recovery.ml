@@ -171,6 +171,106 @@ let prop_serial_logs_recover =
         txns;
       Recovery.recovery_correct ~initial w)
 
+(* {2 Multiversion recovery: torn-tail semantics}
+
+   The MV form of the restore-or-not rule: a version reaches the log as
+   [Vinstall] and only becomes visible with its writer's [Vcommit]
+   stamp, so a transaction whose installs are intact but whose stamp is
+   torn (or missing) is in flight, and recovery discards the installs —
+   nothing was ever visible, so there is nothing to restore. *)
+
+module Vs = Storage.Version_store
+
+let test_mv_unstamped_installs_discarded () =
+  let initial = [ ("x", 0); ("y", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Vinstall { t = 1; k = "x"; value = Some 5 };
+        Wal.Vcommit { t = 1; ts = 1 };
+        Wal.Begin 2;
+        Wal.Vinstall { t = 2; k = "y"; value = Some 9 } ]
+  in
+  Alcotest.(check (list int)) "stamped txn committed" [ 1 ] (Wal.committed w);
+  Alcotest.(check (list int)) "unstamped installer in flight" [ 2 ]
+    (Wal.losers w);
+  let out = Recovery.recover_mv ~initial w in
+  Alcotest.(check (list int)) "recovery reports it discarded" [ 2 ]
+    out.Recovery.mv_undone;
+  Alcotest.(check (option int)) "stamped install visible" (Some 5)
+    (Vs.read_latest out.Recovery.vstate "x");
+  Alcotest.(check (option int)) "unstamped install never visible" (Some 0)
+    (Vs.read_latest out.Recovery.vstate "y");
+  Alcotest.(check int) "clock recovered from the stamp" 1 out.Recovery.next_ts;
+  Alcotest.(check bool) "matches the ideal" true
+    (Recovery.mv_recovery_correct ~initial w)
+
+(* Tearing the stamp itself off the tail: the installs are intact but
+   the transaction never committed — same discard, by [losers]. *)
+let test_mv_torn_stamp_is_loser () =
+  let initial = [ ("x", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Vinstall { t = 1; k = "x"; value = Some 5 };
+        Wal.Vcommit { t = 1; ts = 1 } ]
+  in
+  let torn = Wal.torn_prefix w 3 in
+  Alcotest.(check (list int)) "torn stamp means in flight" [ 1 ]
+    (Wal.losers torn);
+  Alcotest.(check (list int)) "and not committed" [] (Wal.committed torn);
+  let out = Recovery.recover_mv ~initial torn in
+  Alcotest.(check (option int)) "its version never became visible" (Some 0)
+    (Vs.read_latest out.Recovery.vstate "x");
+  Alcotest.(check bool) "recovers to the ideal" true
+    (Recovery.mv_recovery_correct ~initial torn)
+
+(* A logged Watermark replays the prune, and the watermark itself is
+   recovered so post-crash snapshots cannot start below it. *)
+let test_mv_watermark_replays_prune () =
+  let initial = [ ("x", 0) ] in
+  let w =
+    log
+      [ Wal.Begin 1;
+        Wal.Vinstall { t = 1; k = "x"; value = Some 1 };
+        Wal.Vcommit { t = 1; ts = 1 };
+        Wal.Begin 2;
+        Wal.Vinstall { t = 2; k = "x"; value = Some 2 };
+        Wal.Vcommit { t = 2; ts = 2 };
+        Wal.Watermark 2 ]
+  in
+  let out = Recovery.recover_mv ~initial w in
+  Alcotest.(check int) "watermark recovered" 2 out.Recovery.watermark;
+  Alcotest.(check int) "buried versions stay buried" 1
+    (List.length (Vs.chain out.Recovery.vstate "x"));
+  Alcotest.(check (option int)) "the survivor is the newest" (Some 2)
+    (Vs.read_latest out.Recovery.vstate "x");
+  Alcotest.(check bool) "incremental prune equals one final prune" true
+    (Recovery.mv_recovery_correct ~initial w)
+
+(* A leading Vcheckpoint replaces the initial rows as the replay base
+   and carries the in-flight transactions it observed. *)
+let test_mv_checkpoint_base () =
+  let vs = Vs.of_list [ ("x", 0) ] in
+  Vs.install vs ~writer:1 ~commit_ts:1 [ ("x", Some 3) ];
+  let w =
+    log
+      [ Wal.Vcheckpoint
+          { chains = Vs.chains vs; next_ts = 1; watermark = 0; active = [ 2 ] };
+        Wal.Begin 3;
+        Wal.Vinstall { t = 3; k = "x"; value = Some 7 };
+        Wal.Vcommit { t = 3; ts = 2 } ]
+  in
+  Alcotest.(check (list int)) "carried active txn is a loser" [ 2 ]
+    (Wal.losers w);
+  let out = Recovery.recover_mv ~initial:[] w in
+  Alcotest.(check (option int)) "replay stacks on the image chains" (Some 7)
+    (Vs.read_latest out.Recovery.vstate "x");
+  Alcotest.(check int) "image chain underneath" 3
+    (List.length (Vs.chain out.Recovery.vstate "x"));
+  Alcotest.(check bool) "checkpointed log recovers to the ideal" true
+    (Recovery.mv_recovery_correct ~initial:[] w)
+
 let suite =
   [
     Alcotest.test_case "losers" `Quick test_losers;
@@ -182,5 +282,13 @@ let suite =
       test_aborted_txn_compensated;
     Alcotest.test_case "engine WALs recover correctly" `Quick
       test_engine_wals_recover_correctly;
+    Alcotest.test_case "MV: unstamped installs are discarded" `Quick
+      test_mv_unstamped_installs_discarded;
+    Alcotest.test_case "MV: a torn stamp leaves the txn in flight" `Quick
+      test_mv_torn_stamp_is_loser;
+    Alcotest.test_case "MV: watermark replays the prune" `Quick
+      test_mv_watermark_replays_prune;
+    Alcotest.test_case "MV: a leading Vcheckpoint is the replay base" `Quick
+      test_mv_checkpoint_base;
     prop_serial_logs_recover;
   ]
