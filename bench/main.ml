@@ -42,6 +42,7 @@ let () =
         Sections.update_locks ()
       | "perf" -> Perf.all ()
       | "runtime" -> Runtime_bench.runtime ()
+      | "mixed" -> ignore (Runtime_bench.mixed ())
       | "server" -> Server_bench.server ()
       | "all" ->
         Sections.all ();
@@ -51,7 +52,7 @@ let () =
       | other ->
         Printf.eprintf
           "unknown section %S (expected \
-           tables|table1..4|figure|histories|recovery|ablation|perf|runtime|server)\n"
+           tables|table1..4|figure|histories|recovery|ablation|perf|runtime|mixed|server)\n"
           other;
         exit 2)
     sections

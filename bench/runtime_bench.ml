@@ -422,6 +422,128 @@ let chaos () =
       else Printf.sprintf "%d UNSOUND" (List.length rep.Fault.Crash.failures));
   c
 
+(* {2 Mixed-level matrix}
+
+   The Table-4 cell the mixed criterion is accountable to: one hotspot
+   run where every transaction draws its own declared level from the
+   acceptance mix (70% READ COMMITTED, 25% SNAPSHOT, 5% SERIALIZABLE),
+   executed on the weight-plurality family with each declared level
+   strengthened onto it. Two cells: [observe] runs uncertified and lets
+   the post-run mixed oracle attribute every anomaly to its committed
+   victim's declared level — the anomaly x victim-level matrix, where
+   the SERIALIZABLE column is zero by construction (a SERIALIZABLE
+   victim permits nothing, so any attribution to one is a violation,
+   not a matrix cell). [certify] reruns the same jobs under the mixed
+   criterion, which must abort exactly the forbidden-for-victim
+   structures and finish [mixed_ok]. *)
+
+let mixed_spec = "rc=70,si=25,serializable=5"
+let mixed_txns = 1024
+let mixed_hot = 2
+
+type mixed_row = {
+  mx_mode : string; (* "observe" | "certify" *)
+  mx_tput : float;
+  mx_dooms : int;
+  mx_aborts : int;
+  mx_mixed : Oracle.mixed;
+  mx_cert : Certifier.summary option;
+}
+
+let run_mixed_cell ~mode ~certify =
+  let lmix =
+    match Workload.Mix.parse mixed_spec with
+    | Ok m -> m
+    | Error msg -> failwith msg
+  in
+  let fam = Workload.Mix.family lmix in
+  let gen i =
+    let declared = Workload.Mix.draw lmix ~seed ~index:i in
+    let p =
+      Generators.stress_program Generators.Hotspot ~seed ~accounts
+        ~hot:mixed_hot ~ops ~index:i
+    in
+    Pool.job ~name:p.Core.Program.name ~declared
+      ~level:(Isolation.Lattice.strengthen declared fam)
+      p
+  in
+  let cfg =
+    Pool.config ~workers
+      ~initial:(Generators.bank_accounts accounts)
+      ~think_us:0. ~seed ~certify ~criterion:Certifier.Mixed ~family:fam ()
+  in
+  let r = Pool.run cfg (Array.init mixed_txns gen) in
+  {
+    mx_mode = mode;
+    mx_tput = r.Pool.metrics.Metrics.throughput;
+    mx_dooms = r.Pool.metrics.Metrics.certifier_aborts;
+    mx_aborts = r.Pool.metrics.Metrics.aborted_total;
+    mx_mixed = Option.get r.Pool.mixed;
+    mx_cert = r.Pool.certifier;
+  }
+
+let mixed_row_json r =
+  Printf.sprintf
+    "{\"mode\":%S,\"levels\":%S,\"mix\":\"hotspot\",\"txns\":%d,\
+     \"txn_s\":%.1f,\"certifier_aborts\":%d,\"aborted\":%d,\"mixed\":%s}"
+    r.mx_mode mixed_spec mixed_txns r.mx_tput r.mx_dooms r.mx_aborts
+    (Oracle.mixed_to_json r.mx_mixed)
+
+let mixed () =
+  Printf.printf
+    "== mixed criterion: hotspot, levels %s, %d txns, anomaly x victim-level \
+     matrix ==\n"
+    mixed_spec mixed_txns;
+  let rows =
+    List.map
+      (fun (mode, certify) ->
+        let r = run_mixed_cell ~mode ~certify in
+        let m = r.mx_mixed in
+        Printf.printf
+          "  %-9s %9.0f txn/s  dooms %-4d aborts %-4d tolerated %-4d harmed \
+           %-4d %s\n"
+          r.mx_mode r.mx_tput r.mx_dooms r.mx_aborts m.Oracle.m_tolerated
+          m.Oracle.m_harmed
+          (if m.Oracle.m_clean then "mixed-clean" else "MIXED VIOLATION");
+        let fmt_cells cs =
+          String.concat ", "
+            (List.map
+               (fun ((l, p), n) ->
+                 Printf.sprintf "%s@%s x%d"
+                   (Phenomena.Phenomenon.name p)
+                   (L.name l) n)
+               cs)
+        in
+        Printf.printf "            permitted:  %s\n"
+          (match m.Oracle.m_matrix with [] -> "none" | cs -> fmt_cells cs);
+        Printf.printf "            violations: %s\n"
+          (match m.Oracle.m_violations with
+          | [] -> "none"
+          | cs -> fmt_cells cs);
+        (match r.mx_cert with
+        | Some s ->
+          Printf.printf
+            "            online: cycles %d dooms %d misses %d tolerated %d \
+             harmed %d mixed_ok %b\n"
+            s.Certifier.cycles s.Certifier.dooms s.Certifier.misses
+            s.Certifier.tolerated s.Certifier.harmed s.Certifier.mixed_ok
+        | None -> ());
+        r)
+      [ ("observe", false); ("certify", true) ]
+  in
+  let ser_cells =
+    List.concat_map
+      (fun r ->
+        List.filter
+          (fun ((l, _), _) -> l = L.Serializable)
+          r.mx_mixed.Oracle.m_matrix)
+      rows
+  in
+  Printf.printf "  SERIALIZABLE victims: %s\n"
+    (if ser_cells = [] then "zero permitted anomalies (as required)"
+     else "PERMITTED ANOMALIES LEAKED");
+  rows
+
 (* {2 Out-of-core}
 
    The flat-memory accountability cells: certified SERIALIZABLE
@@ -651,13 +773,14 @@ let runtime () =
   in
   let scaling_rows, speedup = scaling () in
   let cert_rows = certifier () in
+  let mixed_rows = mixed () in
   let chaos_row = chaos () in
   let ooc_rows, mv_ooc_rows, gc_rows = outofcore () in
   let json =
     Printf.sprintf
       "{\"bench\":\"runtime\",\"rows\":[%s],\"scaling\":[%s],\
        \"speedup_8w\":%.2f,\"cores\":%d,\"scaling_reps\":%d,\
-       \"certifier\":[%s],\"chaos\":%s,\
+       \"certifier\":[%s],\"mixed\":[%s],\"chaos\":%s,\
        \"outofcore\":{\"checkpoint_every\":%d,\"oracle\":\"superseded by \
        online certifier (exact incremental replay); post-run oracle is \
        super-linear in history length and needs the full in-memory \
@@ -668,6 +791,7 @@ let runtime () =
       (Domain.recommended_domain_count ())
       scaling_reps
       (String.concat "," (List.map cert_row_json cert_rows))
+      (String.concat "," (List.map mixed_row_json mixed_rows))
       (chaos_row_json chaos_row)
       ooc_checkpoint_every
       (String.concat "," (List.map ooc_row_json ooc_rows))

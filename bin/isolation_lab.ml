@@ -41,6 +41,31 @@ let level_arg =
            cursor stability, repeatable read, snapshot, oracle, \
            serializable.")
 
+(* Weighted level mixes ("rc=3,si=1,serializable=1") go through the
+   workload library's shared parser — one parser, one error message, for
+   stress, chaos and loadgen alike. *)
+let mix_spec_or_exit spec =
+  match Workload.Mix.parse spec with
+  | Ok m -> m
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    exit 1
+
+let levels_spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "levels" ] ~docv:"SPEC"
+        ~doc:
+          "Weighted per-transaction isolation-level mix, comma-separated \
+           level[=weight] (e.g. \"rc=70,si=25,serializable=5\"). Overrides \
+           $(b,--level): each transaction draws a declared level from the \
+           mix and executes at that level's strengthening onto the mix's \
+           majority engine family, and the run is judged by the \
+           per-transaction mixed criterion — a transaction counts as harmed \
+           (and, with $(b,--certify), is aborted) only by cycles whose \
+           phenomena its own declared level forbids.")
+
 (* {2 analyze} *)
 
 let analyze dot history_text =
@@ -373,9 +398,9 @@ let wal_json_of (w : Storage.Wal.stats) =
     w.Storage.Wal.w_disk_bytes w.Storage.Wal.w_syncs
     w.Storage.Wal.w_checkpoints w.Storage.Wal.w_truncated_segments hist
 
-let stress workers level mix_name txns duration accounts hot ops think seed
-    fuw stripes coarse oracle_window certify wal_dir checkpoint_every
-    history json_path trace_path telemetry_path =
+let stress workers level levels_spec mix_name txns duration accounts hot ops
+    think seed fuw stripes coarse oracle_window certify wal_dir
+    checkpoint_every history json_path trace_path telemetry_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -385,11 +410,26 @@ let stress workers level mix_name txns duration accounts hot ops think seed
            (List.map Workload.Generators.mix_name Workload.Generators.all_mixes));
       exit 1
   in
+  (* --levels: a mixed-isolation run. One engine family (the mix's
+     weight plurality) executes everything; each transaction keeps the
+     level it declared and runs at its in-family strengthening. *)
+  let lmix = Option.map mix_spec_or_exit levels_spec in
+  let lfam = Option.map Workload.Mix.family lmix in
+  let criterion =
+    if lmix = None then Runtime.Certifier.Serializability
+    else Runtime.Certifier.Mixed
+  in
   let gen i =
     let p =
       Workload.Generators.stress_program mix ~seed ~accounts ~hot ~ops ~index:i
     in
-    Runtime.Pool.job ~name:p.Core.Program.name ~level p
+    match (lmix, lfam) with
+    | Some m, Some fam ->
+      let declared = Workload.Mix.draw m ~seed ~index:i in
+      Runtime.Pool.job ~name:p.Core.Program.name ~declared
+        ~level:(Isolation.Lattice.strengthen declared fam)
+        p
+    | _ -> Runtime.Pool.job ~name:p.Core.Program.name ~level p
   in
   let sink =
     match trace_path with
@@ -413,8 +453,8 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
       ~first_updater_wins:fuw ~stripes ~coarse ?oracle_window ~think_us:think
-      ~seed ?trace:sink ~certify ?wal_dir ~checkpoint_every ~keep_history
-      ?spill_dir ~stop ()
+      ~seed ?trace:sink ~certify ~criterion ?family:lfam ?wal_dir
+      ~checkpoint_every ~keep_history ?spill_dir ~stop ()
   in
   if not keep_history then
     Format.printf
@@ -426,9 +466,12 @@ let stress workers level mix_name txns duration accounts hot ops think seed
       | Some d -> Printf.sprintf ", wal segments in %s" d
       | None -> "");
   Format.printf
-    "stress: %d workers, level %s, mix %s, %s, %d accounts (%d hot), think \
+    "stress: %d workers, %s, mix %s, %s, %d accounts (%d hot), think \
      %.0fus, seed %d, %s@."
-    cfg.Runtime.Pool.workers (L.name level)
+    cfg.Runtime.Pool.workers
+    (match lmix with
+    | Some m -> "levels " ^ Workload.Mix.to_string m ^ " (mixed criterion)"
+    | None -> "level " ^ L.name level)
     (Workload.Generators.mix_name mix)
     (match duration with
     | Some d -> Printf.sprintf "%.2fs deadline" d
@@ -527,6 +570,9 @@ let stress workers level mix_name txns duration accounts hot ops think seed
          "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
           templates)"
        else "ANOMALIES DETECTED"));
+  (match r.Runtime.Pool.mixed with
+  | Some mx -> Format.printf "%a@." Runtime.Oracle.pp_mixed mx
+  | None -> ());
   (match r.Runtime.Pool.certifier with
   | Some s ->
     Format.printf "%a@." Runtime.Certifier.pp_summary s;
@@ -536,10 +582,15 @@ let stress workers level mix_name txns duration accounts hot ops think seed
           Format.printf "  %a@." Runtime.Certifier.pp_violation v)
       s.Runtime.Certifier.violations
   | None -> ());
+  let level_label =
+    match lmix with
+    | Some m -> Workload.Mix.to_string m
+    | None -> L.name level
+  in
   (match trace_path with
   | Some path ->
     let tmeta =
-      Trace.Chrome.meta ~tool:"isolation_lab stress" ~level:(L.name level)
+      Trace.Chrome.meta ~tool:"isolation_lab stress" ~level:level_label
         ~mix:(Workload.Generators.mix_name mix) ~workers ~seed
         ~history:(Trace.Render.history_line r.Runtime.Pool.history)
         ~dropped:r.Runtime.Pool.events_dropped ()
@@ -583,6 +634,11 @@ let stress workers level mix_name txns duration accounts hot ops think seed
       | None -> ""
       | Some o -> ",\"oracle\":" ^ Runtime.Oracle.to_json o
     in
+    let mixed_json =
+      match r.Runtime.Pool.mixed with
+      | None -> ""
+      | Some mx -> ",\"mixed\":" ^ Runtime.Oracle.mixed_to_json mx
+    in
     let wal_json =
       match wal_stats with
       | None -> ""
@@ -590,13 +646,13 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     in
     let json =
       Printf.sprintf
-        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"txns\":%d,\"metrics\":%s,\"memory\":%s%s%s%s%s}"
-        (L.name level)
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"txns\":%d,\"metrics\":%s,\"memory\":%s%s%s%s%s%s}"
+        level_label
         (Workload.Generators.mix_name mix)
         workers txns
         (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
-        (Runtime.Sysmem.to_json mem) oracle_json lock_json certifier_json
-        wal_json
+        (Runtime.Sysmem.to_json mem) oracle_json mixed_json lock_json
+        certifier_json wal_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -615,19 +671,29 @@ let stress workers level mix_name txns duration accounts hot ops think seed
     match oracle with
     | None -> None (* no history kept; the certifier below decides *)
     | Some o -> (
-      match level with
-      | L.Serializable -> Some (Runtime.Oracle.pattern_free o)
-      | L.Serializable_snapshot | L.Timestamp_ordering ->
+      match (lmix, level) with
+      | Some _, _ ->
+        (* mixed run: no single-level promise to assert — the per-victim
+           verdict is reported, and --certify's promise (mixed_ok) is
+           judged below *)
+        None
+      | None, L.Serializable -> Some (Runtime.Oracle.pattern_free o)
+      | None, (L.Serializable_snapshot | L.Timestamp_ordering) ->
         Some (Runtime.Oracle.clean o)
-      | _ -> None)
+      | None, _ -> None)
   in
   (* --certify's promise is judged by the online certifier itself: its
      finalized verdict is exact on the committed projection whether or
-     not a history was kept for the oracle. *)
+     not a history was kept for the oracle. Under the mixed criterion
+     the promise is mixed_ok — every transaction got the protection its
+     declared level demands — not global serializability. *)
   let certify_ok =
     (not certify)
     || (match r.Runtime.Pool.certifier with
-       | Some s -> s.Runtime.Certifier.serializable
+       | Some s ->
+         if criterion = Runtime.Certifier.Mixed then
+           s.Runtime.Certifier.mixed_ok
+         else s.Runtime.Certifier.serializable
        | None -> true)
   in
   match assertion with
@@ -804,17 +870,17 @@ let stress_cmd =
          "Drive the engines with concurrent worker domains and check the \
           recorded history with the serializability oracle.")
     Term.(
-      const stress $ workers_arg $ level_arg $ mix_arg $ txns_arg
-      $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
+      const stress $ workers_arg $ level_arg $ levels_spec_arg $ mix_arg
+      $ txns_arg $ duration_arg $ accounts_arg $ hot_arg $ ops_arg $ think_arg
       $ seed_arg $ fuw_arg $ stripes_arg $ coarse_arg $ oracle_window_arg
       $ certify_arg $ wal_dir_arg $ checkpoint_arg $ history_arg $ json_arg
       $ trace_arg $ telemetry_arg)
 
 (* {2 chaos — stress under deterministic fault injection} *)
 
-let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
-    coarse oracle_window certify faults stall_us deadline_ms watchdog_ms
-    crash_points crash_sample json_path trace_path =
+let chaos workers level levels_spec mix_name txns accounts hot ops think seed
+    fuw stripes coarse oracle_window certify faults stall_us deadline_ms
+    watchdog_ms crash_points crash_sample json_path trace_path =
   let mix =
     match Workload.Generators.mix_of_string mix_name with
     | Some m -> m
@@ -828,11 +894,26 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
     Fmt.epr "--faults must be in [0, 1]@.";
     exit 1
   end;
+  (* --levels: same mixed-isolation shape as stress — one engine family
+     (weight plurality), per-transaction declared levels, the mixed
+     criterion for the verdict. *)
+  let lmix = Option.map mix_spec_or_exit levels_spec in
+  let lfam = Option.map Workload.Mix.family lmix in
+  let criterion =
+    if lmix = None then Runtime.Certifier.Serializability
+    else Runtime.Certifier.Mixed
+  in
   let gen i =
     let p =
       Workload.Generators.stress_program mix ~seed ~accounts ~hot ~ops ~index:i
     in
-    Runtime.Pool.job ~name:p.Core.Program.name ~level p
+    match (lmix, lfam) with
+    | Some m, Some fam ->
+      let declared = Workload.Mix.draw m ~seed ~index:i in
+      Runtime.Pool.job ~name:p.Core.Program.name ~declared
+        ~level:(Isolation.Lattice.strengthen declared fam)
+        p
+    | _ -> Runtime.Pool.job ~name:p.Core.Program.name ~level p
   in
   let sink =
     match trace_path with
@@ -856,16 +937,19 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
   let stop = drain_on_sigint () in
   let cfg =
     Runtime.Pool.config ~workers ~initial ~first_updater_wins:fuw ~stripes
-      ~coarse ?oracle_window ~certify ~think_us:think ~seed ?trace:sink
-      ?fault:plan
+      ~coarse ?oracle_window ~certify ~criterion ?family:lfam ~think_us:think
+      ~seed ?trace:sink ?fault:plan
       ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
       ?watchdog_us:(Option.map (fun ms -> ms *. 1000.) watchdog_ms)
       ~stop ()
   in
   Format.printf
-    "chaos: %d workers, level %s, mix %s, %d transactions, fault rate %g, \
+    "chaos: %d workers, %s, mix %s, %d transactions, fault rate %g, \
      %s deadline, %s watchdog, seed %d@."
-    cfg.Runtime.Pool.workers (L.name level)
+    cfg.Runtime.Pool.workers
+    (match lmix with
+    | Some m -> "levels " ^ Workload.Mix.to_string m ^ " (mixed criterion)"
+    | None -> "level " ^ L.name level)
     (Workload.Generators.mix_name mix)
     txns faults
     (match deadline_ms with
@@ -898,6 +982,9 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
        "NOT SERIALIZABLE (dependency cycle outside the named anomaly \
         templates)"
      else "ANOMALIES DETECTED");
+  (match r.Runtime.Pool.mixed with
+  | Some mx -> Format.printf "%a@." Runtime.Oracle.pp_mixed mx
+  | None -> ());
   (match r.Runtime.Pool.certifier with
   | Some s ->
     Format.printf "%a@." Runtime.Certifier.pp_summary s;
@@ -913,7 +1000,11 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
      locking and timestamp engines replay single-version records; the
      multiversion engine replays the versioned record set and compares
      latest visible rows. *)
-  let family = Core.Engine.family_of_levels [ level ] in
+  let family =
+    match lfam with
+    | Some f -> f
+    | None -> Core.Engine.family_of_levels [ level ]
+  in
   let initial_store = Storage.Store.of_list initial in
   let effects_ok =
     match r.Runtime.Pool.wal with
@@ -938,7 +1029,17 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
   (* P0-free levels must recover at every crash point; a Degree 0 run
      admitting dirty writes is *expected* to fail somewhere — that is the
      paper's §3 argument made executable. *)
-  let p0_free = List.mem P.P0 (Isolation.Spec.forbidden level) in
+  (* With a mix, the crash assertion only applies if *every* declared
+     level forbids P0: one Degree-0 transaction in the mix already makes
+     unrecoverable crash points the expected finding. *)
+  let p0_free =
+    match lmix with
+    | Some m ->
+      List.for_all
+        (fun l -> List.mem P.P0 (Isolation.Spec.forbidden l))
+        (Workload.Mix.levels m)
+    | None -> List.mem P.P0 (Isolation.Spec.forbidden level)
+  in
   let crash_report =
     match (crash_points, r.Runtime.Pool.wal) with
     | false, _ -> None
@@ -957,7 +1058,9 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
         Format.printf
           "  (expected: %s admits P0, so before-image undo is unsound — \
            the paper's section 3 dilemma)@."
-          (L.name level);
+          (match lmix with
+          | Some m -> "the mix " ^ Workload.Mix.to_string m
+          | None -> L.name level);
       Some report
   in
   (match trace_path with
@@ -976,7 +1079,11 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
       match sink with Some s -> Trace.Sink.events s | None -> r.Runtime.Pool.events
     in
     let tmeta =
-      Trace.Chrome.meta ~tool:"isolation_lab chaos" ~level:(L.name level)
+      Trace.Chrome.meta ~tool:"isolation_lab chaos"
+        ~level:
+          (match lmix with
+          | Some m -> Workload.Mix.to_string m
+          | None -> L.name level)
         ~mix:(Workload.Generators.mix_name mix) ~workers ~seed
         ~history:(Trace.Render.history_line r.Runtime.Pool.history)
         ~dropped:r.Runtime.Pool.events_dropped ()
@@ -1016,13 +1123,18 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
     in
     let json =
       Printf.sprintf
-        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"memory\":%s,\"oracle\":%s%s,\"chaos\":%s}"
-        (L.name level)
+        "{\"level\":%S,\"mix\":%S,\"workers\":%d,\"metrics\":%s,\"memory\":%s,\"oracle\":%s%s%s,\"chaos\":%s}"
+        (match lmix with
+        | Some mx -> Workload.Mix.to_string mx
+        | None -> L.name level)
         (Workload.Generators.mix_name mix)
         workers
         (Runtime.Metrics.to_json m)
         (Runtime.Sysmem.to_json (Runtime.Sysmem.read ()))
         (Runtime.Oracle.to_json oracle)
+        (match r.Runtime.Pool.mixed with
+        | Some mx -> ",\"mixed\":" ^ Runtime.Oracle.mixed_to_json mx
+        | None -> "")
         certifier_json chaos_json
     in
     Out_channel.with_open_text path (fun oc ->
@@ -1035,10 +1147,17 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
      failed to recover from. Degree 0 crash failures are the expected
      finding, not an error. *)
   let oracle_ok =
-    match level with
-    | L.Serializable -> Runtime.Oracle.pattern_free oracle
-    | L.Serializable_snapshot | L.Timestamp_ordering -> Runtime.Oracle.clean oracle
-    | _ -> true
+    match lmix with
+    | Some _ ->
+      (* Under a mixed criterion, single-level assertions do not apply:
+         harm is judged per victim and only enforced by --certify. *)
+      true
+    | None -> (
+      match level with
+      | L.Serializable -> Runtime.Oracle.pattern_free oracle
+      | L.Serializable_snapshot | L.Timestamp_ordering ->
+        Runtime.Oracle.clean oracle
+      | _ -> true)
   in
   let effects_fine = match effects_ok with Some false -> false | _ -> true in
   let crash_fine =
@@ -1046,7 +1165,16 @@ let chaos workers level mix_name txns accounts hot ops think seed fuw stripes
     | Some rep when p0_free -> Fault.Crash.ok rep
     | _ -> true
   in
-  let certify_ok = (not certify) || oracle.Runtime.Oracle.serializable in
+  let certify_ok =
+    (not certify)
+    ||
+    match criterion with
+    | Runtime.Certifier.Mixed -> (
+      match r.Runtime.Pool.certifier with
+      | Some s -> s.Runtime.Certifier.mixed_ok
+      | None -> oracle.Runtime.Oracle.serializable)
+    | Runtime.Certifier.Serializability -> oracle.Runtime.Oracle.serializable
+  in
   if not (oracle_ok && effects_fine && crash_fine && certify_ok) then exit 1
 
 let chaos_cmd =
@@ -1219,7 +1347,8 @@ let chaos_cmd =
           is clean, committed effects are conserved, and (with \
           $(b,--crash-points)) recovery succeeds at every crash point.")
     Term.(
-      const chaos $ workers_arg $ level_arg $ mix_arg $ txns_arg
+      const chaos $ workers_arg $ level_arg $ levels_spec_arg $ mix_arg
+      $ txns_arg
       $ accounts_arg $ hot_arg $ ops_arg $ think_arg $ seed_arg $ fuw_arg
       $ stripes_arg $ coarse_arg $ oracle_window_arg $ certify_arg
       $ faults_arg $ stall_us_arg $ deadline_arg $ watchdog_term
@@ -1295,8 +1424,8 @@ let explain file txn show_log limit =
            List.filter_map
              (fun (e : Trace.Event.t) ->
                match e.Trace.Event.kind with
-               | Trace.Event.Dep_cycle { cycle; dep; src; dst } ->
-                 Some (cycle, dep, src, dst)
+               | Trace.Event.Dep_cycle { cycle; dep; src; dst; victim_level } ->
+                 Some (cycle, dep, src, dst, victim_level)
                | _ -> None)
              events
          with
@@ -1305,12 +1434,15 @@ let explain file txn show_log limit =
           let shown_max = 10 in
           Format.printf "@.certified cycles (closing edge class):@.";
           List.iteri
-            (fun i (cycle, dep, src, dst) ->
+            (fun i (cycle, dep, src, dst, victim_level) ->
               if i < shown_max then
-                Format.printf "  %s: closed by %s edge T%d -> T%d@."
+                Format.printf "  %s: closed by %s edge T%d -> T%d%s@."
                   (String.concat " -> "
                      (List.map (fun t -> "T" ^ string_of_int t) cycle))
-                  dep src dst)
+                  dep src dst
+                  (match victim_level with
+                  | None -> ""
+                  | Some l -> " (victim declared " ^ l ^ ")"))
             cycles;
           let n = List.length cycles in
           if n > shown_max then
@@ -1339,14 +1471,24 @@ let family_name = function
   | `Mv -> "multiversion"
   | `Timestamp -> "timestamp"
 
-let serve workers family_str level port host accounts stripes coarse certify
-    certify_batch oracle_window wal_dir checkpoint_every history duration
-    drain_grace seed disconnect_rate trace_path json_path telemetry_port =
+let serve workers family_str level criterion_str port host accounts stripes
+    coarse certify certify_batch oracle_window wal_dir checkpoint_every history
+    duration drain_grace seed disconnect_rate trace_path json_path
+    telemetry_port =
   let family =
     match family_of_string (String.lowercase_ascii family_str) with
     | Some f -> f
     | None ->
       Fmt.epr "unknown engine family %S (locking, mv, timestamp)@." family_str;
+      exit 1
+  in
+  let criterion =
+    match String.lowercase_ascii criterion_str with
+    | "serializable" | "serializability" | "ser" ->
+      Runtime.Certifier.Serializability
+    | "mixed" -> Runtime.Certifier.Mixed
+    | other ->
+      Fmt.epr "unknown criterion %S (serializable, mixed)@." other;
       exit 1
   in
   if L.family level <> family then begin
@@ -1380,16 +1522,19 @@ let serve workers family_str level port host accounts stripes coarse certify
   let pool =
     Runtime.Pool.config ~workers
       ~initial:(Workload.Generators.bank_accounts accounts)
-      ~stripes ~coarse ~certify ~certify_batch ?oracle_window ~seed ?trace:sink
-      ?fault ?wal_dir ~checkpoint_every ~keep_history ?spill_dir ()
+      ~stripes ~coarse ~certify ~certify_batch ~criterion ?oracle_window ~seed
+      ?trace:sink ?fault ?wal_dir ~checkpoint_every ~keep_history ?spill_dir ()
   in
   let cfg =
     Server.Frontend.config ~host ~port ~default_level:level
       ~drain_grace_s:drain_grace ?duration_s:duration ~stop
       ~on_ready:(fun p ->
-        Format.printf "serving on %s:%d (%d workers, %s family, default %s%s)@."
-          host p workers (family_name family) (L.name level)
-          (if certify then ", certified" else "");
+        Format.printf
+          "serving on %s:%d (%d workers, %s family, default %s%s%s)@." host p
+          workers (family_name family) (L.name level)
+          (if certify then ", certified" else "")
+          (if criterion = Runtime.Certifier.Mixed then ", mixed criterion"
+           else "");
         Format.print_flush ())
       ?telemetry_port
       ~telemetry_ready:(fun p ->
@@ -1407,6 +1552,9 @@ let serve workers family_str level port host accounts stripes coarse certify
     Format.printf
       "oracle: skipped (--history false; the online certifier carries the \
        verdict)@.");
+  (match r.Runtime.Pool.mixed with
+  | Some mx -> Format.printf "%a@." Runtime.Oracle.pp_mixed mx
+  | None -> ());
   (match r.Runtime.Pool.certifier with
   | Some s -> Format.printf "%a@." Runtime.Certifier.pp_summary s
   | None -> ());
@@ -1435,15 +1583,24 @@ let serve workers family_str level port host accounts stripes coarse certify
       | None -> ""
       | Some o -> ",\"oracle\":" ^ Runtime.Oracle.to_json o
     in
+    let mixed_json =
+      match r.Runtime.Pool.mixed with
+      | None -> ""
+      | Some mx -> ",\"mixed\":" ^ Runtime.Oracle.mixed_to_json mx
+    in
     let json =
       Printf.sprintf
-        "{\"family\":%S,\"default_level\":%S,\"workers\":%d,\"server\":{\"conns\":%d,\"sessions\":%d,\"frames\":%d,\"protocol_errors\":%d,\"disconnects\":%d},\"metrics\":%s,\"memory\":%s%s%s}"
-        (family_name family) (L.name level) workers stats.Server.Frontend.conns
-        stats.Server.Frontend.sessions stats.Server.Frontend.frames
-        stats.Server.Frontend.protocol_errors stats.Server.Frontend.disconnects
+        "{\"family\":%S,\"default_level\":%S,\"criterion\":%S,\"workers\":%d,\"server\":{\"conns\":%d,\"sessions\":%d,\"frames\":%d,\"protocol_errors\":%d,\"disconnects\":%d},\"metrics\":%s,\"memory\":%s%s%s%s}"
+        (family_name family) (L.name level)
+        (match criterion with
+        | Runtime.Certifier.Mixed -> "mixed"
+        | Runtime.Certifier.Serializability -> "serializable")
+        workers stats.Server.Frontend.conns stats.Server.Frontend.sessions
+        stats.Server.Frontend.frames stats.Server.Frontend.protocol_errors
+        stats.Server.Frontend.disconnects
         (Runtime.Metrics.to_json r.Runtime.Pool.metrics)
         (Runtime.Sysmem.to_json (Runtime.Sysmem.read ()))
-        oracle_json certifier_json
+        oracle_json mixed_json certifier_json
     in
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc json;
@@ -1451,11 +1608,16 @@ let serve workers family_str level port host accounts stripes coarse certify
     Format.printf "server report written to %s@." path
   | None -> ());
   (* --certify is a promise at any level: the committed projection must
-     come back acyclic. The certifier's own finalized verdict judges it,
-     so the promise holds with or without a kept history. *)
+     come back acyclic under the chosen criterion — fully acyclic for
+     serializability, free of forbidden-for-the-victim cycles for mixed.
+     The certifier's own finalized verdict judges it, so the promise
+     holds with or without a kept history. *)
   let certified_ok =
     match r.Runtime.Pool.certifier with
-    | Some s -> s.Runtime.Certifier.serializable
+    | Some s -> (
+      match criterion with
+      | Runtime.Certifier.Mixed -> s.Runtime.Certifier.mixed_ok
+      | Runtime.Certifier.Serializability -> s.Runtime.Certifier.serializable)
     | None -> (
       match r.Runtime.Pool.oracle with
       | Some o -> o.Runtime.Oracle.serializable
@@ -1483,6 +1645,16 @@ let serve_cmd =
       value & opt level_conv L.Read_committed
       & info [ "l"; "level" ] ~docv:"LEVEL"
           ~doc:"Default isolation level for sessions that never SET one.")
+  in
+  let criterion_arg =
+    Arg.(
+      value & opt string "serializable"
+      & info [ "criterion" ] ~docv:"CRITERION"
+          ~doc:
+            "Correctness criterion for $(b,--certify): $(b,serializable) \
+             dooms every transaction on a closing cycle; $(b,mixed) judges \
+             each cycle against the victim's declared level (Table 4) and \
+             aborts only transactions whose own level forbids the structure.")
   in
   let port_arg =
     Arg.(
@@ -1615,33 +1787,12 @@ let serve_cmd =
           transactions multiplex over the worker-domain pool, and the \
           recorded history is oracle-checked at shutdown.")
     Term.(
-      const serve $ workers_arg $ family_arg $ level_arg $ port_arg $ host_arg
+      const serve $ workers_arg $ family_arg $ level_arg $ criterion_arg
+      $ port_arg $ host_arg
       $ accounts_arg $ stripes_arg $ coarse_arg $ certify_arg
       $ certify_batch_arg $ oracle_window_arg $ wal_dir_arg $ checkpoint_arg
       $ history_arg $ duration_arg $ drain_grace_arg $ seed_arg
       $ disconnect_arg $ trace_arg $ json_arg $ telemetry_port_arg)
-
-let parse_levels s =
-  (* "rc,si=3,serializable=0.5": comma-separated level[=weight] *)
-  let parts = String.split_on_char ',' (String.trim s) in
-  let parse_one p =
-    let name, w =
-      match String.index_opt p '=' with
-      | None -> (p, 1.0)
-      | Some i -> (
-        ( String.sub p 0 i,
-          let ws = String.sub p (i + 1) (String.length p - i - 1) in
-          match float_of_string_opt (String.trim ws) with
-          | Some w when w > 0. -> w
-          | _ -> -1. ))
-    in
-    match L.of_string name with
-    | Some l when w > 0. -> Some (l, w)
-    | _ -> None
-  in
-  let levels = List.map parse_one parts in
-  if List.exists Option.is_none levels then None
-  else Some (List.filter_map Fun.id levels)
 
 let loadgen host port preset sessions conns txns mix_name levels_str accounts
     hot ops think seed max_attempts json_path progress =
@@ -1670,13 +1821,10 @@ let loadgen host port preset sessions conns txns mix_name levels_str accounts
       exit 1
   in
   let levels =
-    match parse_levels levels_str with
-    | Some ls -> ls
-    | None ->
-      Fmt.epr
-        "bad --levels %S: comma-separated level[=weight], e.g. \
-         \"rc,si=3\"@."
-        levels_str;
+    match Workload.Mix.parse levels_str with
+    | Ok m -> m
+    | Error msg ->
+      Fmt.epr "%s@." msg;
       exit 1
   in
   let cfg =
@@ -1689,10 +1837,7 @@ let loadgen host port preset sessions conns txns mix_name levels_str accounts
      %s, levels %s, seed %d@."
     sessions cfg.Server.Loadgen.conns host port txns
     (Workload.Generators.mix_name mix)
-    (String.concat ","
-       (List.map
-          (fun (l, w) -> Printf.sprintf "%s=%g" (L.name l) w)
-          levels))
+    (Workload.Mix.to_string levels)
     seed;
   Format.print_flush ();
   let st = Server.Loadgen.run cfg in
@@ -1929,10 +2074,10 @@ let top host port interval once =
     | Some _ ->
       line
         "  certifier nodes %d  edges %d  queue %d  pending %d  cycles %d  \
-         dooms %d  misses %d"
+         dooms %d  misses %d  tolerated %d"
         (num cert "nodes") (num cert "edges") (num cert "queue")
         (num cert "pending") (num cert "cycles") (num cert "dooms")
-        (num cert "misses");
+        (num cert "misses") (num cert "tolerated");
       let prune = Option.bind cert (J.member "prune") in
       if num prune "passes" > 0 then
         line "  pruned    %d nodes  %d eras  over %d passes"

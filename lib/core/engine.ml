@@ -51,9 +51,21 @@ let family_of_levels levels =
   | [ `Mv ] -> `Mv
   | [ `Timestamp ] -> `Timestamp
   | _ ->
+    let fam l =
+      match Level.family l with
+      | `Locking -> "locking"
+      | `Mv -> "multiversion"
+      | `Timestamp -> "timestamp"
+    in
     invalid_arg
-      "Engine.create: cannot mix engine families (locking, multiversion, \
-       timestamp ordering) in one execution (they do not share a store)"
+      (Fmt.str
+         "Engine.create: cannot mix engine families in one execution (they do \
+          not share a store): %s. Declare one family's levels, or map the mix \
+          onto a single family with Isolation.Lattice.strengthen."
+         (String.concat ", "
+            (List.map
+               (fun l -> Fmt.str "%s (%s)" (Level.slug l) (fam l))
+               (List.sort_uniq compare levels))))
 
 let create ~initial ~predicates ?(stripes = 1) ?(audit = true)
     ?(first_updater_wins = false) ?(next_key_locking = false)

@@ -31,6 +31,34 @@ let compare_levels l1 l2 =
 let weaker l1 l2 = compare_levels l1 l2 = Weaker
 let incomparable l1 l2 = compare_levels l1 l2 = Incomparable
 
+(* The weakest level of [family] that honors every promise of [level]:
+   among the family's levels whose possibility vector is pointwise <= the
+   declared level's (each phenomenon possible in no more circumstances),
+   the one permitting the most. Total because every family has a fully
+   serializable member (SERIALIZABLE, Serializable SI, T/O). Running a
+   transaction at [strengthen level family] on that family's engine keeps
+   the declared contract: nothing the declared level forbids becomes
+   possible. A declared level of the target family maps to itself — its
+   own vector dominates every qualifying candidate's. *)
+let strengthen level family =
+  let v = vector level in
+  let qualifies l =
+    Level.family l = family && List.for_all2 (fun c d -> c <= d) (vector l) v
+  in
+  let permissiveness l = List.fold_left ( + ) 0 (vector l) in
+  match
+    List.fold_left
+      (fun acc l ->
+        if not (qualifies l) then acc
+        else
+          match acc with
+          | Some best when permissiveness best >= permissiveness l -> acc
+          | _ -> Some l)
+      None Level.all
+  with
+  | Some l -> l
+  | None -> assert false (* every family has a serializable member *)
+
 (* Phenomena strictly less possible under [l2] than under [l1] — the
    paper's edge annotations. *)
 let differentiating l1 l2 =

@@ -24,6 +24,14 @@ val weaker : Level.t -> Level.t -> bool
 val incomparable : Level.t -> Level.t -> bool
 (** The paper's [l1 »« l2]. *)
 
+val strengthen : Level.t -> [ `Locking | `Mv | `Timestamp ] -> Level.t
+(** The weakest level of the target engine family whose possibility
+    vector is pointwise at most the declared level's. Executing a
+    transaction there keeps the declared contract on a single-family
+    engine: nothing the declared level forbids becomes possible. Total —
+    every family has a fully serializable member — and the identity on
+    levels already of the target family. *)
+
 val differentiating : Level.t -> Level.t -> P.t list
 (** Phenomena strictly less possible under the second level — the paper's
     edge annotations in Figure 2. *)

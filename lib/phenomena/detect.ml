@@ -436,3 +436,17 @@ let occurs phenomenon h = detect phenomenon h <> []
 let exhibited h = List.filter (fun p -> occurs p h) Phenomenon.all
 
 let matrix h = List.map (fun p -> (p, occurs p h)) Phenomenon.all
+
+(* Which template role suffers the anomaly — the transaction whose
+   isolation guarantee the phenomenon breaks. Dirty reads (P1/A1) hurt
+   the reader, which the templates cast as T2; the inconsistent-read
+   family (P2/P3, A2/A3, A5A), lost updates (P4/P4C) — where T1's
+   update is the one overwritten — hurt T1. Dirty writes (P0) and
+   write skew (A5B) are symmetric: both participants' view is broken. *)
+let victims (w : witness) =
+  match w.phenomenon with
+  | Phenomenon.P1 | Phenomenon.A1 -> [ w.t2 ]
+  | Phenomenon.P0 | Phenomenon.A5B -> [ w.t1; w.t2 ]
+  | Phenomenon.P2 | Phenomenon.A2 | Phenomenon.P3 | Phenomenon.A3
+  | Phenomenon.P4 | Phenomenon.P4C | Phenomenon.A5A ->
+    [ w.t1 ]

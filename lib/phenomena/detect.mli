@@ -38,3 +38,11 @@ val refine_mv : History.t -> witness list -> witness list
 val occurs : Phenomenon.t -> History.t -> bool
 val exhibited : History.t -> Phenomenon.t list
 val matrix : History.t -> (Phenomenon.t * bool) list
+
+val victims : witness -> History.Action.txn list
+(** The template role(s) whose isolation guarantee the phenomenon
+    breaks: the reader for dirty reads (P1/A1), T1 for the
+    inconsistent-read and lost-update families (P2/P3, A2/A3, A5A,
+    P4/P4C), both participants for the symmetric P0 and A5B. The
+    mixed-level criterion judges a witness against each victim's own
+    declared level. *)

@@ -45,12 +45,32 @@
    edges whose endpoints both committed, in arrival order, over the
    purged graph: the first re-rejection is a genuine committed-
    projection cycle, and its absence is a full, non-windowed
-   serializability verdict. *)
+   serializability verdict.
+
+   Under the [Mixed] criterion the level is a per-transaction property
+   ({!note_level}) and a cycle is judged per member: the certifier
+   classifies the rejected cycle into the Table-4 phenomena it could
+   exhibit (from the kinds of its edges, kept in a side table — edges
+   themselves are inserted exactly as under serializability, so a
+   strong transaction is still protected by paths through weak ones)
+   and dooms a member only when every candidate phenomenon is forbidden
+   at that member's own level. A cycle harming no member is tolerated:
+   the closing edge stays out of the graph but is stashed, and the
+   finalize replay re-judges every stashed committed-committed edge,
+   attributing each re-rejection's permitted candidates to the
+   committed members' levels (the anomaly × victim-level matrix) and
+   counting the forbidden ones as harm — [mixed_ok] is that replay
+   coming back harm-free, the mixed-criterion analogue of
+   [serializable]. *)
 
 module Action = History.Action
+module Level = Isolation.Level
+module Spec = Isolation.Spec
+module P = Phenomena.Phenomenon
 
 type mode = Observe | Enforce
 type family = [ `Locking | `Mv | `Timestamp ]
+type criterion = Serializability | Mixed
 type kind = Wr | Ww | Rw
 
 let kind_name = function Wr -> "wr" | Ww -> "ww" | Rw -> "rw"
@@ -61,10 +81,13 @@ type violation = {
   src : int;
   dst : int;
   doomed : int option;
+  victim_level : string option; (* the victim's declared level (Mixed) *)
+  classes : string list;        (* candidate phenomena of the cycle (Mixed) *)
 }
 
 type summary = {
   mode : mode;
+  criterion : criterion;
   nodes : int;           (* graph size when finalize began *)
   edges : int;
   edges_wr : int;
@@ -73,10 +96,14 @@ type summary = {
   cycles : int;
   dooms : int;
   misses : int;
+  tolerated : int;       (* cycles harming no member (Mixed) *)
+  harmed : int;          (* forbidden-for-victim attributions at finalize *)
   prune_passes : int;
   pruned_nodes : int;
   pruned_eras : int;
   serializable : bool;
+  mixed_ok : bool;
+  matrix : ((Level.t * P.t) * int) list;
   witness : int list option;
   violations : violation list;
 }
@@ -105,6 +132,7 @@ type status = Active | Committed | Aborted
 type t = {
   mode : mode;
   family : family;
+  criterion : criterion;
   batch : bool;
   buf_m : Mutex.t;                  (* guards [buf] only; taken after [m] *)
   mutable buf : Action.t list;      (* offered actions, reversed *)
@@ -118,7 +146,15 @@ type t = {
   preads_of : (int, string list ref) Hashtbl.t;
   status : (int, status) Hashtbl.t;
   doomed_tbl : (int, unit) Hashtbl.t;
-  mutable pending_edges : (int * int * kind) list; (* rejected, reversed *)
+  (* Mixed criterion: each transaction's declared level, the kinds each
+     inserted edge carries (an edge pair can carry several — e.g. both
+     ww and rw — and a kind can be predicate-borne), and the permitted
+     anomaly × victim-level attribution built by the finalize replay. *)
+  levels : (int, Level.t) Hashtbl.t;
+  ekinds : (int * int, (kind * bool) list ref) Hashtbl.t;
+  matrix : (Level.t * P.t, int) Hashtbl.t;
+  mutable pending_edges : (int * int * kind * bool) list;
+                                                   (* rejected, reversed *)
   mutable violations : violation list;             (* reversed, capped *)
   mutable edges_wr : int;
   mutable edges_ww : int;
@@ -126,6 +162,8 @@ type t = {
   mutable cycles : int;
   mutable dooms : int;
   mutable misses : int;
+  mutable tolerated : int;
+  mutable harmed : int;
   (* Era pruning (single-version families): every [prune_every] commits
      the settled bottom of each era stack is trimmed, committed
      predicate readers/writers are folded into per-predicate virtual
@@ -144,11 +182,12 @@ type t = {
 
 let max_stored_violations = 64
 
-let create ?on_edge ?on_cycle ?(batch = false) ?(prune_every = 0) ~mode
-    ~family () =
+let create ?on_edge ?on_cycle ?(batch = false) ?(prune_every = 0)
+    ?(criterion = Serializability) ~mode ~family () =
   {
     mode;
     family;
+    criterion;
     batch;
     buf_m = Mutex.create ();
     buf = [];
@@ -162,6 +201,9 @@ let create ?on_edge ?on_cycle ?(batch = false) ?(prune_every = 0) ~mode
     preads_of = Hashtbl.create 16;
     status = Hashtbl.create 64;
     doomed_tbl = Hashtbl.create 8;
+    levels = Hashtbl.create 64;
+    ekinds = Hashtbl.create 256;
+    matrix = Hashtbl.create 16;
     pending_edges = [];
     violations = [];
     edges_wr = 0;
@@ -170,6 +212,8 @@ let create ?on_edge ?on_cycle ?(batch = false) ?(prune_every = 0) ~mode
     cycles = 0;
     dooms = 0;
     misses = 0;
+    tolerated = 0;
+    harmed = 0;
     prune_every;
     commits_seen = 0;
     prune_passes = 0;
@@ -188,6 +232,100 @@ let locked t f =
 let status_of t n = Option.value ~default:Active (Hashtbl.find_opt t.status n)
 let is_active t n = n <> 0 && status_of t n = Active
 
+(* {2 The mixed criterion}
+
+   Levels are per transaction; an untagged transaction defaults to
+   SERIALIZABLE, which forbids everything — exactly the single-level
+   behaviour. *)
+
+let note_level t ~tid ~level =
+  locked t (fun () -> Hashtbl.replace t.levels tid level)
+
+let level_of t n =
+  Option.value ~default:Level.Serializable (Hashtbl.find_opt t.levels n)
+
+(* Kinds carried by an inserted edge pair, recorded only under [Mixed]:
+   the same pair can carry several (a re-written key yields both ww and
+   rw), and an rw can be item- or predicate-borne — the P2 / P3
+   distinction. Entries are swept with source retirement; a stale kind
+   only widens a later cycle's candidate set, which errs toward
+   tolerating, never toward a spurious doom of a weak transaction. *)
+let note_kind t src dst dep pred =
+  if t.criterion = Mixed then
+    match Hashtbl.find_opt t.ekinds (src, dst) with
+    | Some l -> if not (List.mem (dep, pred) !l) then l := (dep, pred) :: !l
+    | None -> Hashtbl.replace t.ekinds (src, dst) (ref [ (dep, pred) ])
+
+(* The Table-4 phenomena a rejected cycle could exhibit, from its edges'
+   kind sets in cyclic order (the rejected closing edge last). Every
+   kind selection names a real cycle of the multigraph, so candidates
+   are the union over selections: all-ww is Degree-1 write interference
+   (P0); a selection avoiding rw but crossing a wr is circular
+   information flow (P1); any rw makes it an antidependency cycle — P3
+   when a predicate read is involved, P2 for an item read — with the
+   short shapes the paper names refined further: rw+ww two-cycles are
+   lost updates (P4), rw+wr read skew (A5A), rw+rw — or two cyclically
+   adjacent rw in a longer cycle, the SI dangerous structure — write
+   skew (A5B). An edge with no recorded kinds (pruned away, or through a
+   virtual predicate node) counts as any kind. *)
+let classify t cycle ~dep ~pred =
+  let wild = [ (Wr, false); (Ww, false); (Rw, false); (Rw, true) ] in
+  let rec graph_pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: graph_pairs rest
+    | _ -> []
+  in
+  let kinds (a, b) =
+    if a < 0 || b < 0 then wild
+    else
+      match Hashtbl.find_opt t.ekinds (a, b) with
+      | Some l -> !l
+      | None -> wild
+  in
+  let sets = List.map kinds (graph_pairs cycle) @ [ [ (dep, pred) ] ] in
+  let has k set = List.exists (fun (kk, _) -> kk = k) set in
+  let item_rw set = List.mem (Rw, false) set in
+  let pred_rw set = List.mem (Rw, true) set in
+  let cands = ref [] in
+  let add p = if not (List.mem p !cands) then cands := p :: !cands in
+  if List.for_all (has Ww) sets then add P.P0;
+  if
+    List.for_all (fun s -> has Wr s || has Ww s) sets
+    && List.exists (has Wr) sets
+  then add P.P1;
+  if List.exists (has Rw) sets then begin
+    if List.exists pred_rw sets then add P.P3;
+    if List.exists item_rw sets then add P.P2;
+    match sets with
+    | [ e1; e2 ] ->
+      if has Rw e1 && has Rw e2 then add P.A5B;
+      if (item_rw e1 && has Ww e2) || (item_rw e2 && has Ww e1) then add P.P4;
+      if (item_rw e1 && has Wr e2) || (item_rw e2 && has Wr e1) then add P.A5A
+    | _ ->
+      let arr = Array.of_list sets in
+      let n = Array.length arr in
+      let adjacent_rw = ref false in
+      for i = 0 to n - 1 do
+        if has Rw arr.(i) && has Rw arr.((i + 1) mod n) then
+          adjacent_rw := true
+      done;
+      if !adjacent_rw then add P.A5B
+  end;
+  List.rev !cands
+
+(* A member is harmed when the cycle cannot be explained by any
+   phenomenon its level permits. The quantifier is the permissive one —
+   doom only when every candidate is forbidden — so an SI transaction in
+   a write-skew two-cycle is left alone (A5B is Possible under SI even
+   though P2 is not) while a SERIALIZABLE member, forbidding every
+   phenomenon, is doomed for any cycle: full serializability is the
+   SERIALIZABLE-victim special case. *)
+let harmed t candidates n =
+  n > 0
+  && candidates <> []
+  && List.for_all
+       (fun p -> Spec.table4 (level_of t n) p = Spec.Not_possible)
+       candidates
+
 (* {2 Edge offers}
 
    Every dependency the rules derive goes through [offer]: self-edges,
@@ -197,16 +335,28 @@ let is_active t n = n <> 0 && status_of t n = Active
    finalize replay, and in [Enforce] mode dooms [actor] if it is still
    active (it always sits on the cycle: every rule emits edges with the
    acting transaction as one endpoint), else the youngest active cycle
-   member, else counts as a miss. *)
-let offer ?actor ~dep t src dst =
+   member, else counts as a miss.
+
+   Under [Mixed] the doom is victim-relative: the cycle is classified
+   and a harmed member is preferred — the actor if harmed, else the
+   youngest doomable harmed member. When every harmed member has
+   already committed (the closing edge arrived behind its back, so the
+   harm is otherwise unpreventable), the youngest active cycle member
+   is doomed in its stead: a defensive abort protecting the committed
+   victim, the way SSI aborts a benign pivot. A cycle harming nobody
+   is tolerated: nothing is doomed, but the closing edge still goes to
+   the stash so the finalize replay can attribute it on the committed
+   projection. *)
+let offer ?actor ?(pred = false) ~dep t src dst =
   if
     src <> dst && src <> 0 && dst <> 0
     && status_of t src <> Aborted
     && status_of t dst <> Aborted
   then
     match Graph.Incremental.add_edge t.g src dst with
-    | `Exists -> ()
+    | `Exists -> note_kind t src dst dep pred
     | `Ok ->
+      note_kind t src dst dep pred;
       (match dep with
       | Wr -> t.edges_wr <- t.edges_wr + 1
       | Ww -> t.edges_ww <- t.edges_ww + 1
@@ -216,31 +366,84 @@ let offer ?actor ~dep t src dst =
       | None -> ())
     | `Cycle cycle ->
       t.cycles <- t.cycles + 1;
-      t.pending_edges <- (src, dst, dep) :: t.pending_edges;
+      t.pending_edges <- (src, dst, dep, pred) :: t.pending_edges;
+      let candidates =
+        if t.criterion = Mixed then classify t cycle ~dep ~pred else []
+      in
+      let harmed_members =
+        if t.criterion = Mixed then List.filter (harmed t candidates) cycle
+        else []
+      in
+      if t.criterion = Mixed && harmed_members = [] then
+        t.tolerated <- t.tolerated + 1;
       let victim =
         if t.mode <> Enforce then None
         else begin
           let doomable n = is_active t n && not (Hashtbl.mem t.doomed_tbl n) in
-          let v =
-            match actor with
-            | Some a when doomable a -> Some a
-            | _ ->
-              List.fold_left
-                (fun acc n ->
-                  if doomable n then
-                    match acc with Some m when m >= n -> acc | _ -> Some n
-                  else acc)
-                None cycle
+          let youngest_doomable among =
+            List.fold_left
+              (fun acc n ->
+                if doomable n then
+                  match acc with Some m when m >= n -> acc | _ -> Some n
+                else acc)
+              None among
           in
-          (match v with
-          | Some a ->
-            Hashtbl.replace t.doomed_tbl a ();
-            t.dooms <- t.dooms + 1
-          | None -> t.misses <- t.misses + 1);
-          v
+          let eligible =
+            match t.criterion with
+            | Serializability -> cycle
+            | Mixed -> harmed_members
+          in
+          if t.criterion = Mixed && eligible = [] then None
+          else begin
+            let v =
+              match actor with
+              | Some a when doomable a && List.mem a eligible -> Some a
+              | Some a
+                when doomable a && t.criterion = Serializability ->
+                Some a
+              | _ -> (
+                match youngest_doomable eligible with
+                | Some _ as v -> v
+                | None when t.criterion = Mixed ->
+                  (* Every harmed member already committed: defensive
+                     abort of a live member on its behalf. *)
+                  (match actor with
+                  | Some a when doomable a -> Some a
+                  | _ -> youngest_doomable cycle)
+                | None -> None)
+            in
+            (match v with
+            | Some a ->
+              Hashtbl.replace t.doomed_tbl a ();
+              t.dooms <- t.dooms + 1
+            | None -> t.misses <- t.misses + 1);
+            v
+          end
         end
       in
-      let v = { cycle; dep = kind_name dep; src; dst; doomed = victim } in
+      let victim_level =
+        if t.criterion <> Mixed then None
+        else
+          (* The protected party: the doomed member when it is itself
+             harmed, else the harmed member a defensive abort defends. *)
+          match (victim, harmed_members) with
+          | Some d, hs when hs = [] || List.mem d hs ->
+            Some (Level.slug (level_of t d))
+          | _, m :: _ -> Some (Level.slug (level_of t m))
+          | Some d, [] -> Some (Level.slug (level_of t d))
+          | None, [] -> None
+      in
+      let v =
+        {
+          cycle;
+          dep = kind_name dep;
+          src;
+          dst;
+          doomed = victim;
+          victim_level;
+          classes = List.map P.name candidates;
+        }
+      in
       if t.cycles <= max_stored_violations then t.violations <- v :: t.violations;
       (match t.on_cycle with Some f -> f v | None -> ())
 
@@ -316,7 +519,9 @@ let sv_write t tid k wpreds =
   List.iter
     (fun p ->
       let ps = pred_state t p in
-      List.iter (fun r -> offer ~actor:tid ~dep:Rw t r tid) ps.preaders;
+      List.iter
+        (fun r -> offer ~actor:tid ~pred:true ~dep:Rw t r tid)
+        ps.preaders;
       if not (List.mem tid ps.pwriters) then ps.pwriters <- tid :: ps.pwriters;
       note_in t.wpreds_of tid p)
     wpreds
@@ -459,7 +664,7 @@ let fold_preds t =
       let folded_w = List.filter (fun w -> w > 0 && status_of t w = Committed) ps.pwriters in
       if folded_r <> [] then begin
         let vr, _ = virtual_pair t p in
-        List.iter (fun r -> offer ~dep:Rw t r vr) folded_r;
+        List.iter (fun r -> offer ~pred:true ~dep:Rw t r vr) folded_r;
         ps.preaders <- vr :: List.filter live ps.preaders
       end;
       if folded_w <> [] then begin
@@ -484,12 +689,14 @@ let fold_preds t =
 let retry_pending t =
   t.pending_edges <-
     List.fold_left
-      (fun acc ((src, dst, _) as e) ->
+      (fun acc ((src, dst, dep, pred) as e) ->
         match (status_of t src, status_of t dst) with
         | Aborted, _ | _, Aborted -> acc
         | Committed, Committed -> (
           match Graph.Incremental.add_edge t.g src dst with
-          | `Ok | `Exists -> acc
+          | `Ok | `Exists ->
+            note_kind t src dst dep pred;
+            acc
           | `Cycle _ -> e :: acc)
         | _ -> e :: acc)
       []
@@ -523,7 +730,7 @@ let retire_sources t =
         s.readers)
     t.keys_mv;
   List.iter
-    (fun (src, dst, _) ->
+    (fun (src, dst, _, _) ->
       mark src;
       mark dst)
     t.pending_edges;
@@ -549,7 +756,11 @@ let retire_sources t =
         else acc)
       t.status []
   in
-  List.iter (fun n -> Hashtbl.remove t.status n) dead;
+  List.iter
+    (fun n ->
+      Hashtbl.remove t.status n;
+      Hashtbl.remove t.levels n)
+    dead;
   let roots =
     Hashtbl.fold (fun n _ acc -> if retirable n then n :: acc else acc) t.status []
   in
@@ -562,10 +773,23 @@ let retire_sources t =
       Graph.Incremental.remove_node t.g n;
       Hashtbl.remove t.status n;
       Hashtbl.remove t.doomed_tbl n;
+      Hashtbl.remove t.levels n;
       t.pruned_nodes <- t.pruned_nodes + 1;
       go (List.filter retirable succs @ rest)
   in
-  go roots
+  go roots;
+  (* Kind entries for edges no longer in the graph (abort purges, node
+     retirement) are dead; sweeping them here bounds the table by the
+     live edge set, the same cadence that bounds the graph itself. *)
+  if t.criterion = Mixed then begin
+    let dead =
+      Hashtbl.fold
+        (fun (a, b) _ acc ->
+          if Graph.Incremental.mem_edge t.g a b then acc else (a, b) :: acc)
+        t.ekinds []
+    in
+    List.iter (fun k -> Hashtbl.remove t.ekinds k) dead
+  end
 
 let maybe_prune t =
   if t.prune_every > 0 then begin
@@ -784,6 +1008,7 @@ type stats = {
   s_cycles : int;
   s_dooms : int;
   s_misses : int;
+  s_tolerated : int;      (* cycles harming no member (Mixed) *)
   s_prune_passes : int;
   s_pruned_nodes : int;   (* committed nodes retired from the graph *)
   s_pruned_eras : int;    (* settled era-stack entries trimmed *)
@@ -811,6 +1036,7 @@ let stats t =
         s_cycles = t.cycles;
         s_dooms = t.dooms;
         s_misses = t.misses;
+        s_tolerated = t.tolerated;
         s_prune_passes = t.prune_passes;
         s_pruned_nodes = t.pruned_nodes;
         s_pruned_eras = t.pruned_eras;
@@ -823,7 +1049,16 @@ let stats t =
    endpoints both committed, in arrival order. The maintained graph is
    closure-equal to the offline dependency graph of the committed
    projection, so the first re-rejection witnesses a genuine cycle —
-   and if every re-offer lands, the projection is serializable. *)
+   and if every re-offer lands, the projection is serializable.
+
+   Serializability stops at the first witness (the exact-verdict
+   contract: one committed-projection cycle falsifies it). Mixed keeps
+   replaying: every re-rejection is a committed-projection cycle whose
+   candidates are attributed to each committed member — a forbidden
+   candidate set is harm, a permitted one a matrix cell — because a
+   tolerated cycle's closing edge was deliberately left out of the
+   graph during the run, and a later cycle needing that edge is only
+   discoverable here. [mixed_ok] is this replay finding no harm. *)
 let finalize t =
   locked t (fun () ->
       if t.batch then drain_locked t;
@@ -844,18 +1079,53 @@ let finalize t =
         (List.sort compare stragglers);
       let witness = ref None in
       List.iter
-        (fun (src, dst, _) ->
-          if
-            !witness = None
-            && status_of t src = Committed
-            && status_of t dst = Committed
-          then
-            match Graph.Incremental.add_edge t.g src dst with
-            | `Ok | `Exists -> ()
-            | `Cycle c -> witness := Some c)
+        (fun (src, dst, dep, pred) ->
+          let both_committed =
+            status_of t src = Committed && status_of t dst = Committed
+          in
+          match t.criterion with
+          | Serializability ->
+            if !witness = None && both_committed then (
+              match Graph.Incremental.add_edge t.g src dst with
+              | `Ok | `Exists -> ()
+              | `Cycle c -> witness := Some c)
+          | Mixed ->
+            if both_committed then (
+              match Graph.Incremental.add_edge t.g src dst with
+              | `Ok | `Exists -> note_kind t src dst dep pred
+              | `Cycle c ->
+                if !witness = None then witness := Some c;
+                let candidates = classify t c ~dep ~pred in
+                List.iter
+                  (fun m ->
+                    if m > 0 && status_of t m = Committed then
+                      if harmed t candidates m then
+                        t.harmed <- t.harmed + 1
+                      else
+                        let l = level_of t m in
+                        List.iter
+                          (fun p ->
+                            if
+                              Spec.table4 l p <> Spec.Not_possible
+                            then
+                              let key = (l, p) in
+                              Hashtbl.replace t.matrix key
+                                (1
+                                + Option.value ~default:0
+                                    (Hashtbl.find_opt t.matrix key)))
+                          candidates)
+                  c))
         (List.rev t.pending_edges);
+      let matrix =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.matrix []
+        |> List.sort (fun ((l1, p1), _) ((l2, p2), _) ->
+               match compare (Level.slug l1) (Level.slug l2) with
+               | 0 -> compare (P.name p1) (P.name p2)
+               | c -> c)
+      in
       {
         mode = t.mode;
+        criterion = t.criterion;
         nodes;
         edges;
         edges_wr = t.edges_wr;
@@ -864,21 +1134,30 @@ let finalize t =
         cycles = t.cycles;
         dooms = t.dooms;
         misses = t.misses;
+        tolerated = t.tolerated;
+        harmed = t.harmed;
         prune_passes = t.prune_passes;
         pruned_nodes = t.pruned_nodes;
         pruned_eras = t.pruned_eras;
         serializable = !witness = None;
+        mixed_ok =
+          (match t.criterion with
+          | Serializability -> !witness = None
+          | Mixed -> t.harmed = 0);
+        matrix;
         witness = !witness;
         violations = List.rev t.violations;
       })
 
-let replay ?(mode = Observe) ?family h =
+let replay ?(mode = Observe) ?family ?(criterion = Serializability)
+    ?(levels = []) h =
   let family =
     match family with
     | Some f -> f
     | None -> if History.Mv.is_mv h then `Mv else `Locking
   in
-  let t = create ~mode ~family () in
+  let t = create ~mode ~family ~criterion () in
+  List.iter (fun (tid, level) -> note_level t ~tid ~level) levels;
   List.iteri (fun i a -> observe t i a) h;
   finalize t
 
@@ -892,19 +1171,34 @@ let pp_cycle ppf c =
   Fmt.(list ~sep:(any " -> ") (fmt "T%d")) ppf (c @ [ List.hd c ])
 
 let pp_violation ppf v =
-  Fmt.pf ppf "%s T%d -> T%d closes %a%a" v.dep v.src v.dst pp_cycle v.cycle
+  Fmt.pf ppf "%s T%d -> T%d closes %a%a%a%a" v.dep v.src v.dst pp_cycle
+    v.cycle
+    (fun ppf -> function
+      | [] -> ()
+      | cs -> Fmt.pf ppf " [%s]" (String.concat "|" cs))
+    v.classes
     (fun ppf -> function
       | Some d -> Fmt.pf ppf " (doomed T%d)" d
       | None -> ())
     v.doomed
+    (fun ppf -> function
+      | Some l -> Fmt.pf ppf " (victim level %s)" l
+      | None -> ())
+    v.victim_level
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
-    "certifier (%a): %d wr + %d ww + %d rw edges, %d cycle%s rejected, %d \
-     doomed, %d missed%s; committed projection %s"
-    pp_mode s.mode s.edges_wr s.edges_ww s.edges_rw s.cycles
+    "certifier (%a%s): %d wr + %d ww + %d rw edges, %d cycle%s rejected, %d \
+     doomed, %d missed%s%s; committed projection %s%s"
+    pp_mode s.mode
+    (match s.criterion with Serializability -> "" | Mixed -> ", mixed")
+    s.edges_wr s.edges_ww s.edges_rw s.cycles
     (if s.cycles = 1 then "" else "s")
     s.dooms s.misses
+    (match s.criterion with
+    | Serializability -> ""
+    | Mixed ->
+      Fmt.str ", %d tolerated" s.tolerated)
     (if s.prune_passes = 0 then ""
      else
        Fmt.str ", %d node%s + %d era%s pruned over %d pass%s" s.pruned_nodes
@@ -916,15 +1210,36 @@ let pp_summary ppf (s : summary) =
     (match s.witness with
     | None -> "serializable"
     | Some c -> Fmt.str "cyclic: %a" pp_cycle c)
+    (match s.criterion with
+    | Serializability -> ""
+    | Mixed ->
+      Fmt.str "; mixed criterion %s (%d harmed)"
+        (if s.mixed_ok then "ok" else "violated")
+        s.harmed)
 
 let to_json (s : summary) =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       {|{"mode":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"graph":{"nodes":%d,"edges":%d},"cycles":%d,"dooms":%d,"misses":%d,"prune":{"passes":%d,"nodes":%d,"eras":%d},"serializable":%b|}
+       {|{"mode":"%s","criterion":"%s","dep_edges":{"wr":%d,"ww":%d,"rw":%d},"graph":{"nodes":%d,"edges":%d},"cycles":%d,"dooms":%d,"misses":%d,"tolerated":%d,"harmed":%d,"prune":{"passes":%d,"nodes":%d,"eras":%d},"serializable":%b,"mixed_ok":%b|}
        (match s.mode with Observe -> "observe" | Enforce -> "enforce")
+       (match s.criterion with
+       | Serializability -> "serializability"
+       | Mixed -> "mixed")
        s.edges_wr s.edges_ww s.edges_rw s.nodes s.edges s.cycles s.dooms
-       s.misses s.prune_passes s.pruned_nodes s.pruned_eras s.serializable);
+       s.misses s.tolerated s.harmed s.prune_passes s.pruned_nodes
+       s.pruned_eras s.serializable s.mixed_ok);
+  if s.criterion = Mixed then begin
+    Buffer.add_string b ",\"matrix\":[";
+    List.iteri
+      (fun i ((l, p), n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf {|{"level":"%s","anomaly":"%s","count":%d}|}
+             (Level.slug l) (P.name p) n))
+      s.matrix;
+    Buffer.add_char b ']'
+  end;
   (match s.witness with
   | Some c ->
     Buffer.add_string b ",\"witness\":[";
@@ -940,12 +1255,20 @@ let to_json (s : summary) =
     (fun i (v : violation) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
-        (Printf.sprintf {|{"dep":"%s","src":%d,"dst":%d,"cycle":[%s]%s}|} v.dep
-           v.src v.dst
+        (Printf.sprintf {|{"dep":"%s","src":%d,"dst":%d,"cycle":[%s]%s%s%s}|}
+           v.dep v.src v.dst
            (String.concat "," (List.map string_of_int v.cycle))
            (match v.doomed with
            | Some d -> Printf.sprintf {|,"doomed":%d|} d
-           | None -> "")))
+           | None -> "")
+           (match v.victim_level with
+           | Some l -> Printf.sprintf {|,"victim_level":"%s"|} l
+           | None -> "")
+           (if v.classes = [] then ""
+            else
+              Printf.sprintf {|,"classes":[%s]|}
+                (String.concat ","
+                   (List.map (Printf.sprintf "%S") v.classes)))))
     s.violations;
   Buffer.add_string b "]}";
   Buffer.contents b

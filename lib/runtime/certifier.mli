@@ -15,10 +15,32 @@
     than observed. In [Observe] mode cycles are only recorded.
     {!finalize} turns either run into a full, non-windowed verdict on
     the committed projection by purging unfinished transactions and
-    replaying the rejected edges whose endpoints committed. *)
+    replaying the rejected edges whose endpoints committed.
+
+    The correctness criterion is selectable. [Serializability] (the
+    default) is the single-level behaviour: every cycle is a violation,
+    any member may be doomed. [Mixed] makes the level a per-transaction
+    property ({!note_level}): a rejected cycle is classified into the
+    Table-4 phenomena it could exhibit, and a member is {e harmed} only
+    when every candidate is forbidden at its own declared level — an SI
+    transaction tolerates write skew (A5B), an RC transaction tolerates
+    non-repeatable reads (P2/A5A), a SERIALIZABLE transaction tolerates
+    nothing. A cycle harming nobody is tolerated outright. A harmful
+    cycle dooms a harmed member when one is still active; when every
+    harmed member has already committed (the cycle closed behind its
+    back), the youngest active cycle member is doomed in its stead — a
+    defensive abort, as SSI aborts a benign pivot — so the committed
+    victim keeps the protection its level promises. Edges are inserted
+    identically under both criteria, so a strong transaction is still
+    protected by cycles passing through weak ones; only the doom
+    decision is victim-relative. *)
 
 type mode = Observe | Enforce
 type family = [ `Locking | `Mv | `Timestamp ]
+
+type criterion = Serializability | Mixed
+(** What {!finalize} certifies: one global serializability verdict, or
+    the per-victim mixed-level criterion. *)
 
 type violation = {
   cycle : int list;      (** the witness: [n1 -> ... -> nk -> n1] *)
@@ -26,10 +48,19 @@ type violation = {
   src : int;
   dst : int;
   doomed : int option;   (** the transaction doomed for it, if enforcing *)
+  victim_level : string option;
+      (** the protected party's declared level slug: the harmed member
+          the doom defends (which may not be the doomed transaction —
+          see the defensive abort above), else the doomed member's own
+          ([Mixed] only) *)
+  classes : string list;
+      (** candidate phenomena of the cycle, e.g. ["P2"; "A5A"]
+          ([Mixed] only) *)
 }
 
 type summary = {
   mode : mode;
+  criterion : criterion;
   nodes : int;           (** dependency-graph nodes when finalize began *)
   edges : int;           (** dependency-graph edges when finalize began *)
   edges_wr : int;        (** distinct write-read edges inserted *)
@@ -38,10 +69,24 @@ type summary = {
   cycles : int;          (** closing edges rejected during the run *)
   dooms : int;           (** transactions doomed (Enforce) *)
   misses : int;          (** cycles with no active member left to doom *)
+  tolerated : int;       (** cycles harming no member ([Mixed]) *)
+  harmed : int;
+      (** finalize-replay attributions whose every candidate is
+          forbidden at the committed member's level ([Mixed]) *)
   prune_passes : int;    (** era-pruning passes run (see {!create}) *)
   pruned_nodes : int;    (** committed nodes retired from the graph *)
   pruned_eras : int;     (** settled era-stack entries trimmed *)
   serializable : bool;   (** the committed projection's final verdict *)
+  mixed_ok : bool;
+      (** the mixed-criterion verdict: no committed member harmed.
+          Equals [serializable] under [Serializability]. A mixed run
+          can be [mixed_ok] yet not [serializable] — tolerated cycles
+          among weak transactions are the point. *)
+  matrix : ((Isolation.Level.t * Phenomena.Phenomenon.t) * int) list;
+      (** permitted-anomaly attribution on the committed projection:
+          how many finalize-replay cycles each level's victims were
+          allowed to shrug off, per candidate phenomenon ([Mixed];
+          SERIALIZABLE victims can have no cells by construction) *)
   witness : int list option;
   violations : violation list;  (** at most 64 retained, in order *)
 }
@@ -53,6 +98,7 @@ val create :
   ?on_cycle:(violation -> unit) ->
   ?batch:bool ->
   ?prune_every:int ->
+  ?criterion:criterion ->
   mode:mode ->
   family:family ->
   unit ->
@@ -80,6 +126,12 @@ val create :
     multiversion family runs the same retirement cadence, but its
     version-order and reader references only go away when the engine's
     vacuum declares versions buried — see {!mv_trim}. *)
+
+val note_level : t -> tid:int -> level:Isolation.Level.t -> unit
+(** Declare a transaction's isolation level (call at BEGIN, before its
+    first action reaches {!observe}). Only consulted under the [Mixed]
+    criterion; an undeclared transaction defaults to SERIALIZABLE,
+    which forbids every phenomenon — the conservative reading. *)
 
 val observe : t -> int -> History.Action.t -> unit
 (** Feed one action, in history order; the [int] is its position
@@ -116,6 +168,7 @@ type stats = {
   s_cycles : int;
   s_dooms : int;
   s_misses : int;         (** cycles with no active member left to doom *)
+  s_tolerated : int;      (** cycles harming no member ([Mixed]) *)
   s_prune_passes : int;   (** era-pruning passes run so far *)
   s_pruned_nodes : int;   (** committed nodes retired from the graph *)
   s_pruned_eras : int;
@@ -133,13 +186,20 @@ val finalize : t -> summary
 (** The final verdict; call once the run is over (every transaction
     terminated or permanently idle). *)
 
-val replay : ?mode:mode -> ?family:family -> History.t -> summary
+val replay :
+  ?mode:mode ->
+  ?family:family ->
+  ?criterion:criterion ->
+  ?levels:(int * Isolation.Level.t) list ->
+  History.t ->
+  summary
 (** Run a fresh certifier over a complete history. [family] defaults to
     [`Mv] when the history is version-annotated ({!History.Mv.is_mv}),
     else [`Locking] — the same dispatch the offline oracle uses, so
     [(replay h).serializable] agrees with
     {!History.Conflict.is_serializable} / {!History.Mv.is_one_copy_serializable}
-    on the committed projection. *)
+    on the committed projection. [levels] tags transactions for the
+    [Mixed] criterion (untagged default to SERIALIZABLE). *)
 
 val pp_violation : violation Fmt.t
 val pp_summary : summary Fmt.t

@@ -170,6 +170,113 @@ let patterns t = List.filter (fun (p, _) -> not (is_anomaly p)) t.phenomena
 let clean t = t.well_formed = Ok () && t.serializable && anomalies t = []
 let pattern_free t = clean t && t.phenomena = []
 
+(* {2 The mixed-level verdict}
+
+   Under a level mix there is no single right-hand side for the run:
+   each witness is attributed to its victim role(s)
+   ({!Phenomena.Detect.victims}) and judged against the victim's own
+   declared level — a Table-4 [Not_possible] cell makes it a violation,
+   anything else a permitted anomaly the victim signed up for. Witness
+   attribution only covers the named two-transaction templates, so the
+   mixed certifier replay rides along for the cycles no template names
+   (three-way antidependency rings and longer): its [harmed] count and
+   the template violations together decide [m_clean]. Victims that
+   never committed are skipped — an aborted transaction's reads carry
+   no guarantee — matching the certifier's committed-projection
+   scope. *)
+
+module Level = Isolation.Level
+
+type mixed = {
+  m_tagged : int;          (* transactions with a declared level *)
+  m_matrix : ((Level.t * P.t) * int) list;
+                           (* permitted anomaly x committed-victim level *)
+  m_violations : ((Level.t * P.t) * int) list;
+                           (* forbidden-for-victim attributions *)
+  m_harmed : int;          (* certifier-replay harm on long cycles *)
+  m_tolerated : int;       (* certifier-replay tolerated cycles *)
+  m_clean : bool;
+}
+
+let check_mixed ?(phenomena = P.all) ~levels h =
+  let committed = History.committed h in
+  let level_of tid =
+    Option.value ~default:Level.Serializable (List.assoc_opt tid levels)
+  in
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let permitted = Hashtbl.create 16 and violated = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (w : Detect.witness) ->
+          List.iter
+            (fun v ->
+              if List.mem v committed then
+                let l = level_of v in
+                if Isolation.Spec.table4 l p = Isolation.Spec.Not_possible
+                then bump violated (l, p)
+                else bump permitted (l, p))
+            (Detect.victims w))
+        (Detect.detect p h))
+    phenomena;
+  let cells tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun ((l1, p1), _) ((l2, p2), _) ->
+           match compare (Level.slug l1) (Level.slug l2) with
+           | 0 -> compare (P.name p1) (P.name p2)
+           | c -> c)
+  in
+  let cert = Certifier.replay ~criterion:Certifier.Mixed ~levels h in
+  let m_violations = cells violated in
+  {
+    m_tagged = List.length levels;
+    m_matrix = cells permitted;
+    m_violations;
+    m_harmed = cert.Certifier.harmed;
+    m_tolerated = cert.Certifier.tolerated;
+    m_clean =
+      History.well_formed h = Ok ()
+      && m_violations = []
+      && cert.Certifier.mixed_ok;
+  }
+
+let pp_mixed ppf m =
+  let fmt_cells cs =
+    String.concat ", "
+      (List.map
+         (fun ((l, p), n) ->
+           Fmt.str "%s@%s x%d" (P.name p) (Level.slug l) n)
+         cs)
+  in
+  Fmt.pf ppf
+    "@[<v>mixed oracle: %d tagged txns, %d cycle%s tolerated, %d harmed; %s@,\
+     permitted: %s@,violations: %s@]"
+    m.m_tagged m.m_tolerated
+    (if m.m_tolerated = 1 then "" else "s")
+    m.m_harmed
+    (if m.m_clean then "every victim held its own level" else "MIXED VIOLATION")
+    (match m.m_matrix with [] -> "none" | cs -> fmt_cells cs)
+    (match m.m_violations with [] -> "none" | cs -> fmt_cells cs)
+
+let mixed_to_json m =
+  let cells cs =
+    String.concat ","
+      (List.map
+         (fun ((l, p), n) ->
+           Printf.sprintf {|{"level":"%s","anomaly":"%s","count":%d}|}
+             (Level.slug l) (P.name p) n)
+         cs)
+  in
+  Printf.sprintf
+    {|{"tagged":%d,"tolerated":%d,"harmed":%d,"matrix":[%s],"violations":[%s],"mixed_clean":%b}|}
+    m.m_tagged m.m_tolerated m.m_harmed
+    (cells m.m_matrix)
+    (cells m.m_violations)
+    m.m_clean
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>oracle: %d actions, %d txns (%d committed, %d aborted)@,"
     t.actions t.txns t.committed t.aborted;

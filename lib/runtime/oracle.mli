@@ -83,3 +83,40 @@ val pattern_free : t -> bool
 val pp : t Fmt.t
 
 val to_json : t -> string
+
+(** {1 The mixed-level verdict}
+
+    Under a per-transaction level mix there is no run-global bar:
+    each detector witness is attributed to its victim role(s)
+    ({!Phenomena.Detect.victims}) and judged against the victim's own
+    declared level. A Table-4 [Not_possible] cell is a violation;
+    anything else is an anomaly the victim's level permits — the
+    anomaly × victim-level matrix. The mixed certifier replay
+    ({!Certifier.replay} with [~criterion:Mixed]) rides along for the
+    cycles no two-transaction template names. *)
+
+type mixed = {
+  m_tagged : int;  (** transactions with a declared level *)
+  m_matrix : ((Isolation.Level.t * Phenomena.Phenomenon.t) * int) list;
+      (** permitted anomalies per committed victim's level *)
+  m_violations : ((Isolation.Level.t * Phenomena.Phenomenon.t) * int) list;
+      (** attributions forbidden at the victim's own level *)
+  m_harmed : int;  (** certifier-replay harm (cycles beyond templates) *)
+  m_tolerated : int;  (** certifier-replay cycles harming no member *)
+  m_clean : bool;
+      (** well-formed, no forbidden attribution, certifier [mixed_ok] —
+          every transaction got exactly the protection it declared *)
+}
+
+val check_mixed :
+  ?phenomena:Phenomena.Phenomenon.t list ->
+  levels:(History.Action.txn * Isolation.Level.t) list ->
+  History.t ->
+  mixed
+(** Victims missing from [levels] are judged as SERIALIZABLE (the
+    conservative default, matching {!Certifier.note_level}); victims
+    that never committed are skipped. *)
+
+val pp_mixed : mixed Fmt.t
+
+val mixed_to_json : mixed -> string

@@ -78,12 +78,15 @@ module Waits = Graph.Incremental
 type job = {
   name : string;
   program : Program.t;
-  level : Level.t;
+  level : Level.t;      (* execution level, constrained to the engine family *)
+  declared : Level.t;   (* the level the client asked for — the mixed
+                           criterion judges this transaction against it *)
   read_only : bool;
 }
 
-let job ?(name = "txn") ?(read_only = false) ~level program =
-  { name; program; level; read_only }
+let job ?(name = "txn") ?(read_only = false) ?declared ~level program =
+  let declared = Option.value declared ~default:level in
+  { name; program; level; declared; read_only }
 
 type config = {
   workers : int;
@@ -108,6 +111,8 @@ type config = {
   deadline_us : float option;    (* per-attempt budget; abort + retry past it *)
   watchdog_us : float option;    (* stuck-worker threshold; None = no watchdog *)
   certify : bool;                (* online certification: doom cycle closers *)
+  criterion : Certifier.criterion; (* what the certifier certifies *)
+  levels : Level.t list;         (* declared level mix, for family inference *)
   certify_batch : bool;          (* buffer certifier offers outside the trace lock *)
   prune_every : int;             (* certifier era-pruning cadence; 0 = off *)
   wal_dir : string option;       (* segmented on-disk WAL; None = in-memory *)
@@ -136,6 +141,7 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     ?(backoff = Backoff.default) ?(retry_backoff = default_retry_backoff)
     ?(oracle_phenomena = Phenomena.Phenomenon.all) ?oracle_window ?(seed = 1)
     ?trace ?fault ?deadline_us ?watchdog_us ?(certify = false)
+    ?(criterion = Certifier.Serializability) ?(levels = [])
     ?(certify_batch = true) ?(prune_every = 4096) ?wal_dir ?wal_segment_bytes
     ?(wal_group_commit = true) ?(checkpoint_every = 0) ?(keep_history = true)
     ?spill_dir ?stop () =
@@ -162,6 +168,8 @@ let config ?(workers = 4) ?(initial = []) ?(predicates = []) ?family
     deadline_us;
     watchdog_us;
     certify;
+    criterion;
+    levels;
     certify_batch;
     prune_every = max 0 prune_every;
     wal_dir;
@@ -190,6 +198,7 @@ type result = {
   metrics : Metrics.snapshot;
   journal : Recorder.entry list;
   oracle : Oracle.t option;
+  mixed : Oracle.mixed option; (* per-victim verdict, under the Mixed criterion *)
   certifier : Certifier.summary option; (* online verdict, when certifying *)
   lock_stats : Locking.Lock_table.stats option;
   events : Trace.Event.t list;
@@ -406,9 +415,14 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   Atomic.set sh.hb.(widx) start_ns;
   emit sh ~tid
     (Trace.Event.Attempt_begin
-       { job = jidx; name = job.name; attempt; level = Level.name job.level });
+       { job = jidx; name = job.name; attempt; level = Level.name job.declared });
   with_aux_exclusion sh ~tid (fun () ->
       Engine.begin_txn ~read_only:job.read_only sh.engine tid ~level:job.level);
+  (* Declare the level before the first action can reach the certifier:
+     under the mixed criterion the cycle judgment is victim-relative. *)
+  (match sh.certifier with
+  | Some c -> Certifier.note_level c ~tid ~level:job.declared
+  | None -> ());
   Backoff.reset bo;
   let rec exec = function
     | [] -> ()
@@ -451,7 +465,7 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
           (* The certifier doomed us for closing a dependency cycle:
              abort before the next operation (in particular before a
              commit), keeping the committed projection acyclic. *)
-          Metrics.record_certifier_abort ~level:job.level sh.metrics;
+          Metrics.record_certifier_abort ~level:job.declared sh.metrics;
           ignore (abort_self sh ~tid Engine.Certifier_abort : Engine.abort_reason)
         | _ when now_ns () > deadline_at -> (
           (* Past the budget (blocked waits and injected stalls count):
@@ -564,19 +578,19 @@ let run_attempt sh cfg ~rng ~bo ~widx ~jidx ~attempt job =
   let outcome =
     match status with
     | Engine.Committed ->
-      Metrics.record_commit ~wait_ns:!waited_ns ~level:job.level sh.metrics
+      Metrics.record_commit ~wait_ns:!waited_ns ~level:job.declared sh.metrics
         ~latency_ns:(finish_ns - start_ns);
       emit sh ~tid Trace.Event.Commit;
       Recorder.Committed
     | Engine.Aborted reason ->
-      Metrics.record_abort ~level:job.level sh.metrics reason;
+      Metrics.record_abort ~level:job.declared sh.metrics reason;
       emit sh ~tid
         (Trace.Event.Abort { reason = Metrics.abort_reason_slug reason });
       Recorder.Aborted reason
     | Engine.Active ->
       raise (Stuck (Fmt.str "T%d still active after its program ended" tid))
   in
-  Recorder.record sh.recorder ~job:jidx ~name:job.name ~level:job.level ~tid
+  Recorder.record sh.recorder ~job:jidx ~name:job.name ~level:job.declared ~tid
     ~attempt ~worker:widx ~start_ns ~finish_ns outcome;
   (* Everything the runtime will ever ask the engine about this tid has
      been asked (the status read above; env reads happen mid-program);
@@ -676,11 +690,13 @@ let make_shared (cfg : config) ~family =
               (fun (v : Certifier.violation) ->
                 Trace.Sink.emit s ~tid:v.dst
                   (Trace.Event.Dep_cycle
-                     { cycle = v.cycle; dep = v.dep; src = v.src; dst = v.dst })) )
+                     { cycle = v.cycle; dep = v.dep; src = v.src; dst = v.dst;
+                       victim_level = v.victim_level })) )
       in
       Some
         (Certifier.create ?on_edge ?on_cycle ~batch:cfg.certify_batch
-           ~prune_every:cfg.prune_every ~mode:Certifier.Enforce ~family ())
+           ~prune_every:cfg.prune_every ~mode:Certifier.Enforce
+           ~criterion:cfg.criterion ~family ())
     end
   in
   let sh =
@@ -790,6 +806,19 @@ let collect_result (cfg : config) sh =
            (Oracle.check ~phenomena:cfg.oracle_phenomena
               ?window:cfg.oracle_window history)
        else None);
+    mixed =
+      (* The per-victim verdict needs the full history plus each
+         transaction's declared level — the recorder journal carries
+         exactly that mapping. *)
+      (if cfg.criterion = Certifier.Mixed && cfg.keep_history then
+         let levels =
+           List.map
+             (fun (e : Recorder.entry) -> (e.tid, e.level))
+             (Recorder.entries sh.recorder)
+         in
+         Some
+           (Oracle.check_mixed ~phenomena:cfg.oracle_phenomena ~levels history)
+       else None);
     certifier = Option.map Certifier.finalize sh.certifier;
     lock_stats = Engine.lock_stats sh.engine;
     events;
@@ -850,10 +879,17 @@ let run_with ?monitor (cfg : config) ~family ~next_job =
   (match mine with Ok () -> () | Error e -> raise e);
   collect_result cfg sh
 
+(* Family inference prefers the declared mix ([cfg.levels]) over the
+   jobs in hand: a generator-mode run materializes one job at a time, so
+   judging the family from [(gen 0).level] alone would accept a
+   cross-family mix whose first draw looks innocent and then crash (or
+   silently mis-run) mid-stream. With the full mix declared up front the
+   rejection is immediate and names the offending levels. *)
 let family_for cfg levels =
   match cfg.family with
   | Some f -> f
-  | None -> Engine.family_of_levels levels
+  | None ->
+    Engine.family_of_levels (if cfg.levels <> [] then cfg.levels else levels)
 
 (* The drain flag: once set, [next_job] answers None — workers finish
    the job in hand (its retries included) and exit, and the collectors
@@ -941,13 +977,18 @@ let heartbeat sh ~worker ~tid =
     Atomic.set sh.hb.(worker) (now_ns ())
   end
 
-let exec_begin t ~worker ~tid ~job ~name ~attempt ~level ~read_only =
+let exec_begin ?declared t ~worker ~tid ~job ~name ~attempt ~level ~read_only =
   let sh = t.esh in
+  let declared = Option.value declared ~default:level in
   heartbeat sh ~worker ~tid;
   emit sh ~tid
-    (Trace.Event.Attempt_begin { job; name; attempt; level = Level.name level });
+    (Trace.Event.Attempt_begin
+       { job; name; attempt; level = Level.name declared });
   with_aux_exclusion sh ~tid (fun () ->
-      Engine.begin_txn ~read_only sh.engine tid ~level)
+      Engine.begin_txn ~read_only sh.engine tid ~level);
+  match sh.certifier with
+  | Some c -> Certifier.note_level c ~tid ~level:declared
+  | None -> ()
 
 let exec_step ?level t ~worker ~tid ~seq ~start_ns op =
   let sh = t.esh and cfg = t.ecfg in

@@ -46,10 +46,26 @@ type job = {
   name : string;
   program : Core.Program.t;
   level : Level.t;
+      (** execution level — must belong to the engine family *)
+  declared : Level.t;
+      (** the level the client asked for. Under the [Mixed] criterion
+          the certifier and oracle judge the transaction against this;
+          metrics and the journal attribute to it. Defaults to
+          {!field:level}. *)
   read_only : bool;
 }
 
-val job : ?name:string -> ?read_only:bool -> level:Level.t -> Core.Program.t -> job
+val job :
+  ?name:string ->
+  ?read_only:bool ->
+  ?declared:Level.t ->
+  level:Level.t ->
+  Core.Program.t ->
+  job
+(** [declared] defaults to [level], so single-level runs are unchanged.
+    A mixed run executing on one engine family passes the client's
+    requested level as [declared] and its in-family strengthening
+    ({!Isolation.Lattice.strengthen}) as [level]. *)
 
 type config = {
   workers : int;
@@ -123,6 +139,20 @@ type config = {
           its next operation. Adds [Dep_edge] / [Dep_cycle] trace events
           when tracing, [certifier_aborts] to the metrics, and the
           online {!Certifier.summary} to the result. *)
+  criterion : Certifier.criterion;
+      (** what certification enforces (default [Serializability], the
+          single-level behaviour — verdicts byte-identical to before).
+          [Mixed] judges each rejected cycle against the declared level
+          of its members ({!field:job.declared}): a member is doomed
+          only when the cycle's phenomenon candidates are all forbidden
+          at its own level, and the result additionally carries the
+          post-run {!Oracle.mixed} verdict. *)
+  levels : Level.t list;
+      (** the declared level mix of the whole run, for engine-family
+          inference in generator mode ([]: infer from the jobs in
+          hand). A cross-family mix is rejected up front with an error
+          naming the offending levels, instead of crashing mid-stream
+          on the first cross-family draw. *)
   certify_batch : bool;
       (** batch certifier edge offers (default true): the trace hook only
           buffers each action, shrinking the engine's recorder critical
@@ -199,6 +229,8 @@ val config :
   ?deadline_us:float ->
   ?watchdog_us:float ->
   ?certify:bool ->
+  ?criterion:Certifier.criterion ->
+  ?levels:Level.t list ->
   ?certify_batch:bool ->
   ?prune_every:int ->
   ?wal_dir:string ->
@@ -248,6 +280,11 @@ type result = {
       (** the post-run oracle's verdict over {!field:history}; [None]
           when [config.keep_history] is [false] — no trace was kept, and
           the online certifier supplies the verdict instead *)
+  mixed : Oracle.mixed option;
+      (** the per-victim mixed-level verdict ([Some] iff
+          [config.criterion] is [Mixed] and the history was kept): each
+          detector witness judged against its victim's declared level,
+          plus the anomaly × victim-level matrix *)
   certifier : Certifier.summary option;
       (** the online certifier's finalized verdict and edge/cycle
           accounting ([Some] iff [config.certify]) *)
@@ -346,10 +383,15 @@ val exec_fresh_tid : exec -> int
 (** Globally fresh transaction id (retries must use a new one). *)
 
 val exec_begin :
+  ?declared:Isolation.Level.t ->
   exec -> worker:int -> tid:int -> job:int -> name:string -> attempt:int ->
   level:Isolation.Level.t -> read_only:bool -> unit
 (** Begin a transaction and emit its [Attempt_begin] event. [job] is the
-    session's stable index (journal key); [attempt] starts at 1. *)
+    session's stable index (journal key); [attempt] starts at 1.
+    [declared] (default [level]) is the client's requested level: it is
+    what the certifier's mixed criterion judges the transaction against
+    and what the attempt event reports, while [level] is what the
+    engine executes. *)
 
 val exec_step :
   ?level:Isolation.Level.t ->

@@ -112,17 +112,12 @@ type counters = {
   mutable c_done : int;
 }
 
+(* The weighted draw is the workload library's ({!Workload.Mix.pick}) —
+   one parser, one draw, shared with stress/chaos. *)
 let pick_level cfg rng =
   match cfg.levels with
   | [] -> Level.Read_committed
-  | levels ->
-    let total = List.fold_left (fun a (_, w) -> a +. w) 0. levels in
-    let x = Random.State.float rng (max total 1e-9) in
-    let rec go acc = function
-      | [] -> fst (List.hd levels)
-      | (l, w) :: rest -> if x < acc +. w then l else go (acc +. w) rest
-    in
-    go 0. levels
+  | mix -> Workload.Mix.pick mix rng
 
 let think cfg s now =
   if cfg.think_us <= 0. then now

@@ -230,23 +230,13 @@ let handle t ~worker ~req (request : Protocol.request) =
         (Protocol.Error
            { code = Protocol.err_unknown; msg = "unknown level: " ^ name })
     | Some l ->
-      if Level.family l <> Pool.exec_family t.exec then
-        t.send ~req
-          (Protocol.Error
-             {
-               code = Protocol.err_unknown;
-               msg =
-                 Printf.sprintf "level %s needs the %s engine family"
-                   (Level.name l)
-                   (match Level.family l with
-                   | `Locking -> "locking"
-                   | `Mv -> "multiversion"
-                   | `Timestamp -> "timestamp");
-             })
-      else begin
-        t.level <- l;
-        t.send ~req Protocol.Ok_resp
-      end);
+      (* Any known level is accepted as the session's *declared* level;
+         a level from another engine family executes at its in-family
+         strengthening ({!Isolation.Lattice.strengthen}, computed at
+         BEGIN) while the certifier's mixed criterion and the journal
+         still see what the client asked for. *)
+      t.level <- l;
+      t.send ~req Protocol.Ok_resp);
     `Done
   | Protocol.Begin _, Some _ ->
     bad_state t ~req "transaction already open";
@@ -261,8 +251,14 @@ let handle t ~worker ~req (request : Protocol.request) =
       let tid = Pool.exec_fresh_tid t.exec in
       let attempt = max 1 attempt in
       if attempt > 1 then Pool.exec_note_retry t.exec ~wall_ns:0;
-      Pool.exec_begin t.exec ~worker ~tid ~job:t.gid ~name ~attempt
-        ~level:t.level ~read_only;
+      (* Execute at the declared level's in-family strengthening (the
+         identity when the family already matches); [declared] is what
+         the mixed criterion judges and the journal attributes. *)
+      let exec_level =
+        Isolation.Lattice.strengthen t.level (Pool.exec_family t.exec)
+      in
+      Pool.exec_begin ~declared:t.level t.exec ~worker ~tid ~job:t.gid ~name
+        ~attempt ~level:exec_level ~read_only;
       Runtime.Backoff.reset t.bo;
       t.txn <-
         Some

@@ -49,10 +49,10 @@ let to_json t =
   | Some (s : Certifier.stats) ->
     Buffer.add_string b
       (Printf.sprintf
-         {|,"certifier":{"nodes":%d,"edges":%d,"queue":%d,"pending":%d,"dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d,"prune":{"passes":%d,"nodes":%d,"eras":%d}}|}
+         {|,"certifier":{"nodes":%d,"edges":%d,"queue":%d,"pending":%d,"dep_edges":{"wr":%d,"ww":%d,"rw":%d},"cycles":%d,"dooms":%d,"misses":%d,"tolerated":%d,"prune":{"passes":%d,"nodes":%d,"eras":%d}}|}
          s.s_nodes s.s_edges s.s_queue s.s_pending s.s_edges_wr s.s_edges_ww
-         s.s_edges_rw s.s_cycles s.s_dooms s.s_misses s.s_prune_passes
-         s.s_pruned_nodes s.s_pruned_eras));
+         s.s_edges_rw s.s_cycles s.s_dooms s.s_misses s.s_tolerated
+         s.s_prune_passes s.s_pruned_nodes s.s_pruned_eras));
   (match t.live.Pool.lock_stats with
   | None -> ()
   | Some (s : Locking.Lock_table.stats) ->
@@ -201,6 +201,10 @@ let to_prometheus t =
       [ ([], fi s.s_cycles) ];
     Prometheus.counter p ~help:"Cycles with no active member left to doom"
       "isolation_lab_certifier_misses_total" [ ([], fi s.s_misses) ];
+    Prometheus.counter p
+      ~help:
+        "Cycles every member's declared level permits (mixed criterion only)"
+      "isolation_lab_certifier_tolerated_total" [ ([], fi s.s_tolerated) ];
     Prometheus.counter p ~help:"Era-pruning passes run"
       "isolation_lab_certifier_prune_passes_total"
       [ ([], fi s.s_prune_passes) ];

@@ -49,9 +49,17 @@ type kind =
   | Dep_edge of { src : int; dst : int; dep : string }
       (* the certifier added src -> dst to the dependency graph;
          [dep] is "wr" | "ww" | "rw" (the rw are anti-dependencies) *)
-  | Dep_cycle of { cycle : int list; dep : string; src : int; dst : int }
+  | Dep_cycle of {
+      cycle : int list;
+      dep : string;
+      src : int;
+      dst : int;
+      victim_level : string option;
+    }
       (* the [src -> dst] edge of class [dep] would have closed [cycle];
-         attributed to the transaction whose action offered the edge *)
+         attributed to the transaction whose action offered the edge.
+         Under the mixed criterion [victim_level] is the declared level
+         of the doomed (or first harmed) member *)
   | Conn_open of { conn : int }
       (* the server accepted connection [conn] *)
   | Conn_close of { conn : int; reason : string }
@@ -146,9 +154,13 @@ let pp_kind ppf = function
     Fmt.pf ppf "crash replay: %d prefixes + %d torn tails, %d unsound"
       points torn failures
   | Dep_edge { src; dst; dep } -> Fmt.pf ppf "dep %s T%d -> T%d" dep src dst
-  | Dep_cycle { cycle; dep; src; dst } ->
-    Fmt.pf ppf "dep cycle closed by %s T%d -> T%d (%s)" dep src dst
+  | Dep_cycle { cycle; dep; src; dst; victim_level } ->
+    Fmt.pf ppf "dep cycle closed by %s T%d -> T%d (%s)%a" dep src dst
       (String.concat " -> " (List.map (fun t -> "T" ^ string_of_int t) cycle))
+      (fun ppf -> function
+        | None -> ()
+        | Some l -> Fmt.pf ppf " victim level %s" l)
+      victim_level
   | Conn_open { conn } -> Fmt.pf ppf "connection %d open" conn
   | Conn_close { conn; reason } ->
     Fmt.pf ppf "connection %d closed (%s)" conn reason
@@ -218,9 +230,12 @@ let kind_args = function
       ("failures", Json.Int failures) ]
   | Dep_edge { src; dst; dep } ->
     [ ("src", Json.Int src); ("dst", Json.Int dst); ("dep", Json.String dep) ]
-  | Dep_cycle { cycle; dep; src; dst } ->
+  | Dep_cycle { cycle; dep; src; dst; victim_level } ->
     [ ("cycle", ints cycle); ("dep", Json.String dep);
       ("src", Json.Int src); ("dst", Json.Int dst) ]
+    @ (match victim_level with
+      | None -> []
+      | Some l -> [ ("victim_level", Json.String l) ])
   | Conn_open { conn } -> [ ("conn", Json.Int conn) ]
   | Conn_close { conn; reason } ->
     [ ("conn", Json.Int conn); ("reason", Json.String reason) ]
@@ -324,7 +339,10 @@ let of_args j =
         Some
           (Dep_cycle
              { cycle = get_ints "cycle" j; dep = get_string "dep" j;
-               src = get_int "src" j; dst = get_int "dst" j })
+               src = get_int "src" j; dst = get_int "dst" j;
+               victim_level =
+                 Option.bind (Json.member "victim_level" j) Json.to_string_opt
+             })
       | "conn_open" -> Some (Conn_open { conn = get_int "conn" j })
       | "conn_close" ->
         Some

@@ -39,10 +39,18 @@ type kind =
   | Dep_edge of { src : int; dst : int; dep : string }
       (** the online certifier added a dependency edge [src -> dst];
           [dep] is ["wr"], ["ww"] or ["rw"] (anti-dependency) *)
-  | Dep_cycle of { cycle : int list; dep : string; src : int; dst : int }
+  | Dep_cycle of {
+      cycle : int list;
+      dep : string;
+      src : int;
+      dst : int;
+      victim_level : string option;
+    }
       (** the [src -> dst] edge of class [dep] would have closed
           [cycle] (witness format of {!History.Digraph.find_cycle});
-          attributed to the transaction whose action offered the edge *)
+          attributed to the transaction whose action offered the edge.
+          Under the mixed criterion [victim_level] names the declared
+          level of the doomed (or first harmed) member *)
   | Conn_open of { conn : int }
       (** the server accepted connection [conn] *)
   | Conn_close of { conn : int; reason : string }

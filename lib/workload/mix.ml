@@ -1,0 +1,80 @@
+(* Weighted isolation-level mixes: the "rc=3,si=1,serializable=0.5"
+   notation shared by [loadgen --levels], [stress --levels] and
+   [chaos --levels]. One parser, one error message.
+
+   A mix is a declared distribution over levels. The declared level is a
+   per-transaction contract; when the mix spans engine families the run
+   picks one engine (weight-plurality family) and executes each
+   transaction at [Isolation.Lattice.strengthen declared family], which
+   preserves every promise the declared level makes. *)
+
+module Level = Isolation.Level
+
+type t = (Level.t * float) list
+
+let error_message s =
+  Printf.sprintf
+    "bad level mix %S: comma-separated level[=weight] with positive \
+     weights, e.g. \"rc=3,si=1\""
+    s
+
+let parse s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let parse_one p =
+    let name, w =
+      match String.index_opt p '=' with
+      | None -> (p, 1.0)
+      | Some i -> (
+        ( String.sub p 0 i,
+          let ws = String.sub p (i + 1) (String.length p - i - 1) in
+          match float_of_string_opt (String.trim ws) with
+          | Some w when w > 0. -> w
+          | _ -> -1. ))
+    in
+    match Level.of_string (String.trim name) with
+    | Some l when w > 0. -> Some (l, w)
+    | _ -> None
+  in
+  let entries = List.map parse_one parts in
+  if entries = [] || List.exists Option.is_none entries then
+    Error (error_message s)
+  else Ok (List.filter_map Fun.id entries)
+
+let to_string mix =
+  String.concat ","
+    (List.map (fun (l, w) -> Printf.sprintf "%s=%g" (Level.slug l) w) mix)
+
+let levels mix =
+  List.fold_left
+    (fun acc (l, _) -> if List.mem l acc then acc else acc @ [ l ])
+    [] mix
+
+(* The engine family carrying the run: the one holding the most declared
+   weight, ties broken toward locking (the paper's baseline engine). *)
+let family mix =
+  let weight f =
+    List.fold_left
+      (fun acc (l, w) -> if Level.family l = f then acc +. w else acc)
+      0. mix
+  in
+  let lk = weight `Locking and mv = weight `Mv and ts = weight `Timestamp in
+  if lk >= mv && lk >= ts then `Locking else if mv >= ts then `Mv else `Timestamp
+
+let pick mix rng =
+  match mix with
+  | [] -> invalid_arg "Mix.pick: empty mix"
+  | [ (l, _) ] -> l
+  | mix ->
+    let total = List.fold_left (fun a (_, w) -> a +. w) 0. mix in
+    let x = Random.State.float rng total in
+    let rec go acc = function
+      | [] -> fst (List.hd mix)
+      | (l, w) :: rest -> if x < acc +. w then l else go (acc +. w) rest
+    in
+    go 0. mix
+
+(* Deterministic per-transaction draw: the declared level of transaction
+   [index] under [seed], independent of scheduling — the same purity
+   pattern as {!Generators.stress_program}. *)
+let draw mix ~seed ~index =
+  pick mix (Random.State.make [| 0x11f5; seed; index |])

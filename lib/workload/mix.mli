@@ -1,0 +1,28 @@
+(** Weighted isolation-level mixes — the ["rc=3,si=1,serializable=0.5"]
+    notation shared by [loadgen --levels], [stress --levels] and
+    [chaos --levels]. *)
+
+type t = (Isolation.Level.t * float) list
+(** Declared distribution over levels; weights are relative. *)
+
+val parse : string -> (t, string) result
+(** Parse ["level[=weight],..."] (weights default to 1, must be
+    positive). [Error] carries the one shared user-facing message. *)
+
+val to_string : t -> string
+(** Round-trippable rendering, [slug=weight] comma-joined. *)
+
+val levels : t -> Isolation.Level.t list
+(** The distinct declared levels, first-occurrence order. *)
+
+val family : t -> [ `Locking | `Mv | `Timestamp ]
+(** The engine family holding the most declared weight; ties break
+    toward [`Locking]. Cross-family mixes execute each transaction at
+    {!Isolation.Lattice.strengthen}[ declared (family mix)]. *)
+
+val pick : t -> Random.State.t -> Isolation.Level.t
+(** One weighted draw. *)
+
+val draw : t -> seed:int -> index:int -> Isolation.Level.t
+(** Deterministic declared level of transaction [index] under [seed] —
+    a pure function, independent of worker scheduling. *)

@@ -6,4 +6,5 @@ module Scenario = Scenario
 module Catalog = Catalog
 module Paper_histories = Paper_histories
 module Generators = Generators
+module Mix = Mix
 module Script = Script

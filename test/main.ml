@@ -35,6 +35,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("graph", Test_graph.suite);
       ("certifier", Test_certifier.suite);
+      ("mixed", Test_mixed.suite);
       ("striped", Test_striped.suite);
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
